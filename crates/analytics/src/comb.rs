@@ -1,0 +1,117 @@
+//! Log-domain combinatorics.
+//!
+//! The availability model multiplies binomial coefficients like
+//! `C(400, 12)` whose magnitudes overflow `f64`, so everything is computed
+//! as logarithms of factorials and exponentiated only at the end.
+
+/// Natural log of `n!` via the Stirling/Lanczos-free recurrence: exact
+/// summation for small `n`, Stirling series beyond.
+///
+/// Accuracy is better than 1e-10 relative over the ranges used here
+/// (n ≤ tens of thousands).
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact cumulative sum for small n (covers most calls).
+    const TABLE_LEN: usize = 257;
+    static TABLE: std::sync::OnceLock<[f64; TABLE_LEN]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_LEN];
+        for i in 2..TABLE_LEN {
+            t[i] = t[i - 1] + (i as f64).ln();
+        }
+        t
+    });
+    if (n as usize) < TABLE_LEN {
+        return table[n as usize];
+    }
+    // Stirling series: ln n! ≈ n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³).
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial coefficient `C(n, k)` as a float (may be `inf` for huge
+/// arguments; prefer [`ln_choose`] for ratios).
+pub fn choose(n: u64, k: u64) -> f64 {
+    ln_choose(n, k).exp()
+}
+
+/// Hypergeometric probability: drawing `n` nodes out of `total` of which
+/// `marked` are "reclaimed", the probability that exactly `hits` of the
+/// drawn nodes are reclaimed.
+///
+/// This is the paper's Eq 1 (`p_i` with `i = hits`, `r = marked`,
+/// `Nλ = total`).
+pub fn hypergeometric_pmf(total: u64, marked: u64, n: u64, hits: u64) -> f64 {
+    if hits > n || hits > marked || n - hits > total - marked {
+        return 0.0;
+    }
+    (ln_choose(marked, hits) + ln_choose(total - marked, n - hits) - ln_choose(total, n)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorials_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3_628_800f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stirling_matches_exact_at_crossover() {
+        // Compare the series against direct summation just past the table.
+        let mut exact = 0.0;
+        for i in 2..=400u64 {
+            exact += (i as f64).ln();
+        }
+        assert!((ln_factorial(400) - exact).abs() / exact < 1e-10);
+    }
+
+    #[test]
+    fn choose_known_values() {
+        assert!((choose(5, 2) - 10.0).abs() < 1e-9);
+        assert!((choose(10, 0) - 1.0).abs() < 1e-12);
+        assert!((choose(10, 10) - 1.0).abs() < 1e-9);
+        assert_eq!(choose(3, 5), 0.0);
+        // C(52, 5) = 2,598,960
+        assert!((choose(52, 5) - 2_598_960.0).abs() / 2_598_960.0 < 1e-9);
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        let (total, marked, n) = (400u64, 12u64, 12u64);
+        let sum: f64 = (0..=n).map(|h| hypergeometric_pmf(total, marked, n, h)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn hypergeometric_impossible_cases_are_zero() {
+        assert_eq!(hypergeometric_pmf(400, 5, 12, 6), 0.0); // more hits than marked
+        assert_eq!(hypergeometric_pmf(12, 12, 12, 11), 0.0); // all drawn must be marked
+    }
+
+    #[test]
+    fn paper_ratio_p3_over_p4_is_about_18_8() {
+        // §4.3: Nλ=400, n=12, r=12 reclaimed => p3/p4 = 18.8.
+        let p3 = hypergeometric_pmf(400, 12, 12, 3);
+        let p4 = hypergeometric_pmf(400, 12, 12, 4);
+        let ratio = p3 / p4;
+        assert!(
+            (ratio - 18.8).abs() < 0.1,
+            "p3/p4 = {ratio}, paper says 18.8"
+        );
+    }
+}

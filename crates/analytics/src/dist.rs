@@ -1,0 +1,269 @@
+//! Probability distributions: pmf evaluation and seeded sampling.
+//!
+//! `rand` (the only randomness crate allowed offline) ships uniform
+//! sampling but not Zipf/Poisson/log-normal, so those are implemented here.
+//! The reclamation policies (§4.1: Zipf-like spikes vs. Poisson regimes)
+//! and the workload synthesizer (Fig 1's long-tail popularity and size
+//! distributions) are the consumers.
+
+use rand::Rng;
+
+// ---------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------
+
+/// Zipf pmf over ranks `1..=n` with exponent `s`:
+/// `P(k) = k^-s / H(n, s)`.
+pub fn zipf_pmf(k: u64, s: f64, n: u64) -> f64 {
+    if k == 0 || k > n {
+        return 0.0;
+    }
+    let h: f64 = (1..=n).map(|i| (i as f64).powf(-s)).sum();
+    (k as f64).powf(-s) / h
+}
+
+/// Samples ranks `0..n` (0-based) from a Zipf distribution by inverting a
+/// precomputed CDF — O(log n) per sample, O(n) memory.
+///
+/// # Example
+///
+/// ```
+/// use ic_analytics::dist::ZipfSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let z = ZipfSampler::new(1000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the sampler has no ranks (never: the constructor forbids
+    /// it), kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of 0-based rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------
+
+/// Poisson pmf `P(k) = λ^k e^-λ / k!`, computed in the log domain.
+pub fn poisson_pmf(k: u64, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let ln_p = k as f64 * lambda.ln() - lambda - crate::comb::ln_factorial(k);
+    ln_p.exp()
+}
+
+/// Samples from Poisson(λ): Knuth's product method for small λ, normal
+/// approximation (continuity-corrected, clamped at zero) for large λ.
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let z = standard_normal(rng);
+        let v = lambda + lambda.sqrt() * z + 0.5;
+        if v < 0.0 {
+            0
+        } else {
+            v.floor() as u64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Normal / log-normal / exponential
+// ---------------------------------------------------------------------
+
+/// One standard-normal draw (Box–Muller; uses a single pair per call for
+/// simplicity — throughput is irrelevant here).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Samples a log-normal value with the given parameters of the underlying
+/// normal (`mu`, `sigma` in *log space*).
+pub fn lognormal_sample<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples Exp(rate) via inverse CDF.
+///
+/// # Panics
+///
+/// Panics if `rate <= 0`.
+pub fn exponential_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_normalizes() {
+        let total: f64 = (1..=500u64).map(|k| zipf_pmf(k, 0.99, 500)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(zipf_pmf(0, 1.0, 10), 0.0);
+        assert_eq!(zipf_pmf(11, 1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn zipf_sampler_matches_pmf() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; 100];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head rank frequency should match pmf within a few percent.
+        let freq0 = counts[0] as f64 / draws as f64;
+        assert!((freq0 - z.pmf(0)).abs() < 0.01, "freq {freq0} vs pmf {}", z.pmf(0));
+        // Monotone-ish head.
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[50]);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_via_sampler() {
+        let z = ZipfSampler::new(37, 0.7);
+        let total: f64 = (0..37).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_pmf_normalizes_and_peaks_near_lambda() {
+        let lambda = 7.3;
+        let total: f64 = (0..100).map(|k| poisson_pmf(k, lambda)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let mode = (0..100u64).max_by(|&a, &b| {
+            poisson_pmf(a, lambda).partial_cmp(&poisson_pmf(b, lambda)).unwrap()
+        });
+        assert_eq!(mode, Some(7));
+    }
+
+    #[test]
+    fn poisson_sampling_mean_and_variance() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 36.0, 120.0] {
+            let n = 50_000;
+            let samples: Vec<u64> = (0..n).map(|_| poisson_sample(&mut rng, lambda)).collect();
+            let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+            let var = samples
+                .iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            assert!((mean - lambda).abs() < lambda * 0.05 + 0.1, "λ={lambda} mean={mean}");
+            assert!((var - lambda).abs() < lambda * 0.15 + 0.2, "λ={lambda} var={var}");
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut samples: Vec<f64> =
+            (0..40_001).map(|_| lognormal_sample(&mut rng, 3.0, 1.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[20_000];
+        let expected = 3.0f64.exp();
+        assert!((median / expected - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| exponential_sample(&mut rng, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Analytical models from the InfiniCache paper and shared statistics.
+//!
+//! * [`comb`] — log-domain combinatorics (`ln C(n,k)`) and the
+//!   hypergeometric probabilities underlying the availability model;
+//! * [`availability`] — §4.3 Eq 1–3: the probability that simultaneous
+//!   function reclaims destroy more chunks of an object than the code
+//!   tolerates, and the resulting per-window availability;
+//! * [`cost`] — §4.3 Eq 4–6: the tenant-side hourly cost `C = Cser + Cw +
+//!   Cbak` and the ElastiCache crossover analysis of Fig 17;
+//! * [`dist`] — Zipf, Poisson, log-normal and exponential distributions
+//!   (pmf + seeded sampling) used by the reclamation policies (§4.1) and
+//!   the workload synthesizer;
+//! * [`summary`] — percentile summaries and CDFs used by every benchmark
+//!   harness to print the paper's series.
+//!
+//! # Example: the paper's §4.3 case study
+//!
+//! ```
+//! use ic_analytics::availability;
+//!
+//! // 400 nodes, RS(10+2) => n = 12 chunks, loss needs m = 3 of them.
+//! // If exactly 12 nodes are reclaimed simultaneously, an object loses
+//! // 3+ chunks with probability ~0.5% — and such reclaim bursts are rare,
+//! // which is where the paper's 4-nines-per-minute availability comes from.
+//! let p = availability::object_loss_given_reclaims(400, 12, 3, 12);
+//! assert!(p > 1e-3 && p < 1e-2);
+//! ```
+
+pub mod availability;
+pub mod comb;
+pub mod cost;
+pub mod dist;
+pub mod summary;
+
+pub use cost::CostModel;
+pub use summary::Summary;

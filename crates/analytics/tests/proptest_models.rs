@@ -1,0 +1,110 @@
+//! Property tests for the analytical models: probability axioms,
+//! monotonicity of the availability model, and cost-model structure.
+
+use ic_analytics::availability::{availability_over, object_loss_given_reclaims};
+use ic_analytics::comb::{hypergeometric_pmf, ln_choose};
+use ic_analytics::cost::CostModel;
+use ic_analytics::summary::{percentile_sorted, Cdf, Summary};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hypergeometric pmf sums to 1 and is within [0,1] pointwise.
+    #[test]
+    fn hypergeometric_is_a_distribution(total in 10u64..500, marked_frac in 0.0f64..1.0, n in 1u64..20) {
+        let marked = ((total as f64) * marked_frac) as u64;
+        let n = n.min(total);
+        let mut sum = 0.0;
+        for hits in 0..=n {
+            let p = hypergeometric_pmf(total, marked, n, hits);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            sum += p;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    /// Loss probability is monotone in the reclaim count and in the
+    /// severity threshold.
+    #[test]
+    fn loss_monotonicity(n_lambda in 50u64..600, n in 4u64..16, m in 1u64..4) {
+        let n = n.min(n_lambda);
+        let m = m.min(n);
+        let mut last = -1.0;
+        for r in (0..n_lambda).step_by((n_lambda as usize / 20).max(1)) {
+            let p = object_loss_given_reclaims(n_lambda, n, m, r);
+            prop_assert!(p + 1e-12 >= last, "P(r) nondecreasing");
+            last = p;
+        }
+        // Harsher threshold (smaller m) loses more.
+        let r = n_lambda / 4;
+        let p_soft = object_loss_given_reclaims(n_lambda, n, m + 1, r);
+        let p_hard = object_loss_given_reclaims(n_lambda, n, m, r);
+        prop_assert!(p_hard + 1e-12 >= p_soft);
+    }
+
+    /// Availability over k windows is (1-p)^k: in [0,1], decreasing in k.
+    #[test]
+    fn availability_composition(p in 0.0f64..0.2, k in 1u32..200) {
+        let a1 = availability_over(p, k);
+        let a2 = availability_over(p, k + 1);
+        prop_assert!((0.0..=1.0).contains(&a1));
+        prop_assert!(a2 <= a1 + 1e-12);
+    }
+
+    /// ln C(n,k) symmetry and Pascal's rule in the log domain.
+    #[test]
+    fn choose_identities(n in 1u64..300, k in 0u64..300) {
+        let k = k.min(n);
+        let a = ln_choose(n, k);
+        let b = ln_choose(n, n - k);
+        prop_assert!((a - b).abs() < 1e-8, "symmetry");
+        if k >= 1 && n >= 1 {
+            // C(n,k) = C(n-1,k-1) + C(n-1,k)
+            let lhs = a.exp();
+            let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.max(1.0), "pascal {lhs} vs {rhs}");
+        }
+    }
+
+    /// Cost model: affine in rate, monotone in every price-bearing knob.
+    #[test]
+    fn cost_model_structure(
+        rate in 0.0f64..1e6,
+        chunks in 1u32..30,
+        mem in 0.1f64..3.0,
+        nl in 1u64..2000,
+    ) {
+        let mut m = CostModel::paper_production();
+        m.memory_gb = mem;
+        m.n_lambda = nl;
+        let c0 = m.hourly_cost(rate, chunks, 100.0);
+        let c1 = m.hourly_cost(rate + 1000.0, chunks, 100.0);
+        prop_assert!(c1 >= c0);
+        let per = m.cost_per_object(chunks, 100.0);
+        prop_assert!((c1 - c0 - 1000.0 * per).abs() < 1e-9, "affine in rate");
+        // More chunks per object can never be cheaper.
+        prop_assert!(m.cost_per_object(chunks + 1, 100.0) >= per);
+    }
+
+    /// Summary and CDF agree with each other and with sorting.
+    #[test]
+    fn summary_and_cdf_agree(values in vec(0.0f64..1e6, 1..200)) {
+        let s = Summary::from_values(&values);
+        let cdf = Cdf::from_values(values.iter().copied());
+        prop_assert!((s.p50 - cdf.quantile(0.5)).abs() < 1e-9);
+        prop_assert!(s.min <= s.p25 && s.p25 <= s.p50);
+        prop_assert!(s.p50 <= s.p75 && s.p75 <= s.p99 && s.p99 <= s.max);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(percentile_sorted(&sorted, 0.0), s.min);
+        prop_assert_eq!(percentile_sorted(&sorted, 1.0), s.max);
+        // fraction_le(quantile(q)) >= q up to the discrete 1/n resolution
+        // (linear interpolation can land just below a value boundary).
+        for q in [0.1, 0.5, 0.9] {
+            let x = cdf.quantile(q);
+            prop_assert!(cdf.fraction_le(x) + 1.0 / values.len() as f64 + 1e-9 >= q);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The ElastiCache (Redis) latency and cost model.
+//!
+//! Redis is single-threaded: one node serializes its requests, so a large
+//! object transfer blocks everything behind it — the effect that makes the
+//! 1-node deployment lose to InfiniCache on large objects in Fig 11(f).
+//! A sharded deployment hashes whole objects across nodes, buying
+//! parallelism across (but not within) requests.
+
+use ic_common::hash::hash_str;
+use ic_common::pricing::ElastiCacheInstance;
+use ic_common::{ObjectKey, SimDuration, SimTime};
+
+/// Deployment shape: which instance type, how many nodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElastiCacheDeployment {
+    /// Node instance type (price, memory, NIC).
+    pub instance: ElastiCacheInstance,
+    /// Node count (whole-object sharding across nodes).
+    pub nodes: u32,
+}
+
+impl ElastiCacheDeployment {
+    /// The paper's 1-node `cache.r5.8xlarge` microbenchmark deployment.
+    pub fn one_node_8xl() -> Self {
+        ElastiCacheDeployment { instance: ic_common::pricing::CACHE_R5_8XLARGE, nodes: 1 }
+    }
+
+    /// The paper's 10-node `cache.r5.xlarge` scale-out deployment.
+    pub fn ten_node_xl() -> Self {
+        ElastiCacheDeployment { instance: ic_common::pricing::CACHE_R5_XLARGE, nodes: 10 }
+    }
+
+    /// The production comparison: one `cache.r5.24xlarge`.
+    pub fn one_node_24xl() -> Self {
+        ElastiCacheDeployment { instance: ic_common::pricing::CACHE_R5_24XLARGE, nodes: 1 }
+    }
+
+    /// Total memory across nodes, decimal GB.
+    pub fn total_memory_gb(&self) -> f64 {
+        self.instance.memory_gb * self.nodes as f64
+    }
+
+    /// Dollars per hour for the whole deployment.
+    pub fn hourly_price(&self) -> f64 {
+        self.instance.hourly_price * self.nodes as f64
+    }
+}
+
+/// The queueing model.
+#[derive(Clone, Debug)]
+pub struct ElastiCacheModel {
+    deployment: ElastiCacheDeployment,
+    /// Per-request fixed overhead (network RTT + Redis dispatch).
+    pub base_latency: SimDuration,
+    /// Effective single-stream service bandwidth of one node, bytes/sec
+    /// (single-threaded memcpy + NIC; below the NIC line rate).
+    pub node_bytes_per_sec: f64,
+    busy_until: Vec<SimTime>,
+    /// Requests served (metric).
+    pub served: u64,
+}
+
+impl ElastiCacheModel {
+    /// Builds the model for a deployment with calibrated constants: 500 µs
+    /// base latency, and a service bandwidth that scales with the node's
+    /// NIC class (≈ 45% of line rate, the practical ceiling of
+    /// single-threaded Redis streaming large values).
+    pub fn new(deployment: ElastiCacheDeployment) -> Self {
+        let line_rate = deployment.instance.network_gbps * 1e9 / 8.0;
+        ElastiCacheModel {
+            deployment,
+            base_latency: SimDuration::from_micros(500),
+            node_bytes_per_sec: line_rate * 0.45,
+            busy_until: vec![SimTime::ZERO; deployment.nodes as usize],
+            served: 0,
+        }
+    }
+
+    /// The deployment being modeled.
+    pub fn deployment(&self) -> ElastiCacheDeployment {
+        self.deployment
+    }
+
+    /// Node a key shards to.
+    pub fn node_for(&self, key: &ObjectKey) -> usize {
+        (hash_str(key.as_str()) % self.deployment.nodes as u64) as usize
+    }
+
+    /// Serves a request of `size` bytes arriving at `now`; returns the
+    /// completion time. The node is busy until then (single-threaded).
+    pub fn request(&mut self, now: SimTime, key: &ObjectKey, size: u64) -> SimTime {
+        let node = self.node_for(key);
+        let start = self.busy_until[node].max(now);
+        let service = SimDuration::from_secs_f64(size as f64 / self.node_bytes_per_sec);
+        let done = start + self.base_latency + service;
+        self.busy_until[node] = done;
+        self.served += 1;
+        done
+    }
+
+    /// Latency of a request arriving at `now` (completion − arrival).
+    pub fn request_latency(&mut self, now: SimTime, key: &ObjectKey, size: u64) -> SimDuration {
+        self.request(now, key, size) - now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> ObjectKey {
+        ObjectKey::new(s)
+    }
+
+    #[test]
+    fn single_request_latency_is_base_plus_transfer() {
+        let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl());
+        let lat = m.request_latency(SimTime::ZERO, &k("a"), 100 * 1024 * 1024);
+        // 100 MiB at 0.45*10Gbps ≈ 562 MB/s => ≈ 187 ms.
+        let secs = lat.as_secs_f64();
+        assert!((0.15..0.25).contains(&secs), "latency {secs}s");
+    }
+
+    #[test]
+    fn single_node_serializes_concurrent_large_requests() {
+        let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl());
+        let size = 100 * 1024 * 1024;
+        let l1 = m.request_latency(SimTime::ZERO, &k("a"), size);
+        let l2 = m.request_latency(SimTime::ZERO, &k("b"), size);
+        let l3 = m.request_latency(SimTime::ZERO, &k("c"), size);
+        assert!(l2 > l1 + l1 / 2, "head-of-line blocking expected");
+        assert!(l3 > l2);
+    }
+
+    #[test]
+    fn sharding_gives_cross_request_parallelism() {
+        let mut sharded = ElastiCacheModel::new(ElastiCacheDeployment::ten_node_xl());
+        let size = 100 * 1024 * 1024;
+        // Requests to different keys land on different nodes (mostly) and
+        // overlap; measure the worst completion.
+        let worst = (0..10)
+            .map(|i| sharded.request(SimTime::ZERO, &k(&format!("k{i}")), size))
+            .max()
+            .unwrap();
+        let mut single = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl());
+        let worst_single = (0..10)
+            .map(|i| single.request(SimTime::ZERO, &k(&format!("k{i}")), size))
+            .max()
+            .unwrap();
+        assert!(
+            worst.as_micros() * 2 < worst_single.as_micros(),
+            "sharded {worst:?} vs single {worst_single:?}"
+        );
+    }
+
+    #[test]
+    fn small_objects_are_sub_millisecond_when_idle() {
+        let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_24xl());
+        let lat = m.request_latency(SimTime::ZERO, &k("meta"), 1024);
+        assert!(lat < SimDuration::from_millis(1), "small-object latency {lat}");
+    }
+
+    #[test]
+    fn pricing_matches_paper_totals() {
+        let d = ElastiCacheDeployment::one_node_24xl();
+        assert!((d.hourly_price() * 50.0 - 518.40).abs() < 1e-9);
+        assert!((d.total_memory_gb() - 635.61).abs() < 1e-9);
+        let ten = ElastiCacheDeployment::ten_node_xl();
+        assert!((ten.total_memory_gb() - 260.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_gaps_reset_the_queue() {
+        let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl());
+        let size = 100 * 1024 * 1024;
+        m.request(SimTime::ZERO, &k("a"), size);
+        // Much later, the node is idle again: same latency as fresh.
+        let lat = m.request_latency(SimTime::from_secs(100), &k("b"), size);
+        let fresh = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl())
+            .request_latency(SimTime::ZERO, &k("b"), size);
+        assert_eq!(lat, fresh);
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's comparison systems (§5): AWS ElastiCache (Redis) and AWS S3.
+//!
+//! Both are *models*, not reimplementations of Redis/S3 — the evaluation
+//! uses them only through (a) request latency under concurrency and (b)
+//! hourly price, which is exactly what these modules provide:
+//!
+//! * [`lru`] — a byte-capacity LRU used to measure baseline hit ratios
+//!   (Table 1's ElastiCache column);
+//! * [`elasticache`] — single-threaded-per-node service with whole-object
+//!   placement across a sharded deployment (Fig 11f, 15, 16);
+//! * [`s3`] — a high-first-byte-latency, modest-stream-bandwidth object
+//!   store, both the backing store for RESETs and the slow baseline of
+//!   Fig 15/16.
+
+pub mod elasticache;
+pub mod lru;
+pub mod s3;
+
+pub use elasticache::{ElastiCacheDeployment, ElastiCacheModel};
+pub use lru::LruCache;
+pub use s3::S3Model;

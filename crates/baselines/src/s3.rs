@@ -1,0 +1,112 @@
+//! The AWS S3 latency model: backing store for RESETs and the slow
+//! baseline of Fig 15/16.
+//!
+//! S3 GETs pay a large first-byte latency (tens of milliseconds) and then
+//! stream at a modest per-connection rate; both are drawn from log-normal
+//! distributions so tails exist. Calibrated so that large-object GETs are
+//! ~100× slower than InfiniCache (Fig 15b) and small-object GETs sit in
+//! the tens of milliseconds (Fig 16's S3 bars).
+
+use ic_analytics::dist::lognormal_sample;
+use ic_common::SimDuration;
+use rand::Rng;
+
+/// The S3 model (stateless; all variability is per-request).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct S3Model {
+    /// Median time to first byte, seconds.
+    pub first_byte_median_s: f64,
+    /// Log-space sigma of the first-byte latency.
+    pub first_byte_sigma: f64,
+    /// Median single-connection streaming bandwidth, bytes/sec.
+    pub stream_median_bps: f64,
+    /// Log-space sigma of the bandwidth draw.
+    pub stream_sigma: f64,
+}
+
+impl S3Model {
+    /// Calibrated 2017-era S3-from-EC2 behaviour (the trace's era).
+    pub fn paper_era() -> Self {
+        S3Model {
+            first_byte_median_s: 0.028,
+            first_byte_sigma: 0.45,
+            stream_median_bps: 9.0e6,
+            stream_sigma: 0.35,
+        }
+    }
+
+    /// Latency of a GET of `size` bytes.
+    pub fn get_latency<R: Rng + ?Sized>(&self, rng: &mut R, size: u64) -> SimDuration {
+        let first = lognormal_sample(rng, self.first_byte_median_s.ln(), self.first_byte_sigma);
+        let bw = lognormal_sample(rng, self.stream_median_bps.ln(), self.stream_sigma);
+        SimDuration::from_secs_f64(first + size as f64 / bw)
+    }
+
+    /// Latency of a PUT of `size` bytes (slightly slower first byte).
+    pub fn put_latency<R: Rng + ?Sized>(&self, rng: &mut R, size: u64) -> SimDuration {
+        let first =
+            lognormal_sample(rng, (self.first_byte_median_s * 1.3).ln(), self.first_byte_sigma);
+        let bw = lognormal_sample(rng, (self.stream_median_bps * 0.9).ln(), self.stream_sigma);
+        SimDuration::from_secs_f64(first + size as f64 / bw)
+    }
+}
+
+impl Default for S3Model {
+    fn default() -> Self {
+        S3Model::paper_era()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn median_get(size: u64) -> f64 {
+        let m = S3Model::paper_era();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut xs: Vec<f64> =
+            (0..2001).map(|_| m.get_latency(&mut rng, size).as_secs_f64()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[1000]
+    }
+
+    #[test]
+    fn small_objects_cost_tens_of_milliseconds() {
+        let med = median_get(10 * 1024);
+        assert!((0.02..0.06).contains(&med), "10 KiB median {med}s");
+    }
+
+    #[test]
+    fn large_objects_take_tens_of_seconds() {
+        let med = median_get(100 * 1024 * 1024);
+        // 100 MiB at ~9 MB/s ≈ 11.7 s — the ~100x-slower-than-InfiniCache
+        // regime of Fig 15(b).
+        assert!((6.0..25.0).contains(&med), "100 MiB median {med}s");
+    }
+
+    #[test]
+    fn put_is_slower_than_get_on_average() {
+        let m = S3Model::paper_era();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 4000;
+        let get: f64 =
+            (0..n).map(|_| m.get_latency(&mut rng, 1 << 20).as_secs_f64()).sum::<f64>() / n as f64;
+        let put: f64 =
+            (0..n).map(|_| m.put_latency(&mut rng, 1 << 20).as_secs_f64()).sum::<f64>() / n as f64;
+        assert!(put > get, "put {put} vs get {get}");
+    }
+
+    #[test]
+    fn latency_has_a_tail() {
+        let m = S3Model::paper_era();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut xs: Vec<f64> =
+            (0..4000).map(|_| m.get_latency(&mut rng, 1 << 20).as_secs_f64()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = xs[2000];
+        let p99 = xs[3960];
+        assert!(p99 > p50 * 1.8, "p50 {p50} p99 {p99}");
+    }
+}

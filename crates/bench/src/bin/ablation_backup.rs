@@ -1,0 +1,71 @@
+//! Ablation: the delta-sync backup scheme — interval sweep vs cost and
+//! availability (DESIGN.md ablation #3). The paper's Tbak = 5 min is a
+//! cost/availability tradeoff; this quantifies both sides.
+
+use ic_bench::{banner, mins, print_table, scale, Scale};
+use ic_common::DeploymentConfig;
+use ic_simfaas::reclaim::HourlyPoisson;
+use ic_workload::{generate, WorkloadSpec, LARGE_OBJECT_BYTES};
+use infinicache::experiments::trace_replay;
+use infinicache::params::SimParams;
+
+fn main() {
+    banner("Ablation", "backup interval Tbak vs cost and availability");
+    // A compact large-object workload with aggressive churn, so backup
+    // effectiveness is visible quickly.
+    let mut spec = WorkloadSpec::dallas();
+    match scale() {
+        Scale::Full => {
+            spec.objects /= 5;
+            spec.accesses /= 5;
+            spec.rate.hourly.truncate(20);
+        }
+        Scale::Quick => {
+            spec.objects /= 20;
+            spec.accesses /= 20;
+            spec.rate.hourly.truncate(6);
+        }
+    }
+    let trace = generate(&spec, 77).filter_large(LARGE_OBJECT_BYTES);
+
+    let base = DeploymentConfig {
+        lambdas_per_proxy: if scale() == Scale::Full { 120 } else { 40 },
+        ..DeploymentConfig::paper_production()
+    };
+    let mut rows = Vec::new();
+    for (label, enabled, tbak_mins) in [
+        ("no backup", false, 5u64),
+        ("Tbak = 1 min", true, 1),
+        ("Tbak = 5 min (paper)", true, 5),
+        ("Tbak = 15 min", true, 15),
+    ] {
+        let cfg = DeploymentConfig {
+            backup_enabled: enabled,
+            backup_interval: mins(tbak_mins),
+            ..base.clone()
+        };
+        let report = trace_replay(
+            &trace,
+            cfg,
+            Box::new(HourlyPoisson::new(60.0, "churny")),
+            SimParams::paper().with_seed(9000 + tbak_mins),
+        );
+        rows.push(vec![
+            label.to_string(),
+            format!("${:.2}", report.total_cost),
+            format!("${:.2}", report.category_cost[2]),
+            format!("{:.1}%", report.availability * 100.0),
+            report.metrics.resets().to_string(),
+            format!("{:.1}%", report.hit_ratio * 100.0),
+        ]);
+    }
+    print_table(
+        "backup ablation",
+        &["config", "total cost", "backup cost", "availability", "RESETs", "hit ratio"],
+        &rows,
+    );
+    println!(
+        "\nexpected: shorter Tbak costs more but loses fewer objects; no backup is\n\
+         cheapest and least available (Fig 13d / Fig 14c's tradeoff)."
+    );
+}

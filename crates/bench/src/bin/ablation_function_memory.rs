@@ -1,0 +1,39 @@
+//! Ablation: function memory size (DESIGN.md ablation #5) — bandwidth
+//! scaling, the >=1.5 GB exclusive-host effect, and the latency plateau.
+
+use ic_bench::{banner, print_table, scale, Scale};
+use ic_common::EcConfig;
+use ic_simfaas::function::FunctionConfig;
+use infinicache::experiments::microbenchmark;
+
+fn main() {
+    banner("Ablation", "function memory: bandwidth, co-location, latency plateau");
+    let code = [EcConfig::new(10, 1).unwrap()];
+    let size = [100_000_000u64];
+    let trials = match scale() {
+        Scale::Full => 40,
+        Scale::Quick => 10,
+    };
+    let mut rows = Vec::new();
+    for mem in [128u32, 256, 512, 1024, 1536, 2048, 3008] {
+        let bench = microbenchmark(mem, &code, &size, trials, 5000 + mem as u64);
+        let bw = FunctionConfig::aws_like(mem).bandwidth_bytes_per_sec() / 1e6;
+        let exclusive = mem >= 1536;
+        rows.push(vec![
+            format!("{mem} MB"),
+            format!("{bw:.0} MB/s"),
+            if exclusive { "yes".into() } else { "no".into() },
+            format!("{:.0}", bench[0].latency_ms.p50),
+            format!("{:.0}", bench[0].latency_ms.p99),
+        ]);
+    }
+    print_table(
+        "(10+1), 100 MB objects",
+        &["memory", "per-fn bandwidth", "exclusive host", "p50 ms", "p99 ms"],
+        &rows,
+    );
+    println!(
+        "\nexpected: latency falls with memory and plateaus above ~1024 MB (§5.1);\n\
+         >=1536 MB functions own their host, eliminating co-location contention."
+    );
+}

@@ -1,0 +1,41 @@
+//! Diagnostic: event-rate profile of a quick-scale trace replay.
+
+use ic_common::{ClientId, SimDuration, SimTime};
+use ic_simfaas::reclaim::HourlyPoisson;
+use infinicache::event::Op;
+use infinicache::params::SimParams;
+use infinicache::world::SimWorld;
+use std::time::Instant;
+
+fn main() {
+    let trace = ic_bench::dallas_trace();
+    let cfg = ic_bench::production_deployment();
+    println!(
+        "trace: {} requests over {:.1} h; pool {} x {} MB",
+        trace.requests.len(),
+        trace.horizon.as_secs_f64() / 3600.0,
+        cfg.total_lambdas(),
+        cfg.lambda_memory_mb
+    );
+    let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(HourlyPoisson::new(36.0, "x")), 1);
+    for r in &trace.requests {
+        w.submit(r.at, ClientId(0), Op::Get { key: trace.key(r.object), size: r.size });
+    }
+    let t0 = Instant::now();
+    let hours = (trace.horizon.as_secs_f64() / 3600.0).ceil() as u64;
+    let mut last_events = 0;
+    for h in 1..=hours {
+        w.run_until(SimTime::from_secs(h * 3600));
+        let ev = w.events_processed();
+        println!(
+            "sim hour {h:>2}: {:>10} events (+{:>9}), wall {:?}, completed {}",
+            ev,
+            ev - last_events,
+            t0.elapsed(),
+            w.metrics.requests.len()
+        );
+        last_events = ev;
+    }
+    w.run_until(trace.horizon + SimDuration::from_mins(5));
+    println!("done: {} events, wall {:?}", w.events_processed(), t0.elapsed());
+}

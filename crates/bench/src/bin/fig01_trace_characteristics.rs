@@ -1,0 +1,111 @@
+//! Fig 1 (a–d): characteristics of the synthesized IBM Docker-registry
+//! workload, printed next to the statistics the paper reports about the
+//! real traces.
+
+use ic_analytics::summary::Cdf;
+use ic_bench::{banner, print_table, vs_paper};
+use ic_workload::{generate, stats::TraceStats, WorkloadSpec, LARGE_OBJECT_BYTES};
+
+fn cdf_series(label: &str, cdf: &Cdf, log_x: bool) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let v = cdf.quantile(q);
+        row.push(if log_x { format!("{v:.3e}") } else { format!("{v:.2}") });
+    }
+    row
+}
+
+fn main() {
+    banner("Fig 1", "object sizes, footprint, access counts, reuse intervals");
+
+    for (name, spec) in [("Dallas", WorkloadSpec::dallas()), ("London", WorkloadSpec::london())] {
+        let trace = generate(&spec, 2020);
+        let stats = TraceStats::compute(&trace);
+        let large = trace.filter_large(LARGE_OBJECT_BYTES);
+        let lstats = TraceStats::compute(&large);
+
+        println!("\n--- {name} profile ---");
+        print_table(
+            "headline statistics",
+            &["metric", "measured"],
+            &[
+                vec![
+                    "objects > 10 MB (fraction of objects)".into(),
+                    vs_paper(format!("{:.1}%", stats.large_object_fraction * 100.0), ">20%"),
+                ],
+                vec![
+                    "bytes in objects > 10 MB".into(),
+                    vs_paper(format!("{:.1}%", stats.large_byte_fraction * 100.0), ">95%"),
+                ],
+                vec![
+                    "large-object reuses within 1 h".into(),
+                    vs_paper(
+                        format!("{:.1}%", lstats.large_reuse_within_hour() * 100.0),
+                        "37-46%",
+                    ),
+                ],
+                vec![
+                    "size span (min..max)".into(),
+                    format!(
+                        "{:.0} B .. {:.2e} B (9 decades in the paper)",
+                        stats.size_cdf.quantile(0.0),
+                        stats.size_cdf.quantile(1.0)
+                    ),
+                ],
+            ],
+        );
+
+        print_table(
+            "CDF quantiles (x at cumulative fraction)",
+            &["series", "q10", "q25", "q50", "q75", "q90", "q99"],
+            &[
+                cdf_series("(a) object size [B]", &stats.size_cdf, true),
+                cdf_series("(c) access count >10MB", &stats.large_access_count_cdf, false),
+                cdf_series("(d) reuse interval >10MB [h]", &stats.large_reuse_interval_cdf, false),
+            ],
+        );
+
+        // (b) byte footprint: fraction of bytes in objects <= size.
+        let marks = [1e4, 1e6, 1e7, 1e8, 1e9];
+        let rows: Vec<Vec<String>> = marks
+            .iter()
+            .map(|&m| {
+                let frac = stats
+                    .footprint_points
+                    .iter()
+                    .take_while(|(s, _)| *s <= m)
+                    .last()
+                    .map(|(_, f)| *f)
+                    .unwrap_or(0.0);
+                vec![format!("{m:.0e} B"), format!("{:.3}", frac)]
+            })
+            .collect();
+        print_table("(b) cumulative byte fraction by object size", &["size", "fraction"], &rows);
+    }
+
+    // Fig 1(c)'s long tail needs the long-horizon characterization run.
+    let spec = WorkloadSpec::characterization();
+    let trace = generate(&spec, 7);
+    let stats = TraceStats::compute(&trace);
+    println!();
+    print_table(
+        "long-horizon characterization (Fig 1c tail)",
+        &["metric", "measured"],
+        &[
+            vec![
+                "large objects with >=10 accesses".into(),
+                vs_paper(
+                    format!("{:.1}%", stats.large_accessed_at_least(10) * 100.0),
+                    "~30%",
+                ),
+            ],
+            vec![
+                "max accesses to one large object".into(),
+                vs_paper(
+                    format!("{:.0}", stats.large_access_count_cdf.quantile(1.0)),
+                    ">10^4 (75-day trace)",
+                ),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig 4: GET latency as a function of the number of VM hosts touched per
+//! request (co-location bandwidth contention). 100 MB objects, RS(10+1),
+//! 256 MB functions, pool scaled from 20 to 200 nodes.
+
+use ic_bench::{banner, ms_cell, print_table, scale, Scale};
+use infinicache::experiments::colocation_study;
+
+fn main() {
+    banner(
+        "Fig 4",
+        "latency vs #VM hosts touched per request (256 MB functions, RS(10+1), 100 MB)",
+    );
+    let (pools, objects): (&[u32], usize) = match scale() {
+        Scale::Full => (&[20, 40, 60, 80, 120, 160, 200], 15),
+        Scale::Quick => (&[20, 120], 6),
+    };
+    let report = colocation_study(pools, objects, 44);
+
+    let rows: Vec<Vec<String>> = report
+        .by_hosts
+        .iter()
+        .map(|(hosts, s)| {
+            vec![
+                hosts.to_string(),
+                ms_cell(s),
+                format!("{:.0}", s.p99),
+                s.count.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "client-perceived latency by hosts touched",
+        &["hosts", "ms p50 [p25..p75]", "p99", "samples"],
+        &rows,
+    );
+
+    if let (Some(first), Some(last)) = (report.by_hosts.first(), report.by_hosts.last()) {
+        println!(
+            "\nspread {}→{} hosts: median latency {:.0} ms → {:.0} ms ({:.1}x better; \
+             paper shows ~700→200 ms over 2→11 hosts)",
+            first.0,
+            last.0,
+            first.1.p50,
+            last.1.p50,
+            first.1.p50 / last.1.p50
+        );
+    }
+}

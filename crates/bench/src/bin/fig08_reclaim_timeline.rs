@@ -1,0 +1,39 @@
+//! Fig 8: number of functions reclaimed over a 24-hour window under the
+//! six policy regimes of the paper's §4.1 study (400-function fleet,
+//! warm-ups every 1 minute — every 9 minutes for the Aug'19 row).
+
+use ic_bench::{banner, mins, print_table, scale, Scale};
+use ic_simfaas::reclaim::paper_presets;
+use infinicache::experiments::reclaim_study;
+
+fn main() {
+    banner("Fig 8", "functions reclaimed over 24 h per warm-up strategy");
+    let fleet = match scale() {
+        Scale::Full => 400,
+        Scale::Quick => 80,
+    };
+    let presets = paper_presets(fleet as usize);
+    let mut rows = Vec::new();
+    for (i, policy) in presets.into_iter().enumerate() {
+        let label = policy.name().to_string();
+        // The Aug'19 row used the 9-minute warm-up strategy.
+        let warm = if label.starts_with("9 min") { mins(9) } else { mins(1) };
+        let tl = reclaim_study(policy, &label, warm, fleet, 100 + i as u64);
+        let total: u64 = tl.per_hour.iter().sum();
+        let peak = *tl.per_hour.iter().max().unwrap_or(&0);
+        let series: String = tl
+            .per_hour
+            .iter()
+            .map(|c| format!("{c:>4}"))
+            .collect::<Vec<_>>()
+            .join("");
+        println!("\n{label}   total={total} peak-hour={peak}");
+        println!("  hourly: {series}");
+        rows.push(vec![label, total.to_string(), peak.to_string()]);
+    }
+    print_table("summary", &["policy", "reclaims/24h", "peak hour"], &rows);
+    println!(
+        "\npaper shape: the 9-min strategy loses ~the whole fleet in spikes every ~6 h;\n\
+         1-min strategies reduce peaks to ~20 (Sep/Oct/Nov) or spread them as ~36/h churn (Dec/Jan)."
+    );
+}

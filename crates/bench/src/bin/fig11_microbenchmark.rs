@@ -1,0 +1,76 @@
+//! Fig 11 (a–f): microbenchmark GET latency across RS codes, object sizes
+//! and function memory, with the ElastiCache comparison of subfigure (f).
+
+use ic_baselines::ElastiCacheDeployment;
+use ic_bench::{banner, ms_cell, print_table, scale, Scale};
+use ic_common::EcConfig;
+use infinicache::experiments::{elasticache_microbenchmark, microbenchmark};
+
+fn main() {
+    banner("Fig 11", "microbenchmark latency: codes x sizes x function memory");
+    let codes = [
+        EcConfig::new(10, 0).unwrap(),
+        EcConfig::new(10, 1).unwrap(),
+        EcConfig::new(10, 2).unwrap(),
+        EcConfig::new(10, 4).unwrap(),
+        EcConfig::new(4, 2).unwrap(),
+        EcConfig::new(5, 1).unwrap(),
+    ];
+    let sizes: Vec<u64> =
+        [10u64, 20, 40, 60, 80, 100].iter().map(|m| m * 1_000_000).collect();
+    let (memories, trials): (&[u32], usize) = match scale() {
+        Scale::Full => (&[128, 256, 512, 1024, 2048, 3008], 40),
+        Scale::Quick => (&[512, 3008], 10),
+    };
+
+    for &mem in memories {
+        let rows = microbenchmark(mem, &codes, &sizes, trials, 7000 + mem as u64);
+        let mut table: Vec<Vec<String>> = Vec::new();
+        for ec in &codes {
+            let mut row = vec![ec.to_string()];
+            for &size in &sizes {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.ec == *ec && r.object_size == size)
+                    .map(|r| ms_cell(&r.latency_ms))
+                    .unwrap_or_else(|| "-".into());
+                row.push(cell);
+            }
+            table.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("code".to_string())
+            .chain(sizes.iter().map(|s| format!("{} MB", s / 1_000_000)))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!("({}) {} MB functions — GET latency ms p50 [p25..p75]", mem, mem),
+            &headers_ref,
+            &table,
+        );
+    }
+
+    // Subfigure (f)'s ElastiCache series.
+    let mut table = Vec::new();
+    for (label, dep) in [
+        ("ElastiCache (1-node r5.8xl)", ElastiCacheDeployment::one_node_8xl()),
+        ("ElastiCache (10-node r5.xl)", ElastiCacheDeployment::ten_node_xl()),
+    ] {
+        let rows = elasticache_microbenchmark(dep, &sizes, 40);
+        let mut row = vec![label.to_string()];
+        for (_, s) in rows {
+            row.push(ms_cell(&s));
+        }
+        table.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("system".to_string())
+        .chain(sizes.iter().map(|s| format!("{} MB", s / 1_000_000)))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("(f) ElastiCache comparison", &headers_ref, &table);
+
+    println!(
+        "\npaper shape: (10+1) performs best; (10+0) suffers straggler tails; latency\n\
+         improves with function memory and plateaus above ~1024 MB; InfiniCache beats\n\
+         the 1-node ElastiCache on large objects and tracks the 10-node deployment."
+    );
+}

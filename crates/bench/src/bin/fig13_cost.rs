@@ -1,0 +1,67 @@
+//! Fig 13: 50-hour accumulated tenant cost for ElastiCache vs InfiniCache
+//! under three settings, plus the hourly cost breakdown by category.
+
+use ic_bench::{banner, print_table, production_study, vs_paper};
+use ic_common::pricing::CostCategory;
+
+fn main() {
+    banner("Fig 13", "total $ cost and hourly breakdown (production trace)");
+    let study = production_study();
+
+    let paper_totals = ["$20.52", "$16.51", "$5.41"];
+    let mut rows = vec![vec![
+        "ElastiCache (cache.r5.24xlarge)".to_string(),
+        vs_paper(format!("${:.2}", study.elasticache_cost), "$518.40"),
+    ]];
+    for (arm, paper) in study.arms.iter().zip(paper_totals) {
+        rows.push(vec![
+            format!("InfiniCache ({})", arm.label),
+            vs_paper(format!("${:.2}", arm.report.total_cost), paper),
+        ]);
+    }
+    print_table("(a) total cost over the horizon", &["system", "cost"], &rows);
+
+    for arm in &study.arms {
+        let total = arm.report.total_cost.max(1e-12);
+        let shares: Vec<String> = CostCategory::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!("{}: ${:.2} ({:.1}%)", c.label(), arm.report.category_cost[i],
+                        100.0 * arm.report.category_cost[i] / total)
+            })
+            .collect();
+        println!("\n{} — category breakdown: {}", arm.label, shares.join(", "));
+        // Hourly stacked series, sampled every 5 hours.
+        let rows: Vec<Vec<String>> = arm
+            .report
+            .hourly_cost
+            .iter()
+            .enumerate()
+            .step_by(5)
+            .map(|(h, cats)| {
+                vec![
+                    format!("h{h}"),
+                    format!("{:.3}", cats[0]),
+                    format!("{:.3}", cats[1]),
+                    format!("{:.3}", cats[2]),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("hourly $ breakdown ({})", arm.label),
+            &["hour", "PUT/GET", "Warm-up", "Backup"],
+            &rows,
+        );
+    }
+
+    let ic_all = study.arms[0].report.total_cost;
+    println!(
+        "\ncost-effectiveness vs ElastiCache: {:.0}x (paper: 31x all-objects, 96x without backup)",
+        study.elasticache_cost / ic_all.max(1e-9)
+    );
+    println!(
+        "paper shape: all-objects spends ~41% on serving; large-only is dominated (~88%)\n\
+         by backup+warm-up; disabling backup collapses the cost."
+    );
+}

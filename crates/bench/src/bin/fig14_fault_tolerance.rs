@@ -1,0 +1,52 @@
+//! Fig 14: timeline of fault-tolerance activities (EC recoveries, RESETs,
+//! function reclaims) during the production-trace replay, plus the §5.2
+//! headline counts.
+
+use ic_bench::{banner, print_table, production_study, vs_paper};
+use infinicache::metrics::FtKind;
+
+fn main() {
+    banner("Fig 14", "fault-tolerance activity timeline (production trace)");
+    let study = production_study();
+    let paper_resets = ["5720", "1085", "3912"];
+
+    for (arm, paper) in study.arms.iter().zip(paper_resets) {
+        let hours = study.hours;
+        let recov = arm.report.metrics.ft_hourly(FtKind::Recovery, hours);
+        let reset = arm.report.metrics.ft_hourly(FtKind::Reset, hours);
+        println!("\n--- {} ---", arm.label);
+        println!(
+            "totals: recoveries={} RESETs={} reclaims={}",
+            arm.report.metrics.recoveries(),
+            vs_paper(arm.report.metrics.resets(), paper),
+            arm.report.reclaims_per_hour.iter().sum::<u64>(),
+        );
+        println!(
+            "availability (hits/(hits+RESETs)): {}",
+            vs_paper(
+                format!("{:.1}%", arm.report.availability * 100.0),
+                if arm.label.contains("w/o") { "81.4%" } else { "95.4% (large only)" }
+            )
+        );
+        let rows: Vec<Vec<String>> = (0..hours)
+            .step_by(2)
+            .map(|h| {
+                vec![
+                    format!("h{h}"),
+                    recov[h].to_string(),
+                    reset[h].to_string(),
+                    arm.report.reclaims_per_hour[h].to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "activity per hour",
+            &["hour", "Recovery", "RESET", "Reclaims"],
+            &rows,
+        );
+    }
+    println!(
+        "\npaper shape: recoveries and RESETs cluster around the request spikes\n\
+         (hours 15-20 and 34-42); backup cuts RESETs by ~4x vs no-backup."
+    );
+}

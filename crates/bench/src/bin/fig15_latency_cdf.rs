@@ -1,0 +1,69 @@
+//! Fig 15: client-perceived GET latency CDFs — InfiniCache vs ElastiCache
+//! vs AWS S3 on the production trace, for all objects and for objects
+//! larger than 10 MB.
+
+use ic_bench::{banner, print_table, production_study, quantile_row};
+use ic_workload::LARGE_OBJECT_BYTES;
+
+fn main() {
+    banner("Fig 15", "latency CDFs: InfiniCache vs ElastiCache vs S3");
+    let study = production_study();
+
+    let ic_all = study.arms[0].report.metrics.get_latencies_ms(0);
+    let ic_large = study.arms[0].report.metrics.get_latencies_ms(LARGE_OBJECT_BYTES);
+    let ec_all: Vec<f64> = study.ec_all.1.iter().map(|r| r.latency_ms).collect();
+    let ec_large: Vec<f64> = study
+        .ec_all
+        .1
+        .iter()
+        .filter(|r| r.size > LARGE_OBJECT_BYTES)
+        .map(|r| r.latency_ms)
+        .collect();
+    let s3_all: Vec<f64> = study.s3_all.iter().map(|r| r.latency_ms).collect();
+    let s3_large: Vec<f64> = study
+        .s3_all
+        .iter()
+        .filter(|r| r.size > LARGE_OBJECT_BYTES)
+        .map(|r| r.latency_ms)
+        .collect();
+
+    print_table(
+        "(a) all objects — latency ms at quantile",
+        &["system", "p25", "p50", "p75", "p90", "p99"],
+        &[
+            quantile_row("ElastiCache", &ec_all),
+            quantile_row("InfiniCache", &ic_all),
+            quantile_row("AWS S3", &s3_all),
+        ],
+    );
+    print_table(
+        "(b) objects > 10 MB — latency ms at quantile",
+        &["system", "p25", "p50", "p75", "p90", "p99"],
+        &[
+            quantile_row("ElastiCache", &ec_large),
+            quantile_row("InfiniCache", &ic_large),
+            quantile_row("AWS S3", &s3_large),
+        ],
+    );
+
+    // The paper's headline: for ~60% of large requests InfiniCache is
+    // >=100x faster than S3.
+    let mut sorted_ic = ic_large.clone();
+    sorted_ic.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut sorted_s3 = s3_large.clone();
+    sorted_s3.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if !sorted_ic.is_empty() && !sorted_s3.is_empty() {
+        let frac_100x = (0..100)
+            .map(|i| {
+                let q = i as f64 / 100.0;
+                let ic = sorted_ic[(q * (sorted_ic.len() - 1) as f64) as usize];
+                let s3 = sorted_s3[(q * (sorted_s3.len() - 1) as f64) as usize];
+                (s3 / ic >= 100.0) as u32
+            })
+            .sum::<u32>();
+        println!(
+            "\nquantile-matched speedup vs S3 >= 100x for {frac_100x}% of large requests \
+             (paper: ~60%)"
+        );
+    }
+}

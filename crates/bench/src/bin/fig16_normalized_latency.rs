@@ -1,0 +1,81 @@
+//! Fig 16: GET latencies grouped by object size, normalized to
+//! ElastiCache's median in each bucket.
+
+use ic_analytics::Summary;
+use ic_bench::{banner, print_table, production_study};
+use infinicache::metrics::{OpKind, Outcome};
+
+const BUCKETS: [(&str, u64, u64); 4] = [
+    ("<1 MB", 0, 1_000_000),
+    ("[1,10) MB", 1_000_000, 10_000_000),
+    ("[10,100) MB", 10_000_000, 100_000_000),
+    (">=100 MB", 100_000_000, u64::MAX),
+];
+
+fn main() {
+    banner("Fig 16", "normalized latency by object-size bucket (vs ElastiCache median)");
+    let study = production_study();
+    let ic = &study.arms[0].report.metrics;
+
+    let mut rows = Vec::new();
+    for (label, lo, hi) in BUCKETS {
+        let ec: Vec<f64> = study
+            .ec_all
+            .1
+            .iter()
+            .filter(|r| r.size >= lo && r.size < hi)
+            .map(|r| r.latency_ms)
+            .collect();
+        let icl: Vec<f64> = ic
+            .requests
+            .iter()
+            .filter(|r| r.kind == OpKind::Get && r.size >= lo && r.size < hi)
+            .map(|r| r.latency().as_millis_f64())
+            .collect();
+        // Cache-vs-cache comparison: hits only (the ElastiCache column's
+        // latencies are hits by construction of its replay).
+        let ic_hits: Vec<f64> = ic
+            .requests
+            .iter()
+            .filter(|r| {
+                r.kind == OpKind::Get
+                    && matches!(r.outcome, Outcome::Hit { .. })
+                    && r.size >= lo
+                    && r.size < hi
+            })
+            .map(|r| r.latency().as_millis_f64())
+            .collect();
+        let s3: Vec<f64> = study
+            .s3_all
+            .iter()
+            .filter(|r| r.size >= lo && r.size < hi)
+            .map(|r| r.latency_ms)
+            .collect();
+        let base = Summary::from_values(&ec).p50.max(1e-9);
+        let norm = |v: &[f64]| {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.2}x", Summary::from_values(v).p50 / base)
+            }
+        };
+        rows.push(vec![
+            label.to_string(),
+            "1.00x".to_string(),
+            norm(&ic_hits),
+            norm(&icl),
+            norm(&s3),
+            format!("({:.1} ms EC median)", base),
+        ]);
+    }
+    print_table(
+        "median latency normalized to ElastiCache",
+        &["size bucket", "ElastiCache", "IC (hits)", "IC (all)", "AWS S3", "baseline"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: InfiniCache ~matches ElastiCache for 1-100 MB, beats it for\n\
+         >=100 MB (I/O parallelism), and pays a large relative penalty below 1 MB\n\
+         (invoking Lambdas costs ~13 ms; ElastiCache answers in sub-ms)."
+    );
+}

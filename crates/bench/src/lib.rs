@@ -1,0 +1,242 @@
+//! Shared plumbing for the experiment binaries: run scales, cached traces,
+//! table formatting, and the production-workload study that Fig 13/14/15/16
+//! and Table 1 all read from.
+//!
+//! Every binary honours `IC_SCALE`:
+//!
+//! * `IC_SCALE=full` (default) — the paper's parameters (50-hour trace,
+//!   full sweeps);
+//! * `IC_SCALE=quick` — scaled-down runs for smoke-testing the harness.
+
+use std::sync::OnceLock;
+
+use ic_analytics::Summary;
+use ic_baselines::ElastiCacheDeployment;
+use ic_common::{DeploymentConfig, SimDuration};
+use ic_simfaas::reclaim::{HourlyPoisson, PeriodicSpike};
+use ic_workload::{generate, Trace, WorkloadSpec, LARGE_OBJECT_BYTES};
+use infinicache::experiments::{
+    replay_elasticache, replay_s3, trace_replay, BaselineRecord, TraceReport,
+};
+use infinicache::params::SimParams;
+
+/// Run scale selected by `IC_SCALE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Paper-scale parameters.
+    Full,
+    /// Scaled-down smoke run.
+    Quick,
+}
+
+/// Reads the scale from the environment (default full).
+pub fn scale() -> Scale {
+    match std::env::var("IC_SCALE").as_deref() {
+        Ok("quick") | Ok("QUICK") => Scale::Quick,
+        _ => Scale::Full,
+    }
+}
+
+/// The Dallas trace for the current scale (cached per process).
+pub fn dallas_trace() -> &'static Trace {
+    static FULL: OnceLock<Trace> = OnceLock::new();
+    static QUICK: OnceLock<Trace> = OnceLock::new();
+    match scale() {
+        Scale::Full => FULL.get_or_init(|| generate(&WorkloadSpec::dallas(), 2020)),
+        Scale::Quick => QUICK.get_or_init(|| {
+            let mut spec = WorkloadSpec::dallas();
+            // 1/10 of the objects and accesses over a 10-hour horizon.
+            spec.objects /= 10;
+            spec.accesses /= 10;
+            spec.rate = ic_workload::model::RateProfile::dallas_50h();
+            spec.rate.hourly.truncate(10);
+            generate(&spec, 2020)
+        }),
+    }
+}
+
+/// The deployment used for the production study, scaled with the trace.
+pub fn production_deployment() -> DeploymentConfig {
+    match scale() {
+        Scale::Full => DeploymentConfig::paper_production(),
+        Scale::Quick => DeploymentConfig {
+            lambdas_per_proxy: 40,
+            ..DeploymentConfig::paper_production()
+        },
+    }
+}
+
+/// One workload setting's full replay results.
+pub struct StudyArm {
+    /// Label ("all objects", "large only", ...).
+    pub label: &'static str,
+    /// InfiniCache replay report.
+    pub report: TraceReport,
+    /// Working-set size (GB, decimal) of the workload arm.
+    pub wss_gb: f64,
+    /// Mean GETs/hour of the workload arm.
+    pub hourly_rate: f64,
+}
+
+/// The production study: IC under three settings plus the baselines.
+pub struct ProductionStudy {
+    /// `all objects`, `large only`, `large only w/o backup`.
+    pub arms: Vec<StudyArm>,
+    /// ElastiCache hit ratio and per-request records on the all-objects
+    /// trace.
+    pub ec_all: (f64, Vec<BaselineRecord>),
+    /// ElastiCache on the large-only trace.
+    pub ec_large: (f64, Vec<BaselineRecord>),
+    /// Raw S3 on the all-objects trace.
+    pub s3_all: Vec<BaselineRecord>,
+    /// Horizon hours of the replay.
+    pub hours: usize,
+    /// ElastiCache total cost over the horizon (one cache.r5.24xlarge).
+    pub elasticache_cost: f64,
+}
+
+/// Runs (and caches) the full production study.
+pub fn production_study() -> &'static ProductionStudy {
+    static STUDY: OnceLock<ProductionStudy> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let trace = dallas_trace();
+        let large = trace.filter_large(LARGE_OBJECT_BYTES);
+        let hours = (trace.horizon.as_secs_f64() / 3600.0).round() as usize;
+        let cfg = production_deployment();
+        // The paper's 50-hour run saw both continuous churn and mass
+        // reclaim spikes (Fig 14's reclaim line peaks in the hundreds per
+        // hour). Model both: Poisson background churn (Dec'19 regime,
+        // scaled per fleet) plus ~6-hourly spikes sweeping most of the instance population
+        // (the reclaim line of Fig 14 peaks above the fleet size).
+        let fleet = cfg.total_lambdas() as usize;
+        let base_per_hour = 36.0 * fleet as f64 / 400.0;
+        let policy = move || -> Box<dyn ic_simfaas::ReclaimPolicy> {
+            let mut spike = PeriodicSpike::new(fleet, 360, 0.85, "prod churn+spikes");
+            spike.base_per_hour = base_per_hour;
+            Box::new(spike)
+        };
+        let _ = HourlyPoisson::new(1.0, "unused"); // keep the import honest
+
+        let arm = |label: &'static str, t: &Trace, cfg: DeploymentConfig, seed: u64| {
+            let stats = ic_workload::stats::TraceStats::compute(t);
+            StudyArm {
+                label,
+                report: trace_replay(t, cfg, policy(), SimParams::paper().with_seed(seed)),
+                wss_gb: stats.working_set_bytes as f64 / 1e9,
+                hourly_rate: stats.hourly_rate,
+            }
+        };
+
+        let no_backup = DeploymentConfig { backup_enabled: false, ..cfg.clone() };
+        let arms = vec![
+            arm("all objects", trace, cfg.clone(), 11),
+            arm("large only", &large, cfg.clone(), 12),
+            arm("large only w/o backup", &large, no_backup, 13),
+        ];
+        ProductionStudy {
+            ec_all: replay_elasticache(trace, ElastiCacheDeployment::one_node_24xl(), 21),
+            ec_large: replay_elasticache(&large, ElastiCacheDeployment::one_node_24xl(), 22),
+            s3_all: replay_s3(trace, 23),
+            hours,
+            elasticache_cost: ElastiCacheDeployment::one_node_24xl().hourly_price()
+                * hours as f64,
+            arms,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Formatting helpers
+// ---------------------------------------------------------------------
+
+/// Prints an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// `value (paper: x)` formatting.
+pub fn vs_paper(value: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
+    format!("{value} (paper: {paper})")
+}
+
+/// Millisecond summary cell: `p50 [p25..p75]`.
+pub fn ms_cell(s: &Summary) -> String {
+    if s.count == 0 {
+        return "-".into();
+    }
+    format!("{:.0} [{:.0}..{:.0}]", s.p50, s.p25, s.p75)
+}
+
+/// A compact quantile row from latency samples (milliseconds).
+pub fn quantile_row(label: &str, ms: &[f64]) -> Vec<String> {
+    if ms.is_empty() {
+        return vec![label.into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()];
+    }
+    let s = Summary::from_values(ms);
+    vec![
+        label.into(),
+        format!("{:.1}", s.p25),
+        format!("{:.1}", s.p50),
+        format!("{:.1}", s.p75),
+        format!("{:.1}", s.p90),
+        format!("{:.1}", s.p99),
+    ]
+}
+
+/// Standard "what figure is this" banner.
+pub fn banner(fig: &str, what: &str) {
+    println!("############################################################");
+    println!("# {fig}: {what}");
+    println!("# scale: {:?}", scale());
+    println!("############################################################");
+}
+
+/// Minutes → SimDuration helper for ablations.
+pub fn mins(m: u64) -> SimDuration {
+    SimDuration::from_mins(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_full() {
+        // (Does not set the env var; other tests may run in parallel.)
+        assert!(matches!(scale(), Scale::Full | Scale::Quick));
+    }
+
+    #[test]
+    fn table_printer_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "extra".into()]],
+        );
+    }
+
+    #[test]
+    fn quantile_row_handles_empty() {
+        let r = quantile_row("x", &[]);
+        assert_eq!(r[1], "-");
+    }
+}

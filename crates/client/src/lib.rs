@@ -1,0 +1,765 @@
+//! The InfiniCache client library (§3.1, Fig 3).
+//!
+//! The client library exposes GET/PUT to the application and owns three
+//! jobs the paper assigns to it:
+//!
+//! 1. **Erasure coding** — objects are split into `d` data chunks plus `p`
+//!    parity chunks on PUT and decoded from the first `d` arrivals on GET
+//!    (the computation-heavy EC work was deliberately moved out of the
+//!    proxy and into the client);
+//! 2. **Proxy selection** — a consistent-hash ring spreads objects over
+//!    the deployed proxies;
+//! 3. **Chunk placement** — a random non-repetitive vector of node ids
+//!    (`IDλ`) inside the chosen proxy's pool.
+//!
+//! On a GET the library also performs *read repair*: if at most `p` chunks
+//! were lost to function reclaims, the object decodes anyway and the lost
+//! chunks are re-encoded and re-inserted (the paper's "Recovery" events in
+//! Fig 14); with more than `p` losses it reports the object unrecoverable
+//! and the application falls back to the backing store (a "RESET").
+//!
+//! Like the other protocol crates this is a pure state machine; see
+//! [`ClientLib`].
+
+use std::collections::HashMap;
+
+use ic_common::msg::Msg;
+use ic_common::ring::Ring;
+use ic_common::{ChunkId, ClientId, EcConfig, LambdaId, ObjectKey, Payload, ProxyId};
+use ic_ec::{join_object, split_object, ReedSolomon};
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// What a finished GET looked like.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GetReport {
+    /// Whether decoding needed a parity chunk (a data chunk was slow or
+    /// lost), i.e. real EC decode work happened.
+    pub used_parity: bool,
+    /// Number of chunks reported lost (0 on a clean hit).
+    pub lost_chunks: usize,
+    /// Bytes that went through the decoder (`d × chunk_len`).
+    pub decoded_bytes: u64,
+}
+
+/// Actions the embedding transport executes for the client library.
+#[derive(Clone, Debug)]
+pub enum ClientAction {
+    /// Send a control message to a proxy.
+    ToProxy {
+        /// Destination proxy.
+        proxy: ProxyId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Stream bulk data (an encoded chunk) to a proxy.
+    DataToProxy {
+        /// Destination proxy.
+        proxy: ProxyId,
+        /// The `PutChunk` message.
+        msg: Msg,
+    },
+    /// A GET finished: hand the object to the application.
+    Deliver {
+        /// Object key.
+        key: ObjectKey,
+        /// The reassembled object.
+        object: Payload,
+        /// Decode/repair diagnostics (drives the Fig 14 counters).
+        report: GetReport,
+    },
+    /// A GET failed: more than `p` chunks are gone; the application must
+    /// RESET from the backing store.
+    Unrecoverable {
+        /// Object key.
+        key: ObjectKey,
+        /// Chunks that did arrive.
+        available: usize,
+        /// Data chunks needed.
+        needed: usize,
+    },
+    /// The proxy does not know the object at all (cold miss).
+    Miss {
+        /// Object key.
+        key: ObjectKey,
+    },
+    /// A PUT was fully acknowledged.
+    PutComplete {
+        /// Object key.
+        key: ObjectKey,
+    },
+}
+
+/// Client-side counters for the experiment harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// GETs issued.
+    pub gets: u64,
+    /// PUTs issued.
+    pub puts: u64,
+    /// GETs delivered from cache.
+    pub hits: u64,
+    /// Cold misses (proxy had no metadata).
+    pub misses: u64,
+    /// GETs that decoded around ≤ p lost chunks (EC recoveries, Fig 14).
+    pub recoveries: u64,
+    /// Chunks re-inserted by read repair.
+    pub repaired_chunks: u64,
+    /// GETs lost to > p chunk losses (RESETs, Fig 14).
+    pub unrecoverable: u64,
+    /// Deliveries that needed parity decoding.
+    pub parity_decodes: u64,
+}
+
+#[derive(Debug)]
+struct GetState {
+    proxy: ProxyId,
+    object_size: u64,
+    total: u32,
+    arrivals: Vec<Option<Payload>>,
+    missing: Vec<bool>,
+    arrived: usize,
+    lost: usize,
+    /// Delivered to the application (first-*d* reached); the state stays
+    /// open until every chunk is accounted for, so that a miss report
+    /// racing the delivery still triggers read repair.
+    done: bool,
+    /// The reassembled object, kept after delivery for late repairs.
+    object: Option<Payload>,
+}
+
+#[derive(Debug)]
+struct PutState {
+    /// Kept so a PUT retry path could re-encode; also documents ownership
+    /// of in-flight object bytes.
+    #[allow(dead_code)]
+    object: Payload,
+}
+
+/// The client library state machine.
+#[derive(Debug)]
+pub struct ClientLib {
+    /// This client's identity.
+    pub id: ClientId,
+    ec: EcConfig,
+    rs: ReedSolomon,
+    ring: Ring<ProxyId>,
+    pools: HashMap<ProxyId, Vec<LambdaId>>,
+    rng: SmallRng,
+    gets: HashMap<ObjectKey, GetState>,
+    puts: HashMap<ObjectKey, PutState>,
+    /// Last-known chunk placement per object (kept so read repair never
+    /// re-places a chunk onto a node that already holds a sibling chunk —
+    /// the paper's non-repetitive `IDλ` vector must stay non-repetitive
+    /// across repairs too).
+    placements: HashMap<ObjectKey, Vec<LambdaId>>,
+    /// Counters.
+    pub stats: ClientStats,
+}
+
+impl ClientLib {
+    /// Creates a client over the deployment's proxies.
+    ///
+    /// `pools` lists every proxy and the node ids of its Lambda pool (the
+    /// client needs them to generate placement vectors).
+    pub fn new(
+        id: ClientId,
+        ec: EcConfig,
+        pools: Vec<(ProxyId, Vec<LambdaId>)>,
+        ring_vnodes: u32,
+        seed: u64,
+    ) -> Self {
+        let mut ring = Ring::new(ring_vnodes);
+        let mut pool_map = HashMap::new();
+        for (proxy, pool) in pools {
+            ring.insert(&format!("proxy-{}", proxy.0), proxy);
+            pool_map.insert(proxy, pool);
+        }
+        ClientLib {
+            id,
+            ec,
+            rs: ReedSolomon::from_config(ec),
+            ring,
+            pools: pool_map,
+            rng: SmallRng::seed_from_u64(seed ^ 0xc11e_47),
+            gets: HashMap::new(),
+            puts: HashMap::new(),
+            placements: HashMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The erasure-coding configuration in use.
+    pub fn ec(&self) -> EcConfig {
+        self.ec
+    }
+
+    /// The proxy a key routes to (consistent hashing).
+    pub fn route(&self, key: &ObjectKey) -> ProxyId {
+        *self.ring.route(key.as_str()).expect("deployment has at least one proxy")
+    }
+
+    /// Issues a PUT of `object` under `key`.
+    ///
+    /// With a real-bytes payload the object is split and Reed–Solomon
+    /// encoded; with a synthetic payload only the sizes flow (trace-scale
+    /// simulation). Chunks carry their destination node ids, drawn as a
+    /// random non-repetitive vector over the proxy's pool.
+    pub fn put(&mut self, key: ObjectKey, object: Payload) -> Vec<ClientAction> {
+        self.stats.puts += 1;
+        let proxy = self.route(&key);
+        let object_size = object.len();
+        let chunk_len = self.ec.chunk_len(object_size);
+        let n = self.ec.shards();
+
+        let shard_payloads: Vec<Payload> = match &object {
+            Payload::Bytes(bytes) => {
+                let mut shards = split_object(self.ec, bytes).expect("non-empty object");
+                self.rs.encode(&mut shards).expect("stripe is well-formed");
+                shards.into_iter().map(Payload::from).collect()
+            }
+            Payload::Synthetic { .. } => {
+                (0..n).map(|_| Payload::synthetic(chunk_len)).collect()
+            }
+        };
+
+        let placement = self.placement(proxy, n);
+        self.placements.insert(key.clone(), placement.clone());
+        self.puts.insert(key.clone(), PutState { object });
+        shard_payloads
+            .into_iter()
+            .enumerate()
+            .map(|(seq, payload)| ClientAction::DataToProxy {
+                proxy,
+                msg: Msg::PutChunk {
+                    id: ChunkId::new(key.clone(), seq as u32),
+                    lambda: placement[seq],
+                    payload,
+                    object_size,
+                    total_chunks: n as u32,
+                    repair: false,
+                },
+            })
+            .collect()
+    }
+
+    /// Issues a GET for `key`.
+    pub fn get(&mut self, key: ObjectKey) -> Vec<ClientAction> {
+        self.stats.gets += 1;
+        let proxy = self.route(&key);
+        self.gets.insert(
+            key.clone(),
+            GetState {
+                proxy,
+                object_size: 0,
+                total: 0,
+                arrivals: Vec::new(),
+                missing: Vec::new(),
+                arrived: 0,
+                lost: 0,
+                done: false,
+                object: None,
+            },
+        );
+        vec![ClientAction::ToProxy { proxy, msg: Msg::GetObject { key } }]
+    }
+
+    /// Handles a message from a proxy.
+    pub fn on_proxy(&mut self, msg: Msg) -> Vec<ClientAction> {
+        match msg {
+            Msg::GetAccepted { key, object_size, chunks } => {
+                let Some(st) = self.gets.get_mut(&key) else { return Vec::new() };
+                st.object_size = object_size;
+                st.total = chunks.len() as u32;
+                st.arrivals = vec![None; chunks.len()];
+                st.missing = vec![false; chunks.len()];
+                Vec::new()
+            }
+            Msg::GetMiss { key } => {
+                self.gets.remove(&key);
+                self.stats.misses += 1;
+                vec![ClientAction::Miss { key }]
+            }
+            Msg::ChunkToClient { id, payload } => self.on_chunk(id, Some(payload)),
+            Msg::ChunkMiss { id } => self.on_chunk(id, None),
+            Msg::PutDone { key } => {
+                self.puts.remove(&key);
+                vec![ClientAction::PutComplete { key }]
+            }
+            other => {
+                debug_assert!(false, "unexpected proxy message {}", other.kind());
+                Vec::new()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn placement(&mut self, proxy: ProxyId, n: usize) -> Vec<LambdaId> {
+        let pool = &self.pools[&proxy];
+        assert!(pool.len() >= n, "pool smaller than the EC stripe");
+        sample(&mut self.rng, pool.len(), n).into_iter().map(|i| pool[i]).collect()
+    }
+
+    /// Repair placement: distinct nodes that also avoid every node still
+    /// believed to hold a chunk of the object.
+    fn placement_excluding(
+        &mut self,
+        proxy: ProxyId,
+        n: usize,
+        exclude: &[LambdaId],
+    ) -> Vec<LambdaId> {
+        let pool: Vec<LambdaId> = self.pools[&proxy]
+            .iter()
+            .copied()
+            .filter(|l| !exclude.contains(l))
+            .collect();
+        if pool.len() < n {
+            // Degenerate tiny pool: fall back to plain distinct sampling.
+            return self.placement(proxy, n);
+        }
+        sample(&mut self.rng, pool.len(), n).into_iter().map(|i| pool[i]).collect()
+    }
+
+    fn on_chunk(&mut self, id: ChunkId, payload: Option<Payload>) -> Vec<ClientAction> {
+        let key = id.key.clone();
+        let Some(st) = self.gets.get_mut(&key) else {
+            return Vec::new(); // fully accounted GET: ignored
+        };
+        if st.arrivals.is_empty() {
+            return Vec::new();
+        }
+        let seq = id.seq as usize;
+        if seq >= st.arrivals.len() {
+            return Vec::new();
+        }
+        match payload {
+            Some(p) => {
+                if st.arrivals[seq].is_none() && !st.missing[seq] {
+                    st.arrivals[seq] = Some(p);
+                    st.arrived += 1;
+                }
+            }
+            None => {
+                if !st.missing[seq] && st.arrivals[seq].is_none() {
+                    st.missing[seq] = true;
+                    st.lost += 1;
+                }
+            }
+        }
+
+        let d = self.ec.data;
+        let n = st.total as usize;
+        if st.done {
+            // Post-delivery accounting: once every chunk is either here or
+            // reported lost, repair the losses (a miss racing the first-d
+            // delivery must not silently erode redundancy).
+            if st.arrived + st.lost >= n {
+                return self.finish_accounting(&key);
+            }
+            return Vec::new();
+        }
+        if st.arrived >= d {
+            return self.complete_get(&key);
+        }
+        if st.lost > n - d {
+            // Fewer than d chunks can ever arrive.
+            let available = st.arrived;
+            self.gets.remove(&key);
+            self.stats.unrecoverable += 1;
+            return vec![ClientAction::Unrecoverable { key, available, needed: d }];
+        }
+        Vec::new()
+    }
+
+    /// First-*d* arrivals are in: decode, deliver, and repair losses. The
+    /// state stays registered until all chunks are accounted for.
+    fn complete_get(&mut self, key: &ObjectKey) -> Vec<ClientAction> {
+        let mut st = self.gets.remove(key).expect("caller checked");
+        st.done = true;
+        let d = self.ec.data;
+        let n = st.total as usize;
+        let chunk_len = self.ec.chunk_len(st.object_size);
+
+        let data_arrived = st.arrivals.iter().take(d).filter(|a| a.is_some()).count();
+        let used_parity = data_arrived < d;
+        let real_bytes = st
+            .arrivals
+            .iter()
+            .flatten()
+            .next()
+            .is_some_and(|p| !p.is_synthetic());
+
+        // Reassemble the object.
+        let object = if real_bytes {
+            let mut shards: Vec<Option<Vec<u8>>> = st
+                .arrivals
+                .iter()
+                .map(|a| a.as_ref().and_then(|p| p.as_bytes()).map(|b| b.to_vec()))
+                .collect();
+            shards.resize(n, None);
+            self.rs
+                .reconstruct_data(&mut shards)
+                .expect("first-d arrivals guarantee decodability");
+            let data: Vec<Vec<u8>> = shards
+                .into_iter()
+                .take(d)
+                .map(|s| s.expect("data reconstructed"))
+                .collect();
+            Payload::Bytes(
+                join_object(self.ec, &data, st.object_size).expect("shards cover object"),
+            )
+        } else {
+            Payload::synthetic(st.object_size)
+        };
+
+        // Read repair: re-insert chunks reported lost (≤ p of them, or we
+        // would not be here).
+        let mut actions = Vec::new();
+        if st.lost > 0 {
+            self.stats.recoveries += 1;
+        }
+        {
+            let st = &st;
+            let proxy = st.proxy;
+            let lost_seqs: Vec<u32> = (0..n)
+                .filter(|&i| st.missing[i])
+                .map(|i| i as u32)
+                .collect();
+            // Avoid nodes that (as far as we know) still hold sibling
+            // chunks, so one future reclaim cannot take out two chunks.
+            let known = self.placements.get(key).cloned().unwrap_or_default();
+            let survivors: Vec<LambdaId> = known
+                .iter()
+                .enumerate()
+                .filter(|(seq, _)| !st.missing.get(*seq).copied().unwrap_or(false))
+                .map(|(_, &l)| l)
+                .collect();
+            let placement = self.placement_excluding(proxy, lost_seqs.len(), &survivors);
+            if let Some(vec) = self.placements.get_mut(key) {
+                for (slot, seq) in lost_seqs.iter().enumerate() {
+                    if let Some(entry) = vec.get_mut(*seq as usize) {
+                        *entry = placement[slot];
+                    }
+                }
+            }
+            for (slot, seq) in lost_seqs.iter().enumerate() {
+                self.stats.repaired_chunks += 1;
+                let repaired_payload = if real_bytes {
+                    // Re-encode the lost shard from the object bytes.
+                    self.reencode_shard(&object, *seq, st.object_size)
+                } else {
+                    Payload::synthetic(chunk_len)
+                };
+                actions.push(ClientAction::DataToProxy {
+                    proxy,
+                    msg: Msg::PutChunk {
+                        id: ChunkId::new(key.clone(), *seq),
+                        lambda: placement[slot],
+                        payload: repaired_payload,
+                        object_size: st.object_size,
+                        total_chunks: n as u32,
+                        repair: true,
+                    },
+                });
+            }
+        }
+
+        self.stats.hits += 1;
+        if used_parity {
+            self.stats.parity_decodes += 1;
+        }
+        actions.push(ClientAction::Deliver {
+            key: key.clone(),
+            object: object.clone(),
+            report: GetReport {
+                used_parity,
+                lost_chunks: st.lost,
+                decoded_bytes: chunk_len * d as u64,
+            },
+        });
+        // Re-register the state for post-delivery accounting unless every
+        // chunk is already accounted for.
+        st.object = Some(object);
+        if st.arrived + st.lost < n {
+            self.gets.insert(key.clone(), st);
+        }
+        actions
+    }
+
+    /// Every chunk of a delivered GET is now accounted for: repair any
+    /// losses discovered after delivery.
+    fn finish_accounting(&mut self, key: &ObjectKey) -> Vec<ClientAction> {
+        let st = self.gets.remove(key).expect("caller checked");
+        let n = st.total as usize;
+        let chunk_len = self.ec.chunk_len(st.object_size);
+        let lost_seqs: Vec<u32> = (0..n)
+            .filter(|&i| st.missing[i] && st.arrivals[i].is_none())
+            .map(|i| i as u32)
+            .collect();
+        if lost_seqs.is_empty() {
+            return Vec::new();
+        }
+        let object = st.object.clone().unwrap_or(Payload::Synthetic { len: st.object_size });
+        let real_bytes = !object.is_synthetic();
+        let proxy = st.proxy;
+        let known = self.placements.get(key).cloned().unwrap_or_default();
+        let survivors: Vec<LambdaId> = known
+            .iter()
+            .enumerate()
+            .filter(|(seq, _)| !st.missing.get(*seq).copied().unwrap_or(false))
+            .map(|(_, &l)| l)
+            .collect();
+        let placement = self.placement_excluding(proxy, lost_seqs.len(), &survivors);
+        if let Some(vec) = self.placements.get_mut(key) {
+            for (slot, seq) in lost_seqs.iter().enumerate() {
+                if let Some(entry) = vec.get_mut(*seq as usize) {
+                    *entry = placement[slot];
+                }
+            }
+        }
+        let mut actions = Vec::new();
+        for (slot, seq) in lost_seqs.iter().enumerate() {
+            self.stats.repaired_chunks += 1;
+            let payload = if real_bytes {
+                self.reencode_shard(&object, *seq, st.object_size)
+            } else {
+                Payload::synthetic(chunk_len)
+            };
+            actions.push(ClientAction::DataToProxy {
+                proxy,
+                msg: Msg::PutChunk {
+                    id: ChunkId::new(key.clone(), *seq),
+                    lambda: placement[slot],
+                    payload,
+                    object_size: st.object_size,
+                    total_chunks: n as u32,
+                    repair: true,
+                },
+            });
+        }
+        actions
+    }
+
+    fn reencode_shard(&self, object: &Payload, seq: u32, object_size: u64) -> Payload {
+        let Payload::Bytes(bytes) = object else {
+            return Payload::synthetic(self.ec.chunk_len(object_size));
+        };
+        let mut shards = split_object(self.ec, bytes).expect("non-empty");
+        self.rs.encode(&mut shards).expect("well-formed stripe");
+        Payload::from(shards.swap_remove(seq as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(proxies: u16, pool: u32, ec: EcConfig) -> ClientLib {
+        let pools: Vec<(ProxyId, Vec<LambdaId>)> = (0..proxies)
+            .map(|p| {
+                let base = p as u32 * pool;
+                (ProxyId(p), (base..base + pool).map(LambdaId).collect())
+            })
+            .collect();
+        ClientLib::new(ClientId(0), ec, pools, 64, 42)
+    }
+
+    fn sample_bytes(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 37 + 11) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn put_emits_one_chunk_per_shard_with_distinct_placement() {
+        let mut c = client(1, 20, EcConfig::new(10, 2).unwrap());
+        let acts = c.put(ObjectKey::new("obj"), Payload::bytes(sample_bytes(1000)));
+        assert_eq!(acts.len(), 12);
+        let mut lambdas = Vec::new();
+        for a in &acts {
+            let ClientAction::DataToProxy { msg: Msg::PutChunk { lambda, payload, .. }, .. } = a
+            else {
+                panic!("expected PutChunk, got {a:?}");
+            };
+            lambdas.push(*lambda);
+            assert_eq!(payload.len(), 100);
+        }
+        lambdas.sort();
+        lambdas.dedup();
+        assert_eq!(lambdas.len(), 12, "placement vector must be non-repetitive");
+    }
+
+    #[test]
+    fn get_roundtrip_decodes_real_bytes() {
+        let ec = EcConfig::new(4, 2).unwrap();
+        let mut c = client(1, 10, ec);
+        let data = sample_bytes(999);
+        let put_acts = c.put(ObjectKey::new("k"), Payload::bytes(data.clone()));
+
+        // Extract the encoded shards the client produced.
+        let mut shards: Vec<(ChunkId, Payload)> = put_acts
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::DataToProxy { msg: Msg::PutChunk { id, payload, .. }, .. } => {
+                    Some((id.clone(), payload.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        shards.sort_by_key(|(id, _)| id.seq);
+
+        // Simulate a GET: accepted, then first-4 chunks arrive (one parity).
+        c.get(ObjectKey::new("k"));
+        let chunk_ids: Vec<ChunkId> = shards.iter().map(|(id, _)| id.clone()).collect();
+        c.on_proxy(Msg::GetAccepted {
+            key: ObjectKey::new("k"),
+            object_size: 999,
+            chunks: chunk_ids,
+        });
+        // Deliver shards 0,2,3 and parity shard 4 (shard 1 is "slow").
+        let mut delivered = Vec::new();
+        for &i in &[0usize, 2, 3, 4] {
+            let (id, p) = shards[i].clone();
+            delivered = c.on_proxy(Msg::ChunkToClient { id, payload: p });
+        }
+        let ClientAction::Deliver { object, report, .. } = &delivered[0] else {
+            panic!("expected delivery, got {delivered:?}");
+        };
+        assert!(report.used_parity);
+        assert_eq!(report.lost_chunks, 0);
+        assert_eq!(object.as_bytes().unwrap().as_ref(), &data[..]);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.parity_decodes, 1);
+    }
+
+    #[test]
+    fn first_d_data_arrivals_skip_decoding() {
+        let ec = EcConfig::new(4, 1).unwrap();
+        let mut c = client(1, 10, ec);
+        let data = sample_bytes(400);
+        let put_acts = c.put(ObjectKey::new("k"), Payload::bytes(data.clone()));
+        let shards: Vec<(ChunkId, Payload)> = put_acts
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::DataToProxy { msg: Msg::PutChunk { id, payload, .. }, .. } => {
+                    Some((id.clone(), payload.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        c.get(ObjectKey::new("k"));
+        c.on_proxy(Msg::GetAccepted {
+            key: ObjectKey::new("k"),
+            object_size: 400,
+            chunks: shards.iter().map(|(id, _)| id.clone()).collect(),
+        });
+        let mut out = Vec::new();
+        for i in 0..4 {
+            let (id, p) = shards[i].clone();
+            out = c.on_proxy(Msg::ChunkToClient { id, payload: p });
+        }
+        let ClientAction::Deliver { report, object, .. } = &out[0] else {
+            panic!("expected delivery");
+        };
+        assert!(!report.used_parity);
+        assert_eq!(object.as_bytes().unwrap().as_ref(), &data[..]);
+    }
+
+    #[test]
+    fn lost_chunks_within_tolerance_trigger_repair() {
+        let ec = EcConfig::new(4, 2).unwrap();
+        let mut c = client(1, 10, ec);
+        let key = ObjectKey::new("k");
+        c.get(key.clone());
+        let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
+        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 4000, chunks: chunks.clone() });
+        // Two misses, then four synthetic arrivals.
+        c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() });
+        c.on_proxy(Msg::ChunkMiss { id: chunks[1].clone() });
+        let mut out = Vec::new();
+        for i in 2..6 {
+            out = c.on_proxy(Msg::ChunkToClient {
+                id: chunks[i].clone(),
+                payload: Payload::synthetic(1000),
+            });
+        }
+        // Two repair PUTs + the delivery.
+        let repairs = out
+            .iter()
+            .filter(|a| matches!(a, ClientAction::DataToProxy { msg: Msg::PutChunk { repair: true, .. }, .. }))
+            .count();
+        assert_eq!(repairs, 2);
+        assert!(matches!(out.last(), Some(ClientAction::Deliver { report, .. }) if report.lost_chunks == 2));
+        assert_eq!(c.stats.recoveries, 1);
+        assert_eq!(c.stats.repaired_chunks, 2);
+    }
+
+    #[test]
+    fn too_many_losses_are_unrecoverable() {
+        let ec = EcConfig::new(4, 1).unwrap();
+        let mut c = client(1, 10, ec);
+        let key = ObjectKey::new("k");
+        c.get(key.clone());
+        let chunks: Vec<ChunkId> = (0..5).map(|s| ChunkId::new(key.clone(), s)).collect();
+        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 100, chunks: chunks.clone() });
+        c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() });
+        let out = c.on_proxy(Msg::ChunkMiss { id: chunks[1].clone() });
+        assert!(matches!(
+            &out[0],
+            ClientAction::Unrecoverable { needed: 4, available: 0, .. }
+        ));
+        assert_eq!(c.stats.unrecoverable, 1);
+        // Late chunks for the failed GET are ignored.
+        assert!(c
+            .on_proxy(Msg::ChunkToClient { id: chunks[2].clone(), payload: Payload::synthetic(25) })
+            .is_empty());
+    }
+
+    #[test]
+    fn cold_miss_reports_miss() {
+        let mut c = client(2, 15, EcConfig::default());
+        let key = ObjectKey::new("nope");
+        c.get(key.clone());
+        let out = c.on_proxy(Msg::GetMiss { key: key.clone() });
+        assert!(matches!(&out[0], ClientAction::Miss { .. }));
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let c = client(4, 15, EcConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let k = ObjectKey::new(format!("key-{i}"));
+            let p1 = c.route(&k);
+            let p2 = c.route(&k);
+            assert_eq!(p1, p2);
+            seen.insert(p1);
+        }
+        assert_eq!(seen.len(), 4, "all proxies should receive some keys");
+    }
+
+    #[test]
+    fn put_done_completes_put() {
+        let mut c = client(1, 15, EcConfig::default());
+        let key = ObjectKey::new("k");
+        c.put(key.clone(), Payload::synthetic(1_000_000));
+        let out = c.on_proxy(Msg::PutDone { key: key.clone() });
+        assert!(matches!(&out[0], ClientAction::PutComplete { .. }));
+    }
+
+    #[test]
+    fn synthetic_mode_keeps_sizes_consistent() {
+        let ec = EcConfig::new(10, 2).unwrap();
+        let mut c = client(1, 20, ec);
+        let acts = c.put(ObjectKey::new("big"), Payload::synthetic(100 * 1024 * 1024));
+        for a in &acts {
+            if let ClientAction::DataToProxy { msg: Msg::PutChunk { payload, .. }, .. } = a {
+                assert_eq!(payload.len(), ec.chunk_len(100 * 1024 * 1024));
+                assert!(payload.is_synthetic());
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Stable, dependency-free hashing.
+//!
+//! `std::collections::HashMap`'s default hasher is randomized per process,
+//! which would make simulation runs non-reproducible wherever hashes feed
+//! placement decisions. Everything that influences placement (the consistent
+//! hash ring, chunk spreading) therefore uses the deterministic functions
+//! here: 64-bit FNV-1a followed by a SplitMix64 finalizer for avalanche.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte slice with FNV-1a (64-bit).
+///
+/// # Example
+///
+/// ```
+/// use ic_common::hash::fnv1a;
+/// assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a fast, well-mixed bijection on `u64`.
+///
+/// Used to derive independent-looking streams from a hash plus a counter
+/// (e.g. the virtual nodes of one proxy on the consistent-hash ring).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a string key to a well-mixed 64-bit value (FNV-1a + SplitMix64).
+pub fn hash_str(s: &str) -> u64 {
+    splitmix64(fnv1a(s.as_bytes()))
+}
+
+/// Hashes a `(key, index)` pair, used for virtual ring nodes and for
+/// deriving per-chunk randomness from an object key.
+pub fn hash_with_index(s: &str, index: u64) -> u64 {
+    splitmix64(fnv1a(s.as_bytes()) ^ splitmix64(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        let mut outs = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(outs.insert(splitmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn hash_str_spreads_sequential_keys() {
+        // Sequential keys must not land in the same 1/16 of the space too
+        // often — a crude avalanche check.
+        let mut buckets = [0u32; 16];
+        for i in 0..16_000 {
+            let h = hash_str(&format!("key-{i}"));
+            buckets[(h >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "skewed bucket: {b}");
+        }
+    }
+
+    #[test]
+    fn hash_with_index_differs_by_index() {
+        let a = hash_with_index("obj", 0);
+        let b = hash_with_index("obj", 1);
+        assert_ne!(a, b);
+        assert_eq!(a, hash_with_index("obj", 0));
+    }
+}

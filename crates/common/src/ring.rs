@@ -1,0 +1,163 @@
+//! Consistent-hash ring used by the client library to pick a proxy (§3.1,
+//! Fig 3: "CH ring").
+//!
+//! Classic Karger-style ring with virtual nodes: each member is hashed at
+//! `vnodes` positions on a 64-bit circle; a key routes to the first member
+//! clockwise of its hash. Deterministic across runs (see [`crate::hash`]).
+
+use std::collections::BTreeMap;
+
+use crate::hash::{hash_str, hash_with_index};
+
+/// A consistent-hash ring over members of type `N`.
+///
+/// # Example
+///
+/// ```
+/// use ic_common::ring::Ring;
+/// let mut ring: Ring<u16> = Ring::new(64);
+/// ring.insert("proxy-0", 0);
+/// ring.insert("proxy-1", 1);
+/// let p = ring.route("some-object-key").copied().unwrap();
+/// assert!(p == 0 || p == 1);
+/// // Routing is deterministic.
+/// assert_eq!(ring.route("some-object-key").copied().unwrap(), p);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ring<N> {
+    points: BTreeMap<u64, N>,
+    vnodes: u32,
+    members: usize,
+}
+
+impl<N: Clone> Ring<N> {
+    /// Creates an empty ring with `vnodes` virtual nodes per member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn new(vnodes: u32) -> Self {
+        assert!(vnodes > 0, "a ring needs at least one virtual node per member");
+        Ring { points: BTreeMap::new(), vnodes, members: 0 }
+    }
+
+    /// Adds a member under a stable name (the name, not the value, decides
+    /// the ring positions).
+    pub fn insert(&mut self, name: &str, node: N) {
+        for i in 0..self.vnodes {
+            let point = hash_with_index(name, i as u64);
+            self.points.insert(point, node.clone());
+        }
+        self.members += 1;
+    }
+
+    /// Removes a member by the name it was inserted under.
+    pub fn remove(&mut self, name: &str) {
+        let before = self.points.len();
+        for i in 0..self.vnodes {
+            let point = hash_with_index(name, i as u64);
+            self.points.remove(&point);
+        }
+        if self.points.len() < before {
+            self.members = self.members.saturating_sub(1);
+        }
+    }
+
+    /// Routes a key to its member, or `None` on an empty ring.
+    pub fn route(&self, key: &str) -> Option<&N> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_str(key);
+        self.points
+            .range(h..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, n)| n)
+    }
+
+    /// Number of members currently on the ring.
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    /// `true` when no member has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ring_of(n: u16) -> Ring<u16> {
+        let mut r = Ring::new(128);
+        for i in 0..n {
+            r.insert(&format!("proxy-{i}"), i);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let r: Ring<u16> = Ring::new(8);
+        assert!(r.route("k").is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_member_takes_everything() {
+        let r = ring_of(1);
+        for i in 0..100 {
+            assert_eq!(*r.route(&format!("k{i}")).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let r = ring_of(5);
+        let mut counts: HashMap<u16, u32> = HashMap::new();
+        let keys = 20_000;
+        for i in 0..keys {
+            *counts.entry(*r.route(&format!("object-{i}")).unwrap()).or_default() += 1;
+        }
+        for p in 0..5u16 {
+            let share = counts[&p] as f64 / keys as f64;
+            assert!(
+                (0.10..0.32).contains(&share),
+                "member {p} got share {share:.3}, expected near 0.20"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_members_keys() {
+        let full = ring_of(4);
+        let mut reduced = ring_of(4);
+        reduced.remove("proxy-3");
+        assert_eq!(reduced.len(), 3);
+        let mut moved = 0;
+        let keys = 5_000;
+        for i in 0..keys {
+            let k = format!("object-{i}");
+            let before = *full.route(&k).unwrap();
+            let after = *reduced.route(&k).unwrap();
+            if before != 3 {
+                assert_eq!(before, after, "key {k} moved although its member stayed");
+            } else {
+                moved += 1;
+                assert_ne!(after, 3);
+            }
+        }
+        assert!(moved > 0, "some keys must have been on the removed member");
+    }
+
+    #[test]
+    fn removing_unknown_member_is_a_noop() {
+        let mut r = ring_of(2);
+        r.remove("proxy-99");
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Byte-size units and formatting helpers.
+//!
+//! The paper mixes decimal prefixes loosely; we standardize on binary
+//! mebibytes/gibibytes internally (a "100 MB object" is `100 * MIB` bytes)
+//! which matches how the original Go implementation sliced objects.
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (1024 KiB).
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte (1024 MiB).
+pub const GIB: u64 = 1024 * MIB;
+
+/// Formats a byte count with a human-readable binary unit.
+///
+/// # Example
+///
+/// ```
+/// use ic_common::units::{format_bytes, MIB};
+/// assert_eq!(format_bytes(10 * MIB), "10.0 MiB");
+/// assert_eq!(format_bytes(512), "512 B");
+/// ```
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Converts bytes to fractional mebibytes (reporting helper).
+pub fn to_mib(bytes: u64) -> f64 {
+    bytes as f64 / MIB as f64
+}
+
+/// Converts bytes to fractional gibibytes (reporting helper).
+pub fn to_gib(bytes: u64) -> f64 {
+    bytes as f64 / GIB as f64
+}
+
+/// Converts bytes to decimal gigabytes, the unit AWS billing uses for
+/// function memory (a "1536 MB function" is 1.5 GB in Eq 4–6).
+pub fn to_gb_decimal(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_chain() {
+        assert_eq!(MIB, 1_048_576);
+        assert_eq!(GIB, 1_073_741_824);
+    }
+
+    #[test]
+    fn formatting_covers_all_ranges() {
+        assert_eq!(format_bytes(3), "3 B");
+        assert_eq!(format_bytes(2 * KIB), "2.0 KiB");
+        assert_eq!(format_bytes(GIB + GIB / 2), "1.5 GiB");
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((to_mib(MIB) - 1.0).abs() < 1e-12);
+        assert!((to_gib(GIB) - 1.0).abs() < 1e-12);
+        assert!((to_gb_decimal(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+}

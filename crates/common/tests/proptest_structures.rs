@@ -1,0 +1,107 @@
+//! Property tests for the shared data structures: the CLOCK queue and the
+//! consistent-hash ring.
+
+use ic_common::clock::ClockQueue;
+use ic_common::ring::Ring;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever sequence of inserts/touches/removes happens, draining the
+    /// CLOCK returns each live key exactly once.
+    #[test]
+    fn clock_drain_returns_each_live_key_once(ops in vec((0u8..3, 0u16..64), 0..300)) {
+        let mut q = ClockQueue::new();
+        let mut live = std::collections::HashSet::new();
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    q.insert(key);
+                    live.insert(key);
+                }
+                1 => {
+                    let _ = q.touch(&key);
+                }
+                _ => {
+                    q.remove(&key);
+                    live.remove(&key);
+                }
+            }
+            prop_assert_eq!(q.len(), live.len());
+        }
+        let mut drained = Vec::new();
+        while let Some(k) = q.evict() {
+            drained.push(k);
+        }
+        let drained_set: std::collections::HashSet<u16> = drained.iter().copied().collect();
+        prop_assert_eq!(drained.len(), drained_set.len(), "no duplicates");
+        prop_assert_eq!(drained_set, live);
+        prop_assert!(q.is_empty());
+    }
+
+    /// MRU→LRU ordering lists exactly the live keys.
+    #[test]
+    fn clock_mru_listing_matches_contents(keys in vec(0u16..128, 1..100)) {
+        let mut q = ClockQueue::new();
+        for &k in &keys {
+            q.insert(k);
+        }
+        let order = q.keys_mru_to_lru();
+        let unique: std::collections::HashSet<u16> = keys.iter().copied().collect();
+        prop_assert_eq!(order.len(), unique.len());
+        // The most recently inserted (or re-inserted) key leads.
+        prop_assert_eq!(order[0], *keys.last().unwrap());
+    }
+
+    /// Ring routing is total, deterministic, and only moves keys owned by
+    /// a removed member.
+    #[test]
+    fn ring_removal_is_minimal_disruption(
+        members in 2u16..8,
+        victim in 0u16..8,
+        keys in vec("[a-z]{1,12}", 1..200),
+    ) {
+        let victim = victim % members;
+        let mut full: Ring<u16> = Ring::new(64);
+        let mut reduced: Ring<u16> = Ring::new(64);
+        for m in 0..members {
+            full.insert(&format!("m{m}"), m);
+            reduced.insert(&format!("m{m}"), m);
+        }
+        reduced.remove(&format!("m{victim}"));
+        for k in &keys {
+            let before = *full.route(k).unwrap();
+            let after = *reduced.route(k).unwrap();
+            prop_assert_ne!(after, victim, "removed member must own nothing");
+            if before != victim {
+                prop_assert_eq!(before, after, "unaffected keys must not move");
+            }
+        }
+    }
+
+    /// Payload truncation never grows and preserves kind.
+    #[test]
+    fn payload_truncation_monotone(len in 0u64..10_000, cut in 0u64..20_000) {
+        let p = ic_common::Payload::synthetic(len);
+        let t = p.truncated(cut);
+        prop_assert!(t.len() <= p.len());
+        prop_assert!(t.len() <= cut);
+        prop_assert!(t.is_synthetic());
+    }
+
+    /// ceil100 billing: output is a multiple of 100 ms, >= input, minimum
+    /// one cycle, and idempotent.
+    #[test]
+    fn billing_ceil_invariants(micros in 0u64..10_000_000) {
+        use ic_common::SimDuration;
+        let d = SimDuration::from_micros(micros);
+        let b = d.ceil_to_billing_cycle();
+        prop_assert_eq!(b.as_micros() % 100_000, 0);
+        prop_assert!(b >= d);
+        prop_assert!(b >= SimDuration::from_millis(100));
+        prop_assert_eq!(b.ceil_to_billing_cycle(), b);
+        prop_assert!(b.as_micros() - d.as_micros() < 100_000 || micros == 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The world's event vocabulary.
+
+use ic_common::msg::{InvokePayload, Msg};
+use ic_common::{ClientId, InstanceId, LambdaId, ObjectKey, Payload, ProxyId, SimTime};
+use ic_simfaas::platform::PlatformEvent;
+
+/// An application-level operation injected into the world.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Read an object. `size` is the object's true size, used to cost the
+    /// backing-store fetch when the cache cannot serve it.
+    Get {
+        /// Object key.
+        key: ObjectKey,
+        /// True object size in bytes.
+        size: u64,
+    },
+    /// Write an object.
+    Put {
+        /// Object key.
+        key: ObjectKey,
+        /// The object (real bytes or synthetic).
+        payload: Payload,
+    },
+}
+
+impl Op {
+    /// The key this operation addresses.
+    pub fn key(&self) -> &ObjectKey {
+        match self {
+            Op::Get { key, .. } | Op::Put { key, .. } => key,
+        }
+    }
+}
+
+/// Every event the discrete-event world processes.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// A workload operation reaches a client.
+    Submit {
+        /// Issuing client.
+        client: ClientId,
+        /// The operation.
+        op: Op,
+    },
+    /// A control message reaches a client.
+    ClientRx {
+        /// Destination client.
+        client: ClientId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A control message reaches a proxy.
+    ProxyRx {
+        /// Destination proxy.
+        proxy: ProxyId,
+        /// Set when the sender is a Lambda instance (needed for flow
+        /// source attribution and relay registration).
+        from_instance: Option<(LambdaId, InstanceId)>,
+        /// Set when the sender is a client.
+        from_client: Option<ClientId>,
+        /// The message.
+        msg: Msg,
+    },
+    /// A control message reaches a function instance.
+    InstanceRx {
+        /// Logical node (for failure routing back to its proxy).
+        lambda: LambdaId,
+        /// Target instance (delivery fails if it is gone or idle).
+        instance: InstanceId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A function invocation finishes its startup and begins executing.
+    InvokeReady {
+        /// Logical node.
+        lambda: LambdaId,
+        /// The instance that will run.
+        instance: InstanceId,
+        /// Invocation parameters.
+        payload: InvokePayload,
+    },
+    /// A runtime's duration-control timer fires.
+    LambdaTimer {
+        /// The instance.
+        instance: InstanceId,
+        /// Token (stale tokens are ignored by the runtime).
+        token: u64,
+    },
+    /// The network's earliest-completion timer.
+    FlowTick {
+        /// Epoch the timer was scheduled under; stale epochs are skipped.
+        epoch: u64,
+    },
+    /// A platform-internal timer (reclaim policy tick, idle timeout).
+    Platform(PlatformEvent),
+    /// The deployment-wide warm-up tick (`Twarm`).
+    WarmupTick,
+    /// A backing-store (S3) fetch for a missed/lost object finished.
+    ResetDone {
+        /// Requesting client.
+        client: ClientId,
+        /// Object key.
+        key: ObjectKey,
+        /// Object size (write-through re-insertion).
+        size: u64,
+        /// When the app's GET was issued (latency accounting).
+        issued: SimTime,
+        /// Whether this was a loss-induced RESET (vs a cold miss).
+        loss_induced: bool,
+    },
+}
+
+/// Per-flow context handed back by the network on completion.
+#[derive(Clone, Debug)]
+pub enum FlowPayload {
+    /// A GET chunk streaming lambda → (proxy) → client.
+    GetChunk {
+        /// Receiving client.
+        client: ClientId,
+        /// Serving instance (for `on_served` and host attribution).
+        instance: InstanceId,
+        /// Its logical node.
+        lambda: LambdaId,
+        /// The `ChunkToClient` message to deliver.
+        msg: Msg,
+    },
+    /// A PUT chunk streaming (client/proxy) → lambda; on completion the
+    /// held `PutAck` is released to the proxy.
+    PutChunk {
+        /// Receiving instance.
+        instance: InstanceId,
+        /// Its logical node.
+        lambda: LambdaId,
+        /// The `PutAck` to forward to the proxy when the data lands.
+        ack: Msg,
+    },
+    /// A backup chunk streaming through a relay between peer replicas.
+    RelayChunk {
+        /// Destination instance.
+        to_instance: InstanceId,
+        /// Its logical node.
+        to_lambda: LambdaId,
+        /// The `BackupChunk` (or forwarded put) to deliver.
+        msg: Msg,
+    },
+}

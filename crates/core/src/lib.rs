@@ -1,0 +1,38 @@
+//! # InfiniCache
+//!
+//! A Rust reproduction of *InfiniCache: Exploiting Ephemeral Serverless
+//! Functions to Build a Cost-Effective Memory Cache* (Wang et al., USENIX
+//! FAST 2020): an in-memory object cache built entirely on ephemeral FaaS
+//! functions, combining erasure coding, anticipatory billed-duration
+//! control, and delta-sync backups to cache large objects at a fraction of
+//! the cost of a managed cache like ElastiCache.
+//!
+//! This crate is the top of the workspace: it wires the client library
+//! (`ic-client`), proxy (`ic-proxy`), Lambda function runtime
+//! (`ic-lambda`), erasure coding (`ic-ec`), workload synthesizer
+//! (`ic-workload`), analytical models (`ic-analytics`), baselines
+//! (`ic-baselines`) and the serverless-platform simulator (`ic-simfaas`)
+//! into two execution modes:
+//!
+//! * **Simulation** ([`world::SimWorld`]): a deterministic discrete-event
+//!   deployment used by every experiment in EXPERIMENTS.md — latency
+//!   microbenchmarks, the 50-hour production-trace replay, cost and
+//!   fault-tolerance studies;
+//! * **Live mode** ([`live::LiveCluster`]): the same protocol state
+//!   machines on OS threads with real bytes through the real
+//!   Reed–Solomon codec — a functional in-process cache with simulated
+//!   function reclaims.
+//!
+//! (A live-mode quickstart example lives in `examples/quickstart.rs`.)
+
+pub mod event;
+pub mod experiments;
+pub mod live;
+pub mod metrics;
+pub mod params;
+pub mod world;
+
+pub use event::Op;
+pub use metrics::{FtKind, Metrics, OpKind, Outcome, RequestRecord};
+pub use params::SimParams;
+pub use world::SimWorld;

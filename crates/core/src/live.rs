@@ -1,0 +1,590 @@
+//! Live mode: the InfiniCache protocol on OS threads with real bytes.
+//!
+//! [`LiveCluster`] runs each Lambda cache node as a thread that owns the
+//! node's instances (the same [`ic_lambda::Runtime`] state machine the
+//! simulator uses, including billed-duration timers on *real* 100 ms
+//! cycles), one thread per proxy, and a synchronous client facade on the
+//! caller's thread. Payloads are real [`bytes::Bytes`] through the real
+//! Reed–Solomon codec, so `get` returns byte-identical objects and EC
+//! recovery actually reconstructs data.
+//!
+//! Differences from the simulator (by design): there is no bandwidth
+//! model (channel sends are instant), and the backup relay is collapsed —
+//! peer replicas of a node live on the same thread, so relay messages
+//! short-circuit locally while the proxy-visible protocol (InitBackup /
+//! BackupCmd / HelloProxy / connection replacement) stays identical.
+//!
+//! Fault injection: [`LiveCluster::reclaim_node`] destroys a node's
+//! instances, losing their cached chunks — exactly what a provider reclaim
+//! does — so examples can demonstrate EC recovery end to end.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ic_client::{ClientAction, ClientLib};
+use ic_common::msg::{InvokePayload, Msg};
+use ic_common::{
+    ClientId, DeploymentConfig, Error, InstanceId, LambdaId, ObjectKey, Payload, ProxyId,
+    RelayId, Result, SimTime,
+};
+use ic_lambda::runtime::{Action as LAction, Runtime, RuntimeConfig};
+use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
+
+/// Messages between live threads.
+enum Wire {
+    /// Client → proxy.
+    FromClient(ClientId, Msg),
+    /// Lambda → proxy (with the sending instance for connection logic).
+    FromLambda(LambdaId, InstanceId, Msg),
+    /// Proxy failed to reach the instance it believed active.
+    LambdaUnreachable(LambdaId, Msg),
+    /// Stop the thread.
+    Quit,
+}
+
+/// Messages to a lambda-node thread.
+enum NodeCmd {
+    /// Invoke the function (platform-style routing to an idle instance).
+    Invoke(InvokePayload),
+    /// Deliver to the node's instance (fails back to the proxy if dead).
+    ToInstance(InstanceId, Msg),
+    /// Provider reclaim: destroy instances (state loss).
+    Reclaim,
+    /// Stop the thread.
+    Quit,
+}
+
+struct NodeThread {
+    lambda: LambdaId,
+    rx: Receiver<NodeCmd>,
+    proxy_tx: Sender<Wire>,
+    rt_cfg: RuntimeConfig,
+    epoch: Instant,
+    instances: HashMap<InstanceId, Runtime>,
+    next_instance: u64,
+    timers: HashMap<InstanceId, (u64, SimTime)>,
+}
+
+impl NodeThread {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn run(mut self) {
+        loop {
+            // Wait until the earliest timer across instances (or a message).
+            let next = self.timers.values().map(|&(_, at)| at).min();
+            let cmd = match next {
+                Some(at) => {
+                    let now = self.now();
+                    let wait = Duration::from_micros(
+                        at.as_micros().saturating_sub(now.as_micros()),
+                    );
+                    match self.rx.recv_timeout(wait) {
+                        Ok(c) => Some(c),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(c) => Some(c),
+                    Err(_) => return,
+                },
+            };
+            let now = self.now();
+            match cmd {
+                None => {
+                    // Fire every due timer.
+                    let due: Vec<(InstanceId, u64)> = self
+                        .timers
+                        .iter()
+                        .filter(|(_, &(_, at))| at <= now)
+                        .map(|(&i, &(tok, _))| (i, tok))
+                        .collect();
+                    for (instance, token) in due {
+                        self.timers.remove(&instance);
+                        if let Some(rt) = self.instances.get_mut(&instance) {
+                            let acts = rt.on_timer(now, token);
+                            self.execute(now, instance, acts);
+                        }
+                    }
+                }
+                Some(NodeCmd::Invoke(payload)) => {
+                    let instance = self.route_invoke(now);
+                    let acts = self
+                        .instances
+                        .get_mut(&instance)
+                        .expect("just routed")
+                        .on_invoke(now, &payload);
+                    self.execute(now, instance, acts);
+                }
+                Some(NodeCmd::ToInstance(instance, msg)) => {
+                    let alive = self
+                        .instances
+                        .get(&instance)
+                        .is_some_and(|rt| rt.state() != ic_lambda::RunState::Sleeping);
+                    if alive {
+                        let acts = self
+                            .instances
+                            .get_mut(&instance)
+                            .expect("alive")
+                            .on_message(now, msg);
+                        self.execute(now, instance, acts);
+                    } else {
+                        let _ = self
+                            .proxy_tx
+                            .send(Wire::LambdaUnreachable(self.lambda, msg));
+                    }
+                }
+                Some(NodeCmd::Reclaim) => {
+                    self.instances.clear();
+                    self.timers.clear();
+                }
+                Some(NodeCmd::Quit) => return,
+            }
+        }
+    }
+
+    /// Platform-style invoke routing: most recently armed idle instance,
+    /// else a fresh cold one.
+    fn route_invoke(&mut self, now: SimTime) -> InstanceId {
+        let idle = self
+            .instances
+            .iter()
+            .filter(|(_, rt)| rt.state() == ic_lambda::RunState::Sleeping)
+            .map(|(&i, _)| i)
+            .max();
+        match idle {
+            Some(i) => i,
+            None => {
+                self.next_instance += 1;
+                let id = InstanceId(self.next_instance | ((self.lambda.0 as u64) << 32));
+                self.instances
+                    .insert(id, Runtime::new(self.lambda, id, self.rt_cfg, now));
+                id
+            }
+        }
+    }
+
+    fn execute(&mut self, now: SimTime, instance: InstanceId, actions: Vec<LAction>) {
+        for a in actions {
+            match a {
+                LAction::ToProxy(msg) | LAction::DataToProxy(msg) => {
+                    let served = matches!(msg, Msg::ChunkData { .. } | Msg::PutAck { .. });
+                    let _ = self.proxy_tx.send(Wire::FromLambda(self.lambda, instance, msg));
+                    if served {
+                        // No network model: the transfer is instantaneous.
+                        let t = self.now();
+                        if let Some(rt) = self.instances.get_mut(&instance) {
+                            let acts = rt.on_served(t);
+                            self.execute(now, instance, acts);
+                        }
+                    }
+                }
+                LAction::ToRelay { msg, .. } | LAction::DataToRelay { msg, .. } => {
+                    // Peer replicas share this thread: short-circuit the
+                    // relay.
+                    if let Some(peer) = self.peer_of(instance) {
+                        let t = self.now();
+                        let acts = self
+                            .instances
+                            .get_mut(&peer)
+                            .expect("peer exists")
+                            .on_message(t, msg);
+                        self.execute(now, peer, acts);
+                    }
+                }
+                LAction::SetTimer { token, at } => {
+                    self.timers.insert(instance, (token, at));
+                }
+                LAction::InvokePeer { relay } => {
+                    // Concurrent invocation of our own function: route to an
+                    // idle instance or cold-start the peer replica.
+                    let t = self.now();
+                    let peer = self.route_invoke(t);
+                    let payload = InvokePayload {
+                        proxy: ProxyId(0),
+                        piggyback_ping: false,
+                        backup: Some(ic_common::msg::BackupInvoke {
+                            relay,
+                            source: self.lambda,
+                        }),
+                    };
+                    let acts = self
+                        .instances
+                        .get_mut(&peer)
+                        .expect("routed")
+                        .on_invoke(t, &payload);
+                    self.execute(now, peer, acts);
+                }
+                LAction::Return { .. } => {
+                    self.timers.remove(&instance);
+                }
+            }
+        }
+    }
+
+    fn peer_of(&self, instance: InstanceId) -> Option<InstanceId> {
+        self.instances.keys().copied().find(|&i| i != instance)
+    }
+}
+
+struct ProxyThread {
+    proxy: Proxy,
+    rx: Receiver<Wire>,
+    node_tx: HashMap<LambdaId, Sender<NodeCmd>>,
+    client_tx: Sender<Msg>,
+    relay_sources: HashMap<RelayId, LambdaId>,
+}
+
+impl ProxyThread {
+    fn run(mut self) {
+        while let Ok(wire) = self.rx.recv() {
+            let actions = match wire {
+                Wire::FromClient(c, msg) => self.proxy.on_client(c, msg),
+                Wire::FromLambda(l, _i, msg) => self.proxy.on_lambda(l, msg),
+                Wire::LambdaUnreachable(l, msg) => self.proxy.on_delivery_failed(l, msg),
+                Wire::Quit => break,
+            };
+            self.execute(actions);
+        }
+    }
+
+    fn execute(&mut self, actions: Vec<ProxyAction>) {
+        for a in actions {
+            match a {
+                ProxyAction::Invoke { lambda, payload } => {
+                    let _ = self.node_tx[&lambda].send(NodeCmd::Invoke(payload));
+                }
+                ProxyAction::ToLambda { lambda, msg }
+                | ProxyAction::DataToLambda { lambda, msg } => {
+                    if let Some(instance) =
+                        self.proxy.member(lambda).and_then(|m| m.instance())
+                    {
+                        let _ =
+                            self.node_tx[&lambda].send(NodeCmd::ToInstance(instance, msg));
+                    } else {
+                        let acts = self.proxy.on_delivery_failed(lambda, msg);
+                        self.execute(acts);
+                    }
+                }
+                ProxyAction::ToClient { msg, .. } | ProxyAction::DataToClient { msg, .. } => {
+                    let _ = self.client_tx.send(msg);
+                }
+                ProxyAction::SpawnRelay { relay, source } => {
+                    self.relay_sources.insert(relay, source);
+                }
+            }
+        }
+    }
+}
+
+/// A running in-process InfiniCache deployment with a synchronous client.
+pub struct LiveCluster {
+    client: ClientLib,
+    proxy_tx: Sender<Wire>,
+    client_rx: Receiver<Msg>,
+    node_tx: HashMap<LambdaId, Sender<NodeCmd>>,
+    handles: Vec<JoinHandle<()>>,
+    op_timeout: Duration,
+}
+
+impl LiveCluster {
+    /// Starts the cluster: one proxy thread plus one thread per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid deployments (live mode
+    /// supports exactly one proxy).
+    pub fn start(cfg: DeploymentConfig) -> Result<LiveCluster> {
+        cfg.validate()?;
+        if cfg.proxies != 1 {
+            return Err(Error::Config("live mode runs a single proxy".into()));
+        }
+        let epoch = Instant::now();
+        let (proxy_tx, proxy_rx) = unbounded::<Wire>();
+        let (client_tx, client_rx) = unbounded::<Msg>();
+
+        let rt_cfg = RuntimeConfig {
+            billing_buffer: cfg.billing_buffer,
+            ping_grace: ic_common::SimDuration::from_millis(20),
+            backup_interval: cfg.backup_interval,
+            backup_enabled: cfg.backup_enabled,
+            max_execution: ic_common::SimDuration::from_secs(900),
+        };
+
+        let mut node_tx = HashMap::new();
+        let mut handles = Vec::new();
+        for l in 0..cfg.lambdas_per_proxy {
+            let lambda = LambdaId(l);
+            let (tx, rx) = unbounded::<NodeCmd>();
+            node_tx.insert(lambda, tx);
+            let nt = NodeThread {
+                lambda,
+                rx,
+                proxy_tx: proxy_tx.clone(),
+                rt_cfg,
+                epoch,
+                instances: HashMap::new(),
+                next_instance: 0,
+                timers: HashMap::new(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ic-node-{l}"))
+                    .spawn(move || nt.run())
+                    .expect("spawn node thread"),
+            );
+        }
+
+        let proxy = Proxy::new(
+            ProxyConfig { id: ProxyId(0), capacity_bytes: cfg.pool_capacity() },
+            (0..cfg.lambdas_per_proxy).map(LambdaId),
+        );
+        let pool: Vec<LambdaId> = proxy.pool().to_vec();
+        let pt = ProxyThread {
+            proxy,
+            rx: proxy_rx,
+            node_tx: node_tx.clone(),
+            client_tx,
+            relay_sources: HashMap::new(),
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name("ic-proxy-0".into())
+                .spawn(move || pt.run())
+                .expect("spawn proxy thread"),
+        );
+
+        let client = ClientLib::new(
+            ClientId(0),
+            cfg.ec,
+            vec![(ProxyId(0), pool)],
+            cfg.ring_vnodes,
+            7,
+        );
+        Ok(LiveCluster {
+            client,
+            proxy_tx,
+            client_rx,
+            node_tx,
+            handles,
+            op_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Stores `object` under `key`, blocking until fully acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Transport`] if the cluster is down or the
+    /// operation times out.
+    pub fn put(&mut self, key: impl AsRef<str>, object: Bytes) -> Result<()> {
+        let key = ObjectKey::new(key);
+        let actions = self.client.put(key.clone(), Payload::Bytes(object));
+        self.dispatch(actions)?;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            let msg = self.recv(deadline)?;
+            let actions = self.client.on_proxy(msg);
+            for a in actions {
+                match a {
+                    ClientAction::PutComplete { key: k } if k == key => return Ok(()),
+                    other => self.dispatch_one(other)?,
+                }
+            }
+        }
+    }
+
+    /// Fetches `key`; `Ok(None)` on a cache miss, an error when the object
+    /// is unrecoverable (more than `p` chunks lost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ChunkUnavailable`] when too many chunks are lost
+    /// and [`Error::Transport`] on cluster failure/timeout.
+    pub fn get(&mut self, key: impl AsRef<str>) -> Result<Option<Bytes>> {
+        let key = ObjectKey::new(key);
+        let actions = self.client.get(key.clone());
+        self.dispatch(actions)?;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            let msg = self.recv(deadline)?;
+            let actions = self.client.on_proxy(msg);
+            for a in actions {
+                match a {
+                    ClientAction::Deliver { key: k, object, .. } if k == key => {
+                        let Payload::Bytes(b) = object else {
+                            return Err(Error::Protocol("live mode delivers real bytes".into()));
+                        };
+                        return Ok(Some(b));
+                    }
+                    ClientAction::Miss { key: k } if k == key => return Ok(None),
+                    ClientAction::Unrecoverable { key: k, available, needed } if k == key => {
+                        return Err(Error::ChunkUnavailable { needed, available })
+                    }
+                    other => self.dispatch_one(other)?,
+                }
+            }
+        }
+    }
+
+    /// Client-side statistics (recoveries, repairs, hits...).
+    pub fn stats(&self) -> ic_client::ClientStats {
+        self.client.stats
+    }
+
+    /// Provider-style reclaim of one node: its instances and cached chunks
+    /// vanish.
+    pub fn reclaim_node(&self, lambda: LambdaId) {
+        if let Some(tx) = self.node_tx.get(&lambda) {
+            let _ = tx.send(NodeCmd::Reclaim);
+        }
+    }
+
+    /// Where a chunk of `key` would be placed is client-internal; expose
+    /// the EC config for examples that want to reason about tolerance.
+    pub fn ec(&self) -> ic_common::EcConfig {
+        self.client.ec()
+    }
+
+    /// Stops all threads.
+    pub fn shutdown(mut self) {
+        let _ = self.proxy_tx.send(Wire::Quit);
+        for tx in self.node_tx.values() {
+            let _ = tx.send(NodeCmd::Quit);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn dispatch(&mut self, actions: Vec<ClientAction>) -> Result<()> {
+        for a in actions {
+            self.dispatch_one(a)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch_one(&mut self, action: ClientAction) -> Result<()> {
+        match action {
+            ClientAction::ToProxy { msg, .. } | ClientAction::DataToProxy { msg, .. } => self
+                .proxy_tx
+                .send(Wire::FromClient(ClientId(0), msg))
+                .map_err(|e| Error::Transport(e.to_string())),
+            // Deliveries for *other* requests cannot occur on this
+            // synchronous client; repair puts fall into the arms above.
+            _ => Ok(()),
+        }
+    }
+
+    fn recv(&self, deadline: Instant) -> Result<Msg> {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(Error::Transport("operation timed out".into()));
+        }
+        self.client_rx
+            .recv_timeout(deadline - now)
+            .map_err(|e| Error::Transport(e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for LiveCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveCluster")
+            .field("nodes", &self.node_tx.len())
+            .field("stats", &self.client.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::EcConfig;
+
+    fn cluster(nodes: u32, d: usize, p: usize) -> LiveCluster {
+        let cfg = DeploymentConfig {
+            backup_enabled: false,
+            ..DeploymentConfig::small(nodes, EcConfig::new(d, p).unwrap())
+        };
+        LiveCluster::start(cfg).expect("cluster starts")
+    }
+
+    fn pattern(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn live_put_get_roundtrip() {
+        let mut c = cluster(8, 4, 2);
+        let data = pattern(1 << 20);
+        c.put("hello", data.clone()).unwrap();
+        let back = c.get("hello").unwrap().expect("cached");
+        assert_eq!(back, data);
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_miss_returns_none() {
+        let mut c = cluster(8, 4, 1);
+        assert!(c.get("absent").unwrap().is_none());
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_overwrite_returns_new_value() {
+        let mut c = cluster(8, 4, 2);
+        c.put("k", pattern(100_000)).unwrap();
+        let v2 = Bytes::from(vec![9u8; 50_000]);
+        c.put("k", v2.clone()).unwrap();
+        assert_eq!(c.get("k").unwrap().unwrap(), v2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_survives_reclaims_within_parity() {
+        let mut c = cluster(10, 4, 2);
+        let data = pattern(400_000);
+        c.put("tough", data.clone()).unwrap();
+        // Kill two arbitrary nodes; at most 2 chunks die: within parity.
+        c.reclaim_node(LambdaId(0));
+        c.reclaim_node(LambdaId(1));
+        std::thread::sleep(Duration::from_millis(50));
+        let back = c.get("tough").unwrap().expect("recoverable");
+        assert_eq!(back, data);
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_total_loss_is_unrecoverable_or_reset() {
+        let mut c = cluster(6, 4, 1);
+        c.put("fragile", pattern(100_000)).unwrap();
+        for l in 0..6 {
+            c.reclaim_node(LambdaId(l));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        match c.get("fragile") {
+            Err(Error::ChunkUnavailable { .. }) => {}
+            other => panic!("expected unrecoverable, got {other:?}"),
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_many_objects() {
+        let mut c = cluster(10, 5, 1);
+        let objects: Vec<(String, Bytes)> =
+            (0..20).map(|i| (format!("obj-{i}"), pattern(10_000 + i * 137))).collect();
+        for (k, v) in &objects {
+            c.put(k, v.clone()).unwrap();
+        }
+        for (k, v) in &objects {
+            assert_eq!(c.get(k).unwrap().unwrap(), *v, "{k}");
+        }
+        c.shutdown();
+    }
+}

@@ -1,0 +1,811 @@
+//! The discrete-event world: one InfiniCache deployment end to end.
+//!
+//! [`SimWorld`] owns the event queue, the simulated FaaS platform, the
+//! fluid-flow network, and every protocol state machine (clients, proxies,
+//! per-instance Lambda runtimes). It executes the actions those state
+//! machines return, turning them into timed events, network flows,
+//! invocations and billing records. Experiments drive it by submitting
+//! [`Op`]s and reading [`crate::metrics::Metrics`] plus the platform's
+//! billing meter afterwards.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ic_baselines::S3Model;
+use ic_client::{ClientAction, ClientLib};
+use ic_common::msg::{BackupInvoke, InvokePayload, Msg};
+use ic_common::{
+    ClientId, DeploymentConfig, InstanceId, LambdaId, ObjectKey, Payload, ProxyId, RelayId,
+    SimDuration, SimTime,
+};
+use ic_analytics::dist::{exponential_sample, lognormal_sample};
+use ic_lambda::runtime::{Action as LAction, Runtime, RuntimeConfig};
+use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
+use ic_simfaas::hosts::HostId;
+use ic_simfaas::network::{LinkId, Network};
+use ic_simfaas::platform::{Platform, PlatformConfig, PlatformNotice};
+use ic_simfaas::reclaim::ReclaimPolicy;
+use ic_simfaas::EventQueue;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{Ev, FlowPayload, Op};
+use crate::metrics::{FtKind, Metrics, OpKind, Outcome, RequestRecord};
+use crate::params::SimParams;
+
+#[derive(Debug)]
+struct PendingReq {
+    size: u64,
+    issued: Vec<SimTime>,
+    hosts: BTreeSet<HostId>,
+}
+
+#[derive(Debug)]
+struct RelayState {
+    source: InstanceId,
+    dest: Option<InstanceId>,
+}
+
+/// One simulated InfiniCache deployment.
+pub struct SimWorld {
+    /// Deployment shape and policy knobs.
+    pub cfg: DeploymentConfig,
+    /// Environment constants.
+    pub params: SimParams,
+    queue: EventQueue<Ev>,
+    net: Network<FlowPayload>,
+    /// The simulated FaaS platform (public: experiments read billing and
+    /// the reclaim log).
+    pub platform: Platform,
+    proxies: Vec<Proxy>,
+    clients: Vec<ClientLib>,
+    runtimes: HashMap<InstanceId, Runtime>,
+    relays: HashMap<(ProxyId, RelayId), RelayState>,
+    client_links: Vec<LinkId>,
+    proxy_links: Vec<LinkId>,
+    s3: S3Model,
+    rng: SmallRng,
+    pending_gets: HashMap<(ClientId, ObjectKey), PendingReq>,
+    pending_puts: HashMap<(ClientId, ObjectKey), PendingReq>,
+    rt_cfg: RuntimeConfig,
+    /// Measurement sink.
+    pub metrics: Metrics,
+    /// When `false`, cold GET misses are *not* refetched from S3 and
+    /// reinserted (microbenchmarks pre-populate and never want the S3
+    /// path).
+    pub write_through: bool,
+}
+
+impl SimWorld {
+    /// Builds a deployment with `n_clients` clients and the given
+    /// reclamation policy, on an AWS-like platform.
+    pub fn new(
+        cfg: DeploymentConfig,
+        params: SimParams,
+        policy: Box<dyn ReclaimPolicy>,
+        n_clients: u16,
+    ) -> Self {
+        let platform_cfg = PlatformConfig::aws_like(cfg.total_lambdas(), cfg.lambda_memory_mb);
+        SimWorld::with_platform(cfg, params, policy, n_clients, platform_cfg)
+    }
+
+    /// Like [`SimWorld::new`] but with an explicit platform configuration
+    /// (used by placement-sensitivity experiments such as Fig 4).
+    pub fn with_platform(
+        cfg: DeploymentConfig,
+        params: SimParams,
+        policy: Box<dyn ReclaimPolicy>,
+        n_clients: u16,
+        platform_cfg: PlatformConfig,
+    ) -> Self {
+        cfg.validate().expect("deployment config must be valid");
+        let mut net = Network::new();
+        let client_links: Vec<LinkId> =
+            (0..n_clients).map(|_| net.add_link(params.client_nic_bps)).collect();
+        let proxy_links: Vec<LinkId> =
+            (0..cfg.proxies).map(|_| net.add_link(params.proxy_nic_bps)).collect();
+
+        let platform = Platform::new(platform_cfg, policy, params.seed);
+
+        let per = cfg.lambdas_per_proxy;
+        let proxies: Vec<Proxy> = (0..cfg.proxies)
+            .map(|p| {
+                let base = p as u32 * per;
+                Proxy::new(
+                    ProxyConfig {
+                        id: ProxyId(p),
+                        capacity_bytes: cfg.pool_capacity(),
+                    },
+                    (base..base + per).map(LambdaId),
+                )
+            })
+            .collect();
+
+        let pools: Vec<(ProxyId, Vec<LambdaId>)> = proxies
+            .iter()
+            .map(|p| (p.id(), p.pool().to_vec()))
+            .collect();
+        let clients: Vec<ClientLib> = (0..n_clients)
+            .map(|c| {
+                ClientLib::new(
+                    ClientId(c),
+                    cfg.ec,
+                    pools.clone(),
+                    cfg.ring_vnodes,
+                    params.seed ^ (c as u64 + 1),
+                )
+            })
+            .collect();
+
+        let rt_cfg = RuntimeConfig {
+            billing_buffer: cfg.billing_buffer,
+            ping_grace: SimDuration::from_millis(20),
+            backup_interval: cfg.backup_interval,
+            backup_enabled: cfg.backup_enabled,
+            max_execution: SimDuration::from_secs(900),
+        };
+
+        let mut world = SimWorld {
+            cfg,
+            params,
+            queue: EventQueue::new(),
+            net,
+            platform,
+            proxies,
+            clients,
+            runtimes: HashMap::new(),
+            relays: HashMap::new(),
+            client_links,
+            proxy_links,
+            s3: S3Model::paper_era(),
+            rng: SmallRng::seed_from_u64(params.seed ^ 0x0d_e5),
+            pending_gets: HashMap::new(),
+            pending_puts: HashMap::new(),
+            rt_cfg,
+            metrics: Metrics::default(),
+            write_through: true,
+        };
+        for notice in world.platform.bootstrap() {
+            world.process_notice(notice);
+        }
+        world
+            .queue
+            .push(SimTime::ZERO + world.cfg.warmup_interval, Ev::WarmupTick);
+        world
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events processed so far (progress reporting).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Per-client library statistics.
+    pub fn client_stats(&self, client: ClientId) -> ic_client::ClientStats {
+        self.clients[client.index()].stats
+    }
+
+    /// Per-proxy statistics.
+    pub fn proxy_stats(&self, proxy: ProxyId) -> ic_proxy::ProxyStats {
+        self.proxies[proxy.index()].stats
+    }
+
+    /// Schedules an application operation.
+    pub fn submit(&mut self, at: SimTime, client: ClientId, op: Op) {
+        self.queue.push(at, Ev::Submit { client, op });
+    }
+
+    /// Runs until the next event is past `t` (or the queue drains).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Submit { client, op } => self.handle_submit(now, client, op),
+            Ev::ClientRx { client, msg } => {
+                let actions = self.clients[client.index()].on_proxy(msg);
+                self.exec_client(now, client, actions);
+            }
+            Ev::ProxyRx { proxy, from_instance, from_client, msg } => {
+                let actions = if let Some(c) = from_client {
+                    self.proxies[proxy.index()].on_client(c, msg)
+                } else if let Some((lambda, _)) = from_instance {
+                    self.proxies[proxy.index()].on_lambda(lambda, msg)
+                } else {
+                    Vec::new()
+                };
+                self.exec_proxy(now, proxy, actions, from_instance);
+            }
+            Ev::InstanceRx { lambda, instance, msg } => {
+                let alive = self
+                    .runtimes
+                    .get(&instance)
+                    .is_some_and(|rt| rt.state() != ic_lambda::RunState::Sleeping);
+                if alive {
+                    let actions = self
+                        .runtimes
+                        .get_mut(&instance)
+                        .expect("checked above")
+                        .on_message(now, msg);
+                    self.exec_lambda(now, lambda, instance, actions);
+                } else if !is_relay_msg(&msg) {
+                    // Connection reset: tell the owning proxy.
+                    let owner = self.owner_of(lambda);
+                    let actions =
+                        self.proxies[owner.index()].on_delivery_failed(lambda, msg);
+                    self.exec_proxy(now, owner, actions, None);
+                }
+            }
+            Ev::InvokeReady { lambda, instance, payload } => {
+                if let Some(rt) = self.runtimes.get_mut(&instance) {
+                    let actions = rt.on_invoke(now, &payload);
+                    self.exec_lambda(now, lambda, instance, actions);
+                }
+            }
+            Ev::LambdaTimer { instance, token } => {
+                if let Some(rt) = self.runtimes.get_mut(&instance) {
+                    let lambda = rt.lambda;
+                    let actions = rt.on_timer(now, token);
+                    self.exec_lambda(now, lambda, instance, actions);
+                }
+            }
+            Ev::FlowTick { epoch } => {
+                // A stale tick (older epoch) must die without rescheduling,
+                // or tick duplicates multiply with every flow start.
+                if epoch != self.net.epoch() {
+                    return;
+                }
+                let done = self.net.poll(now);
+                for (_, payload) in done {
+                    self.handle_flow(now, payload);
+                }
+                self.sync_network(now);
+            }
+            Ev::Platform(pe) => {
+                let notices = self.platform.handle(now, pe);
+                for n in notices {
+                    self.process_notice(n);
+                }
+            }
+            Ev::WarmupTick => {
+                for p in 0..self.proxies.len() {
+                    let actions = self.proxies[p].on_warmup_tick();
+                    self.exec_proxy(now, ProxyId(p as u16), actions, None);
+                }
+                self.queue.push(now + self.cfg.warmup_interval, Ev::WarmupTick);
+            }
+            Ev::ResetDone { client, key, size, .. } => {
+                if self.write_through {
+                    let actions =
+                        self.clients[client.index()].put(key, Payload::synthetic(size));
+                    self.exec_client(now, client, actions);
+                }
+            }
+        }
+    }
+
+    fn handle_submit(&mut self, now: SimTime, client: ClientId, op: Op) {
+        match op {
+            Op::Get { key, size } => {
+                let entry = self
+                    .pending_gets
+                    .entry((client, key.clone()))
+                    .or_insert_with(|| PendingReq {
+                        size,
+                        issued: Vec::new(),
+                        hosts: BTreeSet::new(),
+                    });
+                entry.issued.push(now);
+                if entry.issued.len() > 1 {
+                    return; // coalesce with the in-flight GET
+                }
+                let actions = self.clients[client.index()].get(key);
+                self.exec_client(now, client, actions);
+            }
+            Op::Put { key, payload } => {
+                let size = payload.len();
+                let delay = self.encode_delay(size);
+                self.pending_puts
+                    .entry((client, key.clone()))
+                    .or_insert_with(|| PendingReq {
+                        size,
+                        issued: Vec::new(),
+                        hosts: BTreeSet::new(),
+                    })
+                    .issued
+                    .push(now);
+                let actions = self.clients[client.index()].put(key, payload);
+                self.exec_client(now + delay, client, actions);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Action executors
+    // ------------------------------------------------------------------
+
+    fn exec_client(&mut self, at: SimTime, client: ClientId, actions: Vec<ClientAction>) {
+        for a in actions {
+            match a {
+                ClientAction::ToProxy { proxy, msg } | ClientAction::DataToProxy { proxy, msg } => {
+                    self.queue.push(
+                        at + self.params.ctrl_latency,
+                        Ev::ProxyRx {
+                            proxy,
+                            from_instance: None,
+                            from_client: Some(client),
+                            msg,
+                        },
+                    );
+                }
+                ClientAction::Deliver { key, object, report } => {
+                    let decode = if report.used_parity {
+                        SimDuration::from_secs_f64(
+                            report.decoded_bytes as f64 / self.params.decode_bps,
+                        )
+                    } else {
+                        SimDuration::from_secs_f64(object.len() as f64 / self.params.split_bps)
+                    };
+                    let completed = at + decode;
+                    if report.lost_chunks > 0 {
+                        self.metrics.ft_events.push((at, FtKind::Recovery));
+                    }
+                    if let Some(p) = self.pending_gets.remove(&(client, key.clone())) {
+                        for issued in p.issued {
+                            self.metrics.requests.push(RequestRecord {
+                                key: key.clone(),
+                                kind: OpKind::Get,
+                                size: object.len(),
+                                issued,
+                                completed,
+                                outcome: Outcome::Hit {
+                                    used_parity: report.used_parity,
+                                    lost_chunks: report.lost_chunks,
+                                },
+                                hosts_touched: p.hosts.len() as u32,
+                            });
+                        }
+                    }
+                }
+                ClientAction::Unrecoverable { key, .. } => {
+                    self.metrics.ft_events.push((at, FtKind::Reset));
+                    self.fail_get(at, client, key, true);
+                }
+                ClientAction::Miss { key } => {
+                    self.fail_get(at, client, key, false);
+                }
+                ClientAction::PutComplete { key } => {
+                    if let Some(p) = self.pending_puts.remove(&(client, key.clone())) {
+                        for issued in p.issued {
+                            self.metrics.requests.push(RequestRecord {
+                                key: key.clone(),
+                                kind: OpKind::Put,
+                                size: p.size,
+                                issued,
+                                completed: at,
+                                outcome: Outcome::Stored,
+                                hosts_touched: 0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A GET could not be served from cache: record it (served via the
+    /// backing store) and schedule the write-through re-insertion.
+    fn fail_get(&mut self, at: SimTime, client: ClientId, key: ObjectKey, loss: bool) {
+        let Some(p) = self.pending_gets.remove(&(client, key.clone())) else {
+            return;
+        };
+        if !self.write_through {
+            // Microbenchmark mode: record an infinite-cost miss marker is
+            // not useful; record as ColdMiss with zero S3 time.
+            for issued in p.issued {
+                self.metrics.requests.push(RequestRecord {
+                    key: key.clone(),
+                    kind: OpKind::Get,
+                    size: p.size,
+                    issued,
+                    completed: at,
+                    outcome: if loss { Outcome::Reset } else { Outcome::ColdMiss },
+                    hosts_touched: 0,
+                });
+            }
+            return;
+        }
+        let s3_latency = self.s3.get_latency(&mut self.rng, p.size);
+        let completed = at + s3_latency;
+        for issued in &p.issued {
+            self.metrics.requests.push(RequestRecord {
+                key: key.clone(),
+                kind: OpKind::Get,
+                size: p.size,
+                issued: *issued,
+                completed,
+                outcome: if loss { Outcome::Reset } else { Outcome::ColdMiss },
+                hosts_touched: 0,
+            });
+        }
+        self.queue.push(
+            completed,
+            Ev::ResetDone {
+                client,
+                key,
+                size: p.size,
+                issued: p.issued[0],
+                loss_induced: loss,
+            },
+        );
+    }
+
+    fn exec_proxy(
+        &mut self,
+        at: SimTime,
+        proxy: ProxyId,
+        actions: Vec<ProxyAction>,
+        ctx_from: Option<(LambdaId, InstanceId)>,
+    ) {
+        for a in actions {
+            match a {
+                ProxyAction::Invoke { lambda, payload } => {
+                    self.do_invoke(at, lambda, payload);
+                }
+                ProxyAction::ToLambda { lambda, msg }
+                | ProxyAction::DataToLambda { lambda, msg } => {
+                    match self.proxies[proxy.index()]
+                        .member(lambda)
+                        .and_then(|m| m.instance())
+                    {
+                        Some(instance) => {
+                            self.queue.push(
+                                at + self.params.ctrl_latency,
+                                Ev::InstanceRx { lambda, instance, msg },
+                            );
+                        }
+                        None => {
+                            // Never connected: behave like a reset.
+                            let acts =
+                                self.proxies[proxy.index()].on_delivery_failed(lambda, msg);
+                            self.exec_proxy(at, proxy, acts, None);
+                        }
+                    }
+                }
+                ProxyAction::ToClient { client, msg } => {
+                    self.queue
+                        .push(at + self.params.ctrl_latency, Ev::ClientRx { client, msg });
+                }
+                ProxyAction::DataToClient { client, msg } => {
+                    // Cut-through chunk stream lambda → proxy → client.
+                    let Some((lambda, instance)) = ctx_from else {
+                        // No flow source (shouldn't happen): deliver as a
+                        // plain message.
+                        self.queue
+                            .push(at + self.params.ctrl_latency, Ev::ClientRx { client, msg });
+                        continue;
+                    };
+                    let bytes = msg.data_len() as f64;
+                    let mut path = Vec::with_capacity(3);
+                    if let Some(up) = self
+                        .platform
+                        .fleet
+                        .instance_uplink(instance, &self.platform.hosts)
+                    {
+                        path.push(up);
+                    }
+                    path.push(self.proxy_links[proxy.index()]);
+                    path.push(self.client_links[client.index()]);
+                    let cap = self.platform.instance_bandwidth();
+                    self.net.start_flow(
+                        at,
+                        bytes.max(1.0),
+                        path,
+                        Some(cap),
+                        FlowPayload::GetChunk { client, instance, lambda, msg },
+                    );
+                    self.sync_network(at);
+                }
+                ProxyAction::SpawnRelay { relay, source } => {
+                    let source_instance = ctx_from
+                        .map(|(_, i)| i)
+                        .or_else(|| {
+                            self.proxies[proxy.index()]
+                                .member(source)
+                                .and_then(|m| m.instance())
+                        })
+                        .unwrap_or(InstanceId::NONE);
+                    self.relays.insert(
+                        (proxy, relay),
+                        RelayState { source: source_instance, dest: None },
+                    );
+                }
+            }
+        }
+    }
+
+    fn exec_lambda(
+        &mut self,
+        at: SimTime,
+        lambda: LambdaId,
+        instance: InstanceId,
+        actions: Vec<LAction>,
+    ) {
+        let owner = self.owner_of(lambda);
+        for a in actions {
+            match a {
+                LAction::ToProxy(msg) => {
+                    self.queue.push(
+                        at + self.params.ctrl_latency,
+                        Ev::ProxyRx {
+                            proxy: owner,
+                            from_instance: Some((lambda, instance)),
+                            from_client: None,
+                            msg,
+                        },
+                    );
+                }
+                LAction::DataToProxy(msg) => match &msg {
+                    Msg::ChunkData { .. } => {
+                        // Announce to the proxy after the node-side service
+                        // jitter; the proxy will open the cut-through flow.
+                        let jitter = self.service_jitter();
+                        self.queue.push(
+                            at + jitter + self.params.ctrl_latency,
+                            Ev::ProxyRx {
+                                proxy: owner,
+                                from_instance: Some((lambda, instance)),
+                                from_client: None,
+                                msg,
+                            },
+                        );
+                    }
+                    Msg::PutAck { id, .. } => {
+                        // The inbound PUT data flow; the ack releases when
+                        // the bytes land.
+                        let bytes = self
+                            .runtimes
+                            .get(&instance)
+                            .and_then(|rt| rt.store().peek(id).map(|c| c.payload.len()))
+                            .unwrap_or(1);
+                        let mut path = vec![self.proxy_links[owner.index()]];
+                        if let Some(up) = self
+                            .platform
+                            .fleet
+                            .instance_uplink(instance, &self.platform.hosts)
+                        {
+                            path.push(up);
+                        }
+                        let cap = self.platform.instance_bandwidth();
+                        self.net.start_flow(
+                            at,
+                            bytes.max(1) as f64,
+                            path,
+                            Some(cap),
+                            FlowPayload::PutChunk { instance, lambda, ack: msg },
+                        );
+                        self.sync_network(at);
+                    }
+                    _ => {
+                        debug_assert!(false, "unexpected data message {}", msg.kind());
+                    }
+                },
+                LAction::ToRelay { relay, msg } => {
+                    if let Some(to) = self.relay_counterpart(owner, relay, instance) {
+                        self.queue.push(
+                            at + self.params.ctrl_latency * 2,
+                            Ev::InstanceRx { lambda, instance: to, msg },
+                        );
+                    }
+                }
+                LAction::DataToRelay { relay, msg } => {
+                    if let Some(to) = self.relay_counterpart(owner, relay, instance) {
+                        let bytes = msg.data_len().max(1) as f64;
+                        let mut path = Vec::with_capacity(2);
+                        if let Some(up) = self
+                            .platform
+                            .fleet
+                            .instance_uplink(instance, &self.platform.hosts)
+                        {
+                            path.push(up);
+                        }
+                        path.push(self.proxy_links[owner.index()]);
+                        let cap = self.platform.instance_bandwidth();
+                        self.net.start_flow(
+                            at,
+                            bytes,
+                            path,
+                            Some(cap),
+                            FlowPayload::RelayChunk { to_instance: to, to_lambda: lambda, msg },
+                        );
+                        self.sync_network(at);
+                    }
+                }
+                LAction::SetTimer { token, at: t } => {
+                    self.queue.push(t, Ev::LambdaTimer { instance, token });
+                }
+                LAction::InvokePeer { relay } => {
+                    let inv = self.platform.invoke(at, lambda, &mut self.net);
+                    self.ensure_runtime(at, lambda, inv.instance);
+                    if let Some(r) = self.relays.get_mut(&(owner, relay)) {
+                        r.dest = Some(inv.instance);
+                    }
+                    self.queue.push(
+                        inv.ready_at,
+                        Ev::InvokeReady {
+                            lambda,
+                            instance: inv.instance,
+                            payload: InvokePayload {
+                                proxy: owner,
+                                piggyback_ping: false,
+                                backup: Some(BackupInvoke { relay, source: lambda }),
+                            },
+                        },
+                    );
+                }
+                LAction::Return { bye: _, category } => {
+                    let notice = self.platform.end_execution(at, instance, category);
+                    self.process_notice(notice);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    fn handle_flow(&mut self, now: SimTime, payload: FlowPayload) {
+        match payload {
+            FlowPayload::GetChunk { client, instance, lambda, msg } => {
+                if let Msg::ChunkToClient { id, .. } = &msg {
+                    // Host attribution for Fig 4.
+                    if let Some(inst) = self.platform.fleet.instance(instance) {
+                        if let Some(p) =
+                            self.pending_gets.get_mut(&(client, id.key.clone()))
+                        {
+                            p.hosts.insert(inst.host);
+                        }
+                    }
+                }
+                self.queue.push(now, Ev::ClientRx { client, msg });
+                if let Some(rt) = self.runtimes.get_mut(&instance) {
+                    let actions = rt.on_served(now);
+                    self.exec_lambda(now, lambda, instance, actions);
+                }
+            }
+            FlowPayload::PutChunk { instance, lambda, ack } => {
+                let owner = self.owner_of(lambda);
+                self.queue.push(
+                    now + self.params.ctrl_latency,
+                    Ev::ProxyRx {
+                        proxy: owner,
+                        from_instance: Some((lambda, instance)),
+                        from_client: None,
+                        msg: ack,
+                    },
+                );
+                if let Some(rt) = self.runtimes.get_mut(&instance) {
+                    let actions = rt.on_served(now);
+                    self.exec_lambda(now, lambda, instance, actions);
+                }
+            }
+            FlowPayload::RelayChunk { to_instance, to_lambda, msg } => {
+                self.queue
+                    .push(now, Ev::InstanceRx { lambda: to_lambda, instance: to_instance, msg });
+            }
+        }
+    }
+
+    fn do_invoke(&mut self, at: SimTime, lambda: LambdaId, payload: InvokePayload) {
+        let inv = self.platform.invoke(at, lambda, &mut self.net);
+        self.ensure_runtime(at, lambda, inv.instance);
+        self.queue.push(
+            inv.ready_at,
+            Ev::InvokeReady { lambda, instance: inv.instance, payload },
+        );
+    }
+
+    fn ensure_runtime(&mut self, at: SimTime, lambda: LambdaId, instance: InstanceId) {
+        self.runtimes
+            .entry(instance)
+            .or_insert_with(|| Runtime::new(lambda, instance, self.rt_cfg, at));
+    }
+
+    fn process_notice(&mut self, notice: PlatformNotice) {
+        match notice {
+            PlatformNotice::Reclaimed { instance, .. } => {
+                self.runtimes.remove(&instance);
+            }
+            PlatformNotice::Schedule { at, event } => {
+                self.queue.push(at, Ev::Platform(event));
+            }
+        }
+    }
+
+    fn sync_network(&mut self, now: SimTime) {
+        if let Some((t, epoch)) = self.net.next_completion(now) {
+            self.queue.push(t, Ev::FlowTick { epoch });
+        }
+    }
+
+    fn relay_counterpart(
+        &self,
+        owner: ProxyId,
+        relay: RelayId,
+        from: InstanceId,
+    ) -> Option<InstanceId> {
+        let r = self.relays.get(&(owner, relay))?;
+        if from == r.source {
+            r.dest
+        } else {
+            Some(r.source)
+        }
+    }
+
+    fn owner_of(&self, lambda: LambdaId) -> ProxyId {
+        ProxyId((lambda.0 / self.cfg.lambdas_per_proxy) as u16)
+    }
+
+    fn encode_delay(&self, size: u64) -> SimDuration {
+        let bps = if self.cfg.ec.parity > 0 {
+            self.params.encode_bps
+        } else {
+            self.params.split_bps
+        };
+        SimDuration::from_secs_f64(size as f64 / bps)
+    }
+
+    fn service_jitter(&mut self) -> SimDuration {
+        let base = lognormal_sample(
+            &mut self.rng,
+            (self.params.chunk_jitter_median.as_secs_f64()).ln(),
+            self.params.chunk_jitter_sigma,
+        );
+        let straggle = if self.rng.gen::<f64>() < self.params.straggler_prob {
+            exponential_sample(&mut self.rng, 1.0 / self.params.straggler_mean.as_secs_f64())
+        } else {
+            0.0
+        };
+        SimDuration::from_secs_f64(base + straggle)
+    }
+}
+
+fn is_relay_msg(msg: &Msg) -> bool {
+    matches!(
+        msg,
+        Msg::HelloSource { .. }
+            | Msg::BackupKeys { .. }
+            | Msg::BackupFetch { .. }
+            | Msg::BackupChunk { .. }
+            | Msg::BackupMiss { .. }
+            | Msg::BackupDone { .. }
+    )
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorld")
+            .field("now", &self.now())
+            .field("lambdas", &self.cfg.total_lambdas())
+            .field("proxies", &self.proxies.len())
+            .field("clients", &self.clients.len())
+            .field("runtimes", &self.runtimes.len())
+            .field("requests", &self.metrics.requests.len())
+            .finish()
+    }
+}

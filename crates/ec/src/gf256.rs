@@ -1,0 +1,287 @@
+//! Arithmetic in GF(2^8) with the AES-adjacent polynomial `0x11d`
+//! (x⁸ + x⁴ + x³ + x² + 1), the field used by virtually every storage
+//! Reed–Solomon implementation (Backblaze, klauspost, ISA-L).
+//!
+//! Addition is XOR; multiplication goes through compile-time log/exp tables.
+//! The slice kernels ([`mul_slice`], [`mul_slice_xor`]) use per-coefficient
+//! split-nibble lookup tables — the scalar version of the PSHUFB trick that
+//! AVX implementations (and the paper's Go library) use — which makes
+//! encoding throughput proportional to memory bandwidth rather than to
+//! per-byte log/exp arithmetic.
+
+/// Number of field elements.
+pub const FIELD_SIZE: usize = 256;
+/// The reduction polynomial (x⁸ + x⁴ + x³ + x² + 1).
+pub const POLYNOMIAL: u16 = 0x11d;
+/// Generator of the multiplicative group.
+pub const GENERATOR: u8 = 2;
+
+/// `EXP[i] = GENERATOR^i`, doubled in length so products of logs need no
+/// modulo reduction.
+static EXP: [u8; 510] = build_exp();
+/// `LOG[x]` for x ≠ 0; `LOG[0]` is a trap value never read by valid code.
+static LOG: [u16; 256] = build_log();
+
+const fn build_exp() -> [u8; 510] {
+    let mut table = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLYNOMIAL;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let exp = build_exp();
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    table[0] = 511; // trap: forces an out-of-bounds panic if ever used
+    table
+}
+
+/// Adds two field elements (XOR). Subtraction is identical.
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    EXP[(LOG[a as usize] + LOG[b as usize]) as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        return 0;
+    }
+    EXP[(LOG[a as usize] + 255 - LOG[b as usize]) as usize]
+}
+
+/// Multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(2^8)");
+    EXP[(255 - LOG[a as usize]) as usize]
+}
+
+/// Raises `a` to the power `n`.
+pub fn pow(a: u8, n: usize) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = (LOG[a as usize] as usize * n) % 255;
+    EXP[l]
+}
+
+/// Per-coefficient lookup tables: `low[x & 0xf] ^ high[x >> 4] == mul(c, x)`.
+///
+/// Building one costs 32 multiplications and is amortized over an entire
+/// shard row, which is what makes the slice kernels fast.
+#[derive(Clone, Copy)]
+pub struct MulTable {
+    low: [u8; 16],
+    high: [u8; 16],
+}
+
+impl MulTable {
+    /// Builds the split-nibble table for coefficient `c`.
+    pub fn new(c: u8) -> Self {
+        let mut low = [0u8; 16];
+        let mut high = [0u8; 16];
+        for i in 0..16u8 {
+            low[i as usize] = mul(c, i);
+            high[i as usize] = mul(c, i << 4);
+        }
+        MulTable { low, high }
+    }
+
+    /// Multiplies a single byte by the table's coefficient.
+    #[inline]
+    pub fn apply(&self, x: u8) -> u8 {
+        self.low[(x & 0x0f) as usize] ^ self.high[(x >> 4) as usize]
+    }
+}
+
+/// `out[i] = c * input[i]` for whole slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_slice(c: u8, input: &[u8], out: &mut [u8]) {
+    assert_eq!(input.len(), out.len(), "shard length mismatch");
+    match c {
+        0 => out.fill(0),
+        1 => out.copy_from_slice(input),
+        _ => {
+            let t = MulTable::new(c);
+            for (o, &x) in out.iter_mut().zip(input) {
+                *o = t.apply(x);
+            }
+        }
+    }
+}
+
+/// `out[i] ^= c * input[i]` for whole slices — the inner loop of encoding.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_slice_xor(c: u8, input: &[u8], out: &mut [u8]) {
+    assert_eq!(input.len(), out.len(), "shard length mismatch");
+    match c {
+        0 => {}
+        1 => {
+            for (o, &x) in out.iter_mut().zip(input) {
+                *o ^= x;
+            }
+        }
+        _ => {
+            let t = MulTable::new(c);
+            for (o, &x) in out.iter_mut().zip(input) {
+                *o ^= t.apply(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Slow reference multiplication (Russian peasant) to validate tables.
+    fn mul_ref(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= (POLYNOMIAL & 0xff) as u8;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn tables_match_reference_multiplication() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul_ref(a, b), "mul({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a * a^-1 for a={a}");
+            assert_eq!(div(a, a), 1);
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+        // Associativity / distributivity on a sample grid.
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c));
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 5, 91, 255] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(pow(a, n), acc, "pow({a},{n})");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1, "0^0 is 1 by convention (Vandermonde row 0)");
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "generator cycled early");
+            seen[x as usize] = true;
+            x = mul(x, GENERATOR);
+        }
+        assert_eq!(x, 1, "generator order must be 255");
+    }
+
+    #[test]
+    fn mul_table_agrees_with_mul() {
+        for c in [0u8, 1, 2, 127, 200, 255] {
+            let t = MulTable::new(c);
+            for x in 0..=255u8 {
+                assert_eq!(t.apply(x), mul(c, x), "table({c},{x})");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_ops() {
+        let input: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 3, 142] {
+            let mut out = vec![0xAAu8; 256];
+            mul_slice(c, &input, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, mul(c, input[i]));
+            }
+            let mut acc = input.clone();
+            mul_slice_xor(c, &input, &mut acc);
+            for (i, &o) in acc.iter().enumerate() {
+                assert_eq!(o, input[i] ^ mul(c, input[i]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = div(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = inv(0);
+    }
+}

@@ -1,0 +1,46 @@
+//! From-scratch Reed–Solomon erasure coding over GF(2^8).
+//!
+//! This is the reproduction's equivalent of the Go `klauspost/reedsolomon`
+//! library the paper's client embeds (§5 "Implementation"): a systematic
+//! Reed–Solomon code `(d + p)` built from a Vandermonde matrix, with
+//! encode / verify / reconstruct operations and helpers to split an object
+//! into shards and join it back.
+//!
+//! Layering:
+//!
+//! * [`gf256`] — arithmetic in GF(2^8) with the `0x11d` polynomial,
+//!   log/exp tables and split-nibble slice kernels;
+//! * [`matrix`] — dense matrices over GF(2^8) with Gauss–Jordan inversion;
+//! * [`rs`] — the [`ReedSolomon`] codec itself;
+//! * [`object`] — object-level splitting/joining used by the client library
+//!   (§3.1: a PUT encodes the object into `d + p` chunks).
+//!
+//! # Example
+//!
+//! ```
+//! use ic_ec::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(4, 2)?;
+//! let mut shards: Vec<Vec<u8>> = vec![
+//!     b"hell".to_vec(), b"o wo".to_vec(), b"rld!".to_vec(), b"1234".to_vec(),
+//!     vec![0; 4], vec![0; 4], // parity, filled by encode
+//! ];
+//! rs.encode(&mut shards)?;
+//!
+//! // Lose any two shards...
+//! let mut with_loss: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+//! with_loss[1] = None;
+//! with_loss[4] = None;
+//! // ...and get them back.
+//! rs.reconstruct(&mut with_loss)?;
+//! assert_eq!(with_loss[1].as_deref(), Some(&b"o wo"[..]));
+//! # Ok::<(), ic_common::Error>(())
+//! ```
+
+pub mod gf256;
+pub mod matrix;
+pub mod object;
+pub mod rs;
+
+pub use object::{join_object, split_object};
+pub use rs::ReedSolomon;

@@ -1,0 +1,288 @@
+//! Dense matrices over GF(2^8): construction, multiplication, Gauss–Jordan
+//! inversion, and the Vandermonde builder used to derive the systematic
+//! Reed–Solomon encoding matrix.
+
+use ic_common::{Error, Result};
+
+use crate::gf256;
+
+/// A row-major dense matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// The `rows × cols` Vandermonde matrix `V[r][c] = r^c`.
+    ///
+    /// Every square submatrix formed by any `cols` distinct rows is
+    /// invertible (distinct evaluation points), which is the property that
+    /// makes any `d` surviving shards decodable.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows one row as a slice.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs.get(k, c));
+                    out.set(r, c, out.get(r, c) ^ prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix made of the given rows of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let rows: Vec<Vec<u8>> = indices.iter().map(|&i| self.row(i).to_vec()).collect();
+        Matrix::from_rows(rows)
+    }
+
+    /// Returns the top-left `rows × cols` submatrix.
+    pub fn submatrix(&self, rows: usize, cols: usize) -> Matrix {
+        assert!(rows <= self.rows && cols <= self.cols);
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, self.get(r, c));
+            }
+        }
+        m
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] if the matrix is singular or not square.
+    pub fn inverse(&self) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(Error::Coding(format!(
+                "cannot invert non-square {}x{} matrix",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut out = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot at or below the diagonal.
+            let pivot = (col..n)
+                .find(|&r| work.get(r, col) != 0)
+                .ok_or_else(|| Error::Coding("singular matrix".into()))?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                out.swap_rows(pivot, col);
+            }
+            // Scale the pivot row to make the diagonal 1.
+            let inv_p = gf256::inv(work.get(col, col));
+            work.scale_row(col, inv_p);
+            out.scale_row(col, inv_p);
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor != 0 {
+                    work.add_scaled_row(col, r, factor);
+                    out.add_scaled_row(col, r, factor);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, gf256::mul(v, factor));
+        }
+    }
+
+    /// `row[dst] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, src: usize, dst: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(self.get(src, c), factor);
+            let cur = self.get(dst, c);
+            self.set(dst, c, cur ^ v);
+        }
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:3?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let v = Matrix::vandermonde(5, 3);
+        let i3 = Matrix::identity(3);
+        assert_eq!(v.mul(&i3), v);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        // Vandermonde top-squares are invertible.
+        for n in 1..=8 {
+            let m = Matrix::vandermonde(n, n);
+            let inv = m.inverse().unwrap();
+            assert_eq!(m.mul(&inv), Matrix::identity(n), "n={n}");
+            assert_eq!(inv.mul(&m), Matrix::identity(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![1, 2]]);
+        assert!(matches!(m.inverse(), Err(Error::Coding(_))));
+    }
+
+    #[test]
+    fn non_square_inverse_is_an_error() {
+        let m = Matrix::vandermonde(3, 2);
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn any_row_subset_of_vandermonde_is_invertible() {
+        // The decodability property Reed–Solomon relies on.
+        let v = Matrix::vandermonde(8, 4);
+        // A few representative 4-row subsets.
+        for subset in [
+            vec![0usize, 1, 2, 3],
+            vec![4, 5, 6, 7],
+            vec![0, 2, 5, 7],
+            vec![1, 3, 4, 6],
+        ] {
+            let sub = v.select_rows(&subset);
+            assert!(sub.inverse().is_ok(), "subset {subset:?} not invertible");
+        }
+    }
+
+    #[test]
+    fn select_rows_and_submatrix() {
+        let v = Matrix::vandermonde(4, 3);
+        let top = v.submatrix(2, 3);
+        let sel = v.select_rows(&[0, 1]);
+        assert_eq!(top, sel);
+    }
+
+    #[test]
+    fn mul_known_small_case() {
+        // [[1,0],[0,2]] * [[3],[4]] = [[3],[2*4]]
+        let a = Matrix::from_rows(vec![vec![1, 0], vec![0, 2]]);
+        let b = Matrix::from_rows(vec![vec![3], vec![4]]);
+        let c = a.mul(&b);
+        assert_eq!(c.get(0, 0), 3);
+        assert_eq!(c.get(1, 0), gf256::mul(2, 4));
+    }
+}

@@ -1,0 +1,169 @@
+//! Object-level splitting and joining.
+//!
+//! The client library's PUT path splits an object into `d` equal data shards
+//! (zero-padding the tail) before encoding; the GET path joins the first `d`
+//! decoded shards and trims the padding back off (§3.1).
+
+use bytes::Bytes;
+use ic_common::{EcConfig, Error, Result};
+
+/// Splits `object` into `d` data shards of `ceil(len / d)` bytes each,
+/// zero-padding the tail, and appends `p` zeroed parity slots ready for
+/// [`crate::ReedSolomon::encode`].
+///
+/// # Errors
+///
+/// Returns [`Error::Coding`] for an empty object (nothing to shard).
+///
+/// # Example
+///
+/// ```
+/// use ic_common::EcConfig;
+/// use ic_ec::{split_object, join_object};
+///
+/// let ec = EcConfig::new(4, 2)?;
+/// let shards = split_object(ec, b"hello world")?; // 11 bytes -> 4 x 3B + pad
+/// assert_eq!(shards.len(), 6);
+/// assert_eq!(shards[0].len(), 3);
+/// let back = join_object(ec, &shards, 11)?;
+/// assert_eq!(&back[..], b"hello world");
+/// # Ok::<(), ic_common::Error>(())
+/// ```
+pub fn split_object(ec: EcConfig, object: &[u8]) -> Result<Vec<Vec<u8>>> {
+    if object.is_empty() {
+        return Err(Error::Coding("cannot shard an empty object".into()));
+    }
+    let chunk_len = ec.chunk_len(object.len() as u64) as usize;
+    let mut shards = Vec::with_capacity(ec.shards());
+    for i in 0..ec.data {
+        let start = i * chunk_len;
+        let end = ((i + 1) * chunk_len).min(object.len());
+        let mut shard = Vec::with_capacity(chunk_len);
+        if start < object.len() {
+            shard.extend_from_slice(&object[start..end]);
+        }
+        shard.resize(chunk_len, 0);
+        shards.push(shard);
+    }
+    for _ in 0..ec.parity {
+        shards.push(vec![0u8; chunk_len]);
+    }
+    Ok(shards)
+}
+
+/// Joins the first `d` shards back into the original object of
+/// `object_size` bytes (dropping tail padding).
+///
+/// Accepts anything yielding byte slices, so it works both on `Vec<Vec<u8>>`
+/// stripes and on reconstructed `Option`-stripped shards.
+///
+/// # Errors
+///
+/// Returns [`Error::Coding`] if fewer than `d` shards are supplied or the
+/// shards cannot cover `object_size` bytes.
+pub fn join_object<T: AsRef<[u8]>>(
+    ec: EcConfig,
+    shards: &[T],
+    object_size: u64,
+) -> Result<Bytes> {
+    if shards.len() < ec.data {
+        return Err(Error::Coding(format!(
+            "need {} data shards to join, got {}",
+            ec.data,
+            shards.len()
+        )));
+    }
+    let chunk_len = ec.chunk_len(object_size) as usize;
+    let total: usize = chunk_len * ec.data;
+    if (object_size as usize) > total {
+        return Err(Error::Coding(format!(
+            "shards cover {total} bytes but object is {object_size}"
+        )));
+    }
+    let mut out = Vec::with_capacity(object_size as usize);
+    for shard in shards.iter().take(ec.data) {
+        let s = shard.as_ref();
+        if s.len() != chunk_len {
+            return Err(Error::Coding(format!(
+                "shard length {} != expected chunk length {chunk_len}",
+                s.len()
+            )));
+        }
+        let remaining = object_size as usize - out.len();
+        out.extend_from_slice(&s[..remaining.min(chunk_len)]);
+        if out.len() == object_size as usize {
+            break;
+        }
+    }
+    Ok(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReedSolomon;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn split_join_roundtrip_exact_multiple() {
+        let ec = EcConfig::new(5, 1).unwrap();
+        let data = sample(100);
+        let shards = split_object(ec, &data).unwrap();
+        assert_eq!(shards.len(), 6);
+        assert!(shards.iter().all(|s| s.len() == 20));
+        let back = join_object(ec, &shards, 100).unwrap();
+        assert_eq!(&back[..], &data[..]);
+    }
+
+    #[test]
+    fn split_join_roundtrip_with_padding() {
+        let ec = EcConfig::new(10, 2).unwrap();
+        for len in [1usize, 9, 10, 11, 99, 101, 1000, 1023] {
+            let data = sample(len);
+            let shards = split_object(ec, &data).unwrap();
+            let back = join_object(ec, &shards, len as u64).unwrap();
+            assert_eq!(&back[..], &data[..], "len={len}");
+        }
+    }
+
+    #[test]
+    fn empty_object_is_rejected() {
+        let ec = EcConfig::new(4, 2).unwrap();
+        assert!(split_object(ec, b"").is_err());
+    }
+
+    #[test]
+    fn join_validates_inputs() {
+        let ec = EcConfig::new(4, 0).unwrap();
+        let shards = split_object(ec, &sample(16)).unwrap();
+        assert!(join_object(ec, &shards[..3], 16).is_err());
+        assert!(join_object(ec, &shards, 1000).is_err());
+        let bad = vec![vec![0u8; 3]; 4];
+        assert!(join_object(ec, &bad, 16).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_split_encode_damage_reconstruct_join() {
+        let ec = EcConfig::new(10, 4).unwrap();
+        let rs = ReedSolomon::from_config(ec);
+        let data = sample(12_345);
+        let mut shards = split_object(ec, &data).unwrap();
+        rs.encode(&mut shards).unwrap();
+
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for e in [0usize, 3, 9, 12] {
+            damaged[e] = None;
+        }
+        rs.reconstruct_data(&mut damaged).unwrap();
+        let data_shards: Vec<Vec<u8>> = damaged
+            .into_iter()
+            .take(10)
+            .map(|s| s.expect("data reconstructed"))
+            .collect();
+        let back = join_object(ec, &data_shards, 12_345).unwrap();
+        assert_eq!(&back[..], &data[..]);
+    }
+}

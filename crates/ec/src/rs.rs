@@ -1,0 +1,373 @@
+//! The systematic Reed–Solomon codec.
+//!
+//! The encoding matrix is built the way Backblaze/klauspost do it: take the
+//! `(d+p) × d` Vandermonde matrix, multiply by the inverse of its top `d × d`
+//! square so the top becomes the identity (data shards pass through
+//! unchanged), and use the bottom `p` rows to produce parity. Any `d` rows of
+//! the result remain invertible, so any `d` surviving shards reconstruct the
+//! stripe.
+
+use ic_common::{EcConfig, Error, Result};
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// A Reed–Solomon encoder/decoder for a fixed `(d + p)` code.
+///
+/// With `parity == 0` the codec degrades to plain striping — the paper's
+/// `(10+0)` baseline: encoding is a no-op and any lost shard is
+/// unrecoverable.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    data: usize,
+    parity: usize,
+    /// `(d+p) × d` systematic encoding matrix (top `d` rows = identity).
+    enc: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds a codec for `data` data shards plus `parity` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] under the same rules as
+    /// [`EcConfig::new`] (zero data shards, or more than 255 total).
+    pub fn new(data: usize, parity: usize) -> Result<Self> {
+        let cfg = EcConfig::new(data, parity)?;
+        Ok(Self::from_config(cfg))
+    }
+
+    /// Builds a codec from an [`EcConfig`].
+    pub fn from_config(cfg: EcConfig) -> Self {
+        let (d, p) = (cfg.data, cfg.parity);
+        let enc = if p == 0 {
+            Matrix::identity(d)
+        } else {
+            let vand = Matrix::vandermonde(d + p, d);
+            let top_inv = vand
+                .submatrix(d, d)
+                .inverse()
+                .expect("Vandermonde top square is always invertible");
+            vand.mul(&top_inv)
+        };
+        ReedSolomon { data: d, parity: p, enc }
+    }
+
+    /// Number of data shards `d`.
+    pub fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    /// Number of parity shards `p`.
+    pub fn parity_shards(&self) -> usize {
+        self.parity
+    }
+
+    /// Total shards `d + p`.
+    pub fn total_shards(&self) -> usize {
+        self.data + self.parity
+    }
+
+    /// Encoding-matrix row for shard `i` (exposed for tests and for the
+    /// decode planner).
+    pub fn matrix_row(&self, i: usize) -> &[u8] {
+        self.enc.row(i)
+    }
+
+    fn check_shard_shape<T: AsRef<[u8]>>(&self, shards: &[T]) -> Result<usize> {
+        if shards.len() != self.total_shards() {
+            return Err(Error::Coding(format!(
+                "expected {} shards, got {}",
+                self.total_shards(),
+                shards.len()
+            )));
+        }
+        let len = shards[0].as_ref().len();
+        if len == 0 {
+            return Err(Error::Coding("shards must not be empty".into()));
+        }
+        for (i, s) in shards.iter().enumerate() {
+            if s.as_ref().len() != len {
+                return Err(Error::Coding(format!(
+                    "shard {i} length {} != shard 0 length {len}",
+                    s.as_ref().len()
+                )));
+            }
+        }
+        Ok(len)
+    }
+
+    /// Fills the parity shards from the data shards.
+    ///
+    /// `shards` holds all `d + p` shards of equal length; the first `d` are
+    /// read, the last `p` are overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] if the shard count or lengths are wrong.
+    pub fn encode(&self, shards: &mut [Vec<u8>]) -> Result<()> {
+        self.check_shard_shape(shards)?;
+        if self.parity == 0 {
+            return Ok(());
+        }
+        let (data, parity) = shards.split_at_mut(self.data);
+        for (p_idx, out) in parity.iter_mut().enumerate() {
+            let row = self.enc.row(self.data + p_idx);
+            out.fill(0);
+            for (d_idx, input) in data.iter().enumerate() {
+                gf256::mul_slice_xor(row[d_idx], input, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that the parity shards are consistent with the data shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] if the shard count or lengths are wrong.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool> {
+        let len = self.check_shard_shape(shards)?;
+        if self.parity == 0 {
+            return Ok(true);
+        }
+        let mut expected = vec![0u8; len];
+        for p_idx in 0..self.parity {
+            let row = self.enc.row(self.data + p_idx);
+            expected.fill(0);
+            for (d_idx, input) in shards[..self.data].iter().enumerate() {
+                gf256::mul_slice_xor(row[d_idx], input, &mut expected);
+            }
+            if expected != shards[self.data + p_idx] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Rebuilds **all** missing shards (data and parity) in place.
+    ///
+    /// `shards[i] == None` marks an erasure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ChunkUnavailable`] if fewer than `d` shards
+    /// survive, and [`Error::Coding`] on shape mismatches.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<()> {
+        self.reconstruct_internal(shards, false)
+    }
+
+    /// Rebuilds only the missing **data** shards (cheaper when parity is not
+    /// needed again — the client GET path uses this after first-*d* arrival).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReedSolomon::reconstruct`].
+    pub fn reconstruct_data(&self, shards: &mut [Option<Vec<u8>>]) -> Result<()> {
+        self.reconstruct_internal(shards, true)
+    }
+
+    fn reconstruct_internal(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        data_only: bool,
+    ) -> Result<()> {
+        let n = self.total_shards();
+        if shards.len() != n {
+            return Err(Error::Coding(format!(
+                "expected {n} shard slots, got {}",
+                shards.len()
+            )));
+        }
+        let present: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+        if present.len() == n {
+            return Ok(());
+        }
+        if present.len() < self.data {
+            return Err(Error::ChunkUnavailable {
+                needed: self.data,
+                available: present.len(),
+            });
+        }
+        let len = shards[present[0]].as_ref().expect("present").len();
+        for &i in &present {
+            let l = shards[i].as_ref().expect("present").len();
+            if l != len {
+                return Err(Error::Coding(format!(
+                    "shard {i} length {l} != expected {len}"
+                )));
+            }
+        }
+
+        // Decode matrix: rows of the encoding matrix for d surviving shards.
+        let chosen = &present[..self.data];
+        let sub = self.enc.select_rows(chosen);
+        let dec = sub.inverse()?; // invertible by the Vandermonde property
+
+        // Missing data shard k = Σ_j dec[k][j] * surviving_j.
+        let missing_data: Vec<usize> =
+            (0..self.data).filter(|&i| shards[i].is_none()).collect();
+        for &k in &missing_data {
+            let mut out = vec![0u8; len];
+            for (j, &src) in chosen.iter().enumerate() {
+                let coeff = dec.get(k, j);
+                let input = shards[src].as_ref().expect("present");
+                gf256::mul_slice_xor(coeff, input, &mut out);
+            }
+            shards[k] = Some(out);
+        }
+
+        if data_only {
+            return Ok(());
+        }
+
+        // Missing parity shards re-encode from (now complete) data shards.
+        let missing_parity: Vec<usize> =
+            (self.data..n).filter(|&i| shards[i].is_none()).collect();
+        for &k in &missing_parity {
+            let row = self.enc.row(k).to_vec();
+            let mut out = vec![0u8; len];
+            for (d_idx, coeff) in row.iter().enumerate().take(self.data) {
+                let input = shards[d_idx].as_ref().expect("data complete");
+                gf256::mul_slice_xor(*coeff, input, &mut out);
+            }
+            shards[k] = Some(out);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe(rs: &ReedSolomon, shard_len: usize) -> Vec<Vec<u8>> {
+        let mut shards: Vec<Vec<u8>> = (0..rs.total_shards())
+            .map(|i| {
+                (0..shard_len)
+                    .map(|j| ((i * 131 + j * 17 + 5) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        // Parity slots start as garbage; encode fixes them.
+        rs.encode(&mut shards).unwrap();
+        shards
+    }
+
+    #[test]
+    fn systematic_encoding_leaves_data_untouched() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let original: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8 + 1; 8]).collect();
+        let mut shards = original.clone();
+        rs.encode(&mut shards).unwrap();
+        assert_eq!(&shards[..4], &original[..4]);
+    }
+
+    #[test]
+    fn verify_accepts_encoded_and_rejects_corruption() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let mut shards = stripe(&rs, 64);
+        assert!(rs.verify(&shards).unwrap());
+        shards[2][10] ^= 0x40;
+        assert!(!rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn reconstructs_up_to_p_erasures_anywhere() {
+        let rs = ReedSolomon::new(10, 2).unwrap();
+        let shards = stripe(&rs, 100);
+        for erasures in [vec![0usize], vec![11], vec![0, 11], vec![3, 7], vec![10, 11]] {
+            let mut damaged: Vec<Option<Vec<u8>>> =
+                shards.iter().cloned().map(Some).collect();
+            for &e in &erasures {
+                damaged[e] = None;
+            }
+            rs.reconstruct(&mut damaged).unwrap();
+            for (i, s) in damaged.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &shards[i], "shard {i}, erasures {erasures:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_is_unrecoverable() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = stripe(&rs, 16);
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        damaged[0] = None;
+        damaged[1] = None;
+        damaged[2] = None;
+        let err = rs.reconstruct(&mut damaged).unwrap_err();
+        assert_eq!(err, Error::ChunkUnavailable { needed: 4, available: 3 });
+    }
+
+    #[test]
+    fn reconstruct_data_skips_parity() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = stripe(&rs, 16);
+        let mut damaged: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        damaged[1] = None;
+        damaged[5] = None;
+        rs.reconstruct_data(&mut damaged).unwrap();
+        assert_eq!(damaged[1].as_ref().unwrap(), &shards[1]);
+        assert!(damaged[5].is_none(), "parity should stay missing");
+    }
+
+    #[test]
+    fn striping_mode_encodes_trivially_and_cannot_recover() {
+        let rs = ReedSolomon::new(10, 0).unwrap();
+        let mut shards: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 4]).collect();
+        let before = shards.clone();
+        rs.encode(&mut shards).unwrap();
+        assert_eq!(shards, before, "(10+0) encode must be a no-op");
+        assert!(rs.verify(&shards).unwrap());
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        damaged[4] = None;
+        assert!(matches!(
+            rs.reconstruct(&mut damaged),
+            Err(Error::ChunkUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let mut too_few = vec![vec![0u8; 4]; 4];
+        assert!(rs.encode(&mut too_few).is_err());
+        let mut ragged = vec![vec![0u8; 4]; 5];
+        ragged[3] = vec![0u8; 5];
+        assert!(rs.encode(&mut ragged).is_err());
+        let mut empty = vec![Vec::new(); 5];
+        assert!(rs.encode(&mut empty).is_err());
+    }
+
+    #[test]
+    fn full_stripe_reconstruct_is_a_noop() {
+        let rs = ReedSolomon::new(4, 1).unwrap();
+        let shards = stripe(&rs, 8);
+        let mut all: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        rs.reconstruct(&mut all).unwrap();
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.as_ref().unwrap(), &shards[i]);
+        }
+    }
+
+    #[test]
+    fn paper_codes_all_roundtrip() {
+        // Every RS code evaluated in Fig 11.
+        for (d, p) in [(10, 1), (10, 2), (10, 4), (4, 2), (5, 1), (20, 4)] {
+            let rs = ReedSolomon::new(d, p).unwrap();
+            let shards = stripe(&rs, 128);
+            let mut damaged: Vec<Option<Vec<u8>>> =
+                shards.iter().cloned().map(Some).collect();
+            for i in 0..p {
+                damaged[i * 2] = None; // spread erasures
+            }
+            rs.reconstruct(&mut damaged).unwrap();
+            for (i, s) in damaged.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &shards[i], "code ({d}+{p}) shard {i}");
+            }
+        }
+    }
+}

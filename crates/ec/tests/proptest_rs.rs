@@ -1,0 +1,105 @@
+//! Property-based tests for the Reed–Solomon codec: for arbitrary codes,
+//! shard contents, and erasure patterns within tolerance, reconstruction is
+//! exact; corruption is detected by `verify`; split/join is an identity.
+
+use ic_common::EcConfig;
+use ic_ec::{join_object, split_object, ReedSolomon};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: a plausible code (d in 1..=12, p in 0..=4) plus a shard length.
+fn code_and_len() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=12, 0usize..=4, 1usize..=96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reconstruct_recovers_any_tolerable_erasure_pattern(
+        (d, p, len) in code_and_len(),
+        seed in any::<u64>(),
+        erasure_selector in vec(any::<u16>(), 0..=4),
+    ) {
+        let rs = ReedSolomon::new(d, p).unwrap();
+        let n = d + p;
+
+        // Deterministic pseudo-random stripe from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        };
+        let mut shards: Vec<Vec<u8>> =
+            (0..n).map(|_| (0..len).map(|_| next()).collect()).collect();
+        rs.encode(&mut shards).unwrap();
+        prop_assert!(rs.verify(&shards).unwrap());
+
+        // Erase at most p distinct shards.
+        let mut damaged: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        let mut erased = Vec::new();
+        for sel in erasure_selector.iter().take(p) {
+            let idx = (*sel as usize) % n;
+            if !erased.contains(&idx) {
+                erased.push(idx);
+                damaged[idx] = None;
+            }
+        }
+
+        rs.reconstruct(&mut damaged).unwrap();
+        for (i, s) in damaged.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &shards[i], "shard {}", i);
+        }
+    }
+
+    #[test]
+    fn verify_rejects_any_single_byte_corruption(
+        (d, p, len) in (1usize..=8, 1usize..=3, 1usize..=64),
+        shard_sel in any::<u16>(),
+        byte_sel in any::<u16>(),
+        flip in 1u8..=255,
+    ) {
+        let rs = ReedSolomon::new(d, p).unwrap();
+        let n = d + p;
+        let mut shards: Vec<Vec<u8>> =
+            (0..n).map(|i| vec![i as u8; len]).collect();
+        rs.encode(&mut shards).unwrap();
+
+        let s = (shard_sel as usize) % n;
+        let b = (byte_sel as usize) % len;
+        shards[s][b] ^= flip;
+        prop_assert!(!rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn split_join_identity(
+        (d, p) in (1usize..=12, 0usize..=4),
+        data in vec(any::<u8>(), 1..2048),
+    ) {
+        let ec = EcConfig::new(d, p).unwrap();
+        let shards = split_object(ec, &data).unwrap();
+        prop_assert_eq!(shards.len(), d + p);
+        let back = join_object(ec, &shards, data.len() as u64).unwrap();
+        prop_assert_eq!(&back[..], &data[..]);
+    }
+
+    #[test]
+    fn over_tolerance_erasures_always_error(
+        (d, p, len) in (2usize..=8, 0usize..=3, 1usize..=32),
+    ) {
+        let rs = ReedSolomon::new(d, p).unwrap();
+        let n = d + p;
+        let mut shards: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; len]).collect();
+        rs.encode(&mut shards).unwrap();
+        let mut damaged: Vec<Option<Vec<u8>>> =
+            shards.into_iter().map(Some).collect();
+        // Erase p + 1 shards: strictly beyond tolerance.
+        for slot in damaged.iter_mut().take(p + 1) {
+            *slot = None;
+        }
+        prop_assert!(rs.reconstruct(&mut damaged).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Delta-sync backup roles (§4.2, Fig 10).
+//!
+//! A backup round synchronizes two *peer replicas* of the same logical
+//! function: the running source λs and a destination λd that the source
+//! invokes through the platform's auto-scaling. The source streams its key
+//! metadata MRU→LRU; the destination fetches exactly the chunks it lacks
+//! (the delta), prunes chunks the source no longer holds (evictions and
+//! overwrites propagate), and returns. Afterwards either replica can serve
+//! the node's data.
+
+use std::collections::{HashMap, HashSet};
+
+use ic_common::msg::BackupKey;
+use ic_common::{ChunkId, RelayId};
+
+use crate::store::ChunkStore;
+
+/// Which side of a backup round (if any) this runtime is playing.
+#[derive(Clone, Debug, Default)]
+pub enum BackupRole {
+    /// Not participating.
+    #[default]
+    None,
+    /// Source (λs) side.
+    Source(SourceState),
+    /// Destination (λd) side.
+    Dest(DestState),
+}
+
+impl BackupRole {
+    /// `true` while a round is in progress (holds the duration-control
+    /// timer so the function does not return mid-backup).
+    pub fn is_active(&self) -> bool {
+        !matches!(self, BackupRole::None)
+    }
+}
+
+/// Progress of the source side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceStage {
+    /// Sent `InitBackup`, waiting for the proxy's `BackupCmd` (steps 1–4).
+    AwaitCmd,
+    /// Invoked the peer, waiting for its `HelloSource` (steps 5–8).
+    AwaitHello,
+    /// Serving `BackupFetch` requests until `BackupDone` (steps 11+).
+    Streaming,
+}
+
+/// Source-side state.
+#[derive(Clone, Debug)]
+pub struct SourceState {
+    /// Relay assigned by the proxy (none until `BackupCmd`).
+    pub relay: Option<RelayId>,
+    /// Protocol stage.
+    pub stage: SourceStage,
+}
+
+impl SourceState {
+    /// Fresh source state (just sent `InitBackup`).
+    pub fn new() -> Self {
+        SourceState { relay: None, stage: SourceStage::AwaitCmd }
+    }
+}
+
+impl Default for SourceState {
+    fn default() -> Self {
+        SourceState::new()
+    }
+}
+
+/// Destination-side state.
+#[derive(Clone, Debug)]
+pub struct DestState {
+    /// Relay bridging to the source.
+    pub relay: RelayId,
+    /// Metadata offered by the source (filled at `BackupKeys`).
+    pub offered: HashMap<ChunkId, (u64, u64)>, // version, len
+    /// Chunks still to fetch.
+    pub pending: HashSet<ChunkId>,
+    /// Chunks a client asked for mid-migration: answer the proxy as soon
+    /// as the fetch lands (the paper's forwarding behaviour).
+    pub serve_on_arrival: HashSet<ChunkId>,
+    /// Bytes fetched this round (the delta).
+    pub delta_bytes: u64,
+}
+
+impl DestState {
+    /// Fresh destination state for a round over `relay`.
+    pub fn new(relay: RelayId) -> Self {
+        DestState {
+            relay,
+            offered: HashMap::new(),
+            pending: HashSet::new(),
+            serve_on_arrival: HashSet::new(),
+            delta_bytes: 0,
+        }
+    }
+}
+
+/// What a destination must do upon receiving the source's key list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// Chunks to fetch (missing here, or stale versions).
+    pub fetch: Vec<ChunkId>,
+    /// Chunks to drop (the source no longer holds them).
+    pub drop: Vec<ChunkId>,
+    /// Bytes the fetch will move.
+    pub fetch_bytes: u64,
+}
+
+/// Computes the delta between the source's offer and the destination's
+/// store.
+pub fn compute_delta(offered: &[BackupKey], store: &ChunkStore) -> DeltaPlan {
+    let offered_ids: HashSet<&ChunkId> = offered.iter().map(|k| &k.id).collect();
+    let mut fetch = Vec::new();
+    let mut fetch_bytes = 0;
+    for key in offered {
+        let stale = match store.peek(&key.id) {
+            Some(existing) => existing.version < key.version,
+            None => true,
+        };
+        if stale {
+            fetch.push(key.id.clone());
+            fetch_bytes += key.len;
+        }
+    }
+    let drop = store
+        .backup_keys()
+        .into_iter()
+        .map(|k| k.id)
+        .filter(|id| !offered_ids.contains(id))
+        .collect();
+    DeltaPlan { fetch, drop, fetch_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::{ObjectKey, Payload, SimTime};
+
+    fn key(name: &str, version: u64, len: u64) -> BackupKey {
+        BackupKey { id: ChunkId::new(ObjectKey::new(name), 0), version, len }
+    }
+
+    fn cid(name: &str) -> ChunkId {
+        ChunkId::new(ObjectKey::new(name), 0)
+    }
+
+    #[test]
+    fn empty_destination_fetches_everything() {
+        let store = ChunkStore::new();
+        let offered = vec![key("a", 5, 100), key("b", 7, 200)];
+        let plan = compute_delta(&offered, &store);
+        assert_eq!(plan.fetch.len(), 2);
+        assert_eq!(plan.fetch_bytes, 300);
+        assert!(plan.drop.is_empty());
+    }
+
+    #[test]
+    fn up_to_date_chunks_are_skipped() {
+        let mut store = ChunkStore::new();
+        store.insert_with_version(cid("a"), Payload::synthetic(100), 5);
+        let offered = vec![key("a", 5, 100), key("b", 9, 50)];
+        let plan = compute_delta(&offered, &store);
+        assert_eq!(plan.fetch, vec![cid("b")]);
+        assert_eq!(plan.fetch_bytes, 50);
+    }
+
+    #[test]
+    fn stale_versions_are_refetched() {
+        let mut store = ChunkStore::new();
+        store.insert_with_version(cid("a"), Payload::synthetic(100), 3);
+        let offered = vec![key("a", 8, 120)];
+        let plan = compute_delta(&offered, &store);
+        assert_eq!(plan.fetch, vec![cid("a")]);
+        assert_eq!(plan.fetch_bytes, 120);
+    }
+
+    #[test]
+    fn chunks_absent_from_offer_are_dropped() {
+        let mut store = ChunkStore::new();
+        store.insert(SimTime::from_secs(1), cid("gone"), Payload::synthetic(10));
+        store.insert_with_version(cid("kept"), Payload::synthetic(10), 4);
+        let offered = vec![key("kept", 4, 10)];
+        let plan = compute_delta(&offered, &store);
+        assert!(plan.fetch.is_empty());
+        assert_eq!(plan.drop, vec![cid("gone")]);
+    }
+
+    #[test]
+    fn second_round_after_sync_is_empty() {
+        let mut src = ChunkStore::new();
+        src.insert(SimTime::from_secs(1), cid("x"), Payload::synthetic(64));
+        src.insert(SimTime::from_secs(2), cid("y"), Payload::synthetic(64));
+
+        // Round 1: sync everything into dst.
+        let mut dst = ChunkStore::new();
+        let offered = src.backup_keys();
+        let plan = compute_delta(&offered, &dst);
+        for id in &plan.fetch {
+            let c = src.peek(id).unwrap();
+            dst.insert_with_version(id.clone(), c.payload.clone(), c.version);
+        }
+        // Round 2 with no new writes: nothing to do.
+        let plan2 = compute_delta(&src.backup_keys(), &dst);
+        assert!(plan2.fetch.is_empty() && plan2.drop.is_empty());
+
+        // A new write at the source shows up as a 1-chunk delta.
+        src.insert(SimTime::from_secs(3), cid("z"), Payload::synthetic(32));
+        let plan3 = compute_delta(&src.backup_keys(), &dst);
+        assert_eq!(plan3.fetch, vec![cid("z")]);
+        assert_eq!(plan3.fetch_bytes, 32);
+    }
+
+    #[test]
+    fn role_activity_flag() {
+        assert!(!BackupRole::None.is_active());
+        assert!(BackupRole::Source(SourceState::new()).is_active());
+        assert!(BackupRole::Dest(DestState::new(RelayId(1))).is_active());
+    }
+}

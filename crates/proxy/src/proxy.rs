@@ -1,0 +1,780 @@
+//! The proxy state machine: pool management, chunk mapping, CLOCK-LRU
+//! eviction, client/lambda streaming, and backup coordination.
+
+use std::collections::HashMap;
+
+use ic_common::clock::ClockQueue;
+use ic_common::msg::{InvokePayload, Msg};
+use ic_common::{ChunkId, ClientId, LambdaId, ObjectKey, ProxyId, RelayId};
+
+use crate::conn::{ConnEffect, LambdaConn};
+
+/// Proxy configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProxyConfig {
+    /// This proxy's identity.
+    pub id: ProxyId,
+    /// Total cache capacity of the managed pool, in bytes (sum of the
+    /// member functions' usable memory).
+    pub capacity_bytes: u64,
+}
+
+/// What the embedding transport must do after a proxy step.
+#[derive(Clone, Debug)]
+pub enum ProxyAction {
+    /// Invoke a (sleeping) node.
+    Invoke {
+        /// Node to invoke.
+        lambda: LambdaId,
+        /// Invocation parameters.
+        payload: InvokePayload,
+    },
+    /// Send a control message to a node's live instance.
+    ToLambda {
+        /// Destination node.
+        lambda: LambdaId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Stream bulk data to a node (subject to the network model).
+    DataToLambda {
+        /// Destination node.
+        lambda: LambdaId,
+        /// The message (carries the payload).
+        msg: Msg,
+    },
+    /// Send a control message to a client.
+    ToClient {
+        /// Destination client.
+        client: ClientId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Stream bulk data to a client (first-*d* chunk streaming).
+    DataToClient {
+        /// Destination client.
+        client: ClientId,
+        /// The message (carries the payload).
+        msg: Msg,
+    },
+    /// Start a relay process for a backup round (Fig 10 step 2).
+    SpawnRelay {
+        /// Relay id (proxy-unique).
+        relay: RelayId,
+        /// The node being backed up.
+        source: LambdaId,
+    },
+}
+
+/// Counters the experiments read off the proxy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Objects evicted by the CLOCK-LRU.
+    pub evictions: u64,
+    /// Overwrite PUTs (client-driven invalidation).
+    pub overwrites: u64,
+    /// GETs answered with `GetMiss` (object unknown).
+    pub get_misses: u64,
+    /// GETs accepted (object known, chunks requested).
+    pub get_hits: u64,
+    /// Backup rounds coordinated.
+    pub backup_rounds: u64,
+}
+
+#[derive(Clone, Debug)]
+struct ObjectMeta {
+    size: u64,
+    total_chunks: u32,
+    chunk_len: u64,
+}
+
+impl ObjectMeta {
+    fn stored_len(&self) -> u64 {
+        self.chunk_len * self.total_chunks as u64
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PutProgress {
+    client: ClientId,
+    acked: u32,
+    total: u32,
+}
+
+/// The proxy.
+#[derive(Debug)]
+pub struct Proxy {
+    cfg: ProxyConfig,
+    members: HashMap<LambdaId, LambdaConn>,
+    member_order: Vec<LambdaId>,
+    mapping: HashMap<ChunkId, LambdaId>,
+    objects: HashMap<ObjectKey, ObjectMeta>,
+    lru: ClockQueue<ObjectKey>,
+    used_bytes: u64,
+    inflight_gets: HashMap<ChunkId, Vec<ClientId>>,
+    puts: HashMap<ObjectKey, PutProgress>,
+    relays: HashMap<RelayId, LambdaId>,
+    next_relay: u64,
+    /// Statistics for the experiment harnesses.
+    pub stats: ProxyStats,
+}
+
+impl Proxy {
+    /// Creates a proxy managing the given pool members.
+    pub fn new(cfg: ProxyConfig, pool: impl IntoIterator<Item = LambdaId>) -> Self {
+        let member_order: Vec<LambdaId> = pool.into_iter().collect();
+        let members =
+            member_order.iter().map(|&l| (l, LambdaConn::new(l))).collect::<HashMap<_, _>>();
+        Proxy {
+            cfg,
+            members,
+            member_order,
+            mapping: HashMap::new(),
+            objects: HashMap::new(),
+            lru: ClockQueue::new(),
+            used_bytes: 0,
+            inflight_gets: HashMap::new(),
+            puts: HashMap::new(),
+            relays: HashMap::new(),
+            next_relay: 1,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// This proxy's id.
+    pub fn id(&self) -> ProxyId {
+        self.cfg.id
+    }
+
+    /// The node ids this proxy manages, in placement order.
+    pub fn pool(&self) -> &[LambdaId] {
+        &self.member_order
+    }
+
+    /// Bytes of pool capacity currently accounted as used.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// `true` if the object is currently cached (metadata present).
+    pub fn contains_object(&self, key: &ObjectKey) -> bool {
+        self.objects.contains_key(key)
+    }
+
+    /// Number of cached objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Connection state of a member (tests/metrics).
+    pub fn member(&self, lambda: LambdaId) -> Option<&LambdaConn> {
+        self.members.get(&lambda)
+    }
+
+    // ------------------------------------------------------------------
+    // Client-facing path
+    // ------------------------------------------------------------------
+
+    /// Handles a message from a client.
+    pub fn on_client(&mut self, client: ClientId, msg: Msg) -> Vec<ProxyAction> {
+        match msg {
+            Msg::GetObject { key } => self.handle_get(client, key),
+            Msg::PutChunk { id, lambda, payload, object_size, total_chunks, repair } => {
+                self.handle_put_chunk(client, id, lambda, payload, object_size, total_chunks, repair)
+            }
+            other => {
+                debug_assert!(false, "unexpected client message {}", other.kind());
+                Vec::new()
+            }
+        }
+    }
+
+    fn handle_get(&mut self, client: ClientId, key: ObjectKey) -> Vec<ProxyAction> {
+        let Some(meta) = self.objects.get(&key) else {
+            self.stats.get_misses += 1;
+            return vec![ProxyAction::ToClient { client, msg: Msg::GetMiss { key } }];
+        };
+        self.stats.get_hits += 1;
+        let total = meta.total_chunks;
+        let object_size = meta.size;
+        self.lru.touch(&key);
+
+        let chunks: Vec<ChunkId> =
+            (0..total).map(|seq| ChunkId::new(key.clone(), seq)).collect();
+        let mut actions = vec![ProxyAction::ToClient {
+            client,
+            msg: Msg::GetAccepted { key, object_size, chunks: chunks.clone() },
+        }];
+        for chunk in chunks {
+            match self.mapping.get(&chunk).copied() {
+                Some(lambda) => {
+                    self.inflight_gets.entry(chunk.clone()).or_default().push(client);
+                    let effects = self
+                        .members
+                        .get_mut(&lambda)
+                        .expect("mapping points to a pool member")
+                        .send(Msg::ChunkGet { id: chunk });
+                    actions.extend(self.apply_effects(lambda, effects));
+                }
+                None => {
+                    // Unmapped chunk (PUT raced, or lost metadata): report a
+                    // miss directly.
+                    actions.push(ProxyAction::ToClient {
+                        client,
+                        msg: Msg::ChunkMiss { id: chunk },
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_put_chunk(
+        &mut self,
+        client: ClientId,
+        id: ChunkId,
+        lambda: LambdaId,
+        payload: ic_common::Payload,
+        object_size: u64,
+        total_chunks: u32,
+        repair: bool,
+    ) -> Vec<ProxyAction> {
+        let mut actions = Vec::new();
+        let key = id.key.clone();
+        if repair {
+            // Read-repair of a lost chunk: remap and forward, nothing else.
+            if !self.objects.contains_key(&key) || !self.members.contains_key(&lambda) {
+                return actions; // object evicted meanwhile: drop the repair
+            }
+            self.mapping.insert(id.clone(), lambda);
+            let effects = self
+                .members
+                .get_mut(&lambda)
+                .expect("checked above")
+                .send(Msg::ChunkPut { id, payload });
+            actions.extend(self.apply_effects(lambda, effects));
+            return actions;
+        }
+        if !self.puts.contains_key(&key) {
+            // First chunk of this PUT: invalidate any previous version
+            // (§3.1: the client library invalidates on overwrite) and make
+            // room.
+            if self.objects.contains_key(&key) {
+                self.stats.overwrites += 1;
+                self.evict_object(&key);
+            }
+            let stored = payload.len() * total_chunks as u64;
+            self.evict_until_fits(stored, &key);
+            self.objects.insert(
+                key.clone(),
+                ObjectMeta { size: object_size, total_chunks, chunk_len: payload.len() },
+            );
+            self.lru.insert(key.clone());
+            self.used_bytes += stored;
+            self.puts
+                .insert(key.clone(), PutProgress { client, acked: 0, total: total_chunks });
+        }
+        if !self.members.contains_key(&lambda) {
+            // Placement targeted a foreign pool: protocol violation.
+            debug_assert!(false, "chunk placed on unknown node {lambda}");
+            return actions;
+        }
+        self.mapping.insert(id.clone(), lambda);
+        let effects = self
+            .members
+            .get_mut(&lambda)
+            .expect("checked above")
+            .send(Msg::ChunkPut { id, payload });
+        actions.extend(self.apply_effects(lambda, effects));
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Lambda-facing path
+    // ------------------------------------------------------------------
+
+    /// Handles a message from a node (or from a relay participant).
+    pub fn on_lambda(&mut self, lambda: LambdaId, msg: Msg) -> Vec<ProxyAction> {
+        match msg {
+            Msg::Pong { instance, stored_bytes } => {
+                let effects = self
+                    .members
+                    .get_mut(&lambda)
+                    .map(|m| m.on_pong(instance, stored_bytes))
+                    .unwrap_or_default();
+                self.apply_effects(lambda, effects)
+            }
+            Msg::Bye { instance } => {
+                let effects = self
+                    .members
+                    .get_mut(&lambda)
+                    .map(|m| m.on_bye(instance))
+                    .unwrap_or_default();
+                self.apply_effects(lambda, effects)
+            }
+            Msg::ChunkData { id, payload } => {
+                let clients = self.inflight_gets.remove(&id).unwrap_or_default();
+                clients
+                    .into_iter()
+                    .map(|client| ProxyAction::DataToClient {
+                        client,
+                        msg: Msg::ChunkToClient { id: id.clone(), payload: payload.clone() },
+                    })
+                    .collect()
+            }
+            Msg::ChunkMiss { id } => {
+                // The node lost the chunk (reclaim); unmap it and tell the
+                // waiting clients.
+                self.mapping.remove(&id);
+                let clients = self.inflight_gets.remove(&id).unwrap_or_default();
+                clients
+                    .into_iter()
+                    .map(|client| ProxyAction::ToClient {
+                        client,
+                        msg: Msg::ChunkMiss { id: id.clone() },
+                    })
+                    .collect()
+            }
+            Msg::PutAck { id, stored_bytes } => {
+                if let Some(m) = self.members.get_mut(&lambda) {
+                    m.reported_bytes = stored_bytes;
+                }
+                let key = id.key.clone();
+                let mut done = false;
+                if let Some(p) = self.puts.get_mut(&key) {
+                    p.acked += 1;
+                    done = p.acked >= p.total;
+                }
+                if done {
+                    let p = self.puts.remove(&key).expect("present");
+                    vec![ProxyAction::ToClient {
+                        client: p.client,
+                        msg: Msg::PutDone { key },
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            Msg::InitBackup => {
+                // Fig 10 steps 1–4.
+                self.stats.backup_rounds += 1;
+                let relay = RelayId(self.next_relay);
+                self.next_relay += 1;
+                self.relays.insert(relay, lambda);
+                vec![
+                    ProxyAction::SpawnRelay { relay, source: lambda },
+                    ProxyAction::ToLambda { lambda, msg: Msg::BackupCmd { relay } },
+                ]
+            }
+            Msg::HelloProxy { instance, source } => {
+                // Fig 10 step 10: λd owns the connection now.
+                let effects = self
+                    .members
+                    .get_mut(&source)
+                    .map(|m| m.replace_with(instance))
+                    .unwrap_or_default();
+                self.apply_effects(source, effects)
+            }
+            other => {
+                debug_assert!(false, "unexpected lambda message {}", other.kind());
+                Vec::new()
+            }
+        }
+    }
+
+    /// The transport failed to deliver `msg` to the node (its instance is
+    /// gone): requeue and re-invoke.
+    pub fn on_delivery_failed(&mut self, lambda: LambdaId, msg: Msg) -> Vec<ProxyAction> {
+        let retry = match msg {
+            m @ (Msg::ChunkGet { .. } | Msg::ChunkPut { .. } | Msg::BackupCmd { .. }) => Some(m),
+            Msg::ChunkDelete { ids } => {
+                if let Some(m) = self.members.get_mut(&lambda) {
+                    for id in ids {
+                        m.queue_delete(id);
+                    }
+                }
+                None
+            }
+            _ => None,
+        };
+        let effects = self
+            .members
+            .get_mut(&lambda)
+            .map(|m| m.on_reset(retry))
+            .unwrap_or_default();
+        self.apply_effects(lambda, effects)
+    }
+
+    /// Warm-up tick (`Twarm`): invoke every sleeping member.
+    pub fn on_warmup_tick(&mut self) -> Vec<ProxyAction> {
+        let mut actions = Vec::new();
+        for lambda in self.member_order.clone() {
+            let effects = self
+                .members
+                .get_mut(&lambda)
+                .expect("member exists")
+                .warmup();
+            actions.extend(self.apply_effects(lambda, effects));
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn apply_effects(&mut self, lambda: LambdaId, effects: Vec<ConnEffect>) -> Vec<ProxyAction> {
+        effects
+            .into_iter()
+            .map(|fx| match fx {
+                ConnEffect::Invoke => ProxyAction::Invoke {
+                    lambda,
+                    payload: InvokePayload::ping(self.cfg.id),
+                },
+                ConnEffect::Ping => ProxyAction::ToLambda { lambda, msg: Msg::Ping },
+                ConnEffect::Emit(msg) => {
+                    if msg.data_len() > 0 {
+                        ProxyAction::DataToLambda { lambda, msg }
+                    } else {
+                        ProxyAction::ToLambda { lambda, msg }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Drops an object: metadata, mapping, LRU, capacity, plus lazy
+    /// deletions queued toward the nodes holding its chunks.
+    fn evict_object(&mut self, key: &ObjectKey) {
+        let Some(meta) = self.objects.remove(key) else { return };
+        self.lru.remove(key);
+        self.used_bytes = self.used_bytes.saturating_sub(meta.stored_len());
+        for seq in 0..meta.total_chunks {
+            let chunk = ChunkId::new(key.clone(), seq);
+            if let Some(lambda) = self.mapping.remove(&chunk) {
+                if let Some(m) = self.members.get_mut(&lambda) {
+                    m.queue_delete(chunk);
+                }
+            }
+        }
+        self.puts.remove(key);
+    }
+
+    /// CLOCK-LRU eviction until `incoming` fits (§3.2), never evicting the
+    /// object currently being written.
+    fn evict_until_fits(&mut self, incoming: u64, protect: &ObjectKey) {
+        let mut parked: Option<ObjectKey> = None;
+        while self.used_bytes + incoming > self.cfg.capacity_bytes {
+            let Some(victim) = self.lru.evict() else { break };
+            if &victim == protect {
+                // Re-insert after the loop; never self-evict.
+                parked = Some(victim);
+                continue;
+            }
+            self.stats.evictions += 1;
+            self.evict_object_keep_lru(&victim);
+        }
+        if let Some(k) = parked {
+            self.lru.insert(k);
+        }
+    }
+
+    /// Like [`Proxy::evict_object`] but the key is already off the LRU
+    /// (evict() removed it).
+    fn evict_object_keep_lru(&mut self, key: &ObjectKey) {
+        let Some(meta) = self.objects.remove(key) else { return };
+        self.used_bytes = self.used_bytes.saturating_sub(meta.stored_len());
+        for seq in 0..meta.total_chunks {
+            let chunk = ChunkId::new(key.clone(), seq);
+            if let Some(lambda) = self.mapping.remove(&chunk) {
+                if let Some(m) = self.members.get_mut(&lambda) {
+                    m.queue_delete(chunk);
+                }
+            }
+        }
+        self.puts.remove(key);
+    }
+
+    /// The node a chunk is mapped to (tests/metrics).
+    pub fn chunk_owner(&self, id: &ChunkId) -> Option<LambdaId> {
+        self.mapping.get(id).copied()
+    }
+
+    /// The lambda a relay was spawned for.
+    pub fn relay_source(&self, relay: RelayId) -> Option<LambdaId> {
+        self.relays.get(&relay).copied()
+    }
+
+    /// Queue of pending client ids per in-flight chunk (tests).
+    pub fn inflight_for(&self, id: &ChunkId) -> usize {
+        self.inflight_gets.get(id).map_or(0, |v| v.len())
+    }
+}
+
+/// Convenience: drain-all iterator used by tests to pull actions of a
+/// given shape.
+pub fn actions_of<'a, F: FnMut(&ProxyAction) -> bool + 'a>(
+    actions: &'a [ProxyAction],
+    mut pred: F,
+) -> impl Iterator<Item = &'a ProxyAction> + 'a {
+    actions.iter().filter(move |a| pred(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::{InstanceId, Payload};
+
+    fn proxy(pool: u32, capacity: u64) -> Proxy {
+        Proxy::new(
+            ProxyConfig { id: ProxyId(0), capacity_bytes: capacity },
+            (0..pool).map(LambdaId),
+        )
+    }
+
+    fn put_chunks(p: &mut Proxy, key: &str, chunks: u32, chunk_len: u64) -> Vec<ProxyAction> {
+        let mut all = Vec::new();
+        for seq in 0..chunks {
+            all.extend(p.on_client(
+                ClientId(0),
+                Msg::PutChunk {
+                    id: ChunkId::new(ObjectKey::new(key), seq),
+                    lambda: LambdaId(seq % 4),
+                    payload: Payload::synthetic(chunk_len),
+                    object_size: chunk_len * chunks as u64,
+                    total_chunks: chunks,
+                    repair: false,
+                },
+            ));
+        }
+        all
+    }
+
+    /// Walks every member with a pending invoke through PONG so queued
+    /// messages flush; returns all flushed actions.
+    fn pong_all(p: &mut Proxy, first_instance: u64) -> Vec<ProxyAction> {
+        let mut out = Vec::new();
+        for (i, lambda) in p.pool().to_vec().into_iter().enumerate() {
+            out.extend(p.on_lambda(
+                lambda,
+                Msg::Pong { instance: InstanceId(first_instance + i as u64), stored_bytes: 0 },
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn get_unknown_object_misses() {
+        let mut p = proxy(4, 1 << 30);
+        let acts = p.on_client(ClientId(1), Msg::GetObject { key: ObjectKey::new("nope") });
+        assert!(matches!(
+            &acts[0],
+            ProxyAction::ToClient { client: ClientId(1), msg: Msg::GetMiss { .. } }
+        ));
+        assert_eq!(p.stats.get_misses, 1);
+    }
+
+    #[test]
+    fn put_then_get_roundtrip_actions() {
+        let mut p = proxy(4, 1 << 30);
+        let acts = put_chunks(&mut p, "obj", 4, 100);
+        // Cold pool: each of the 4 nodes gets one Invoke.
+        let invokes = acts
+            .iter()
+            .filter(|a| matches!(a, ProxyAction::Invoke { .. }))
+            .count();
+        assert_eq!(invokes, 4);
+        assert_eq!(p.object_count(), 1);
+        assert_eq!(p.used_bytes(), 400);
+
+        // Nodes wake up: the queued ChunkPuts flush as data.
+        let flushed = pong_all(&mut p, 10);
+        let puts = flushed
+            .iter()
+            .filter(|a| matches!(a, ProxyAction::DataToLambda { msg: Msg::ChunkPut { .. }, .. }))
+            .count();
+        assert_eq!(puts, 4);
+
+        // Acks complete the PUT.
+        let mut done = Vec::new();
+        for seq in 0..4u32 {
+            done = p.on_lambda(
+                LambdaId(seq % 4),
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("obj"), seq), stored_bytes: 100 },
+            );
+        }
+        assert!(matches!(
+            &done[0],
+            ProxyAction::ToClient { msg: Msg::PutDone { .. }, .. }
+        ));
+
+        // GET: accepted + 4 chunk requests routed by the mapping.
+        let acts = p.on_client(ClientId(2), Msg::GetObject { key: ObjectKey::new("obj") });
+        assert!(matches!(&acts[0], ProxyAction::ToClient { msg: Msg::GetAccepted { .. }, .. }));
+        assert_eq!(p.stats.get_hits, 1);
+        for seq in 0..4u32 {
+            assert_eq!(
+                p.chunk_owner(&ChunkId::new(ObjectKey::new("obj"), seq)),
+                Some(LambdaId(seq % 4))
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_data_streams_to_waiting_client() {
+        let mut p = proxy(4, 1 << 30);
+        put_chunks(&mut p, "o", 2, 50);
+        pong_all(&mut p, 1);
+        p.on_client(ClientId(3), Msg::GetObject { key: ObjectKey::new("o") });
+        let id = ChunkId::new(ObjectKey::new("o"), 0);
+        assert_eq!(p.inflight_for(&id), 1);
+        let acts = p.on_lambda(LambdaId(0), Msg::ChunkData { id: id.clone(), payload: Payload::synthetic(50) });
+        assert!(matches!(
+            &acts[0],
+            ProxyAction::DataToClient { client: ClientId(3), msg: Msg::ChunkToClient { .. } }
+        ));
+        assert_eq!(p.inflight_for(&id), 0);
+    }
+
+    #[test]
+    fn chunk_miss_unmaps_and_notifies() {
+        let mut p = proxy(4, 1 << 30);
+        put_chunks(&mut p, "o", 2, 50);
+        pong_all(&mut p, 1);
+        p.on_client(ClientId(3), Msg::GetObject { key: ObjectKey::new("o") });
+        let id = ChunkId::new(ObjectKey::new("o"), 1);
+        let acts = p.on_lambda(LambdaId(1), Msg::ChunkMiss { id: id.clone() });
+        assert!(matches!(&acts[0], ProxyAction::ToClient { msg: Msg::ChunkMiss { .. }, .. }));
+        assert_eq!(p.chunk_owner(&id), None, "lost chunks must be unmapped");
+    }
+
+    #[test]
+    fn eviction_frees_capacity_at_object_granularity() {
+        // Capacity fits exactly two 4x100 objects.
+        let mut p = proxy(4, 800);
+        put_chunks(&mut p, "a", 4, 100);
+        put_chunks(&mut p, "b", 4, 100);
+        assert_eq!(p.object_count(), 2);
+        // Third object forces one eviction.
+        put_chunks(&mut p, "c", 4, 100);
+        assert_eq!(p.object_count(), 2);
+        assert_eq!(p.stats.evictions, 1);
+        assert!(p.used_bytes() <= 800);
+        assert!(p.contains_object(&ObjectKey::new("c")));
+    }
+
+    #[test]
+    fn lru_touch_protects_recently_read_objects() {
+        let mut p = proxy(4, 800);
+        put_chunks(&mut p, "a", 4, 100);
+        put_chunks(&mut p, "b", 4, 100);
+        // Read "a" so "b" is the colder object.
+        p.on_client(ClientId(0), Msg::GetObject { key: ObjectKey::new("a") });
+        put_chunks(&mut p, "c", 4, 100);
+        assert!(p.contains_object(&ObjectKey::new("a")), "touched object survives");
+        assert!(!p.contains_object(&ObjectKey::new("b")), "cold object evicted");
+    }
+
+    #[test]
+    fn overwrite_invalidates_previous_version() {
+        let mut p = proxy(4, 1 << 30);
+        put_chunks(&mut p, "k", 4, 100);
+        pong_all(&mut p, 1);
+        for seq in 0..4u32 {
+            p.on_lambda(
+                LambdaId(seq % 4),
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100 },
+            );
+        }
+        assert_eq!(p.used_bytes(), 400);
+        put_chunks(&mut p, "k", 4, 200);
+        assert_eq!(p.stats.overwrites, 1);
+        assert_eq!(p.object_count(), 1);
+        assert_eq!(p.used_bytes(), 800);
+    }
+
+    #[test]
+    fn warmup_invokes_only_sleeping_members() {
+        let mut p = proxy(3, 1 << 30);
+        let acts = p.on_warmup_tick();
+        assert_eq!(acts.len(), 3);
+        assert!(acts.iter().all(|a| matches!(a, ProxyAction::Invoke { .. })));
+        // While validating, another tick is a no-op.
+        assert!(p.on_warmup_tick().is_empty());
+        // After PONG + BYE they are warm again -> sleeping -> re-invoked.
+        pong_all(&mut p, 1);
+        for (i, l) in p.pool().to_vec().into_iter().enumerate() {
+            p.on_lambda(l, Msg::Bye { instance: InstanceId(1 + i as u64) });
+        }
+        assert_eq!(p.on_warmup_tick().len(), 3);
+    }
+
+    #[test]
+    fn backup_round_spawns_relay_and_switches_connection() {
+        let mut p = proxy(2, 1 << 30);
+        // λ0 is active (it just pinged us).
+        p.on_warmup_tick();
+        p.on_lambda(LambdaId(0), Msg::Pong { instance: InstanceId(5), stored_bytes: 0 });
+
+        let acts = p.on_lambda(LambdaId(0), Msg::InitBackup);
+        let ProxyAction::SpawnRelay { relay, source } = acts[0] else {
+            panic!("expected SpawnRelay, got {:?}", acts[0]);
+        };
+        assert_eq!(source, LambdaId(0));
+        assert!(matches!(
+            &acts[1],
+            ProxyAction::ToLambda { msg: Msg::BackupCmd { .. }, .. }
+        ));
+        assert_eq!(p.relay_source(relay), Some(LambdaId(0)));
+        assert_eq!(p.stats.backup_rounds, 1);
+
+        // λd announces itself: the connection flips to Maybe/Validated with
+        // the new instance.
+        p.on_lambda(LambdaId(0), Msg::HelloProxy { instance: InstanceId(9), source: LambdaId(0) });
+        let conn = p.member(LambdaId(0)).unwrap();
+        assert_eq!(conn.instance(), Some(InstanceId(9)));
+        assert_eq!(conn.state(), (crate::conn::Liveness::Maybe, crate::conn::Validity::Validated));
+    }
+
+    #[test]
+    fn delivery_failure_requeues_and_reinvokes() {
+        let mut p = proxy(1, 1 << 30);
+        put_chunks(&mut p, "x", 1, 10);
+        pong_all(&mut p, 1);
+        // The instance died while a GET was being delivered.
+        p.on_client(ClientId(0), Msg::GetObject { key: ObjectKey::new("x") });
+        let id = ChunkId::new(ObjectKey::new("x"), 0);
+        let acts =
+            p.on_delivery_failed(LambdaId(0), Msg::ChunkGet { id: id.clone() });
+        assert!(matches!(acts[0], ProxyAction::Invoke { .. }));
+        // New instance answers: the queued GET flushes.
+        let acts = p.on_lambda(LambdaId(0), Msg::Pong { instance: InstanceId(2), stored_bytes: 0 });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ProxyAction::ToLambda { msg: Msg::ChunkGet { .. }, .. })));
+    }
+
+    #[test]
+    fn get_during_incomplete_put_misses_unmapped_chunks() {
+        let mut p = proxy(4, 1 << 30);
+        // Only chunk 0 of 4 has been put.
+        p.on_client(
+            ClientId(0),
+            Msg::PutChunk {
+                id: ChunkId::new(ObjectKey::new("partial"), 0),
+                lambda: LambdaId(0),
+                payload: Payload::synthetic(10),
+                object_size: 40,
+                total_chunks: 4,
+                repair: false,
+            },
+        );
+        let acts = p.on_client(ClientId(1), Msg::GetObject { key: ObjectKey::new("partial") });
+        let misses = acts
+            .iter()
+            .filter(|a| matches!(a, ProxyAction::ToClient { msg: Msg::ChunkMiss { .. }, .. }))
+            .count();
+        assert_eq!(misses, 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the Fig 6 connection state machine: under arbitrary
+//! event interleavings the connection never wedges — queued work always
+//! drains once the node answers — and effects are always consistent with
+//! the current state.
+
+use ic_common::msg::Msg;
+use ic_common::{ChunkId, InstanceId, LambdaId, ObjectKey};
+use ic_proxy::{ConnEffect, LambdaConn, Liveness, Validity};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Event {
+    Send(u16),
+    Pong(u8),
+    Bye(u8),
+    Reset,
+    Warmup,
+    Replace(u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u16..512).prop_map(Event::Send),
+        (0u8..4).prop_map(Event::Pong),
+        (0u8..4).prop_map(Event::Bye),
+        Just(Event::Reset),
+        Just(Event::Warmup),
+        (0u8..4).prop_map(Event::Replace),
+    ]
+}
+
+fn get(i: u16) -> Msg {
+    Msg::ChunkGet { id: ChunkId::new(ObjectKey::new(format!("k{i}")), 0) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn connection_never_wedges(events in vec(event_strategy(), 1..80)) {
+        let mut conn = LambdaConn::new(LambdaId(0));
+        let mut sent = 0usize;
+        let mut queued_sends = 0usize;
+        for ev in events {
+            let effects = match ev {
+                Event::Send(i) => {
+                    queued_sends += 1;
+                    conn.send(get(i))
+                }
+                Event::Pong(i) => conn.on_pong(InstanceId(1 + i as u64), 0),
+                Event::Bye(i) => conn.on_bye(InstanceId(1 + i as u64)),
+                Event::Reset => conn.on_reset(None),
+                Event::Warmup => conn.warmup(),
+                Event::Replace(i) => conn.replace_with(InstanceId(100 + i as u64)),
+            };
+            for fx in &effects {
+                match fx {
+                    ConnEffect::Emit(Msg::ChunkGet { .. }) => sent += 1,
+                    ConnEffect::Emit(_) | ConnEffect::Invoke | ConnEffect::Ping => {}
+                }
+            }
+            // Emissions only happen toward a known instance... unless the
+            // connection was never established (invoke pending).
+            let (live, val) = conn.state();
+            match val {
+                Validity::Validated => {
+                    prop_assert!(live != Liveness::Sleeping,
+                        "sleeping connections are never validated");
+                }
+                _ => {}
+            }
+            prop_assert!(sent <= queued_sends, "cannot emit more than was sent");
+        }
+        // Drain: a PONG from the current (or a fresh) instance flushes all
+        // queued messages; repeating it twice leaves a validated idle conn.
+        let inst = conn.instance().unwrap_or(InstanceId(999));
+        let fx1 = conn.on_pong(inst, 0);
+        for fx in &fx1 {
+            if matches!(fx, ConnEffect::Emit(Msg::ChunkGet { .. })) {
+                sent += 1;
+            }
+        }
+        let fx2 = conn.on_pong(inst, 0);
+        prop_assert!(fx2.iter().all(|f| !matches!(f, ConnEffect::Emit(_))) || !fx1.is_empty());
+        prop_assert_eq!(conn.queued(), 0, "queue must drain after PONGs");
+        prop_assert_eq!(sent, queued_sends, "every send eventually emits exactly once");
+    }
+
+    /// The Maybe state (backup takeover) ignores the replaced source's
+    /// lifecycle messages no matter the prior history.
+    #[test]
+    fn maybe_state_is_sticky_for_old_instances(history in vec(event_strategy(), 0..40)) {
+        let mut conn = LambdaConn::new(LambdaId(1));
+        for ev in history {
+            match ev {
+                Event::Send(i) => { conn.send(get(i)); }
+                Event::Pong(i) => { conn.on_pong(InstanceId(1 + i as u64), 0); }
+                Event::Bye(i) => { conn.on_bye(InstanceId(1 + i as u64)); }
+                Event::Reset => { conn.on_reset(None); }
+                Event::Warmup => { conn.warmup(); }
+                Event::Replace(i) => { conn.replace_with(InstanceId(100 + i as u64)); }
+            }
+        }
+        conn.replace_with(InstanceId(777));
+        let before = conn.state();
+        prop_assert_eq!(before.0, Liveness::Maybe);
+        // Any bye from a *different* instance is ignored.
+        conn.on_bye(InstanceId(5));
+        prop_assert_eq!(conn.state().0, Liveness::Maybe);
+        prop_assert_eq!(conn.instance(), Some(InstanceId(777)));
+        // The destination's own bye ends the episode.
+        conn.on_bye(InstanceId(777));
+        prop_assert_eq!(conn.state().0, Liveness::Sleeping);
+    }
+}

@@ -1,0 +1,157 @@
+//! The billing meter: per-invocation fees plus GB-seconds of billed
+//! duration, rounded up to 100 ms cycles (§2.2), attributed to the paper's
+//! three cost categories so Fig 13's breakdown can be printed directly.
+
+pub use ic_common::pricing::CostCategory;
+use ic_common::pricing::Pricing;
+use ic_common::units::to_gb_decimal;
+use ic_common::{SimDuration, SimTime};
+
+/// Per-category running totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CategoryTotal {
+    /// Invocation count.
+    pub invocations: u64,
+    /// Billed GB-seconds (after `ceil100` rounding).
+    pub gb_seconds: f64,
+    /// Dollars.
+    pub dollars: f64,
+}
+
+/// The meter. One per simulated deployment.
+#[derive(Clone, Debug)]
+pub struct BillingMeter {
+    pricing: Pricing,
+    memory_gb: f64,
+    totals: [CategoryTotal; 3],
+    /// Dollars per hour bucket per category (Fig 13 b–d).
+    hourly: Vec<[f64; 3]>,
+}
+
+impl BillingMeter {
+    /// Creates a meter for functions of `memory_bytes` (decimal GB are what
+    /// AWS bills).
+    pub fn new(pricing: Pricing, memory_bytes: u64) -> Self {
+        BillingMeter {
+            pricing,
+            memory_gb: to_gb_decimal(memory_bytes),
+            totals: Default::default(),
+            hourly: Vec::new(),
+        }
+    }
+
+    /// Records one finished invocation: the request fee plus the billed
+    /// duration (rounded up to the 100 ms cycle) at the function's memory.
+    pub fn record(&mut self, now: SimTime, category: CostCategory, duration: SimDuration) {
+        let billed_secs = duration.ceil_to_billing_cycle().as_secs_f64();
+        let gb_s = billed_secs * self.memory_gb;
+        let dollars = self.pricing.per_invocation + gb_s * self.pricing.per_gb_second;
+
+        let t = &mut self.totals[category.index()];
+        t.invocations += 1;
+        t.gb_seconds += gb_s;
+        t.dollars += dollars;
+
+        let hour = now.hour() as usize;
+        if self.hourly.len() <= hour {
+            self.hourly.resize(hour + 1, [0.0; 3]);
+        }
+        self.hourly[hour][category.index()] += dollars;
+    }
+
+    /// Totals for one category.
+    pub fn category(&self, category: CostCategory) -> CategoryTotal {
+        self.totals[category.index()]
+    }
+
+    /// Grand total in dollars.
+    pub fn total_dollars(&self) -> f64 {
+        self.totals.iter().map(|t| t.dollars).sum()
+    }
+
+    /// Total invocations across categories.
+    pub fn total_invocations(&self) -> u64 {
+        self.totals.iter().map(|t| t.invocations).sum()
+    }
+
+    /// Dollars per hour bucket, per category (index with
+    /// [`CostCategory::ALL`] order).
+    pub fn hourly_breakdown(&self) -> &[[f64; 3]] {
+        &self.hourly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> BillingMeter {
+        // 1.5 GB functions at AWS prices.
+        BillingMeter::new(Pricing::AWS_LAMBDA, 1_500_000_000)
+    }
+
+    #[test]
+    fn one_cycle_invocation_cost() {
+        let mut m = meter();
+        m.record(SimTime::ZERO, CostCategory::Serving, SimDuration::from_millis(40));
+        let t = m.category(CostCategory::Serving);
+        assert_eq!(t.invocations, 1);
+        // 40 ms bills one 100 ms cycle at 1.5 GB.
+        assert!((t.gb_seconds - 0.15).abs() < 1e-12);
+        let expected = 0.2e-6 + 0.15 * 0.0000166667;
+        assert!((t.dollars - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_round_up_per_invocation() {
+        let mut m = meter();
+        // Two 101 ms invocations bill 2 cycles each, not 202 ms pooled.
+        m.record(SimTime::ZERO, CostCategory::Warmup, SimDuration::from_millis(101));
+        m.record(SimTime::ZERO, CostCategory::Warmup, SimDuration::from_millis(101));
+        let t = m.category(CostCategory::Warmup);
+        assert!((t.gb_seconds - 2.0 * 0.2 * 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categories_are_separated() {
+        let mut m = meter();
+        m.record(SimTime::ZERO, CostCategory::Serving, SimDuration::from_millis(100));
+        m.record(SimTime::ZERO, CostCategory::Backup, SimDuration::from_secs(2));
+        assert_eq!(m.category(CostCategory::Serving).invocations, 1);
+        assert_eq!(m.category(CostCategory::Backup).invocations, 1);
+        assert_eq!(m.category(CostCategory::Warmup).invocations, 0);
+        assert!(m.category(CostCategory::Backup).dollars > m.category(CostCategory::Serving).dollars);
+        assert_eq!(m.total_invocations(), 2);
+    }
+
+    #[test]
+    fn hourly_buckets_accumulate() {
+        let mut m = meter();
+        m.record(SimTime::from_secs(10), CostCategory::Serving, SimDuration::from_millis(100));
+        m.record(SimTime::from_secs(3_601), CostCategory::Serving, SimDuration::from_millis(100));
+        m.record(SimTime::from_secs(3_700), CostCategory::Warmup, SimDuration::from_millis(100));
+        let h = m.hourly_breakdown();
+        assert_eq!(h.len(), 2);
+        assert!(h[0][0] > 0.0 && h[0][1] == 0.0);
+        assert!(h[1][0] > 0.0 && h[1][1] > 0.0);
+        let sum: f64 = h.iter().flatten().sum();
+        assert!((sum - m.total_dollars()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_warmup_hour_cost_scale() {
+        // 400 functions warmed every minute for an hour ≈ $0.065 (Eq 5).
+        let mut m = meter();
+        for minute in 0..60u64 {
+            for _ in 0..400 {
+                m.record(
+                    SimTime::from_secs(minute * 60),
+                    CostCategory::Warmup,
+                    SimDuration::from_millis(5),
+                );
+            }
+        }
+        let c = m.category(CostCategory::Warmup).dollars;
+        assert!((c - 0.0648).abs() < 0.002, "hourly warm-up cost {c}");
+    }
+}

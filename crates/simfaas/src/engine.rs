@@ -1,0 +1,171 @@
+//! The discrete-event core: a time-ordered event queue.
+//!
+//! The queue is generic over the event payload so the owning crate can keep
+//! one flat enum for the whole world. Ties at the same instant pop in
+//! insertion order (a strictly monotone sequence number breaks ties), which
+//! keeps runs deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ic_common::SimTime;
+
+/// A deterministic event queue over virtual time.
+///
+/// # Example
+///
+/// ```
+/// use ic_common::SimTime;
+/// use ic_simfaas::EventQueue;
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.push(SimTime::from_millis(5), "later");
+/// q.push(SimTime::from_millis(1), "sooner");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(1), "sooner"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, popped: 0 }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now" (same-instant delivery)
+    /// rather than violating causality.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a delay relative to now.
+    pub fn push_after(&mut self, delay: ic_common::SimDuration, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Peeks at the next event time without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), 3);
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        // Scheduling in the past clamps to now.
+        q.push(SimTime::ZERO, "late");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(t, SimTime::from_secs(1));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "first");
+        q.pop();
+        q.push_after(SimDuration::from_secs(2), "second");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+    }
+}

@@ -1,0 +1,43 @@
+//! A discrete-event simulator of a serverless (FaaS) platform — the
+//! reproduction's stand-in for AWS Lambda (see DESIGN.md, *Substitutions*).
+//!
+//! The paper treats AWS Lambda as a black box with very specific observable
+//! behaviour; this crate models exactly those observables:
+//!
+//! * **Placement** (§3.1 "Eliminating Lambda Contention"): functions are
+//!   bin-packed onto ~3 GB VM hosts with a greedy heuristic; co-located
+//!   network-intensive functions contend for the host uplink ([`hosts`]).
+//! * **Networking**: chunk transfers are fluid flows with max–min fair
+//!   sharing over host uplinks and client NICs, plus per-flow caps for a
+//!   function's memory-dependent bandwidth (50–160 MB/s from 128 MB to
+//!   3008 MB, §5 setup) ([`network`]).
+//! * **Lifecycle** (§2.2, §4.1): warm invocations take ~13 ms, cold starts
+//!   are two orders of magnitude slower, instances are cached while warm
+//!   and reclaimed by provider policy; concurrent invocation of a running
+//!   function spawns a *peer replica* — the auto-scaling behaviour the
+//!   backup protocol exploits ([`function`], [`platform`]).
+//! * **Reclamation** (§4.1, Fig 8/9): pluggable policies reproduce the
+//!   paper's six observed regimes, from 6-hour mass-reclaim spikes to
+//!   hourly Poisson churn ([`reclaim`]).
+//! * **Billing** (§2.2, Eq 4–6): per-invocation fees plus GB-seconds of
+//!   billed duration rounded up to 100 ms cycles, accounted per cost
+//!   category (serving / warm-up / backup) so Fig 13's breakdown can be
+//!   reproduced ([`billing`]).
+//!
+//! The crate is transport- and protocol-agnostic: the event loop lives in
+//! the `infinicache` core crate, which owns the event enum and drives
+//! [`engine::EventQueue`], [`network::Network`] and [`platform::Platform`].
+
+pub mod billing;
+pub mod engine;
+pub mod function;
+pub mod hosts;
+pub mod network;
+pub mod platform;
+pub mod reclaim;
+
+pub use billing::{BillingMeter, CostCategory};
+pub use engine::EventQueue;
+pub use network::{FlowId, LinkId, Network};
+pub use platform::{Invocation, Platform, PlatformConfig};
+pub use reclaim::ReclaimPolicy;

@@ -1,0 +1,97 @@
+//! Property tests for the fluid-flow network: conservation, fairness
+//! bounds, byte accounting, and completion under arbitrary flow mixes.
+
+use ic_common::SimTime;
+use ic_simfaas::Network;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No link is ever oversubscribed and no flow exceeds its cap.
+    #[test]
+    fn rates_respect_links_and_caps(
+        capacities in vec(1.0f64..1000.0, 1..6),
+        flows in vec((0usize..6, 0usize..6, 1.0f64..1e6, proptest::option::of(1.0f64..500.0)), 1..24),
+    ) {
+        let mut net: Network<usize> = Network::new();
+        let links: Vec<_> = capacities.iter().map(|&c| net.add_link(c)).collect();
+        let mut ids = Vec::new();
+        for (i, (a, b, bytes, cap)) in flows.iter().enumerate() {
+            let mut path = vec![links[a % links.len()]];
+            let second = links[b % links.len()];
+            if second != path[0] {
+                path.push(second);
+            }
+            ids.push((net.start_flow(SimTime::ZERO, *bytes, path.clone(), *cap, i), path, *cap));
+        }
+        // Per-flow cap respected.
+        for (id, _, cap) in &ids {
+            let rate = net.flow_rate(*id).unwrap();
+            prop_assert!(rate >= 0.0);
+            if let Some(c) = cap {
+                prop_assert!(rate <= c * (1.0 + 1e-6), "rate {rate} > cap {c}");
+            }
+        }
+        // Per-link conservation.
+        for (li, &capacity) in capacities.iter().enumerate() {
+            let used: f64 = ids
+                .iter()
+                .filter(|(_, path, _)| path.contains(&links[li]))
+                .map(|(id, _, _)| net.flow_rate(*id).unwrap())
+                .sum();
+            prop_assert!(used <= capacity * (1.0 + 1e-6), "link {li}: {used} > {capacity}");
+        }
+    }
+
+    /// Every flow eventually completes, delivered bytes add up, and
+    /// completion times are non-decreasing as we drain.
+    #[test]
+    fn all_flows_complete_with_exact_byte_accounting(
+        flows in vec((1.0f64..1e5, 1.0f64..300.0), 1..16),
+    ) {
+        let mut net: Network<usize> = Network::new();
+        let link = net.add_link(500.0);
+        let mut total = 0.0;
+        for (i, (bytes, cap)) in flows.iter().enumerate() {
+            net.start_flow(SimTime::ZERO, *bytes, vec![link], Some(*cap), i);
+            total += bytes;
+        }
+        let mut now = SimTime::ZERO;
+        let mut done = std::collections::HashSet::new();
+        let mut guard = 0;
+        while let Some((at, _epoch)) = net.next_completion(now) {
+            prop_assert!(at >= now, "completions move forward");
+            now = at;
+            for (_, payload) in net.poll(now) {
+                prop_assert!(done.insert(payload), "each flow completes once");
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain must terminate");
+        }
+        prop_assert_eq!(done.len(), flows.len());
+        prop_assert!((net.delivered_bytes() - total).abs() < 1.0,
+                     "delivered {} of {}", net.delivered_bytes(), total);
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+
+    /// Max–min fairness: two uncapped flows sharing exactly the same path
+    /// always get the same rate.
+    #[test]
+    fn equal_flows_get_equal_rates(
+        capacity in 10.0f64..1e4,
+        others in vec(1.0f64..100.0, 0..8),
+    ) {
+        let mut net: Network<u8> = Network::new();
+        let l = net.add_link(capacity);
+        let a = net.start_flow(SimTime::ZERO, 1e6, vec![l], None, 0);
+        let b = net.start_flow(SimTime::ZERO, 1e6, vec![l], None, 1);
+        for (i, cap) in others.iter().enumerate() {
+            net.start_flow(SimTime::ZERO, 1e6, vec![l], Some(*cap), 2 + i as u8);
+        }
+        let ra = net.flow_rate(a).unwrap();
+        let rb = net.flow_rate(b).unwrap();
+        prop_assert!((ra - rb).abs() < 1e-6 * ra.max(1.0), "{ra} vs {rb}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic object-store workloads calibrated to the IBM Docker-registry
+//! production traces the paper analyzes (§2.1, Fig 1) and replays (§5.2).
+//!
+//! The original traces (Anwar et al., FAST'18) are not redistributable in
+//! this environment, so this crate is the substitution mandated by the
+//! reproduction plan: a generator whose output matches every statistic the
+//! paper reports about the trace —
+//!
+//! * object sizes spanning nine orders of magnitude, with >10 MB objects
+//!   ≈ 20 % of objects and ≈ 95 % of bytes (Fig 1a/b);
+//! * long-tail (Zipf) popularity, large objects reused heavily but less
+//!   often than small ones (Fig 1c);
+//! * 37–46 % of large-object reuses within one hour (Fig 1d);
+//! * a Dallas-like 50-hour request timeline with ≈ 3 654 GETs/hour for all
+//!   objects, ≈ 750 GETs/hour above 10 MB, working-set sizes near 1 169 GB
+//!   and 1 036 GB respectively (Table 1), and request spikes around hours
+//!   15–20 and 34–42 (Fig 14).
+//!
+//! Everything is deterministic under a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_workload::{WorkloadSpec, synth::generate};
+//!
+//! let spec = WorkloadSpec::mini(); // scaled-down Dallas-like profile
+//! let trace = generate(&spec, 42);
+//! assert!(!trace.requests.is_empty());
+//! let stats = ic_workload::stats::TraceStats::compute(&trace);
+//! // Large objects are a minority of objects but the majority of bytes.
+//! assert!(stats.large_object_fraction < 0.5);
+//! assert!(stats.large_byte_fraction > 0.5);
+//! ```
+
+pub mod model;
+pub mod stats;
+pub mod synth;
+
+pub use model::{RateProfile, ReuseModel, SizeModel};
+pub use synth::{generate, Request, Trace, WorkloadSpec};
+
+/// The paper's "large object" threshold: 10 MB (decimal, as in the paper's
+/// axis labels).
+pub const LARGE_OBJECT_BYTES: u64 = 10_000_000;

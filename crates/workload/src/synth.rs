@@ -1,0 +1,321 @@
+//! The trace synthesizer.
+//!
+//! Generation is a two-level renewal process:
+//!
+//! 1. every object gets a size (from [`SizeModel`]) and a popularity weight
+//!    (Zipf rank through a seeded shuffle, with large objects' weights
+//!    penalized — §2.1 observes they are "accessed less frequently than
+//!    small ones");
+//! 2. the object's access count is Poisson around its expected share of the
+//!    configured total, and its accesses form a renewal sequence whose
+//!    inter-arrival gaps come from the [`ReuseModel`];
+//! 3. the whole timeline is warped through the [`RateProfile`] so arrival
+//!    density follows the Dallas hourly shape (spikes at hours 15–20 and
+//!    34–42).
+
+use ic_common::{ObjectKey, SimTime};
+use ic_analytics::dist::poisson_sample;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{RateProfile, ReuseModel, SizeModel};
+use crate::LARGE_OBJECT_BYTES;
+
+/// One GET request of the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Dense object index (resolve with [`Trace::key`] / [`Trace::size`]).
+    pub object: u32,
+    /// Object size in bytes (duplicated here for convenience).
+    pub size: u64,
+}
+
+/// A complete synthetic trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Human-readable profile name ("dallas", "dallas-large", ...).
+    pub name: String,
+    /// Experiment horizon.
+    pub horizon: SimTime,
+    /// Requests sorted by arrival time.
+    pub requests: Vec<Request>,
+    /// Size of every object in the universe, indexed by object id.
+    pub sizes: Vec<u64>,
+}
+
+impl Trace {
+    /// Object key for a dense object index.
+    pub fn key(&self, object: u32) -> ObjectKey {
+        ObjectKey::new(format!("o{object:08}"))
+    }
+
+    /// Size of an object by index.
+    pub fn size(&self, object: u32) -> u64 {
+        self.sizes[object as usize]
+    }
+
+    /// Restricts the trace to objects strictly larger than `threshold`
+    /// bytes — the paper's "large object only" workload setting uses
+    /// 10 MB.
+    pub fn filter_large(&self, threshold: u64) -> Trace {
+        Trace {
+            name: format!("{}-large", self.name),
+            horizon: self.horizon,
+            requests: self
+                .requests
+                .iter()
+                .filter(|r| r.size > threshold)
+                .copied()
+                .collect(),
+            sizes: self.sizes.clone(),
+        }
+    }
+
+    /// Working-set size: total bytes of distinct objects actually accessed.
+    pub fn working_set_bytes(&self) -> u64 {
+        let mut seen = vec![false; self.sizes.len()];
+        let mut total = 0u64;
+        for r in &self.requests {
+            if !seen[r.object as usize] {
+                seen[r.object as usize] = true;
+                total += r.size;
+            }
+        }
+        total
+    }
+
+    /// Mean GETs per hour over the horizon.
+    pub fn hourly_rate(&self) -> f64 {
+        let hours = self.horizon.as_secs_f64() / 3_600.0;
+        if hours == 0.0 {
+            return 0.0;
+        }
+        self.requests.len() as f64 / hours
+    }
+}
+
+/// Everything the synthesizer needs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Profile name, copied into the trace.
+    pub name: String,
+    /// Universe size (distinct objects that *may* be accessed).
+    pub objects: usize,
+    /// Target total GET count over the horizon.
+    pub accesses: usize,
+    /// Zipf popularity exponent.
+    pub zipf_s: f64,
+    /// Multiplier (< 1 penalizes) applied to the popularity weight of
+    /// objects larger than 10 MB.
+    pub large_penalty: f64,
+    /// Object-size model.
+    pub sizes: SizeModel,
+    /// Temporal-reuse model.
+    pub reuse: ReuseModel,
+    /// Hourly intensity profile (also fixes the horizon).
+    pub rate: RateProfile,
+}
+
+impl WorkloadSpec {
+    /// The Dallas 50-hour production profile (§5.2, Table 1): ≈183 K GETs,
+    /// working set ≈ 1.1 TB.
+    pub fn dallas() -> Self {
+        WorkloadSpec {
+            name: "dallas".into(),
+            objects: 50_000,
+            accesses: 182_700,
+            zipf_s: 0.66,
+            large_penalty: 0.72,
+            sizes: SizeModel::registry(),
+            reuse: ReuseModel::registry(),
+            rate: RateProfile::dallas_50h(),
+        }
+    }
+
+    /// The London datacenter profile of Fig 1: same family, lighter load.
+    pub fn london() -> Self {
+        let mut sizes = SizeModel::registry();
+        sizes.components[0].weight = 0.38; // more tiny manifests
+        sizes.components[2].median_bytes = 2.8e7;
+        WorkloadSpec {
+            name: "london".into(),
+            objects: 30_000,
+            accesses: 110_000,
+            zipf_s: 0.95,
+            large_penalty: 0.45,
+            sizes,
+            reuse: ReuseModel::registry(),
+            rate: RateProfile::dallas_50h(),
+        }
+    }
+
+    /// A long-horizon, high-volume variant used only to *characterize* the
+    /// workload family (Fig 1c's 10^4-access head needs more than 50 hours
+    /// of trace to show).
+    pub fn characterization() -> Self {
+        WorkloadSpec {
+            name: "characterization".into(),
+            objects: 120_000,
+            accesses: 2_400_000,
+            zipf_s: 1.01,
+            large_penalty: 0.45,
+            sizes: SizeModel::registry(),
+            reuse: ReuseModel::registry(),
+            rate: RateProfile::flat(600),
+        }
+    }
+
+    /// A scaled-down Dallas-like profile for tests and examples (~2 K
+    /// objects, 2-hour horizon, a few thousand requests).
+    pub fn mini() -> Self {
+        WorkloadSpec {
+            name: "mini".into(),
+            objects: 2_000,
+            accesses: 6_000,
+            zipf_s: 0.90,
+            large_penalty: 0.45,
+            sizes: SizeModel::registry(),
+            reuse: ReuseModel::registry(),
+            rate: RateProfile::flat(2),
+        }
+    }
+}
+
+/// Generates a trace from a spec, deterministically under `seed`.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let horizon_secs = spec.rate.hours() as f64 * 3_600.0;
+
+    // 1. Sizes.
+    let sizes: Vec<u64> = (0..spec.objects).map(|_| spec.sizes.sample(&mut rng)).collect();
+
+    // 2. Popularity: a seeded shuffle assigns Zipf ranks to object ids,
+    //    then large objects are penalized and weights renormalized.
+    let mut ranks: Vec<u32> = (0..spec.objects as u32).collect();
+    ranks.shuffle(&mut rng);
+    let mut weights: Vec<f64> = vec![0.0; spec.objects];
+    for (rank, &obj) in ranks.iter().enumerate() {
+        let mut w = (rank as f64 + 1.0).powf(-spec.zipf_s);
+        if sizes[obj as usize] > LARGE_OBJECT_BYTES {
+            w *= spec.large_penalty;
+        }
+        weights[obj as usize] = w;
+    }
+    let total_w: f64 = weights.iter().sum();
+
+    // 3. Per-object renewal sequences on the virtual (unwarped) timeline.
+    let mut requests: Vec<Request> = Vec::with_capacity(spec.accesses + spec.accesses / 8);
+    for (obj, &w) in weights.iter().enumerate() {
+        let expected = spec.accesses as f64 * w / total_w;
+        let count = poisson_sample(&mut rng, expected);
+        if count == 0 {
+            continue;
+        }
+        let mut t = rng.gen::<f64>() * horizon_secs;
+        for _ in 0..count {
+            let warped = spec.rate.warp(t / horizon_secs);
+            requests.push(Request {
+                at: SimTime::from_micros((warped * 1e6) as u64),
+                object: obj as u32,
+                size: sizes[obj],
+            });
+            // Next access after a reuse interval, wrapping around the
+            // horizon (the wrap shows up as one long interval — harmless
+            // tail mass in Fig 1d).
+            t = (t + spec.reuse.sample(&mut rng)) % horizon_secs;
+        }
+    }
+
+    requests.sort_by_key(|r| (r.at, r.object));
+    Trace {
+        name: spec.name.clone(),
+        horizon: SimTime::from_micros((horizon_secs * 1e6) as u64),
+        requests,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let spec = WorkloadSpec::mini();
+        let a = generate(&spec, 1);
+        let b = generate(&spec, 1);
+        assert_eq!(a.requests, b.requests);
+        let c = generate(&spec, 2);
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn request_count_close_to_target() {
+        let spec = WorkloadSpec::mini();
+        let t = generate(&spec, 3);
+        let n = t.requests.len() as f64;
+        assert!(
+            (n / spec.accesses as f64 - 1.0).abs() < 0.15,
+            "generated {n} vs target {}",
+            spec.accesses
+        );
+    }
+
+    #[test]
+    fn requests_are_sorted_and_within_horizon() {
+        let t = generate(&WorkloadSpec::mini(), 4);
+        for w in t.requests.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for r in &t.requests {
+            assert!(r.at <= t.horizon);
+            assert_eq!(r.size, t.size(r.object));
+        }
+    }
+
+    #[test]
+    fn filter_large_keeps_only_large_objects() {
+        let t = generate(&WorkloadSpec::mini(), 5);
+        let large = t.filter_large(LARGE_OBJECT_BYTES);
+        assert!(!large.requests.is_empty());
+        assert!(large.requests.iter().all(|r| r.size > LARGE_OBJECT_BYTES));
+        assert!(large.requests.len() < t.requests.len());
+        assert!(large.working_set_bytes() < t.working_set_bytes());
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let t = generate(&WorkloadSpec::mini(), 6);
+        assert_eq!(t.key(3), t.key(3));
+        assert_ne!(t.key(3), t.key(4));
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = generate(&WorkloadSpec::mini(), 7);
+        let mut counts = vec![0u32; t.sizes.len()];
+        for r in &t.requests {
+            counts[r.object as usize] += 1;
+        }
+        let mut sorted: Vec<u32> = counts.iter().copied().filter(|&c| c > 0).collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: u64 = sorted.iter().take(sorted.len() / 10).map(|&c| c as u64).sum();
+        let total: u64 = sorted.iter().map(|&c| c as u64).sum();
+        assert!(
+            top_decile as f64 / total as f64 > 0.35,
+            "top-10% objects draw only {:.2} of accesses",
+            top_decile as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn hourly_rate_reflects_horizon() {
+        let t = generate(&WorkloadSpec::mini(), 8);
+        let rate = t.hourly_rate();
+        assert!((rate - t.requests.len() as f64 / 2.0).abs() < 1e-6);
+    }
+}

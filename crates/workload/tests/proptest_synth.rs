@@ -1,0 +1,82 @@
+//! Property tests for the workload synthesizer: structural invariants
+//! hold for arbitrary spec parameters, and statistics never panic.
+
+use ic_workload::model::{RateProfile, ReuseModel, SizeModel};
+use ic_workload::stats::TraceStats;
+use ic_workload::{generate, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (50usize..800, 100usize..3000, 0.4f64..1.3, 0.2f64..1.0, 1usize..6).prop_map(
+        |(objects, accesses, zipf_s, large_penalty, hours)| WorkloadSpec {
+            name: "prop".into(),
+            objects,
+            accesses,
+            zipf_s,
+            large_penalty,
+            sizes: SizeModel::registry(),
+            reuse: ReuseModel::registry(),
+            rate: RateProfile::flat(hours),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traces_are_well_formed(spec in arb_spec(), seed in any::<u64>()) {
+        let t = generate(&spec, seed);
+        // Sorted, within horizon, sizes consistent with the table.
+        for w in t.requests.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        for r in &t.requests {
+            prop_assert!(r.at <= t.horizon);
+            prop_assert_eq!(r.size, t.size(r.object));
+            prop_assert!((r.object as usize) < t.sizes.len());
+            prop_assert!(r.size >= spec.sizes.min_bytes);
+            prop_assert!(r.size <= spec.sizes.max_bytes);
+        }
+        // Total volume lands near the target (Poisson thinning).
+        let n = t.requests.len() as f64;
+        prop_assert!(n <= spec.accesses as f64 * 1.6 + 60.0);
+
+        // Stats never panic and are internally consistent.
+        let s = TraceStats::compute(&t);
+        prop_assert_eq!(s.total_accesses, t.requests.len());
+        prop_assert!(s.unique_objects <= spec.objects);
+        prop_assert_eq!(s.working_set_bytes, t.working_set_bytes());
+        prop_assert!((0.0..=1.0).contains(&s.large_object_fraction));
+        prop_assert!((0.0..=1.0).contains(&s.large_byte_fraction));
+    }
+
+    #[test]
+    fn filtering_is_idempotent_and_sound(seed in any::<u64>()) {
+        let mut spec = WorkloadSpec::mini();
+        spec.accesses = 1500;
+        let t = generate(&spec, seed);
+        let large = t.filter_large(10_000_000);
+        let large2 = large.filter_large(10_000_000);
+        prop_assert_eq!(large.requests.len(), large2.requests.len());
+        prop_assert!(large.requests.len() <= t.requests.len());
+        prop_assert!(large.working_set_bytes() <= t.working_set_bytes());
+    }
+
+    #[test]
+    fn warp_preserves_order_for_any_profile(
+        hourly in proptest::collection::vec(0.01f64..10.0, 1..30),
+        us in proptest::collection::vec(0.0f64..1.0, 2..50),
+    ) {
+        let p = RateProfile { hourly };
+        let mut sorted = us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = -1.0;
+        for u in sorted {
+            let t = p.warp(u);
+            prop_assert!(t >= last);
+            prop_assert!(t <= p.hours() as f64 * 3600.0 + 1e-6);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Workspace-root package: carries the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The library surface of
+//! the reproduction lives in the [`infinicache`] crate.
+
+pub use infinicache;

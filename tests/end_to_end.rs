@@ -1,0 +1,190 @@
+//! Workspace-level integration tests: the full stack (client library →
+//! proxy → Lambda runtimes → platform → network) exercised through the
+//! public APIs of the `infinicache` crate, across both execution modes.
+
+use bytes::Bytes;
+use ic_common::pricing::CostCategory;
+use ic_common::{
+    ClientId, DeploymentConfig, EcConfig, LambdaId, ObjectKey, Payload, SimDuration, SimTime,
+};
+use ic_simfaas::reclaim::{HourlyPoisson, NoReclaim};
+use ic_workload::{generate, WorkloadSpec};
+use infinicache::event::Op;
+use infinicache::live::LiveCluster;
+use infinicache::metrics::{OpKind, Outcome};
+use infinicache::params::SimParams;
+use infinicache::world::SimWorld;
+
+fn key(s: &str) -> ObjectKey {
+    ObjectKey::new(s)
+}
+
+#[test]
+fn simulated_deployment_serves_a_mixed_object_population() {
+    let cfg = DeploymentConfig {
+        lambdas_per_proxy: 24,
+        ..DeploymentConfig::small(24, EcConfig::new(10, 2).unwrap())
+    };
+    let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(NoReclaim), 1);
+    // Sizes spanning KBs to 100s of MBs, like the registry workload.
+    let sizes = [50_000u64, 1_000_000, 25_000_000, 100_000_000, 400_000_000];
+    for (i, &size) in sizes.iter().enumerate() {
+        w.submit(SimTime::from_secs(1 + 5 * i as u64), ClientId(0), Op::Put {
+            key: key(&format!("o{i}")),
+            payload: Payload::synthetic(size),
+        });
+        w.submit(SimTime::from_secs(60 + 5 * i as u64), ClientId(0), Op::Get {
+            key: key(&format!("o{i}")),
+            size,
+        });
+    }
+    w.run_until(SimTime::from_secs(200));
+    let gets: Vec<_> = w
+        .metrics
+        .requests
+        .iter()
+        .filter(|r| r.kind == OpKind::Get)
+        .collect();
+    assert_eq!(gets.len(), sizes.len());
+    for g in &gets {
+        assert!(matches!(g.outcome, Outcome::Hit { .. }), "{g:?}");
+    }
+    // Larger objects take longer end to end.
+    let small = gets.iter().find(|g| g.size == 50_000).unwrap();
+    let large = gets.iter().find(|g| g.size == 400_000_000).unwrap();
+    assert!(large.latency() > small.latency());
+}
+
+#[test]
+fn multi_proxy_deployment_spreads_objects() {
+    let cfg = DeploymentConfig {
+        proxies: 4,
+        lambdas_per_proxy: 16,
+        backup_enabled: false,
+        ..DeploymentConfig::small(16, EcConfig::new(4, 1).unwrap())
+    };
+    let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(NoReclaim), 2);
+    for i in 0..24u64 {
+        let k = key(&format!("spread-{i}"));
+        let c = ClientId((i % 2) as u16);
+        w.submit(SimTime::from_secs(1 + i), c, Op::Put {
+            key: k.clone(),
+            payload: Payload::synthetic(5_000_000),
+        });
+        w.submit(SimTime::from_secs(120 + i), c, Op::Get { key: k, size: 5_000_000 });
+    }
+    w.run_until(SimTime::from_secs(300));
+    // Every proxy should have seen traffic.
+    let mut busy = 0;
+    for p in 0..4u16 {
+        let st = w.proxy_stats(ic_common::ProxyId(p));
+        if st.get_hits > 0 {
+            busy += 1;
+        }
+    }
+    assert!(busy >= 3, "consistent hashing should use most proxies ({busy}/4)");
+    assert!((w.metrics.hit_ratio() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn trace_replay_hits_reasonable_ratio_and_bills_all_categories() {
+    let trace = generate(&WorkloadSpec::mini(), 9);
+    let cfg = DeploymentConfig {
+        lambdas_per_proxy: 48,
+        lambda_memory_mb: 512,
+        backup_interval: SimDuration::from_mins(3),
+        ..DeploymentConfig::small(48, EcConfig::new(10, 2).unwrap())
+    };
+    let report = infinicache::experiments::trace_replay(
+        &trace,
+        cfg,
+        Box::new(HourlyPoisson::new(20.0, "churn")),
+        SimParams::paper(),
+    );
+    assert!(report.hit_ratio > 0.2, "hit ratio {}", report.hit_ratio);
+    assert!(report.category_cost[0] > 0.0, "serving must cost something");
+    assert!(report.category_cost[1] > 0.0, "warm-ups must cost something");
+    assert!(report.category_cost[2] > 0.0, "backups must cost something");
+    assert!(report.availability > 0.8, "availability {}", report.availability);
+}
+
+#[test]
+fn live_cluster_roundtrips_various_sizes_through_real_ec() {
+    let cfg = DeploymentConfig {
+        backup_enabled: false,
+        ..DeploymentConfig::small(10, EcConfig::new(4, 2).unwrap())
+    };
+    let mut cache = LiveCluster::start(cfg).unwrap();
+    for len in [1usize, 100, 4096, 1 << 16, 3 * 1024 * 1024] {
+        let data: Bytes =
+            (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect::<Vec<u8>>().into();
+        cache.put(format!("obj-{len}"), data.clone()).unwrap();
+        let back = cache.get(format!("obj-{len}")).unwrap().expect("cached");
+        assert_eq!(back, data, "len {len}");
+    }
+    cache.shutdown();
+}
+
+#[test]
+fn live_cluster_recovers_after_reclaims_and_repairs() {
+    let cfg = DeploymentConfig {
+        backup_enabled: false,
+        ..DeploymentConfig::small(12, EcConfig::new(6, 2).unwrap())
+    };
+    let mut cache = LiveCluster::start(cfg).unwrap();
+    let data: Bytes = vec![0xA5u8; 2 << 20].into();
+    cache.put("survivor", data.clone()).unwrap();
+    // Reclaim nodes one at a time, reading after each; read repair keeps
+    // the loss per read at <= 1 chunk, within parity.
+    for node in 0..12u32 {
+        cache.reclaim_node(LambdaId(node));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let back = cache.get("survivor").unwrap().expect("recoverable");
+        assert_eq!(back, data, "after reclaiming λ{node}");
+    }
+    assert!(cache.stats().recoveries > 0, "some reads must have recovered");
+    cache.shutdown();
+}
+
+#[test]
+fn billing_cycles_round_up_per_invocation_end_to_end() {
+    // One warm-up tick on a tiny idle pool: every invocation bills exactly
+    // one 100 ms cycle at the configured memory.
+    let cfg = DeploymentConfig {
+        lambda_memory_mb: 1024,
+        backup_enabled: false,
+        ..DeploymentConfig::small(5, EcConfig::new(4, 1).unwrap())
+    };
+    let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(NoReclaim), 1);
+    w.run_until(SimTime::from_secs(65)); // one warm-up tick
+    w.run_until(SimTime::from_secs(100));
+    let warm = w.platform.billing.category(CostCategory::Warmup);
+    assert_eq!(warm.invocations, 5);
+    let gb = 1024.0 * 1024.0 * 1024.0 / 1e9;
+    assert!(
+        (warm.gb_seconds - 5.0 * 0.1 * gb).abs() < 1e-9,
+        "billed {} GB-s",
+        warm.gb_seconds
+    );
+}
+
+#[test]
+fn erasure_coding_tolerance_boundary_is_exact() {
+    // With RS(4+1): exactly one loss recovers, two losses RESET.
+    let cfg = DeploymentConfig {
+        backup_enabled: false,
+        ..DeploymentConfig::small(10, EcConfig::new(4, 1).unwrap())
+    };
+    let mut cache = LiveCluster::start(cfg).unwrap();
+    let data: Bytes = vec![7u8; 1 << 20].into();
+    cache.put("edge", data.clone()).unwrap();
+
+    // Lose everything: with only 5 chunks on 10 nodes, reclaiming all
+    // nodes guarantees > p losses.
+    for node in 0..10u32 {
+        cache.reclaim_node(LambdaId(node));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(cache.get("edge").is_err(), "total loss must be unrecoverable");
+    cache.shutdown();
+}
