@@ -21,10 +21,10 @@ fn main() {
     let exact = object_loss_given_reclaims(400, 12, 3, 12);
     let approx = object_loss_given_reclaims_approx(400, 12, 3, 12);
     println!(
-        "P(r=12) exact vs Eq-3 approx: {:.4e} vs {:.4e} ({}% gap; paper: ~5%)",
+        "P(r=12) exact vs Eq-3 approx: {:.4e} vs {:.4e} ({:.1}% gap; paper: ~5%)",
         exact,
         approx,
-        format!("{:.1}", 100.0 * (exact - approx) / exact)
+        100.0 * (exact - approx) / exact
     );
 
     // Empirical pd(r): per-minute reclaim counts from the Fig 9 simulation

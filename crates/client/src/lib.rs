@@ -182,7 +182,7 @@ impl ClientLib {
             rs: ReedSolomon::from_config(ec),
             ring,
             pools: pool_map,
-            rng: SmallRng::seed_from_u64(seed ^ 0xc11e_47),
+            rng: SmallRng::seed_from_u64(seed ^ 0x00c1_1e47),
             gets: HashMap::new(),
             puts: HashMap::new(),
             placements: HashMap::new(),
@@ -656,8 +656,7 @@ mod tests {
             chunks: shards.iter().map(|(id, _)| id.clone()).collect(),
         });
         let mut out = Vec::new();
-        for i in 0..4 {
-            let (id, p) = shards[i].clone();
+        for (id, p) in shards.iter().take(4).cloned() {
             out = c.on_proxy(Msg::ChunkToClient { id, payload: p });
         }
         let ClientAction::Deliver { report, object, .. } = &out[0] else {
@@ -679,9 +678,9 @@ mod tests {
         c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() });
         c.on_proxy(Msg::ChunkMiss { id: chunks[1].clone() });
         let mut out = Vec::new();
-        for i in 2..6 {
+        for id in &chunks[2..6] {
             out = c.on_proxy(Msg::ChunkToClient {
-                id: chunks[i].clone(),
+                id: id.clone(),
                 payload: Payload::synthetic(1000),
             });
         }

@@ -138,7 +138,7 @@ impl<K: Eq + Hash + Clone> ClockQueue<K> {
     pub fn keys_mru_to_lru(&self) -> Vec<K> {
         let mut entries: Vec<(&K, u64)> =
             self.index.iter().map(|(k, s)| (k, s.stamp)).collect();
-        entries.sort_by(|a, b| b.1.cmp(&a.1));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1));
         entries.into_iter().map(|(k, _)| k.clone()).collect()
     }
 

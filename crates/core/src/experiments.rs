@@ -255,7 +255,7 @@ pub fn scalability_study(
             // Closed-loop batch: a tight round interval keeps the offered
             // load at the deployment's capacity rather than idling between
             // rounds.
-            t = t + SimDuration::from_millis(1_000);
+            t += SimDuration::from_millis(1_000);
             w.run_until(t);
         }
         w.run_until(t + SimDuration::from_secs(30));

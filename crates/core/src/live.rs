@@ -8,6 +8,14 @@
 //! Reed–Solomon codec, so `get` returns byte-identical objects and EC
 //! recovery actually reconstructs data.
 //!
+//! Protocol actions are executed by the shared [`crate::dispatch`]
+//! engine — the same action-by-action semantics as the simulator — with
+//! the substrate-specific side effects supplied by this module's
+//! [`crate::dispatch::Transport`] role impls: [`NodeThread`] implements
+//! the lambda role, [`ProxyThread`] the proxy role, and [`LiveCluster`]
+//! itself the client role (collecting terminal
+//! [`ClientOutcome`]s for its blocking `put`/`get`).
+//!
 //! Differences from the simulator (by design): there is no bandwidth
 //! model (channel sends are instant), and the backup relay is collapsed —
 //! peer replicas of a node live on the same thread, so relay messages
@@ -19,19 +27,24 @@
 //! does — so examples can demonstrate EC recovery end to end.
 
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use ic_client::{ClientAction, ClientLib};
+use ic_client::{ClientLib, GetReport};
 use ic_common::msg::{InvokePayload, Msg};
+use ic_common::pricing::CostCategory;
 use ic_common::{
     ClientId, DeploymentConfig, Error, InstanceId, LambdaId, ObjectKey, Payload, ProxyId,
     RelayId, Result, SimTime,
 };
-use ic_lambda::runtime::{Action as LAction, Runtime, RuntimeConfig};
+use ic_lambda::runtime::{Runtime, RuntimeConfig};
 use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
+
+use crate::dispatch::{
+    self, ClientOutcome, ClientTransport, LambdaCtx, LambdaTransport, ProxyTransport,
+};
 
 /// Messages between live threads.
 enum Wire {
@@ -169,66 +182,121 @@ impl NodeThread {
         }
     }
 
-    fn execute(&mut self, now: SimTime, instance: InstanceId, actions: Vec<LAction>) {
-        for a in actions {
-            match a {
-                LAction::ToProxy(msg) | LAction::DataToProxy(msg) => {
-                    let served = matches!(msg, Msg::ChunkData { .. } | Msg::PutAck { .. });
-                    let _ = self.proxy_tx.send(Wire::FromLambda(self.lambda, instance, msg));
-                    if served {
-                        // No network model: the transfer is instantaneous.
-                        let t = self.now();
-                        if let Some(rt) = self.instances.get_mut(&instance) {
-                            let acts = rt.on_served(t);
-                            self.execute(now, instance, acts);
-                        }
-                    }
-                }
-                LAction::ToRelay { msg, .. } | LAction::DataToRelay { msg, .. } => {
-                    // Peer replicas share this thread: short-circuit the
-                    // relay.
-                    if let Some(peer) = self.peer_of(instance) {
-                        let t = self.now();
-                        let acts = self
-                            .instances
-                            .get_mut(&peer)
-                            .expect("peer exists")
-                            .on_message(t, msg);
-                        self.execute(now, peer, acts);
-                    }
-                }
-                LAction::SetTimer { token, at } => {
-                    self.timers.insert(instance, (token, at));
-                }
-                LAction::InvokePeer { relay } => {
-                    // Concurrent invocation of our own function: route to an
-                    // idle instance or cold-start the peer replica.
-                    let t = self.now();
-                    let peer = self.route_invoke(t);
-                    let payload = InvokePayload {
-                        proxy: ProxyId(0),
-                        piggyback_ping: false,
-                        backup: Some(ic_common::msg::BackupInvoke {
-                            relay,
-                            source: self.lambda,
-                        }),
-                    };
-                    let acts = self
-                        .instances
-                        .get_mut(&peer)
-                        .expect("routed")
-                        .on_invoke(t, &payload);
-                    self.execute(now, peer, acts);
-                }
-                LAction::Return { .. } => {
-                    self.timers.remove(&instance);
-                }
+    /// Runs runtime actions through the shared dispatch engine.
+    fn execute(&mut self, now: SimTime, instance: InstanceId, actions: Vec<ic_lambda::runtime::Action>) {
+        let lambda = self.lambda;
+        dispatch::run_lambda_actions(self, now, lambda, instance, actions);
+    }
+
+    /// Delivers a node → proxy message; chunk data and put acks count as
+    /// served work (no network model: the transfer is instantaneous).
+    fn forward_to_proxy(&mut self, instance: InstanceId, msg: Msg) {
+        let served = matches!(msg, Msg::ChunkData { .. } | Msg::PutAck { .. });
+        let _ = self.proxy_tx.send(Wire::FromLambda(self.lambda, instance, msg));
+        if served {
+            let t = self.now();
+            if let Some(rt) = self.instances.get_mut(&instance) {
+                let acts = rt.on_served(t);
+                self.execute(t, instance, acts);
             }
+        }
+    }
+
+    /// Peer replicas share this thread: short-circuit the relay.
+    fn forward_to_peer(&mut self, instance: InstanceId, msg: Msg) {
+        if let Some(peer) = self.peer_of(instance) {
+            let t = self.now();
+            let acts = self
+                .instances
+                .get_mut(&peer)
+                .expect("peer exists")
+                .on_message(t, msg);
+            self.execute(t, peer, acts);
         }
     }
 
     fn peer_of(&self, instance: InstanceId) -> Option<InstanceId> {
         self.instances.keys().copied().find(|&i| i != instance)
+    }
+}
+
+impl LambdaTransport for NodeThread {
+    fn lambda_send(&mut self, _now: SimTime, _lambda: LambdaId, instance: InstanceId, msg: Msg) {
+        self.forward_to_proxy(instance, msg);
+    }
+
+    fn lambda_stream(&mut self, _now: SimTime, _lambda: LambdaId, instance: InstanceId, msg: Msg) {
+        self.forward_to_proxy(instance, msg);
+    }
+
+    fn relay_send(
+        &mut self,
+        _now: SimTime,
+        _lambda: LambdaId,
+        instance: InstanceId,
+        _relay: RelayId,
+        msg: Msg,
+    ) {
+        self.forward_to_peer(instance, msg);
+    }
+
+    fn relay_stream(
+        &mut self,
+        _now: SimTime,
+        _lambda: LambdaId,
+        instance: InstanceId,
+        _relay: RelayId,
+        msg: Msg,
+    ) {
+        self.forward_to_peer(instance, msg);
+    }
+
+    fn set_timer(
+        &mut self,
+        _now: SimTime,
+        _lambda: LambdaId,
+        instance: InstanceId,
+        token: u64,
+        at: SimTime,
+    ) {
+        self.timers.insert(instance, (token, at));
+    }
+
+    fn invoke_peer(
+        &mut self,
+        _now: SimTime,
+        lambda: LambdaId,
+        _instance: InstanceId,
+        relay: RelayId,
+    ) {
+        // Concurrent invocation of our own function: route to an idle
+        // instance or cold-start the peer replica.
+        let t = self.now();
+        let peer = self.route_invoke(t);
+        let payload = InvokePayload {
+            proxy: ProxyId(0),
+            piggyback_ping: false,
+            backup: Some(ic_common::msg::BackupInvoke { relay, source: lambda }),
+        };
+        let acts = self
+            .instances
+            .get_mut(&peer)
+            .expect("routed")
+            .on_invoke(t, &payload);
+        self.execute(t, peer, acts);
+    }
+
+    fn end_execution(
+        &mut self,
+        _now: SimTime,
+        _lambda: LambdaId,
+        instance: InstanceId,
+        _bye: bool,
+        _category: CostCategory,
+    ) {
+        // Live mode has no billing meter; ending the execution just
+        // disarms the duration-control timer.
+        self.timers.remove(&instance);
     }
 }
 
@@ -238,9 +306,14 @@ struct ProxyThread {
     node_tx: HashMap<LambdaId, Sender<NodeCmd>>,
     client_tx: Sender<Msg>,
     relay_sources: HashMap<RelayId, LambdaId>,
+    epoch: Instant,
 }
 
 impl ProxyThread {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
     fn run(mut self) {
         while let Ok(wire) = self.rx.recv() {
             let actions = match wire {
@@ -249,36 +322,75 @@ impl ProxyThread {
                 Wire::LambdaUnreachable(l, msg) => self.proxy.on_delivery_failed(l, msg),
                 Wire::Quit => break,
             };
-            self.execute(actions);
+            let now = self.now();
+            let proxy = self.proxy.id();
+            dispatch::run_proxy_actions(&mut self, now, proxy, actions, None);
+        }
+    }
+}
+
+impl ProxyTransport for ProxyThread {
+    fn invoke(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        lambda: LambdaId,
+        payload: InvokePayload,
+    ) {
+        let _ = self.node_tx[&lambda].send(NodeCmd::Invoke(payload));
+    }
+
+    fn proxy_send(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        lambda: LambdaId,
+        msg: Msg,
+    ) -> std::result::Result<(), Msg> {
+        match self.proxy.member(lambda).and_then(|m| m.instance()) {
+            Some(instance) => {
+                let _ = self.node_tx[&lambda].send(NodeCmd::ToInstance(instance, msg));
+                Ok(())
+            }
+            None => Err(msg),
         }
     }
 
-    fn execute(&mut self, actions: Vec<ProxyAction>) {
-        for a in actions {
-            match a {
-                ProxyAction::Invoke { lambda, payload } => {
-                    let _ = self.node_tx[&lambda].send(NodeCmd::Invoke(payload));
-                }
-                ProxyAction::ToLambda { lambda, msg }
-                | ProxyAction::DataToLambda { lambda, msg } => {
-                    if let Some(instance) =
-                        self.proxy.member(lambda).and_then(|m| m.instance())
-                    {
-                        let _ =
-                            self.node_tx[&lambda].send(NodeCmd::ToInstance(instance, msg));
-                    } else {
-                        let acts = self.proxy.on_delivery_failed(lambda, msg);
-                        self.execute(acts);
-                    }
-                }
-                ProxyAction::ToClient { msg, .. } | ProxyAction::DataToClient { msg, .. } => {
-                    let _ = self.client_tx.send(msg);
-                }
-                ProxyAction::SpawnRelay { relay, source } => {
-                    self.relay_sources.insert(relay, source);
-                }
-            }
-        }
+    fn delivery_failed(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        lambda: LambdaId,
+        msg: Msg,
+    ) -> Vec<ProxyAction> {
+        self.proxy.on_delivery_failed(lambda, msg)
+    }
+
+    fn proxy_reply(&mut self, _now: SimTime, _proxy: ProxyId, _client: ClientId, msg: Msg) {
+        let _ = self.client_tx.send(msg);
+    }
+
+    fn proxy_stream(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        _client: ClientId,
+        msg: Msg,
+        _ctx: LambdaCtx,
+    ) {
+        // No bandwidth model: streamed chunks are plain messages.
+        let _ = self.client_tx.send(msg);
+    }
+
+    fn spawn_relay(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        relay: RelayId,
+        source: LambdaId,
+        _ctx: LambdaCtx,
+    ) {
+        self.relay_sources.insert(relay, source);
     }
 }
 
@@ -290,6 +402,12 @@ pub struct LiveCluster {
     node_tx: HashMap<LambdaId, Sender<NodeCmd>>,
     handles: Vec<JoinHandle<()>>,
     op_timeout: Duration,
+    epoch: Instant,
+    /// Terminal outcomes collected by the client-role transport, drained
+    /// by the blocking `put`/`get` loops.
+    outcomes: Vec<ClientOutcome>,
+    /// First transport failure observed while dispatching (cluster down).
+    send_error: Option<String>,
 }
 
 impl LiveCluster {
@@ -305,8 +423,8 @@ impl LiveCluster {
             return Err(Error::Config("live mode runs a single proxy".into()));
         }
         let epoch = Instant::now();
-        let (proxy_tx, proxy_rx) = unbounded::<Wire>();
-        let (client_tx, client_rx) = unbounded::<Msg>();
+        let (proxy_tx, proxy_rx) = channel::<Wire>();
+        let (client_tx, client_rx) = channel::<Msg>();
 
         let rt_cfg = RuntimeConfig {
             billing_buffer: cfg.billing_buffer,
@@ -320,7 +438,7 @@ impl LiveCluster {
         let mut handles = Vec::new();
         for l in 0..cfg.lambdas_per_proxy {
             let lambda = LambdaId(l);
-            let (tx, rx) = unbounded::<NodeCmd>();
+            let (tx, rx) = channel::<NodeCmd>();
             node_tx.insert(lambda, tx);
             let nt = NodeThread {
                 lambda,
@@ -351,6 +469,7 @@ impl LiveCluster {
             node_tx: node_tx.clone(),
             client_tx,
             relay_sources: HashMap::new(),
+            epoch,
         };
         handles.push(
             std::thread::Builder::new()
@@ -373,7 +492,14 @@ impl LiveCluster {
             node_tx,
             handles,
             op_timeout: Duration::from_secs(10),
+            epoch,
+            outcomes: Vec::new(),
+            send_error: None,
         })
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
     }
 
     /// Stores `object` under `key`, blocking until fully acknowledged.
@@ -385,17 +511,19 @@ impl LiveCluster {
     pub fn put(&mut self, key: impl AsRef<str>, object: Bytes) -> Result<()> {
         let key = ObjectKey::new(key);
         let actions = self.client.put(key.clone(), Payload::Bytes(object));
-        self.dispatch(actions)?;
+        self.drive(actions)?;
         let deadline = Instant::now() + self.op_timeout;
         loop {
-            let msg = self.recv(deadline)?;
-            let actions = self.client.on_proxy(msg);
-            for a in actions {
-                match a {
-                    ClientAction::PutComplete { key: k } if k == key => return Ok(()),
-                    other => self.dispatch_one(other)?,
+            for outcome in self.take_outcomes() {
+                if let ClientOutcome::PutComplete { key: k } = outcome {
+                    if k == key {
+                        return Ok(());
+                    }
                 }
             }
+            let msg = self.recv(deadline)?;
+            let actions = self.client.on_proxy(msg);
+            self.drive(actions)?;
         }
     }
 
@@ -409,26 +537,31 @@ impl LiveCluster {
     pub fn get(&mut self, key: impl AsRef<str>) -> Result<Option<Bytes>> {
         let key = ObjectKey::new(key);
         let actions = self.client.get(key.clone());
-        self.dispatch(actions)?;
+        self.drive(actions)?;
         let deadline = Instant::now() + self.op_timeout;
         loop {
-            let msg = self.recv(deadline)?;
-            let actions = self.client.on_proxy(msg);
-            for a in actions {
-                match a {
-                    ClientAction::Deliver { key: k, object, .. } if k == key => {
+            for outcome in self.take_outcomes() {
+                match outcome {
+                    ClientOutcome::Delivered { key: k, object, .. } if k == key => {
                         let Payload::Bytes(b) = object else {
-                            return Err(Error::Protocol("live mode delivers real bytes".into()));
+                            return Err(Error::Protocol(
+                                "live mode delivers real bytes".into(),
+                            ));
                         };
                         return Ok(Some(b));
                     }
-                    ClientAction::Miss { key: k } if k == key => return Ok(None),
-                    ClientAction::Unrecoverable { key: k, available, needed } if k == key => {
+                    ClientOutcome::Miss { key: k } if k == key => return Ok(None),
+                    ClientOutcome::Unrecoverable { key: k, available, needed } if k == key => {
                         return Err(Error::ChunkUnavailable { needed, available })
                     }
-                    other => self.dispatch_one(other)?,
+                    // Outcomes for other in-flight keys cannot occur on
+                    // this synchronous client; drop them.
+                    _ => {}
                 }
             }
+            let msg = self.recv(deadline)?;
+            let actions = self.client.on_proxy(msg);
+            self.drive(actions)?;
         }
     }
 
@@ -462,23 +595,19 @@ impl LiveCluster {
         }
     }
 
-    fn dispatch(&mut self, actions: Vec<ClientAction>) -> Result<()> {
-        for a in actions {
-            self.dispatch_one(a)?;
+    /// Runs client actions through the shared dispatch engine, surfacing
+    /// any transport failure recorded by the client-role hooks.
+    fn drive(&mut self, actions: Vec<ic_client::ClientAction>) -> Result<()> {
+        let now = self.now();
+        dispatch::run_client_actions(self, now, ClientId(0), actions);
+        match self.send_error.take() {
+            Some(e) => Err(Error::Transport(e)),
+            None => Ok(()),
         }
-        Ok(())
     }
 
-    fn dispatch_one(&mut self, action: ClientAction) -> Result<()> {
-        match action {
-            ClientAction::ToProxy { msg, .. } | ClientAction::DataToProxy { msg, .. } => self
-                .proxy_tx
-                .send(Wire::FromClient(ClientId(0), msg))
-                .map_err(|e| Error::Transport(e.to_string())),
-            // Deliveries for *other* requests cannot occur on this
-            // synchronous client; repair puts fall into the arms above.
-            _ => Ok(()),
-        }
+    fn take_outcomes(&mut self) -> Vec<ClientOutcome> {
+        std::mem::take(&mut self.outcomes)
     }
 
     fn recv(&self, deadline: Instant) -> Result<Msg> {
@@ -489,6 +618,44 @@ impl LiveCluster {
         self.client_rx
             .recv_timeout(deadline - now)
             .map_err(|e| Error::Transport(e.to_string()))
+    }
+}
+
+impl ClientTransport for LiveCluster {
+    fn client_send(&mut self, _now: SimTime, client: ClientId, _proxy: ProxyId, msg: Msg) {
+        if let Err(e) = self.proxy_tx.send(Wire::FromClient(client, msg)) {
+            self.send_error.get_or_insert_with(|| e.to_string());
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        _now: SimTime,
+        _client: ClientId,
+        key: ObjectKey,
+        object: Payload,
+        report: GetReport,
+    ) {
+        self.outcomes.push(ClientOutcome::Delivered { key, object, report });
+    }
+
+    fn unrecoverable(
+        &mut self,
+        _now: SimTime,
+        _client: ClientId,
+        key: ObjectKey,
+        available: usize,
+        needed: usize,
+    ) {
+        self.outcomes.push(ClientOutcome::Unrecoverable { key, available, needed });
+    }
+
+    fn miss(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
+        self.outcomes.push(ClientOutcome::Miss { key });
+    }
+
+    fn put_complete(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
+        self.outcomes.push(ClientOutcome::PutComplete { key });
     }
 }
 

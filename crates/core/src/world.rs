@@ -11,14 +11,15 @@
 use std::collections::{BTreeSet, HashMap};
 
 use ic_baselines::S3Model;
-use ic_client::{ClientAction, ClientLib};
+use ic_client::{ClientLib, GetReport};
 use ic_common::msg::{BackupInvoke, InvokePayload, Msg};
+use ic_common::pricing::CostCategory;
 use ic_common::{
     ClientId, DeploymentConfig, InstanceId, LambdaId, ObjectKey, Payload, ProxyId, RelayId,
     SimDuration, SimTime,
 };
 use ic_analytics::dist::{exponential_sample, lognormal_sample};
-use ic_lambda::runtime::{Action as LAction, Runtime, RuntimeConfig};
+use ic_lambda::runtime::{Runtime, RuntimeConfig};
 use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
 use ic_simfaas::hosts::HostId;
 use ic_simfaas::network::{LinkId, Network};
@@ -28,6 +29,9 @@ use ic_simfaas::EventQueue;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::dispatch::{
+    self, ClientTransport, LambdaCtx, LambdaTransport, ProxyTransport,
+};
 use crate::event::{Ev, FlowPayload, Op};
 use crate::metrics::{FtKind, Metrics, OpKind, Outcome, RequestRecord};
 use crate::params::SimParams;
@@ -218,7 +222,7 @@ impl SimWorld {
             Ev::Submit { client, op } => self.handle_submit(now, client, op),
             Ev::ClientRx { client, msg } => {
                 let actions = self.clients[client.index()].on_proxy(msg);
-                self.exec_client(now, client, actions);
+                dispatch::run_client_actions(self, now, client, actions);
             }
             Ev::ProxyRx { proxy, from_instance, from_client, msg } => {
                 let actions = if let Some(c) = from_client {
@@ -228,7 +232,7 @@ impl SimWorld {
                 } else {
                     Vec::new()
                 };
-                self.exec_proxy(now, proxy, actions, from_instance);
+                dispatch::run_proxy_actions(self, now, proxy, actions, from_instance);
             }
             Ev::InstanceRx { lambda, instance, msg } => {
                 let alive = self
@@ -241,26 +245,26 @@ impl SimWorld {
                         .get_mut(&instance)
                         .expect("checked above")
                         .on_message(now, msg);
-                    self.exec_lambda(now, lambda, instance, actions);
+                    dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 } else if !is_relay_msg(&msg) {
                     // Connection reset: tell the owning proxy.
                     let owner = self.owner_of(lambda);
                     let actions =
                         self.proxies[owner.index()].on_delivery_failed(lambda, msg);
-                    self.exec_proxy(now, owner, actions, None);
+                    dispatch::run_proxy_actions(self, now, owner, actions, None);
                 }
             }
             Ev::InvokeReady { lambda, instance, payload } => {
                 if let Some(rt) = self.runtimes.get_mut(&instance) {
                     let actions = rt.on_invoke(now, &payload);
-                    self.exec_lambda(now, lambda, instance, actions);
+                    dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 }
             }
             Ev::LambdaTimer { instance, token } => {
                 if let Some(rt) = self.runtimes.get_mut(&instance) {
                     let lambda = rt.lambda;
                     let actions = rt.on_timer(now, token);
-                    self.exec_lambda(now, lambda, instance, actions);
+                    dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 }
             }
             Ev::FlowTick { epoch } => {
@@ -284,7 +288,7 @@ impl SimWorld {
             Ev::WarmupTick => {
                 for p in 0..self.proxies.len() {
                     let actions = self.proxies[p].on_warmup_tick();
-                    self.exec_proxy(now, ProxyId(p as u16), actions, None);
+                    dispatch::run_proxy_actions(self, now, ProxyId(p as u16), actions, None);
                 }
                 self.queue.push(now + self.cfg.warmup_interval, Ev::WarmupTick);
             }
@@ -292,7 +296,7 @@ impl SimWorld {
                 if self.write_through {
                     let actions =
                         self.clients[client.index()].put(key, Payload::synthetic(size));
-                    self.exec_client(now, client, actions);
+                    dispatch::run_client_actions(self, now, client, actions);
                 }
             }
         }
@@ -314,7 +318,7 @@ impl SimWorld {
                     return; // coalesce with the in-flight GET
                 }
                 let actions = self.clients[client.index()].get(key);
-                self.exec_client(now, client, actions);
+                dispatch::run_client_actions(self, now, client, actions);
             }
             Op::Put { key, payload } => {
                 let size = payload.len();
@@ -329,83 +333,14 @@ impl SimWorld {
                     .issued
                     .push(now);
                 let actions = self.clients[client.index()].put(key, payload);
-                self.exec_client(now + delay, client, actions);
+                dispatch::run_client_actions(self, now + delay, client, actions);
             }
         }
     }
 
     // ------------------------------------------------------------------
-    // Action executors
+    // Request bookkeeping
     // ------------------------------------------------------------------
-
-    fn exec_client(&mut self, at: SimTime, client: ClientId, actions: Vec<ClientAction>) {
-        for a in actions {
-            match a {
-                ClientAction::ToProxy { proxy, msg } | ClientAction::DataToProxy { proxy, msg } => {
-                    self.queue.push(
-                        at + self.params.ctrl_latency,
-                        Ev::ProxyRx {
-                            proxy,
-                            from_instance: None,
-                            from_client: Some(client),
-                            msg,
-                        },
-                    );
-                }
-                ClientAction::Deliver { key, object, report } => {
-                    let decode = if report.used_parity {
-                        SimDuration::from_secs_f64(
-                            report.decoded_bytes as f64 / self.params.decode_bps,
-                        )
-                    } else {
-                        SimDuration::from_secs_f64(object.len() as f64 / self.params.split_bps)
-                    };
-                    let completed = at + decode;
-                    if report.lost_chunks > 0 {
-                        self.metrics.ft_events.push((at, FtKind::Recovery));
-                    }
-                    if let Some(p) = self.pending_gets.remove(&(client, key.clone())) {
-                        for issued in p.issued {
-                            self.metrics.requests.push(RequestRecord {
-                                key: key.clone(),
-                                kind: OpKind::Get,
-                                size: object.len(),
-                                issued,
-                                completed,
-                                outcome: Outcome::Hit {
-                                    used_parity: report.used_parity,
-                                    lost_chunks: report.lost_chunks,
-                                },
-                                hosts_touched: p.hosts.len() as u32,
-                            });
-                        }
-                    }
-                }
-                ClientAction::Unrecoverable { key, .. } => {
-                    self.metrics.ft_events.push((at, FtKind::Reset));
-                    self.fail_get(at, client, key, true);
-                }
-                ClientAction::Miss { key } => {
-                    self.fail_get(at, client, key, false);
-                }
-                ClientAction::PutComplete { key } => {
-                    if let Some(p) = self.pending_puts.remove(&(client, key.clone())) {
-                        for issued in p.issued {
-                            self.metrics.requests.push(RequestRecord {
-                                key: key.clone(),
-                                kind: OpKind::Put,
-                                size: p.size,
-                                issued,
-                                completed: at,
-                                outcome: Outcome::Stored,
-                                hosts_touched: 0,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
 
     /// A GET could not be served from cache: record it (served via the
     /// backing store) and schedule the write-through re-insertion.
@@ -454,217 +389,6 @@ impl SimWorld {
         );
     }
 
-    fn exec_proxy(
-        &mut self,
-        at: SimTime,
-        proxy: ProxyId,
-        actions: Vec<ProxyAction>,
-        ctx_from: Option<(LambdaId, InstanceId)>,
-    ) {
-        for a in actions {
-            match a {
-                ProxyAction::Invoke { lambda, payload } => {
-                    self.do_invoke(at, lambda, payload);
-                }
-                ProxyAction::ToLambda { lambda, msg }
-                | ProxyAction::DataToLambda { lambda, msg } => {
-                    match self.proxies[proxy.index()]
-                        .member(lambda)
-                        .and_then(|m| m.instance())
-                    {
-                        Some(instance) => {
-                            self.queue.push(
-                                at + self.params.ctrl_latency,
-                                Ev::InstanceRx { lambda, instance, msg },
-                            );
-                        }
-                        None => {
-                            // Never connected: behave like a reset.
-                            let acts =
-                                self.proxies[proxy.index()].on_delivery_failed(lambda, msg);
-                            self.exec_proxy(at, proxy, acts, None);
-                        }
-                    }
-                }
-                ProxyAction::ToClient { client, msg } => {
-                    self.queue
-                        .push(at + self.params.ctrl_latency, Ev::ClientRx { client, msg });
-                }
-                ProxyAction::DataToClient { client, msg } => {
-                    // Cut-through chunk stream lambda → proxy → client.
-                    let Some((lambda, instance)) = ctx_from else {
-                        // No flow source (shouldn't happen): deliver as a
-                        // plain message.
-                        self.queue
-                            .push(at + self.params.ctrl_latency, Ev::ClientRx { client, msg });
-                        continue;
-                    };
-                    let bytes = msg.data_len() as f64;
-                    let mut path = Vec::with_capacity(3);
-                    if let Some(up) = self
-                        .platform
-                        .fleet
-                        .instance_uplink(instance, &self.platform.hosts)
-                    {
-                        path.push(up);
-                    }
-                    path.push(self.proxy_links[proxy.index()]);
-                    path.push(self.client_links[client.index()]);
-                    let cap = self.platform.instance_bandwidth();
-                    self.net.start_flow(
-                        at,
-                        bytes.max(1.0),
-                        path,
-                        Some(cap),
-                        FlowPayload::GetChunk { client, instance, lambda, msg },
-                    );
-                    self.sync_network(at);
-                }
-                ProxyAction::SpawnRelay { relay, source } => {
-                    let source_instance = ctx_from
-                        .map(|(_, i)| i)
-                        .or_else(|| {
-                            self.proxies[proxy.index()]
-                                .member(source)
-                                .and_then(|m| m.instance())
-                        })
-                        .unwrap_or(InstanceId::NONE);
-                    self.relays.insert(
-                        (proxy, relay),
-                        RelayState { source: source_instance, dest: None },
-                    );
-                }
-            }
-        }
-    }
-
-    fn exec_lambda(
-        &mut self,
-        at: SimTime,
-        lambda: LambdaId,
-        instance: InstanceId,
-        actions: Vec<LAction>,
-    ) {
-        let owner = self.owner_of(lambda);
-        for a in actions {
-            match a {
-                LAction::ToProxy(msg) => {
-                    self.queue.push(
-                        at + self.params.ctrl_latency,
-                        Ev::ProxyRx {
-                            proxy: owner,
-                            from_instance: Some((lambda, instance)),
-                            from_client: None,
-                            msg,
-                        },
-                    );
-                }
-                LAction::DataToProxy(msg) => match &msg {
-                    Msg::ChunkData { .. } => {
-                        // Announce to the proxy after the node-side service
-                        // jitter; the proxy will open the cut-through flow.
-                        let jitter = self.service_jitter();
-                        self.queue.push(
-                            at + jitter + self.params.ctrl_latency,
-                            Ev::ProxyRx {
-                                proxy: owner,
-                                from_instance: Some((lambda, instance)),
-                                from_client: None,
-                                msg,
-                            },
-                        );
-                    }
-                    Msg::PutAck { id, .. } => {
-                        // The inbound PUT data flow; the ack releases when
-                        // the bytes land.
-                        let bytes = self
-                            .runtimes
-                            .get(&instance)
-                            .and_then(|rt| rt.store().peek(id).map(|c| c.payload.len()))
-                            .unwrap_or(1);
-                        let mut path = vec![self.proxy_links[owner.index()]];
-                        if let Some(up) = self
-                            .platform
-                            .fleet
-                            .instance_uplink(instance, &self.platform.hosts)
-                        {
-                            path.push(up);
-                        }
-                        let cap = self.platform.instance_bandwidth();
-                        self.net.start_flow(
-                            at,
-                            bytes.max(1) as f64,
-                            path,
-                            Some(cap),
-                            FlowPayload::PutChunk { instance, lambda, ack: msg },
-                        );
-                        self.sync_network(at);
-                    }
-                    _ => {
-                        debug_assert!(false, "unexpected data message {}", msg.kind());
-                    }
-                },
-                LAction::ToRelay { relay, msg } => {
-                    if let Some(to) = self.relay_counterpart(owner, relay, instance) {
-                        self.queue.push(
-                            at + self.params.ctrl_latency * 2,
-                            Ev::InstanceRx { lambda, instance: to, msg },
-                        );
-                    }
-                }
-                LAction::DataToRelay { relay, msg } => {
-                    if let Some(to) = self.relay_counterpart(owner, relay, instance) {
-                        let bytes = msg.data_len().max(1) as f64;
-                        let mut path = Vec::with_capacity(2);
-                        if let Some(up) = self
-                            .platform
-                            .fleet
-                            .instance_uplink(instance, &self.platform.hosts)
-                        {
-                            path.push(up);
-                        }
-                        path.push(self.proxy_links[owner.index()]);
-                        let cap = self.platform.instance_bandwidth();
-                        self.net.start_flow(
-                            at,
-                            bytes,
-                            path,
-                            Some(cap),
-                            FlowPayload::RelayChunk { to_instance: to, to_lambda: lambda, msg },
-                        );
-                        self.sync_network(at);
-                    }
-                }
-                LAction::SetTimer { token, at: t } => {
-                    self.queue.push(t, Ev::LambdaTimer { instance, token });
-                }
-                LAction::InvokePeer { relay } => {
-                    let inv = self.platform.invoke(at, lambda, &mut self.net);
-                    self.ensure_runtime(at, lambda, inv.instance);
-                    if let Some(r) = self.relays.get_mut(&(owner, relay)) {
-                        r.dest = Some(inv.instance);
-                    }
-                    self.queue.push(
-                        inv.ready_at,
-                        Ev::InvokeReady {
-                            lambda,
-                            instance: inv.instance,
-                            payload: InvokePayload {
-                                proxy: owner,
-                                piggyback_ping: false,
-                                backup: Some(BackupInvoke { relay, source: lambda }),
-                            },
-                        },
-                    );
-                }
-                LAction::Return { bye: _, category } => {
-                    let notice = self.platform.end_execution(at, instance, category);
-                    self.process_notice(notice);
-                }
-            }
-        }
-    }
-
     // ------------------------------------------------------------------
     // Plumbing
     // ------------------------------------------------------------------
@@ -685,7 +409,7 @@ impl SimWorld {
                 self.queue.push(now, Ev::ClientRx { client, msg });
                 if let Some(rt) = self.runtimes.get_mut(&instance) {
                     let actions = rt.on_served(now);
-                    self.exec_lambda(now, lambda, instance, actions);
+                    dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 }
             }
             FlowPayload::PutChunk { instance, lambda, ack } => {
@@ -701,7 +425,7 @@ impl SimWorld {
                 );
                 if let Some(rt) = self.runtimes.get_mut(&instance) {
                     let actions = rt.on_served(now);
-                    self.exec_lambda(now, lambda, instance, actions);
+                    dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 }
             }
             FlowPayload::RelayChunk { to_instance, to_lambda, msg } => {
@@ -782,6 +506,354 @@ impl SimWorld {
             0.0
         };
         SimDuration::from_secs_f64(base + straggle)
+    }
+}
+
+impl ClientTransport for SimWorld {
+    fn client_send(&mut self, now: SimTime, client: ClientId, proxy: ProxyId, msg: Msg) {
+        self.queue.push(
+            now + self.params.ctrl_latency,
+            Ev::ProxyRx {
+                proxy,
+                from_instance: None,
+                from_client: Some(client),
+                msg,
+            },
+        );
+    }
+
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        key: ObjectKey,
+        object: Payload,
+        report: GetReport,
+    ) {
+        let decode = if report.used_parity {
+            SimDuration::from_secs_f64(report.decoded_bytes as f64 / self.params.decode_bps)
+        } else {
+            SimDuration::from_secs_f64(object.len() as f64 / self.params.split_bps)
+        };
+        let completed = now + decode;
+        if report.lost_chunks > 0 {
+            self.metrics.ft_events.push((now, FtKind::Recovery));
+        }
+        if let Some(p) = self.pending_gets.remove(&(client, key.clone())) {
+            for issued in p.issued {
+                self.metrics.requests.push(RequestRecord {
+                    key: key.clone(),
+                    kind: OpKind::Get,
+                    size: object.len(),
+                    issued,
+                    completed,
+                    outcome: Outcome::Hit {
+                        used_parity: report.used_parity,
+                        lost_chunks: report.lost_chunks,
+                    },
+                    hosts_touched: p.hosts.len() as u32,
+                });
+            }
+        }
+    }
+
+    fn unrecoverable(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        key: ObjectKey,
+        _available: usize,
+        _needed: usize,
+    ) {
+        self.metrics.ft_events.push((now, FtKind::Reset));
+        self.fail_get(now, client, key, true);
+    }
+
+    fn miss(&mut self, now: SimTime, client: ClientId, key: ObjectKey) {
+        self.fail_get(now, client, key, false);
+    }
+
+    fn put_complete(&mut self, now: SimTime, client: ClientId, key: ObjectKey) {
+        if let Some(p) = self.pending_puts.remove(&(client, key.clone())) {
+            for issued in p.issued {
+                self.metrics.requests.push(RequestRecord {
+                    key: key.clone(),
+                    kind: OpKind::Put,
+                    size: p.size,
+                    issued,
+                    completed: now,
+                    outcome: Outcome::Stored,
+                    hosts_touched: 0,
+                });
+            }
+        }
+    }
+}
+
+impl ProxyTransport for SimWorld {
+    fn invoke(&mut self, now: SimTime, _proxy: ProxyId, lambda: LambdaId, payload: InvokePayload) {
+        self.do_invoke(now, lambda, payload);
+    }
+
+    fn proxy_send(
+        &mut self,
+        now: SimTime,
+        proxy: ProxyId,
+        lambda: LambdaId,
+        msg: Msg,
+    ) -> std::result::Result<(), Msg> {
+        match self.proxies[proxy.index()]
+            .member(lambda)
+            .and_then(|m| m.instance())
+        {
+            Some(instance) => {
+                self.queue.push(
+                    now + self.params.ctrl_latency,
+                    Ev::InstanceRx { lambda, instance, msg },
+                );
+                Ok(())
+            }
+            // Never connected: behave like a reset.
+            None => Err(msg),
+        }
+    }
+
+    fn delivery_failed(
+        &mut self,
+        _now: SimTime,
+        proxy: ProxyId,
+        lambda: LambdaId,
+        msg: Msg,
+    ) -> Vec<ProxyAction> {
+        self.proxies[proxy.index()].on_delivery_failed(lambda, msg)
+    }
+
+    fn proxy_reply(&mut self, now: SimTime, _proxy: ProxyId, client: ClientId, msg: Msg) {
+        self.queue
+            .push(now + self.params.ctrl_latency, Ev::ClientRx { client, msg });
+    }
+
+    fn proxy_stream(
+        &mut self,
+        now: SimTime,
+        proxy: ProxyId,
+        client: ClientId,
+        msg: Msg,
+        ctx: LambdaCtx,
+    ) {
+        // Cut-through chunk stream lambda → proxy → client.
+        let Some((lambda, instance)) = ctx else {
+            // No flow source (shouldn't happen): deliver as a plain
+            // message.
+            self.queue
+                .push(now + self.params.ctrl_latency, Ev::ClientRx { client, msg });
+            return;
+        };
+        let bytes = msg.data_len() as f64;
+        let mut path = Vec::with_capacity(3);
+        if let Some(up) = self
+            .platform
+            .fleet
+            .instance_uplink(instance, &self.platform.hosts)
+        {
+            path.push(up);
+        }
+        path.push(self.proxy_links[proxy.index()]);
+        path.push(self.client_links[client.index()]);
+        let cap = self.platform.instance_bandwidth();
+        self.net.start_flow(
+            now,
+            bytes.max(1.0),
+            path,
+            Some(cap),
+            FlowPayload::GetChunk { client, instance, lambda, msg },
+        );
+        self.sync_network(now);
+    }
+
+    fn spawn_relay(
+        &mut self,
+        _now: SimTime,
+        proxy: ProxyId,
+        relay: RelayId,
+        source: LambdaId,
+        ctx: LambdaCtx,
+    ) {
+        let source_instance = ctx
+            .map(|(_, i)| i)
+            .or_else(|| {
+                self.proxies[proxy.index()]
+                    .member(source)
+                    .and_then(|m| m.instance())
+            })
+            .unwrap_or(InstanceId::NONE);
+        self.relays.insert(
+            (proxy, relay),
+            RelayState { source: source_instance, dest: None },
+        );
+    }
+}
+
+impl LambdaTransport for SimWorld {
+    fn lambda_send(&mut self, now: SimTime, lambda: LambdaId, instance: InstanceId, msg: Msg) {
+        let owner = self.owner_of(lambda);
+        self.queue.push(
+            now + self.params.ctrl_latency,
+            Ev::ProxyRx {
+                proxy: owner,
+                from_instance: Some((lambda, instance)),
+                from_client: None,
+                msg,
+            },
+        );
+    }
+
+    fn lambda_stream(&mut self, now: SimTime, lambda: LambdaId, instance: InstanceId, msg: Msg) {
+        let owner = self.owner_of(lambda);
+        match &msg {
+            Msg::ChunkData { .. } => {
+                // Announce to the proxy after the node-side service
+                // jitter; the proxy will open the cut-through flow.
+                let jitter = self.service_jitter();
+                self.queue.push(
+                    now + jitter + self.params.ctrl_latency,
+                    Ev::ProxyRx {
+                        proxy: owner,
+                        from_instance: Some((lambda, instance)),
+                        from_client: None,
+                        msg,
+                    },
+                );
+            }
+            Msg::PutAck { id, .. } => {
+                // The inbound PUT data flow; the ack releases when the
+                // bytes land.
+                let bytes = self
+                    .runtimes
+                    .get(&instance)
+                    .and_then(|rt| rt.store().peek(id).map(|c| c.payload.len()))
+                    .unwrap_or(1);
+                let mut path = vec![self.proxy_links[owner.index()]];
+                if let Some(up) = self
+                    .platform
+                    .fleet
+                    .instance_uplink(instance, &self.platform.hosts)
+                {
+                    path.push(up);
+                }
+                let cap = self.platform.instance_bandwidth();
+                self.net.start_flow(
+                    now,
+                    bytes.max(1) as f64,
+                    path,
+                    Some(cap),
+                    FlowPayload::PutChunk { instance, lambda, ack: msg },
+                );
+                self.sync_network(now);
+            }
+            _ => {
+                debug_assert!(false, "unexpected data message {}", msg.kind());
+            }
+        }
+    }
+
+    fn relay_send(
+        &mut self,
+        now: SimTime,
+        lambda: LambdaId,
+        instance: InstanceId,
+        relay: RelayId,
+        msg: Msg,
+    ) {
+        let owner = self.owner_of(lambda);
+        if let Some(to) = self.relay_counterpart(owner, relay, instance) {
+            self.queue.push(
+                now + self.params.ctrl_latency * 2,
+                Ev::InstanceRx { lambda, instance: to, msg },
+            );
+        }
+    }
+
+    fn relay_stream(
+        &mut self,
+        now: SimTime,
+        lambda: LambdaId,
+        instance: InstanceId,
+        relay: RelayId,
+        msg: Msg,
+    ) {
+        let owner = self.owner_of(lambda);
+        if let Some(to) = self.relay_counterpart(owner, relay, instance) {
+            let bytes = msg.data_len().max(1) as f64;
+            let mut path = Vec::with_capacity(2);
+            if let Some(up) = self
+                .platform
+                .fleet
+                .instance_uplink(instance, &self.platform.hosts)
+            {
+                path.push(up);
+            }
+            path.push(self.proxy_links[owner.index()]);
+            let cap = self.platform.instance_bandwidth();
+            self.net.start_flow(
+                now,
+                bytes,
+                path,
+                Some(cap),
+                FlowPayload::RelayChunk { to_instance: to, to_lambda: lambda, msg },
+            );
+            self.sync_network(now);
+        }
+    }
+
+    fn set_timer(
+        &mut self,
+        _now: SimTime,
+        _lambda: LambdaId,
+        instance: InstanceId,
+        token: u64,
+        at: SimTime,
+    ) {
+        self.queue.push(at, Ev::LambdaTimer { instance, token });
+    }
+
+    fn invoke_peer(
+        &mut self,
+        now: SimTime,
+        lambda: LambdaId,
+        _instance: InstanceId,
+        relay: RelayId,
+    ) {
+        let owner = self.owner_of(lambda);
+        let inv = self.platform.invoke(now, lambda, &mut self.net);
+        self.ensure_runtime(now, lambda, inv.instance);
+        if let Some(r) = self.relays.get_mut(&(owner, relay)) {
+            r.dest = Some(inv.instance);
+        }
+        self.queue.push(
+            inv.ready_at,
+            Ev::InvokeReady {
+                lambda,
+                instance: inv.instance,
+                payload: InvokePayload {
+                    proxy: owner,
+                    piggyback_ping: false,
+                    backup: Some(BackupInvoke { relay, source: lambda }),
+                },
+            },
+        );
+    }
+
+    fn end_execution(
+        &mut self,
+        now: SimTime,
+        _lambda: LambdaId,
+        instance: InstanceId,
+        _bye: bool,
+        category: CostCategory,
+    ) {
+        let notice = self.platform.end_execution(now, instance, category);
+        self.process_notice(notice);
     }
 }
 

@@ -102,12 +102,12 @@ fn reclaims_within_parity_are_recovered_and_repaired() {
     // drop the runtimes by reclaiming the *platform* instances of the
     // first two chunks' nodes via the public fleet API.
     let owners: Vec<_> = (0..2u32)
-        .filter_map(|seq| {
+        .map(|seq| {
             let id = ic_common::ChunkId::new(key("frag"), seq);
             w.proxy_stats(ic_common::ProxyId(0));
             // chunk_owner is on the proxy; reach it through the world's
             // public surface: the proxy itself.
-            Some(id)
+            id
         })
         .collect();
     assert_eq!(owners.len(), 2);

@@ -451,7 +451,7 @@ impl Runtime {
         let mut at = self.exec_start + SimDuration::from_micros(k * cycle)
             - self.cfg.billing_buffer;
         if at <= now {
-            at = at + SimDuration::BILLING_CYCLE;
+            at += SimDuration::BILLING_CYCLE;
         }
         self.timer_token += 1;
         Action::SetTimer { token: self.timer_token, at }

@@ -125,7 +125,7 @@ proptest! {
                     apply(&mut rt, now, acts, &mut timer, &mut returned);
                 }
                 Stim::AdvanceMs(ms) => {
-                    now = now + SimDuration::from_millis(ms as u64);
+                    now += SimDuration::from_millis(ms as u64);
                 }
             }
             // Store matches the model at all times.

@@ -63,12 +63,9 @@ proptest! {
             // Emissions only happen toward a known instance... unless the
             // connection was never established (invoke pending).
             let (live, val) = conn.state();
-            match val {
-                Validity::Validated => {
-                    prop_assert!(live != Liveness::Sleeping,
-                        "sleeping connections are never validated");
-                }
-                _ => {}
+            if val == Validity::Validated {
+                prop_assert!(live != Liveness::Sleeping,
+                    "sleeping connections are never validated");
             }
             prop_assert!(sent <= queued_sends, "cannot emit more than was sent");
         }

@@ -1,0 +1,507 @@
+//! Minimal workspace-local stand-in for the `proptest` crate.
+//!
+//! The offline build cannot fetch crates.io, so this shim reimplements
+//! the subset of proptest the repository's property tests use: the
+//! [`Strategy`] trait (ranges, tuples, `prop_map`, `Just`, regex-lite
+//! string strategies), `collection::vec`, `option::of`, `any::<T>()`,
+//! `prop_oneof!`, and the `proptest!`/`prop_assert*` macros. Cases are
+//! sampled from a deterministic seeded generator, so failures reproduce
+//! exactly; there is no shrinking — a failing case panics with the
+//! case number and the regular assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut SmallRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Regex-lite string strategy: a `&str` pattern is a concatenation of
+/// literal characters and `[a-z0-9_]`-style classes, each optionally
+/// repeated with `{m}`, `{m,n}`, `?`, `+`, or `*`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+            let class = &chars[i + 1..close];
+            i = close + 1;
+            expand_class(class, pattern)
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = parse_repeat(&chars, &mut i, pattern);
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (lo, hi) = (class[j] as u32, class[j + 2] as u32);
+            assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(char::from_u32(c).unwrap());
+            }
+            j += 3;
+        } else {
+            set.push(class[j]);
+            j += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    set
+}
+
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repeat lower bound"),
+                    hi.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy(Box::new(|rng| rng.gen::<u64>() as $t))
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy(Box::new(|rng| rng.gen::<bool>()))
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> BoxedStrategy<f64> {
+        // Finite, sign-balanced, wide dynamic range.
+        BoxedStrategy(Box::new(|rng| {
+            let mag = rng.gen::<f64>() * 1e9;
+            if rng.gen::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        }))
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Picks uniformly among type-erased alternatives (`prop_oneof!`).
+pub fn one_of<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Box::new(move |rng| {
+        let i = rng.gen_range(0..arms.len());
+        arms[i].sample(rng)
+    }))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (None with probability 1/4).
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` values from `inner`, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen::<f64>() < 0.25 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// Length range for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub lo: usize,
+    /// Maximum length (inclusive).
+    pub hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Builds the deterministic per-test generator. Used by `proptest!`.
+#[doc(hidden)]
+pub fn __test_rng(test_name: &str) -> SmallRng {
+    // Stable hash of the test name so each test gets its own stream and
+    // every run replays the identical sequence.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Defines property tests: each `fn` samples its bindings from the given
+/// strategies for `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let __strategies = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let ($($pat,)+) = $crate::Strategy::sample(&__strategies, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{collection, option};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..10, 5usize..=9), f in 0.5f64..2.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_option(
+            v in collection::vec(0u16..100, 2..8),
+            o in option::of(1u32..5),
+        ) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+            if let Some(x) = o {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn strings_match_pattern(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u32),
+            Just(99u32),
+        ]) {
+            prop_assert!(v < 4 || v == 99);
+        }
+    }
+
+    #[test]
+    fn determinism_across_rng_rebuilds() {
+        let mut a = crate::__test_rng("t");
+        let mut b = crate::__test_rng("t");
+        let s = crate::collection::vec(0u64..1000, 3..10);
+        for _ in 0..10 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal workspace-local stand-in for the `serde` crate.
+//!
+//! Offline builds cannot fetch crates.io, and no format crate
+//! (`serde_json`, `bincode`, ...) exists in the workspace, so the only
+//! requirement is that `#[derive(Serialize, Deserialize)]` and the
+//! hand-written impls in `ic-common` type-check. The traits keep serde's
+//! shape (associated `Ok`/`Error` types, `serialize_str`,
+//! `String::deserialize`) so swapping the real crate back in later is a
+//! manifest-only change.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data format that can serialize values (minimal surface).
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error type.
+    type Error: std::error::Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a u64.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an f64.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialize values (minimal surface).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error type.
+    type Error: std::error::Error;
+
+    /// Deserializes an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Deserializes a u64.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+/// A value serializable into any supported format.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value deserializable from any supported format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for &str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}

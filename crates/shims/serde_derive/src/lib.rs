@@ -1,0 +1,22 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its message and
+//! config types for forward compatibility, but nothing in the workspace
+//! serializes through a generic `S: Serializer` yet — there is no format
+//! crate (`serde_json` etc.) in the offline build. The derives therefore
+//! expand to nothing; the hand-written impls in `ic-common` compile
+//! against the trait definitions in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -73,7 +73,7 @@ impl HostPool {
         for (i, h) in self.hosts.iter().enumerate() {
             if h.free_mb >= mem_mb {
                 let left = h.free_mb - mem_mb;
-                if best.map_or(true, |(_, b)| left < b) {
+                if best.is_none_or(|(_, b)| left < b) {
                     best = Some((i, left));
                 }
             }

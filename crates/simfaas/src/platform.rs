@@ -119,7 +119,7 @@ impl Platform {
             fleet: Fleet::new(cfg.function, cfg.n_lambdas),
             billing: BillingMeter::new(cfg.pricing, cfg.function.memory_mb as u64 * MIB),
             policy,
-            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_fa_a5),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_faa5),
             reclaim_log: Vec::new(),
             cfg,
         }

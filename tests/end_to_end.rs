@@ -146,6 +146,117 @@ fn live_cluster_recovers_after_reclaims_and_repairs() {
     cache.shutdown();
 }
 
+/// One step of the parity script, shared verbatim by both substrates.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Put(&'static str, u64),
+    Get(&'static str),
+}
+
+/// What a step produced, reduced to the application-visible outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    Stored,
+    Hit,
+    Miss,
+}
+
+const PARITY_SCRIPT: &[Step] = &[
+    Step::Put("alpha", 300_000),
+    Step::Put("beta", 1_200_000),
+    Step::Get("alpha"),
+    Step::Get("beta"),
+    Step::Get("ghost"), // never stored: must miss on both substrates
+    Step::Get("alpha"), // still cached: must hit again
+];
+
+fn parity_config() -> DeploymentConfig {
+    DeploymentConfig {
+        backup_enabled: false,
+        ..DeploymentConfig::small(10, EcConfig::new(4, 2).unwrap())
+    }
+}
+
+fn run_script_simulated(script: &[Step]) -> Vec<StepOutcome> {
+    let mut w = SimWorld::new(parity_config(), SimParams::paper(), Box::new(NoReclaim), 1);
+    // Match live semantics: a miss stays a miss (no S3 refetch/reinsert).
+    w.write_through = false;
+    for (i, step) in script.iter().enumerate() {
+        let at = SimTime::from_secs(10 + 10 * i as u64);
+        match *step {
+            Step::Put(k, size) => w.submit(at, ClientId(0), Op::Put {
+                key: key(k),
+                payload: Payload::synthetic(size),
+            }),
+            Step::Get(k) => {
+                let size = script
+                    .iter()
+                    .find_map(|s| match s {
+                        Step::Put(pk, sz) if *pk == k => Some(*sz),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                w.submit(at, ClientId(0), Op::Get { key: key(k), size });
+            }
+        }
+    }
+    w.run_until(SimTime::from_secs(10 + 10 * script.len() as u64 + 120));
+    let mut records: Vec<_> = w.metrics.requests.iter().collect();
+    records.sort_by_key(|r| r.issued);
+    assert_eq!(records.len(), script.len(), "every step must be recorded");
+    records
+        .iter()
+        .map(|r| match r.outcome {
+            Outcome::Stored => StepOutcome::Stored,
+            Outcome::Hit { .. } => StepOutcome::Hit,
+            Outcome::ColdMiss | Outcome::Reset => StepOutcome::Miss,
+        })
+        .collect()
+}
+
+fn run_script_live(script: &[Step]) -> Vec<StepOutcome> {
+    let mut cache = LiveCluster::start(parity_config()).unwrap();
+    let payload = |len: u64| -> Bytes {
+        (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect::<Vec<u8>>().into()
+    };
+    let outcomes = script
+        .iter()
+        .map(|step| match *step {
+            Step::Put(k, size) => {
+                cache.put(k, payload(size)).expect("live put succeeds");
+                StepOutcome::Stored
+            }
+            Step::Get(k) => match cache.get(k).expect("live get succeeds") {
+                Some(_) => StepOutcome::Hit,
+                None => StepOutcome::Miss,
+            },
+        })
+        .collect();
+    cache.shutdown();
+    outcomes
+}
+
+/// The tentpole invariant of the shared dispatch layer: the same
+/// PUT/GET/miss script pushed through `SimWorld` (timed events, network
+/// flows) and `LiveCluster` (threads, real bytes) produces identical
+/// application-visible hit/miss outcomes, because both substrates execute
+/// the identical protocol actions through `infinicache::dispatch`.
+#[test]
+fn simulated_and_live_execution_agree_on_hit_miss_outcomes() {
+    let sim = run_script_simulated(PARITY_SCRIPT);
+    let live = run_script_live(PARITY_SCRIPT);
+    assert_eq!(sim, live, "sim and live outcomes diverged");
+    let expected = [
+        StepOutcome::Stored,
+        StepOutcome::Stored,
+        StepOutcome::Hit,
+        StepOutcome::Hit,
+        StepOutcome::Miss,
+        StepOutcome::Hit,
+    ];
+    assert_eq!(sim, expected, "script must store, hit, and miss as written");
+}
+
 #[test]
 fn billing_cycles_round_up_per_invocation_end_to_end() {
     // One warm-up tick on a tiny idle pool: every invocation bills exactly
