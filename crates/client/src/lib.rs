@@ -89,6 +89,13 @@ pub enum ClientAction {
         /// Object key.
         key: ObjectKey,
     },
+    /// A PUT was aborted by the proxy before completion (the object was
+    /// evicted under capacity pressure or superseded by an overwrite);
+    /// the write is NOT stored and the application must not assume it is.
+    PutFailed {
+        /// Object key.
+        key: ObjectKey,
+    },
 }
 
 /// Client-side counters for the experiment harnesses.
@@ -110,6 +117,8 @@ pub struct ClientStats {
     pub unrecoverable: u64,
     /// Deliveries that needed parity decoding.
     pub parity_decodes: u64,
+    /// PUTs aborted by the proxy (eviction/overwrite before completion).
+    pub failed_puts: u64,
 }
 
 #[derive(Debug)]
@@ -135,6 +144,10 @@ struct PutState {
     /// of in-flight object bytes.
     #[allow(dead_code)]
     object: Payload,
+    /// This PUT's client-assigned epoch; completion/failure notices from
+    /// the proxy carry it back, so a stale notice for an already-replaced
+    /// PUT of the same key cannot tear down the newer one's state.
+    epoch: u64,
 }
 
 /// The client library state machine.
@@ -149,6 +162,8 @@ pub struct ClientLib {
     rng: SmallRng,
     gets: HashMap<ObjectKey, GetState>,
     puts: HashMap<ObjectKey, PutState>,
+    /// Source of per-PUT epochs (0 is reserved for repair traffic).
+    put_seq: u64,
     /// Last-known chunk placement per object (kept so read repair never
     /// re-places a chunk onto a node that already holds a sibling chunk —
     /// the paper's non-repetitive `IDλ` vector must stay non-repetitive
@@ -185,6 +200,7 @@ impl ClientLib {
             rng: SmallRng::seed_from_u64(seed ^ 0x00c1_1e47),
             gets: HashMap::new(),
             puts: HashMap::new(),
+            put_seq: 0,
             placements: HashMap::new(),
             stats: ClientStats::default(),
         }
@@ -226,7 +242,9 @@ impl ClientLib {
 
         let placement = self.placement(proxy, n);
         self.placements.insert(key.clone(), placement.clone());
-        self.puts.insert(key.clone(), PutState { object });
+        self.put_seq += 1;
+        let put_epoch = self.put_seq;
+        self.puts.insert(key.clone(), PutState { object, epoch: put_epoch });
         shard_payloads
             .into_iter()
             .enumerate()
@@ -239,14 +257,31 @@ impl ClientLib {
                     object_size,
                     total_chunks: n as u32,
                     repair: false,
+                    put_epoch,
                 },
             })
             .collect()
     }
 
     /// Issues a GET for `key`.
+    ///
+    /// A re-issued GET must not clobber the state of a previous GET of
+    /// the same key that is still open: if the previous GET already
+    /// delivered and is only accounting post-delivery chunk reports, its
+    /// pending read-repairs are flushed first; if it is still in flight,
+    /// the calls coalesce (its terminal action answers both) — a second
+    /// `GetObject` on the wire would reset the arrival counters
+    /// mid-stream and corrupt them.
     pub fn get(&mut self, key: ObjectKey) -> Vec<ClientAction> {
         self.stats.gets += 1;
+        let mut actions = Vec::new();
+        match self.gets.get(&key) {
+            Some(st) if st.done => {
+                actions.extend(self.finish_accounting(&key));
+            }
+            Some(_) => return actions, // coalesce with the in-flight GET
+            None => {}
+        }
         let proxy = self.route(&key);
         self.gets.insert(
             key.clone(),
@@ -262,7 +297,8 @@ impl ClientLib {
                 object: None,
             },
         );
-        vec![ClientAction::ToProxy { proxy, msg: Msg::GetObject { key } }]
+        actions.push(ClientAction::ToProxy { proxy, msg: Msg::GetObject { key } });
+        actions
     }
 
     /// Handles a message from a proxy.
@@ -270,6 +306,11 @@ impl ClientLib {
         match msg {
             Msg::GetAccepted { key, object_size, chunks } => {
                 let Some(st) = self.gets.get_mut(&key) else { return Vec::new() };
+                if !st.arrivals.is_empty() {
+                    // Duplicate accept (e.g. raced its own retry): the
+                    // accounting arrays are live, never reset them.
+                    return Vec::new();
+                }
                 st.object_size = object_size;
                 st.total = chunks.len() as u32;
                 st.arrivals = vec![None; chunks.len()];
@@ -283,9 +324,26 @@ impl ClientLib {
             }
             Msg::ChunkToClient { id, payload } => self.on_chunk(id, Some(payload)),
             Msg::ChunkMiss { id } => self.on_chunk(id, None),
-            Msg::PutDone { key } => {
-                self.puts.remove(&key);
-                vec![ClientAction::PutComplete { key }]
+            Msg::PutDone { key, put_epoch } => {
+                match self.puts.get(&key) {
+                    Some(p) if p.epoch == put_epoch => {
+                        self.puts.remove(&key);
+                        vec![ClientAction::PutComplete { key }]
+                    }
+                    // A notice for an older PUT of the key (already
+                    // replaced by a newer one): stale, ignore.
+                    _ => Vec::new(),
+                }
+            }
+            Msg::PutFailed { key, put_epoch } => {
+                match self.puts.get(&key) {
+                    Some(p) if p.epoch == put_epoch => {
+                        self.puts.remove(&key);
+                        self.stats.failed_puts += 1;
+                        vec![ClientAction::PutFailed { key }]
+                    }
+                    _ => Vec::new(), // stale failure for a replaced PUT
+                }
             }
             other => {
                 debug_assert!(false, "unexpected proxy message {}", other.kind());
@@ -463,6 +521,7 @@ impl ClientLib {
                         object_size: st.object_size,
                         total_chunks: n as u32,
                         repair: true,
+                        put_epoch: 0,
                     },
                 });
             }
@@ -538,10 +597,74 @@ impl ClientLib {
                     object_size: st.object_size,
                     total_chunks: n as u32,
                     repair: true,
+                    put_epoch: 0,
                 },
             });
         }
         actions
+    }
+
+    /// Number of GETs whose state is still open (auditing). Post-delivery
+    /// accounting states count too: they must eventually close once every
+    /// chunk is answered.
+    pub fn open_gets(&self) -> usize {
+        self.gets.len()
+    }
+
+    /// Number of PUTs awaiting a `PutDone`/`PutFailed` (auditing).
+    pub fn open_puts(&self) -> usize {
+        self.puts.len()
+    }
+
+    /// Keys of open requests, for audit diagnostics.
+    pub fn open_request_keys(&self) -> Vec<ObjectKey> {
+        self.gets.keys().chain(self.puts.keys()).cloned().collect()
+    }
+
+    /// Checks the library's structural invariants, returning one line per
+    /// violation (empty when healthy). Exercised continuously by the
+    /// chaos harness: the `arrived`/`lost` counters must agree with the
+    /// arrival arrays, never overlap, and never exceed the stripe.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (key, st) in &self.gets {
+            if st.arrivals.is_empty() {
+                continue; // not yet accepted
+            }
+            let n = st.total as usize;
+            if st.arrivals.len() != n || st.missing.len() != n {
+                violations.push(format!(
+                    "{}: GET of {key} tracks {} arrivals / {} misses for a {n}-chunk stripe",
+                    self.id,
+                    st.arrivals.len(),
+                    st.missing.len()
+                ));
+                continue;
+            }
+            let arrived = st.arrivals.iter().filter(|a| a.is_some()).count();
+            let lost = st.missing.iter().filter(|&&m| m).count();
+            if arrived != st.arrived || lost != st.lost {
+                violations.push(format!(
+                    "{}: GET of {key} counters corrupt ({}/{arrived} arrived, {}/{lost} lost)",
+                    self.id, st.arrived, st.lost
+                ));
+            }
+            let overlap = (0..n).filter(|&i| st.missing[i] && st.arrivals[i].is_some()).count();
+            if overlap != 0 {
+                violations.push(format!(
+                    "{}: GET of {key} has {overlap} chunks both arrived and missing",
+                    self.id
+                ));
+            }
+            if st.arrived + st.lost > n {
+                violations.push(format!(
+                    "{}: GET of {key} accounts {} chunks of a {n}-chunk stripe",
+                    self.id,
+                    st.arrived + st.lost
+                ));
+            }
+        }
+        violations
     }
 
     fn reencode_shard(&self, object: &Payload, seq: u32, object_size: u64) -> Payload {
@@ -745,8 +868,104 @@ mod tests {
         let mut c = client(1, 15, EcConfig::default());
         let key = ObjectKey::new("k");
         c.put(key.clone(), Payload::synthetic(1_000_000));
-        let out = c.on_proxy(Msg::PutDone { key: key.clone() });
+        let out = c.on_proxy(Msg::PutDone { key: key.clone(), put_epoch: 1 });
         assert!(matches!(&out[0], ClientAction::PutComplete { .. }));
+        assert_eq!(c.open_puts(), 0);
+    }
+
+    #[test]
+    fn put_failed_clears_state_and_reports() {
+        let mut c = client(1, 15, EcConfig::default());
+        let key = ObjectKey::new("k");
+        c.put(key.clone(), Payload::synthetic(1_000));
+        let out = c.on_proxy(Msg::PutFailed { key: key.clone(), put_epoch: 1 });
+        assert!(matches!(&out[0], ClientAction::PutFailed { .. }));
+        assert_eq!(c.open_puts(), 0);
+        assert_eq!(c.stats.failed_puts, 1);
+    }
+
+    #[test]
+    fn stale_put_notices_are_ignored() {
+        // A notice for a PUT that was already replaced by a newer PUT of
+        // the same key must not tear down the newer PUT's state.
+        let mut c = client(1, 15, EcConfig::default());
+        let key = ObjectKey::new("k");
+        c.put(key.clone(), Payload::synthetic(1_000)); // epoch 1
+        c.put(key.clone(), Payload::synthetic(2_000)); // epoch 2 replaces it
+        assert!(c.on_proxy(Msg::PutFailed { key: key.clone(), put_epoch: 1 }).is_empty());
+        assert!(c.on_proxy(Msg::PutDone { key: key.clone(), put_epoch: 1 }).is_empty());
+        assert_eq!(c.open_puts(), 1, "the newer PUT must stay open");
+        let out = c.on_proxy(Msg::PutDone { key: key.clone(), put_epoch: 2 });
+        assert!(matches!(&out[0], ClientAction::PutComplete { .. }));
+        assert_eq!(c.open_puts(), 0);
+    }
+
+    #[test]
+    fn reissued_get_flushes_post_delivery_repairs() {
+        // Regression: a GET re-issued while the previous GET of the key
+        // was still in post-delivery accounting used to overwrite that
+        // state, silently dropping its pending read-repairs.
+        let ec = EcConfig::new(4, 2).unwrap();
+        let mut c = client(1, 10, ec);
+        let key = ObjectKey::new("k");
+        c.get(key.clone());
+        let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
+        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 4000, chunks: chunks.clone() });
+        // First-d delivery from chunks 1..=4; chunks 0 and 5 unaccounted.
+        let mut out = Vec::new();
+        for id in &chunks[1..5] {
+            out = c.on_proxy(Msg::ChunkToClient { id: id.clone(), payload: Payload::synthetic(1000) });
+        }
+        assert!(matches!(out.last(), Some(ClientAction::Deliver { .. })));
+        assert_eq!(c.open_gets(), 1, "state stays open for accounting");
+        // Chunk 0 is reported lost after delivery; chunk 5 never answers.
+        assert!(c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() }).is_empty());
+        // The application GETs the key again: the pending repair of chunk
+        // 0 must be flushed, not dropped, and a fresh GetObject issued.
+        let acts = c.get(key.clone());
+        let repairs: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::DataToProxy { msg: Msg::PutChunk { id, repair: true, .. }, .. } => {
+                    Some(id.seq)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(repairs, vec![0], "the discovered loss must be repaired");
+        assert!(matches!(
+            acts.last(),
+            Some(ClientAction::ToProxy { msg: Msg::GetObject { .. }, .. })
+        ));
+        assert_eq!(c.stats.repaired_chunks, 1);
+        // The fresh state is clean: a full first-d delivery works.
+        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 4000, chunks: chunks.clone() });
+        for id in &chunks[0..4] {
+            out = c.on_proxy(Msg::ChunkToClient { id: id.clone(), payload: Payload::synthetic(1000) });
+        }
+        let Some(ClientAction::Deliver { report, .. }) = out.last() else {
+            panic!("fresh GET must deliver, got {out:?}");
+        };
+        assert_eq!(report.lost_chunks, 0, "counters must not leak across GETs");
+        assert!(c.check_invariants().is_empty(), "{:?}", c.check_invariants());
+    }
+
+    #[test]
+    fn reissued_get_in_flight_coalesces() {
+        let ec = EcConfig::new(4, 1).unwrap();
+        let mut c = client(1, 10, ec);
+        let key = ObjectKey::new("k");
+        assert_eq!(c.get(key.clone()).len(), 1);
+        assert!(c.get(key.clone()).is_empty(), "second GET must coalesce");
+        assert_eq!(c.open_gets(), 1);
+        let chunks: Vec<ChunkId> = (0..5).map(|s| ChunkId::new(key.clone(), s)).collect();
+        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 400, chunks: chunks.clone() });
+        let mut out = Vec::new();
+        for id in &chunks[0..4] {
+            out = c.on_proxy(Msg::ChunkToClient { id: id.clone(), payload: Payload::synthetic(100) });
+        }
+        assert!(matches!(out.last(), Some(ClientAction::Deliver { .. })));
+        assert!(c.check_invariants().is_empty(), "{:?}", c.check_invariants());
     }
 
     #[test]

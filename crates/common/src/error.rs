@@ -29,6 +29,9 @@ pub enum Error {
     /// A protocol invariant was violated (unexpected message for the
     /// connection state, duplicate chunk, unknown node...).
     Protocol(String),
+    /// A PUT was aborted by the proxy before completion (the object was
+    /// evicted under capacity pressure or superseded by an overwrite).
+    PutAborted(ObjectKey),
     /// The component has shut down and can no longer serve requests.
     Shutdown,
     /// Live-mode transport failure (disconnected channel).
@@ -46,6 +49,7 @@ impl fmt::Display for Error {
             ),
             Error::Coding(msg) => write!(f, "erasure coding error: {msg}"),
             Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Error::PutAborted(key) => write!(f, "put of {key} aborted before completion"),
             Error::Shutdown => write!(f, "component has shut down"),
             Error::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
@@ -66,6 +70,7 @@ mod tests {
             Error::ChunkUnavailable { needed: 10, available: 8 }.to_string(),
             Error::Coding("y".into()).to_string(),
             Error::Protocol("z".into()).to_string(),
+            Error::PutAborted(ObjectKey::new("k")).to_string(),
             Error::Shutdown.to_string(),
             Error::Transport("w".into()).to_string(),
         ];

@@ -135,11 +135,28 @@ pub enum Msg {
         /// `true` for read-repair re-insertion of a single lost chunk
         /// (must not invalidate the object like an overwrite PUT would).
         repair: bool,
+        /// Client-assigned PUT instance number (monotonic per client; 0
+        /// for repair traffic). Lets the proxy tell the chunks of two
+        /// overlapping PUTs of the same key apart, and lets the client
+        /// match completion/failure notices to the right PUT.
+        put_epoch: u64,
     },
     /// Proxy acknowledges that a whole object PUT has been stored.
     PutDone {
         /// Object key.
         key: ObjectKey,
+        /// The client-assigned epoch of the PUT that completed.
+        put_epoch: u64,
+    },
+    /// Proxy aborted a PUT before completion: the object was evicted under
+    /// capacity pressure or superseded by an overwrite while chunks (or
+    /// their acks) were still in flight. Without this notice the writer
+    /// would wait for a `PutDone` that can never come.
+    PutFailed {
+        /// Object key.
+        key: ObjectKey,
+        /// The client-assigned epoch of the PUT that was aborted.
+        put_epoch: u64,
     },
     /// Proxy forwards one chunk to the client (first-*d* streaming, §3.2).
     ChunkToClient {
@@ -179,6 +196,12 @@ pub enum Msg {
         id: ChunkId,
         /// Shard data.
         payload: Payload,
+        /// Proxy-assigned epoch of the client PUT this store belongs to
+        /// (0 for traffic outside any PUT, e.g. read repair). Echoed in
+        /// the matching [`Msg::PutAck`] so the proxy never counts a stale
+        /// ack — one from an overwritten previous version — toward the
+        /// current PUT's progress.
+        epoch: u64,
     },
     /// Proxy deletes chunks (object eviction is proxy-driven, §3.2).
     ChunkDelete {
@@ -203,6 +226,8 @@ pub enum Msg {
         id: ChunkId,
         /// Bytes cached on the instance after the insert.
         stored_bytes: u64,
+        /// The epoch carried by the acknowledged [`Msg::ChunkPut`].
+        epoch: u64,
     },
 
     // ------------------------------------------------------------------
@@ -285,6 +310,7 @@ impl Msg {
             Msg::GetMiss { .. } => "GetMiss",
             Msg::PutChunk { .. } => "PutChunk",
             Msg::PutDone { .. } => "PutDone",
+            Msg::PutFailed { .. } => "PutFailed",
             Msg::ChunkToClient { .. } => "ChunkToClient",
             Msg::Ping => "Ping",
             Msg::Pong { .. } => "Pong",

@@ -68,6 +68,11 @@ pub trait ClientTransport {
 
     /// A PUT was fully acknowledged.
     fn put_complete(&mut self, now: SimTime, client: ClientId, key: ObjectKey);
+
+    /// A PUT was aborted by the proxy before completion (evicted under
+    /// capacity pressure or superseded by an overwrite): the write is not
+    /// stored and the caller must not wait for `put_complete`.
+    fn put_failed(&mut self, now: SimTime, client: ClientId, key: ObjectKey);
 }
 
 /// Proxy-role side effects: function invocation, proxy ↔ node and
@@ -209,6 +214,7 @@ pub fn run_client_actions<T: ClientTransport + ?Sized>(
             }
             ClientAction::Miss { key } => t.miss(now, client, key),
             ClientAction::PutComplete { key } => t.put_complete(now, client, key),
+            ClientAction::PutFailed { key } => t.put_failed(now, client, key),
         }
     }
 }
@@ -306,6 +312,11 @@ pub enum ClientOutcome {
     },
     /// A PUT was fully acknowledged.
     PutComplete {
+        /// Object key.
+        key: ObjectKey,
+    },
+    /// A PUT was aborted before completion (eviction/overwrite).
+    PutFailed {
         /// Object key.
         key: ObjectKey,
     },

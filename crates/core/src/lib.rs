@@ -25,6 +25,7 @@
 //!
 //! (A live-mode quickstart example lives in `examples/quickstart.rs`.)
 
+pub mod chaos;
 pub mod dispatch;
 pub mod event;
 pub mod experiments;

@@ -515,10 +515,12 @@ impl LiveCluster {
         let deadline = Instant::now() + self.op_timeout;
         loop {
             for outcome in self.take_outcomes() {
-                if let ClientOutcome::PutComplete { key: k } = outcome {
-                    if k == key {
-                        return Ok(());
+                match outcome {
+                    ClientOutcome::PutComplete { key: k } if k == key => return Ok(()),
+                    ClientOutcome::PutFailed { key: k } if k == key => {
+                        return Err(Error::PutAborted(key));
                     }
+                    _ => {}
                 }
             }
             let msg = self.recv(deadline)?;
@@ -656,6 +658,10 @@ impl ClientTransport for LiveCluster {
 
     fn put_complete(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
         self.outcomes.push(ClientOutcome::PutComplete { key });
+    }
+
+    fn put_failed(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
+        self.outcomes.push(ClientOutcome::PutFailed { key });
     }
 }
 

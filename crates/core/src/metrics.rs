@@ -30,6 +30,9 @@ pub enum Outcome {
     Reset,
     /// PUT completed (PUTs have no hit/miss semantics).
     Stored,
+    /// PUT aborted by the proxy before completion (evicted under capacity
+    /// pressure or superseded by an overwrite racing it).
+    PutAborted,
 }
 
 /// One completed request.

@@ -197,6 +197,56 @@ impl SimWorld {
         self.proxies[proxy.index()].stats
     }
 
+    /// The deployment's proxies (read access for auditing).
+    pub fn proxies(&self) -> &[Proxy] {
+        &self.proxies
+    }
+
+    /// The deployment's client libraries (read access for auditing).
+    pub fn clients(&self) -> &[ClientLib] {
+        &self.clients
+    }
+
+    /// GETs submitted by the application that have not concluded yet
+    /// (auditing: each must terminate in a hit, miss, or reset).
+    pub fn pending_get_keys(&self) -> Vec<(ClientId, ObjectKey)> {
+        self.pending_gets.keys().cloned().collect()
+    }
+
+    /// PUTs submitted by the application that have not concluded yet.
+    pub fn pending_put_keys(&self) -> Vec<(ClientId, ObjectKey)> {
+        self.pending_puts.keys().cloned().collect()
+    }
+
+    /// Chaos hook: reclaim up to `n` idle instances right now, exactly as
+    /// the platform's per-minute policy tick would (victims are chosen
+    /// with the platform's seeded RNG, so schedules stay reproducible).
+    /// Returns how many instances actually died — fewer than `n` when the
+    /// fleet has fewer idle instances.
+    pub fn inject_reclaims(&mut self, n: usize) -> usize {
+        let now = self.now();
+        let notices = self.platform.force_reclaims(now, n);
+        let reclaimed = notices.len();
+        for notice in notices {
+            self.process_notice(notice);
+        }
+        reclaimed
+    }
+
+    /// Checks every protocol state machine's structural invariants plus
+    /// the cross-machine byte accounting; returns one line per violation.
+    /// The chaos harness calls this between drained events.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for p in &self.proxies {
+            violations.extend(p.check_invariants());
+        }
+        for c in &self.clients {
+            violations.extend(c.check_invariants());
+        }
+        violations
+    }
+
     /// Schedules an application operation.
     pub fn submit(&mut self, at: SimTime, client: ClientId, op: Op) {
         self.queue.push(at, Ev::Submit { client, op });
@@ -583,6 +633,22 @@ impl ClientTransport for SimWorld {
                     issued,
                     completed: now,
                     outcome: Outcome::Stored,
+                    hosts_touched: 0,
+                });
+            }
+        }
+    }
+
+    fn put_failed(&mut self, now: SimTime, client: ClientId, key: ObjectKey) {
+        if let Some(p) = self.pending_puts.remove(&(client, key.clone())) {
+            for issued in p.issued {
+                self.metrics.requests.push(RequestRecord {
+                    key: key.clone(),
+                    kind: OpKind::Put,
+                    size: p.size,
+                    issued,
+                    completed: now,
+                    outcome: Outcome::PutAborted,
                     hosts_touched: 0,
                 });
             }

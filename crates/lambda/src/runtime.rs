@@ -256,7 +256,7 @@ impl Runtime {
                     vec![Action::ToProxy(Msg::ChunkMiss { id })]
                 }
             }
-            Msg::ChunkPut { id, payload } => {
+            Msg::ChunkPut { id, payload, epoch } => {
                 // The proxy announces the PUT as the data flow starts; the
                 // instance is "serving" (receiving) until the transport
                 // reports the flow complete, so the ack goes out as a
@@ -269,6 +269,7 @@ impl Runtime {
                 let mut acts = vec![Action::DataToProxy(Msg::PutAck {
                     id: id.clone(),
                     stored_bytes: self.store.used_bytes(),
+                    epoch,
                 })];
                 if let BackupRole::Dest(d) = &self.role {
                     // Keep λs a superset during migration.
@@ -561,11 +562,13 @@ mod tests {
         rt.on_message(t0 + SimDuration::from_millis(10), Msg::ChunkPut {
             id: cid("a", 0),
             payload: Payload::synthetic(100),
+            epoch: 1,
         });
         rt.on_served(t0 + SimDuration::from_millis(12));
         rt.on_message(t0 + SimDuration::from_millis(20), Msg::ChunkPut {
             id: cid("a", 1),
             payload: Payload::synthetic(100),
+            epoch: 1,
         });
         rt.on_served(t0 + SimDuration::from_millis(22));
 
@@ -588,6 +591,7 @@ mod tests {
         rt.on_message(t0 + SimDuration::from_millis(10), Msg::ChunkPut {
             id: cid("a", 0),
             payload: Payload::synthetic(10),
+            epoch: 1,
         });
         rt.on_served(t0 + SimDuration::from_millis(12));
         let out = rt.on_timer(deadline, rt.timer_token);
@@ -664,7 +668,7 @@ mod tests {
         let t0 = SimTime::ZERO;
         let mut rt = fresh(t0);
         rt.on_invoke(t0, &invoke_payload());
-        rt.on_message(t0, Msg::ChunkPut { id: cid("d", 0), payload: Payload::synthetic(5) });
+        rt.on_message(t0, Msg::ChunkPut { id: cid("d", 0), payload: Payload::synthetic(5), epoch: 1 });
         let acts = rt.on_message(t0, Msg::ChunkDelete { ids: vec![cid("d", 0)] });
         assert!(acts.is_empty());
         assert!(!rt.store().contains(&cid("d", 0)));

@@ -110,6 +110,7 @@ proptest! {
                     let acts = rt.on_message(now, Msg::ChunkPut {
                         id: cid(k),
                         payload: Payload::synthetic(len as u64),
+                        epoch: 0,
                     });
                     model.insert(k, len as u64);
                     apply(&mut rt, now, acts, &mut timer, &mut returned);

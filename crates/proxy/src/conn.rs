@@ -356,6 +356,7 @@ mod tests {
         let put = Msg::ChunkPut {
             id: ChunkId::new(ObjectKey::new("p"), 0),
             payload: Payload::synthetic(64),
+            epoch: 1,
         };
         c.send(put.clone());
         let fx = c.on_pong(InstanceId(1), 128);

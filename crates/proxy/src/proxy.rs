@@ -79,6 +79,8 @@ pub struct ProxyStats {
     pub get_hits: u64,
     /// Backup rounds coordinated.
     pub backup_rounds: u64,
+    /// Messages that failed delivery (connection resets / dead instances).
+    pub delivery_failures: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -86,6 +88,11 @@ struct ObjectMeta {
     size: u64,
     total_chunks: u32,
     chunk_len: u64,
+    /// Who wrote this version and under which client PUT epoch; lets the
+    /// proxy recognize a *reordered older* stripe from the same client
+    /// (epochs are program order) and refuse to resurrect stale data.
+    writer: ClientId,
+    put_epoch: u64,
 }
 
 impl ObjectMeta {
@@ -97,7 +104,14 @@ impl ObjectMeta {
 #[derive(Clone, Debug)]
 struct PutProgress {
     client: ClientId,
+    /// Client-assigned PUT instance number (from `Msg::PutChunk`).
+    put_epoch: u64,
+    /// Proxy-assigned epoch stamped onto the `ChunkPut`s of this PUT and
+    /// echoed in their `PutAck`s; acks carrying any other epoch (a stale
+    /// previous version, repair traffic) never advance `acked`.
+    epoch: u64,
     acked: u32,
+    arrived: u32,
     total: u32,
 }
 
@@ -113,6 +127,14 @@ pub struct Proxy {
     used_bytes: u64,
     inflight_gets: HashMap<ChunkId, Vec<ClientId>>,
     puts: HashMap<ObjectKey, PutProgress>,
+    /// Tombstones for PUTs aborted while part of their stripe was still
+    /// in flight from the client: `(client, key, put_epoch)` → chunks yet
+    /// to arrive. Late chunks are swallowed (not stored under the new
+    /// version) and the tombstone self-cleans when the count hits zero.
+    aborted_puts: HashMap<(ClientId, ObjectKey, u64), u32>,
+    /// Monotonic source of `PutProgress::epoch` values (0 is reserved for
+    /// traffic outside any PUT).
+    next_epoch: u64,
     relays: HashMap<RelayId, LambdaId>,
     next_relay: u64,
     /// Statistics for the experiment harnesses.
@@ -135,6 +157,8 @@ impl Proxy {
             used_bytes: 0,
             inflight_gets: HashMap::new(),
             puts: HashMap::new(),
+            aborted_puts: HashMap::new(),
+            next_epoch: 1,
             relays: HashMap::new(),
             next_relay: 1,
             stats: ProxyStats::default(),
@@ -179,9 +203,17 @@ impl Proxy {
     pub fn on_client(&mut self, client: ClientId, msg: Msg) -> Vec<ProxyAction> {
         match msg {
             Msg::GetObject { key } => self.handle_get(client, key),
-            Msg::PutChunk { id, lambda, payload, object_size, total_chunks, repair } => {
-                self.handle_put_chunk(client, id, lambda, payload, object_size, total_chunks, repair)
-            }
+            Msg::PutChunk { id, lambda, payload, object_size, total_chunks, repair, put_epoch } => self
+                .handle_put_chunk(
+                    client,
+                    id,
+                    lambda,
+                    payload,
+                    object_size,
+                    total_chunks,
+                    repair,
+                    put_epoch,
+                ),
             other => {
                 debug_assert!(false, "unexpected client message {}", other.kind());
                 Vec::new()
@@ -239,6 +271,7 @@ impl Proxy {
         object_size: u64,
         total_chunks: u32,
         repair: bool,
+        put_epoch: u64,
     ) -> Vec<ProxyAction> {
         let mut actions = Vec::new();
         let key = id.key.clone();
@@ -252,29 +285,73 @@ impl Proxy {
                 .members
                 .get_mut(&lambda)
                 .expect("checked above")
-                .send(Msg::ChunkPut { id, payload });
+                .send(Msg::ChunkPut { id, payload, epoch: 0 });
             actions.extend(self.apply_effects(lambda, effects));
             return actions;
         }
-        if !self.puts.contains_key(&key) {
-            // First chunk of this PUT: invalidate any previous version
-            // (§3.1: the client library invalidates on overwrite) and make
-            // room.
+        // A late chunk of a PUT that was already aborted (evicted under
+        // pressure or superseded by an overwrite): swallow it so it cannot
+        // resurrect the dead PUT or pollute the current version.
+        if let Some(remaining) =
+            self.aborted_puts.get_mut(&(client, key.clone(), put_epoch))
+        {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.aborted_puts.remove(&(client, key, put_epoch));
+            }
+            return actions;
+        }
+        let continuing = self
+            .puts
+            .get(&key)
+            .is_some_and(|p| p.client == client && p.put_epoch == put_epoch);
+        if !continuing {
+            // A same-client stripe carrying an *older* epoch than the
+            // version already stored (or being stored): its PUT was
+            // reordered behind a newer PUT of the key (e.g. by encode
+            // delays). Treating it as an overwrite would evict the newer
+            // version and resurrect stale data — swallow the whole
+            // stripe via a tombstone instead.
+            if let Some(meta) = self.objects.get(&key) {
+                if meta.writer == client && put_epoch < meta.put_epoch {
+                    if total_chunks > 1 {
+                        self.aborted_puts.insert((client, key, put_epoch), total_chunks - 1);
+                    }
+                    return actions;
+                }
+            }
+            // First chunk of a new PUT: invalidate any previous version
+            // (§3.1: the client library invalidates on overwrite) — which
+            // also aborts a still-open PUT of the key and notifies its
+            // writer — and make room.
             if self.objects.contains_key(&key) {
                 self.stats.overwrites += 1;
-                self.evict_object(&key);
+                actions.extend(self.evict_object(&key));
             }
             let stored = payload.len() * total_chunks as u64;
-            self.evict_until_fits(stored, &key);
+            actions.extend(self.evict_until_fits(stored, &key));
             self.objects.insert(
                 key.clone(),
-                ObjectMeta { size: object_size, total_chunks, chunk_len: payload.len() },
+                ObjectMeta {
+                    size: object_size,
+                    total_chunks,
+                    chunk_len: payload.len(),
+                    writer: client,
+                    put_epoch,
+                },
             );
             self.lru.insert(key.clone());
             self.used_bytes += stored;
-            self.puts
-                .insert(key.clone(), PutProgress { client, acked: 0, total: total_chunks });
+            let epoch = self.next_epoch;
+            self.next_epoch += 1;
+            self.puts.insert(
+                key.clone(),
+                PutProgress { client, put_epoch, epoch, acked: 0, arrived: 0, total: total_chunks },
+            );
         }
+        let progress = self.puts.get_mut(&key).expect("present or just inserted");
+        progress.arrived += 1;
+        let epoch = progress.epoch;
         if !self.members.contains_key(&lambda) {
             // Placement targeted a foreign pool: protocol violation.
             debug_assert!(false, "chunk placed on unknown node {lambda}");
@@ -285,7 +362,7 @@ impl Proxy {
             .members
             .get_mut(&lambda)
             .expect("checked above")
-            .send(Msg::ChunkPut { id, payload });
+            .send(Msg::ChunkPut { id, payload, epoch });
         actions.extend(self.apply_effects(lambda, effects));
         actions
     }
@@ -336,21 +413,27 @@ impl Proxy {
                     })
                     .collect()
             }
-            Msg::PutAck { id, stored_bytes } => {
+            Msg::PutAck { id, stored_bytes, epoch } => {
                 if let Some(m) = self.members.get_mut(&lambda) {
                     m.reported_bytes = stored_bytes;
                 }
                 let key = id.key.clone();
-                let mut done = false;
-                if let Some(p) = self.puts.get_mut(&key) {
-                    p.acked += 1;
-                    done = p.acked >= p.total;
-                }
+                // Only acks stamped with the current PUT's epoch count: a
+                // stale ack (from an overwritten previous version, or from
+                // epoch-0 repair traffic) must not signal PutDone before
+                // the new chunks are actually stored.
+                let done = match self.puts.get_mut(&key) {
+                    Some(p) if p.epoch == epoch => {
+                        p.acked += 1;
+                        p.acked >= p.total
+                    }
+                    _ => false,
+                };
                 if done {
                     let p = self.puts.remove(&key).expect("present");
                     vec![ProxyAction::ToClient {
                         client: p.client,
-                        msg: Msg::PutDone { key },
+                        msg: Msg::PutDone { key, put_epoch: p.put_epoch },
                     }]
                 } else {
                     Vec::new()
@@ -386,6 +469,7 @@ impl Proxy {
     /// The transport failed to deliver `msg` to the node (its instance is
     /// gone): requeue and re-invoke.
     pub fn on_delivery_failed(&mut self, lambda: LambdaId, msg: Msg) -> Vec<ProxyAction> {
+        self.stats.delivery_failures += 1;
         let retry = match msg {
             m @ (Msg::ChunkGet { .. } | Msg::ChunkPut { .. } | Msg::BackupCmd { .. }) => Some(m),
             Msg::ChunkDelete { ids } => {
@@ -445,25 +529,66 @@ impl Proxy {
     }
 
     /// Drops an object: metadata, mapping, LRU, capacity, plus lazy
-    /// deletions queued toward the nodes holding its chunks.
-    fn evict_object(&mut self, key: &ObjectKey) {
-        let Some(meta) = self.objects.remove(key) else { return };
-        self.lru.remove(key);
+    /// deletions queued toward the nodes holding its chunks. Clients
+    /// waiting on in-flight GETs of its chunks are told the chunks are
+    /// gone, and a still-open PUT of the key is aborted with a
+    /// `PutFailed` to its writer — without either, those requests would
+    /// hang forever.
+    fn evict_object(&mut self, key: &ObjectKey) -> Vec<ProxyAction> {
+        self.evict_object_impl(key, true)
+    }
+
+    /// Like [`Proxy::evict_object`] but the key is already off the LRU
+    /// (evict() removed it).
+    fn evict_object_keep_lru(&mut self, key: &ObjectKey) -> Vec<ProxyAction> {
+        self.evict_object_impl(key, false)
+    }
+
+    fn evict_object_impl(&mut self, key: &ObjectKey, remove_lru: bool) -> Vec<ProxyAction> {
+        let Some(meta) = self.objects.remove(key) else { return Vec::new() };
+        if remove_lru {
+            self.lru.remove(key);
+        }
         self.used_bytes = self.used_bytes.saturating_sub(meta.stored_len());
+        let mut actions = Vec::new();
         for seq in 0..meta.total_chunks {
             let chunk = ChunkId::new(key.clone(), seq);
             if let Some(lambda) = self.mapping.remove(&chunk) {
                 if let Some(m) = self.members.get_mut(&lambda) {
-                    m.queue_delete(chunk);
+                    m.queue_delete(chunk.clone());
                 }
             }
+            for client in self.inflight_gets.remove(&chunk).unwrap_or_default() {
+                actions.push(ProxyAction::ToClient {
+                    client,
+                    msg: Msg::ChunkMiss { id: chunk.clone() },
+                });
+            }
         }
-        self.puts.remove(key);
+        actions.extend(self.abort_put(key));
+        actions
+    }
+
+    /// Aborts an incomplete PUT of `key` (its object is going away):
+    /// removes the progress entry, leaves a tombstone for the stripe
+    /// chunks that have not reached the proxy yet, and tells the writer —
+    /// otherwise it waits for a `PutDone` that can never arrive.
+    fn abort_put(&mut self, key: &ObjectKey) -> Vec<ProxyAction> {
+        let Some(p) = self.puts.remove(key) else { return Vec::new() };
+        if p.arrived < p.total {
+            self.aborted_puts
+                .insert((p.client, key.clone(), p.put_epoch), p.total - p.arrived);
+        }
+        vec![ProxyAction::ToClient {
+            client: p.client,
+            msg: Msg::PutFailed { key: key.clone(), put_epoch: p.put_epoch },
+        }]
     }
 
     /// CLOCK-LRU eviction until `incoming` fits (§3.2), never evicting the
     /// object currently being written.
-    fn evict_until_fits(&mut self, incoming: u64, protect: &ObjectKey) {
+    fn evict_until_fits(&mut self, incoming: u64, protect: &ObjectKey) -> Vec<ProxyAction> {
+        let mut actions = Vec::new();
         let mut parked: Option<ObjectKey> = None;
         while self.used_bytes + incoming > self.cfg.capacity_bytes {
             let Some(victim) = self.lru.evict() else { break };
@@ -473,27 +598,12 @@ impl Proxy {
                 continue;
             }
             self.stats.evictions += 1;
-            self.evict_object_keep_lru(&victim);
+            actions.extend(self.evict_object_keep_lru(&victim));
         }
         if let Some(k) = parked {
             self.lru.insert(k);
         }
-    }
-
-    /// Like [`Proxy::evict_object`] but the key is already off the LRU
-    /// (evict() removed it).
-    fn evict_object_keep_lru(&mut self, key: &ObjectKey) {
-        let Some(meta) = self.objects.remove(key) else { return };
-        self.used_bytes = self.used_bytes.saturating_sub(meta.stored_len());
-        for seq in 0..meta.total_chunks {
-            let chunk = ChunkId::new(key.clone(), seq);
-            if let Some(lambda) = self.mapping.remove(&chunk) {
-                if let Some(m) = self.members.get_mut(&lambda) {
-                    m.queue_delete(chunk);
-                }
-            }
-        }
-        self.puts.remove(key);
+        actions
     }
 
     /// The node a chunk is mapped to (tests/metrics).
@@ -509,6 +619,79 @@ impl Proxy {
     /// Queue of pending client ids per in-flight chunk (tests).
     pub fn inflight_for(&self, id: &ChunkId) -> usize {
         self.inflight_gets.get(id).map_or(0, |v| v.len())
+    }
+
+    /// Total waiting clients across all in-flight chunk GETs (auditing).
+    pub fn inflight_total(&self) -> usize {
+        self.inflight_gets.values().map(Vec::len).sum()
+    }
+
+    /// Number of PUTs currently awaiting acks (auditing).
+    pub fn open_puts(&self) -> usize {
+        self.puts.len()
+    }
+
+    /// Number of aborted-PUT tombstones still waiting for late chunks
+    /// (auditing; must drain to zero once all client traffic lands).
+    pub fn aborted_put_tombstones(&self) -> usize {
+        self.aborted_puts.len()
+    }
+
+    /// Checks the proxy's structural invariants, returning one line per
+    /// violation (empty when healthy). Exercised continuously by the
+    /// chaos harness:
+    ///
+    /// * `used_bytes` equals the summed stored length of live objects;
+    /// * every mapped chunk belongs to a live object and points at a pool
+    ///   member;
+    /// * every in-flight GET and every open PUT refers to a live object;
+    /// * PUT progress counters never exceed the stripe size.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let expected: u64 = self.objects.values().map(ObjectMeta::stored_len).sum();
+        if expected != self.used_bytes {
+            violations.push(format!(
+                "{}: used_bytes {} != sum of live objects {}",
+                self.cfg.id, self.used_bytes, expected
+            ));
+        }
+        for (chunk, lambda) in &self.mapping {
+            if !self.objects.contains_key(&chunk.key) {
+                violations.push(format!(
+                    "{}: mapping for {chunk} outlives its object",
+                    self.cfg.id
+                ));
+            }
+            if !self.members.contains_key(lambda) {
+                violations.push(format!(
+                    "{}: {chunk} mapped to foreign node {lambda}",
+                    self.cfg.id
+                ));
+            }
+        }
+        for chunk in self.inflight_gets.keys() {
+            if !self.objects.contains_key(&chunk.key) {
+                violations.push(format!(
+                    "{}: in-flight GET of {chunk} for an evicted object (waiters stranded)",
+                    self.cfg.id
+                ));
+            }
+        }
+        for (key, p) in &self.puts {
+            if !self.objects.contains_key(key) {
+                violations.push(format!(
+                    "{}: open PUT of {key} without object metadata (writer stranded)",
+                    self.cfg.id
+                ));
+            }
+            if p.arrived > p.total || p.acked > p.total {
+                violations.push(format!(
+                    "{}: PUT of {key} over-counted ({}/{} arrived, {}/{} acked)",
+                    self.cfg.id, p.arrived, p.total, p.acked, p.total
+                ));
+            }
+        }
+        violations
     }
 }
 
@@ -533,11 +716,18 @@ mod tests {
         )
     }
 
-    fn put_chunks(p: &mut Proxy, key: &str, chunks: u32, chunk_len: u64) -> Vec<ProxyAction> {
+    fn put_chunks_as(
+        p: &mut Proxy,
+        client: ClientId,
+        put_epoch: u64,
+        key: &str,
+        chunks: u32,
+        chunk_len: u64,
+    ) -> Vec<ProxyAction> {
         let mut all = Vec::new();
         for seq in 0..chunks {
             all.extend(p.on_client(
-                ClientId(0),
+                client,
                 Msg::PutChunk {
                     id: ChunkId::new(ObjectKey::new(key), seq),
                     lambda: LambdaId(seq % 4),
@@ -545,10 +735,21 @@ mod tests {
                     object_size: chunk_len * chunks as u64,
                     total_chunks: chunks,
                     repair: false,
+                    put_epoch,
                 },
             ));
         }
         all
+    }
+
+    fn put_chunks(
+        p: &mut Proxy,
+        put_epoch: u64,
+        key: &str,
+        chunks: u32,
+        chunk_len: u64,
+    ) -> Vec<ProxyAction> {
+        put_chunks_as(p, ClientId(0), put_epoch, key, chunks, chunk_len)
     }
 
     /// Walks every member with a pending invoke through PONG so queued
@@ -578,7 +779,7 @@ mod tests {
     #[test]
     fn put_then_get_roundtrip_actions() {
         let mut p = proxy(4, 1 << 30);
-        let acts = put_chunks(&mut p, "obj", 4, 100);
+        let acts = put_chunks(&mut p, 1, "obj", 4, 100);
         // Cold pool: each of the 4 nodes gets one Invoke.
         let invokes = acts
             .iter()
@@ -601,7 +802,7 @@ mod tests {
         for seq in 0..4u32 {
             done = p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("obj"), seq), stored_bytes: 100 },
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("obj"), seq), stored_bytes: 100, epoch: 1 },
             );
         }
         assert!(matches!(
@@ -624,7 +825,7 @@ mod tests {
     #[test]
     fn chunk_data_streams_to_waiting_client() {
         let mut p = proxy(4, 1 << 30);
-        put_chunks(&mut p, "o", 2, 50);
+        put_chunks(&mut p, 1, "o", 2, 50);
         pong_all(&mut p, 1);
         p.on_client(ClientId(3), Msg::GetObject { key: ObjectKey::new("o") });
         let id = ChunkId::new(ObjectKey::new("o"), 0);
@@ -640,7 +841,7 @@ mod tests {
     #[test]
     fn chunk_miss_unmaps_and_notifies() {
         let mut p = proxy(4, 1 << 30);
-        put_chunks(&mut p, "o", 2, 50);
+        put_chunks(&mut p, 1, "o", 2, 50);
         pong_all(&mut p, 1);
         p.on_client(ClientId(3), Msg::GetObject { key: ObjectKey::new("o") });
         let id = ChunkId::new(ObjectKey::new("o"), 1);
@@ -653,11 +854,11 @@ mod tests {
     fn eviction_frees_capacity_at_object_granularity() {
         // Capacity fits exactly two 4x100 objects.
         let mut p = proxy(4, 800);
-        put_chunks(&mut p, "a", 4, 100);
-        put_chunks(&mut p, "b", 4, 100);
+        put_chunks(&mut p, 1, "a", 4, 100);
+        put_chunks(&mut p, 2, "b", 4, 100);
         assert_eq!(p.object_count(), 2);
         // Third object forces one eviction.
-        put_chunks(&mut p, "c", 4, 100);
+        put_chunks(&mut p, 3, "c", 4, 100);
         assert_eq!(p.object_count(), 2);
         assert_eq!(p.stats.evictions, 1);
         assert!(p.used_bytes() <= 800);
@@ -667,11 +868,11 @@ mod tests {
     #[test]
     fn lru_touch_protects_recently_read_objects() {
         let mut p = proxy(4, 800);
-        put_chunks(&mut p, "a", 4, 100);
-        put_chunks(&mut p, "b", 4, 100);
+        put_chunks(&mut p, 1, "a", 4, 100);
+        put_chunks(&mut p, 2, "b", 4, 100);
         // Read "a" so "b" is the colder object.
         p.on_client(ClientId(0), Msg::GetObject { key: ObjectKey::new("a") });
-        put_chunks(&mut p, "c", 4, 100);
+        put_chunks(&mut p, 3, "c", 4, 100);
         assert!(p.contains_object(&ObjectKey::new("a")), "touched object survives");
         assert!(!p.contains_object(&ObjectKey::new("b")), "cold object evicted");
     }
@@ -679,16 +880,16 @@ mod tests {
     #[test]
     fn overwrite_invalidates_previous_version() {
         let mut p = proxy(4, 1 << 30);
-        put_chunks(&mut p, "k", 4, 100);
+        put_chunks(&mut p, 1, "k", 4, 100);
         pong_all(&mut p, 1);
         for seq in 0..4u32 {
             p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100 },
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100, epoch: 1 },
             );
         }
         assert_eq!(p.used_bytes(), 400);
-        put_chunks(&mut p, "k", 4, 200);
+        put_chunks(&mut p, 2, "k", 4, 200);
         assert_eq!(p.stats.overwrites, 1);
         assert_eq!(p.object_count(), 1);
         assert_eq!(p.used_bytes(), 800);
@@ -740,7 +941,7 @@ mod tests {
     #[test]
     fn delivery_failure_requeues_and_reinvokes() {
         let mut p = proxy(1, 1 << 30);
-        put_chunks(&mut p, "x", 1, 10);
+        put_chunks(&mut p, 1, "x", 1, 10);
         pong_all(&mut p, 1);
         // The instance died while a GET was being delivered.
         p.on_client(ClientId(0), Msg::GetObject { key: ObjectKey::new("x") });
@@ -756,6 +957,181 @@ mod tests {
     }
 
     #[test]
+    fn eviction_drains_inflight_gets_with_chunk_miss() {
+        // Regression: evicting an object used to leave its in-flight GET
+        // waiters dangling in `inflight_gets` forever.
+        let mut p = proxy(4, 800);
+        put_chunks(&mut p, 1, "a", 4, 100);
+        // Client 5's GET is accepted; its chunk requests queue toward the
+        // (still cold) nodes, so the waiters sit in `inflight_gets`.
+        p.on_client(ClientId(5), Msg::GetObject { key: ObjectKey::new("a") });
+        assert_eq!(p.inflight_total(), 4);
+        // A full-capacity incoming object must evict both "b" (first
+        // unreferenced victim) and "a" (second sweep clears its ref bit).
+        put_chunks(&mut p, 2, "b", 4, 100);
+        let acts = put_chunks(&mut p, 3, "c", 4, 200);
+        assert!(!p.contains_object(&ObjectKey::new("a")));
+        let misses = acts
+            .iter()
+            .filter(|a| matches!(
+                a,
+                ProxyAction::ToClient { client: ClientId(5), msg: Msg::ChunkMiss { .. } }
+            ))
+            .count();
+        assert_eq!(misses, 4, "every waiter must be told the chunks are gone");
+        assert_eq!(p.inflight_total(), 0);
+        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+    }
+
+    #[test]
+    fn eviction_aborts_incomplete_put_and_notifies_writer() {
+        // Regression: capacity-evicting a key whose PUT had not finished
+        // silently dropped the `puts` entry; the writer waited forever.
+        let mut p = proxy(4, 800);
+        put_chunks_as(&mut p, ClientId(0), 1, "a", 4, 100); // no acks: PUT open
+        put_chunks_as(&mut p, ClientId(1), 1, "b", 4, 100);
+        let acts = put_chunks_as(&mut p, ClientId(1), 2, "c", 4, 100); // evicts "a"
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ProxyAction::ToClient {
+                client: ClientId(0),
+                msg: Msg::PutFailed { put_epoch: 1, .. }
+            }
+        )), "the stranded writer must learn its PUT died");
+        assert_eq!(p.open_puts(), 2, "only b's and c's PUTs stay open");
+        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+    }
+
+    #[test]
+    fn overwrite_aborts_previous_writers_put() {
+        let mut p = proxy(4, 1 << 30);
+        put_chunks_as(&mut p, ClientId(0), 7, "k", 4, 100); // open PUT by client 0
+        let acts = put_chunks_as(&mut p, ClientId(1), 3, "k", 4, 200);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ProxyAction::ToClient {
+                client: ClientId(0),
+                msg: Msg::PutFailed { put_epoch: 7, .. }
+            }
+        )));
+        // The overwriting PUT proceeds normally.
+        pong_all(&mut p, 1);
+        let mut done = Vec::new();
+        for seq in 0..4u32 {
+            done = p.on_lambda(
+                LambdaId(seq % 4),
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 200, epoch: 2 },
+            );
+        }
+        assert!(matches!(
+            &done[0],
+            ProxyAction::ToClient { client: ClientId(1), msg: Msg::PutDone { put_epoch: 3, .. } }
+        ));
+        assert_eq!(p.used_bytes(), 800);
+    }
+
+    #[test]
+    fn stale_acks_do_not_complete_an_overwrite_put() {
+        // Regression: an overwrite PUT racing the previous version's
+        // in-flight acks used to count those stale acks and signal
+        // PutDone before the new chunks were stored.
+        let mut p = proxy(4, 1 << 30);
+        put_chunks(&mut p, 1, "k", 4, 100);
+        pong_all(&mut p, 1); // ChunkPuts (epoch 1) now in flight
+        // Overwrite before any ack lands.
+        put_chunks(&mut p, 2, "k", 4, 200);
+        // The old version's acks arrive: they must not advance the new PUT.
+        let mut out = Vec::new();
+        for seq in 0..4u32 {
+            out = p.on_lambda(
+                LambdaId(seq % 4),
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100, epoch: 1 },
+            );
+        }
+        assert!(out.is_empty(), "stale acks must not produce PutDone: {out:?}");
+        assert_eq!(p.open_puts(), 1);
+        // The new version's own acks complete it.
+        for seq in 0..4u32 {
+            out = p.on_lambda(
+                LambdaId(seq % 4),
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 200, epoch: 2 },
+            );
+        }
+        assert!(matches!(
+            &out[0],
+            ProxyAction::ToClient { msg: Msg::PutDone { put_epoch: 2, .. }, .. }
+        ));
+        assert_eq!(p.open_puts(), 0);
+    }
+
+    #[test]
+    fn late_chunks_of_an_aborted_put_are_swallowed() {
+        let mut p = proxy(4, 1 << 30);
+        let key = ObjectKey::new("k");
+        // Client 0 gets only half its stripe to the proxy...
+        for seq in 0..2u32 {
+            p.on_client(ClientId(0), Msg::PutChunk {
+                id: ChunkId::new(key.clone(), seq),
+                lambda: LambdaId(seq % 4),
+                payload: Payload::synthetic(100),
+                object_size: 400,
+                total_chunks: 4,
+                repair: false,
+                put_epoch: 1,
+            });
+        }
+        // ...before client 1 overwrites the key.
+        put_chunks_as(&mut p, ClientId(1), 1, "k", 4, 200);
+        assert_eq!(p.aborted_put_tombstones(), 1);
+        // Client 0's late chunks arrive: swallowed, not stored.
+        for seq in 2..4u32 {
+            let acts = p.on_client(ClientId(0), Msg::PutChunk {
+                id: ChunkId::new(key.clone(), seq),
+                lambda: LambdaId(seq % 4),
+                payload: Payload::synthetic(100),
+                object_size: 400,
+                total_chunks: 4,
+                repair: false,
+                put_epoch: 1,
+            });
+            assert!(acts.is_empty(), "late chunks must be dropped: {acts:?}");
+        }
+        assert_eq!(p.aborted_put_tombstones(), 0, "tombstone must self-clean");
+        assert_eq!(p.used_bytes(), 800, "only client 1's version is accounted");
+        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+    }
+
+    #[test]
+    fn reordered_older_put_chunks_cannot_resurrect_stale_data() {
+        // Two overlapping PUTs of the same key by one client can reach
+        // the proxy newest-first (a smaller object has a shorter encode
+        // delay). The older stripe must be swallowed, not treated as an
+        // overwrite that evicts the newer version.
+        let mut p = proxy(4, 1 << 30);
+        put_chunks(&mut p, 2, "k", 4, 100); // newer PUT lands first
+        let acts = put_chunks(&mut p, 1, "k", 4, 300); // older stripe, late
+        assert!(acts.is_empty(), "stale stripe must be swallowed: {acts:?}");
+        assert_eq!(p.stats.overwrites, 0);
+        assert_eq!(p.used_bytes(), 400, "the newer version stays stored");
+        assert_eq!(p.open_puts(), 1, "the newer PUT stays open");
+        assert_eq!(p.aborted_put_tombstones(), 0, "tombstone drains with the stripe");
+        // The newer PUT still completes normally.
+        pong_all(&mut p, 1);
+        let mut out = Vec::new();
+        for seq in 0..4u32 {
+            out = p.on_lambda(
+                LambdaId(seq % 4),
+                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100, epoch: 1 },
+            );
+        }
+        assert!(matches!(
+            &out[0],
+            ProxyAction::ToClient { msg: Msg::PutDone { put_epoch: 2, .. }, .. }
+        ));
+        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+    }
+
+    #[test]
     fn get_during_incomplete_put_misses_unmapped_chunks() {
         let mut p = proxy(4, 1 << 30);
         // Only chunk 0 of 4 has been put.
@@ -768,6 +1144,7 @@ mod tests {
                 object_size: 40,
                 total_chunks: 4,
                 repair: false,
+                put_epoch: 1,
             },
         );
         let acts = p.on_client(ClientId(1), Msg::GetObject { key: ObjectKey::new("partial") });

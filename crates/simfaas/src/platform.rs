@@ -211,6 +211,23 @@ impl Platform {
         }
     }
 
+    /// Fault-injection hook: reclaim up to `n` idle instances immediately,
+    /// using the same victim selection (and seeded RNG) as the per-minute
+    /// policy tick. Returns the `Reclaimed` notices for the event loop.
+    pub fn force_reclaims(&mut self, now: SimTime, n: usize) -> Vec<PlatformNotice> {
+        let idle = self.fleet.idle_instances();
+        let victims: Vec<InstanceId> = idle.choose_multiple(&mut self.rng, n).copied().collect();
+        victims
+            .into_iter()
+            .filter_map(|v| {
+                self.reclaim_instance(now, v).map(|gone| PlatformNotice::Reclaimed {
+                    lambda: gone.lambda,
+                    instance: gone.id,
+                })
+            })
+            .collect()
+    }
+
     fn reclaim_instance(&mut self, now: SimTime, instance: InstanceId) -> Option<Instance> {
         let gone = self.fleet.reclaim(instance, &mut self.hosts)?;
         self.reclaim_log.push((now, gone.lambda, gone.id));

@@ -55,7 +55,7 @@ fn main() {
             Outcome::Hit { .. } => recovered += 1,
             Outcome::Reset => reset += 1,
             Outcome::ColdMiss => cold += 1,
-            Outcome::Stored => {}
+            Outcome::Stored | Outcome::PutAborted => {}
         }
     }
     println!("\nGET outcomes over 3 simulated hours of hourly half-fleet reclaim spikes:");

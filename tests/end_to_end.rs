@@ -9,11 +9,15 @@ use ic_common::{
 };
 use ic_simfaas::reclaim::{HourlyPoisson, NoReclaim};
 use ic_workload::{generate, WorkloadSpec};
+use infinicache::chaos::ScriptStep;
 use infinicache::event::Op;
 use infinicache::live::LiveCluster;
 use infinicache::metrics::{OpKind, Outcome};
 use infinicache::params::SimParams;
 use infinicache::world::SimWorld;
+
+mod common;
+use common::{replay_live, replay_sim, StepOutcome};
 
 fn key(s: &str) -> ObjectKey {
     ObjectKey::new(s)
@@ -146,94 +150,17 @@ fn live_cluster_recovers_after_reclaims_and_repairs() {
     cache.shutdown();
 }
 
-/// One step of the parity script, shared verbatim by both substrates.
-#[derive(Debug, Clone, Copy)]
-enum Step {
-    Put(&'static str, u64),
-    Get(&'static str),
-}
-
-/// What a step produced, reduced to the application-visible outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepOutcome {
-    Stored,
-    Hit,
-    Miss,
-}
-
-const PARITY_SCRIPT: &[Step] = &[
-    Step::Put("alpha", 300_000),
-    Step::Put("beta", 1_200_000),
-    Step::Get("alpha"),
-    Step::Get("beta"),
-    Step::Get("ghost"), // never stored: must miss on both substrates
-    Step::Get("alpha"), // still cached: must hit again
-];
-
-fn parity_config() -> DeploymentConfig {
-    DeploymentConfig {
-        backup_enabled: false,
-        ..DeploymentConfig::small(10, EcConfig::new(4, 2).unwrap())
-    }
-}
-
-fn run_script_simulated(script: &[Step]) -> Vec<StepOutcome> {
-    let mut w = SimWorld::new(parity_config(), SimParams::paper(), Box::new(NoReclaim), 1);
-    // Match live semantics: a miss stays a miss (no S3 refetch/reinsert).
-    w.write_through = false;
-    for (i, step) in script.iter().enumerate() {
-        let at = SimTime::from_secs(10 + 10 * i as u64);
-        match *step {
-            Step::Put(k, size) => w.submit(at, ClientId(0), Op::Put {
-                key: key(k),
-                payload: Payload::synthetic(size),
-            }),
-            Step::Get(k) => {
-                let size = script
-                    .iter()
-                    .find_map(|s| match s {
-                        Step::Put(pk, sz) if *pk == k => Some(*sz),
-                        _ => None,
-                    })
-                    .unwrap_or(0);
-                w.submit(at, ClientId(0), Op::Get { key: key(k), size });
-            }
-        }
-    }
-    w.run_until(SimTime::from_secs(10 + 10 * script.len() as u64 + 120));
-    let mut records: Vec<_> = w.metrics.requests.iter().collect();
-    records.sort_by_key(|r| r.issued);
-    assert_eq!(records.len(), script.len(), "every step must be recorded");
-    records
-        .iter()
-        .map(|r| match r.outcome {
-            Outcome::Stored => StepOutcome::Stored,
-            Outcome::Hit { .. } => StepOutcome::Hit,
-            Outcome::ColdMiss | Outcome::Reset => StepOutcome::Miss,
-        })
-        .collect()
-}
-
-fn run_script_live(script: &[Step]) -> Vec<StepOutcome> {
-    let mut cache = LiveCluster::start(parity_config()).unwrap();
-    let payload = |len: u64| -> Bytes {
-        (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect::<Vec<u8>>().into()
-    };
-    let outcomes = script
-        .iter()
-        .map(|step| match *step {
-            Step::Put(k, size) => {
-                cache.put(k, payload(size)).expect("live put succeeds");
-                StepOutcome::Stored
-            }
-            Step::Get(k) => match cache.get(k).expect("live get succeeds") {
-                Some(_) => StepOutcome::Hit,
-                None => StepOutcome::Miss,
-            },
-        })
-        .collect();
-    cache.shutdown();
-    outcomes
+fn parity_script() -> Vec<ScriptStep> {
+    let put = |k: &str, size| ScriptStep::Put { key: k.into(), size };
+    let get = |k: &str| ScriptStep::Get { key: k.into() };
+    vec![
+        put("alpha", 300_000),
+        put("beta", 1_200_000),
+        get("alpha"),
+        get("beta"),
+        get("ghost"), // never stored: must miss on both substrates
+        get("alpha"), // still cached: must hit again
+    ]
 }
 
 /// The tentpole invariant of the shared dispatch layer: the same
@@ -241,10 +168,13 @@ fn run_script_live(script: &[Step]) -> Vec<StepOutcome> {
 /// flows) and `LiveCluster` (threads, real bytes) produces identical
 /// application-visible hit/miss outcomes, because both substrates execute
 /// the identical protocol actions through `infinicache::dispatch`.
+/// (The replay harness lives in `tests/common`; `tests/chaos.rs` reuses
+/// it for sampled schedules.)
 #[test]
 fn simulated_and_live_execution_agree_on_hit_miss_outcomes() {
-    let sim = run_script_simulated(PARITY_SCRIPT);
-    let live = run_script_live(PARITY_SCRIPT);
+    let script = parity_script();
+    let sim = replay_sim(&script);
+    let live = replay_live(&script);
     assert_eq!(sim, live, "sim and live outcomes diverged");
     let expected = [
         StepOutcome::Stored,
