@@ -68,7 +68,11 @@ pub struct CaseStudy {
 impl CaseStudy {
     /// The configuration used for all §4.3 numbers.
     pub fn paper() -> Self {
-        CaseStudy { n_lambda: 400, n: 12, m: 3 }
+        CaseStudy {
+            n_lambda: 400,
+            n: 12,
+            m: 3,
+        }
     }
 
     /// Per-window loss probability under a reclaim-count distribution.
@@ -151,8 +155,14 @@ mod tests {
         let avail_benign = cs.hourly_availability(&benign);
         let avail_harsh = cs.hourly_availability(&harsh);
         assert!(avail_benign > avail_harsh);
-        assert!(avail_benign > 0.99, "benign hourly availability {avail_benign}");
-        assert!(avail_harsh > 0.90, "harsh hourly availability {avail_harsh}");
+        assert!(
+            avail_benign > 0.99,
+            "benign hourly availability {avail_benign}"
+        );
+        assert!(
+            avail_harsh > 0.90,
+            "harsh hourly availability {avail_harsh}"
+        );
     }
 
     #[test]

@@ -93,7 +93,9 @@ mod tests {
     #[test]
     fn hypergeometric_sums_to_one() {
         let (total, marked, n) = (400u64, 12u64, 12u64);
-        let sum: f64 = (0..=n).map(|h| hypergeometric_pmf(total, marked, n, h)).sum();
+        let sum: f64 = (0..=n)
+            .map(|h| hypergeometric_pmf(total, marked, n, h))
+            .sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
     }
 

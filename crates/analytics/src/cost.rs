@@ -210,7 +210,9 @@ mod tests {
     fn no_crossover_when_fixed_cost_too_high() {
         let mut m = CostModel::paper_production();
         m.n_lambda = 4_000_000; // absurd pool: fixed cost alone > ElastiCache
-        assert!(m.crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0).is_none());
+        assert!(m
+            .crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0)
+            .is_none());
     }
 
     #[test]
@@ -218,9 +220,13 @@ mod tests {
         // With the paper's literal $0.02/1M the crossover moves outward —
         // the sensitivity check recorded in EXPERIMENTS.md.
         let mut m = CostModel::paper_production();
-        let x_aws = m.crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0).unwrap();
+        let x_aws = m
+            .crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0)
+            .unwrap();
         m.pricing = Pricing::PAPER_LITERAL;
-        let x_lit = m.crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0).unwrap();
+        let x_lit = m
+            .crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0)
+            .unwrap();
         assert!(x_lit > x_aws);
     }
 }

@@ -77,7 +77,10 @@ impl ZipfSampler {
     /// Draws a 0-based rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -195,7 +198,11 @@ mod tests {
         }
         // Head rank frequency should match pmf within a few percent.
         let freq0 = counts[0] as f64 / draws as f64;
-        assert!((freq0 - z.pmf(0)).abs() < 0.01, "freq {freq0} vs pmf {}", z.pmf(0));
+        assert!(
+            (freq0 - z.pmf(0)).abs() < 0.01,
+            "freq {freq0} vs pmf {}",
+            z.pmf(0)
+        );
         // Monotone-ish head.
         assert!(counts[0] > counts[5]);
         assert!(counts[5] > counts[50]);
@@ -214,7 +221,9 @@ mod tests {
         let total: f64 = (0..100).map(|k| poisson_pmf(k, lambda)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         let mode = (0..100u64).max_by(|&a, &b| {
-            poisson_pmf(a, lambda).partial_cmp(&poisson_pmf(b, lambda)).unwrap()
+            poisson_pmf(a, lambda)
+                .partial_cmp(&poisson_pmf(b, lambda))
+                .unwrap()
         });
         assert_eq!(mode, Some(7));
     }
@@ -231,16 +240,23 @@ mod tests {
                 .map(|&x| (x as f64 - mean).powi(2))
                 .sum::<f64>()
                 / n as f64;
-            assert!((mean - lambda).abs() < lambda * 0.05 + 0.1, "λ={lambda} mean={mean}");
-            assert!((var - lambda).abs() < lambda * 0.15 + 0.2, "λ={lambda} var={var}");
+            assert!(
+                (mean - lambda).abs() < lambda * 0.05 + 0.1,
+                "λ={lambda} mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < lambda * 0.15 + 0.2,
+                "λ={lambda} var={var}"
+            );
         }
     }
 
     #[test]
     fn lognormal_median_is_exp_mu() {
         let mut rng = SmallRng::seed_from_u64(9);
-        let mut samples: Vec<f64> =
-            (0..40_001).map(|_| lognormal_sample(&mut rng, 3.0, 1.5)).collect();
+        let mut samples: Vec<f64> = (0..40_001)
+            .map(|_| lognormal_sample(&mut rng, 3.0, 1.5))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[20_000];
         let expected = 3.0f64.exp();
@@ -251,8 +267,10 @@ mod tests {
     fn exponential_mean_is_inverse_rate() {
         let mut rng = SmallRng::seed_from_u64(17);
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| exponential_sample(&mut rng, 0.25)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| exponential_sample(&mut rng, 0.25))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
     }
 

@@ -67,7 +67,14 @@ impl std::fmt::Display for Summary {
         write!(
             f,
             "n={} min={:.2} p25={:.2} p50={:.2} p75={:.2} p90={:.2} p99={:.2} max={:.2} mean={:.2}",
-            self.count, self.min, self.p25, self.p50, self.p75, self.p90, self.p99, self.max,
+            self.count,
+            self.min,
+            self.p25,
+            self.p50,
+            self.p75,
+            self.p90,
+            self.p99,
+            self.max,
             self.mean
         )
     }
@@ -139,7 +146,11 @@ impl Cdf {
         let n = n.min(self.sorted.len());
         (0..n)
             .map(|i| {
-                let q = if n == 1 { 1.0 } else { i as f64 / (n - 1) as f64 };
+                let q = if n == 1 {
+                    1.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 (self.quantile(q), q)
             })
             .collect()

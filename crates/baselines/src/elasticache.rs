@@ -22,17 +22,26 @@ pub struct ElastiCacheDeployment {
 impl ElastiCacheDeployment {
     /// The paper's 1-node `cache.r5.8xlarge` microbenchmark deployment.
     pub fn one_node_8xl() -> Self {
-        ElastiCacheDeployment { instance: ic_common::pricing::CACHE_R5_8XLARGE, nodes: 1 }
+        ElastiCacheDeployment {
+            instance: ic_common::pricing::CACHE_R5_8XLARGE,
+            nodes: 1,
+        }
     }
 
     /// The paper's 10-node `cache.r5.xlarge` scale-out deployment.
     pub fn ten_node_xl() -> Self {
-        ElastiCacheDeployment { instance: ic_common::pricing::CACHE_R5_XLARGE, nodes: 10 }
+        ElastiCacheDeployment {
+            instance: ic_common::pricing::CACHE_R5_XLARGE,
+            nodes: 10,
+        }
     }
 
     /// The production comparison: one `cache.r5.24xlarge`.
     pub fn one_node_24xl() -> Self {
-        ElastiCacheDeployment { instance: ic_common::pricing::CACHE_R5_24XLARGE, nodes: 1 }
+        ElastiCacheDeployment {
+            instance: ic_common::pricing::CACHE_R5_24XLARGE,
+            nodes: 1,
+        }
     }
 
     /// Total memory across nodes, decimal GB.
@@ -157,7 +166,10 @@ mod tests {
     fn small_objects_are_sub_millisecond_when_idle() {
         let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_24xl());
         let lat = m.request_latency(SimTime::ZERO, &k("meta"), 1024);
-        assert!(lat < SimDuration::from_millis(1), "small-object latency {lat}");
+        assert!(
+            lat < SimDuration::from_millis(1),
+            "small-object latency {lat}"
+        );
     }
 
     #[test]
@@ -176,8 +188,11 @@ mod tests {
         m.request(SimTime::ZERO, &k("a"), size);
         // Much later, the node is idle again: same latency as fresh.
         let lat = m.request_latency(SimTime::from_secs(100), &k("b"), size);
-        let fresh = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl())
-            .request_latency(SimTime::ZERO, &k("b"), size);
+        let fresh = ElastiCacheModel::new(ElastiCacheDeployment::one_node_8xl()).request_latency(
+            SimTime::ZERO,
+            &k("b"),
+            size,
+        );
         assert_eq!(lat, fresh);
     }
 }

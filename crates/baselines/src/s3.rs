@@ -44,8 +44,11 @@ impl S3Model {
 
     /// Latency of a PUT of `size` bytes (slightly slower first byte).
     pub fn put_latency<R: Rng + ?Sized>(&self, rng: &mut R, size: u64) -> SimDuration {
-        let first =
-            lognormal_sample(rng, (self.first_byte_median_s * 1.3).ln(), self.first_byte_sigma);
+        let first = lognormal_sample(
+            rng,
+            (self.first_byte_median_s * 1.3).ln(),
+            self.first_byte_sigma,
+        );
         let bw = lognormal_sample(rng, (self.stream_median_bps * 0.9).ln(), self.stream_sigma);
         SimDuration::from_secs_f64(first + size as f64 / bw)
     }
@@ -66,8 +69,9 @@ mod tests {
     fn median_get(size: u64) -> f64 {
         let m = S3Model::paper_era();
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut xs: Vec<f64> =
-            (0..2001).map(|_| m.get_latency(&mut rng, size).as_secs_f64()).collect();
+        let mut xs: Vec<f64> = (0..2001)
+            .map(|_| m.get_latency(&mut rng, size).as_secs_f64())
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs[1000]
     }
@@ -91,10 +95,14 @@ mod tests {
         let m = S3Model::paper_era();
         let mut rng = SmallRng::seed_from_u64(6);
         let n = 4000;
-        let get: f64 =
-            (0..n).map(|_| m.get_latency(&mut rng, 1 << 20).as_secs_f64()).sum::<f64>() / n as f64;
-        let put: f64 =
-            (0..n).map(|_| m.put_latency(&mut rng, 1 << 20).as_secs_f64()).sum::<f64>() / n as f64;
+        let get: f64 = (0..n)
+            .map(|_| m.get_latency(&mut rng, 1 << 20).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let put: f64 = (0..n)
+            .map(|_| m.put_latency(&mut rng, 1 << 20).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!(put > get, "put {put} vs get {get}");
     }
 
@@ -102,8 +110,9 @@ mod tests {
     fn latency_has_a_tail() {
         let m = S3Model::paper_era();
         let mut rng = SmallRng::seed_from_u64(7);
-        let mut xs: Vec<f64> =
-            (0..4000).map(|_| m.get_latency(&mut rng, 1 << 20).as_secs_f64()).collect();
+        let mut xs: Vec<f64> = (0..4000)
+            .map(|_| m.get_latency(&mut rng, 1 << 20).as_secs_f64())
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p50 = xs[2000];
         let p99 = xs[3960];

@@ -60,12 +60,17 @@ fn bench_clock(c: &mut Criterion) {
 
 fn bench_store(c: &mut Criterion) {
     c.bench_function("chunk_store_insert_get_1k", |b| {
-        let ids: Vec<ChunkId> =
-            (0..1024u32).map(|i| ChunkId::new(ObjectKey::new(format!("o{i}")), 0)).collect();
+        let ids: Vec<ChunkId> = (0..1024u32)
+            .map(|i| ChunkId::new(ObjectKey::new(format!("o{i}")), 0))
+            .collect();
         b.iter(|| {
             let mut s = ChunkStore::new();
             for (i, id) in ids.iter().enumerate() {
-                s.insert(SimTime::from_micros(i as u64), id.clone(), Payload::synthetic(4096));
+                s.insert(
+                    SimTime::from_micros(i as u64),
+                    id.clone(),
+                    Payload::synthetic(4096),
+                );
             }
             let mut hits = 0;
             for id in &ids {

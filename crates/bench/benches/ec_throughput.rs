@@ -8,7 +8,11 @@ use ic_ec::ReedSolomon;
 
 fn stripe(d: usize, p: usize, shard_len: usize) -> Vec<Vec<u8>> {
     (0..d + p)
-        .map(|i| (0..shard_len).map(|j| ((i * 131 + j * 17) % 251) as u8).collect())
+        .map(|i| {
+            (0..shard_len)
+                .map(|j| ((i * 131 + j * 17) % 251) as u8)
+                .collect()
+        })
         .collect()
 }
 
@@ -19,13 +23,17 @@ fn bench_encode(c: &mut Criterion) {
         let rs = ReedSolomon::new(d, p).unwrap();
         let base = stripe(d, p, shard_len);
         g.throughput(Throughput::Bytes((d * shard_len) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("({d}+{p})")), &rs, |b, rs| {
-            b.iter_batched(
-                || base.clone(),
-                |mut shards| rs.encode(&mut shards).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("({d}+{p})")),
+            &rs,
+            |b, rs| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut shards| rs.encode(&mut shards).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
 }

@@ -61,7 +61,14 @@ fn main() {
     }
     print_table(
         "backup ablation",
-        &["config", "total cost", "backup cost", "availability", "RESETs", "hit ratio"],
+        &[
+            "config",
+            "total cost",
+            "backup cost",
+            "availability",
+            "RESETs",
+            "hit ratio",
+        ],
         &rows,
     );
     println!(

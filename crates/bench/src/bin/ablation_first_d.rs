@@ -7,7 +7,10 @@ use ic_common::EcConfig;
 use infinicache::experiments::microbenchmark;
 
 fn main() {
-    banner("Ablation", "first-d redundancy vs stragglers: (10+0) vs (10+1) vs (10+2)");
+    banner(
+        "Ablation",
+        "first-d redundancy vs stragglers: (10+0) vs (10+1) vs (10+2)",
+    );
     let codes = [
         EcConfig::new(10, 0).unwrap(),
         EcConfig::new(10, 1).unwrap(),

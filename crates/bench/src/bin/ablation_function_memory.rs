@@ -7,7 +7,10 @@ use ic_simfaas::function::FunctionConfig;
 use infinicache::experiments::microbenchmark;
 
 fn main() {
-    banner("Ablation", "function memory: bandwidth, co-location, latency plateau");
+    banner(
+        "Ablation",
+        "function memory: bandwidth, co-location, latency plateau",
+    );
     let code = [EcConfig::new(10, 1).unwrap()];
     let size = [100_000_000u64];
     let trials = match scale() {
@@ -29,7 +32,13 @@ fn main() {
     }
     print_table(
         "(10+1), 100 MB objects",
-        &["memory", "per-fn bandwidth", "exclusive host", "p50 ms", "p99 ms"],
+        &[
+            "memory",
+            "per-fn bandwidth",
+            "exclusive host",
+            "p50 ms",
+            "p99 ms",
+        ],
         &rows,
     );
     println!(

@@ -1,10 +1,10 @@
 //! Ablation: warm-up interval Twarm (DESIGN.md ablation #4) — reclaim
 //! exposure vs keep-alive cost, under a spiky reclamation regime.
 
+use ic_analytics::CostModel;
 use ic_bench::{banner, mins, print_table, scale, Scale};
 use ic_simfaas::reclaim::PeriodicSpike;
 use infinicache::experiments::reclaim_study;
-use ic_analytics::CostModel;
 
 fn main() {
     banner("Ablation", "warm-up interval vs reclaim exposure and cost");

@@ -1,41 +1,133 @@
-//! Diagnostic: event-rate profile of a quick-scale trace replay.
+//! `dbg_replay`: replay a PUT/GET script through any execution substrate
+//! and diff the application-visible outcomes.
+//!
+//! The substrate-parity tests (`tests/end_to_end.rs`, `tests/chaos.rs`)
+//! replay sampled scripts through the discrete-event world, the live
+//! threaded cluster, and the loopback socket cluster and demand
+//! identical outcomes. When one of them reports a divergence for a seed,
+//! this binary makes the failure a standalone artifact — it calls the
+//! *same* harness (`ic_net::replay`), so the deployment shape, payload
+//! pattern, and outcome mapping cannot drift from the tests:
+//!
+//! ```text
+//! dbg_replay --seed 42 [--steps 24] [--keys 6] [--mode all]
+//! dbg_replay --script repro.txt --mode net
+//! dbg_replay --seed 42 --dump > repro.txt    # save the script to a file
+//! ```
+//!
+//! Script files are one step per line — `put KEY SIZE` or `get KEY`,
+//! `#` comments — so a failing schedule can be saved, minimized by hand,
+//! and replayed against a single substrate. Modes: `sim`, `live`, `net`,
+//! or `all` (default; diffs every pair and exits nonzero on divergence).
 
-use ic_common::{ClientId, SimDuration, SimTime};
-use ic_simfaas::reclaim::HourlyPoisson;
-use infinicache::event::Op;
-use infinicache::params::SimParams;
-use infinicache::world::SimWorld;
-use std::time::Instant;
+use ic_net::replay::{replay_live, replay_net, replay_sim, StepOutcome};
+use infinicache::chaos::{sample_schedule, ScriptStep};
+
+fn parse_script(path: &str) -> Vec<ScriptStep> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read --script {path}: {e}"));
+    let mut steps = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match (words.next(), words.next(), words.next()) {
+            (Some("put"), Some(key), Some(size)) => steps.push(ScriptStep::Put {
+                key: key.to_string(),
+                size: size
+                    .parse()
+                    .unwrap_or_else(|_| panic!("line {}: bad size {size}", lineno + 1)),
+            }),
+            (Some("get"), Some(key), None) => steps.push(ScriptStep::Get {
+                key: key.to_string(),
+            }),
+            _ => panic!(
+                "line {}: expected `put KEY SIZE` or `get KEY`, got `{line}`",
+                lineno + 1
+            ),
+        }
+    }
+    steps
+}
 
 fn main() {
-    let trace = ic_bench::dallas_trace();
-    let cfg = ic_bench::production_deployment();
+    let args = ic_net::args::Args::parse();
+    let script = match (args.opt("script"), args.opt("seed")) {
+        (Some(path), _) => parse_script(path),
+        (None, Some(_)) => {
+            let seed: u64 = args.num("seed", 0).expect("--seed must be a number");
+            let steps: usize = args.num("steps", 24).expect("--steps must be a number");
+            let keys: usize = args.num("keys", 6).expect("--keys must be a number");
+            sample_schedule(seed, steps, keys)
+        }
+        (None, None) => {
+            eprintln!(
+                "usage: dbg_replay (--script PATH | --seed N) [--steps N] [--keys N] \
+                 [--mode sim|live|net|all] [--dump]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if args.has("dump") {
+        for step in &script {
+            match step {
+                ScriptStep::Put { key, size } => println!("put {key} {size}"),
+                ScriptStep::Get { key } => println!("get {key}"),
+            }
+        }
+        return;
+    }
+
+    let mode = args.get("mode", "all");
+    let mut runs: Vec<(&str, Vec<StepOutcome>)> = Vec::new();
+    if mode == "sim" || mode == "all" {
+        runs.push(("sim", replay_sim(&script)));
+    }
+    if mode == "live" || mode == "all" {
+        runs.push(("live", replay_live(&script)));
+    }
+    if mode == "net" || mode == "all" {
+        runs.push(("net", replay_net(&script)));
+    }
+    if runs.is_empty() {
+        eprintln!("unknown --mode {mode} (want sim, live, net, or all)");
+        std::process::exit(2);
+    }
+
+    // Step-by-step table.
+    print!("{:>4}  {:<28}", "step", "op");
+    for (name, _) in &runs {
+        print!("  {name:>6}");
+    }
+    println!();
+    let mut diverged = false;
+    for (i, step) in script.iter().enumerate() {
+        let op = match step {
+            ScriptStep::Put { key, size } => format!("put {key} ({size} B)"),
+            ScriptStep::Get { key } => format!("get {key}"),
+        };
+        print!("{i:>4}  {op:<28}");
+        let first = runs[0].1[i];
+        let mut mark = "";
+        for (_, outcomes) in &runs {
+            print!("  {:>6}", outcomes[i].to_string());
+            if outcomes[i] != first {
+                mark = "  <-- DIVERGED";
+                diverged = true;
+            }
+        }
+        println!("{mark}");
+    }
+    if diverged {
+        eprintln!("substrates diverged");
+        std::process::exit(1);
+    }
     println!(
-        "trace: {} requests over {:.1} h; pool {} x {} MB",
-        trace.requests.len(),
-        trace.horizon.as_secs_f64() / 3600.0,
-        cfg.total_lambdas(),
-        cfg.lambda_memory_mb
+        "all {} substrate(s) agree over {} steps",
+        runs.len(),
+        script.len()
     );
-    let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(HourlyPoisson::new(36.0, "x")), 1);
-    for r in &trace.requests {
-        w.submit(r.at, ClientId(0), Op::Get { key: trace.key(r.object), size: r.size });
-    }
-    let t0 = Instant::now();
-    let hours = (trace.horizon.as_secs_f64() / 3600.0).ceil() as u64;
-    let mut last_events = 0;
-    for h in 1..=hours {
-        w.run_until(SimTime::from_secs(h * 3600));
-        let ev = w.events_processed();
-        println!(
-            "sim hour {h:>2}: {:>10} events (+{:>9}), wall {:?}, completed {}",
-            ev,
-            ev - last_events,
-            t0.elapsed(),
-            w.metrics.requests.len()
-        );
-        last_events = ev;
-    }
-    w.run_until(trace.horizon + SimDuration::from_mins(5));
-    println!("done: {} events, wall {:?}", w.events_processed(), t0.elapsed());
 }

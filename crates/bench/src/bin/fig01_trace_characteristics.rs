@@ -10,15 +10,25 @@ fn cdf_series(label: &str, cdf: &Cdf, log_x: bool) -> Vec<String> {
     let mut row = vec![label.to_string()];
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
         let v = cdf.quantile(q);
-        row.push(if log_x { format!("{v:.3e}") } else { format!("{v:.2}") });
+        row.push(if log_x {
+            format!("{v:.3e}")
+        } else {
+            format!("{v:.2}")
+        });
     }
     row
 }
 
 fn main() {
-    banner("Fig 1", "object sizes, footprint, access counts, reuse intervals");
+    banner(
+        "Fig 1",
+        "object sizes, footprint, access counts, reuse intervals",
+    );
 
-    for (name, spec) in [("Dallas", WorkloadSpec::dallas()), ("London", WorkloadSpec::london())] {
+    for (name, spec) in [
+        ("Dallas", WorkloadSpec::dallas()),
+        ("London", WorkloadSpec::london()),
+    ] {
         let trace = generate(&spec, 2020);
         let stats = TraceStats::compute(&trace);
         let large = trace.filter_large(LARGE_OBJECT_BYTES);
@@ -31,7 +41,10 @@ fn main() {
             &[
                 vec![
                     "objects > 10 MB (fraction of objects)".into(),
-                    vs_paper(format!("{:.1}%", stats.large_object_fraction * 100.0), ">20%"),
+                    vs_paper(
+                        format!("{:.1}%", stats.large_object_fraction * 100.0),
+                        ">20%",
+                    ),
                 ],
                 vec![
                     "bytes in objects > 10 MB".into(),
@@ -60,8 +73,16 @@ fn main() {
             &["series", "q10", "q25", "q50", "q75", "q90", "q99"],
             &[
                 cdf_series("(a) object size [B]", &stats.size_cdf, true),
-                cdf_series("(c) access count >10MB", &stats.large_access_count_cdf, false),
-                cdf_series("(d) reuse interval >10MB [h]", &stats.large_reuse_interval_cdf, false),
+                cdf_series(
+                    "(c) access count >10MB",
+                    &stats.large_access_count_cdf,
+                    false,
+                ),
+                cdf_series(
+                    "(d) reuse interval >10MB [h]",
+                    &stats.large_reuse_interval_cdf,
+                    false,
+                ),
             ],
         );
 
@@ -80,7 +101,11 @@ fn main() {
                 vec![format!("{m:.0e} B"), format!("{:.3}", frac)]
             })
             .collect();
-        print_table("(b) cumulative byte fraction by object size", &["size", "fraction"], &rows);
+        print_table(
+            "(b) cumulative byte fraction by object size",
+            &["size", "fraction"],
+            &rows,
+        );
     }
 
     // Fig 1(c)'s long tail needs the long-horizon characterization run.

@@ -7,7 +7,10 @@ use ic_simfaas::reclaim::paper_presets;
 use infinicache::experiments::reclaim_study;
 
 fn main() {
-    banner("Fig 8", "functions reclaimed over 24 h per warm-up strategy");
+    banner(
+        "Fig 8",
+        "functions reclaimed over 24 h per warm-up strategy",
+    );
     let fleet = match scale() {
         Scale::Full => 400,
         Scale::Quick => 80,
@@ -17,7 +20,11 @@ fn main() {
     for (i, policy) in presets.into_iter().enumerate() {
         let label = policy.name().to_string();
         // The Aug'19 row used the 9-minute warm-up strategy.
-        let warm = if label.starts_with("9 min") { mins(9) } else { mins(1) };
+        let warm = if label.starts_with("9 min") {
+            mins(9)
+        } else {
+            mins(1)
+        };
         let tl = reclaim_study(policy, &label, warm, fleet, 100 + i as u64);
         let total: u64 = tl.per_hour.iter().sum();
         let peak = *tl.per_hour.iter().max().unwrap_or(&0);

@@ -16,7 +16,11 @@ fn main() {
     let mut rows = Vec::new();
     for (i, policy) in paper_presets(fleet as usize).into_iter().enumerate() {
         let label = policy.name().to_string();
-        let warm = if label.starts_with("9 min") { mins(9) } else { mins(1) };
+        let warm = if label.starts_with("9 min") {
+            mins(9)
+        } else {
+            mins(1)
+        };
         let tl = reclaim_study(policy, &label, warm, fleet, 200 + i as u64);
         let n = tl.per_minute.len() as f64;
         let mut row = vec![label];

@@ -7,7 +7,10 @@ use ic_common::EcConfig;
 use infinicache::experiments::{elasticache_microbenchmark, microbenchmark};
 
 fn main() {
-    banner("Fig 11", "microbenchmark latency: codes x sizes x function memory");
+    banner(
+        "Fig 11",
+        "microbenchmark latency: codes x sizes x function memory",
+    );
     let codes = [
         EcConfig::new(10, 0).unwrap(),
         EcConfig::new(10, 1).unwrap(),
@@ -16,8 +19,10 @@ fn main() {
         EcConfig::new(4, 2).unwrap(),
         EcConfig::new(5, 1).unwrap(),
     ];
-    let sizes: Vec<u64> =
-        [10u64, 20, 40, 60, 80, 100].iter().map(|m| m * 1_000_000).collect();
+    let sizes: Vec<u64> = [10u64, 20, 40, 60, 80, 100]
+        .iter()
+        .map(|m| m * 1_000_000)
+        .collect();
     let (memories, trials): (&[u32], usize) = match scale() {
         Scale::Full => (&[128, 256, 512, 1024, 2048, 3008], 40),
         Scale::Quick => (&[512, 3008], 10),
@@ -43,7 +48,10 @@ fn main() {
             .collect();
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("({}) {} MB functions — GET latency ms p50 [p25..p75]", mem, mem),
+            &format!(
+                "({}) {} MB functions — GET latency ms p50 [p25..p75]",
+                mem, mem
+            ),
             &headers_ref,
             &table,
         );
@@ -52,8 +60,14 @@ fn main() {
     // Subfigure (f)'s ElastiCache series.
     let mut table = Vec::new();
     for (label, dep) in [
-        ("ElastiCache (1-node r5.8xl)", ElastiCacheDeployment::one_node_8xl()),
-        ("ElastiCache (10-node r5.xl)", ElastiCacheDeployment::ten_node_xl()),
+        (
+            "ElastiCache (1-node r5.8xl)",
+            ElastiCacheDeployment::one_node_8xl(),
+        ),
+        (
+            "ElastiCache (10-node r5.xl)",
+            ElastiCacheDeployment::ten_node_xl(),
+        ),
     ] {
         let rows = elasticache_microbenchmark(dep, &sizes, 40);
         let mut row = vec![label.to_string()];

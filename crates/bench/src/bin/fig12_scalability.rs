@@ -19,7 +19,10 @@ fn main() {
                 p.clients.to_string(),
                 format!("{:.2}", p.throughput_gbps),
                 format!("{:.2}", per_client * p.clients as f64),
-                format!("{:.0}%", 100.0 * p.throughput_gbps / (per_client * p.clients as f64)),
+                format!(
+                    "{:.0}%",
+                    100.0 * p.throughput_gbps / (per_client * p.clients as f64)
+                ),
             ]
         })
         .collect();

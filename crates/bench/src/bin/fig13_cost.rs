@@ -5,7 +5,10 @@ use ic_bench::{banner, print_table, production_study, vs_paper};
 use ic_common::pricing::CostCategory;
 
 fn main() {
-    banner("Fig 13", "total $ cost and hourly breakdown (production trace)");
+    banner(
+        "Fig 13",
+        "total $ cost and hourly breakdown (production trace)",
+    );
     let study = production_study();
 
     let paper_totals = ["$20.52", "$16.51", "$5.41"];
@@ -19,7 +22,11 @@ fn main() {
             vs_paper(format!("${:.2}", arm.report.total_cost), paper),
         ]);
     }
-    print_table("(a) total cost over the horizon", &["system", "cost"], &rows);
+    print_table(
+        "(a) total cost over the horizon",
+        &["system", "cost"],
+        &rows,
+    );
 
     for arm in &study.arms {
         let total = arm.report.total_cost.max(1e-12);
@@ -27,11 +34,19 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                format!("{}: ${:.2} ({:.1}%)", c.label(), arm.report.category_cost[i],
-                        100.0 * arm.report.category_cost[i] / total)
+                format!(
+                    "{}: ${:.2} ({:.1}%)",
+                    c.label(),
+                    arm.report.category_cost[i],
+                    100.0 * arm.report.category_cost[i] / total
+                )
             })
             .collect();
-        println!("\n{} — category breakdown: {}", arm.label, shares.join(", "));
+        println!(
+            "\n{} — category breakdown: {}",
+            arm.label,
+            shares.join(", ")
+        );
         // Hourly stacked series, sampled every 5 hours.
         let rows: Vec<Vec<String>> = arm
             .report

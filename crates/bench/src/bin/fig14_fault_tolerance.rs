@@ -6,7 +6,10 @@ use ic_bench::{banner, print_table, production_study, vs_paper};
 use infinicache::metrics::FtKind;
 
 fn main() {
-    banner("Fig 14", "fault-tolerance activity timeline (production trace)");
+    banner(
+        "Fig 14",
+        "fault-tolerance activity timeline (production trace)",
+    );
     let study = production_study();
     let paper_resets = ["5720", "1085", "3912"];
 
@@ -25,7 +28,11 @@ fn main() {
             "availability (hits/(hits+RESETs)): {}",
             vs_paper(
                 format!("{:.1}%", arm.report.availability * 100.0),
-                if arm.label.contains("w/o") { "81.4%" } else { "95.4% (large only)" }
+                if arm.label.contains("w/o") {
+                    "81.4%"
+                } else {
+                    "95.4% (large only)"
+                }
             )
         );
         let rows: Vec<Vec<String>> = (0..hours)

@@ -10,7 +10,10 @@ fn main() {
     let study = production_study();
 
     let ic_all = study.arms[0].report.metrics.get_latencies_ms(0);
-    let ic_large = study.arms[0].report.metrics.get_latencies_ms(LARGE_OBJECT_BYTES);
+    let ic_large = study.arms[0]
+        .report
+        .metrics
+        .get_latencies_ms(LARGE_OBJECT_BYTES);
     let ec_all: Vec<f64> = study.ec_all.1.iter().map(|r| r.latency_ms).collect();
     let ec_large: Vec<f64> = study
         .ec_all

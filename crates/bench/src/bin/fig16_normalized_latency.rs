@@ -13,7 +13,10 @@ const BUCKETS: [(&str, u64, u64); 4] = [
 ];
 
 fn main() {
-    banner("Fig 16", "normalized latency by object-size bucket (vs ElastiCache median)");
+    banner(
+        "Fig 16",
+        "normalized latency by object-size bucket (vs ElastiCache median)",
+    );
     let study = production_study();
     let ic = &study.arms[0].report.metrics;
 
@@ -70,7 +73,14 @@ fn main() {
     }
     print_table(
         "median latency normalized to ElastiCache",
-        &["size bucket", "ElastiCache", "IC (hits)", "IC (all)", "AWS S3", "baseline"],
+        &[
+            "size bucket",
+            "ElastiCache",
+            "IC (hits)",
+            "IC (all)",
+            "AWS S3",
+            "baseline",
+        ],
         &rows,
     );
     println!(

@@ -7,7 +7,10 @@ use ic_bench::{banner, print_table, vs_paper};
 use ic_common::pricing::{Pricing, CACHE_R5_24XLARGE};
 
 fn main() {
-    banner("Fig 17", "hourly $ cost vs access rate; ElastiCache crossover");
+    banner(
+        "Fig 17",
+        "hourly $ cost vs access rate; ElastiCache crossover",
+    );
     let model = CostModel::paper_production();
     let chunks = 12; // RS(10+2)
     let invocation_ms = 100.0;

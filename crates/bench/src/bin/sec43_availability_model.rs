@@ -17,7 +17,10 @@ fn main() {
     // p3/p4 at r = 12 (the paper's approximation justification).
     let p3 = ic_analytics::comb::hypergeometric_pmf(400, 12, 12, 3);
     let p4 = ic_analytics::comb::hypergeometric_pmf(400, 12, 12, 4);
-    println!("p3/p4 at r=12: {}", vs_paper(format!("{:.1}", p3 / p4), "18.8"));
+    println!(
+        "p3/p4 at r=12: {}",
+        vs_paper(format!("{:.1}", p3 / p4), "18.8")
+    );
     let exact = object_loss_given_reclaims(400, 12, 3, 12);
     let approx = object_loss_given_reclaims_approx(400, 12, 3, 12);
     println!(
@@ -38,7 +41,11 @@ fn main() {
     let mut best: f64 = 0.0;
     for (i, policy) in paper_presets(fleet as usize).into_iter().enumerate() {
         let label = policy.name().to_string();
-        let warm = if label.starts_with("9 min") { mins(9) } else { mins(1) };
+        let warm = if label.starts_with("9 min") {
+            mins(9)
+        } else {
+            mins(1)
+        };
         let tl = reclaim_study(policy, &label, warm, fleet, splitmix64(900 + i as u64));
         // Histogram of per-minute reclaim counts → pd(r).
         let max = *tl.per_minute.iter().max().unwrap_or(&0) as usize;
@@ -59,7 +66,12 @@ fn main() {
     }
     print_table(
         "per-policy loss and availability",
-        &["policy (empirical pd)", "P_l per minute", "per-minute availability", "hourly availability"],
+        &[
+            "policy (empirical pd)",
+            "P_l per minute",
+            "per-minute availability",
+            "hourly availability",
+        ],
         &rows,
     );
     println!(
@@ -69,7 +81,5 @@ fn main() {
             "93.36% .. 99.76%"
         )
     );
-    println!(
-        "per-minute loss band paper: 0.0039% .. 0.11% (availability 99.89% .. 99.9961%)"
-    );
+    println!("per-minute loss band paper: 0.0039% .. 0.11% (availability 99.89% .. 99.9961%)");
 }

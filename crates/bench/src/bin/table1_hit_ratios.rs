@@ -12,12 +12,23 @@ fn main() {
     let paper = [
         ("all objects", "1169 GB", "3654", "67.9%", "64.7%", None),
         ("large only", "1036 GB", "750", "65.9%", "63.6%", None),
-        ("large only w/o backup", "1036 GB", "750", "-", "-", Some("56.1%")),
+        (
+            "large only w/o backup",
+            "1036 GB",
+            "750",
+            "-",
+            "-",
+            Some("56.1%"),
+        ),
     ];
 
     let mut rows = Vec::new();
     for (arm, (label, p_wss, p_rate, p_ec, p_ic, p_nb)) in study.arms.iter().zip(paper) {
-        let ec_measured = if label.starts_with("all") { ec_all } else { ec_large };
+        let ec_measured = if label.starts_with("all") {
+            ec_all
+        } else {
+            ec_large
+        };
         let ic_cell = format!("{:.1}%", arm.report.hit_ratio * 100.0);
         rows.push(vec![
             label.to_string(),
@@ -36,7 +47,13 @@ fn main() {
     }
     print_table(
         "Table 1",
-        &["workload", "WSS", "GETs/hour", "ElastiCache hit", "InfiniCache hit"],
+        &[
+            "workload",
+            "WSS",
+            "GETs/hour",
+            "ElastiCache hit",
+            "InfiniCache hit",
+        ],
         &rows,
     );
     println!(

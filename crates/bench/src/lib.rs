@@ -127,7 +127,10 @@ pub fn production_study() -> &'static ProductionStudy {
             }
         };
 
-        let no_backup = DeploymentConfig { backup_enabled: false, ..cfg.clone() };
+        let no_backup = DeploymentConfig {
+            backup_enabled: false,
+            ..cfg.clone()
+        };
         let arms = vec![
             arm("all objects", trace, cfg.clone(), 11),
             arm("large only", &large, cfg.clone(), 12),
@@ -138,8 +141,7 @@ pub fn production_study() -> &'static ProductionStudy {
             ec_large: replay_elasticache(&large, ElastiCacheDeployment::one_node_24xl(), 22),
             s3_all: replay_s3(trace, 23),
             hours,
-            elasticache_cost: ElastiCacheDeployment::one_node_24xl().hourly_price()
-                * hours as f64,
+            elasticache_cost: ElastiCacheDeployment::one_node_24xl().hourly_price() * hours as f64,
             arms,
         }
     })
@@ -163,7 +165,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -189,7 +195,14 @@ pub fn ms_cell(s: &Summary) -> String {
 /// A compact quantile row from latency samples (milliseconds).
 pub fn quantile_row(label: &str, ms: &[f64]) -> Vec<String> {
     if ms.is_empty() {
-        return vec![label.into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()];
+        return vec![
+            label.into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ];
     }
     let s = Summary::from_values(ms);
     vec![
@@ -230,7 +243,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into()], vec!["22".into(), "333".into(), "extra".into()]],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "extra".into()],
+            ],
         );
     }
 

@@ -213,7 +213,10 @@ impl ClientLib {
 
     /// The proxy a key routes to (consistent hashing).
     pub fn route(&self, key: &ObjectKey) -> ProxyId {
-        *self.ring.route(key.as_str()).expect("deployment has at least one proxy")
+        *self
+            .ring
+            .route(key.as_str())
+            .expect("deployment has at least one proxy")
     }
 
     /// Issues a PUT of `object` under `key`.
@@ -235,16 +238,20 @@ impl ClientLib {
                 self.rs.encode(&mut shards).expect("stripe is well-formed");
                 shards.into_iter().map(Payload::from).collect()
             }
-            Payload::Synthetic { .. } => {
-                (0..n).map(|_| Payload::synthetic(chunk_len)).collect()
-            }
+            Payload::Synthetic { .. } => (0..n).map(|_| Payload::synthetic(chunk_len)).collect(),
         };
 
         let placement = self.placement(proxy, n);
         self.placements.insert(key.clone(), placement.clone());
         self.put_seq += 1;
         let put_epoch = self.put_seq;
-        self.puts.insert(key.clone(), PutState { object, epoch: put_epoch });
+        self.puts.insert(
+            key.clone(),
+            PutState {
+                object,
+                epoch: put_epoch,
+            },
+        );
         shard_payloads
             .into_iter()
             .enumerate()
@@ -297,15 +304,24 @@ impl ClientLib {
                 object: None,
             },
         );
-        actions.push(ClientAction::ToProxy { proxy, msg: Msg::GetObject { key } });
+        actions.push(ClientAction::ToProxy {
+            proxy,
+            msg: Msg::GetObject { key },
+        });
         actions
     }
 
     /// Handles a message from a proxy.
     pub fn on_proxy(&mut self, msg: Msg) -> Vec<ClientAction> {
         match msg {
-            Msg::GetAccepted { key, object_size, chunks } => {
-                let Some(st) = self.gets.get_mut(&key) else { return Vec::new() };
+            Msg::GetAccepted {
+                key,
+                object_size,
+                chunks,
+            } => {
+                let Some(st) = self.gets.get_mut(&key) else {
+                    return Vec::new();
+                };
                 if !st.arrivals.is_empty() {
                     // Duplicate accept (e.g. raced its own retry): the
                     // accounting arrays are live, never reset them.
@@ -359,7 +375,10 @@ impl ClientLib {
     fn placement(&mut self, proxy: ProxyId, n: usize) -> Vec<LambdaId> {
         let pool = &self.pools[&proxy];
         assert!(pool.len() >= n, "pool smaller than the EC stripe");
-        sample(&mut self.rng, pool.len(), n).into_iter().map(|i| pool[i]).collect()
+        sample(&mut self.rng, pool.len(), n)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect()
     }
 
     /// Repair placement: distinct nodes that also avoid every node still
@@ -379,7 +398,10 @@ impl ClientLib {
             // Degenerate tiny pool: fall back to plain distinct sampling.
             return self.placement(proxy, n);
         }
-        sample(&mut self.rng, pool.len(), n).into_iter().map(|i| pool[i]).collect()
+        sample(&mut self.rng, pool.len(), n)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect()
     }
 
     fn on_chunk(&mut self, id: ChunkId, payload: Option<Payload>) -> Vec<ClientAction> {
@@ -428,7 +450,11 @@ impl ClientLib {
             let available = st.arrived;
             self.gets.remove(&key);
             self.stats.unrecoverable += 1;
-            return vec![ClientAction::Unrecoverable { key, available, needed: d }];
+            return vec![ClientAction::Unrecoverable {
+                key,
+                available,
+                needed: d,
+            }];
         }
         Vec::new()
     }
@@ -562,7 +588,9 @@ impl ClientLib {
         if lost_seqs.is_empty() {
             return Vec::new();
         }
-        let object = st.object.clone().unwrap_or(Payload::Synthetic { len: st.object_size });
+        let object = st.object.clone().unwrap_or(Payload::Synthetic {
+            len: st.object_size,
+        });
         let real_bytes = !object.is_synthetic();
         let proxy = st.proxy;
         let known = self.placements.get(key).cloned().unwrap_or_default();
@@ -649,7 +677,9 @@ impl ClientLib {
                     self.id, st.arrived, st.lost
                 ));
             }
-            let overlap = (0..n).filter(|&i| st.missing[i] && st.arrivals[i].is_some()).count();
+            let overlap = (0..n)
+                .filter(|&i| st.missing[i] && st.arrivals[i].is_some())
+                .count();
             if overlap != 0 {
                 violations.push(format!(
                     "{}: GET of {key} has {overlap} chunks both arrived and missing",
@@ -702,7 +732,12 @@ mod tests {
         assert_eq!(acts.len(), 12);
         let mut lambdas = Vec::new();
         for a in &acts {
-            let ClientAction::DataToProxy { msg: Msg::PutChunk { lambda, payload, .. }, .. } = a
+            let ClientAction::DataToProxy {
+                msg: Msg::PutChunk {
+                    lambda, payload, ..
+                },
+                ..
+            } = a
             else {
                 panic!("expected PutChunk, got {a:?}");
             };
@@ -725,9 +760,10 @@ mod tests {
         let mut shards: Vec<(ChunkId, Payload)> = put_acts
             .iter()
             .filter_map(|a| match a {
-                ClientAction::DataToProxy { msg: Msg::PutChunk { id, payload, .. }, .. } => {
-                    Some((id.clone(), payload.clone()))
-                }
+                ClientAction::DataToProxy {
+                    msg: Msg::PutChunk { id, payload, .. },
+                    ..
+                } => Some((id.clone(), payload.clone())),
                 _ => None,
             })
             .collect();
@@ -766,9 +802,10 @@ mod tests {
         let shards: Vec<(ChunkId, Payload)> = put_acts
             .iter()
             .filter_map(|a| match a {
-                ClientAction::DataToProxy { msg: Msg::PutChunk { id, payload, .. }, .. } => {
-                    Some((id.clone(), payload.clone()))
-                }
+                ClientAction::DataToProxy {
+                    msg: Msg::PutChunk { id, payload, .. },
+                    ..
+                } => Some((id.clone(), payload.clone())),
                 _ => None,
             })
             .collect();
@@ -796,10 +833,18 @@ mod tests {
         let key = ObjectKey::new("k");
         c.get(key.clone());
         let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
-        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 4000, chunks: chunks.clone() });
+        c.on_proxy(Msg::GetAccepted {
+            key: key.clone(),
+            object_size: 4000,
+            chunks: chunks.clone(),
+        });
         // Two misses, then four synthetic arrivals.
-        c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() });
-        c.on_proxy(Msg::ChunkMiss { id: chunks[1].clone() });
+        c.on_proxy(Msg::ChunkMiss {
+            id: chunks[0].clone(),
+        });
+        c.on_proxy(Msg::ChunkMiss {
+            id: chunks[1].clone(),
+        });
         let mut out = Vec::new();
         for id in &chunks[2..6] {
             out = c.on_proxy(Msg::ChunkToClient {
@@ -810,10 +855,20 @@ mod tests {
         // Two repair PUTs + the delivery.
         let repairs = out
             .iter()
-            .filter(|a| matches!(a, ClientAction::DataToProxy { msg: Msg::PutChunk { repair: true, .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ClientAction::DataToProxy {
+                        msg: Msg::PutChunk { repair: true, .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(repairs, 2);
-        assert!(matches!(out.last(), Some(ClientAction::Deliver { report, .. }) if report.lost_chunks == 2));
+        assert!(
+            matches!(out.last(), Some(ClientAction::Deliver { report, .. }) if report.lost_chunks == 2)
+        );
         assert_eq!(c.stats.recoveries, 1);
         assert_eq!(c.stats.repaired_chunks, 2);
     }
@@ -825,17 +880,32 @@ mod tests {
         let key = ObjectKey::new("k");
         c.get(key.clone());
         let chunks: Vec<ChunkId> = (0..5).map(|s| ChunkId::new(key.clone(), s)).collect();
-        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 100, chunks: chunks.clone() });
-        c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() });
-        let out = c.on_proxy(Msg::ChunkMiss { id: chunks[1].clone() });
+        c.on_proxy(Msg::GetAccepted {
+            key: key.clone(),
+            object_size: 100,
+            chunks: chunks.clone(),
+        });
+        c.on_proxy(Msg::ChunkMiss {
+            id: chunks[0].clone(),
+        });
+        let out = c.on_proxy(Msg::ChunkMiss {
+            id: chunks[1].clone(),
+        });
         assert!(matches!(
             &out[0],
-            ClientAction::Unrecoverable { needed: 4, available: 0, .. }
+            ClientAction::Unrecoverable {
+                needed: 4,
+                available: 0,
+                ..
+            }
         ));
         assert_eq!(c.stats.unrecoverable, 1);
         // Late chunks for the failed GET are ignored.
         assert!(c
-            .on_proxy(Msg::ChunkToClient { id: chunks[2].clone(), payload: Payload::synthetic(25) })
+            .on_proxy(Msg::ChunkToClient {
+                id: chunks[2].clone(),
+                payload: Payload::synthetic(25)
+            })
             .is_empty());
     }
 
@@ -868,7 +938,10 @@ mod tests {
         let mut c = client(1, 15, EcConfig::default());
         let key = ObjectKey::new("k");
         c.put(key.clone(), Payload::synthetic(1_000_000));
-        let out = c.on_proxy(Msg::PutDone { key: key.clone(), put_epoch: 1 });
+        let out = c.on_proxy(Msg::PutDone {
+            key: key.clone(),
+            put_epoch: 1,
+        });
         assert!(matches!(&out[0], ClientAction::PutComplete { .. }));
         assert_eq!(c.open_puts(), 0);
     }
@@ -878,7 +951,10 @@ mod tests {
         let mut c = client(1, 15, EcConfig::default());
         let key = ObjectKey::new("k");
         c.put(key.clone(), Payload::synthetic(1_000));
-        let out = c.on_proxy(Msg::PutFailed { key: key.clone(), put_epoch: 1 });
+        let out = c.on_proxy(Msg::PutFailed {
+            key: key.clone(),
+            put_epoch: 1,
+        });
         assert!(matches!(&out[0], ClientAction::PutFailed { .. }));
         assert_eq!(c.open_puts(), 0);
         assert_eq!(c.stats.failed_puts, 1);
@@ -892,10 +968,23 @@ mod tests {
         let key = ObjectKey::new("k");
         c.put(key.clone(), Payload::synthetic(1_000)); // epoch 1
         c.put(key.clone(), Payload::synthetic(2_000)); // epoch 2 replaces it
-        assert!(c.on_proxy(Msg::PutFailed { key: key.clone(), put_epoch: 1 }).is_empty());
-        assert!(c.on_proxy(Msg::PutDone { key: key.clone(), put_epoch: 1 }).is_empty());
+        assert!(c
+            .on_proxy(Msg::PutFailed {
+                key: key.clone(),
+                put_epoch: 1
+            })
+            .is_empty());
+        assert!(c
+            .on_proxy(Msg::PutDone {
+                key: key.clone(),
+                put_epoch: 1
+            })
+            .is_empty());
         assert_eq!(c.open_puts(), 1, "the newer PUT must stay open");
-        let out = c.on_proxy(Msg::PutDone { key: key.clone(), put_epoch: 2 });
+        let out = c.on_proxy(Msg::PutDone {
+            key: key.clone(),
+            put_epoch: 2,
+        });
         assert!(matches!(&out[0], ClientAction::PutComplete { .. }));
         assert_eq!(c.open_puts(), 0);
     }
@@ -910,44 +999,73 @@ mod tests {
         let key = ObjectKey::new("k");
         c.get(key.clone());
         let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
-        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 4000, chunks: chunks.clone() });
+        c.on_proxy(Msg::GetAccepted {
+            key: key.clone(),
+            object_size: 4000,
+            chunks: chunks.clone(),
+        });
         // First-d delivery from chunks 1..=4; chunks 0 and 5 unaccounted.
         let mut out = Vec::new();
         for id in &chunks[1..5] {
-            out = c.on_proxy(Msg::ChunkToClient { id: id.clone(), payload: Payload::synthetic(1000) });
+            out = c.on_proxy(Msg::ChunkToClient {
+                id: id.clone(),
+                payload: Payload::synthetic(1000),
+            });
         }
         assert!(matches!(out.last(), Some(ClientAction::Deliver { .. })));
         assert_eq!(c.open_gets(), 1, "state stays open for accounting");
         // Chunk 0 is reported lost after delivery; chunk 5 never answers.
-        assert!(c.on_proxy(Msg::ChunkMiss { id: chunks[0].clone() }).is_empty());
+        assert!(c
+            .on_proxy(Msg::ChunkMiss {
+                id: chunks[0].clone()
+            })
+            .is_empty());
         // The application GETs the key again: the pending repair of chunk
         // 0 must be flushed, not dropped, and a fresh GetObject issued.
         let acts = c.get(key.clone());
         let repairs: Vec<u32> = acts
             .iter()
             .filter_map(|a| match a {
-                ClientAction::DataToProxy { msg: Msg::PutChunk { id, repair: true, .. }, .. } => {
-                    Some(id.seq)
-                }
+                ClientAction::DataToProxy {
+                    msg:
+                        Msg::PutChunk {
+                            id, repair: true, ..
+                        },
+                    ..
+                } => Some(id.seq),
                 _ => None,
             })
             .collect();
         assert_eq!(repairs, vec![0], "the discovered loss must be repaired");
         assert!(matches!(
             acts.last(),
-            Some(ClientAction::ToProxy { msg: Msg::GetObject { .. }, .. })
+            Some(ClientAction::ToProxy {
+                msg: Msg::GetObject { .. },
+                ..
+            })
         ));
         assert_eq!(c.stats.repaired_chunks, 1);
         // The fresh state is clean: a full first-d delivery works.
-        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 4000, chunks: chunks.clone() });
+        c.on_proxy(Msg::GetAccepted {
+            key: key.clone(),
+            object_size: 4000,
+            chunks: chunks.clone(),
+        });
         for id in &chunks[0..4] {
-            out = c.on_proxy(Msg::ChunkToClient { id: id.clone(), payload: Payload::synthetic(1000) });
+            out = c.on_proxy(Msg::ChunkToClient {
+                id: id.clone(),
+                payload: Payload::synthetic(1000),
+            });
         }
         let Some(ClientAction::Deliver { report, .. }) = out.last() else {
             panic!("fresh GET must deliver, got {out:?}");
         };
         assert_eq!(report.lost_chunks, 0, "counters must not leak across GETs");
-        assert!(c.check_invariants().is_empty(), "{:?}", c.check_invariants());
+        assert!(
+            c.check_invariants().is_empty(),
+            "{:?}",
+            c.check_invariants()
+        );
     }
 
     #[test]
@@ -959,13 +1077,24 @@ mod tests {
         assert!(c.get(key.clone()).is_empty(), "second GET must coalesce");
         assert_eq!(c.open_gets(), 1);
         let chunks: Vec<ChunkId> = (0..5).map(|s| ChunkId::new(key.clone(), s)).collect();
-        c.on_proxy(Msg::GetAccepted { key: key.clone(), object_size: 400, chunks: chunks.clone() });
+        c.on_proxy(Msg::GetAccepted {
+            key: key.clone(),
+            object_size: 400,
+            chunks: chunks.clone(),
+        });
         let mut out = Vec::new();
         for id in &chunks[0..4] {
-            out = c.on_proxy(Msg::ChunkToClient { id: id.clone(), payload: Payload::synthetic(100) });
+            out = c.on_proxy(Msg::ChunkToClient {
+                id: id.clone(),
+                payload: Payload::synthetic(100),
+            });
         }
         assert!(matches!(out.last(), Some(ClientAction::Deliver { .. })));
-        assert!(c.check_invariants().is_empty(), "{:?}", c.check_invariants());
+        assert!(
+            c.check_invariants().is_empty(),
+            "{:?}",
+            c.check_invariants()
+        );
     }
 
     #[test]
@@ -974,7 +1103,11 @@ mod tests {
         let mut c = client(1, 20, ec);
         let acts = c.put(ObjectKey::new("big"), Payload::synthetic(100 * 1024 * 1024));
         for a in &acts {
-            if let ClientAction::DataToProxy { msg: Msg::PutChunk { payload, .. }, .. } = a {
+            if let ClientAction::DataToProxy {
+                msg: Msg::PutChunk { payload, .. },
+                ..
+            } = a
+            {
                 assert_eq!(payload.len(), ec.chunk_len(100 * 1024 * 1024));
                 assert!(payload.is_synthetic());
             }

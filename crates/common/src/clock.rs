@@ -45,7 +45,13 @@ struct Slot {
 impl<K: Eq + Hash + Clone> ClockQueue<K> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        ClockQueue { ring: Vec::new(), index: HashMap::new(), hand: 0, stamp: 0, tombstones: 0 }
+        ClockQueue {
+            ring: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
+            stamp: 0,
+            tombstones: 0,
+        }
     }
 
     /// Number of live keys.
@@ -74,7 +80,14 @@ impl<K: Eq + Hash + Clone> ClockQueue<K> {
         }
         let pos = self.ring.len();
         self.ring.push(Some(key.clone()));
-        self.index.insert(key, Slot { pos, referenced: false, stamp: self.stamp });
+        self.index.insert(
+            key,
+            Slot {
+                pos,
+                referenced: false,
+                stamp: self.stamp,
+            },
+        );
     }
 
     /// Marks a key referenced (a cache hit gives it a second chance).
@@ -119,7 +132,9 @@ impl<K: Eq + Hash + Clone> ClockQueue<K> {
             }
             let pos = self.hand;
             self.hand += 1;
-            let Some(key) = self.ring[pos].clone() else { continue };
+            let Some(key) = self.ring[pos].clone() else {
+                continue;
+            };
             let slot = self.index.get_mut(&key).expect("ring/index in sync");
             if slot.referenced {
                 slot.referenced = false;
@@ -136,8 +151,7 @@ impl<K: Eq + Hash + Clone> ClockQueue<K> {
     /// Keys ordered most-recently-used first (the backup key exchange
     /// ships metadata in this order, §4.2).
     pub fn keys_mru_to_lru(&self) -> Vec<K> {
-        let mut entries: Vec<(&K, u64)> =
-            self.index.iter().map(|(k, s)| (k, s.stamp)).collect();
+        let mut entries: Vec<(&K, u64)> = self.index.iter().map(|(k, s)| (k, s.stamp)).collect();
         entries.sort_by_key(|e| std::cmp::Reverse(e.1));
         entries.into_iter().map(|(k, _)| k.clone()).collect()
     }

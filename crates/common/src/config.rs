@@ -39,7 +39,9 @@ impl EcConfig {
     /// exceeds 255 (the GF(2^8) limit minus the identity rows).
     pub fn new(data: usize, parity: usize) -> Result<Self> {
         if data == 0 {
-            return Err(Error::Config("EC code needs at least one data shard".into()));
+            return Err(Error::Config(
+                "EC code needs at least one data shard".into(),
+            ));
         }
         if data + parity > 255 {
             return Err(Error::Config(format!(
@@ -92,7 +94,10 @@ impl std::fmt::Display for EcConfig {
 impl Default for EcConfig {
     /// The paper's production configuration `(10+2)` (§5.2).
     fn default() -> Self {
-        EcConfig { data: 10, parity: 2 }
+        EcConfig {
+            data: 10,
+            parity: 2,
+        }
     }
 }
 
@@ -173,7 +178,9 @@ impl DeploymentConfig {
     /// fractions are out of range.
     pub fn validate(&self) -> Result<()> {
         if self.proxies == 0 || self.lambdas_per_proxy == 0 {
-            return Err(Error::Config("deployment needs at least one proxy and one node".into()));
+            return Err(Error::Config(
+                "deployment needs at least one proxy and one node".into(),
+            ));
         }
         if (self.lambdas_per_proxy as usize) < self.ec.shards() {
             return Err(Error::Config(format!(
@@ -189,7 +196,9 @@ impl DeploymentConfig {
             )));
         }
         if !(0.0..=1.0).contains(&self.cache_memory_fraction) {
-            return Err(Error::Config("cache_memory_fraction must be in [0,1]".into()));
+            return Err(Error::Config(
+                "cache_memory_fraction must be in [0,1]".into(),
+            ));
         }
         Ok(())
     }

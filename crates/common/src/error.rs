@@ -67,7 +67,11 @@ mod tests {
         let msgs = [
             Error::Config("x".into()).to_string(),
             Error::KeyNotFound(ObjectKey::new("k")).to_string(),
-            Error::ChunkUnavailable { needed: 10, available: 8 }.to_string(),
+            Error::ChunkUnavailable {
+                needed: 10,
+                available: 8,
+            }
+            .to_string(),
             Error::Coding("y".into()).to_string(),
             Error::Protocol("z".into()).to_string(),
             Error::PutAborted(ObjectKey::new("k")).to_string(),

@@ -1,0 +1,830 @@
+//! Length-prefixed binary framing for the wire protocol.
+//!
+//! The net substrate (`crates/net`) moves [`Msg`] values between real OS
+//! processes over TCP, so the protocol needs an actual byte encoding. A
+//! frame on the wire is:
+//!
+//! ```text
+//! [ version: u8 ] [ body_len: u32 LE ] [ body: body_len bytes ]
+//! ```
+//!
+//! The version byte guards against skew between binaries built from
+//! different revisions, and [`MAX_FRAME_LEN`] bounds the allocation a
+//! malformed or hostile length prefix could cause. Bodies are encoded
+//! with the [`Enc`]/[`Dec`] pair: fixed-width little-endian integers,
+//! length-prefixed strings, and tag bytes for enums. Every [`Msg`]
+//! variant round-trips exactly (`tests/proptest_frame.rs` checks random
+//! messages); synthetic payloads cross the wire as their length only, so
+//! trace-scale object sizes (terabytes) never materialize.
+//!
+//! Nothing here performs socket I/O beyond `Read`/`Write`; the framing is
+//! equally usable over files or in-memory buffers (which is how the
+//! round-trip tests exercise it).
+
+use std::io::{ErrorKind, Read, Write};
+
+use bytes::Bytes;
+
+use crate::error::Error;
+use crate::ids::{ChunkId, InstanceId, LambdaId, ObjectKey, RelayId};
+use crate::msg::{BackupInvoke, BackupKey, InvokePayload, Msg};
+use crate::payload::Payload;
+
+/// Current wire-format version; bump on any incompatible encoding change.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Upper bound on one frame's body. A frame carries at most one chunk
+/// payload; 64 MiB comfortably covers the largest chunk of the paper's
+/// workloads while keeping a hostile length prefix from allocating
+/// unbounded memory.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Upper bound on decoded sequence lengths (chunk lists, backup key
+/// lists); independent of the byte budget so a tiny frame cannot claim a
+/// multi-gigabyte element count.
+const MAX_SEQ_ITEMS: u32 = 1 << 20;
+
+/// Everything that can go wrong framing or parsing wire bytes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer speaks a different wire-format version.
+    Version(u8),
+    /// A length prefix exceeded [`MAX_FRAME_LEN`] (or a sequence count
+    /// exceeded its cap).
+    TooLarge(u64),
+    /// The body bytes do not parse as the expected structure.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Version(v) => {
+                write!(f, "unsupported wire version {v} (expected {FRAME_VERSION})")
+            }
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds the frame cap"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for Error {
+    fn from(e: FrameError) -> Self {
+        Error::Transport(e.to_string())
+    }
+}
+
+/// Specialized result for framing operations.
+pub type FrameResult<T> = std::result::Result<T, FrameError>;
+
+// ----------------------------------------------------------------------
+// Body encoding
+// ----------------------------------------------------------------------
+
+/// Append-only encoder for frame bodies.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty body.
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an object key.
+    pub fn key(&mut self, k: &ObjectKey) {
+        self.str(k.as_str());
+    }
+
+    /// Appends a chunk id (key + sequence number).
+    pub fn chunk(&mut self, c: &ChunkId) {
+        self.key(&c.key);
+        self.u32(c.seq);
+    }
+
+    /// Appends a payload: real bytes length-prefixed, synthetic as its
+    /// represented length only.
+    pub fn payload(&mut self, p: &Payload) {
+        match p {
+            Payload::Bytes(b) => {
+                self.u8(0);
+                self.u32(b.len() as u32);
+                self.buf.extend_from_slice(b);
+            }
+            Payload::Synthetic { len } => {
+                self.u8(1);
+                self.u64(*len);
+            }
+        }
+    }
+
+    /// Appends a function-invocation parameter block.
+    pub fn invoke(&mut self, p: &InvokePayload) {
+        self.u16(p.proxy.0);
+        self.bool(p.piggyback_ping);
+        match &p.backup {
+            None => self.u8(0),
+            Some(b) => {
+                self.u8(1);
+                self.u64(b.relay.0);
+                self.u32(b.source.0);
+            }
+        }
+    }
+
+    /// Appends a protocol message (tag byte + fields in declaration
+    /// order).
+    pub fn msg(&mut self, m: &Msg) {
+        match m {
+            Msg::GetObject { key } => {
+                self.u8(0);
+                self.key(key);
+            }
+            Msg::GetAccepted {
+                key,
+                object_size,
+                chunks,
+            } => {
+                self.u8(1);
+                self.key(key);
+                self.u64(*object_size);
+                self.u32(chunks.len() as u32);
+                for c in chunks {
+                    self.chunk(c);
+                }
+            }
+            Msg::GetMiss { key } => {
+                self.u8(2);
+                self.key(key);
+            }
+            Msg::PutChunk {
+                id,
+                lambda,
+                payload,
+                object_size,
+                total_chunks,
+                repair,
+                put_epoch,
+            } => {
+                self.u8(3);
+                self.chunk(id);
+                self.u32(lambda.0);
+                self.payload(payload);
+                self.u64(*object_size);
+                self.u32(*total_chunks);
+                self.bool(*repair);
+                self.u64(*put_epoch);
+            }
+            Msg::PutDone { key, put_epoch } => {
+                self.u8(4);
+                self.key(key);
+                self.u64(*put_epoch);
+            }
+            Msg::PutFailed { key, put_epoch } => {
+                self.u8(5);
+                self.key(key);
+                self.u64(*put_epoch);
+            }
+            Msg::ChunkToClient { id, payload } => {
+                self.u8(6);
+                self.chunk(id);
+                self.payload(payload);
+            }
+            Msg::Ping => self.u8(7),
+            Msg::Pong {
+                instance,
+                stored_bytes,
+            } => {
+                self.u8(8);
+                self.u64(instance.0);
+                self.u64(*stored_bytes);
+            }
+            Msg::Bye { instance } => {
+                self.u8(9);
+                self.u64(instance.0);
+            }
+            Msg::ChunkGet { id } => {
+                self.u8(10);
+                self.chunk(id);
+            }
+            Msg::ChunkPut { id, payload, epoch } => {
+                self.u8(11);
+                self.chunk(id);
+                self.payload(payload);
+                self.u64(*epoch);
+            }
+            Msg::ChunkDelete { ids } => {
+                self.u8(12);
+                self.u32(ids.len() as u32);
+                for id in ids {
+                    self.chunk(id);
+                }
+            }
+            Msg::ChunkData { id, payload } => {
+                self.u8(13);
+                self.chunk(id);
+                self.payload(payload);
+            }
+            Msg::ChunkMiss { id } => {
+                self.u8(14);
+                self.chunk(id);
+            }
+            Msg::PutAck {
+                id,
+                stored_bytes,
+                epoch,
+            } => {
+                self.u8(15);
+                self.chunk(id);
+                self.u64(*stored_bytes);
+                self.u64(*epoch);
+            }
+            Msg::InitBackup => self.u8(16),
+            Msg::BackupCmd { relay } => {
+                self.u8(17);
+                self.u64(relay.0);
+            }
+            Msg::HelloSource { have_version } => {
+                self.u8(18);
+                self.u64(*have_version);
+            }
+            Msg::HelloProxy { instance, source } => {
+                self.u8(19);
+                self.u64(instance.0);
+                self.u32(source.0);
+            }
+            Msg::BackupKeys { keys } => {
+                self.u8(20);
+                self.u32(keys.len() as u32);
+                for k in keys {
+                    self.chunk(&k.id);
+                    self.u64(k.version);
+                    self.u64(k.len);
+                }
+            }
+            Msg::BackupFetch { id } => {
+                self.u8(21);
+                self.chunk(id);
+            }
+            Msg::BackupMiss { id } => {
+                self.u8(22);
+                self.chunk(id);
+            }
+            Msg::BackupChunk {
+                id,
+                payload,
+                version,
+            } => {
+                self.u8(23);
+                self.chunk(id);
+                self.payload(payload);
+                self.u64(*version);
+            }
+            Msg::BackupDone { delta_bytes } => {
+                self.u8(24);
+                self.u64(*delta_bytes);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Body decoding
+// ----------------------------------------------------------------------
+
+/// Cursor over a frame body.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    /// Starts decoding `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf }
+    }
+
+    /// Errors unless every body byte was consumed (catches skewed field
+    /// layouts that happen to parse).
+    pub fn finish(&self) -> FrameResult<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after message"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> FrameResult<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(FrameError::Malformed("field extends past frame end"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> FrameResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> FrameResult<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> FrameResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> FrameResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> FrameResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(FrameError::Malformed("bool byte out of range")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> FrameResult<String> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FrameError::Malformed("invalid UTF-8 string"))
+    }
+
+    /// Reads an object key.
+    pub fn key(&mut self) -> FrameResult<ObjectKey> {
+        Ok(ObjectKey::new(self.str()?))
+    }
+
+    /// Reads a chunk id.
+    pub fn chunk(&mut self) -> FrameResult<ChunkId> {
+        let key = self.key()?;
+        let seq = self.u32()?;
+        Ok(ChunkId::new(key, seq))
+    }
+
+    /// Reads a sequence length, bounded by [`MAX_SEQ_ITEMS`].
+    fn seq_len(&mut self) -> FrameResult<usize> {
+        let n = self.u32()?;
+        if n > MAX_SEQ_ITEMS {
+            return Err(FrameError::TooLarge(n as u64));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a payload.
+    pub fn payload(&mut self) -> FrameResult<Payload> {
+        match self.u8()? {
+            0 => {
+                let len = self.u32()? as usize;
+                let raw = self.take(len)?;
+                Ok(Payload::Bytes(Bytes::from(raw.to_vec())))
+            }
+            1 => Ok(Payload::synthetic(self.u64()?)),
+            _ => Err(FrameError::Malformed("unknown payload kind")),
+        }
+    }
+
+    /// Reads a function-invocation parameter block.
+    pub fn invoke(&mut self) -> FrameResult<InvokePayload> {
+        let proxy = crate::ids::ProxyId(self.u16()?);
+        let piggyback_ping = self.bool()?;
+        let backup = match self.u8()? {
+            0 => None,
+            1 => Some(BackupInvoke {
+                relay: RelayId(self.u64()?),
+                source: LambdaId(self.u32()?),
+            }),
+            _ => return Err(FrameError::Malformed("unknown backup-invoke tag")),
+        };
+        Ok(InvokePayload {
+            proxy,
+            piggyback_ping,
+            backup,
+        })
+    }
+
+    /// Reads a protocol message.
+    pub fn msg(&mut self) -> FrameResult<Msg> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => Msg::GetObject { key: self.key()? },
+            1 => {
+                let key = self.key()?;
+                let object_size = self.u64()?;
+                let n = self.seq_len()?;
+                let mut chunks = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    chunks.push(self.chunk()?);
+                }
+                Msg::GetAccepted {
+                    key,
+                    object_size,
+                    chunks,
+                }
+            }
+            2 => Msg::GetMiss { key: self.key()? },
+            3 => Msg::PutChunk {
+                id: self.chunk()?,
+                lambda: LambdaId(self.u32()?),
+                payload: self.payload()?,
+                object_size: self.u64()?,
+                total_chunks: self.u32()?,
+                repair: self.bool()?,
+                put_epoch: self.u64()?,
+            },
+            4 => Msg::PutDone {
+                key: self.key()?,
+                put_epoch: self.u64()?,
+            },
+            5 => Msg::PutFailed {
+                key: self.key()?,
+                put_epoch: self.u64()?,
+            },
+            6 => Msg::ChunkToClient {
+                id: self.chunk()?,
+                payload: self.payload()?,
+            },
+            7 => Msg::Ping,
+            8 => Msg::Pong {
+                instance: InstanceId(self.u64()?),
+                stored_bytes: self.u64()?,
+            },
+            9 => Msg::Bye {
+                instance: InstanceId(self.u64()?),
+            },
+            10 => Msg::ChunkGet { id: self.chunk()? },
+            11 => Msg::ChunkPut {
+                id: self.chunk()?,
+                payload: self.payload()?,
+                epoch: self.u64()?,
+            },
+            12 => {
+                let n = self.seq_len()?;
+                let mut ids = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ids.push(self.chunk()?);
+                }
+                Msg::ChunkDelete { ids }
+            }
+            13 => Msg::ChunkData {
+                id: self.chunk()?,
+                payload: self.payload()?,
+            },
+            14 => Msg::ChunkMiss { id: self.chunk()? },
+            15 => Msg::PutAck {
+                id: self.chunk()?,
+                stored_bytes: self.u64()?,
+                epoch: self.u64()?,
+            },
+            16 => Msg::InitBackup,
+            17 => Msg::BackupCmd {
+                relay: RelayId(self.u64()?),
+            },
+            18 => Msg::HelloSource {
+                have_version: self.u64()?,
+            },
+            19 => Msg::HelloProxy {
+                instance: InstanceId(self.u64()?),
+                source: LambdaId(self.u32()?),
+            },
+            20 => {
+                let n = self.seq_len()?;
+                let mut keys = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    keys.push(BackupKey {
+                        id: self.chunk()?,
+                        version: self.u64()?,
+                        len: self.u64()?,
+                    });
+                }
+                Msg::BackupKeys { keys }
+            }
+            21 => Msg::BackupFetch { id: self.chunk()? },
+            22 => Msg::BackupMiss { id: self.chunk()? },
+            23 => Msg::BackupChunk {
+                id: self.chunk()?,
+                payload: self.payload()?,
+                version: self.u64()?,
+            },
+            24 => Msg::BackupDone {
+                delta_bytes: self.u64()?,
+            },
+            _ => return Err(FrameError::Malformed("unknown message tag")),
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Framed I/O
+// ----------------------------------------------------------------------
+
+/// Writes one frame: version byte, length prefix, body.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the body exceeds [`MAX_FRAME_LEN`],
+/// [`FrameError::Io`] on write failure.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> FrameResult<()> {
+    let len = u32::try_from(body.len()).map_err(|_| FrameError::TooLarge(body.len() as u64))?;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len as u64));
+    }
+    w.write_all(&[FRAME_VERSION])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame body.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF at a frame boundary,
+/// [`FrameError::Version`] on wire-version skew, [`FrameError::TooLarge`]
+/// when the length prefix exceeds [`MAX_FRAME_LEN`], and
+/// [`FrameError::Malformed`] on mid-frame truncation.
+pub fn read_frame<R: Read>(r: &mut R) -> FrameResult<Vec<u8>> {
+    let mut version = [0u8; 1];
+    if let Err(e) = r.read_exact(&mut version) {
+        return Err(if e.kind() == ErrorKind::UnexpectedEof {
+            FrameError::Closed
+        } else {
+            FrameError::Io(e)
+        });
+    }
+    if version[0] != FRAME_VERSION {
+        return Err(FrameError::Version(version[0]));
+    }
+    let mut len_raw = [0u8; 4];
+    r.read_exact(&mut len_raw)
+        .map_err(|e| map_truncation(e, "truncated length prefix"))?;
+    let len = u32::from_le_bytes(len_raw);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len as u64));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| map_truncation(e, "truncated frame body"))?;
+    Ok(body)
+}
+
+fn map_truncation(e: std::io::Error, what: &'static str) -> FrameError {
+    if e.kind() == ErrorKind::UnexpectedEof {
+        FrameError::Malformed(what)
+    } else {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes `msg` into a standalone body buffer.
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.msg(msg);
+    e.into_vec()
+}
+
+/// Decodes a full body buffer as exactly one message.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] on parse failure or trailing bytes.
+pub fn decode_msg(body: &[u8]) -> FrameResult<Msg> {
+    let mut d = Dec::new(body);
+    let msg = d.msg()?;
+    d.finish()?;
+    Ok(msg)
+}
+
+/// Writes `msg` as one frame.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> FrameResult<()> {
+    write_frame(w, &encode_msg(msg))
+}
+
+/// Reads one framed message.
+///
+/// # Errors
+///
+/// See [`read_frame`] and [`decode_msg`].
+pub fn read_msg<R: Read>(r: &mut R) -> FrameResult<Msg> {
+    decode_msg(&read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProxyId;
+
+    fn roundtrip(msg: Msg) {
+        let body = encode_msg(&msg);
+        let back = decode_msg(&body).expect("decodes");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn representative_messages_roundtrip() {
+        roundtrip(Msg::Ping);
+        roundtrip(Msg::GetObject {
+            key: ObjectKey::new("sha256:deadbeef"),
+        });
+        roundtrip(Msg::GetAccepted {
+            key: ObjectKey::new("k"),
+            object_size: 123_456,
+            chunks: (0..6)
+                .map(|s| ChunkId::new(ObjectKey::new("k"), s))
+                .collect(),
+        });
+        roundtrip(Msg::PutChunk {
+            id: ChunkId::new(ObjectKey::new("obj"), 3),
+            lambda: LambdaId(17),
+            payload: Payload::bytes(vec![1u8, 2, 3, 255]),
+            object_size: 4,
+            total_chunks: 6,
+            repair: true,
+            put_epoch: 9,
+        });
+        roundtrip(Msg::ChunkPut {
+            id: ChunkId::new(ObjectKey::new("s"), 0),
+            payload: Payload::synthetic(u64::MAX / 2),
+            epoch: 0,
+        });
+        roundtrip(Msg::BackupKeys {
+            keys: vec![BackupKey {
+                id: ChunkId::new(ObjectKey::new("b"), 1),
+                version: 7,
+                len: 42,
+            }],
+        });
+        roundtrip(Msg::HelloProxy {
+            instance: InstanceId(99),
+            source: LambdaId(4),
+        });
+    }
+
+    #[test]
+    fn framed_io_roundtrips_through_a_buffer() {
+        let msgs = [
+            Msg::Ping,
+            Msg::Pong {
+                instance: InstanceId(5),
+                stored_bytes: 1 << 40,
+            },
+            Msg::ChunkData {
+                id: ChunkId::new(ObjectKey::new("x"), 2),
+                payload: Payload::bytes(vec![7u8; 10_000]),
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_msg(&mut wire, m).unwrap();
+        }
+        let mut r = &wire[..];
+        for m in &msgs {
+            assert_eq!(&read_msg(&mut r).unwrap(), m);
+        }
+        assert!(matches!(read_msg(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn invoke_payload_roundtrips() {
+        for p in [
+            InvokePayload::ping(ProxyId(3)),
+            InvokePayload {
+                proxy: ProxyId(0),
+                piggyback_ping: false,
+                backup: Some(BackupInvoke {
+                    relay: RelayId(8),
+                    source: LambdaId(2),
+                }),
+            },
+        ] {
+            let mut e = Enc::new();
+            e.invoke(&p);
+            let body = e.into_vec();
+            let mut d = Dec::new(&body);
+            assert_eq!(d.invoke().unwrap(), p);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &Msg::Ping).unwrap();
+        wire[0] = FRAME_VERSION + 1;
+        assert!(matches!(
+            read_msg(&mut &wire[..]),
+            Err(FrameError::Version(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = vec![FRAME_VERSION];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_msg(&mut &wire[..]),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_malformed_not_closed() {
+        let mut wire = Vec::new();
+        write_msg(
+            &mut wire,
+            &Msg::GetObject {
+                key: ObjectKey::new("abcdef"),
+            },
+        )
+        .unwrap();
+        wire.truncate(wire.len() - 3);
+        assert!(matches!(
+            read_msg(&mut &wire[..]),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = encode_msg(&Msg::Ping);
+        body.push(0);
+        assert!(matches!(decode_msg(&body), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(decode_msg(&[200]), Err(FrameError::Malformed(_))));
+        assert!(decode_msg(&[]).is_err());
+    }
+}

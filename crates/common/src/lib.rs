@@ -6,7 +6,8 @@
 //! function runtimes ([`msg`]), deployment configuration ([`config`]),
 //! cloud pricing constants ([`pricing`]), stable hashing ([`hash`]), the
 //! consistent-hash ring used by the client library ([`ring`]), and the
-//! workspace-wide error type ([`error`]).
+//! length-prefixed binary framing for the real-socket substrate
+//! ([`frame`]), and the workspace-wide error type ([`error`]).
 //!
 //! Nothing in this crate performs I/O or simulation; it is pure data and
 //! pure functions, which keeps the protocol crates (`ic-lambda`,
@@ -31,6 +32,7 @@
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod frame;
 pub mod hash;
 pub mod ids;
 pub mod msg;

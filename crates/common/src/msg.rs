@@ -9,8 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::ids::{ChunkId, ClientId, LambdaId, ObjectKey, ProxyId, RelayId};
 use crate::ids::InstanceId;
+use crate::ids::{ChunkId, ClientId, LambdaId, ObjectKey, ProxyId, RelayId};
 use crate::payload::Payload;
 
 /// Any party that can send or receive a [`Msg`].
@@ -79,7 +79,11 @@ pub struct InvokePayload {
 impl InvokePayload {
     /// A plain data-path invocation with a piggybacked PING.
     pub fn ping(proxy: ProxyId) -> Self {
-        InvokePayload { proxy, piggyback_ping: true, backup: None }
+        InvokePayload {
+            proxy,
+            piggyback_ping: true,
+            backup: None,
+        }
     }
 }
 
@@ -353,7 +357,10 @@ mod tests {
     fn kind_tags_are_stable() {
         assert_eq!(Msg::Ping.kind(), "Ping");
         assert_eq!(
-            Msg::GetObject { key: ObjectKey::new("x") }.kind(),
+            Msg::GetObject {
+                key: ObjectKey::new("x")
+            }
+            .kind(),
             "GetObject"
         );
     }

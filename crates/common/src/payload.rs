@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn debug_mentions_kind_and_len() {
-        assert_eq!(format!("{:?}", Payload::synthetic(5)), "Payload::Synthetic(5 B)");
+        assert_eq!(
+            format!("{:?}", Payload::synthetic(5)),
+            "Payload::Synthetic(5 B)"
+        );
         assert_eq!(
             format!("{:?}", Payload::bytes(vec![1, 2])),
             "Payload::Bytes(2 B)"

@@ -22,8 +22,11 @@ pub enum CostCategory {
 
 impl CostCategory {
     /// All categories, in display order.
-    pub const ALL: [CostCategory; 3] =
-        [CostCategory::Serving, CostCategory::Warmup, CostCategory::Backup];
+    pub const ALL: [CostCategory; 3] = [
+        CostCategory::Serving,
+        CostCategory::Warmup,
+        CostCategory::Backup,
+    ];
 
     /// Stable array index.
     pub fn index(self) -> usize {

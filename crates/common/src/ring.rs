@@ -37,8 +37,15 @@ impl<N: Clone> Ring<N> {
     ///
     /// Panics if `vnodes` is zero.
     pub fn new(vnodes: u32) -> Self {
-        assert!(vnodes > 0, "a ring needs at least one virtual node per member");
-        Ring { points: BTreeMap::new(), vnodes, members: 0 }
+        assert!(
+            vnodes > 0,
+            "a ring needs at least one virtual node per member"
+        );
+        Ring {
+            points: BTreeMap::new(),
+            vnodes,
+            members: 0,
+        }
     }
 
     /// Adds a member under a stable name (the name, not the value, decides
@@ -121,7 +128,9 @@ mod tests {
         let mut counts: HashMap<u16, u32> = HashMap::new();
         let keys = 20_000;
         for i in 0..keys {
-            *counts.entry(*r.route(&format!("object-{i}")).unwrap()).or_default() += 1;
+            *counts
+                .entry(*r.route(&format!("object-{i}")).unwrap())
+                .or_default() += 1;
         }
         for p in 0..5u16 {
             let share = counts[&p] as f64 / keys as f64;
@@ -159,5 +168,82 @@ mod tests {
         let mut r = ring_of(2);
         r.remove("proxy-99");
         assert_eq!(r.len(), 2);
+    }
+
+    mod rebalance_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Keys on the fixed set owned by `member`.
+        fn owned_by(r: &Ring<u16>, keys: &[String], member: u16) -> usize {
+            keys.iter()
+                .filter(|k| *r.route(k).unwrap() == member)
+                .count()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Removing one of `n` members remaps only that member's keys
+            /// — a bounded fraction near `keys/n` — and never reroutes a
+            /// key whose owner stayed.
+            #[test]
+            fn removal_remaps_a_bounded_fraction(n in 2u16..9, pick in 0u16..1000) {
+                let keys: Vec<String> = (0..1500).map(|i| format!("obj-{i}")).collect();
+                let full = ring_of(n);
+                let victim = pick % n;
+                let mut reduced = full.clone();
+                reduced.remove(&format!("proxy-{victim}"));
+                let mut moved = 0usize;
+                for k in &keys {
+                    let before = *full.route(k).unwrap();
+                    let after = *reduced.route(k).unwrap();
+                    if before == victim {
+                        prop_assert_ne!(after, victim, "key {} routed to a removed member", k);
+                        moved += 1;
+                    } else {
+                        prop_assert_eq!(before, after, "key {} moved although its owner stayed", k);
+                    }
+                }
+                // Expected share is keys/n; with 128 vnodes per member a
+                // 3x-plus-slack envelope holds with huge margin.
+                let bound = keys.len() * 3 / n as usize + 60;
+                prop_assert!(
+                    moved <= bound,
+                    "removing 1 of {} members moved {} of {} keys (bound {})",
+                    n, moved, keys.len(), bound
+                );
+                prop_assert_eq!(moved, owned_by(&full, &keys, victim));
+            }
+
+            /// Adding a member to an `n`-ring only moves keys *onto* the
+            /// new member, again a bounded fraction near `keys/(n+1)`.
+            #[test]
+            fn addition_steals_a_bounded_fraction(n in 1u16..9) {
+                let keys: Vec<String> = (0..1500).map(|i| format!("obj-{i}")).collect();
+                let base = ring_of(n);
+                let mut grown = base.clone();
+                grown.insert(&format!("proxy-{n}"), n);
+                let mut gained = 0usize;
+                for k in &keys {
+                    let before = *base.route(k).unwrap();
+                    let after = *grown.route(k).unwrap();
+                    if before != after {
+                        prop_assert_eq!(
+                            after, n,
+                            "key {} moved between surviving members on insert", k
+                        );
+                        gained += 1;
+                    }
+                }
+                let bound = keys.len() * 3 / (n as usize + 1) + 60;
+                prop_assert!(
+                    gained <= bound,
+                    "adding member {} to {} stole {} of {} keys (bound {})",
+                    n + 1, n, gained, keys.len(), bound
+                );
+                prop_assert_eq!(gained, owned_by(&grown, &keys, n));
+            }
+        }
     }
 }

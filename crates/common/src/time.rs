@@ -11,15 +11,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 use serde::{Deserialize, Serialize};
 
 /// An instant on the simulation clock (microseconds since experiment start).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (microseconds).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -112,7 +108,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be non-negative"
+        );
         SimDuration((secs * 1e6).round() as u64)
     }
 
@@ -305,7 +304,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0000015),
+            SimDuration::from_micros(2)
+        );
     }
 
     #[test]

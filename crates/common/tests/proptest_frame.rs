@@ -1,0 +1,149 @@
+//! Property tests for the wire-frame codec: every randomly generated
+//! message must survive encode → frame → read → decode exactly, and the
+//! framing must reject corrupted headers without panicking.
+
+use ic_common::frame::{decode_msg, encode_msg, read_msg, write_msg, FrameError, FRAME_VERSION};
+use ic_common::msg::{BackupKey, Msg};
+use ic_common::{ChunkId, InstanceId, LambdaId, ObjectKey, Payload, RelayId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random object key (non-empty, printable-ish).
+fn arb_key() -> impl Strategy<Value = ObjectKey> {
+    (0u32..1_000_000, 1usize..24)
+        .prop_map(|(n, len)| ObjectKey::new(format!("obj-{n:0len$}", len = len)))
+}
+
+fn arb_chunk() -> impl Strategy<Value = ChunkId> {
+    (arb_key(), 0u32..64).prop_map(|(k, s)| ChunkId::new(k, s))
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        vec(0u8..=255, 0..512).prop_map(Payload::from),
+        (0u64..u64::MAX).prop_map(Payload::synthetic),
+    ]
+}
+
+/// One random message of any protocol variant.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        arb_key().prop_map(|key| Msg::GetObject { key }),
+        (arb_key(), 0u64..1 << 40, vec(arb_chunk(), 0..16)).prop_map(
+            |(key, object_size, chunks)| Msg::GetAccepted {
+                key,
+                object_size,
+                chunks
+            }
+        ),
+        arb_key().prop_map(|key| Msg::GetMiss { key }),
+        (
+            (arb_chunk(), 0u32..4096, arb_payload()),
+            (0u64..1 << 40, 1u32..64, 0u8..2, 0u64..1 << 32)
+        )
+            .prop_map(
+                |((id, lambda, payload), (object_size, total_chunks, repair, put_epoch))| {
+                    Msg::PutChunk {
+                        id,
+                        lambda: LambdaId(lambda),
+                        payload,
+                        object_size,
+                        total_chunks,
+                        repair: repair == 1,
+                        put_epoch,
+                    }
+                }
+            ),
+        (arb_key(), 0u64..1 << 32).prop_map(|(key, put_epoch)| Msg::PutDone { key, put_epoch }),
+        (arb_key(), 0u64..1 << 32).prop_map(|(key, put_epoch)| Msg::PutFailed { key, put_epoch }),
+        (arb_chunk(), arb_payload()).prop_map(|(id, payload)| Msg::ChunkToClient { id, payload }),
+        Just(Msg::Ping),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(i, b)| Msg::Pong {
+            instance: InstanceId(i),
+            stored_bytes: b
+        }),
+        (0u64..u64::MAX).prop_map(|i| Msg::Bye {
+            instance: InstanceId(i)
+        }),
+        arb_chunk().prop_map(|id| Msg::ChunkGet { id }),
+        (arb_chunk(), arb_payload(), 0u64..1 << 32)
+            .prop_map(|(id, payload, epoch)| Msg::ChunkPut { id, payload, epoch }),
+        vec(arb_chunk(), 0..32).prop_map(|ids| Msg::ChunkDelete { ids }),
+        (arb_chunk(), arb_payload()).prop_map(|(id, payload)| Msg::ChunkData { id, payload }),
+        arb_chunk().prop_map(|id| Msg::ChunkMiss { id }),
+        (arb_chunk(), 0u64..u64::MAX, 0u64..1 << 32).prop_map(|(id, stored_bytes, epoch)| {
+            Msg::PutAck {
+                id,
+                stored_bytes,
+                epoch,
+            }
+        }),
+        Just(Msg::InitBackup),
+        (0u64..u64::MAX).prop_map(|r| Msg::BackupCmd { relay: RelayId(r) }),
+        (0u64..u64::MAX).prop_map(|v| Msg::HelloSource { have_version: v }),
+        (0u64..u64::MAX, 0u32..4096).prop_map(|(i, s)| Msg::HelloProxy {
+            instance: InstanceId(i),
+            source: LambdaId(s)
+        }),
+        vec((arb_chunk(), 0u64..1 << 48, 0u64..1 << 40), 0..24).prop_map(|ks| Msg::BackupKeys {
+            keys: ks
+                .into_iter()
+                .map(|(id, version, len)| BackupKey { id, version, len })
+                .collect()
+        }),
+        arb_chunk().prop_map(|id| Msg::BackupFetch { id }),
+        arb_chunk().prop_map(|id| Msg::BackupMiss { id }),
+        (arb_chunk(), arb_payload(), 0u64..1 << 48).prop_map(|(id, payload, version)| {
+            Msg::BackupChunk {
+                id,
+                payload,
+                version,
+            }
+        }),
+        (0u64..u64::MAX).prop_map(|d| Msg::BackupDone { delta_bytes: d }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Encode → decode is the identity on every message variant.
+    #[test]
+    fn any_message_roundtrips_the_body_codec(msg in arb_msg()) {
+        let body = encode_msg(&msg);
+        let back = decode_msg(&body).expect("well-formed body must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Full framed I/O (version byte + length prefix) round-trips message
+    /// sequences and reports a clean close at the end.
+    #[test]
+    fn framed_streams_roundtrip(msgs in vec(arb_msg(), 1..8)) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_msg(&mut wire, m).expect("frame fits");
+        }
+        let mut r = &wire[..];
+        for m in &msgs {
+            prop_assert_eq!(&read_msg(&mut r).expect("frame reads back"), m);
+        }
+        prop_assert!(matches!(read_msg(&mut r), Err(FrameError::Closed)));
+    }
+
+    /// Decoding arbitrary garbage never panics (it may error, or — for
+    /// prefixes that happen to be valid — succeed).
+    #[test]
+    fn garbage_bodies_never_panic(body in vec(0u8..=255, 0..128)) {
+        let _ = decode_msg(&body);
+    }
+
+    /// A flipped version byte is always rejected.
+    #[test]
+    fn wrong_version_is_always_rejected(msg in arb_msg(), v in 0u8..=255) {
+        let v = if v == FRAME_VERSION { v.wrapping_add(1) } else { v };
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &msg).expect("frame fits");
+        wire[0] = v;
+        prop_assert!(matches!(read_msg(&mut &wire[..]), Err(FrameError::Version(_))));
+    }
+}

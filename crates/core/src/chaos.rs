@@ -37,9 +37,7 @@
 
 use std::collections::HashMap;
 
-use ic_common::{
-    ClientId, DeploymentConfig, EcConfig, ObjectKey, Payload, SimDuration, SimTime,
-};
+use ic_common::{ClientId, DeploymentConfig, EcConfig, ObjectKey, Payload, SimDuration, SimTime};
 use ic_simfaas::reclaim::{HourlyPoisson, NoReclaim, ReclaimPolicy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -128,7 +126,11 @@ impl ChaosConfig {
     /// schedule that exposes stranded `inflight_gets` waiters and
     /// stranded writers within a handful of seeds).
     pub fn tight(seed: u64) -> Self {
-        ChaosConfig { gap_ms: (0, 30), steps: 300, ..ChaosConfig::small(seed) }
+        ChaosConfig {
+            gap_ms: (0, 30),
+            steps: 300,
+            ..ChaosConfig::small(seed)
+        }
     }
 }
 
@@ -202,11 +204,25 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         let key = ObjectKey::new(format!("k{}", rng.gen_range(0..cfg.key_space)));
         let known = sizes.contains_key(&key);
         if known && rng.gen::<f64>() < cfg.get_fraction {
-            world.submit(t, client, Op::Get { key: key.clone(), size: sizes[&key] });
+            world.submit(
+                t,
+                client,
+                Op::Get {
+                    key: key.clone(),
+                    size: sizes[&key],
+                },
+            );
         } else {
             let size = rng.gen_range(cfg.object_bytes.0..=cfg.object_bytes.1);
             sizes.insert(key.clone(), size);
-            world.submit(t, client, Op::Put { key, payload: Payload::synthetic(size) });
+            world.submit(
+                t,
+                client,
+                Op::Put {
+                    key,
+                    payload: Payload::synthetic(size),
+                },
+            );
         }
         world.run_until(t);
         if rng.gen::<f64>() < cfg.reclaim_prob {
@@ -258,10 +274,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 pub fn audit_termination(world: &SimWorld) -> Vec<String> {
     let mut violations = Vec::new();
     for (client, key) in world.pending_get_keys() {
-        violations.push(format!("termination: GET of {key} by {client} never concluded"));
+        violations.push(format!(
+            "termination: GET of {key} by {client} never concluded"
+        ));
     }
     for (client, key) in world.pending_put_keys() {
-        violations.push(format!("termination: PUT of {key} by {client} never concluded"));
+        violations.push(format!(
+            "termination: PUT of {key} by {client} never concluded"
+        ));
     }
     for c in world.clients() {
         if c.open_gets() + c.open_puts() > 0 {
@@ -333,9 +353,15 @@ pub fn sample_schedule(seed: u64, steps: usize, key_space: usize) -> Vec<ScriptS
             // keep never-written keys possible (miss coverage).
             if !known.contains(&k) && rng.gen::<f64>() < 0.7 {
                 known.push(k);
-                ScriptStep::Put { key, size: rng.gen_range(10_000..120_000) }
+                ScriptStep::Put {
+                    key,
+                    size: rng.gen_range(10_000..120_000),
+                }
             } else if rng.gen::<f64>() < 0.35 {
-                ScriptStep::Put { key, size: rng.gen_range(10_000..120_000) }
+                ScriptStep::Put {
+                    key,
+                    size: rng.gen_range(10_000..120_000),
+                }
             } else {
                 ScriptStep::Get { key }
             }

@@ -206,10 +206,18 @@ pub fn run_client_actions<T: ClientTransport + ?Sized>(
             ClientAction::ToProxy { proxy, msg } | ClientAction::DataToProxy { proxy, msg } => {
                 t.client_send(now, client, proxy, msg);
             }
-            ClientAction::Deliver { key, object, report } => {
+            ClientAction::Deliver {
+                key,
+                object,
+                report,
+            } => {
                 t.deliver(now, client, key, object, report);
             }
-            ClientAction::Unrecoverable { key, available, needed } => {
+            ClientAction::Unrecoverable {
+                key,
+                available,
+                needed,
+            } => {
                 t.unrecoverable(now, client, key, available, needed);
             }
             ClientAction::Miss { key } => t.miss(now, client, key),

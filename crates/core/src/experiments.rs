@@ -7,10 +7,10 @@
 
 use ic_analytics::Summary;
 use ic_baselines::{ElastiCacheDeployment, ElastiCacheModel, LruCache, S3Model};
+use ic_common::pricing::CostCategory;
 use ic_common::{
     ClientId, DeploymentConfig, EcConfig, ObjectKey, Payload, ProxyId, SimDuration, SimTime,
 };
-use ic_common::pricing::CostCategory;
 use ic_simfaas::platform::PlatformConfig;
 use ic_simfaas::reclaim::{NoReclaim, ReclaimPolicy};
 use ic_workload::{Trace, LARGE_OBJECT_BYTES};
@@ -59,9 +59,8 @@ pub fn microbenchmark(
             };
             let mut w = SimWorld::new(
                 cfg,
-                SimParams::paper().with_seed(seed ^ (memory_mb as u64) << 32
-                    ^ (ec.shards() as u64) << 8
-                    ^ size),
+                SimParams::paper()
+                    .with_seed(seed ^ (memory_mb as u64) << 32 ^ (ec.shards() as u64) << 8 ^ size),
                 Box::new(NoReclaim),
                 1,
             );
@@ -69,17 +68,24 @@ pub fn microbenchmark(
             let key = ObjectKey::new("bench");
             // Let the first warm-up tick place the whole pool on hosts
             // before measuring (the paper benchmarks a deployed pool).
-            w.submit(SimTime::from_secs(70), ClientId(0), Op::Put {
-                key: key.clone(),
-                payload: Payload::synthetic(size),
-            });
+            w.submit(
+                SimTime::from_secs(70),
+                ClientId(0),
+                Op::Put {
+                    key: key.clone(),
+                    payload: Payload::synthetic(size),
+                },
+            );
             // Spaced sequential GETs (close enough to keep functions warm,
             // far enough not to overlap).
             for t in 0..trials {
                 w.submit(
                     SimTime::from_secs(80 + 2 * t as u64),
                     ClientId(0),
-                    Op::Get { key: key.clone(), size },
+                    Op::Get {
+                        key: key.clone(),
+                        size,
+                    },
                 );
             }
             w.run_until(SimTime::from_secs(80 + 2 * trials as u64 + 30));
@@ -165,14 +171,19 @@ pub fn colocation_study(
             // Start after the first warm-up tick so the whole pool is
             // bin-packed onto its hosts, as in the paper's deployment.
             let base = SimTime::from_secs(70 + obj as u64 * 6);
-            w.submit(base, ClientId(0), Op::Put {
-                key: key.clone(),
-                payload: Payload::synthetic(size),
-            });
-            w.submit(base + SimDuration::from_secs(3), ClientId(0), Op::Get {
-                key,
-                size,
-            });
+            w.submit(
+                base,
+                ClientId(0),
+                Op::Put {
+                    key: key.clone(),
+                    payload: Payload::synthetic(size),
+                },
+            );
+            w.submit(
+                base + SimDuration::from_secs(3),
+                ClientId(0),
+                Op::Get { key, size },
+            );
         }
         w.run_until(SimTime::from_secs(70 + objects_per_pool as u64 * 6 + 60));
         for r in &w.metrics.requests {
@@ -226,19 +237,28 @@ pub fn scalability_study(
             ec,
             ..DeploymentConfig::default()
         };
-        let mut w =
-            SimWorld::new(cfg, SimParams::paper().with_seed(seed), Box::new(NoReclaim), n_clients);
+        let mut w = SimWorld::new(
+            cfg,
+            SimParams::paper().with_seed(seed),
+            Box::new(NoReclaim),
+            n_clients,
+        );
         w.write_through = false;
 
         // Pre-populate a shared object set, spread across proxies by the
         // ring: enough keys that concurrent GETs hit distinct nodes.
-        let keys: Vec<ObjectKey> =
-            (0..batch * 4).map(|i| ObjectKey::new(format!("s{i}"))).collect();
+        let keys: Vec<ObjectKey> = (0..batch * 4)
+            .map(|i| ObjectKey::new(format!("s{i}")))
+            .collect();
         for (i, k) in keys.iter().enumerate() {
-            w.submit(SimTime::from_millis(70_000 + 40 * i as u64), ClientId(0), Op::Put {
-                key: k.clone(),
-                payload: Payload::synthetic(size),
-            });
+            w.submit(
+                SimTime::from_millis(70_000 + 40 * i as u64),
+                ClientId(0),
+                Op::Put {
+                    key: k.clone(),
+                    payload: Payload::synthetic(size),
+                },
+            );
         }
         let mut t = SimTime::from_secs(130);
         w.run_until(t);
@@ -323,7 +343,11 @@ pub fn reclaim_study(
             per_minute[m] += 1;
         }
     }
-    ReclaimTimeline { label: label.to_string(), per_hour, per_minute }
+    ReclaimTimeline {
+        label: label.to_string(),
+        per_hour,
+        per_minute,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -360,7 +384,14 @@ pub fn trace_replay(
 ) -> TraceReport {
     let mut w = SimWorld::new(cfg, params, policy, 1);
     for r in &trace.requests {
-        w.submit(r.at, ClientId(0), Op::Get { key: trace.key(r.object), size: r.size });
+        w.submit(
+            r.at,
+            ClientId(0),
+            Op::Get {
+                key: trace.key(r.object),
+                size: r.size,
+            },
+        );
     }
     let horizon = trace.horizon + SimDuration::from_mins(5);
     w.run_until(horizon);
@@ -475,7 +506,9 @@ pub fn large_only(trace: &Trace) -> Trace {
 
 /// Sums a proxy-id range's stats across a world (helper for reports).
 pub fn proxy_backup_rounds(world: &SimWorld) -> u64 {
-    (0..world.cfg.proxies).map(|p| world.proxy_stats(ProxyId(p)).backup_rounds).sum()
+    (0..world.cfg.proxies)
+        .map(|p| world.proxy_stats(ProxyId(p)).backup_rounds)
+        .sum()
 }
 
 #[cfg(test)]
@@ -567,10 +600,18 @@ mod tests {
             SimParams::paper(),
         );
         assert!(report.total_cost > 0.0);
-        assert!(report.hit_ratio > 0.2 && report.hit_ratio < 1.0, "hit {}", report.hit_ratio);
+        assert!(
+            report.hit_ratio > 0.2 && report.hit_ratio < 1.0,
+            "hit {}",
+            report.hit_ratio
+        );
         assert!(report.availability > 0.5);
-        let gets =
-            report.metrics.requests.iter().filter(|r| r.kind == OpKind::Get).count();
+        let gets = report
+            .metrics
+            .requests
+            .iter()
+            .filter(|r| r.kind == OpKind::Get)
+            .count();
         assert!(
             gets as f64 > trace.requests.len() as f64 * 0.95,
             "{gets} of {} GETs completed",
@@ -583,8 +624,7 @@ mod tests {
     #[test]
     fn elasticache_replay_hits_more_with_more_memory() {
         let trace = generate(&WorkloadSpec::mini(), 4);
-        let (small_ratio, _) =
-            replay_elasticache(&trace, ElastiCacheDeployment::ten_node_xl(), 1);
+        let (small_ratio, _) = replay_elasticache(&trace, ElastiCacheDeployment::ten_node_xl(), 1);
         let (big_ratio, recs) =
             replay_elasticache(&trace, ElastiCacheDeployment::one_node_24xl(), 1);
         assert!(big_ratio >= small_ratio);
@@ -602,6 +642,10 @@ mod tests {
             .map(|r| r.latency_ms)
             .collect();
         let s = Summary::from_values(&large_lat);
-        assert!(s.p50 > 500.0, "large objects from S3 are slow: {} ms", s.p50);
+        assert!(
+            s.p50 > 500.0,
+            "large objects from S3 are slow: {} ms",
+            s.p50
+        );
     }
 }

@@ -23,6 +23,13 @@
 //!   Reed–Solomon codec — a functional in-process cache with simulated
 //!   function reclaims.
 //!
+//! A third substrate lives downstream in the `ic-net` crate: the same
+//! state machines across real TCP sockets and OS processes, registered
+//! against the identical [`dispatch`] engines (it cannot live here —
+//! `ic-net` depends on this crate for the dispatch layer). The
+//! substrate-parity tests in the workspace root replay one script
+//! through all three and demand identical outcomes.
+//!
 //! (A live-mode quickstart example lives in `examples/quickstart.rs`.)
 
 pub mod chaos;
@@ -31,6 +38,7 @@ pub mod event;
 pub mod experiments;
 pub mod live;
 pub mod metrics;
+pub mod nodehost;
 pub mod params;
 pub mod world;
 

@@ -34,17 +34,15 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use ic_client::{ClientLib, GetReport};
 use ic_common::msg::{InvokePayload, Msg};
-use ic_common::pricing::CostCategory;
 use ic_common::{
-    ClientId, DeploymentConfig, Error, InstanceId, LambdaId, ObjectKey, Payload, ProxyId,
-    RelayId, Result, SimTime,
+    ClientId, DeploymentConfig, Error, InstanceId, LambdaId, ObjectKey, Payload, ProxyId, RelayId,
+    Result, SimTime,
 };
-use ic_lambda::runtime::{Runtime, RuntimeConfig};
+use ic_lambda::runtime::RuntimeConfig;
 use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
 
-use crate::dispatch::{
-    self, ClientOutcome, ClientTransport, LambdaCtx, LambdaTransport, ProxyTransport,
-};
+use crate::dispatch::{self, ClientOutcome, ClientTransport, LambdaCtx, ProxyTransport};
+use crate::nodehost::{NodeHost, NodeIo};
 
 /// Messages between live threads.
 enum Wire {
@@ -70,15 +68,27 @@ enum NodeCmd {
     Quit,
 }
 
-struct NodeThread {
+/// The live substrate's [`NodeIo`]: node → proxy messages ride the
+/// in-process channel.
+struct LiveNodeIo {
     lambda: LambdaId,
-    rx: Receiver<NodeCmd>,
     proxy_tx: Sender<Wire>,
-    rt_cfg: RuntimeConfig,
+}
+
+impl NodeIo for LiveNodeIo {
+    fn send_to_proxy(&mut self, instance: InstanceId, msg: Msg) {
+        let _ = self
+            .proxy_tx
+            .send(Wire::FromLambda(self.lambda, instance, msg));
+    }
+}
+
+/// One node's thread: the shared [`NodeHost`] core driven by channel
+/// commands and real timers.
+struct NodeThread {
+    rx: Receiver<NodeCmd>,
     epoch: Instant,
-    instances: HashMap<InstanceId, Runtime>,
-    next_instance: u64,
-    timers: HashMap<InstanceId, (u64, SimTime)>,
+    host: NodeHost<LiveNodeIo>,
 }
 
 impl NodeThread {
@@ -89,13 +99,11 @@ impl NodeThread {
     fn run(mut self) {
         loop {
             // Wait until the earliest timer across instances (or a message).
-            let next = self.timers.values().map(|&(_, at)| at).min();
-            let cmd = match next {
+            let cmd = match self.host.next_timer_at() {
                 Some(at) => {
                     let now = self.now();
-                    let wait = Duration::from_micros(
-                        at.as_micros().saturating_sub(now.as_micros()),
-                    );
+                    let wait =
+                        Duration::from_micros(at.as_micros().saturating_sub(now.as_micros()));
                     match self.rx.recv_timeout(wait) {
                         Ok(c) => Some(c),
                         Err(RecvTimeoutError::Timeout) => None,
@@ -109,194 +117,22 @@ impl NodeThread {
             };
             let now = self.now();
             match cmd {
-                None => {
-                    // Fire every due timer.
-                    let due: Vec<(InstanceId, u64)> = self
-                        .timers
-                        .iter()
-                        .filter(|(_, &(_, at))| at <= now)
-                        .map(|(&i, &(tok, _))| (i, tok))
-                        .collect();
-                    for (instance, token) in due {
-                        self.timers.remove(&instance);
-                        if let Some(rt) = self.instances.get_mut(&instance) {
-                            let acts = rt.on_timer(now, token);
-                            self.execute(now, instance, acts);
-                        }
-                    }
-                }
-                Some(NodeCmd::Invoke(payload)) => {
-                    let instance = self.route_invoke(now);
-                    let acts = self
-                        .instances
-                        .get_mut(&instance)
-                        .expect("just routed")
-                        .on_invoke(now, &payload);
-                    self.execute(now, instance, acts);
-                }
+                None => self.host.fire_due_timers(now),
+                Some(NodeCmd::Invoke(payload)) => self.host.invoke(now, &payload),
                 Some(NodeCmd::ToInstance(instance, msg)) => {
-                    let alive = self
-                        .instances
-                        .get(&instance)
-                        .is_some_and(|rt| rt.state() != ic_lambda::RunState::Sleeping);
-                    if alive {
-                        let acts = self
-                            .instances
-                            .get_mut(&instance)
-                            .expect("alive")
-                            .on_message(now, msg);
-                        self.execute(now, instance, acts);
-                    } else {
+                    if let Err(msg) = self.host.deliver(now, instance, msg) {
+                        let lambda = self.host.lambda;
                         let _ = self
+                            .host
+                            .io
                             .proxy_tx
-                            .send(Wire::LambdaUnreachable(self.lambda, msg));
+                            .send(Wire::LambdaUnreachable(lambda, msg));
                     }
                 }
-                Some(NodeCmd::Reclaim) => {
-                    self.instances.clear();
-                    self.timers.clear();
-                }
+                Some(NodeCmd::Reclaim) => self.host.reclaim(),
                 Some(NodeCmd::Quit) => return,
             }
         }
-    }
-
-    /// Platform-style invoke routing: most recently armed idle instance,
-    /// else a fresh cold one.
-    fn route_invoke(&mut self, now: SimTime) -> InstanceId {
-        let idle = self
-            .instances
-            .iter()
-            .filter(|(_, rt)| rt.state() == ic_lambda::RunState::Sleeping)
-            .map(|(&i, _)| i)
-            .max();
-        match idle {
-            Some(i) => i,
-            None => {
-                self.next_instance += 1;
-                let id = InstanceId(self.next_instance | ((self.lambda.0 as u64) << 32));
-                self.instances
-                    .insert(id, Runtime::new(self.lambda, id, self.rt_cfg, now));
-                id
-            }
-        }
-    }
-
-    /// Runs runtime actions through the shared dispatch engine.
-    fn execute(&mut self, now: SimTime, instance: InstanceId, actions: Vec<ic_lambda::runtime::Action>) {
-        let lambda = self.lambda;
-        dispatch::run_lambda_actions(self, now, lambda, instance, actions);
-    }
-
-    /// Delivers a node → proxy message; chunk data and put acks count as
-    /// served work (no network model: the transfer is instantaneous).
-    fn forward_to_proxy(&mut self, instance: InstanceId, msg: Msg) {
-        let served = matches!(msg, Msg::ChunkData { .. } | Msg::PutAck { .. });
-        let _ = self.proxy_tx.send(Wire::FromLambda(self.lambda, instance, msg));
-        if served {
-            let t = self.now();
-            if let Some(rt) = self.instances.get_mut(&instance) {
-                let acts = rt.on_served(t);
-                self.execute(t, instance, acts);
-            }
-        }
-    }
-
-    /// Peer replicas share this thread: short-circuit the relay.
-    fn forward_to_peer(&mut self, instance: InstanceId, msg: Msg) {
-        if let Some(peer) = self.peer_of(instance) {
-            let t = self.now();
-            let acts = self
-                .instances
-                .get_mut(&peer)
-                .expect("peer exists")
-                .on_message(t, msg);
-            self.execute(t, peer, acts);
-        }
-    }
-
-    fn peer_of(&self, instance: InstanceId) -> Option<InstanceId> {
-        self.instances.keys().copied().find(|&i| i != instance)
-    }
-}
-
-impl LambdaTransport for NodeThread {
-    fn lambda_send(&mut self, _now: SimTime, _lambda: LambdaId, instance: InstanceId, msg: Msg) {
-        self.forward_to_proxy(instance, msg);
-    }
-
-    fn lambda_stream(&mut self, _now: SimTime, _lambda: LambdaId, instance: InstanceId, msg: Msg) {
-        self.forward_to_proxy(instance, msg);
-    }
-
-    fn relay_send(
-        &mut self,
-        _now: SimTime,
-        _lambda: LambdaId,
-        instance: InstanceId,
-        _relay: RelayId,
-        msg: Msg,
-    ) {
-        self.forward_to_peer(instance, msg);
-    }
-
-    fn relay_stream(
-        &mut self,
-        _now: SimTime,
-        _lambda: LambdaId,
-        instance: InstanceId,
-        _relay: RelayId,
-        msg: Msg,
-    ) {
-        self.forward_to_peer(instance, msg);
-    }
-
-    fn set_timer(
-        &mut self,
-        _now: SimTime,
-        _lambda: LambdaId,
-        instance: InstanceId,
-        token: u64,
-        at: SimTime,
-    ) {
-        self.timers.insert(instance, (token, at));
-    }
-
-    fn invoke_peer(
-        &mut self,
-        _now: SimTime,
-        lambda: LambdaId,
-        _instance: InstanceId,
-        relay: RelayId,
-    ) {
-        // Concurrent invocation of our own function: route to an idle
-        // instance or cold-start the peer replica.
-        let t = self.now();
-        let peer = self.route_invoke(t);
-        let payload = InvokePayload {
-            proxy: ProxyId(0),
-            piggyback_ping: false,
-            backup: Some(ic_common::msg::BackupInvoke { relay, source: lambda }),
-        };
-        let acts = self
-            .instances
-            .get_mut(&peer)
-            .expect("routed")
-            .on_invoke(t, &payload);
-        self.execute(t, peer, acts);
-    }
-
-    fn end_execution(
-        &mut self,
-        _now: SimTime,
-        _lambda: LambdaId,
-        instance: InstanceId,
-        _bye: bool,
-        _category: CostCategory,
-    ) {
-        // Live mode has no billing meter; ending the execution just
-        // disarms the duration-control timer.
-        self.timers.remove(&instance);
     }
 }
 
@@ -330,13 +166,7 @@ impl ProxyThread {
 }
 
 impl ProxyTransport for ProxyThread {
-    fn invoke(
-        &mut self,
-        _now: SimTime,
-        _proxy: ProxyId,
-        lambda: LambdaId,
-        payload: InvokePayload,
-    ) {
+    fn invoke(&mut self, _now: SimTime, _proxy: ProxyId, lambda: LambdaId, payload: InvokePayload) {
         let _ = self.node_tx[&lambda].send(NodeCmd::Invoke(payload));
     }
 
@@ -426,13 +256,7 @@ impl LiveCluster {
         let (proxy_tx, proxy_rx) = channel::<Wire>();
         let (client_tx, client_rx) = channel::<Msg>();
 
-        let rt_cfg = RuntimeConfig {
-            billing_buffer: cfg.billing_buffer,
-            ping_grace: ic_common::SimDuration::from_millis(20),
-            backup_interval: cfg.backup_interval,
-            backup_enabled: cfg.backup_enabled,
-            max_execution: ic_common::SimDuration::from_secs(900),
-        };
+        let rt_cfg = RuntimeConfig::for_deployment(&cfg);
 
         let mut node_tx = HashMap::new();
         let mut handles = Vec::new();
@@ -440,15 +264,14 @@ impl LiveCluster {
             let lambda = LambdaId(l);
             let (tx, rx) = channel::<NodeCmd>();
             node_tx.insert(lambda, tx);
-            let nt = NodeThread {
+            let io = LiveNodeIo {
                 lambda,
-                rx,
                 proxy_tx: proxy_tx.clone(),
-                rt_cfg,
+            };
+            let nt = NodeThread {
+                rx,
                 epoch,
-                instances: HashMap::new(),
-                next_instance: 0,
-                timers: HashMap::new(),
+                host: NodeHost::new(lambda, rt_cfg, io),
             };
             handles.push(
                 std::thread::Builder::new()
@@ -459,7 +282,10 @@ impl LiveCluster {
         }
 
         let proxy = Proxy::new(
-            ProxyConfig { id: ProxyId(0), capacity_bytes: cfg.pool_capacity() },
+            ProxyConfig {
+                id: ProxyId(0),
+                capacity_bytes: cfg.pool_capacity(),
+            },
             (0..cfg.lambdas_per_proxy).map(LambdaId),
         );
         let pool: Vec<LambdaId> = proxy.pool().to_vec();
@@ -546,16 +372,16 @@ impl LiveCluster {
                 match outcome {
                     ClientOutcome::Delivered { key: k, object, .. } if k == key => {
                         let Payload::Bytes(b) = object else {
-                            return Err(Error::Protocol(
-                                "live mode delivers real bytes".into(),
-                            ));
+                            return Err(Error::Protocol("live mode delivers real bytes".into()));
                         };
                         return Ok(Some(b));
                     }
                     ClientOutcome::Miss { key: k } if k == key => return Ok(None),
-                    ClientOutcome::Unrecoverable { key: k, available, needed } if k == key => {
-                        return Err(Error::ChunkUnavailable { needed, available })
-                    }
+                    ClientOutcome::Unrecoverable {
+                        key: k,
+                        available,
+                        needed,
+                    } if k == key => return Err(Error::ChunkUnavailable { needed, available }),
                     // Outcomes for other in-flight keys cannot occur on
                     // this synchronous client; drop them.
                     _ => {}
@@ -638,7 +464,11 @@ impl ClientTransport for LiveCluster {
         object: Payload,
         report: GetReport,
     ) {
-        self.outcomes.push(ClientOutcome::Delivered { key, object, report });
+        self.outcomes.push(ClientOutcome::Delivered {
+            key,
+            object,
+            report,
+        });
     }
 
     fn unrecoverable(
@@ -649,7 +479,11 @@ impl ClientTransport for LiveCluster {
         available: usize,
         needed: usize,
     ) {
-        self.outcomes.push(ClientOutcome::Unrecoverable { key, available, needed });
+        self.outcomes.push(ClientOutcome::Unrecoverable {
+            key,
+            available,
+            needed,
+        });
     }
 
     fn miss(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
@@ -688,7 +522,11 @@ mod tests {
     }
 
     fn pattern(len: usize) -> Bytes {
-        Bytes::from((0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect::<Vec<u8>>())
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i * 31 + 7) % 256) as u8)
+                .collect::<Vec<u8>>(),
+        )
     }
 
     #[test]
@@ -750,8 +588,9 @@ mod tests {
     #[test]
     fn live_many_objects() {
         let mut c = cluster(10, 5, 1);
-        let objects: Vec<(String, Bytes)> =
-            (0..20).map(|i| (format!("obj-{i}"), pattern(10_000 + i * 137))).collect();
+        let objects: Vec<(String, Bytes)> = (0..20)
+            .map(|i| (format!("obj-{i}"), pattern(10_000 + i * 137)))
+            .collect();
         for (k, v) in &objects {
             c.put(k, v.clone()).unwrap();
         }

@@ -102,12 +102,18 @@ impl Metrics {
 
     /// Count of loss-induced RESETs.
     pub fn resets(&self) -> u64 {
-        self.ft_events.iter().filter(|(_, k)| *k == FtKind::Reset).count() as u64
+        self.ft_events
+            .iter()
+            .filter(|(_, k)| *k == FtKind::Reset)
+            .count() as u64
     }
 
     /// Count of EC recoveries.
     pub fn recoveries(&self) -> u64 {
-        self.ft_events.iter().filter(|(_, k)| *k == FtKind::Recovery).count() as u64
+        self.ft_events
+            .iter()
+            .filter(|(_, k)| *k == FtKind::Recovery)
+            .count() as u64
     }
 
     /// The paper's §5.2 availability metric: of the GETs that found cache
@@ -178,7 +184,14 @@ mod tests {
     #[test]
     fn hit_ratio_counts_only_gets() {
         let mut m = Metrics::default();
-        m.requests.push(rec(OpKind::Get, Outcome::Hit { used_parity: false, lost_chunks: 0 }, 5));
+        m.requests.push(rec(
+            OpKind::Get,
+            Outcome::Hit {
+                used_parity: false,
+                lost_chunks: 0,
+            },
+            5,
+        ));
         m.requests.push(rec(OpKind::Get, Outcome::ColdMiss, 50));
         m.requests.push(rec(OpKind::Put, Outcome::Stored, 9));
         assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
@@ -188,8 +201,14 @@ mod tests {
     fn availability_matches_paper_definition() {
         let mut m = Metrics::default();
         for _ in 0..95 {
-            m.requests
-                .push(rec(OpKind::Get, Outcome::Hit { used_parity: false, lost_chunks: 0 }, 5));
+            m.requests.push(rec(
+                OpKind::Get,
+                Outcome::Hit {
+                    used_parity: false,
+                    lost_chunks: 0,
+                },
+                5,
+            ));
         }
         for i in 0..5 {
             m.requests.push(rec(OpKind::Get, Outcome::Reset, 100));
@@ -202,7 +221,8 @@ mod tests {
     fn hourly_buckets_split_by_time() {
         let mut m = Metrics::default();
         m.ft_events.push((SimTime::from_secs(10), FtKind::Recovery));
-        m.ft_events.push((SimTime::from_secs(3_700), FtKind::Recovery));
+        m.ft_events
+            .push((SimTime::from_secs(3_700), FtKind::Recovery));
         m.ft_events.push((SimTime::from_secs(3_800), FtKind::Reset));
         let rec = m.ft_hourly(FtKind::Recovery, 2);
         assert_eq!(rec, vec![1, 1]);
@@ -213,10 +233,24 @@ mod tests {
     #[test]
     fn latency_filter_by_size() {
         let mut m = Metrics::default();
-        let mut big = rec(OpKind::Get, Outcome::Hit { used_parity: false, lost_chunks: 0 }, 10);
+        let mut big = rec(
+            OpKind::Get,
+            Outcome::Hit {
+                used_parity: false,
+                lost_chunks: 0,
+            },
+            10,
+        );
         big.size = 20_000_000;
         m.requests.push(big);
-        m.requests.push(rec(OpKind::Get, Outcome::Hit { used_parity: false, lost_chunks: 0 }, 1));
+        m.requests.push(rec(
+            OpKind::Get,
+            Outcome::Hit {
+                used_parity: false,
+                lost_chunks: 0,
+            },
+            1,
+        ));
         assert_eq!(m.get_latencies_ms(0).len(), 2);
         assert_eq!(m.get_latencies_ms(10_000_000).len(), 1);
     }

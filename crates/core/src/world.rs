@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use ic_analytics::dist::{exponential_sample, lognormal_sample};
 use ic_baselines::S3Model;
 use ic_client::{ClientLib, GetReport};
 use ic_common::msg::{BackupInvoke, InvokePayload, Msg};
@@ -18,7 +19,6 @@ use ic_common::{
     ClientId, DeploymentConfig, InstanceId, LambdaId, ObjectKey, Payload, ProxyId, RelayId,
     SimDuration, SimTime,
 };
-use ic_analytics::dist::{exponential_sample, lognormal_sample};
 use ic_lambda::runtime::{Runtime, RuntimeConfig};
 use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
 use ic_simfaas::hosts::HostId;
@@ -29,9 +29,7 @@ use ic_simfaas::EventQueue;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dispatch::{
-    self, ClientTransport, LambdaCtx, LambdaTransport, ProxyTransport,
-};
+use crate::dispatch::{self, ClientTransport, LambdaCtx, LambdaTransport, ProxyTransport};
 use crate::event::{Ev, FlowPayload, Op};
 use crate::metrics::{FtKind, Metrics, OpKind, Outcome, RequestRecord};
 use crate::params::SimParams;
@@ -103,10 +101,12 @@ impl SimWorld {
     ) -> Self {
         cfg.validate().expect("deployment config must be valid");
         let mut net = Network::new();
-        let client_links: Vec<LinkId> =
-            (0..n_clients).map(|_| net.add_link(params.client_nic_bps)).collect();
-        let proxy_links: Vec<LinkId> =
-            (0..cfg.proxies).map(|_| net.add_link(params.proxy_nic_bps)).collect();
+        let client_links: Vec<LinkId> = (0..n_clients)
+            .map(|_| net.add_link(params.client_nic_bps))
+            .collect();
+        let proxy_links: Vec<LinkId> = (0..cfg.proxies)
+            .map(|_| net.add_link(params.proxy_nic_bps))
+            .collect();
 
         let platform = Platform::new(platform_cfg, policy, params.seed);
 
@@ -274,7 +274,12 @@ impl SimWorld {
                 let actions = self.clients[client.index()].on_proxy(msg);
                 dispatch::run_client_actions(self, now, client, actions);
             }
-            Ev::ProxyRx { proxy, from_instance, from_client, msg } => {
+            Ev::ProxyRx {
+                proxy,
+                from_instance,
+                from_client,
+                msg,
+            } => {
                 let actions = if let Some(c) = from_client {
                     self.proxies[proxy.index()].on_client(c, msg)
                 } else if let Some((lambda, _)) = from_instance {
@@ -284,7 +289,11 @@ impl SimWorld {
                 };
                 dispatch::run_proxy_actions(self, now, proxy, actions, from_instance);
             }
-            Ev::InstanceRx { lambda, instance, msg } => {
+            Ev::InstanceRx {
+                lambda,
+                instance,
+                msg,
+            } => {
                 let alive = self
                     .runtimes
                     .get(&instance)
@@ -299,12 +308,15 @@ impl SimWorld {
                 } else if !is_relay_msg(&msg) {
                     // Connection reset: tell the owning proxy.
                     let owner = self.owner_of(lambda);
-                    let actions =
-                        self.proxies[owner.index()].on_delivery_failed(lambda, msg);
+                    let actions = self.proxies[owner.index()].on_delivery_failed(lambda, msg);
                     dispatch::run_proxy_actions(self, now, owner, actions, None);
                 }
             }
-            Ev::InvokeReady { lambda, instance, payload } => {
+            Ev::InvokeReady {
+                lambda,
+                instance,
+                payload,
+            } => {
                 if let Some(rt) = self.runtimes.get_mut(&instance) {
                     let actions = rt.on_invoke(now, &payload);
                     dispatch::run_lambda_actions(self, now, lambda, instance, actions);
@@ -340,12 +352,14 @@ impl SimWorld {
                     let actions = self.proxies[p].on_warmup_tick();
                     dispatch::run_proxy_actions(self, now, ProxyId(p as u16), actions, None);
                 }
-                self.queue.push(now + self.cfg.warmup_interval, Ev::WarmupTick);
+                self.queue
+                    .push(now + self.cfg.warmup_interval, Ev::WarmupTick);
             }
-            Ev::ResetDone { client, key, size, .. } => {
+            Ev::ResetDone {
+                client, key, size, ..
+            } => {
                 if self.write_through {
-                    let actions =
-                        self.clients[client.index()].put(key, Payload::synthetic(size));
+                    let actions = self.clients[client.index()].put(key, Payload::synthetic(size));
                     dispatch::run_client_actions(self, now, client, actions);
                 }
             }
@@ -408,7 +422,11 @@ impl SimWorld {
                     size: p.size,
                     issued,
                     completed: at,
-                    outcome: if loss { Outcome::Reset } else { Outcome::ColdMiss },
+                    outcome: if loss {
+                        Outcome::Reset
+                    } else {
+                        Outcome::ColdMiss
+                    },
                     hosts_touched: 0,
                 });
             }
@@ -423,7 +441,11 @@ impl SimWorld {
                 size: p.size,
                 issued: *issued,
                 completed,
-                outcome: if loss { Outcome::Reset } else { Outcome::ColdMiss },
+                outcome: if loss {
+                    Outcome::Reset
+                } else {
+                    Outcome::ColdMiss
+                },
                 hosts_touched: 0,
             });
         }
@@ -445,13 +467,16 @@ impl SimWorld {
 
     fn handle_flow(&mut self, now: SimTime, payload: FlowPayload) {
         match payload {
-            FlowPayload::GetChunk { client, instance, lambda, msg } => {
+            FlowPayload::GetChunk {
+                client,
+                instance,
+                lambda,
+                msg,
+            } => {
                 if let Msg::ChunkToClient { id, .. } = &msg {
                     // Host attribution for Fig 4.
                     if let Some(inst) = self.platform.fleet.instance(instance) {
-                        if let Some(p) =
-                            self.pending_gets.get_mut(&(client, id.key.clone()))
-                        {
+                        if let Some(p) = self.pending_gets.get_mut(&(client, id.key.clone())) {
                             p.hosts.insert(inst.host);
                         }
                     }
@@ -462,7 +487,11 @@ impl SimWorld {
                     dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 }
             }
-            FlowPayload::PutChunk { instance, lambda, ack } => {
+            FlowPayload::PutChunk {
+                instance,
+                lambda,
+                ack,
+            } => {
                 let owner = self.owner_of(lambda);
                 self.queue.push(
                     now + self.params.ctrl_latency,
@@ -478,9 +507,19 @@ impl SimWorld {
                     dispatch::run_lambda_actions(self, now, lambda, instance, actions);
                 }
             }
-            FlowPayload::RelayChunk { to_instance, to_lambda, msg } => {
-                self.queue
-                    .push(now, Ev::InstanceRx { lambda: to_lambda, instance: to_instance, msg });
+            FlowPayload::RelayChunk {
+                to_instance,
+                to_lambda,
+                msg,
+            } => {
+                self.queue.push(
+                    now,
+                    Ev::InstanceRx {
+                        lambda: to_lambda,
+                        instance: to_instance,
+                        msg,
+                    },
+                );
             }
         }
     }
@@ -490,7 +529,11 @@ impl SimWorld {
         self.ensure_runtime(at, lambda, inv.instance);
         self.queue.push(
             inv.ready_at,
-            Ev::InvokeReady { lambda, instance: inv.instance, payload },
+            Ev::InvokeReady {
+                lambda,
+                instance: inv.instance,
+                payload,
+            },
         );
     }
 
@@ -551,7 +594,10 @@ impl SimWorld {
             self.params.chunk_jitter_sigma,
         );
         let straggle = if self.rng.gen::<f64>() < self.params.straggler_prob {
-            exponential_sample(&mut self.rng, 1.0 / self.params.straggler_mean.as_secs_f64())
+            exponential_sample(
+                &mut self.rng,
+                1.0 / self.params.straggler_mean.as_secs_f64(),
+            )
         } else {
             0.0
         };
@@ -675,7 +721,11 @@ impl ProxyTransport for SimWorld {
             Some(instance) => {
                 self.queue.push(
                     now + self.params.ctrl_latency,
-                    Ev::InstanceRx { lambda, instance, msg },
+                    Ev::InstanceRx {
+                        lambda,
+                        instance,
+                        msg,
+                    },
                 );
                 Ok(())
             }
@@ -732,7 +782,12 @@ impl ProxyTransport for SimWorld {
             bytes.max(1.0),
             path,
             Some(cap),
-            FlowPayload::GetChunk { client, instance, lambda, msg },
+            FlowPayload::GetChunk {
+                client,
+                instance,
+                lambda,
+                msg,
+            },
         );
         self.sync_network(now);
     }
@@ -755,7 +810,10 @@ impl ProxyTransport for SimWorld {
             .unwrap_or(InstanceId::NONE);
         self.relays.insert(
             (proxy, relay),
-            RelayState { source: source_instance, dest: None },
+            RelayState {
+                source: source_instance,
+                dest: None,
+            },
         );
     }
 }
@@ -813,7 +871,11 @@ impl LambdaTransport for SimWorld {
                     bytes.max(1) as f64,
                     path,
                     Some(cap),
-                    FlowPayload::PutChunk { instance, lambda, ack: msg },
+                    FlowPayload::PutChunk {
+                        instance,
+                        lambda,
+                        ack: msg,
+                    },
                 );
                 self.sync_network(now);
             }
@@ -835,7 +897,11 @@ impl LambdaTransport for SimWorld {
         if let Some(to) = self.relay_counterpart(owner, relay, instance) {
             self.queue.push(
                 now + self.params.ctrl_latency * 2,
-                Ev::InstanceRx { lambda, instance: to, msg },
+                Ev::InstanceRx {
+                    lambda,
+                    instance: to,
+                    msg,
+                },
             );
         }
     }
@@ -866,7 +932,11 @@ impl LambdaTransport for SimWorld {
                 bytes,
                 path,
                 Some(cap),
-                FlowPayload::RelayChunk { to_instance: to, to_lambda: lambda, msg },
+                FlowPayload::RelayChunk {
+                    to_instance: to,
+                    to_lambda: lambda,
+                    msg,
+                },
             );
             self.sync_network(now);
         }
@@ -904,7 +974,10 @@ impl LambdaTransport for SimWorld {
                 payload: InvokePayload {
                     proxy: owner,
                     piggyback_ping: false,
-                    backup: Some(BackupInvoke { relay, source: lambda }),
+                    backup: Some(BackupInvoke {
+                        relay,
+                        source: lambda,
+                    }),
                 },
             },
         );

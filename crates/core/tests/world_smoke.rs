@@ -23,14 +23,29 @@ fn key(s: &str) -> ObjectKey {
 fn put_then_get_completes_with_sane_latency() {
     let mut w = small_world(16, EcConfig::new(10, 2).unwrap());
     let size = 100 * 1024 * 1024u64; // 100 MiB
-    w.submit(SimTime::from_secs(1), ClientId(0), Op::Put {
-        key: key("obj"),
-        payload: Payload::synthetic(size),
-    });
-    w.submit(SimTime::from_secs(10), ClientId(0), Op::Get { key: key("obj"), size });
+    w.submit(
+        SimTime::from_secs(1),
+        ClientId(0),
+        Op::Put {
+            key: key("obj"),
+            payload: Payload::synthetic(size),
+        },
+    );
+    w.submit(
+        SimTime::from_secs(10),
+        ClientId(0),
+        Op::Get {
+            key: key("obj"),
+            size,
+        },
+    );
     w.run_until(SimTime::from_secs(30));
 
-    assert_eq!(w.metrics.requests.len(), 2, "one PUT and one GET must complete");
+    assert_eq!(
+        w.metrics.requests.len(),
+        2,
+        "one PUT and one GET must complete"
+    );
     let put = &w.metrics.requests[0];
     assert_eq!(put.kind, OpKind::Put);
     assert_eq!(put.outcome, Outcome::Stored);
@@ -51,16 +66,33 @@ fn put_then_get_completes_with_sane_latency() {
 fn cold_get_is_a_miss_and_write_through_inserts() {
     let mut w = small_world(16, EcConfig::new(4, 2).unwrap());
     let size = 10 * 1024 * 1024u64;
-    w.submit(SimTime::from_secs(1), ClientId(0), Op::Get { key: key("cold"), size });
+    w.submit(
+        SimTime::from_secs(1),
+        ClientId(0),
+        Op::Get {
+            key: key("cold"),
+            size,
+        },
+    );
     w.run_until(SimTime::from_secs(120));
 
     // First GET: cold miss (served via S3).
     let first = &w.metrics.requests[0];
     assert_eq!(first.outcome, Outcome::ColdMiss);
-    assert!(first.latency() > SimDuration::from_millis(100), "S3 path is slow");
+    assert!(
+        first.latency() > SimDuration::from_millis(100),
+        "S3 path is slow"
+    );
 
     // The write-through insert makes the next GET a hit.
-    w.submit(SimTime::from_secs(200), ClientId(0), Op::Get { key: key("cold"), size });
+    w.submit(
+        SimTime::from_secs(200),
+        ClientId(0),
+        Op::Get {
+            key: key("cold"),
+            size,
+        },
+    );
     w.run_until(SimTime::from_secs(300));
     let second = w.metrics.requests.last().unwrap();
     assert!(matches!(second.outcome, Outcome::Hit { .. }), "{second:?}");
@@ -73,13 +105,20 @@ fn warmups_bill_warmup_category_and_keep_instances_alive() {
     w.run_until(SimTime::from_secs(600));
     let warm = w.platform.billing.category(CostCategory::Warmup);
     // 12 nodes × ~9-10 ticks.
-    assert!(warm.invocations >= 12 * 8, "warm-up invocations {}", warm.invocations);
+    assert!(
+        warm.invocations >= 12 * 8,
+        "warm-up invocations {}",
+        warm.invocations
+    );
     let serve = w.platform.billing.category(CostCategory::Serving);
     assert_eq!(serve.invocations, 0);
     // Warm-ups bill ~1 cycle each.
     let per = warm.gb_seconds / warm.invocations as f64;
     let mem_gb = 1536.0 * 1024.0 * 1024.0 / 1e9;
-    assert!((per - 0.1 * mem_gb).abs() < 0.05 * mem_gb, "per-warmup GB-s {per}");
+    assert!(
+        (per - 0.1 * mem_gb).abs() < 0.05 * mem_gb,
+        "per-warmup GB-s {per}"
+    );
 }
 
 #[test]
@@ -89,10 +128,14 @@ fn reclaims_within_parity_are_recovered_and_repaired() {
     let cfg = DeploymentConfig::small(14, EcConfig::new(4, 2).unwrap());
     let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(NoReclaim), 1);
     let size = 8 * 1024 * 1024u64;
-    w.submit(SimTime::from_secs(1), ClientId(0), Op::Put {
-        key: key("frag"),
-        payload: Payload::synthetic(size),
-    });
+    w.submit(
+        SimTime::from_secs(1),
+        ClientId(0),
+        Op::Put {
+            key: key("frag"),
+            payload: Payload::synthetic(size),
+        },
+    );
     w.run_until(SimTime::from_secs(5));
 
     // Find two owners and reclaim their instances via the platform's
@@ -115,7 +158,14 @@ fn reclaims_within_parity_are_recovered_and_repaired() {
     // fault_injection test file via reclaim policies.)
 
     // A GET after losses within parity tolerance must still hit.
-    w.submit(SimTime::from_secs(10), ClientId(0), Op::Get { key: key("frag"), size });
+    w.submit(
+        SimTime::from_secs(10),
+        ClientId(0),
+        Op::Get {
+            key: key("frag"),
+            size,
+        },
+    );
     w.run_until(SimTime::from_secs(30));
     let get = w.metrics.requests.last().unwrap();
     assert!(matches!(get.outcome, Outcome::Hit { .. }));
@@ -140,7 +190,10 @@ fn heavy_reclaim_churn_still_serves_with_resets() {
         w.submit(
             SimTime::from_secs(1 + i),
             ClientId(0),
-            Op::Put { key: key(&format!("o{i}")), payload: Payload::synthetic(size) },
+            Op::Put {
+                key: key(&format!("o{i}")),
+                payload: Payload::synthetic(size),
+            },
         );
     }
     // GETs 20 minutes later: most objects have lost chunks.
@@ -148,12 +201,19 @@ fn heavy_reclaim_churn_still_serves_with_resets() {
         w.submit(
             SimTime::from_secs(1_200 + i),
             ClientId(0),
-            Op::Get { key: key(&format!("o{i}")), size },
+            Op::Get {
+                key: key(&format!("o{i}")),
+                size,
+            },
         );
     }
     w.run_until(SimTime::from_secs(2_000));
-    let gets: Vec<_> =
-        w.metrics.requests.iter().filter(|r| r.kind == OpKind::Get).collect();
+    let gets: Vec<_> = w
+        .metrics
+        .requests
+        .iter()
+        .filter(|r| r.kind == OpKind::Get)
+        .collect();
     assert_eq!(gets.len(), 10, "every GET must complete one way or another");
     let resets = w.metrics.resets();
     let recoveries = w.metrics.recoveries();
@@ -173,19 +233,32 @@ fn backup_rounds_run_and_bill_backup_category() {
     };
     let mut w = SimWorld::new(cfg, SimParams::paper(), Box::new(NoReclaim), 1);
     let size = 2 * 1024 * 1024u64;
-    w.submit(SimTime::from_secs(1), ClientId(0), Op::Put {
-        key: key("backmeup"),
-        payload: Payload::synthetic(size),
-    });
+    w.submit(
+        SimTime::from_secs(1),
+        ClientId(0),
+        Op::Put {
+            key: key("backmeup"),
+            payload: Payload::synthetic(size),
+        },
+    );
     // Run 6 minutes: warm-ups every minute, backups due after 2.
     w.run_until(SimTime::from_secs(360));
     let backup = w.platform.billing.category(CostCategory::Backup);
     assert!(backup.invocations > 0, "backup rounds must have run");
-    let rounds: u64 = (0..1u16).map(|p| w.proxy_stats(ic_common::ProxyId(p)).backup_rounds).sum();
+    let rounds: u64 = (0..1u16)
+        .map(|p| w.proxy_stats(ic_common::ProxyId(p)).backup_rounds)
+        .sum();
     assert!(rounds > 0);
 
     // After a backup, a GET still works (data served by whichever replica).
-    w.submit(SimTime::from_secs(400), ClientId(0), Op::Get { key: key("backmeup"), size });
+    w.submit(
+        SimTime::from_secs(400),
+        ClientId(0),
+        Op::Get {
+            key: key("backmeup"),
+            size,
+        },
+    );
     w.run_until(SimTime::from_secs(460));
     let get = w.metrics.requests.last().unwrap();
     assert!(matches!(get.outcome, Outcome::Hit { .. }), "{get:?}");
@@ -204,7 +277,10 @@ fn eviction_keeps_pool_within_capacity() {
         w.submit(
             SimTime::from_secs(1 + i * 3),
             ClientId(0),
-            Op::Put { key: key(&format!("fat{i}")), payload: Payload::synthetic(size) },
+            Op::Put {
+                key: key(&format!("fat{i}")),
+                payload: Payload::synthetic(size),
+            },
         );
     }
     w.run_until(SimTime::from_secs(200));
@@ -212,7 +288,14 @@ fn eviction_keeps_pool_within_capacity() {
     assert!(stats.evictions > 0, "pool overflow must evict");
     // Early objects are gone; a GET for them cold-misses.
     w.write_through = false;
-    w.submit(SimTime::from_secs(300), ClientId(0), Op::Get { key: key("fat0"), size });
+    w.submit(
+        SimTime::from_secs(300),
+        ClientId(0),
+        Op::Get {
+            key: key("fat0"),
+            size,
+        },
+    );
     w.run_until(SimTime::from_secs(320));
     let get = w.metrics.requests.last().unwrap();
     assert_eq!(get.outcome, Outcome::ColdMiss);
@@ -229,18 +312,30 @@ fn deterministic_under_seed() {
             1,
         );
         for i in 0..5 {
-            w.submit(SimTime::from_secs(1 + i), ClientId(0), Op::Put {
-                key: key(&format!("d{i}")),
-                payload: Payload::synthetic(20 * 1024 * 1024),
-            });
-            w.submit(SimTime::from_secs(60 + i), ClientId(0), Op::Get {
-                key: key(&format!("d{i}")),
-                size: 20 * 1024 * 1024,
-            });
+            w.submit(
+                SimTime::from_secs(1 + i),
+                ClientId(0),
+                Op::Put {
+                    key: key(&format!("d{i}")),
+                    payload: Payload::synthetic(20 * 1024 * 1024),
+                },
+            );
+            w.submit(
+                SimTime::from_secs(60 + i),
+                ClientId(0),
+                Op::Get {
+                    key: key(&format!("d{i}")),
+                    size: 20 * 1024 * 1024,
+                },
+            );
         }
         w.run_until(SimTime::from_secs(600));
-        let lats: Vec<u64> =
-            w.metrics.requests.iter().map(|r| r.latency().as_micros()).collect();
+        let lats: Vec<u64> = w
+            .metrics
+            .requests
+            .iter()
+            .map(|r| r.latency().as_micros())
+            .collect();
         (lats, w.platform.billing.total_invocations())
     };
     assert_eq!(run(7), run(7), "same seed, same trajectory");

@@ -61,11 +61,7 @@ pub fn split_object(ec: EcConfig, object: &[u8]) -> Result<Vec<Vec<u8>>> {
 ///
 /// Returns [`Error::Coding`] if fewer than `d` shards are supplied or the
 /// shards cannot cover `object_size` bytes.
-pub fn join_object<T: AsRef<[u8]>>(
-    ec: EcConfig,
-    shards: &[T],
-    object_size: u64,
-) -> Result<Bytes> {
+pub fn join_object<T: AsRef<[u8]>>(ec: EcConfig, shards: &[T], object_size: u64) -> Result<Bytes> {
     if shards.len() < ec.data {
         return Err(Error::Coding(format!(
             "need {} data shards to join, got {}",

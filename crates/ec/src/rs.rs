@@ -50,7 +50,11 @@ impl ReedSolomon {
                 .expect("Vandermonde top square is always invertible");
             vand.mul(&top_inv)
         };
-        ReedSolomon { data: d, parity: p, enc }
+        ReedSolomon {
+            data: d,
+            parity: p,
+            enc,
+        }
     }
 
     /// Number of data shards `d`.
@@ -167,11 +171,7 @@ impl ReedSolomon {
         self.reconstruct_internal(shards, true)
     }
 
-    fn reconstruct_internal(
-        &self,
-        shards: &mut [Option<Vec<u8>>],
-        data_only: bool,
-    ) -> Result<()> {
+    fn reconstruct_internal(&self, shards: &mut [Option<Vec<u8>>], data_only: bool) -> Result<()> {
         let n = self.total_shards();
         if shards.len() != n {
             return Err(Error::Coding(format!(
@@ -205,8 +205,7 @@ impl ReedSolomon {
         let dec = sub.inverse()?; // invertible by the Vandermonde property
 
         // Missing data shard k = Σ_j dec[k][j] * surviving_j.
-        let missing_data: Vec<usize> =
-            (0..self.data).filter(|&i| shards[i].is_none()).collect();
+        let missing_data: Vec<usize> = (0..self.data).filter(|&i| shards[i].is_none()).collect();
         for &k in &missing_data {
             let mut out = vec![0u8; len];
             for (j, &src) in chosen.iter().enumerate() {
@@ -222,8 +221,7 @@ impl ReedSolomon {
         }
 
         // Missing parity shards re-encode from (now complete) data shards.
-        let missing_parity: Vec<usize> =
-            (self.data..n).filter(|&i| shards[i].is_none()).collect();
+        let missing_parity: Vec<usize> = (self.data..n).filter(|&i| shards[i].is_none()).collect();
         for &k in &missing_parity {
             let row = self.enc.row(k).to_vec();
             let mut out = vec![0u8; len];
@@ -276,15 +274,24 @@ mod tests {
     fn reconstructs_up_to_p_erasures_anywhere() {
         let rs = ReedSolomon::new(10, 2).unwrap();
         let shards = stripe(&rs, 100);
-        for erasures in [vec![0usize], vec![11], vec![0, 11], vec![3, 7], vec![10, 11]] {
-            let mut damaged: Vec<Option<Vec<u8>>> =
-                shards.iter().cloned().map(Some).collect();
+        for erasures in [
+            vec![0usize],
+            vec![11],
+            vec![0, 11],
+            vec![3, 7],
+            vec![10, 11],
+        ] {
+            let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
             for &e in &erasures {
                 damaged[e] = None;
             }
             rs.reconstruct(&mut damaged).unwrap();
             for (i, s) in damaged.iter().enumerate() {
-                assert_eq!(s.as_ref().unwrap(), &shards[i], "shard {i}, erasures {erasures:?}");
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    &shards[i],
+                    "shard {i}, erasures {erasures:?}"
+                );
             }
         }
     }
@@ -298,15 +305,20 @@ mod tests {
         damaged[1] = None;
         damaged[2] = None;
         let err = rs.reconstruct(&mut damaged).unwrap_err();
-        assert_eq!(err, Error::ChunkUnavailable { needed: 4, available: 3 });
+        assert_eq!(
+            err,
+            Error::ChunkUnavailable {
+                needed: 4,
+                available: 3
+            }
+        );
     }
 
     #[test]
     fn reconstruct_data_skips_parity() {
         let rs = ReedSolomon::new(4, 2).unwrap();
         let shards = stripe(&rs, 16);
-        let mut damaged: Vec<Option<Vec<u8>>> =
-            shards.iter().cloned().map(Some).collect();
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
         damaged[1] = None;
         damaged[5] = None;
         rs.reconstruct_data(&mut damaged).unwrap();
@@ -359,8 +371,7 @@ mod tests {
         for (d, p) in [(10, 1), (10, 2), (10, 4), (4, 2), (5, 1), (20, 4)] {
             let rs = ReedSolomon::new(d, p).unwrap();
             let shards = stripe(&rs, 128);
-            let mut damaged: Vec<Option<Vec<u8>>> =
-                shards.iter().cloned().map(Some).collect();
+            let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
             for i in 0..p {
                 damaged[i * 2] = None; // spread erasures
             }

@@ -58,7 +58,10 @@ pub struct SourceState {
 impl SourceState {
     /// Fresh source state (just sent `InitBackup`).
     pub fn new() -> Self {
-        SourceState { relay: None, stage: SourceStage::AwaitCmd }
+        SourceState {
+            relay: None,
+            stage: SourceStage::AwaitCmd,
+        }
     }
 }
 
@@ -130,7 +133,11 @@ pub fn compute_delta(offered: &[BackupKey], store: &ChunkStore) -> DeltaPlan {
         .map(|k| k.id)
         .filter(|id| !offered_ids.contains(id))
         .collect();
-    DeltaPlan { fetch, drop, fetch_bytes }
+    DeltaPlan {
+        fetch,
+        drop,
+        fetch_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +146,11 @@ mod tests {
     use ic_common::{ObjectKey, Payload, SimTime};
 
     fn key(name: &str, version: u64, len: u64) -> BackupKey {
-        BackupKey { id: ChunkId::new(ObjectKey::new(name), 0), version, len }
+        BackupKey {
+            id: ChunkId::new(ObjectKey::new(name), 0),
+            version,
+            len,
+        }
     }
 
     fn cid(name: &str) -> ChunkId {

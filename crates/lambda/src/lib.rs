@@ -18,5 +18,5 @@ pub mod backup;
 pub mod runtime;
 pub mod store;
 
-pub use runtime::{Action, Runtime, RuntimeConfig, RunState};
+pub use runtime::{Action, RunState, Runtime, RuntimeConfig};
 pub use store::ChunkStore;

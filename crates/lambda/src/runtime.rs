@@ -60,6 +60,19 @@ impl RuntimeConfig {
             max_execution: SimDuration::from_secs(900),
         }
     }
+
+    /// Runtime knobs derived from a deployment configuration — the single
+    /// place the byte-stream substrates (live threads, real sockets) turn
+    /// a [`DeploymentConfig`] into per-instance runtime settings.
+    pub fn for_deployment(cfg: &ic_common::DeploymentConfig) -> Self {
+        RuntimeConfig {
+            billing_buffer: cfg.billing_buffer,
+            ping_grace: SimDuration::from_millis(20),
+            backup_interval: cfg.backup_interval,
+            backup_enabled: cfg.backup_enabled,
+            max_execution: SimDuration::from_secs(900),
+        }
+    }
 }
 
 /// What the embedding transport must do after a runtime step.
@@ -195,7 +208,9 @@ impl Runtime {
             self.role = BackupRole::Dest(DestState::new(b.relay));
             acts.push(Action::ToRelay {
                 relay: b.relay,
-                msg: Msg::HelloSource { have_version: self.store.max_version() },
+                msg: Msg::HelloSource {
+                    have_version: self.store.max_version(),
+                },
             });
             acts.push(Action::ToProxy(Msg::HelloProxy {
                 instance: self.instance,
@@ -275,7 +290,11 @@ impl Runtime {
                     // Keep λs a superset during migration.
                     acts.push(Action::DataToRelay {
                         relay: d.relay,
-                        msg: Msg::BackupChunk { id, payload, version },
+                        msg: Msg::BackupChunk {
+                            id,
+                            payload,
+                            version,
+                        },
                     });
                 }
                 acts
@@ -301,10 +320,15 @@ impl Runtime {
                 let BackupRole::Source(s) = &mut self.role else {
                     return Vec::new();
                 };
-                let Some(relay) = s.relay else { return Vec::new() };
+                let Some(relay) = s.relay else {
+                    return Vec::new();
+                };
                 s.stage = SourceStage::Streaming;
                 let keys = self.store.backup_keys();
-                vec![Action::ToRelay { relay, msg: Msg::BackupKeys { keys } }]
+                vec![Action::ToRelay {
+                    relay,
+                    msg: Msg::BackupKeys { keys },
+                }]
             }
             Msg::BackupKeys { keys } => {
                 let BackupRole::Dest(d) = &mut self.role else {
@@ -315,15 +339,23 @@ impl Runtime {
                 for id in &plan.drop {
                     self.store.remove(id);
                 }
-                let BackupRole::Dest(d) = &mut self.role else { unreachable!() };
-                d.offered = keys.iter().map(|k| (k.id.clone(), (k.version, k.len))).collect();
+                let BackupRole::Dest(d) = &mut self.role else {
+                    unreachable!()
+                };
+                d.offered = keys
+                    .iter()
+                    .map(|k| (k.id.clone(), (k.version, k.len)))
+                    .collect();
                 d.pending = plan.fetch.iter().cloned().collect();
                 if d.pending.is_empty() {
                     self.finish_dest(now)
                 } else {
                     plan.fetch
                         .into_iter()
-                        .map(|id| Action::ToRelay { relay, msg: Msg::BackupFetch { id } })
+                        .map(|id| Action::ToRelay {
+                            relay,
+                            msg: Msg::BackupFetch { id },
+                        })
                         .collect()
                 }
             }
@@ -331,7 +363,9 @@ impl Runtime {
                 let BackupRole::Source(s) = &self.role else {
                     return Vec::new();
                 };
-                let Some(relay) = s.relay else { return Vec::new() };
+                let Some(relay) = s.relay else {
+                    return Vec::new();
+                };
                 match self.store.peek(&id) {
                     Some(c) => vec![Action::DataToRelay {
                         relay,
@@ -341,7 +375,10 @@ impl Runtime {
                             version: c.version,
                         },
                     }],
-                    None => vec![Action::ToRelay { relay, msg: Msg::BackupMiss { id } }],
+                    None => vec![Action::ToRelay {
+                        relay,
+                        msg: Msg::BackupMiss { id },
+                    }],
                 }
             }
             Msg::BackupMiss { id } => {
@@ -356,12 +393,17 @@ impl Runtime {
                     Vec::new()
                 }
             }
-            Msg::BackupChunk { id, payload, version } => match &mut self.role {
+            Msg::BackupChunk {
+                id,
+                payload,
+                version,
+            } => match &mut self.role {
                 BackupRole::Dest(d) => {
                     d.pending.remove(&id);
                     d.delta_bytes += payload.len();
                     let serve = d.serve_on_arrival.remove(&id);
-                    self.store.insert_with_version(id.clone(), payload.clone(), version);
+                    self.store
+                        .insert_with_version(id.clone(), payload.clone(), version);
                     let mut acts = Vec::new();
                     if serve {
                         self.outstanding += 1;
@@ -422,7 +464,10 @@ impl Runtime {
         }
         // Forced return before the platform's execution cap kills us.
         if now.since(self.exec_start)
-            >= self.cfg.max_execution.saturating_sub(SimDuration::BILLING_CYCLE)
+            >= self
+                .cfg
+                .max_execution
+                .saturating_sub(SimDuration::BILLING_CYCLE)
         {
             self.role = BackupRole::None;
             return self.finish_execution(true);
@@ -449,13 +494,16 @@ impl Runtime {
         let cycle = SimDuration::BILLING_CYCLE.as_micros();
         let elapsed = now.since(self.exec_start).as_micros();
         let k = elapsed / cycle + 1;
-        let mut at = self.exec_start + SimDuration::from_micros(k * cycle)
-            - self.cfg.billing_buffer;
+        let mut at =
+            self.exec_start + SimDuration::from_micros(k * cycle) - self.cfg.billing_buffer;
         if at <= now {
             at += SimDuration::BILLING_CYCLE;
         }
         self.timer_token += 1;
-        Action::SetTimer { token: self.timer_token, at }
+        Action::SetTimer {
+            token: self.timer_token,
+            at,
+        }
     }
 
     /// Extends the timer for an incoming request after a PING.
@@ -468,7 +516,10 @@ impl Runtime {
         };
         let at = (now + self.cfg.ping_grace).max(cycle_end);
         self.timer_token += 1;
-        Action::SetTimer { token: self.timer_token, at }
+        Action::SetTimer {
+            token: self.timer_token,
+            at,
+        }
     }
 
     fn finish_dest(&mut self, now: SimTime) -> Vec<Action> {
@@ -478,7 +529,9 @@ impl Runtime {
         self.last_backup = now;
         let mut acts = vec![Action::ToRelay {
             relay: d.relay,
-            msg: Msg::BackupDone { delta_bytes: d.delta_bytes },
+            msg: Msg::BackupDone {
+                delta_bytes: d.delta_bytes,
+            },
         }];
         acts.extend(self.finish_execution(true));
         acts
@@ -497,7 +550,9 @@ impl Runtime {
         };
         let mut acts = Vec::new();
         if bye {
-            acts.push(Action::ToProxy(Msg::Bye { instance: self.instance }));
+            acts.push(Action::ToProxy(Msg::Bye {
+                instance: self.instance,
+            }));
         }
         acts.push(Action::Return { bye, category });
         acts
@@ -544,7 +599,13 @@ mod tests {
         let out = rt.on_timer(at, token);
         assert!(matches!(out[0], Action::ToProxy(Msg::Bye { .. })));
         assert!(
-            matches!(out[1], Action::Return { bye: true, category: CostCategory::Warmup }),
+            matches!(
+                out[1],
+                Action::Return {
+                    bye: true,
+                    category: CostCategory::Warmup
+                }
+            ),
             "idle warm-up bills as warm-up"
         );
         assert_eq!(rt.state(), RunState::Sleeping);
@@ -559,17 +620,23 @@ mod tests {
 
         // Two puts inside the first cycle (their inbound flows complete
         // quickly).
-        rt.on_message(t0 + SimDuration::from_millis(10), Msg::ChunkPut {
-            id: cid("a", 0),
-            payload: Payload::synthetic(100),
-            epoch: 1,
-        });
+        rt.on_message(
+            t0 + SimDuration::from_millis(10),
+            Msg::ChunkPut {
+                id: cid("a", 0),
+                payload: Payload::synthetic(100),
+                epoch: 1,
+            },
+        );
         rt.on_served(t0 + SimDuration::from_millis(12));
-        rt.on_message(t0 + SimDuration::from_millis(20), Msg::ChunkPut {
-            id: cid("a", 1),
-            payload: Payload::synthetic(100),
-            epoch: 1,
-        });
+        rt.on_message(
+            t0 + SimDuration::from_millis(20),
+            Msg::ChunkPut {
+                id: cid("a", 1),
+                payload: Payload::synthetic(100),
+                epoch: 1,
+            },
+        );
         rt.on_served(t0 + SimDuration::from_millis(22));
 
         let token = rt.timer_token;
@@ -579,7 +646,9 @@ mod tests {
 
         // Quiet second cycle: return.
         let out = rt.on_timer(second_deadline, rt.timer_token);
-        assert!(out.iter().any(|a| matches!(a, Action::Return { bye: true, .. })));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Return { bye: true, .. })));
     }
 
     #[test]
@@ -588,11 +657,14 @@ mod tests {
         let mut rt = fresh(t0);
         let acts = rt.on_invoke(t0, &invoke_payload());
         let (_, deadline) = timer_of(&acts);
-        rt.on_message(t0 + SimDuration::from_millis(10), Msg::ChunkPut {
-            id: cid("a", 0),
-            payload: Payload::synthetic(10),
-            epoch: 1,
-        });
+        rt.on_message(
+            t0 + SimDuration::from_millis(10),
+            Msg::ChunkPut {
+                id: cid("a", 0),
+                payload: Payload::synthetic(10),
+                epoch: 1,
+            },
+        );
         rt.on_served(t0 + SimDuration::from_millis(12));
         let out = rt.on_timer(deadline, rt.timer_token);
         assert!(
@@ -606,11 +678,15 @@ mod tests {
         let t0 = SimTime::ZERO;
         let mut rt = fresh(t0);
         rt.on_invoke(t0, &invoke_payload());
-        rt.store_mut().insert(t0, cid("k", 0), Payload::synthetic(1_000_000));
+        rt.store_mut()
+            .insert(t0, cid("k", 0), Payload::synthetic(1_000_000));
 
         let t1 = t0 + SimDuration::from_millis(30);
         let acts = rt.on_message(t1, Msg::ChunkGet { id: cid("k", 0) });
-        assert!(matches!(acts[0], Action::DataToProxy(Msg::ChunkData { .. })));
+        assert!(matches!(
+            acts[0],
+            Action::DataToProxy(Msg::ChunkData { .. })
+        ));
         assert_eq!(rt.state(), RunState::ActiveServing);
 
         // Timer fires mid-transfer: held, re-armed into the next cycle.
@@ -626,9 +702,13 @@ mod tests {
 
         // Serving execution bills as Serving.
         let out = rt.on_timer(at, rt.timer_token);
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, Action::Return { category: CostCategory::Serving, .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Return {
+                category: CostCategory::Serving,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -637,7 +717,9 @@ mod tests {
         let mut rt = fresh(t0);
         rt.on_invoke(t0, &invoke_payload());
         let acts = rt.on_message(t0, Msg::ChunkGet { id: cid("nope", 0) });
-        assert!(matches!(&acts[0], Action::ToProxy(Msg::ChunkMiss { id }) if *id == cid("nope", 0)));
+        assert!(
+            matches!(&acts[0], Action::ToProxy(Msg::ChunkMiss { id }) if *id == cid("nope", 0))
+        );
     }
 
     #[test]
@@ -659,7 +741,9 @@ mod tests {
         let acts = rt.on_invoke(t0, &invoke_payload());
         let (old_token, _) = timer_of(&acts);
         rt.on_message(t0 + SimDuration::from_millis(50), Msg::Ping); // re-arms
-        assert!(rt.on_timer(t0 + SimDuration::from_millis(95), old_token).is_empty());
+        assert!(rt
+            .on_timer(t0 + SimDuration::from_millis(95), old_token)
+            .is_empty());
         assert_eq!(rt.state(), RunState::ActiveIdling);
     }
 
@@ -668,8 +752,20 @@ mod tests {
         let t0 = SimTime::ZERO;
         let mut rt = fresh(t0);
         rt.on_invoke(t0, &invoke_payload());
-        rt.on_message(t0, Msg::ChunkPut { id: cid("d", 0), payload: Payload::synthetic(5), epoch: 1 });
-        let acts = rt.on_message(t0, Msg::ChunkDelete { ids: vec![cid("d", 0)] });
+        rt.on_message(
+            t0,
+            Msg::ChunkPut {
+                id: cid("d", 0),
+                payload: Payload::synthetic(5),
+                epoch: 1,
+            },
+        );
+        let acts = rt.on_message(
+            t0,
+            Msg::ChunkDelete {
+                ids: vec![cid("d", 0)],
+            },
+        );
         assert!(acts.is_empty());
         assert!(!rt.store().contains(&cid("d", 0)));
     }
@@ -680,16 +776,23 @@ mod tests {
         let mut rt = fresh(born);
         // Too early: no backup.
         let acts = rt.on_invoke(SimTime::from_secs(60), &invoke_payload());
-        assert!(!acts.iter().any(|a| matches!(a, Action::ToProxy(Msg::InitBackup))));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, Action::ToProxy(Msg::InitBackup))));
         rt.on_timer(SimTime::from_secs(61), rt.timer_token); // return
 
         // After Tbak: InitBackup goes out.
         let acts = rt.on_invoke(SimTime::from_secs(301), &invoke_payload());
-        assert!(acts.iter().any(|a| matches!(a, Action::ToProxy(Msg::InitBackup))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::ToProxy(Msg::InitBackup))));
         assert!(rt.backup_active());
 
         // BackupCmd triggers the peer invocation.
-        let acts = rt.on_message(SimTime::from_secs(301), Msg::BackupCmd { relay: RelayId(9) });
+        let acts = rt.on_message(
+            SimTime::from_secs(301),
+            Msg::BackupCmd { relay: RelayId(9) },
+        );
         assert!(matches!(acts[0], Action::InvokePeer { relay: RelayId(9) }));
     }
 
@@ -701,11 +804,20 @@ mod tests {
         let t = SimTime::from_secs(400);
 
         // Source: running, has data, past its backup interval.
-        let mut src = Runtime::new(LambdaId(3), InstanceId(10), RuntimeConfig::paper(), SimTime::ZERO);
+        let mut src = Runtime::new(
+            LambdaId(3),
+            InstanceId(10),
+            RuntimeConfig::paper(),
+            SimTime::ZERO,
+        );
         let acts = src.on_invoke(t, &invoke_payload());
-        assert!(acts.iter().any(|a| matches!(a, Action::ToProxy(Msg::InitBackup))));
-        src.store_mut().insert(t, cid("x", 0), Payload::synthetic(100));
-        src.store_mut().insert(t, cid("x", 1), Payload::synthetic(150));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::ToProxy(Msg::InitBackup))));
+        src.store_mut()
+            .insert(t, cid("x", 0), Payload::synthetic(100));
+        src.store_mut()
+            .insert(t, cid("x", 1), Payload::synthetic(150));
 
         // Proxy answers with the relay; source invokes its peer.
         let acts = src.on_message(t, Msg::BackupCmd { relay });
@@ -716,13 +828,19 @@ mod tests {
         let payload = InvokePayload {
             proxy: ProxyId(0),
             piggyback_ping: false,
-            backup: Some(ic_common::msg::BackupInvoke { relay, source: LambdaId(3) }),
+            backup: Some(ic_common::msg::BackupInvoke {
+                relay,
+                source: LambdaId(3),
+            }),
         };
         let acts = dst.on_invoke(t, &payload);
         let hello = acts
             .iter()
             .find_map(|a| match a {
-                Action::ToRelay { msg: m @ Msg::HelloSource { .. }, .. } => Some(m.clone()),
+                Action::ToRelay {
+                    msg: m @ Msg::HelloSource { .. },
+                    ..
+                } => Some(m.clone()),
                 _ => None,
             })
             .expect("λd greets λs");
@@ -735,7 +853,10 @@ mod tests {
         let keys = acts
             .iter()
             .find_map(|a| match a {
-                Action::ToRelay { msg: m @ Msg::BackupKeys { .. }, .. } => Some(m.clone()),
+                Action::ToRelay {
+                    msg: m @ Msg::BackupKeys { .. },
+                    ..
+                } => Some(m.clone()),
                 _ => None,
             })
             .expect("key exchange");
@@ -745,7 +866,10 @@ mod tests {
             .on_message(t, keys)
             .into_iter()
             .filter_map(|a| match a {
-                Action::ToRelay { msg: m @ Msg::BackupFetch { .. }, .. } => Some(m),
+                Action::ToRelay {
+                    msg: m @ Msg::BackupFetch { .. },
+                    ..
+                } => Some(m),
                 _ => None,
             })
             .collect();
@@ -761,7 +885,10 @@ mod tests {
             };
             for a in dst.on_message(t, chunk) {
                 match a {
-                    Action::ToRelay { msg: Msg::BackupDone { delta_bytes }, .. } => {
+                    Action::ToRelay {
+                        msg: Msg::BackupDone { delta_bytes },
+                        ..
+                    } => {
                         assert_eq!(delta_bytes, 250);
                         done_seen = true;
                         // Relay forwards the done to the source.
@@ -770,7 +897,10 @@ mod tests {
                             .iter()
                             .any(|x| matches!(x, Action::Return { bye: false, .. })));
                     }
-                    Action::Return { bye: true, category } => {
+                    Action::Return {
+                        bye: true,
+                        category,
+                    } => {
                         assert_eq!(category, CostCategory::Backup);
                     }
                     Action::ToProxy(Msg::Bye { .. }) => {}
@@ -782,8 +912,10 @@ mod tests {
         assert_eq!(dst.store().len(), 2);
         assert!(dst.store().contains(&cid("x", 0)));
         assert!(!src.backup_active() && !dst.backup_active());
-        assert_eq!(dst.store().peek(&cid("x", 0)).unwrap().version,
-                   src.store().peek(&cid("x", 0)).unwrap().version);
+        assert_eq!(
+            dst.store().peek(&cid("x", 0)).unwrap().version,
+            src.store().peek(&cid("x", 0)).unwrap().version
+        );
     }
 
     #[test]
@@ -791,26 +923,50 @@ mod tests {
         let relay = RelayId(2);
         let t = SimTime::from_secs(10);
         let mut dst = Runtime::new(LambdaId(0), InstanceId(5), RuntimeConfig::paper(), t);
-        dst.on_invoke(t, &InvokePayload {
-            proxy: ProxyId(0),
-            piggyback_ping: false,
-            backup: Some(ic_common::msg::BackupInvoke { relay, source: LambdaId(0) }),
-        });
+        dst.on_invoke(
+            t,
+            &InvokePayload {
+                proxy: ProxyId(0),
+                piggyback_ping: false,
+                backup: Some(ic_common::msg::BackupInvoke {
+                    relay,
+                    source: LambdaId(0),
+                }),
+            },
+        );
         // Offer one chunk; the delta wants it.
-        dst.on_message(t, Msg::BackupKeys {
-            keys: vec![ic_common::msg::BackupKey { id: cid("m", 0), version: 7, len: 42 }],
-        });
+        dst.on_message(
+            t,
+            Msg::BackupKeys {
+                keys: vec![ic_common::msg::BackupKey {
+                    id: cid("m", 0),
+                    version: 7,
+                    len: 42,
+                }],
+            },
+        );
         // A client GET arrives before the chunk: no miss, deferred.
         let acts = dst.on_message(t, Msg::ChunkGet { id: cid("m", 0) });
         assert!(acts.is_empty(), "mid-migration GET must wait, not miss");
         // Chunk lands: it is served to the proxy and the round finishes.
-        let acts = dst.on_message(t, Msg::BackupChunk {
-            id: cid("m", 0),
-            payload: Payload::synthetic(42),
-            version: 7,
-        });
-        assert!(acts.iter().any(|a| matches!(a, Action::DataToProxy(Msg::ChunkData { .. }))));
-        assert!(acts.iter().any(|a| matches!(a, Action::ToRelay { msg: Msg::BackupDone { .. }, .. })));
+        let acts = dst.on_message(
+            t,
+            Msg::BackupChunk {
+                id: cid("m", 0),
+                payload: Payload::synthetic(42),
+                version: 7,
+            },
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::DataToProxy(Msg::ChunkData { .. }))));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::ToRelay {
+                msg: Msg::BackupDone { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -819,7 +975,8 @@ mod tests {
         let mut rt = fresh(t0);
         rt.on_invoke(t0, &invoke_payload());
         // Keep it "busy" so it would otherwise hold forever.
-        rt.store_mut().insert(t0, cid("k", 0), Payload::synthetic(10));
+        rt.store_mut()
+            .insert(t0, cid("k", 0), Payload::synthetic(10));
         rt.on_message(t0, Msg::ChunkGet { id: cid("k", 0) });
         let late = t0 + SimDuration::from_secs(900);
         let out = rt.on_timer(late, rt.timer_token);

@@ -62,7 +62,10 @@ impl ChunkStore {
     /// preserves the source's versions so later deltas stay correct).
     pub fn insert_with_version(&mut self, id: ChunkId, payload: Payload, version: u64) -> u64 {
         let new_bytes = payload.len();
-        if let Some(old) = self.chunks.insert(id.clone(), StoredChunk { payload, version }) {
+        if let Some(old) = self
+            .chunks
+            .insert(id.clone(), StoredChunk { payload, version })
+        {
             self.used_bytes -= old.payload.len();
         }
         self.used_bytes += new_bytes;
@@ -109,7 +112,11 @@ impl ChunkStore {
             .into_iter()
             .map(|id| {
                 let c = &self.chunks[&id];
-                BackupKey { id, version: c.version, len: c.payload.len() }
+                BackupKey {
+                    id,
+                    version: c.version,
+                    len: c.payload.len(),
+                }
             })
             .collect()
     }

@@ -1,0 +1,128 @@
+//! A tiny `--flag value` argument parser shared by the cluster binaries
+//! (the build environment is offline, so no clap).
+
+use std::collections::HashMap;
+
+use ic_common::{EcConfig, Error, Result};
+
+/// Parsed command line: leading positional words, then `--flag [value]`
+/// pairs (a flag followed by another flag or end of input is boolean).
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the program name).
+    pub fn parse() -> Args {
+        Args::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                    _ => String::from("true"),
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string flag.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Boolean flag (present without value, or `--flag true`).
+    pub fn has(&self, name: &str) -> bool {
+        matches!(
+            self.flags.get(name).map(String::as_str),
+            Some("true") | Some("1")
+        )
+    }
+
+    /// Numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::Config(format!("--{name} {v} is not a valid number"))),
+        }
+    }
+
+    /// Erasure-code flag in `d+p` form (e.g. `--ec 4+2`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] on malformed codes.
+    pub fn ec(&self, name: &str, default: EcConfig) -> Result<EcConfig> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                let (d, p) = v
+                    .split_once('+')
+                    .ok_or_else(|| Error::Config(format!("--{name} wants d+p, got {v}")))?;
+                let d = d
+                    .parse()
+                    .map_err(|_| Error::Config(format!("bad data shard count {d}")))?;
+                let p = p
+                    .parse()
+                    .map_err(|_| Error::Config(format!("bad parity shard count {p}")))?;
+                EcConfig::new(d, p)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_flags_parse() {
+        let a = args(&["put", "key1", "--size", "100", "--verify", "--ec", "4+2"]);
+        assert_eq!(a.positional, vec!["put", "key1"]);
+        assert_eq!(a.get("size", "0"), "100");
+        assert!(a.has("verify"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.num::<usize>("size", 0).unwrap(), 100);
+        assert_eq!(
+            a.ec("ec", EcConfig::default()).unwrap(),
+            EcConfig::new(4, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_numbers_and_codes_error() {
+        let a = args(&["--size", "abc", "--ec", "nope"]);
+        assert!(a.num::<u64>("size", 0).is_err());
+        assert!(a.ec("ec", EcConfig::default()).is_err());
+    }
+}

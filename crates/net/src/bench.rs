@@ -1,0 +1,345 @@
+//! The loopback throughput benchmark: configurable client count, object
+//! size, and op mix against a socket proxy, with latency percentiles and
+//! a `BENCH_net.json` artifact.
+//!
+//! Used by the standalone `netbench` binary (which also sets up the
+//! cluster) and by `ic-cli bench` (which targets an already-running
+//! proxy). Each client thread owns its own TCP connection and key
+//! namespace, preloads its working set, then issues a seeded GET/PUT mix,
+//! timing every blocking operation end to end — encode, socket hops,
+//! proxy, node daemons, decode.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use ic_common::hash::hash_with_index;
+use ic_common::{EcConfig, Error, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::NetClient;
+
+/// Deterministic content for `key` at write-`version`: any process that
+/// knows the key (and version) can regenerate and verify the bytes, so
+/// `ic-cli put` in one process and `ic-cli get --verify` in another can
+/// check byte-identity without shared state.
+pub fn pattern_bytes(key: &str, version: u64, len: usize) -> Bytes {
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0u64;
+    while out.len() < len {
+        let word = hash_with_index(key, version ^ (i.wrapping_mul(0x9e37_79b9))).to_le_bytes();
+        let take = word.len().min(len - out.len());
+        out.extend_from_slice(&word[..take]);
+        i += 1;
+    }
+    Bytes::from(out)
+}
+
+/// Benchmark shape.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Concurrent client connections (one thread each).
+    pub clients: usize,
+    /// Measured operations per client (preload is extra).
+    pub ops_per_client: usize,
+    /// Object size in bytes.
+    pub object_bytes: usize,
+    /// Fraction of measured ops that are GETs (the rest are overwrite
+    /// PUTs).
+    pub get_fraction: f64,
+    /// Keys per client namespace.
+    pub key_space: usize,
+    /// Client-side erasure code.
+    pub ec: EcConfig,
+    /// Seed for the op mix.
+    pub seed: u64,
+    /// Verify every GET against the expected deterministic pattern.
+    pub verify: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: 4,
+            ops_per_client: 200,
+            object_bytes: 256 * 1024,
+            get_fraction: 0.7,
+            key_space: 16,
+            ec: EcConfig::new(4, 2).expect("valid code"),
+            seed: 42,
+            verify: true,
+        }
+    }
+}
+
+/// Latency summary of one op kind, microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Operations measured.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_sorted(lat: &[u64]) -> LatencySummary {
+        if lat.is_empty() {
+            return LatencySummary::default();
+        }
+        let pct = |p: f64| lat[(((lat.len() - 1) as f64) * p).round() as usize];
+        LatencySummary {
+            count: lat.len(),
+            mean_us: lat.iter().sum::<u64>() as f64 / lat.len() as f64,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            max_us: *lat.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregated benchmark result.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Wall time of the measured phase.
+    pub wall: Duration,
+    /// GET latency summary.
+    pub gets: LatencySummary,
+    /// PUT latency summary.
+    pub puts: LatencySummary,
+    /// Application bytes moved (object sizes, not wire overhead).
+    pub bytes_moved: u64,
+    /// GETs whose payload failed pattern verification (must be zero).
+    pub verify_failures: u64,
+}
+
+impl BenchReport {
+    /// Total measured operations.
+    pub fn total_ops(&self) -> usize {
+        self.gets.count + self.puts.count
+    }
+
+    /// Overall operation rate.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.total_ops() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Application throughput in MiB/s.
+    pub fn throughput_mib_s(&self) -> f64 {
+        self.bytes_moved as f64 / (1024.0 * 1024.0) / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the benchmark against the proxy at `addr`.
+///
+/// # Errors
+///
+/// [`Error::Transport`] when a client cannot connect or an operation
+/// fails mid-run.
+pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport> {
+    // Workers connect and preload before the barrier; the measured phase
+    // (and the wall clock) starts only once every worker is ready, so
+    // setup cost never dilutes the reported throughput.
+    let ready = Arc::new(Barrier::new(cfg.clients + 1));
+    let threads: Vec<_> = (0..cfg.clients)
+        .map(|t| {
+            let cfg = cfg.clone();
+            let ready = ready.clone();
+            std::thread::Builder::new()
+                .name(format!("netbench-client-{t}"))
+                .spawn(move || client_worker(addr, t, &cfg, &ready))
+                .map_err(|e| Error::Transport(e.to_string()))
+        })
+        .collect::<Result<_>>()?;
+    ready.wait();
+    let start = Instant::now();
+    let mut gets = Vec::new();
+    let mut puts = Vec::new();
+    let mut bytes_moved = 0u64;
+    let mut verify_failures = 0u64;
+    for t in threads {
+        let worker = t
+            .join()
+            .map_err(|_| Error::Transport("bench worker panicked".into()))??;
+        gets.extend(worker.get_lat);
+        puts.extend(worker.put_lat);
+        bytes_moved += worker.bytes_moved;
+        verify_failures += worker.verify_failures;
+    }
+    let wall = start.elapsed();
+    gets.sort_unstable();
+    puts.sort_unstable();
+    Ok(BenchReport {
+        wall,
+        gets: LatencySummary::from_sorted(&gets),
+        puts: LatencySummary::from_sorted(&puts),
+        bytes_moved,
+        verify_failures,
+    })
+}
+
+struct WorkerResult {
+    get_lat: Vec<u64>,
+    put_lat: Vec<u64>,
+    bytes_moved: u64,
+    verify_failures: u64,
+}
+
+fn client_worker(
+    addr: SocketAddr,
+    thread: usize,
+    cfg: &BenchConfig,
+    ready: &Barrier,
+) -> Result<WorkerResult> {
+    let client = NetClient::connect(addr, cfg.ec, cfg.seed ^ ((thread as u64) << 8));
+    if client.is_err() {
+        // Release the coordinator and the other workers before erroring.
+        ready.wait();
+    }
+    let mut client = client?;
+    client.set_op_timeout(Duration::from_secs(30));
+    let keys: Vec<String> = (0..cfg.key_space)
+        .map(|k| format!("bench-c{thread}-k{k}"))
+        .collect();
+    let mut versions = vec![0u64; cfg.key_space];
+
+    // Preload the namespace so the measured GETs all hit.
+    for key in &keys {
+        let preload = client.put(key, pattern_bytes(key, 0, cfg.object_bytes));
+        if preload.is_err() {
+            ready.wait();
+            preload?;
+        }
+    }
+    ready.wait();
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xbe4c_0000 ^ thread as u64);
+    let mut res = WorkerResult {
+        get_lat: Vec::with_capacity(cfg.ops_per_client),
+        put_lat: Vec::new(),
+        bytes_moved: 0,
+        verify_failures: 0,
+    };
+    for _ in 0..cfg.ops_per_client {
+        let k = rng.gen_range(0..cfg.key_space);
+        let key = &keys[k];
+        if rng.gen::<f64>() < cfg.get_fraction {
+            let t0 = Instant::now();
+            let got = client.get(key)?;
+            res.get_lat.push(t0.elapsed().as_micros() as u64);
+            match got {
+                Some(b) => {
+                    res.bytes_moved += b.len() as u64;
+                    if cfg.verify && b != pattern_bytes(key, versions[k], cfg.object_bytes) {
+                        res.verify_failures += 1;
+                    }
+                }
+                None => res.verify_failures += 1, // preloaded keys must hit
+            }
+        } else {
+            versions[k] += 1;
+            let data = pattern_bytes(key, versions[k], cfg.object_bytes);
+            let t0 = Instant::now();
+            client.put(key, data)?;
+            res.put_lat.push(t0.elapsed().as_micros() as u64);
+            res.bytes_moved += cfg.object_bytes as u64;
+        }
+    }
+    Ok(res)
+}
+
+/// Renders the report as the `BENCH_net.json` artifact.
+pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport) -> String {
+    let lat = |s: &LatencySummary| {
+        format!(
+            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            s.count, s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
+        )
+    };
+    format!(
+        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {}\n}}\n",
+        cfg.clients,
+        cfg.ops_per_client,
+        cfg.object_bytes,
+        cfg.get_fraction,
+        cfg.key_space,
+        cfg.ec,
+        cfg.seed,
+        cfg.verify,
+        report.wall.as_secs_f64(),
+        report.total_ops(),
+        report.ops_per_sec(),
+        report.throughput_mib_s(),
+        report.verify_failures,
+        lat(&report.gets),
+        lat(&report.puts),
+    )
+}
+
+/// One-line human summary for stdout.
+pub fn summary_line(report: &BenchReport) -> String {
+    format!(
+        "{} ops in {:.2} s: {:.0} ops/s, {:.1} MiB/s | GET p50 {} µs p99 {} µs | PUT p50 {} µs p99 {} µs",
+        report.total_ops(),
+        report.wall.as_secs_f64(),
+        report.ops_per_sec(),
+        report.throughput_mib_s(),
+        report.gets.p50_us,
+        report.gets.p99_us,
+        report.puts.p50_us,
+        report.puts.p99_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_deterministic_and_key_dependent() {
+        let a = pattern_bytes("k1", 0, 1000);
+        assert_eq!(a, pattern_bytes("k1", 0, 1000));
+        assert_ne!(a, pattern_bytes("k2", 0, 1000));
+        assert_ne!(a, pattern_bytes("k1", 1, 1000));
+        assert_eq!(pattern_bytes("k", 3, 13).len(), 13);
+        assert_eq!(pattern_bytes("k", 3, 0).len(), 0);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_sorted(&lat);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(LatencySummary::from_sorted(&[]).count, 0);
+    }
+
+    #[test]
+    fn json_is_syntactically_plausible() {
+        let cfg = BenchConfig::default();
+        let report = BenchReport {
+            wall: Duration::from_millis(1234),
+            gets: LatencySummary::from_sorted(&[10, 20, 30]),
+            puts: LatencySummary::from_sorted(&[40]),
+            bytes_moved: 4096,
+            verify_failures: 0,
+        };
+        let json = to_json("net_loopback", &cfg, &report);
+        assert!(json.contains("\"ops_per_sec\""));
+        assert!(json.contains("\"p99_us\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

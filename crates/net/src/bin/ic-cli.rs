@@ -1,0 +1,143 @@
+//! `ic-cli`: drive a running cluster from the command line.
+//!
+//! ```text
+//! ic-cli [--proxy ADDR] [--ec d+p] [--seed N] <command>
+//!
+//! commands:
+//!   put KEY (--size BYTES | --file PATH)   store an object
+//!   get KEY [--out PATH] [--verify]        fetch an object
+//!   bench [netbench flags] [--out PATH]    run the throughput benchmark
+//! ```
+//!
+//! `put --size N` stores a deterministic pattern derived from the key, so
+//! a *different* process can later check byte-identity with
+//! `get KEY --verify` — no shared state, just the key. `get` prints the
+//! object length and a content hash; `--out` writes the bytes to a file.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use bytes::Bytes;
+use ic_common::hash::fnv1a;
+use ic_common::{EcConfig, Error, Result};
+use ic_net::args::Args;
+use ic_net::bench::{self, pattern_bytes, BenchConfig};
+use ic_net::client::NetClient;
+
+fn resolve(addr: &str) -> Result<SocketAddr> {
+    addr.to_socket_addrs()
+        .map_err(|e| Error::Config(format!("--proxy {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| Error::Config(format!("--proxy {addr} resolves to nothing")))
+}
+
+fn run() -> Result<()> {
+    let args = Args::parse();
+    let addr = resolve(&args.get("proxy", "127.0.0.1:7100"))?;
+    let ec = args.ec("ec", EcConfig::new(4, 2).expect("valid code"))?;
+    let seed: u64 = args.num("seed", 7)?;
+
+    let Some(cmd) = args.positional.first().map(String::as_str) else {
+        return Err(Error::Config("usage: ic-cli <put|get|bench> ...".into()));
+    };
+    match cmd {
+        "put" => {
+            let key = args
+                .positional
+                .get(1)
+                .ok_or_else(|| Error::Config("put needs a KEY".into()))?;
+            let data: Bytes = match (args.opt("file"), args.opt("size")) {
+                (Some(path), _) => std::fs::read(path)
+                    .map_err(|e| Error::Config(format!("--file {path}: {e}")))?
+                    .into(),
+                (None, Some(_)) => {
+                    let size: usize = args.num("size", 0)?;
+                    pattern_bytes(key, 0, size)
+                }
+                (None, None) => {
+                    return Err(Error::Config(
+                        "put needs --size BYTES or --file PATH".into(),
+                    ))
+                }
+            };
+            if data.is_empty() {
+                return Err(Error::Config("cannot store an empty object".into()));
+            }
+            let len = data.len();
+            let mut client = NetClient::connect(addr, ec, seed)?;
+            client.put(key, data)?;
+            println!("stored {key}: {len} bytes as {} chunks", ec.shards());
+        }
+        "get" => {
+            let key = args
+                .positional
+                .get(1)
+                .ok_or_else(|| Error::Config("get needs a KEY".into()))?;
+            let mut client = NetClient::connect(addr, ec, seed)?;
+            let Some((data, report)) = client.get_reported(key)? else {
+                println!("miss: {key} is not cached");
+                std::process::exit(3);
+            };
+            println!(
+                "hit {key}: {} bytes, fnv1a {:016x}{}{}",
+                data.len(),
+                fnv1a(&data),
+                if report.used_parity {
+                    ", EC-decoded"
+                } else {
+                    ""
+                },
+                if report.lost_chunks > 0 {
+                    format!(", {} lost chunks repaired", report.lost_chunks)
+                } else {
+                    String::new()
+                },
+            );
+            if let Some(path) = args.opt("out") {
+                std::fs::write(path, &data)
+                    .map_err(|e| Error::Config(format!("--out {path}: {e}")))?;
+            }
+            if args.has("verify") {
+                let expected = pattern_bytes(key, 0, data.len());
+                if data != expected {
+                    return Err(Error::Protocol(format!(
+                        "verify FAILED: {key} does not match its deterministic pattern"
+                    )));
+                }
+                println!("verify OK: byte-identical to the put pattern");
+            }
+        }
+        "bench" => {
+            let cfg = BenchConfig {
+                clients: args.num("clients", 4)?,
+                ops_per_client: args.num("ops", 200)?,
+                object_bytes: args.num("size", 256 * 1024)?,
+                get_fraction: args.num("get-frac", 0.7)?,
+                key_space: args.num("keys", 16)?,
+                ec,
+                seed,
+                verify: !args.has("no-verify"),
+            };
+            let report = bench::run(addr, &cfg)?;
+            println!("{}", bench::summary_line(&report));
+            let out = args.get("out", "BENCH_net.json");
+            std::fs::write(&out, bench::to_json("net_external", &cfg, &report))
+                .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
+            println!("wrote {out}");
+            if report.verify_failures > 0 {
+                return Err(Error::Protocol(format!(
+                    "{} GETs failed verification",
+                    report.verify_failures
+                )));
+            }
+        }
+        other => return Err(Error::Config(format!("unknown command {other}"))),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ic-cli: {e}");
+        std::process::exit(1);
+    }
+}

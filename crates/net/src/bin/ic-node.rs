@@ -1,0 +1,54 @@
+//! `ic-node`: one emulated Lambda cache node as a standalone process.
+//!
+//! Dials the proxy's node port and serves its instances until the proxy
+//! goes away or the process is killed. The daemon persists nothing:
+//! `kill <pid>` (SIGTERM, SIGKILL, a crash) loses every cached chunk —
+//! exactly a provider reclaim, which is how the README's fault-tolerance
+//! demo knocks chunks out from under an object.
+//!
+//! ```text
+//! ic-node --id N [--proxy ADDR] [--backup-secs N] [--retry-secs N]
+//! ```
+
+use std::time::Duration;
+
+use ic_common::{Error, LambdaId, Result, SimDuration};
+use ic_lambda::runtime::RuntimeConfig;
+use ic_net::args::Args;
+use ic_net::node::NetNode;
+
+fn run() -> Result<()> {
+    let args = Args::parse();
+    let id: u32 = match args.opt("id") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| Error::Config(format!("--id {v} is not a number")))?,
+        None => return Err(Error::Config("ic-node requires --id N".into())),
+    };
+    let proxy = args.get("proxy", "127.0.0.1:7200");
+    let backup_secs: u64 = args.num("backup-secs", 0)?;
+    let retry_secs: u64 = args.num("retry-secs", 10)?;
+
+    let rt_cfg = RuntimeConfig {
+        backup_enabled: backup_secs > 0,
+        backup_interval: SimDuration::from_secs(backup_secs.max(1)),
+        ..RuntimeConfig::paper()
+    };
+    let node = NetNode::connect(
+        LambdaId(id),
+        proxy.as_str(),
+        rt_cfg,
+        Duration::from_secs(retry_secs),
+    )?;
+    println!("ic-node: λ{id} connected to {proxy}");
+    node.run();
+    println!("ic-node: λ{id} shutting down");
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ic-node: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,85 @@
+//! `netbench`: the loopback throughput benchmark.
+//!
+//! Spins up a complete socket cluster (proxy + node daemons on loopback
+//! TCP inside this process), drives it with a configurable GET/PUT mix,
+//! and writes `BENCH_net.json` with throughput and latency percentiles —
+//! the first entry of the repository's real-network bench trajectory.
+//!
+//! ```text
+//! netbench [--clients N] [--ops N] [--size BYTES] [--get-frac F]
+//!          [--keys N] [--ec d+p] [--nodes N] [--seed N]
+//!          [--no-verify] [--connect ADDR] [--out PATH]
+//! ```
+//!
+//! `--connect ADDR` skips the in-process cluster and targets an already
+//! running `ic-proxy` instead (equivalent to `ic-cli bench`).
+
+use std::net::ToSocketAddrs;
+
+use ic_common::{DeploymentConfig, Error, Result};
+use ic_net::args::Args;
+use ic_net::bench::{self, BenchConfig};
+use ic_net::cluster::LoopbackCluster;
+
+fn run() -> Result<()> {
+    let args = Args::parse();
+    let cfg = BenchConfig {
+        clients: args.num("clients", 4)?,
+        ops_per_client: args.num("ops", 200)?,
+        object_bytes: args.num("size", 256 * 1024)?,
+        get_fraction: args.num("get-frac", 0.7)?,
+        key_space: args.num("keys", 16)?,
+        ec: args.ec("ec", ic_common::EcConfig::new(4, 2).expect("valid code"))?,
+        seed: args.num("seed", 42)?,
+        verify: !args.has("no-verify"),
+    };
+    let nodes: u32 = args.num("nodes", 10)?;
+    let out = args.get("out", "BENCH_net.json");
+
+    let (label, report, cluster) = match args.opt("connect") {
+        Some(addr) => {
+            let addr = addr
+                .to_socket_addrs()
+                .map_err(|e| Error::Config(format!("--connect {addr}: {e}")))?
+                .next()
+                .ok_or_else(|| Error::Config(format!("--connect {addr} resolves to nothing")))?;
+            println!("netbench: targeting external proxy at {addr}");
+            ("net_external", bench::run(addr, &cfg)?, None)
+        }
+        None => {
+            let deployment = DeploymentConfig {
+                backup_enabled: false,
+                ..DeploymentConfig::small(nodes, cfg.ec)
+            };
+            println!(
+                "netbench: loopback cluster of {nodes} nodes, {} clients × {} ops, {} B objects, RS{}",
+                cfg.clients, cfg.ops_per_client, cfg.object_bytes, cfg.ec
+            );
+            let cluster = LoopbackCluster::start(deployment)?;
+            let report = bench::run(cluster.client_addr(), &cfg)?;
+            ("net_loopback", report, Some(cluster))
+        }
+    };
+
+    println!("{}", bench::summary_line(&report));
+    std::fs::write(&out, bench::to_json(label, &cfg, &report))
+        .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
+    println!("wrote {out}");
+    if let Some(c) = cluster {
+        c.shutdown();
+    }
+    if report.verify_failures > 0 {
+        return Err(Error::Protocol(format!(
+            "{} GETs failed verification",
+            report.verify_failures
+        )));
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("netbench: {e}");
+        std::process::exit(1);
+    }
+}

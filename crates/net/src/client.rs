@@ -1,0 +1,324 @@
+//! The synchronous socket client: the InfiniCache client library over
+//! one TCP connection to a proxy.
+//!
+//! Mirrors live mode's blocking facade: `put` and `get` drive the pure
+//! [`ClientLib`] state machine, execute its actions through the shared
+//! [`infinicache::dispatch`] engine (this type implements the client
+//! role), and block reading framed proxy replies until the operation
+//! reaches a terminal [`ClientOutcome`]. Erasure coding happens here, on
+//! the client, exactly as the paper prescribes (§3.1) — the proxy only
+//! ever sees encoded chunks.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use ic_client::{ClientLib, GetReport};
+use ic_common::frame::FrameError;
+use ic_common::msg::Msg;
+use ic_common::{ClientId, EcConfig, Error, ObjectKey, Payload, ProxyId, Result, SimTime};
+use infinicache::dispatch::{self, ClientOutcome, ClientTransport};
+
+use crate::wire::Frame;
+
+/// A connected synchronous client.
+pub struct NetClient {
+    lib: ClientLib,
+    stream: TcpStream,
+    client: ClientId,
+    epoch: Instant,
+    op_timeout: Duration,
+    /// Terminal outcomes collected by the client-role transport, drained
+    /// by the blocking `put`/`get` loops.
+    outcomes: Vec<ClientOutcome>,
+    /// First transport failure observed while dispatching.
+    send_error: Option<String>,
+    /// Set once the stream can no longer be trusted — an op timeout may
+    /// have fired mid-frame, leaving the connection desynchronized, so
+    /// every later operation must fail instead of parsing garbage.
+    poisoned: bool,
+}
+
+impl NetClient {
+    /// Connects to a proxy's client port and performs the handshake.
+    ///
+    /// The proxy assigns the client identity and announces its Lambda
+    /// pool; `ec` is the client-side erasure-coding choice (the proxy
+    /// never inspects it) and `seed` drives placement randomness.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] when the connection or handshake fails.
+    pub fn connect(addr: impl ToSocketAddrs, ec: EcConfig, seed: u64) -> Result<NetClient> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| Error::Transport(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        Frame::HelloClient.write_to(&mut stream)?;
+        let (client, proxy, pool) = match Frame::read_from(&mut stream)? {
+            Frame::Welcome {
+                client,
+                proxy,
+                pool,
+            } => (client, proxy, pool),
+            other => {
+                return Err(Error::Protocol(format!(
+                    "expected Welcome from the proxy, got {other:?}"
+                )))
+            }
+        };
+        if pool.len() < ec.shards() {
+            return Err(Error::Config(format!(
+                "proxy pool of {} nodes cannot place {} distinct chunks",
+                pool.len(),
+                ec.shards()
+            )));
+        }
+        let lib = ClientLib::new(client, ec, vec![(proxy, pool)], 64, seed);
+        Ok(NetClient {
+            lib,
+            stream,
+            client,
+            epoch: Instant::now(),
+            op_timeout: Duration::from_secs(10),
+            outcomes: Vec::new(),
+            send_error: None,
+            poisoned: false,
+        })
+    }
+
+    /// The identity the proxy assigned to this connection.
+    pub fn id(&self) -> ClientId {
+        self.client
+    }
+
+    /// Client-side statistics (recoveries, repairs, hits...).
+    pub fn stats(&self) -> ic_client::ClientStats {
+        self.lib.stats
+    }
+
+    /// The erasure-coding configuration in use.
+    pub fn ec(&self) -> EcConfig {
+        self.lib.ec()
+    }
+
+    /// Overrides the per-operation timeout (default 10 s).
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Stores `object` under `key`, blocking until fully acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PutAborted`] when the proxy aborted the write (evicted or
+    /// overwritten mid-flight), [`Error::Transport`] on connection
+    /// failure or timeout.
+    pub fn put(&mut self, key: impl AsRef<str>, object: Bytes) -> Result<()> {
+        self.check_poisoned()?;
+        let key = ObjectKey::new(key);
+        let actions = self.lib.put(key.clone(), Payload::Bytes(object));
+        self.drive(actions)?;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            for outcome in self.take_outcomes() {
+                match outcome {
+                    ClientOutcome::PutComplete { key: k } if k == key => return Ok(()),
+                    ClientOutcome::PutFailed { key: k } if k == key => {
+                        return Err(Error::PutAborted(key));
+                    }
+                    _ => {}
+                }
+            }
+            let msg = self.recv(deadline)?;
+            let actions = self.lib.on_proxy(msg);
+            self.drive(actions)?;
+        }
+    }
+
+    /// Fetches `key`; `Ok(None)` on a cache miss.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChunkUnavailable`] when more than `p` chunks are lost,
+    /// [`Error::Transport`] on connection failure or timeout.
+    pub fn get(&mut self, key: impl AsRef<str>) -> Result<Option<Bytes>> {
+        Ok(self.get_reported(key)?.map(|(b, _)| b))
+    }
+
+    /// Like [`NetClient::get`], returning the decode/repair report with
+    /// the bytes (used by tests asserting EC recovery actually happened).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::get`].
+    pub fn get_reported(&mut self, key: impl AsRef<str>) -> Result<Option<(Bytes, GetReport)>> {
+        self.check_poisoned()?;
+        let key = ObjectKey::new(key);
+        let actions = self.lib.get(key.clone());
+        self.drive(actions)?;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            for outcome in self.take_outcomes() {
+                match outcome {
+                    ClientOutcome::Delivered {
+                        key: k,
+                        object,
+                        report,
+                    } if k == key => {
+                        let Payload::Bytes(b) = object else {
+                            return Err(Error::Protocol(
+                                "the socket substrate delivers real bytes".into(),
+                            ));
+                        };
+                        return Ok(Some((b, report)));
+                    }
+                    ClientOutcome::Miss { key: k } if k == key => return Ok(None),
+                    ClientOutcome::Unrecoverable {
+                        key: k,
+                        available,
+                        needed,
+                    } if k == key => return Err(Error::ChunkUnavailable { needed, available }),
+                    // Outcomes for other keys cannot occur on this
+                    // synchronous client; drop them.
+                    _ => {}
+                }
+            }
+            let msg = self.recv(deadline)?;
+            let actions = self.lib.on_proxy(msg);
+            self.drive(actions)?;
+        }
+    }
+
+    /// Runs client actions through the shared dispatch engine, surfacing
+    /// any transport failure recorded by the client-role hooks.
+    fn drive(&mut self, actions: Vec<ic_client::ClientAction>) -> Result<()> {
+        let now = self.now();
+        let client = self.client;
+        dispatch::run_client_actions(self, now, client, actions);
+        match self.send_error.take() {
+            Some(e) => Err(Error::Transport(e)),
+            None => Ok(()),
+        }
+    }
+
+    fn take_outcomes(&mut self) -> Vec<ClientOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Fails fast once the connection can no longer be trusted.
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Transport(
+                "connection poisoned by an earlier timeout or transport error; \
+                 reconnect with NetClient::connect"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reads the next framed proxy message, bounded by `deadline`.
+    ///
+    /// Any failure here poisons the client: a timeout can fire after
+    /// part of a frame was consumed, desynchronizing the stream, so
+    /// continuing to parse it would yield garbage.
+    fn recv(&mut self, deadline: Instant) -> Result<Msg> {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.poisoned = true;
+                return Err(Error::Transport("operation timed out".into()));
+            }
+            self.stream
+                .set_read_timeout(Some(deadline - now))
+                .map_err(|e| Error::Transport(e.to_string()))?;
+            match Frame::read_from(&mut self.stream) {
+                Ok(Frame::App { msg }) => return Ok(msg),
+                Ok(Frame::Shutdown) => {
+                    self.poisoned = true;
+                    return Err(Error::Shutdown);
+                }
+                Ok(_) => continue, // nothing else addresses a client
+                Err(FrameError::Closed) => {
+                    self.poisoned = true;
+                    return Err(Error::Transport("proxy closed the connection".into()));
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    self.poisoned = true;
+                    return Err(Error::Transport("operation timed out".into()));
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+}
+
+impl ClientTransport for NetClient {
+    fn client_send(&mut self, _now: SimTime, _client: ClientId, _proxy: ProxyId, msg: Msg) {
+        if let Err(e) = (Frame::App { msg }).write_to(&mut self.stream) {
+            self.send_error.get_or_insert_with(|| e.to_string());
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        _now: SimTime,
+        _client: ClientId,
+        key: ObjectKey,
+        object: Payload,
+        report: GetReport,
+    ) {
+        self.outcomes.push(ClientOutcome::Delivered {
+            key,
+            object,
+            report,
+        });
+    }
+
+    fn unrecoverable(
+        &mut self,
+        _now: SimTime,
+        _client: ClientId,
+        key: ObjectKey,
+        available: usize,
+        needed: usize,
+    ) {
+        self.outcomes.push(ClientOutcome::Unrecoverable {
+            key,
+            available,
+            needed,
+        });
+    }
+
+    fn miss(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
+        self.outcomes.push(ClientOutcome::Miss { key });
+    }
+
+    fn put_complete(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
+        self.outcomes.push(ClientOutcome::PutComplete { key });
+    }
+
+    fn put_failed(&mut self, _now: SimTime, _client: ClientId, key: ObjectKey) {
+        self.outcomes.push(ClientOutcome::PutFailed { key });
+    }
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("client", &self.client)
+            .field("stats", &self.lib.stats)
+            .finish()
+    }
+}

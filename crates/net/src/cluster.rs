@@ -1,0 +1,146 @@
+//! An in-process loopback cluster: the full socket substrate — proxy
+//! listeners, node daemons, framed TCP — wired up on `127.0.0.1`
+//! ephemeral ports inside one process.
+//!
+//! Every byte still crosses a real kernel socket; only the process
+//! boundary is collapsed (daemons run on threads). This is what the
+//! parity tests and `netbench` use: same code paths as the `ic-proxy` /
+//! `ic-node` / `ic-cli` binaries, none of the subprocess management.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use ic_common::{DeploymentConfig, LambdaId, Result};
+use ic_lambda::runtime::RuntimeConfig;
+
+use crate::client::NetClient;
+use crate::node::{NetNode, NodeHandle};
+use crate::proxy::{self, NetProxyConfig, NetProxyHandle};
+
+/// A running loopback deployment: one socket proxy plus one in-process
+/// node daemon per pool member.
+pub struct LoopbackCluster {
+    cfg: DeploymentConfig,
+    proxy: Option<NetProxyHandle>,
+    nodes: HashMap<LambdaId, NodeHandle>,
+}
+
+impl LoopbackCluster {
+    /// Starts the cluster on ephemeral loopback ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ic_common::Error::Config`] for invalid deployments and
+    /// [`ic_common::Error::Transport`] when sockets cannot be set up.
+    pub fn start(cfg: DeploymentConfig) -> Result<LoopbackCluster> {
+        let proxy = proxy::start(NetProxyConfig::loopback(cfg.clone()))?;
+        let rt_cfg = RuntimeConfig::for_deployment(&cfg);
+        let mut nodes = HashMap::new();
+        for l in 0..cfg.lambdas_per_proxy {
+            let lambda = LambdaId(l);
+            let handle = NetNode::spawn(lambda, proxy.node_addr, rt_cfg, Duration::from_secs(5))?;
+            nodes.insert(lambda, handle);
+        }
+        Ok(LoopbackCluster {
+            cfg,
+            proxy: Some(proxy),
+            nodes,
+        })
+    }
+
+    /// Address clients connect to (for external drivers like `ic-cli`).
+    pub fn client_addr(&self) -> SocketAddr {
+        self.proxy.as_ref().expect("running").client_addr
+    }
+
+    /// Address node daemons connect to.
+    pub fn node_addr(&self) -> SocketAddr {
+        self.proxy.as_ref().expect("running").node_addr
+    }
+
+    /// Connects a new synchronous client with the deployment's EC config.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::connect`].
+    pub fn client(&self) -> Result<NetClient> {
+        self.client_seeded(7)
+    }
+
+    /// Connects a client with an explicit placement seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::connect`].
+    pub fn client_seeded(&self, seed: u64) -> Result<NetClient> {
+        NetClient::connect(self.client_addr(), self.cfg.ec, seed)
+    }
+
+    /// Provider-style reclaim of one node: its instances and cached
+    /// chunks vanish, its daemon and socket stay up (the node answers
+    /// `ChunkMiss` for lost chunks on the next request).
+    pub fn reclaim_node(&self, lambda: LambdaId) {
+        if let Some(h) = self.nodes.get(&lambda) {
+            h.reclaim();
+        }
+    }
+
+    /// Kills one node's daemon outright — the in-process equivalent of
+    /// `kill <ic-node pid>`: the socket drops, the proxy resets the
+    /// member connection, and the node's chunks go silent (masked by
+    /// first-*d* streaming on subsequent GETs).
+    pub fn kill_node(&mut self, lambda: LambdaId) {
+        if let Some(mut h) = self.nodes.remove(&lambda) {
+            h.kill();
+        }
+    }
+
+    /// Restarts a killed node's daemon (fresh instance state, like the
+    /// provider placing the function on a new host).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetNode::spawn`].
+    pub fn restart_node(&mut self, lambda: LambdaId) -> Result<()> {
+        self.kill_node(lambda);
+        let handle = NetNode::spawn(
+            lambda,
+            self.node_addr(),
+            RuntimeConfig::for_deployment(&self.cfg),
+            Duration::from_secs(5),
+        )?;
+        self.nodes.insert(lambda, handle);
+        Ok(())
+    }
+
+    /// Stops the proxy and every node daemon.
+    pub fn shutdown(mut self) {
+        if let Some(p) = self.proxy.take() {
+            p.shutdown();
+        }
+        for (_, mut h) in self.nodes.drain() {
+            h.kill();
+        }
+    }
+}
+
+impl Drop for LoopbackCluster {
+    fn drop(&mut self) {
+        if let Some(p) = self.proxy.take() {
+            p.shutdown();
+        }
+        for (_, mut h) in self.nodes.drain() {
+            h.kill();
+        }
+    }
+}
+
+impl std::fmt::Debug for LoopbackCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackCluster")
+            .field("nodes", &self.nodes.len())
+            .field("client_addr", &self.client_addr())
+            .finish()
+    }
+}

@@ -1,0 +1,48 @@
+//! # ic-net: the real-socket TCP substrate
+//!
+//! InfiniCache is a networked system: the client library speaks to a
+//! proxy over TCP, and the proxy holds long-lived connections to its
+//! Lambda pool (Fig 6 of the paper). This crate carries the reproduction
+//! across the process boundary — the third execution substrate after the
+//! discrete-event simulator and the in-process live mode:
+//!
+//! * [`wire`] — the socket-level frame vocabulary (handshakes, invokes,
+//!   instance-addressed delivery) over the shared length-prefixed codec
+//!   in [`ic_common::frame`];
+//! * [`node`] — [`node::NetNode`], the emulated Lambda node daemon: one
+//!   process per logical node, hosting its [`ic_lambda::Runtime`]
+//!   instances on real 100 ms billing cycles; killing the process is a
+//!   provider reclaim;
+//! * [`proxy`] — the socket-backed proxy: accept loops, per-connection
+//!   reader/writer threads, and the same [`ic_proxy::Proxy`] state
+//!   machine the other substrates drive;
+//! * [`client`] — [`client::NetClient`], a synchronous client facade
+//!   (erasure coding on the client, §3.1) over one proxy connection;
+//! * [`cluster`] — [`cluster::LoopbackCluster`], the whole deployment on
+//!   loopback sockets inside one process, for tests and benchmarks;
+//! * [`bench`] — the configurable GET/PUT throughput benchmark behind
+//!   the `netbench` binary and `ic-cli bench`.
+//!
+//! Everything protocol-level is executed by the shared
+//! [`infinicache::dispatch`] engines, so the sim-vs-net parity tests in
+//! the workspace root can replay identical scripts through the simulator
+//! and a loopback socket cluster and demand identical outcomes.
+//!
+//! Binaries (see the README's "Running a real cluster"): `ic-proxy`,
+//! `ic-node`, `ic-cli`, and `netbench`. No async runtime — plain
+//! `std::net` and threads, deployable anywhere the binaries run.
+
+pub mod args;
+pub mod bench;
+pub mod client;
+pub mod cluster;
+pub mod node;
+pub mod proxy;
+pub mod replay;
+pub mod wire;
+
+pub use client::NetClient;
+pub use cluster::LoopbackCluster;
+pub use node::{NetNode, NodeHandle};
+pub use proxy::{NetProxyConfig, NetProxyHandle};
+pub use wire::Frame;

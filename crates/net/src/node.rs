@@ -1,0 +1,265 @@
+//! The emulated Lambda node daemon: one OS process (or in-process
+//! thread) hosting the instances of one logical cache node.
+//!
+//! In the paper, a Lambda node is a function the provider runs on
+//! demand; the proxy *invokes* it and the instance dials the proxy back
+//! (§2.2). Here the daemon plays the provider's role for its own node:
+//! it holds a long-lived TCP connection to the proxy, receives
+//! [`Frame::Invoke`] and [`Frame::ToInstance`] frames, and runs the
+//! substrate-independent [`NodeHost`] core — the same instance
+//! container, invoke routing, billed-duration timers (real 100 ms
+//! cycles), and backup-relay plumbing live mode uses, executing protocol
+//! actions through the shared dispatch engine. Only the byte transport
+//! differs: frames over TCP instead of channel sends.
+//!
+//! **Reclaim semantics**: the daemon persists nothing. Killing the
+//! process (SIGTERM, SIGKILL, a crash) loses every instance and every
+//! cached chunk — exactly what a provider reclaim does. In-process
+//! embeddings (the loopback cluster) can additionally inject
+//! [`NodeEvent::Reclaim`] to drop instances while keeping the daemon
+//! and its connection alive, which makes the node answer `ChunkMiss`
+//! like a freshly re-invoked function.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ic_common::msg::Msg;
+use ic_common::{Error, InstanceId, LambdaId, Result, SimTime};
+use ic_lambda::runtime::RuntimeConfig;
+use infinicache::nodehost::{NodeHost, NodeIo};
+
+use crate::wire::Frame;
+
+/// Events driving the daemon's protocol loop.
+pub enum NodeEvent {
+    /// A frame arrived from the proxy.
+    Frame(Frame),
+    /// The proxy connection closed or failed.
+    Disconnected,
+    /// In-process control: provider-style reclaim (all instances and
+    /// their cached chunks vanish; the daemon stays connected).
+    Reclaim,
+    /// In-process control: stop the daemon. A real deployment just kills
+    /// the process.
+    Stop,
+}
+
+/// The net substrate's [`NodeIo`]: node → proxy messages are frames on
+/// the daemon's socket. A write failure marks the connection dead so the
+/// run loop exits.
+struct NetNodeIo {
+    stream: TcpStream,
+    dead: bool,
+}
+
+impl NetNodeIo {
+    fn send(&mut self, frame: Frame) {
+        if frame.write_to(&mut self.stream).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+impl NodeIo for NetNodeIo {
+    fn send_to_proxy(&mut self, instance: InstanceId, msg: Msg) {
+        self.send(Frame::FromInstance { instance, msg });
+    }
+}
+
+/// A connected node daemon, ready to [`NetNode::run`].
+pub struct NetNode {
+    epoch: Instant,
+    events: Receiver<NodeEvent>,
+    control: Sender<NodeEvent>,
+    host: NodeHost<NetNodeIo>,
+}
+
+/// Handle to an in-process daemon spawned with [`NetNode::spawn`].
+pub struct NodeHandle {
+    /// The node this handle controls.
+    pub lambda: LambdaId,
+    control: Sender<NodeEvent>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Injects a provider-style reclaim: instances and cached chunks
+    /// vanish, the daemon stays up.
+    pub fn reclaim(&self) {
+        let _ = self.control.send(NodeEvent::Reclaim);
+    }
+
+    /// Stops the daemon and waits for it, dropping its proxy connection —
+    /// the in-process equivalent of killing an `ic-node` process.
+    pub fn kill(&mut self) {
+        let _ = self.control.send(NodeEvent::Stop);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl NetNode {
+    /// Dials the proxy's node port (retrying within `retry_for`, so
+    /// daemons can start before the proxy) and performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] when no connection could be established
+    /// within the retry window or the handshake fails.
+    pub fn connect(
+        lambda: LambdaId,
+        proxy: impl ToSocketAddrs + std::fmt::Debug,
+        rt_cfg: RuntimeConfig,
+        retry_for: Duration,
+    ) -> Result<NetNode> {
+        let deadline = Instant::now() + retry_for;
+        let stream = loop {
+            match TcpStream::connect(&proxy) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::Transport(format!(
+                            "cannot reach proxy at {proxy:?}: {e}"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        };
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        let mut write_half = stream
+            .try_clone()
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        Frame::HelloNode { lambda }.write_to(&mut write_half)?;
+
+        let (tx, rx) = channel::<NodeEvent>();
+        let reader_tx = tx.clone();
+        let mut read_half = stream;
+        std::thread::Builder::new()
+            .name(format!("ic-node-{}-reader", lambda.0))
+            .spawn(move || loop {
+                match Frame::read_from(&mut read_half) {
+                    Ok(f) => {
+                        if reader_tx.send(NodeEvent::Frame(f)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        let _ = reader_tx.send(NodeEvent::Disconnected);
+                        return;
+                    }
+                }
+            })
+            .map_err(|e| Error::Transport(e.to_string()))?;
+
+        Ok(NetNode {
+            epoch: Instant::now(),
+            events: rx,
+            control: tx,
+            host: NodeHost::new(
+                lambda,
+                rt_cfg,
+                NetNodeIo {
+                    stream: write_half,
+                    dead: false,
+                },
+            ),
+        })
+    }
+
+    /// Connects and runs the daemon on a background thread (used by the
+    /// loopback cluster and the tests; the `ic-node` binary calls
+    /// [`NetNode::run`] on the main thread instead).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetNode::connect`].
+    pub fn spawn(
+        lambda: LambdaId,
+        proxy: impl ToSocketAddrs + std::fmt::Debug,
+        rt_cfg: RuntimeConfig,
+        retry_for: Duration,
+    ) -> Result<NodeHandle> {
+        let node = NetNode::connect(lambda, proxy, rt_cfg, retry_for)?;
+        let control = node.control.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("ic-node-{}", lambda.0))
+            .spawn(move || node.run())
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        Ok(NodeHandle {
+            lambda,
+            control,
+            join: Some(join),
+        })
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Runs the daemon until the proxy connection closes, a
+    /// [`NodeEvent::Stop`] arrives, or the proxy announces shutdown.
+    /// On exit the socket is shut down on both halves, so the reader
+    /// thread unblocks and the proxy observes the death immediately
+    /// (`NodeGone` → [`ic_proxy::Proxy::on_connection_lost`]) instead of
+    /// discovering it on its next write.
+    pub fn run(self) {
+        let shutdown = self.host.io.stream.try_clone();
+        self.run_loop();
+        if let Ok(s) = shutdown {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn run_loop(mut self) {
+        loop {
+            if self.host.io.dead {
+                return;
+            }
+            // Wait until the earliest duration-control timer or an event.
+            let ev = match self.host.next_timer_at() {
+                Some(at) => {
+                    let now = self.now();
+                    let wait =
+                        Duration::from_micros(at.as_micros().saturating_sub(now.as_micros()));
+                    match self.events.recv_timeout(wait) {
+                        Ok(e) => Some(e),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.events.recv() {
+                    Ok(e) => Some(e),
+                    Err(_) => return,
+                },
+            };
+            let now = self.now();
+            match ev {
+                None => self.host.fire_due_timers(now),
+                Some(NodeEvent::Frame(Frame::Invoke { payload })) => {
+                    self.host.invoke(now, &payload);
+                }
+                Some(NodeEvent::Frame(Frame::ToInstance { instance, msg })) => {
+                    if let Err(msg) = self.host.deliver(now, instance, msg) {
+                        self.host.io.send(Frame::Unreachable { msg });
+                    }
+                }
+                Some(NodeEvent::Frame(Frame::Shutdown)) => return,
+                Some(NodeEvent::Frame(_)) => {} // not addressed to a node
+                Some(NodeEvent::Reclaim) => self.host.reclaim(),
+                Some(NodeEvent::Disconnected) | Some(NodeEvent::Stop) => return,
+            }
+        }
+    }
+}

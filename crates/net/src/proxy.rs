@@ -1,0 +1,575 @@
+//! The socket-backed proxy: real TCP listeners in front of the same
+//! [`Proxy`] state machine the simulator and live mode drive.
+//!
+//! Thread structure (all plain `std::net`/`std::thread`, no async
+//! runtime):
+//!
+//! * two **accept loops** — one for clients, one for node daemons — that
+//!   perform the [`Frame`] handshake per connection and hand the peer to
+//!   the event loop;
+//! * one **reader thread per connection**, decoding frames into the
+//!   single event channel (so the protocol loop never blocks on a slow
+//!   peer's socket);
+//! * one **writer thread per connection**, draining an unbounded queue
+//!   (so a peer that stops reading — a client idling between operations
+//!   while late chunks stream at it — stalls only its own queue, never
+//!   the protocol loop);
+//! * one **event loop** owning the [`Proxy`] state machine, executing its
+//!   actions through the shared [`infinicache::dispatch`] engine with
+//!   this module's [`ProxyTransport`] implementation.
+//!
+//! The per-node connection lifecycle maps onto real socket events:
+//! *invoke-on-demand* becomes a [`Frame::Invoke`] to the node's daemon
+//! (parked until the daemon connects, mirroring the provider's queueing);
+//! *PING/PONG validation* rides [`Frame::ToInstance`]/
+//! [`Frame::FromInstance`]; *connection replacement during backup* is the
+//! ordinary `HelloProxy` flow, since every instance of a node shares the
+//! daemon's socket; and a daemon's socket dropping (its process was
+//! killed — a reclaim) resets the member connection via
+//! [`Proxy::on_connection_lost`], exactly the Fig 6 "timeout ‖ returned"
+//! edge.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ic_common::msg::{InvokePayload, Msg};
+use ic_common::{
+    ClientId, DeploymentConfig, Error, InstanceId, LambdaId, ProxyId, RelayId, Result, SimTime,
+};
+use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
+use infinicache::dispatch::{self, LambdaCtx, ProxyTransport};
+
+use crate::wire::Frame;
+
+/// Configuration of one socket-backed proxy.
+#[derive(Clone, Debug)]
+pub struct NetProxyConfig {
+    /// Deployment shape (pool size, capacity, warm-up interval). Must
+    /// describe a single proxy, like live mode.
+    pub deployment: DeploymentConfig,
+    /// Address to accept client connections on (port 0 picks one).
+    pub client_addr: SocketAddr,
+    /// Address to accept node-daemon connections on (port 0 picks one).
+    pub node_addr: SocketAddr,
+    /// Warm-up tick period, `None` to disable (tests disable it; the
+    /// `ic-proxy` binary defaults to the deployment's `Twarm`).
+    pub warmup: Option<Duration>,
+}
+
+impl NetProxyConfig {
+    /// Loopback config on ephemeral ports with warm-ups off.
+    pub fn loopback(deployment: DeploymentConfig) -> Self {
+        NetProxyConfig {
+            deployment,
+            client_addr: "127.0.0.1:0".parse().expect("static addr"),
+            node_addr: "127.0.0.1:0".parse().expect("static addr"),
+            warmup: None,
+        }
+    }
+}
+
+/// Events feeding the proxy's protocol loop.
+enum Ev {
+    ClientJoin(ClientId, Sender<Frame>),
+    ClientMsg(ClientId, Msg),
+    ClientGone(ClientId),
+    /// A node daemon connected; the `u64` is the connection generation,
+    /// so a stale `NodeGone` from a previous connection of the same node
+    /// cannot clobber a fresh one.
+    NodeJoin(LambdaId, u64, Sender<Frame>),
+    NodeMsg(LambdaId, InstanceId, Msg),
+    NodeUnreachable(LambdaId, Msg),
+    NodeGone(LambdaId, u64),
+    Quit,
+}
+
+/// A running socket-backed proxy.
+pub struct NetProxyHandle {
+    /// Address clients connect to.
+    pub client_addr: SocketAddr,
+    /// Address node daemons connect to.
+    pub node_addr: SocketAddr,
+    events: Sender<Ev>,
+    stop: Arc<AtomicBool>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl NetProxyHandle {
+    /// Stops the proxy: notifies peers, unblocks the accept loops, and
+    /// joins every long-lived thread.
+    pub fn shutdown(mut self) {
+        let _ = self.events.send(Ev::Quit);
+        self.stop.store(true, Ordering::SeqCst);
+        // Dummy connections unblock the accept loops so they observe the
+        // stop flag.
+        let _ = TcpStream::connect(self.client_addr);
+        let _ = TcpStream::connect(self.node_addr);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Starts a proxy: binds both listeners and spawns the thread ensemble.
+///
+/// # Errors
+///
+/// [`Error::Config`] for invalid deployments (the socket substrate runs a
+/// single proxy, like live mode) and [`Error::Transport`] when a listener
+/// cannot bind.
+pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
+    cfg.deployment.validate()?;
+    if cfg.deployment.proxies != 1 {
+        return Err(Error::Config(
+            "the socket substrate runs a single proxy".into(),
+        ));
+    }
+    let client_listener =
+        TcpListener::bind(cfg.client_addr).map_err(|e| Error::Transport(e.to_string()))?;
+    let node_listener =
+        TcpListener::bind(cfg.node_addr).map_err(|e| Error::Transport(e.to_string()))?;
+    let client_addr = client_listener
+        .local_addr()
+        .map_err(|e| Error::Transport(e.to_string()))?;
+    let node_addr = node_listener
+        .local_addr()
+        .map_err(|e| Error::Transport(e.to_string()))?;
+
+    let proxy_id = ProxyId(0);
+    let pool: Arc<Vec<LambdaId>> = Arc::new(
+        (0..cfg.deployment.lambdas_per_proxy)
+            .map(LambdaId)
+            .collect(),
+    );
+    let (events_tx, events_rx) = channel::<Ev>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut joins = Vec::new();
+
+    // Client accept loop.
+    let client_ids = Arc::new(ClientIds::default());
+    {
+        let events = events_tx.clone();
+        let stop = stop.clone();
+        let pool = pool.clone();
+        let client_ids = client_ids.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name("ic-proxy-accept-clients".into())
+                .spawn(move || {
+                    for conn in client_listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let events = events.clone();
+                        let pool = pool.clone();
+                        let client_ids = client_ids.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("ic-proxy-client-conn".into())
+                            .spawn(move || {
+                                client_connection(stream, proxy_id, &pool, &client_ids, &events);
+                            });
+                    }
+                })
+                .map_err(|e| Error::Transport(e.to_string()))?,
+        );
+    }
+
+    // Node accept loop.
+    {
+        let events = events_tx.clone();
+        let stop = stop.clone();
+        let pool = pool.clone();
+        let next_generation = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        joins.push(
+            std::thread::Builder::new()
+                .name("ic-proxy-accept-nodes".into())
+                .spawn(move || {
+                    for conn in node_listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let events = events.clone();
+                        let pool = pool.clone();
+                        let generation = next_generation.fetch_add(1, Ordering::SeqCst);
+                        let _ = std::thread::Builder::new()
+                            .name("ic-proxy-node-conn".into())
+                            .spawn(move || node_connection(stream, generation, &pool, &events));
+                    }
+                })
+                .map_err(|e| Error::Transport(e.to_string()))?,
+        );
+    }
+
+    // Protocol event loop.
+    {
+        let proxy = Proxy::new(
+            ProxyConfig {
+                id: proxy_id,
+                capacity_bytes: cfg.deployment.pool_capacity(),
+            },
+            pool.iter().copied(),
+        );
+        let warmup = cfg.warmup;
+        joins.push(
+            std::thread::Builder::new()
+                .name("ic-proxy-events".into())
+                .spawn(move || {
+                    ProxyLoop {
+                        proxy,
+                        client_ids,
+                        clients: HashMap::new(),
+                        nodes: HashMap::new(),
+                        pending_invokes: HashMap::new(),
+                        epoch: Instant::now(),
+                    }
+                    .run(events_rx, warmup)
+                })
+                .map_err(|e| Error::Transport(e.to_string()))?,
+        );
+    }
+
+    Ok(NetProxyHandle {
+        client_addr,
+        node_addr,
+        events: events_tx,
+        stop,
+        joins,
+    })
+}
+
+/// Spawns the writer thread for one connection and returns its queue.
+fn spawn_writer(stream: TcpStream, name: &str) -> Sender<Frame> {
+    let (tx, rx) = channel::<Frame>();
+    let mut stream = stream;
+    let _ = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                if frame.write_to(&mut stream).is_err() {
+                    return;
+                }
+            }
+            let _ = stream.flush();
+        });
+    tx
+}
+
+/// Client-identity allocator: ids of disconnected clients are recycled,
+/// and allocation refuses (dropping the connection) rather than wrap the
+/// `u16` space — a wrap would silently hand a live client's identity to
+/// a newcomer and cross-wire their replies.
+#[derive(Default)]
+struct ClientIds {
+    inner: std::sync::Mutex<ClientIdsInner>,
+}
+
+#[derive(Default)]
+struct ClientIdsInner {
+    /// Ids returned by disconnected clients, reused first.
+    free: Vec<u16>,
+    /// Next never-used id; `u16::MAX + 1` means the space is exhausted.
+    next: u32,
+}
+
+impl ClientIds {
+    fn alloc(&self) -> Option<ClientId> {
+        let mut inner = self.inner.lock().expect("id allocator lock");
+        if let Some(id) = inner.free.pop() {
+            return Some(ClientId(id));
+        }
+        if inner.next > u16::MAX as u32 {
+            return None; // 65,536 concurrent clients: refuse, never reuse
+        }
+        let id = inner.next as u16;
+        inner.next += 1;
+        Some(ClientId(id))
+    }
+
+    fn release(&self, id: ClientId) {
+        self.inner
+            .lock()
+            .expect("id allocator lock")
+            .free
+            .push(id.0);
+    }
+}
+
+/// Handshakes and then reads one client connection.
+fn client_connection(
+    mut stream: TcpStream,
+    proxy: ProxyId,
+    pool: &[LambdaId],
+    ids: &ClientIds,
+    events: &Sender<Ev>,
+) {
+    let _ = stream.set_nodelay(true);
+    match Frame::read_from(&mut stream) {
+        Ok(Frame::HelloClient) => {}
+        _ => return, // not a client (or the shutdown waker): drop
+    }
+    let Some(client) = ids.alloc() else {
+        return; // id space exhausted by concurrent clients: refuse
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        ids.release(client);
+        return;
+    };
+    let writer = spawn_writer(write_half, "ic-proxy-client-writer");
+    if writer
+        .send(Frame::Welcome {
+            client,
+            proxy,
+            pool: pool.to_vec(),
+        })
+        .is_err()
+    {
+        // The event loop never saw this id; return it directly. (After
+        // ClientJoin, the id is released by the event loop on ClientGone
+        // so a recycled id can never race its predecessor's teardown.)
+        ids.release(client);
+        return;
+    }
+    if events.send(Ev::ClientJoin(client, writer)).is_err() {
+        return;
+    }
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Frame::App { msg }) => {
+                if events.send(Ev::ClientMsg(client, msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => {} // clients send nothing else; ignore
+            Err(_) => {
+                let _ = events.send(Ev::ClientGone(client));
+                return;
+            }
+        }
+    }
+}
+
+/// Handshakes and then reads one node-daemon connection.
+fn node_connection(mut stream: TcpStream, generation: u64, pool: &[LambdaId], events: &Sender<Ev>) {
+    let _ = stream.set_nodelay(true);
+    let lambda = match Frame::read_from(&mut stream) {
+        Ok(Frame::HelloNode { lambda }) if pool.contains(&lambda) => lambda,
+        _ => return, // unknown node or not a node: drop
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = spawn_writer(write_half, "ic-proxy-node-writer");
+    if events
+        .send(Ev::NodeJoin(lambda, generation, writer))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Frame::FromInstance { instance, msg }) => {
+                if events.send(Ev::NodeMsg(lambda, instance, msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Unreachable { msg }) => {
+                if events.send(Ev::NodeUnreachable(lambda, msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => {}
+            Err(_) => {
+                let _ = events.send(Ev::NodeGone(lambda, generation));
+                return;
+            }
+        }
+    }
+}
+
+/// The protocol loop: owns the state machine and all peer queues.
+struct ProxyLoop {
+    proxy: Proxy,
+    /// Returns disconnected clients' ids to the allocator (in event
+    /// order, so a recycled id cannot overtake its predecessor's
+    /// teardown).
+    client_ids: Arc<ClientIds>,
+    clients: HashMap<ClientId, Sender<Frame>>,
+    /// Live node connections: `(connection generation, frame queue)`.
+    nodes: HashMap<LambdaId, (u64, Sender<Frame>)>,
+    /// Invocations requested while a node's daemon was unreachable,
+    /// delivered the moment it (re)connects — the socket equivalent of
+    /// the provider queueing an invoke.
+    pending_invokes: HashMap<LambdaId, InvokePayload>,
+    epoch: Instant,
+}
+
+impl ProxyLoop {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn run(mut self, events: Receiver<Ev>, warmup: Option<Duration>) {
+        let mut next_tick = warmup.map(|w| Instant::now() + w);
+        loop {
+            let ev = match next_tick {
+                Some(at) => {
+                    let timeout = at.saturating_duration_since(Instant::now());
+                    match events.recv_timeout(timeout) {
+                        Ok(e) => Some(e),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match events.recv() {
+                    Ok(e) => Some(e),
+                    Err(_) => return,
+                },
+            };
+            let actions: Vec<ProxyAction> = match ev {
+                None => {
+                    next_tick = warmup.map(|w| Instant::now() + w);
+                    self.proxy.on_warmup_tick()
+                }
+                Some(Ev::ClientJoin(c, tx)) => {
+                    self.clients.insert(c, tx);
+                    Vec::new()
+                }
+                Some(Ev::ClientMsg(c, msg)) => self.proxy.on_client(c, msg),
+                Some(Ev::ClientGone(c)) => {
+                    self.clients.remove(&c);
+                    self.client_ids.release(c);
+                    Vec::new()
+                }
+                Some(Ev::NodeJoin(l, generation, tx)) => {
+                    // A newer connection replaces any older one; the old
+                    // connection's eventual NodeGone is ignored below.
+                    self.nodes.insert(l, (generation, tx));
+                    if let Some(payload) = self.pending_invokes.remove(&l) {
+                        // The queued invoke fires now that the daemon is
+                        // reachable.
+                        let _ = self.nodes[&l].1.send(Frame::Invoke { payload });
+                    }
+                    Vec::new()
+                }
+                Some(Ev::NodeMsg(l, _instance, msg)) => self.proxy.on_lambda(l, msg),
+                Some(Ev::NodeUnreachable(l, msg)) => self.proxy.on_delivery_failed(l, msg),
+                Some(Ev::NodeGone(l, generation)) => {
+                    // Only the currently registered connection's death
+                    // counts; a stale disconnect from a replaced
+                    // connection must not clobber a fresh daemon.
+                    if self.nodes.get(&l).is_some_and(|(g, _)| *g == generation) {
+                        self.nodes.remove(&l);
+                        self.proxy.on_connection_lost(l)
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Some(Ev::Quit) => {
+                    for tx in self
+                        .nodes
+                        .values()
+                        .map(|(_, tx)| tx)
+                        .chain(self.clients.values())
+                    {
+                        let _ = tx.send(Frame::Shutdown);
+                    }
+                    return;
+                }
+            };
+            let now = self.now();
+            let proxy = self.proxy.id();
+            dispatch::run_proxy_actions(&mut self, now, proxy, actions, None);
+        }
+    }
+}
+
+impl ProxyTransport for ProxyLoop {
+    fn invoke(&mut self, _now: SimTime, _proxy: ProxyId, lambda: LambdaId, payload: InvokePayload) {
+        match self.nodes.get(&lambda) {
+            Some((_, tx)) => {
+                if let Err(e) = tx.send(Frame::Invoke { payload }) {
+                    let Frame::Invoke { payload } = e.0 else {
+                        unreachable!()
+                    };
+                    self.pending_invokes.insert(lambda, payload);
+                }
+            }
+            None => {
+                self.pending_invokes.insert(lambda, payload);
+            }
+        }
+    }
+
+    fn proxy_send(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        lambda: LambdaId,
+        msg: Msg,
+    ) -> std::result::Result<(), Msg> {
+        let instance = self.proxy.member(lambda).and_then(|m| m.instance());
+        match (instance, self.nodes.get(&lambda)) {
+            (Some(instance), Some((_, tx))) => match tx.send(Frame::ToInstance { instance, msg }) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    let Frame::ToInstance { msg, .. } = e.0 else {
+                        unreachable!()
+                    };
+                    Err(msg)
+                }
+            },
+            (_, _) => Err(msg),
+        }
+    }
+
+    fn delivery_failed(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        lambda: LambdaId,
+        msg: Msg,
+    ) -> Vec<ProxyAction> {
+        self.proxy.on_delivery_failed(lambda, msg)
+    }
+
+    fn proxy_reply(&mut self, _now: SimTime, _proxy: ProxyId, client: ClientId, msg: Msg) {
+        if let Some(tx) = self.clients.get(&client) {
+            let _ = tx.send(Frame::App { msg });
+        }
+    }
+
+    fn proxy_stream(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        client: ClientId,
+        msg: Msg,
+        _ctx: LambdaCtx,
+    ) {
+        // TCP is the bandwidth model: streamed chunks are plain frames.
+        if let Some(tx) = self.clients.get(&client) {
+            let _ = tx.send(Frame::App { msg });
+        }
+    }
+
+    fn spawn_relay(
+        &mut self,
+        _now: SimTime,
+        _proxy: ProxyId,
+        _relay: RelayId,
+        _source: LambdaId,
+        _ctx: LambdaCtx,
+    ) {
+        // Relay traffic short-circuits inside the node daemon (the
+        // NodeHost tracks each round's endpoint pair); the proxy-side
+        // protocol state machine already records what it needs.
+    }
+}

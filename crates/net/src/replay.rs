@@ -1,0 +1,181 @@
+//! The substrate-parity replay harness: push one `ScriptStep` schedule
+//! through each execution substrate — the discrete-event world, the live
+//! threaded cluster, the loopback socket cluster — and reduce every step
+//! to its application-visible outcome.
+//!
+//! This is the *single* definition of the parity semantics: the
+//! workspace tests (`tests/end_to_end.rs`, `tests/chaos.rs` via
+//! `tests/common/`) and the `dbg_replay` reproduction binary all call
+//! these functions, so a divergence reported by CI replays bit-for-bit
+//! with the same deployment shape, payload pattern, and outcome mapping.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use ic_common::{ClientId, DeploymentConfig, EcConfig, ObjectKey, Payload, SimTime};
+use ic_simfaas::reclaim::NoReclaim;
+use infinicache::chaos::ScriptStep;
+use infinicache::event::Op;
+use infinicache::live::LiveCluster;
+use infinicache::metrics::{OpKind, Outcome};
+use infinicache::params::SimParams;
+use infinicache::world::SimWorld;
+
+use crate::cluster::LoopbackCluster;
+
+/// What a step produced, reduced to the application-visible outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A PUT was stored.
+    Stored,
+    /// A GET was served from cache.
+    Hit,
+    /// A GET missed.
+    Miss,
+}
+
+impl std::fmt::Display for StepOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StepOutcome::Stored => "stored",
+            StepOutcome::Hit => "hit",
+            StepOutcome::Miss => "miss",
+        })
+    }
+}
+
+/// The deployment every substrate replays the script on.
+pub fn parity_config() -> DeploymentConfig {
+    DeploymentConfig {
+        backup_enabled: false,
+        ..DeploymentConfig::small(10, EcConfig::new(4, 2).expect("valid code"))
+    }
+}
+
+/// The deterministic object content the byte-level substrates store, so
+/// their GETs can be checked for byte-identity.
+pub fn script_payload(len: u64) -> Bytes {
+    (0..len)
+        .map(|i| ((i * 131 + 17) % 256) as u8)
+        .collect::<Vec<u8>>()
+        .into()
+}
+
+/// Replays the script through the discrete-event world.
+///
+/// # Panics
+///
+/// Panics if a step fails to record an outcome or records one a
+/// fault-free schedule cannot produce — that is the divergence signal.
+pub fn replay_sim(script: &[ScriptStep]) -> Vec<StepOutcome> {
+    let mut w = SimWorld::new(parity_config(), SimParams::paper(), Box::new(NoReclaim), 1);
+    w.write_through = false; // live semantics: a miss stays a miss
+    let mut sizes: HashMap<String, u64> = HashMap::new();
+    for (i, step) in script.iter().enumerate() {
+        let at = SimTime::from_secs(10 + 10 * i as u64);
+        match step {
+            ScriptStep::Put { key, size } => {
+                sizes.insert(key.clone(), *size);
+                w.submit(
+                    at,
+                    ClientId(0),
+                    Op::Put {
+                        key: ObjectKey::new(key),
+                        payload: Payload::synthetic(*size),
+                    },
+                );
+            }
+            ScriptStep::Get { key } => {
+                let size = sizes.get(key).copied().unwrap_or(0);
+                w.submit(
+                    at,
+                    ClientId(0),
+                    Op::Get {
+                        key: ObjectKey::new(key),
+                        size,
+                    },
+                );
+            }
+        }
+    }
+    w.run_until(SimTime::from_secs(10 + 10 * script.len() as u64 + 120));
+    let mut records: Vec<_> = w.metrics.requests.iter().collect();
+    records.sort_by_key(|r| r.issued);
+    assert_eq!(records.len(), script.len(), "every step must be recorded");
+    records
+        .iter()
+        .map(|r| match (r.kind, r.outcome) {
+            (OpKind::Put, Outcome::Stored) => StepOutcome::Stored,
+            (OpKind::Get, Outcome::Hit { .. }) => StepOutcome::Hit,
+            (OpKind::Get, Outcome::ColdMiss | Outcome::Reset) => StepOutcome::Miss,
+            other => panic!("unexpected record {other:?} in a fault-free schedule"),
+        })
+        .collect()
+}
+
+/// Replays the script through the live threaded cluster (real bytes
+/// through the real Reed–Solomon codec).
+///
+/// # Panics
+///
+/// Panics if any operation fails outright (a fault-free schedule must
+/// not error).
+pub fn replay_live(script: &[ScriptStep]) -> Vec<StepOutcome> {
+    let mut cache = LiveCluster::start(parity_config()).expect("live cluster starts");
+    let outcomes = script
+        .iter()
+        .map(|step| match step {
+            ScriptStep::Put { key, size } => {
+                cache
+                    .put(key, script_payload(*size))
+                    .expect("live put succeeds");
+                StepOutcome::Stored
+            }
+            ScriptStep::Get { key } => match cache.get(key).expect("live get succeeds") {
+                Some(_) => StepOutcome::Hit,
+                None => StepOutcome::Miss,
+            },
+        })
+        .collect();
+    cache.shutdown();
+    outcomes
+}
+
+/// Replays the script through a loopback socket cluster: real TCP
+/// between the (in-process) proxy, node daemons, and client. Beyond the
+/// outcome reduction, every hit is asserted byte-identical to the most
+/// recently stored content of its key.
+///
+/// # Panics
+///
+/// Panics on operation failure or on a hit whose bytes differ from what
+/// was stored.
+pub fn replay_net(script: &[ScriptStep]) -> Vec<StepOutcome> {
+    let cluster = LoopbackCluster::start(parity_config()).expect("net cluster starts");
+    let mut cache = cluster.client().expect("net client connects");
+    let mut expected: HashMap<String, Bytes> = HashMap::new();
+    let outcomes = script
+        .iter()
+        .map(|step| match step {
+            ScriptStep::Put { key, size } => {
+                let data = script_payload(*size);
+                cache.put(key, data.clone()).expect("net put succeeds");
+                expected.insert(key.clone(), data);
+                StepOutcome::Stored
+            }
+            ScriptStep::Get { key } => match cache.get(key).expect("net get succeeds") {
+                Some(bytes) => {
+                    assert_eq!(
+                        &bytes,
+                        expected.get(key).expect("hit implies an earlier put"),
+                        "net GET of {key} returned different bytes than were stored"
+                    );
+                    StepOutcome::Hit
+                }
+                None => StepOutcome::Miss,
+            },
+        })
+        .collect();
+    cluster.shutdown();
+    outcomes
+}

@@ -1,0 +1,128 @@
+//! The acceptance test of the socket substrate: a real multi-process
+//! cluster — `ic-proxy` + 3 × `ic-node` + `ic-cli`, each a separate OS
+//! process on loopback — round-trips a multi-chunk object
+//! byte-identically and recovers it via EC decode after one node process
+//! is killed.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills every child on drop so a failing assertion cannot leak
+/// processes.
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Reads `ic-proxy`'s startup lines to learn its ephemeral ports.
+fn read_proxy_addrs(proxy: &mut Child) -> (String, String) {
+    let stdout = proxy.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut client_addr = None;
+    let mut node_addr = None;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while client_addr.is_none() || node_addr.is_none() {
+        assert!(
+            Instant::now() < deadline,
+            "ic-proxy did not announce its ports"
+        );
+        let line = lines.next().expect("proxy stdout open").expect("readable");
+        if let Some(a) = line.strip_prefix("ic-proxy: clients on ") {
+            client_addr = Some(a.trim().to_string());
+        } else if let Some(a) = line.strip_prefix("ic-proxy: nodes on ") {
+            node_addr = Some(a.trim().to_string());
+        }
+    }
+    // Keep draining stdout so the proxy never blocks on a full pipe.
+    std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
+    (
+        client_addr.expect("announced"),
+        node_addr.expect("announced"),
+    )
+}
+
+fn cli(client_addr: &str, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ic-cli"))
+        .arg("--proxy")
+        .arg(client_addr)
+        .args(["--ec", "2+1"])
+        .args(args)
+        .output()
+        .expect("ic-cli runs")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn multiprocess_cluster_roundtrips_and_recovers_from_a_killed_node() {
+    // One proxy process on ephemeral ports, 3-node pool.
+    let proxy = Command::new(env!("CARGO_BIN_EXE_ic-proxy"))
+        .args(["--clients", "127.0.0.1:0", "--nodes", "127.0.0.1:0"])
+        .args(["--pool", "3", "--warmup-secs", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("ic-proxy spawns");
+    let mut procs = Reaper(vec![proxy]);
+    let (client_addr, node_addr) = read_proxy_addrs(&mut procs.0[0]);
+
+    // Three node daemon processes.
+    for id in 0..3 {
+        let node = Command::new(env!("CARGO_BIN_EXE_ic-node"))
+            .args(["--id", &id.to_string(), "--proxy", &node_addr])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("ic-node spawns");
+        procs.0.push(node);
+    }
+
+    // PUT a multi-chunk object (RS(2+1): 3 chunks on 3 nodes) from one
+    // ic-cli process, GET + byte-verify from another.
+    let put = cli(
+        &client_addr,
+        &["put", "acceptance-object", "--size", "300000"],
+    );
+    assert_ok(&put, "ic-cli put");
+    let get = cli(&client_addr, &["get", "acceptance-object", "--verify"]);
+    assert_ok(&get, "ic-cli get (healthy cluster)");
+    assert!(
+        String::from_utf8_lossy(&get.stdout).contains("verify OK"),
+        "healthy GET must verify"
+    );
+
+    // Kill one ic-node process: its chunk's bytes are gone with it. The
+    // object must still come back byte-identical (EC decode from the
+    // first d=2 of the surviving chunks).
+    let mut victim = procs.0.remove(1); // λ0's process
+    victim.kill().expect("kill ic-node");
+    victim.wait().expect("reap ic-node");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let get = cli(&client_addr, &["get", "acceptance-object", "--verify"]);
+    assert_ok(&get, "ic-cli get (one node killed)");
+    let stdout = String::from_utf8_lossy(&get.stdout);
+    assert!(
+        stdout.contains("verify OK"),
+        "post-kill GET must stay byte-identical: {stdout}"
+    );
+
+    // A fresh PUT under a different key still succeeds only if its
+    // placement avoids needing the dead node to ack — with 3 chunks on a
+    // 3-node pool it cannot, so don't demand PUT liveness here; GETs are
+    // the paper's availability story (first-d streaming, Fig 14).
+}

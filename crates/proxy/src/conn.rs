@@ -227,7 +227,9 @@ mod tests {
     use ic_common::{ObjectKey, Payload};
 
     fn get(key: &str) -> Msg {
-        Msg::ChunkGet { id: ChunkId::new(ObjectKey::new(key), 0) }
+        Msg::ChunkGet {
+            id: ChunkId::new(ObjectKey::new(key), 0),
+        }
     }
 
     #[test]
@@ -299,7 +301,7 @@ mod tests {
         c.on_pong(InstanceId(1), 0);
         c.on_pong(InstanceId(1), 0); // validated
         c.send(get("b")); // emitted directly
-        // ...but the instance died; world reports the failure.
+                          // ...but the instance died; world reports the failure.
         let fx = c.on_reset(Some(get("b")));
         assert_eq!(fx, vec![ConnEffect::Invoke]);
         let fx = c.on_pong(InstanceId(2), 0);
@@ -323,7 +325,7 @@ mod tests {
         let mut c = LambdaConn::new(LambdaId(6));
         c.send(get("a"));
         c.on_pong(InstanceId(1), 0); // source λs active
-        // Backup replaces the connection with λd (instance 2).
+                                     // Backup replaces the connection with λd (instance 2).
         let fx = c.replace_with(InstanceId(2));
         assert!(fx.is_empty());
         assert_eq!(c.state(), (Liveness::Maybe, Validity::Validated));

@@ -145,8 +145,10 @@ impl Proxy {
     /// Creates a proxy managing the given pool members.
     pub fn new(cfg: ProxyConfig, pool: impl IntoIterator<Item = LambdaId>) -> Self {
         let member_order: Vec<LambdaId> = pool.into_iter().collect();
-        let members =
-            member_order.iter().map(|&l| (l, LambdaConn::new(l))).collect::<HashMap<_, _>>();
+        let members = member_order
+            .iter()
+            .map(|&l| (l, LambdaConn::new(l)))
+            .collect::<HashMap<_, _>>();
         Proxy {
             cfg,
             members,
@@ -203,17 +205,24 @@ impl Proxy {
     pub fn on_client(&mut self, client: ClientId, msg: Msg) -> Vec<ProxyAction> {
         match msg {
             Msg::GetObject { key } => self.handle_get(client, key),
-            Msg::PutChunk { id, lambda, payload, object_size, total_chunks, repair, put_epoch } => self
-                .handle_put_chunk(
-                    client,
-                    id,
-                    lambda,
-                    payload,
-                    object_size,
-                    total_chunks,
-                    repair,
-                    put_epoch,
-                ),
+            Msg::PutChunk {
+                id,
+                lambda,
+                payload,
+                object_size,
+                total_chunks,
+                repair,
+                put_epoch,
+            } => self.handle_put_chunk(
+                client,
+                id,
+                lambda,
+                payload,
+                object_size,
+                total_chunks,
+                repair,
+                put_epoch,
+            ),
             other => {
                 debug_assert!(false, "unexpected client message {}", other.kind());
                 Vec::new()
@@ -224,23 +233,34 @@ impl Proxy {
     fn handle_get(&mut self, client: ClientId, key: ObjectKey) -> Vec<ProxyAction> {
         let Some(meta) = self.objects.get(&key) else {
             self.stats.get_misses += 1;
-            return vec![ProxyAction::ToClient { client, msg: Msg::GetMiss { key } }];
+            return vec![ProxyAction::ToClient {
+                client,
+                msg: Msg::GetMiss { key },
+            }];
         };
         self.stats.get_hits += 1;
         let total = meta.total_chunks;
         let object_size = meta.size;
         self.lru.touch(&key);
 
-        let chunks: Vec<ChunkId> =
-            (0..total).map(|seq| ChunkId::new(key.clone(), seq)).collect();
+        let chunks: Vec<ChunkId> = (0..total)
+            .map(|seq| ChunkId::new(key.clone(), seq))
+            .collect();
         let mut actions = vec![ProxyAction::ToClient {
             client,
-            msg: Msg::GetAccepted { key, object_size, chunks: chunks.clone() },
+            msg: Msg::GetAccepted {
+                key,
+                object_size,
+                chunks: chunks.clone(),
+            },
         }];
         for chunk in chunks {
             match self.mapping.get(&chunk).copied() {
                 Some(lambda) => {
-                    self.inflight_gets.entry(chunk.clone()).or_default().push(client);
+                    self.inflight_gets
+                        .entry(chunk.clone())
+                        .or_default()
+                        .push(client);
                     let effects = self
                         .members
                         .get_mut(&lambda)
@@ -281,20 +301,22 @@ impl Proxy {
                 return actions; // object evicted meanwhile: drop the repair
             }
             self.mapping.insert(id.clone(), lambda);
-            let effects = self
-                .members
-                .get_mut(&lambda)
-                .expect("checked above")
-                .send(Msg::ChunkPut { id, payload, epoch: 0 });
+            let effects =
+                self.members
+                    .get_mut(&lambda)
+                    .expect("checked above")
+                    .send(Msg::ChunkPut {
+                        id,
+                        payload,
+                        epoch: 0,
+                    });
             actions.extend(self.apply_effects(lambda, effects));
             return actions;
         }
         // A late chunk of a PUT that was already aborted (evicted under
         // pressure or superseded by an overwrite): swallow it so it cannot
         // resurrect the dead PUT or pollute the current version.
-        if let Some(remaining) =
-            self.aborted_puts.get_mut(&(client, key.clone(), put_epoch))
-        {
+        if let Some(remaining) = self.aborted_puts.get_mut(&(client, key.clone(), put_epoch)) {
             *remaining -= 1;
             if *remaining == 0 {
                 self.aborted_puts.remove(&(client, key, put_epoch));
@@ -315,7 +337,8 @@ impl Proxy {
             if let Some(meta) = self.objects.get(&key) {
                 if meta.writer == client && put_epoch < meta.put_epoch {
                     if total_chunks > 1 {
-                        self.aborted_puts.insert((client, key, put_epoch), total_chunks - 1);
+                        self.aborted_puts
+                            .insert((client, key, put_epoch), total_chunks - 1);
                     }
                     return actions;
                 }
@@ -346,7 +369,14 @@ impl Proxy {
             self.next_epoch += 1;
             self.puts.insert(
                 key.clone(),
-                PutProgress { client, put_epoch, epoch, acked: 0, arrived: 0, total: total_chunks },
+                PutProgress {
+                    client,
+                    put_epoch,
+                    epoch,
+                    acked: 0,
+                    arrived: 0,
+                    total: total_chunks,
+                },
             );
         }
         let progress = self.puts.get_mut(&key).expect("present or just inserted");
@@ -374,7 +404,10 @@ impl Proxy {
     /// Handles a message from a node (or from a relay participant).
     pub fn on_lambda(&mut self, lambda: LambdaId, msg: Msg) -> Vec<ProxyAction> {
         match msg {
-            Msg::Pong { instance, stored_bytes } => {
+            Msg::Pong {
+                instance,
+                stored_bytes,
+            } => {
                 let effects = self
                     .members
                     .get_mut(&lambda)
@@ -396,7 +429,10 @@ impl Proxy {
                     .into_iter()
                     .map(|client| ProxyAction::DataToClient {
                         client,
-                        msg: Msg::ChunkToClient { id: id.clone(), payload: payload.clone() },
+                        msg: Msg::ChunkToClient {
+                            id: id.clone(),
+                            payload: payload.clone(),
+                        },
                     })
                     .collect()
             }
@@ -413,7 +449,11 @@ impl Proxy {
                     })
                     .collect()
             }
-            Msg::PutAck { id, stored_bytes, epoch } => {
+            Msg::PutAck {
+                id,
+                stored_bytes,
+                epoch,
+            } => {
                 if let Some(m) = self.members.get_mut(&lambda) {
                     m.reported_bytes = stored_bytes;
                 }
@@ -433,7 +473,10 @@ impl Proxy {
                     let p = self.puts.remove(&key).expect("present");
                     vec![ProxyAction::ToClient {
                         client: p.client,
-                        msg: Msg::PutDone { key, put_epoch: p.put_epoch },
+                        msg: Msg::PutDone {
+                            key,
+                            put_epoch: p.put_epoch,
+                        },
                     }]
                 } else {
                     Vec::new()
@@ -446,8 +489,14 @@ impl Proxy {
                 self.next_relay += 1;
                 self.relays.insert(relay, lambda);
                 vec![
-                    ProxyAction::SpawnRelay { relay, source: lambda },
-                    ProxyAction::ToLambda { lambda, msg: Msg::BackupCmd { relay } },
+                    ProxyAction::SpawnRelay {
+                        relay,
+                        source: lambda,
+                    },
+                    ProxyAction::ToLambda {
+                        lambda,
+                        msg: Msg::BackupCmd { relay },
+                    },
                 ]
             }
             Msg::HelloProxy { instance, source } => {
@@ -490,6 +539,21 @@ impl Proxy {
         self.apply_effects(lambda, effects)
     }
 
+    /// The transport's connection to the node dropped entirely (its
+    /// daemon process died or the socket reset) with no specific message
+    /// in flight: reset the connection state. Anything still queued on
+    /// the connection triggers an immediate re-invoke, which the
+    /// substrate delivers once the node is reachable again.
+    pub fn on_connection_lost(&mut self, lambda: LambdaId) -> Vec<ProxyAction> {
+        self.stats.delivery_failures += 1;
+        let effects = self
+            .members
+            .get_mut(&lambda)
+            .map(|m| m.on_reset(None))
+            .unwrap_or_default();
+        self.apply_effects(lambda, effects)
+    }
+
     /// Warm-up tick (`Twarm`): invoke every sleeping member.
     pub fn on_warmup_tick(&mut self) -> Vec<ProxyAction> {
         let mut actions = Vec::new();
@@ -516,7 +580,10 @@ impl Proxy {
                     lambda,
                     payload: InvokePayload::ping(self.cfg.id),
                 },
-                ConnEffect::Ping => ProxyAction::ToLambda { lambda, msg: Msg::Ping },
+                ConnEffect::Ping => ProxyAction::ToLambda {
+                    lambda,
+                    msg: Msg::Ping,
+                },
                 ConnEffect::Emit(msg) => {
                     if msg.data_len() > 0 {
                         ProxyAction::DataToLambda { lambda, msg }
@@ -545,7 +612,9 @@ impl Proxy {
     }
 
     fn evict_object_impl(&mut self, key: &ObjectKey, remove_lru: bool) -> Vec<ProxyAction> {
-        let Some(meta) = self.objects.remove(key) else { return Vec::new() };
+        let Some(meta) = self.objects.remove(key) else {
+            return Vec::new();
+        };
         if remove_lru {
             self.lru.remove(key);
         }
@@ -574,14 +643,19 @@ impl Proxy {
     /// chunks that have not reached the proxy yet, and tells the writer —
     /// otherwise it waits for a `PutDone` that can never arrive.
     fn abort_put(&mut self, key: &ObjectKey) -> Vec<ProxyAction> {
-        let Some(p) = self.puts.remove(key) else { return Vec::new() };
+        let Some(p) = self.puts.remove(key) else {
+            return Vec::new();
+        };
         if p.arrived < p.total {
             self.aborted_puts
                 .insert((p.client, key.clone(), p.put_epoch), p.total - p.arrived);
         }
         vec![ProxyAction::ToClient {
             client: p.client,
-            msg: Msg::PutFailed { key: key.clone(), put_epoch: p.put_epoch },
+            msg: Msg::PutFailed {
+                key: key.clone(),
+                put_epoch: p.put_epoch,
+            },
         }]
     }
 
@@ -591,7 +665,9 @@ impl Proxy {
         let mut actions = Vec::new();
         let mut parked: Option<ObjectKey> = None;
         while self.used_bytes + incoming > self.cfg.capacity_bytes {
-            let Some(victim) = self.lru.evict() else { break };
+            let Some(victim) = self.lru.evict() else {
+                break;
+            };
             if &victim == protect {
                 // Re-insert after the loop; never self-evict.
                 parked = Some(victim);
@@ -711,7 +787,10 @@ mod tests {
 
     fn proxy(pool: u32, capacity: u64) -> Proxy {
         Proxy::new(
-            ProxyConfig { id: ProxyId(0), capacity_bytes: capacity },
+            ProxyConfig {
+                id: ProxyId(0),
+                capacity_bytes: capacity,
+            },
             (0..pool).map(LambdaId),
         )
     }
@@ -759,7 +838,10 @@ mod tests {
         for (i, lambda) in p.pool().to_vec().into_iter().enumerate() {
             out.extend(p.on_lambda(
                 lambda,
-                Msg::Pong { instance: InstanceId(first_instance + i as u64), stored_bytes: 0 },
+                Msg::Pong {
+                    instance: InstanceId(first_instance + i as u64),
+                    stored_bytes: 0,
+                },
             ));
         }
         out
@@ -768,10 +850,18 @@ mod tests {
     #[test]
     fn get_unknown_object_misses() {
         let mut p = proxy(4, 1 << 30);
-        let acts = p.on_client(ClientId(1), Msg::GetObject { key: ObjectKey::new("nope") });
+        let acts = p.on_client(
+            ClientId(1),
+            Msg::GetObject {
+                key: ObjectKey::new("nope"),
+            },
+        );
         assert!(matches!(
             &acts[0],
-            ProxyAction::ToClient { client: ClientId(1), msg: Msg::GetMiss { .. } }
+            ProxyAction::ToClient {
+                client: ClientId(1),
+                msg: Msg::GetMiss { .. }
+            }
         ));
         assert_eq!(p.stats.get_misses, 1);
     }
@@ -793,7 +883,15 @@ mod tests {
         let flushed = pong_all(&mut p, 10);
         let puts = flushed
             .iter()
-            .filter(|a| matches!(a, ProxyAction::DataToLambda { msg: Msg::ChunkPut { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ProxyAction::DataToLambda {
+                        msg: Msg::ChunkPut { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(puts, 4);
 
@@ -802,17 +900,35 @@ mod tests {
         for seq in 0..4u32 {
             done = p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("obj"), seq), stored_bytes: 100, epoch: 1 },
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("obj"), seq),
+                    stored_bytes: 100,
+                    epoch: 1,
+                },
             );
         }
         assert!(matches!(
             &done[0],
-            ProxyAction::ToClient { msg: Msg::PutDone { .. }, .. }
+            ProxyAction::ToClient {
+                msg: Msg::PutDone { .. },
+                ..
+            }
         ));
 
         // GET: accepted + 4 chunk requests routed by the mapping.
-        let acts = p.on_client(ClientId(2), Msg::GetObject { key: ObjectKey::new("obj") });
-        assert!(matches!(&acts[0], ProxyAction::ToClient { msg: Msg::GetAccepted { .. }, .. }));
+        let acts = p.on_client(
+            ClientId(2),
+            Msg::GetObject {
+                key: ObjectKey::new("obj"),
+            },
+        );
+        assert!(matches!(
+            &acts[0],
+            ProxyAction::ToClient {
+                msg: Msg::GetAccepted { .. },
+                ..
+            }
+        ));
         assert_eq!(p.stats.get_hits, 1);
         for seq in 0..4u32 {
             assert_eq!(
@@ -827,13 +943,27 @@ mod tests {
         let mut p = proxy(4, 1 << 30);
         put_chunks(&mut p, 1, "o", 2, 50);
         pong_all(&mut p, 1);
-        p.on_client(ClientId(3), Msg::GetObject { key: ObjectKey::new("o") });
+        p.on_client(
+            ClientId(3),
+            Msg::GetObject {
+                key: ObjectKey::new("o"),
+            },
+        );
         let id = ChunkId::new(ObjectKey::new("o"), 0);
         assert_eq!(p.inflight_for(&id), 1);
-        let acts = p.on_lambda(LambdaId(0), Msg::ChunkData { id: id.clone(), payload: Payload::synthetic(50) });
+        let acts = p.on_lambda(
+            LambdaId(0),
+            Msg::ChunkData {
+                id: id.clone(),
+                payload: Payload::synthetic(50),
+            },
+        );
         assert!(matches!(
             &acts[0],
-            ProxyAction::DataToClient { client: ClientId(3), msg: Msg::ChunkToClient { .. } }
+            ProxyAction::DataToClient {
+                client: ClientId(3),
+                msg: Msg::ChunkToClient { .. }
+            }
         ));
         assert_eq!(p.inflight_for(&id), 0);
     }
@@ -843,10 +973,21 @@ mod tests {
         let mut p = proxy(4, 1 << 30);
         put_chunks(&mut p, 1, "o", 2, 50);
         pong_all(&mut p, 1);
-        p.on_client(ClientId(3), Msg::GetObject { key: ObjectKey::new("o") });
+        p.on_client(
+            ClientId(3),
+            Msg::GetObject {
+                key: ObjectKey::new("o"),
+            },
+        );
         let id = ChunkId::new(ObjectKey::new("o"), 1);
         let acts = p.on_lambda(LambdaId(1), Msg::ChunkMiss { id: id.clone() });
-        assert!(matches!(&acts[0], ProxyAction::ToClient { msg: Msg::ChunkMiss { .. }, .. }));
+        assert!(matches!(
+            &acts[0],
+            ProxyAction::ToClient {
+                msg: Msg::ChunkMiss { .. },
+                ..
+            }
+        ));
         assert_eq!(p.chunk_owner(&id), None, "lost chunks must be unmapped");
     }
 
@@ -871,10 +1012,21 @@ mod tests {
         put_chunks(&mut p, 1, "a", 4, 100);
         put_chunks(&mut p, 2, "b", 4, 100);
         // Read "a" so "b" is the colder object.
-        p.on_client(ClientId(0), Msg::GetObject { key: ObjectKey::new("a") });
+        p.on_client(
+            ClientId(0),
+            Msg::GetObject {
+                key: ObjectKey::new("a"),
+            },
+        );
         put_chunks(&mut p, 3, "c", 4, 100);
-        assert!(p.contains_object(&ObjectKey::new("a")), "touched object survives");
-        assert!(!p.contains_object(&ObjectKey::new("b")), "cold object evicted");
+        assert!(
+            p.contains_object(&ObjectKey::new("a")),
+            "touched object survives"
+        );
+        assert!(
+            !p.contains_object(&ObjectKey::new("b")),
+            "cold object evicted"
+        );
     }
 
     #[test]
@@ -885,7 +1037,11 @@ mod tests {
         for seq in 0..4u32 {
             p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100, epoch: 1 },
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("k"), seq),
+                    stored_bytes: 100,
+                    epoch: 1,
+                },
             );
         }
         assert_eq!(p.used_bytes(), 400);
@@ -906,7 +1062,12 @@ mod tests {
         // After PONG + BYE they are warm again -> sleeping -> re-invoked.
         pong_all(&mut p, 1);
         for (i, l) in p.pool().to_vec().into_iter().enumerate() {
-            p.on_lambda(l, Msg::Bye { instance: InstanceId(1 + i as u64) });
+            p.on_lambda(
+                l,
+                Msg::Bye {
+                    instance: InstanceId(1 + i as u64),
+                },
+            );
         }
         assert_eq!(p.on_warmup_tick().len(), 3);
     }
@@ -916,7 +1077,13 @@ mod tests {
         let mut p = proxy(2, 1 << 30);
         // λ0 is active (it just pinged us).
         p.on_warmup_tick();
-        p.on_lambda(LambdaId(0), Msg::Pong { instance: InstanceId(5), stored_bytes: 0 });
+        p.on_lambda(
+            LambdaId(0),
+            Msg::Pong {
+                instance: InstanceId(5),
+                stored_bytes: 0,
+            },
+        );
 
         let acts = p.on_lambda(LambdaId(0), Msg::InitBackup);
         let ProxyAction::SpawnRelay { relay, source } = acts[0] else {
@@ -925,17 +1092,32 @@ mod tests {
         assert_eq!(source, LambdaId(0));
         assert!(matches!(
             &acts[1],
-            ProxyAction::ToLambda { msg: Msg::BackupCmd { .. }, .. }
+            ProxyAction::ToLambda {
+                msg: Msg::BackupCmd { .. },
+                ..
+            }
         ));
         assert_eq!(p.relay_source(relay), Some(LambdaId(0)));
         assert_eq!(p.stats.backup_rounds, 1);
 
         // λd announces itself: the connection flips to Maybe/Validated with
         // the new instance.
-        p.on_lambda(LambdaId(0), Msg::HelloProxy { instance: InstanceId(9), source: LambdaId(0) });
+        p.on_lambda(
+            LambdaId(0),
+            Msg::HelloProxy {
+                instance: InstanceId(9),
+                source: LambdaId(0),
+            },
+        );
         let conn = p.member(LambdaId(0)).unwrap();
         assert_eq!(conn.instance(), Some(InstanceId(9)));
-        assert_eq!(conn.state(), (crate::conn::Liveness::Maybe, crate::conn::Validity::Validated));
+        assert_eq!(
+            conn.state(),
+            (
+                crate::conn::Liveness::Maybe,
+                crate::conn::Validity::Validated
+            )
+        );
     }
 
     #[test]
@@ -944,16 +1126,65 @@ mod tests {
         put_chunks(&mut p, 1, "x", 1, 10);
         pong_all(&mut p, 1);
         // The instance died while a GET was being delivered.
-        p.on_client(ClientId(0), Msg::GetObject { key: ObjectKey::new("x") });
+        p.on_client(
+            ClientId(0),
+            Msg::GetObject {
+                key: ObjectKey::new("x"),
+            },
+        );
         let id = ChunkId::new(ObjectKey::new("x"), 0);
-        let acts =
-            p.on_delivery_failed(LambdaId(0), Msg::ChunkGet { id: id.clone() });
+        let acts = p.on_delivery_failed(LambdaId(0), Msg::ChunkGet { id: id.clone() });
         assert!(matches!(acts[0], ProxyAction::Invoke { .. }));
         // New instance answers: the queued GET flushes.
-        let acts = p.on_lambda(LambdaId(0), Msg::Pong { instance: InstanceId(2), stored_bytes: 0 });
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, ProxyAction::ToLambda { msg: Msg::ChunkGet { .. }, .. })));
+        let acts = p.on_lambda(
+            LambdaId(0),
+            Msg::Pong {
+                instance: InstanceId(2),
+                stored_bytes: 0,
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ProxyAction::ToLambda {
+                msg: Msg::ChunkGet { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn connection_loss_resets_and_reinvokes_when_backlogged() {
+        let mut p = proxy(2, 1 << 30);
+        put_chunks(&mut p, 1, "o", 2, 50);
+        pong_all(&mut p, 1);
+        // Idle connection drop: state resets, nothing re-invoked.
+        assert!(p.on_connection_lost(LambdaId(0)).is_empty());
+        assert_eq!(p.member(LambdaId(0)).unwrap().instance(), None);
+        // A GET queues toward the (now sleeping) node: its send invokes.
+        let acts = p.on_client(
+            ClientId(0),
+            Msg::GetObject {
+                key: ObjectKey::new("o"),
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ProxyAction::Invoke {
+                lambda: LambdaId(0),
+                ..
+            }
+        )));
+        // The connection drops again while the invoke is pending: the
+        // queued GET forces another invoke on reset.
+        let acts = p.on_connection_lost(LambdaId(0));
+        assert!(matches!(
+            acts[0],
+            ProxyAction::Invoke {
+                lambda: LambdaId(0),
+                ..
+            }
+        ));
+        assert_eq!(p.stats.delivery_failures, 2);
     }
 
     #[test]
@@ -964,7 +1195,12 @@ mod tests {
         put_chunks(&mut p, 1, "a", 4, 100);
         // Client 5's GET is accepted; its chunk requests queue toward the
         // (still cold) nodes, so the waiters sit in `inflight_gets`.
-        p.on_client(ClientId(5), Msg::GetObject { key: ObjectKey::new("a") });
+        p.on_client(
+            ClientId(5),
+            Msg::GetObject {
+                key: ObjectKey::new("a"),
+            },
+        );
         assert_eq!(p.inflight_total(), 4);
         // A full-capacity incoming object must evict both "b" (first
         // unreferenced victim) and "a" (second sweep clears its ref bit).
@@ -973,14 +1209,23 @@ mod tests {
         assert!(!p.contains_object(&ObjectKey::new("a")));
         let misses = acts
             .iter()
-            .filter(|a| matches!(
-                a,
-                ProxyAction::ToClient { client: ClientId(5), msg: Msg::ChunkMiss { .. } }
-            ))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ProxyAction::ToClient {
+                        client: ClientId(5),
+                        msg: Msg::ChunkMiss { .. }
+                    }
+                )
+            })
             .count();
         assert_eq!(misses, 4, "every waiter must be told the chunks are gone");
         assert_eq!(p.inflight_total(), 0);
-        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+        assert!(
+            p.check_invariants().is_empty(),
+            "{:?}",
+            p.check_invariants()
+        );
     }
 
     #[test]
@@ -991,15 +1236,22 @@ mod tests {
         put_chunks_as(&mut p, ClientId(0), 1, "a", 4, 100); // no acks: PUT open
         put_chunks_as(&mut p, ClientId(1), 1, "b", 4, 100);
         let acts = put_chunks_as(&mut p, ClientId(1), 2, "c", 4, 100); // evicts "a"
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            ProxyAction::ToClient {
-                client: ClientId(0),
-                msg: Msg::PutFailed { put_epoch: 1, .. }
-            }
-        )), "the stranded writer must learn its PUT died");
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                ProxyAction::ToClient {
+                    client: ClientId(0),
+                    msg: Msg::PutFailed { put_epoch: 1, .. }
+                }
+            )),
+            "the stranded writer must learn its PUT died"
+        );
         assert_eq!(p.open_puts(), 2, "only b's and c's PUTs stay open");
-        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+        assert!(
+            p.check_invariants().is_empty(),
+            "{:?}",
+            p.check_invariants()
+        );
     }
 
     #[test]
@@ -1020,12 +1272,19 @@ mod tests {
         for seq in 0..4u32 {
             done = p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 200, epoch: 2 },
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("k"), seq),
+                    stored_bytes: 200,
+                    epoch: 2,
+                },
             );
         }
         assert!(matches!(
             &done[0],
-            ProxyAction::ToClient { client: ClientId(1), msg: Msg::PutDone { put_epoch: 3, .. } }
+            ProxyAction::ToClient {
+                client: ClientId(1),
+                msg: Msg::PutDone { put_epoch: 3, .. }
+            }
         ));
         assert_eq!(p.used_bytes(), 800);
     }
@@ -1038,28 +1297,42 @@ mod tests {
         let mut p = proxy(4, 1 << 30);
         put_chunks(&mut p, 1, "k", 4, 100);
         pong_all(&mut p, 1); // ChunkPuts (epoch 1) now in flight
-        // Overwrite before any ack lands.
+                             // Overwrite before any ack lands.
         put_chunks(&mut p, 2, "k", 4, 200);
         // The old version's acks arrive: they must not advance the new PUT.
         let mut out = Vec::new();
         for seq in 0..4u32 {
             out = p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100, epoch: 1 },
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("k"), seq),
+                    stored_bytes: 100,
+                    epoch: 1,
+                },
             );
         }
-        assert!(out.is_empty(), "stale acks must not produce PutDone: {out:?}");
+        assert!(
+            out.is_empty(),
+            "stale acks must not produce PutDone: {out:?}"
+        );
         assert_eq!(p.open_puts(), 1);
         // The new version's own acks complete it.
         for seq in 0..4u32 {
             out = p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 200, epoch: 2 },
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("k"), seq),
+                    stored_bytes: 200,
+                    epoch: 2,
+                },
             );
         }
         assert!(matches!(
             &out[0],
-            ProxyAction::ToClient { msg: Msg::PutDone { put_epoch: 2, .. }, .. }
+            ProxyAction::ToClient {
+                msg: Msg::PutDone { put_epoch: 2, .. },
+                ..
+            }
         ));
         assert_eq!(p.open_puts(), 0);
     }
@@ -1070,35 +1343,45 @@ mod tests {
         let key = ObjectKey::new("k");
         // Client 0 gets only half its stripe to the proxy...
         for seq in 0..2u32 {
-            p.on_client(ClientId(0), Msg::PutChunk {
-                id: ChunkId::new(key.clone(), seq),
-                lambda: LambdaId(seq % 4),
-                payload: Payload::synthetic(100),
-                object_size: 400,
-                total_chunks: 4,
-                repair: false,
-                put_epoch: 1,
-            });
+            p.on_client(
+                ClientId(0),
+                Msg::PutChunk {
+                    id: ChunkId::new(key.clone(), seq),
+                    lambda: LambdaId(seq % 4),
+                    payload: Payload::synthetic(100),
+                    object_size: 400,
+                    total_chunks: 4,
+                    repair: false,
+                    put_epoch: 1,
+                },
+            );
         }
         // ...before client 1 overwrites the key.
         put_chunks_as(&mut p, ClientId(1), 1, "k", 4, 200);
         assert_eq!(p.aborted_put_tombstones(), 1);
         // Client 0's late chunks arrive: swallowed, not stored.
         for seq in 2..4u32 {
-            let acts = p.on_client(ClientId(0), Msg::PutChunk {
-                id: ChunkId::new(key.clone(), seq),
-                lambda: LambdaId(seq % 4),
-                payload: Payload::synthetic(100),
-                object_size: 400,
-                total_chunks: 4,
-                repair: false,
-                put_epoch: 1,
-            });
+            let acts = p.on_client(
+                ClientId(0),
+                Msg::PutChunk {
+                    id: ChunkId::new(key.clone(), seq),
+                    lambda: LambdaId(seq % 4),
+                    payload: Payload::synthetic(100),
+                    object_size: 400,
+                    total_chunks: 4,
+                    repair: false,
+                    put_epoch: 1,
+                },
+            );
             assert!(acts.is_empty(), "late chunks must be dropped: {acts:?}");
         }
         assert_eq!(p.aborted_put_tombstones(), 0, "tombstone must self-clean");
         assert_eq!(p.used_bytes(), 800, "only client 1's version is accounted");
-        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+        assert!(
+            p.check_invariants().is_empty(),
+            "{:?}",
+            p.check_invariants()
+        );
     }
 
     #[test]
@@ -1114,21 +1397,36 @@ mod tests {
         assert_eq!(p.stats.overwrites, 0);
         assert_eq!(p.used_bytes(), 400, "the newer version stays stored");
         assert_eq!(p.open_puts(), 1, "the newer PUT stays open");
-        assert_eq!(p.aborted_put_tombstones(), 0, "tombstone drains with the stripe");
+        assert_eq!(
+            p.aborted_put_tombstones(),
+            0,
+            "tombstone drains with the stripe"
+        );
         // The newer PUT still completes normally.
         pong_all(&mut p, 1);
         let mut out = Vec::new();
         for seq in 0..4u32 {
             out = p.on_lambda(
                 LambdaId(seq % 4),
-                Msg::PutAck { id: ChunkId::new(ObjectKey::new("k"), seq), stored_bytes: 100, epoch: 1 },
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("k"), seq),
+                    stored_bytes: 100,
+                    epoch: 1,
+                },
             );
         }
         assert!(matches!(
             &out[0],
-            ProxyAction::ToClient { msg: Msg::PutDone { put_epoch: 2, .. }, .. }
+            ProxyAction::ToClient {
+                msg: Msg::PutDone { put_epoch: 2, .. },
+                ..
+            }
         ));
-        assert!(p.check_invariants().is_empty(), "{:?}", p.check_invariants());
+        assert!(
+            p.check_invariants().is_empty(),
+            "{:?}",
+            p.check_invariants()
+        );
     }
 
     #[test]
@@ -1147,10 +1445,23 @@ mod tests {
                 put_epoch: 1,
             },
         );
-        let acts = p.on_client(ClientId(1), Msg::GetObject { key: ObjectKey::new("partial") });
+        let acts = p.on_client(
+            ClientId(1),
+            Msg::GetObject {
+                key: ObjectKey::new("partial"),
+            },
+        );
         let misses = acts
             .iter()
-            .filter(|a| matches!(a, ProxyAction::ToClient { msg: Msg::ChunkMiss { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ProxyAction::ToClient {
+                        msg: Msg::ChunkMiss { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(misses, 3);
     }

@@ -31,7 +31,9 @@ fn event_strategy() -> impl Strategy<Value = Event> {
 }
 
 fn get(i: u16) -> Msg {
-    Msg::ChunkGet { id: ChunkId::new(ObjectKey::new(format!("k{i}")), 0) }
+    Msg::ChunkGet {
+        id: ChunkId::new(ObjectKey::new(format!("k{i}")), 0),
+    }
 }
 
 proptest! {

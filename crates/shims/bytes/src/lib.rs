@@ -61,7 +61,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(begin <= end && end <= len, "slice {begin}..{end} out of bounds (len {len})");
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds (len {len})"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + begin,
@@ -93,7 +96,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 

@@ -46,12 +46,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// An id carrying only a parameter (joined to the group name).
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -113,14 +117,20 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { target_time: Duration::from_millis(400) }
+        Criterion {
+            target_time: Duration::from_millis(400),
+        }
     }
 }
 
 impl Criterion {
     /// Creates a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -162,7 +172,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.id);
-        run_bench(self.criterion.target_time, &label, self.throughput, |b| f(b, input));
+        run_bench(self.criterion.target_time, &label, self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -170,14 +182,25 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(target: Duration, label: &str, tp: Option<Throughput>, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    target: Duration,
+    label: &str,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
     // Calibration pass: one iteration to size the timed run.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let mean = b.elapsed.as_secs_f64() / iters as f64;
 
@@ -190,7 +213,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(target: Duration, label: &str, tp: Option<T
         }
         _ => String::new(),
     };
-    println!("bench: {label:<40} {:>12.3} µs/iter  ({iters} iters){rate}", mean * 1e6);
+    println!(
+        "bench: {label:<40} {:>12.3} µs/iter  ({iters} iters){rate}",
+        mean * 1e6
+    );
 }
 
 /// Declares a group of benchmark functions.
@@ -225,7 +251,11 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.throughput(Throughput::Bytes(1024));
         g.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
-            b.iter_batched(|| vec![x; 10], |v| v.iter().sum::<u32>(), BatchSize::LargeInput)
+            b.iter_batched(
+                || vec![x; 10],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            )
         });
         g.finish();
     }

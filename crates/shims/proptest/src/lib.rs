@@ -196,7 +196,10 @@ fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
             j += 1;
         }
     }
-    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
     set
 }
 
@@ -306,7 +309,10 @@ pub mod collection {
 
     /// Vectors of values from `element`, with length in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -358,13 +364,19 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
     }
 }
 

@@ -159,17 +159,16 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            SmallRng { s: [next(), next(), next(), next()] }
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -282,11 +281,7 @@ pub mod seq {
         /// # Panics
         ///
         /// Panics if `amount > length`, matching `rand`'s behavior.
-        pub fn sample<R: RngCore + ?Sized>(
-            rng: &mut R,
-            length: usize,
-            amount: usize,
-        ) -> IndexVec {
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
             assert!(amount <= length, "cannot sample {amount} of {length}");
             let mut pool: Vec<usize> = (0..length).collect();
             for i in 0..amount {

@@ -93,7 +93,11 @@ mod tests {
     #[test]
     fn one_cycle_invocation_cost() {
         let mut m = meter();
-        m.record(SimTime::ZERO, CostCategory::Serving, SimDuration::from_millis(40));
+        m.record(
+            SimTime::ZERO,
+            CostCategory::Serving,
+            SimDuration::from_millis(40),
+        );
         let t = m.category(CostCategory::Serving);
         assert_eq!(t.invocations, 1);
         // 40 ms bills one 100 ms cycle at 1.5 GB.
@@ -106,8 +110,16 @@ mod tests {
     fn durations_round_up_per_invocation() {
         let mut m = meter();
         // Two 101 ms invocations bill 2 cycles each, not 202 ms pooled.
-        m.record(SimTime::ZERO, CostCategory::Warmup, SimDuration::from_millis(101));
-        m.record(SimTime::ZERO, CostCategory::Warmup, SimDuration::from_millis(101));
+        m.record(
+            SimTime::ZERO,
+            CostCategory::Warmup,
+            SimDuration::from_millis(101),
+        );
+        m.record(
+            SimTime::ZERO,
+            CostCategory::Warmup,
+            SimDuration::from_millis(101),
+        );
         let t = m.category(CostCategory::Warmup);
         assert!((t.gb_seconds - 2.0 * 0.2 * 1.5).abs() < 1e-12);
     }
@@ -115,21 +127,43 @@ mod tests {
     #[test]
     fn categories_are_separated() {
         let mut m = meter();
-        m.record(SimTime::ZERO, CostCategory::Serving, SimDuration::from_millis(100));
-        m.record(SimTime::ZERO, CostCategory::Backup, SimDuration::from_secs(2));
+        m.record(
+            SimTime::ZERO,
+            CostCategory::Serving,
+            SimDuration::from_millis(100),
+        );
+        m.record(
+            SimTime::ZERO,
+            CostCategory::Backup,
+            SimDuration::from_secs(2),
+        );
         assert_eq!(m.category(CostCategory::Serving).invocations, 1);
         assert_eq!(m.category(CostCategory::Backup).invocations, 1);
         assert_eq!(m.category(CostCategory::Warmup).invocations, 0);
-        assert!(m.category(CostCategory::Backup).dollars > m.category(CostCategory::Serving).dollars);
+        assert!(
+            m.category(CostCategory::Backup).dollars > m.category(CostCategory::Serving).dollars
+        );
         assert_eq!(m.total_invocations(), 2);
     }
 
     #[test]
     fn hourly_buckets_accumulate() {
         let mut m = meter();
-        m.record(SimTime::from_secs(10), CostCategory::Serving, SimDuration::from_millis(100));
-        m.record(SimTime::from_secs(3_601), CostCategory::Serving, SimDuration::from_millis(100));
-        m.record(SimTime::from_secs(3_700), CostCategory::Warmup, SimDuration::from_millis(100));
+        m.record(
+            SimTime::from_secs(10),
+            CostCategory::Serving,
+            SimDuration::from_millis(100),
+        );
+        m.record(
+            SimTime::from_secs(3_601),
+            CostCategory::Serving,
+            SimDuration::from_millis(100),
+        );
+        m.record(
+            SimTime::from_secs(3_700),
+            CostCategory::Warmup,
+            SimDuration::from_millis(100),
+        );
         let h = m.hourly_breakdown();
         assert_eq!(h.len(), 2);
         assert!(h[0][0] > 0.0 && h[0][1] == 0.0);

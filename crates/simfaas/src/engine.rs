@@ -59,7 +59,12 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, popped: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -88,7 +93,11 @@ impl<E> EventQueue<E> {
     /// rather than violating causality.
     pub fn push(&mut self, at: SimTime, event: E) {
         let at = at.max(self.now);
-        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

@@ -156,7 +156,12 @@ impl Fleet {
             inst.state = ExecState::Running;
             inst.exec_started = Some(ready_at);
             inst.idle_epoch += 1;
-            return RoutedInvocation { instance: id, cold: false, concurrent: false, ready_at };
+            return RoutedInvocation {
+                instance: id,
+                cold: false,
+                concurrent: false,
+                ready_at,
+            };
         }
 
         let concurrent = !slot.is_empty();
@@ -177,7 +182,12 @@ impl Fleet {
             },
         );
         self.slots[lambda.index()].push(id);
-        RoutedInvocation { instance: id, cold: true, concurrent, ready_at }
+        RoutedInvocation {
+            instance: id,
+            cold: true,
+            concurrent,
+            ready_at,
+        }
     }
 
     /// Ends the current execution of `instance`, returning the billed-by-
@@ -188,8 +198,15 @@ impl Fleet {
     /// Panics if the instance is unknown or not running.
     pub fn end_execution(&mut self, now: SimTime, instance: InstanceId) -> SimDuration {
         let inst = self.instances.get_mut(&instance).expect("unknown instance");
-        assert_eq!(inst.state, ExecState::Running, "end_execution on idle instance");
-        let started = inst.exec_started.take().expect("running instance has a start");
+        assert_eq!(
+            inst.state,
+            ExecState::Running,
+            "end_execution on idle instance"
+        );
+        let started = inst
+            .exec_started
+            .take()
+            .expect("running instance has a start");
         inst.state = ExecState::Idle;
         inst.last_used = now;
         inst.idle_epoch += 1;
@@ -271,7 +288,10 @@ mod tests {
         let r2 = fleet.invoke(SimTime::from_secs(2), LambdaId(0), &mut hosts, &mut net);
         assert!(!r2.cold);
         assert_eq!(r2.instance, r1.instance);
-        assert_eq!(r2.ready_at, SimTime::from_secs(2) + fleet.config().warm_invoke);
+        assert_eq!(
+            r2.ready_at,
+            SimTime::from_secs(2) + fleet.config().warm_invoke
+        );
     }
 
     #[test]
@@ -300,7 +320,9 @@ mod tests {
         let r = fleet.invoke(SimTime::ZERO, LambdaId(2), &mut hosts, &mut net);
         fleet.end_execution(SimTime::from_secs(1), r.instance);
         assert_eq!(hosts.hosts_in_use(), 1);
-        let gone = fleet.reclaim(r.instance, &mut hosts).expect("instance existed");
+        let gone = fleet
+            .reclaim(r.instance, &mut hosts)
+            .expect("instance existed");
         assert_eq!(gone.id, r.instance);
         assert_eq!(hosts.hosts_in_use(), 0);
         assert!(fleet.instance(r.instance).is_none());

@@ -28,7 +28,10 @@ impl HostConfig {
     /// The configuration inferred from the paper: ~3 GB hosts whose NIC
     /// roughly matches the largest single function's observed 160 MB/s.
     pub fn aws_like() -> Self {
-        HostConfig { memory_mb: 3_008, uplink_bytes_per_sec: 170.0e6 }
+        HostConfig {
+            memory_mb: 3_008,
+            uplink_bytes_per_sec: 170.0e6,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ pub struct HostPool {
 impl HostPool {
     /// Creates an empty pool; hosts materialize on demand.
     pub fn new(cfg: HostConfig) -> Self {
-        HostPool { cfg, hosts: Vec::new() }
+        HostPool {
+            cfg,
+            hosts: Vec::new(),
+        }
     }
 
     /// The pool's host configuration.
@@ -82,7 +88,11 @@ impl HostPool {
             Some((i, _)) => i,
             None => {
                 let link = net.add_link(self.cfg.uplink_bytes_per_sec);
-                self.hosts.push(Host { free_mb: self.cfg.memory_mb, residents: 0, link });
+                self.hosts.push(Host {
+                    free_mb: self.cfg.memory_mb,
+                    residents: 0,
+                    link,
+                });
                 self.hosts.len() - 1
             }
         };

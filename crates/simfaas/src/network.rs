@@ -83,7 +83,9 @@ impl<T> Network<T> {
             bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
             "link capacity must be positive"
         );
-        self.links.push(Link { capacity: bytes_per_sec });
+        self.links.push(Link {
+            capacity: bytes_per_sec,
+        });
         LinkId(self.links.len() - 1)
     }
 
@@ -131,7 +133,16 @@ impl<T> Network<T> {
         self.settle(now);
         let id = self.next_flow;
         self.next_flow += 1;
-        self.flows.insert(id, Flow { path, cap, remaining: bytes, rate: 0.0, payload });
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                cap,
+                remaining: bytes,
+                rate: 0.0,
+                payload,
+            },
+        );
         self.recompute();
         FlowId(id)
     }
@@ -240,11 +251,11 @@ impl<T> Network<T> {
             let mut next_unfrozen = Vec::with_capacity(unfrozen.len());
             let mut froze_any = false;
             for id in unfrozen {
-                let constrained_by_cap =
-                    self.flows[&id].cap.is_some_and(|c| c <= level * (1.0 + 1e-9));
+                let constrained_by_cap = self.flows[&id]
+                    .cap
+                    .is_some_and(|c| c <= level * (1.0 + 1e-9));
                 let constrained_by_link = self.flows[&id].path.iter().any(|l| {
-                    link_remaining[l.0].max(0.0) / link_users[l.0] as f64
-                        <= level * (1.0 + 1e-9)
+                    link_remaining[l.0].max(0.0) / link_users[l.0] as f64 <= level * (1.0 + 1e-9)
                 });
                 if constrained_by_cap || constrained_by_link {
                     let rate = if constrained_by_cap {

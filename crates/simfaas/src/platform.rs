@@ -145,14 +145,29 @@ impl Platform {
 
     /// Invokes logical node `lambda`; the instance starts (or keeps)
     /// running until [`Platform::end_execution`].
-    pub fn invoke<T>(&mut self, now: SimTime, lambda: LambdaId, net: &mut Network<T>) -> Invocation {
-        let RoutedInvocation { instance, cold, concurrent, ready_at } =
-            self.fleet.invoke(now, lambda, &mut self.hosts, net);
+    pub fn invoke<T>(
+        &mut self,
+        now: SimTime,
+        lambda: LambdaId,
+        net: &mut Network<T>,
+    ) -> Invocation {
+        let RoutedInvocation {
+            instance,
+            cold,
+            concurrent,
+            ready_at,
+        } = self.fleet.invoke(now, lambda, &mut self.hosts, net);
         let uplink = self
             .fleet
             .instance_uplink(instance, &self.hosts)
             .expect("freshly routed instance has a host");
-        Invocation { instance, cold, concurrent, ready_at, uplink }
+        Invocation {
+            instance,
+            cold,
+            concurrent,
+            ready_at,
+            uplink,
+        }
     }
 
     /// Ends an instance's execution, bills it under `category`, and returns
@@ -165,10 +180,16 @@ impl Platform {
     ) -> PlatformNotice {
         let duration = self.fleet.end_execution(now, instance);
         self.billing.record(now, category, duration);
-        let inst = self.fleet.instance(instance).expect("instance survives end_execution");
+        let inst = self
+            .fleet
+            .instance(instance)
+            .expect("instance survives end_execution");
         PlatformNotice::Schedule {
             at: now + self.cfg.function.idle_timeout,
-            event: PlatformEvent::IdleTimeout { instance, epoch: inst.idle_epoch },
+            event: PlatformEvent::IdleTimeout {
+                instance,
+                epoch: inst.idle_epoch,
+            },
         }
     }
 
@@ -220,10 +241,11 @@ impl Platform {
         victims
             .into_iter()
             .filter_map(|v| {
-                self.reclaim_instance(now, v).map(|gone| PlatformNotice::Reclaimed {
-                    lambda: gone.lambda,
-                    instance: gone.id,
-                })
+                self.reclaim_instance(now, v)
+                    .map(|gone| PlatformNotice::Reclaimed {
+                        lambda: gone.lambda,
+                        instance: gone.id,
+                    })
             })
             .collect()
     }
@@ -265,7 +287,10 @@ mod tests {
     use ic_common::SimDuration;
 
     fn platform(policy: Box<dyn ReclaimPolicy>) -> (Platform, Network<()>) {
-        (Platform::new(PlatformConfig::aws_like(10, 1536), policy, 7), Network::new())
+        (
+            Platform::new(PlatformConfig::aws_like(10, 1536), policy, 7),
+            Network::new(),
+        )
     }
 
     #[test]
@@ -273,11 +298,17 @@ mod tests {
         let (mut p, mut net) = platform(Box::new(NoReclaim));
         let inv = p.invoke(SimTime::ZERO, LambdaId(0), &mut net);
         assert!(inv.cold);
-        let notice =
-            p.end_execution(inv.ready_at + SimDuration::from_millis(95), inv.instance, CostCategory::Serving);
+        let notice = p.end_execution(
+            inv.ready_at + SimDuration::from_millis(95),
+            inv.instance,
+            CostCategory::Serving,
+        );
         assert!(matches!(
             notice,
-            PlatformNotice::Schedule { event: PlatformEvent::IdleTimeout { .. }, .. }
+            PlatformNotice::Schedule {
+                event: PlatformEvent::IdleTimeout { .. },
+                ..
+            }
         ));
         let t = p.billing.category(CostCategory::Serving);
         assert_eq!(t.invocations, 1);
@@ -289,12 +320,17 @@ mod tests {
         let (mut p, mut net) = platform(Box::new(NoReclaim));
         let inv = p.invoke(SimTime::ZERO, LambdaId(3), &mut net);
         let notice = p.end_execution(SimTime::from_secs(1), inv.instance, CostCategory::Warmup);
-        let PlatformNotice::Schedule { at, event } = notice else { panic!("expected timer") };
+        let PlatformNotice::Schedule { at, event } = notice else {
+            panic!("expected timer")
+        };
         assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_mins(27));
         let out = p.handle(at, event);
         assert_eq!(
             out,
-            vec![PlatformNotice::Reclaimed { lambda: LambdaId(3), instance: inv.instance }]
+            vec![PlatformNotice::Reclaimed {
+                lambda: LambdaId(3),
+                instance: inv.instance
+            }]
         );
         assert_eq!(p.reclaim_log().len(), 1);
     }
@@ -308,8 +344,13 @@ mod tests {
         let inv2 = p.invoke(SimTime::from_secs(2), LambdaId(0), &mut net);
         assert_eq!(inv2.instance, inv.instance);
         p.end_execution(SimTime::from_secs(3), inv2.instance, CostCategory::Warmup);
-        let PlatformNotice::Schedule { at, event } = notice else { panic!("timer") };
-        assert!(p.handle(at, event).is_empty(), "stale timer must be ignored");
+        let PlatformNotice::Schedule { at, event } = notice else {
+            panic!("timer")
+        };
+        assert!(
+            p.handle(at, event).is_empty(),
+            "stale timer must be ignored"
+        );
         assert!(p.fleet.instance(inv.instance).is_some());
     }
 
@@ -319,9 +360,16 @@ mod tests {
         // Warm up 10 idle instances.
         for i in 0..10u32 {
             let inv = p.invoke(SimTime::ZERO, LambdaId(i), &mut net);
-            p.end_execution(SimTime::from_millis(100), inv.instance, CostCategory::Warmup);
+            p.end_execution(
+                SimTime::from_millis(100),
+                inv.instance,
+                CostCategory::Warmup,
+            );
         }
-        let out = p.handle(SimTime::from_secs(60), PlatformEvent::MinuteTick { minute: 1 });
+        let out = p.handle(
+            SimTime::from_secs(60),
+            PlatformEvent::MinuteTick { minute: 1 },
+        );
         let reclaimed = out
             .iter()
             .filter(|n| matches!(n, PlatformNotice::Reclaimed { .. }))
@@ -329,7 +377,10 @@ mod tests {
         assert!(reclaimed > 0, "λ=100/min policy must reclaim something");
         assert!(out.iter().any(|n| matches!(
             n,
-            PlatformNotice::Schedule { event: PlatformEvent::MinuteTick { minute: 2 }, .. }
+            PlatformNotice::Schedule {
+                event: PlatformEvent::MinuteTick { minute: 2 },
+                ..
+            }
         )));
     }
 
@@ -339,8 +390,15 @@ mod tests {
         // One running, one idle.
         let _running = p.invoke(SimTime::ZERO, LambdaId(0), &mut net);
         let idle = p.invoke(SimTime::ZERO, LambdaId(1), &mut net);
-        p.end_execution(SimTime::from_millis(100), idle.instance, CostCategory::Warmup);
-        let out = p.handle(SimTime::from_secs(60), PlatformEvent::MinuteTick { minute: 1 });
+        p.end_execution(
+            SimTime::from_millis(100),
+            idle.instance,
+            CostCategory::Warmup,
+        );
+        let out = p.handle(
+            SimTime::from_secs(60),
+            PlatformEvent::MinuteTick { minute: 1 },
+        );
         for n in out {
             if let PlatformNotice::Reclaimed { lambda, .. } = n {
                 assert_eq!(lambda, LambdaId(1), "only the idle instance may die");
@@ -355,7 +413,10 @@ mod tests {
         assert_eq!(boot.len(), 1);
         assert!(matches!(
             boot[0],
-            PlatformNotice::Schedule { event: PlatformEvent::MinuteTick { minute: 1 }, .. }
+            PlatformNotice::Schedule {
+                event: PlatformEvent::MinuteTick { minute: 1 },
+                ..
+            }
         ));
     }
 }

@@ -46,7 +46,10 @@ pub struct HourlyPoisson {
 impl HourlyPoisson {
     /// Creates the policy with a display label.
     pub fn new(per_hour: f64, label: impl Into<String>) -> Self {
-        HourlyPoisson { per_hour, label: label.into() }
+        HourlyPoisson {
+            per_hour,
+            label: label.into(),
+        }
     }
 }
 
@@ -116,8 +119,7 @@ impl ReclaimPolicy for PeriodicSpike {
             let center = self.spike_center(idx);
             let start = center.saturating_sub(self.burst_mins / 2);
             if (start..start + self.burst_mins).contains(&minute) {
-                let per_minute =
-                    self.fleet as f64 * self.spike_fraction / self.burst_mins as f64;
+                let per_minute = self.fleet as f64 * self.spike_fraction / self.burst_mins as f64;
                 n += poisson_sample(rng, per_minute) as usize;
             }
         }
@@ -141,7 +143,11 @@ pub struct ZipfBurst {
 impl ZipfBurst {
     /// Burst sizes 1..=`max_burst` with Zipf exponent `s`.
     pub fn new(p_burst: f64, s: f64, max_burst: usize, label: impl Into<String>) -> Self {
-        ZipfBurst { p_burst, sampler: ZipfSampler::new(max_burst, s), label: label.into() }
+        ZipfBurst {
+            p_burst,
+            sampler: ZipfSampler::new(max_burst, s),
+            label: label.into(),
+        }
     }
 }
 
@@ -178,7 +184,9 @@ mod tests {
 
     fn day_counts(policy: &mut dyn ReclaimPolicy, seed: u64) -> Vec<usize> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..24 * 60).map(|m| policy.reclaims_for_minute(m, &mut rng)).collect()
+        (0..24 * 60)
+            .map(|m| policy.reclaims_for_minute(m, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -229,7 +237,13 @@ mod tests {
         let presets = paper_presets(400);
         assert_eq!(presets.len(), 6);
         assert!(presets[0].name().contains("08/21/19"));
-        assert!(presets.iter().filter(|p| p.name().contains("1 min")).count() == 5);
+        assert!(
+            presets
+                .iter()
+                .filter(|p| p.name().contains("1 min"))
+                .count()
+                == 5
+        );
     }
 
     #[test]

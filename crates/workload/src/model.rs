@@ -38,12 +38,24 @@ impl SizeModel {
         SizeModel {
             components: vec![
                 // Manifests and config blobs.
-                SizeComponent { weight: 0.34, median_bytes: 8e3, sigma: 2.0 },
+                SizeComponent {
+                    weight: 0.34,
+                    median_bytes: 8e3,
+                    sigma: 2.0,
+                },
                 // Small-to-medium layers.
-                SizeComponent { weight: 0.36, median_bytes: 1.2e6, sigma: 1.6 },
+                SizeComponent {
+                    weight: 0.36,
+                    median_bytes: 1.2e6,
+                    sigma: 1.6,
+                },
                 // Large image layers: ~78% of this component is >10 MB,
                 // giving ≈ 0.30 × 0.78 ≈ 23% large objects overall.
-                SizeComponent { weight: 0.30, median_bytes: 3.0e7, sigma: 1.5 },
+                SizeComponent {
+                    weight: 0.30,
+                    median_bytes: 3.0e7,
+                    sigma: 1.5,
+                },
             ],
             min_bytes: 100,
             max_bytes: 4_000_000_000,
@@ -119,7 +131,9 @@ pub struct RateProfile {
 impl RateProfile {
     /// Flat profile over `hours` hours.
     pub fn flat(hours: usize) -> Self {
-        RateProfile { hourly: vec![1.0; hours] }
+        RateProfile {
+            hourly: vec![1.0; hours],
+        }
     }
 
     /// The Dallas-like 50-hour profile: spikes at hours 15–20 and 34–42
@@ -177,7 +191,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let n = 40_000;
         let sizes: Vec<u64> = (0..n).map(|_| m.sample(&mut rng)).collect();
-        let large = sizes.iter().filter(|&&s| s > crate::LARGE_OBJECT_BYTES).count();
+        let large = sizes
+            .iter()
+            .filter(|&&s| s > crate::LARGE_OBJECT_BYTES)
+            .count();
         let frac = large as f64 / n as f64;
         // Paper: "more than 20% of objects are larger than 10 MB".
         assert!((0.15..0.32).contains(&frac), "large-object fraction {frac}");
@@ -219,15 +236,15 @@ mod tests {
         let m = ReuseModel::registry();
         let mut rng = SmallRng::seed_from_u64(10);
         let n = 50_000;
-        let within = (0..n)
-            .filter(|_| m.sample(&mut rng) <= 3_600.0)
-            .count() as f64
-            / n as f64;
+        let within = (0..n).filter(|_| m.sample(&mut rng) <= 3_600.0).count() as f64 / n as f64;
         // Paper: 37–46% of large-object *trace* reuses happen within one
         // hour. At the model level the within-hour mass sits a little lower
         // because popular objects' wrap-around density adds short trace
         // gaps on top (the trace-level check lives in stats::tests).
-        assert!((0.28..0.45).contains(&within), "within-hour fraction {within}");
+        assert!(
+            (0.28..0.45).contains(&within),
+            "within-hour fraction {within}"
+        );
     }
 
     #[test]

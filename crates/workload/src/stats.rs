@@ -54,13 +54,14 @@ impl TraceStats {
             }
         }
 
-        let accessed: Vec<usize> =
-            (0..n_objects).filter(|&i| access_count[i] > 0).collect();
+        let accessed: Vec<usize> = (0..n_objects).filter(|&i| access_count[i] > 0).collect();
         let unique_objects = accessed.len();
         let working_set_bytes: u64 = accessed.iter().map(|&i| trace.sizes[i]).sum();
 
-        let large_objects =
-            accessed.iter().filter(|&&i| trace.sizes[i] > LARGE_OBJECT_BYTES).count();
+        let large_objects = accessed
+            .iter()
+            .filter(|&&i| trace.sizes[i] > LARGE_OBJECT_BYTES)
+            .count();
         let large_bytes: u64 = accessed
             .iter()
             .filter(|&&i| trace.sizes[i] > LARGE_OBJECT_BYTES)

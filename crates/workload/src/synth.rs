@@ -13,8 +13,8 @@
 //!    density follows the Dallas hourly shape (spikes at hours 15–20 and
 //!    34–42).
 
-use ic_common::{ObjectKey, SimTime};
 use ic_analytics::dist::poisson_sample;
+use ic_common::{ObjectKey, SimTime};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -191,7 +191,9 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
     let horizon_secs = spec.rate.hours() as f64 * 3_600.0;
 
     // 1. Sizes.
-    let sizes: Vec<u64> = (0..spec.objects).map(|_| spec.sizes.sample(&mut rng)).collect();
+    let sizes: Vec<u64> = (0..spec.objects)
+        .map(|_| spec.sizes.sample(&mut rng))
+        .collect();
 
     // 2. Popularity: a seeded shuffle assigns Zipf ranks to object ids,
     //    then large objects are penalized and weights renormalized.
@@ -303,7 +305,11 @@ mod tests {
         }
         let mut sorted: Vec<u32> = counts.iter().copied().filter(|&c| c > 0).collect();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
-        let top_decile: u64 = sorted.iter().take(sorted.len() / 10).map(|&c| c as u64).sum();
+        let top_decile: u64 = sorted
+            .iter()
+            .take(sorted.len() / 10)
+            .map(|&c| c as u64)
+            .sum();
         let total: u64 = sorted.iter().map(|&c| c as u64).sum();
         assert!(
             top_decile as f64 / total as f64 > 0.35,

@@ -7,18 +7,25 @@ use ic_workload::{generate, WorkloadSpec};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (50usize..800, 100usize..3000, 0.4f64..1.3, 0.2f64..1.0, 1usize..6).prop_map(
-        |(objects, accesses, zipf_s, large_penalty, hours)| WorkloadSpec {
-            name: "prop".into(),
-            objects,
-            accesses,
-            zipf_s,
-            large_penalty,
-            sizes: SizeModel::registry(),
-            reuse: ReuseModel::registry(),
-            rate: RateProfile::flat(hours),
-        },
+    (
+        50usize..800,
+        100usize..3000,
+        0.4f64..1.3,
+        0.2f64..1.0,
+        1usize..6,
     )
+        .prop_map(
+            |(objects, accesses, zipf_s, large_penalty, hours)| WorkloadSpec {
+                name: "prop".into(),
+                objects,
+                accesses,
+                zipf_s,
+                large_penalty,
+                sizes: SizeModel::registry(),
+                reuse: ReuseModel::registry(),
+                rate: RateProfile::flat(hours),
+            },
+        )
 }
 
 proptest! {

@@ -15,8 +15,12 @@ fn main() {
     let base = CostModel::paper_production();
     println!("InfiniCache hourly cost model (Eq 4-6), paper configuration:");
     println!("  400 x 1.5 GB functions, Twarm=1 min, Tbak=5 min");
-    println!("  fixed cost: ${:.3}/h (warm-up ${:.3} + backup ${:.3})",
-             base.fixed_cost_hourly(), base.warmup_cost_hourly(), base.backup_cost_hourly());
+    println!(
+        "  fixed cost: ${:.3}/h (warm-up ${:.3} + backup ${:.3})",
+        base.fixed_cost_hourly(),
+        base.warmup_cost_hourly(),
+        base.backup_cost_hourly()
+    );
 
     println!("\nhourly cost vs object access rate (RS(10+2) => 12 invocations/GET):");
     for rate in [0.0, 50_000.0, 150_000.0, 312_000.0, 500_000.0] {
@@ -30,7 +34,10 @@ fn main() {
     let x = base
         .crossover_rate(CACHE_R5_24XLARGE.hourly_price, 12, 100.0)
         .expect("crossover exists");
-    println!("  crossover vs r5.24xlarge: {x:.0} req/h ({:.0} req/s)", x / 3600.0);
+    println!(
+        "  crossover vs r5.24xlarge: {x:.0} req/h ({:.0} req/s)",
+        x / 3600.0
+    );
 
     println!("\nsensitivity: pool size (fixed cost scales with Nλ):");
     for n in [100u64, 400, 1000, 4000] {
@@ -40,7 +47,9 @@ fn main() {
         println!(
             "  Nλ={n:>5}: fixed ${:>6.3}/h, crossover {}",
             m.fixed_cost_hourly(),
-            cross.map(|c| format!("{c:.0} req/h")).unwrap_or_else(|| "never cheaper".into())
+            cross
+                .map(|c| format!("{c:.0} req/h"))
+                .unwrap_or_else(|| "never cheaper".into())
         );
     }
 
@@ -48,12 +57,19 @@ fn main() {
     for t in [1.0f64, 5.0, 15.0, 60.0] {
         let mut m = base;
         m.backup_interval_mins = t;
-        println!("  Tbak={t:>4.0} min: backup ${:>6.3}/h", m.backup_cost_hourly());
+        println!(
+            "  Tbak={t:>4.0} min: backup ${:>6.3}/h",
+            m.backup_cost_hourly()
+        );
     }
 
-    println!("\nagainst a smaller managed cache (r5.8xlarge, ${:.2}/h):",
-             CACHE_R5_8XLARGE.hourly_price);
-    let x8 = base.crossover_rate(CACHE_R5_8XLARGE.hourly_price, 12, 100.0).unwrap();
+    println!(
+        "\nagainst a smaller managed cache (r5.8xlarge, ${:.2}/h):",
+        CACHE_R5_8XLARGE.hourly_price
+    );
+    let x8 = base
+        .crossover_rate(CACHE_R5_8XLARGE.hourly_price, 12, 100.0)
+        .unwrap();
     println!("  crossover: {x8:.0} req/h ({:.0} req/s)", x8 / 3600.0);
     println!(
         "\ntakeaway (§6): pay-per-use wins for low-rate large-object workloads and\n\

@@ -32,7 +32,10 @@ fn main() {
         w.submit(
             SimTime::from_secs(1 + i),
             ClientId(0),
-            Op::Put { key: ObjectKey::new(format!("obj{i}")), payload: Payload::synthetic(size) },
+            Op::Put {
+                key: ObjectKey::new(format!("obj{i}")),
+                payload: Payload::synthetic(size),
+            },
         );
     }
 
@@ -40,7 +43,14 @@ fn main() {
     for round in 0..9u64 {
         let at = SimTime::from_secs(300 + round * 1200);
         for i in 0..40 {
-            w.submit(at, ClientId(0), Op::Get { key: ObjectKey::new(format!("obj{i}")), size });
+            w.submit(
+                at,
+                ClientId(0),
+                Op::Get {
+                    key: ObjectKey::new(format!("obj{i}")),
+                    size,
+                },
+            );
         }
     }
     w.run_until(SimTime::from_secs(3 * 3600 + 1800));

@@ -26,17 +26,28 @@ fn main() -> ic_common::Result<()> {
     let mut cache = LiveCluster::start(cfg)?;
 
     // A 16 MiB object with a recognizable pattern.
-    let object: Bytes =
-        (0..16 * 1024 * 1024).map(|i| ((i * 31 + 7) % 256) as u8).collect::<Vec<u8>>().into();
+    let object: Bytes = (0..16 * 1024 * 1024)
+        .map(|i| ((i * 31 + 7) % 256) as u8)
+        .collect::<Vec<u8>>()
+        .into();
 
     let t = Instant::now();
     cache.put("docker-layer:sha256:abc123", object.clone())?;
-    println!("PUT 16 MiB in {:?} (split into 10 data + 2 parity chunks)", t.elapsed());
+    println!(
+        "PUT 16 MiB in {:?} (split into 10 data + 2 parity chunks)",
+        t.elapsed()
+    );
 
     let t = Instant::now();
-    let back = cache.get("docker-layer:sha256:abc123")?.expect("object is cached");
-    println!("GET 16 MiB in {:?} — {} bytes identical: {}", t.elapsed(), back.len(),
-             back == object);
+    let back = cache
+        .get("docker-layer:sha256:abc123")?
+        .expect("object is cached");
+    println!(
+        "GET 16 MiB in {:?} — {} bytes identical: {}",
+        t.elapsed(),
+        back.len(),
+        back == object
+    );
 
     // The provider reclaims functions one by one; each GET rides out the
     // loss via the parity chunks and repairs the missing chunk (read
@@ -46,7 +57,9 @@ fn main() -> ic_common::Result<()> {
         cache.reclaim_node(LambdaId(node));
         std::thread::sleep(std::time::Duration::from_millis(30));
         let t = Instant::now();
-        let back = cache.get("docker-layer:sha256:abc123")?.expect("still recoverable");
+        let back = cache
+            .get("docker-layer:sha256:abc123")?
+            .expect("still recoverable");
         assert_eq!(back, object, "bytes must survive the reclaim");
         let stats = cache.stats();
         if stats.recoveries > 0 {
@@ -61,7 +74,10 @@ fn main() -> ic_common::Result<()> {
         }
     }
 
-    println!("\na miss returns None: {:?}", cache.get("never-stored")?.is_none());
+    println!(
+        "\na miss returns None: {:?}",
+        cache.get("never-stored")?.is_none()
+    );
     cache.shutdown();
     println!("done");
     Ok(())

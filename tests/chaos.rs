@@ -46,11 +46,21 @@ fn chaos_seed_matrix_holds_all_invariants() {
         .filter(|r| !r.ok())
         .map(|r| format!("seed {}: {:#?}", r.seed, r.violations))
         .collect();
-    assert!(failing.is_empty(), "invariant violations:\n{}", failing.join("\n"));
+    assert!(
+        failing.is_empty(),
+        "invariant violations:\n{}",
+        failing.join("\n")
+    );
 
     let total = |f: fn(&ChaosReport) -> u64| reports.iter().map(f).sum::<u64>();
-    assert!(total(|r| r.evictions) > 0, "schedules must trigger CLOCK evictions");
-    assert!(total(|r| r.overwrites) > 0, "schedules must trigger overwrites");
+    assert!(
+        total(|r| r.evictions) > 0,
+        "schedules must trigger CLOCK evictions"
+    );
+    assert!(
+        total(|r| r.overwrites) > 0,
+        "schedules must trigger overwrites"
+    );
     assert!(
         total(|r| r.injected_reclaims as u64) > 0,
         "schedules must reclaim instances"
@@ -93,6 +103,26 @@ fn sampled_schedule_agrees_between_sim_and_live() {
         let sim = replay_sim(&script);
         let live = replay_live(&script);
         assert_eq!(sim, live, "seed {seed}: sim and live outcomes diverged");
+        assert!(
+            sim.contains(&StepOutcome::Hit),
+            "seed {seed}: schedule must produce hits"
+        );
+    }
+}
+
+/// Sim-vs-net parity: the same sampled schedules replayed against a
+/// loopback `ic-net` cluster (real TCP between proxy, node daemons, and
+/// client) produce the same outcomes as the discrete-event world, and
+/// every net GET is byte-identical to what was stored (asserted inside
+/// `replay_net`). Failures replay with
+/// `cargo run -p ic-bench --bin dbg_replay -- --seed <seed> --mode all`.
+#[test]
+fn sampled_schedule_agrees_between_sim_and_net() {
+    for seed in [11u64, 42, 1234] {
+        let script = sample_schedule(seed, 24, 6);
+        let sim = replay_sim(&script);
+        let net = common::replay_net(&script);
+        assert_eq!(sim, net, "seed {seed}: sim and net outcomes diverged");
         assert!(
             sim.contains(&StepOutcome::Hit),
             "seed {seed}: schedule must produce hits"

@@ -1,96 +1,10 @@
-//! Shared sim-vs-live parity harness: replay one `ScriptStep` schedule
-//! through both execution substrates and reduce each step to its
-//! application-visible outcome. Used by `tests/end_to_end.rs` (the
-//! hand-written dispatch-parity script) and `tests/chaos.rs` (sampled
-//! schedules), so the outcome mapping lives in exactly one place.
+//! Shared substrate-parity harness for the workspace tests.
+//!
+//! The actual implementation lives in `ic_net::replay` — one definition
+//! of the deployment shape, payload pattern, and outcome mapping shared
+//! by these tests and the `dbg_replay` reproduction binary, so a
+//! divergence reported here replays bit-for-bit with
+//! `cargo run -p ic-bench --bin dbg_replay -- --seed N --mode all`.
 
-use std::collections::HashMap;
-
-use bytes::Bytes;
-use ic_common::{ClientId, DeploymentConfig, EcConfig, ObjectKey, Payload, SimTime};
-use ic_simfaas::reclaim::NoReclaim;
-use infinicache::chaos::ScriptStep;
-use infinicache::event::Op;
-use infinicache::live::LiveCluster;
-use infinicache::metrics::{OpKind, Outcome};
-use infinicache::params::SimParams;
-use infinicache::world::SimWorld;
-
-/// What a step produced, reduced to the application-visible outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StepOutcome {
-    /// A PUT was stored.
-    Stored,
-    /// A GET was served from cache.
-    Hit,
-    /// A GET missed.
-    Miss,
-}
-
-/// The deployment both substrates run the script on.
-pub fn parity_config() -> DeploymentConfig {
-    DeploymentConfig {
-        backup_enabled: false,
-        ..DeploymentConfig::small(10, EcConfig::new(4, 2).unwrap())
-    }
-}
-
-/// Replays the script through the discrete-event world.
-pub fn replay_sim(script: &[ScriptStep]) -> Vec<StepOutcome> {
-    let mut w = SimWorld::new(parity_config(), SimParams::paper(), Box::new(NoReclaim), 1);
-    w.write_through = false; // live semantics: a miss stays a miss
-    let mut sizes: HashMap<String, u64> = HashMap::new();
-    for (i, step) in script.iter().enumerate() {
-        let at = SimTime::from_secs(10 + 10 * i as u64);
-        match step {
-            ScriptStep::Put { key, size } => {
-                sizes.insert(key.clone(), *size);
-                w.submit(at, ClientId(0), Op::Put {
-                    key: ObjectKey::new(key),
-                    payload: Payload::synthetic(*size),
-                });
-            }
-            ScriptStep::Get { key } => {
-                let size = sizes.get(key).copied().unwrap_or(0);
-                w.submit(at, ClientId(0), Op::Get { key: ObjectKey::new(key), size });
-            }
-        }
-    }
-    w.run_until(SimTime::from_secs(10 + 10 * script.len() as u64 + 120));
-    let mut records: Vec<_> = w.metrics.requests.iter().collect();
-    records.sort_by_key(|r| r.issued);
-    assert_eq!(records.len(), script.len(), "every step must be recorded");
-    records
-        .iter()
-        .map(|r| match (r.kind, r.outcome) {
-            (OpKind::Put, Outcome::Stored) => StepOutcome::Stored,
-            (OpKind::Get, Outcome::Hit { .. }) => StepOutcome::Hit,
-            (OpKind::Get, Outcome::ColdMiss | Outcome::Reset) => StepOutcome::Miss,
-            other => panic!("unexpected record {other:?} in a fault-free schedule"),
-        })
-        .collect()
-}
-
-/// Replays the script through the live threaded cluster (real bytes
-/// through the real Reed–Solomon codec).
-pub fn replay_live(script: &[ScriptStep]) -> Vec<StepOutcome> {
-    let mut cache = LiveCluster::start(parity_config()).unwrap();
-    let payload = |len: u64| -> Bytes {
-        (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect::<Vec<u8>>().into()
-    };
-    let outcomes = script
-        .iter()
-        .map(|step| match step {
-            ScriptStep::Put { key, size } => {
-                cache.put(key, payload(*size)).expect("live put succeeds");
-                StepOutcome::Stored
-            }
-            ScriptStep::Get { key } => match cache.get(key).expect("live get succeeds") {
-                Some(_) => StepOutcome::Hit,
-                None => StepOutcome::Miss,
-            },
-        })
-        .collect();
-    cache.shutdown();
-    outcomes
-}
+#[allow(unused_imports)] // each test binary uses a different subset
+pub use ic_net::replay::{replay_live, replay_net, replay_sim, StepOutcome};

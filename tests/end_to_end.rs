@@ -17,7 +17,7 @@ use infinicache::params::SimParams;
 use infinicache::world::SimWorld;
 
 mod common;
-use common::{replay_live, replay_sim, StepOutcome};
+use common::{replay_live, replay_net, replay_sim, StepOutcome};
 
 fn key(s: &str) -> ObjectKey {
     ObjectKey::new(s)
@@ -33,14 +33,22 @@ fn simulated_deployment_serves_a_mixed_object_population() {
     // Sizes spanning KBs to 100s of MBs, like the registry workload.
     let sizes = [50_000u64, 1_000_000, 25_000_000, 100_000_000, 400_000_000];
     for (i, &size) in sizes.iter().enumerate() {
-        w.submit(SimTime::from_secs(1 + 5 * i as u64), ClientId(0), Op::Put {
-            key: key(&format!("o{i}")),
-            payload: Payload::synthetic(size),
-        });
-        w.submit(SimTime::from_secs(60 + 5 * i as u64), ClientId(0), Op::Get {
-            key: key(&format!("o{i}")),
-            size,
-        });
+        w.submit(
+            SimTime::from_secs(1 + 5 * i as u64),
+            ClientId(0),
+            Op::Put {
+                key: key(&format!("o{i}")),
+                payload: Payload::synthetic(size),
+            },
+        );
+        w.submit(
+            SimTime::from_secs(60 + 5 * i as u64),
+            ClientId(0),
+            Op::Get {
+                key: key(&format!("o{i}")),
+                size,
+            },
+        );
     }
     w.run_until(SimTime::from_secs(200));
     let gets: Vec<_> = w
@@ -71,11 +79,22 @@ fn multi_proxy_deployment_spreads_objects() {
     for i in 0..24u64 {
         let k = key(&format!("spread-{i}"));
         let c = ClientId((i % 2) as u16);
-        w.submit(SimTime::from_secs(1 + i), c, Op::Put {
-            key: k.clone(),
-            payload: Payload::synthetic(5_000_000),
-        });
-        w.submit(SimTime::from_secs(120 + i), c, Op::Get { key: k, size: 5_000_000 });
+        w.submit(
+            SimTime::from_secs(1 + i),
+            c,
+            Op::Put {
+                key: k.clone(),
+                payload: Payload::synthetic(5_000_000),
+            },
+        );
+        w.submit(
+            SimTime::from_secs(120 + i),
+            c,
+            Op::Get {
+                key: k,
+                size: 5_000_000,
+            },
+        );
     }
     w.run_until(SimTime::from_secs(300));
     // Every proxy should have seen traffic.
@@ -86,7 +105,10 @@ fn multi_proxy_deployment_spreads_objects() {
             busy += 1;
         }
     }
-    assert!(busy >= 3, "consistent hashing should use most proxies ({busy}/4)");
+    assert!(
+        busy >= 3,
+        "consistent hashing should use most proxies ({busy}/4)"
+    );
     assert!((w.metrics.hit_ratio() - 1.0).abs() < 1e-9);
 }
 
@@ -107,9 +129,16 @@ fn trace_replay_hits_reasonable_ratio_and_bills_all_categories() {
     );
     assert!(report.hit_ratio > 0.2, "hit ratio {}", report.hit_ratio);
     assert!(report.category_cost[0] > 0.0, "serving must cost something");
-    assert!(report.category_cost[1] > 0.0, "warm-ups must cost something");
+    assert!(
+        report.category_cost[1] > 0.0,
+        "warm-ups must cost something"
+    );
     assert!(report.category_cost[2] > 0.0, "backups must cost something");
-    assert!(report.availability > 0.8, "availability {}", report.availability);
+    assert!(
+        report.availability > 0.8,
+        "availability {}",
+        report.availability
+    );
 }
 
 #[test]
@@ -120,8 +149,10 @@ fn live_cluster_roundtrips_various_sizes_through_real_ec() {
     };
     let mut cache = LiveCluster::start(cfg).unwrap();
     for len in [1usize, 100, 4096, 1 << 16, 3 * 1024 * 1024] {
-        let data: Bytes =
-            (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect::<Vec<u8>>().into();
+        let data: Bytes = (0..len)
+            .map(|i| ((i * 131 + 17) % 256) as u8)
+            .collect::<Vec<u8>>()
+            .into();
         cache.put(format!("obj-{len}"), data.clone()).unwrap();
         let back = cache.get(format!("obj-{len}")).unwrap().expect("cached");
         assert_eq!(back, data, "len {len}");
@@ -146,12 +177,18 @@ fn live_cluster_recovers_after_reclaims_and_repairs() {
         let back = cache.get("survivor").unwrap().expect("recoverable");
         assert_eq!(back, data, "after reclaiming λ{node}");
     }
-    assert!(cache.stats().recoveries > 0, "some reads must have recovered");
+    assert!(
+        cache.stats().recoveries > 0,
+        "some reads must have recovered"
+    );
     cache.shutdown();
 }
 
 fn parity_script() -> Vec<ScriptStep> {
-    let put = |k: &str, size| ScriptStep::Put { key: k.into(), size };
+    let put = |k: &str, size| ScriptStep::Put {
+        key: k.into(),
+        size,
+    };
     let get = |k: &str| ScriptStep::Get { key: k.into() };
     vec![
         put("alpha", 300_000),
@@ -185,6 +222,18 @@ fn simulated_and_live_execution_agree_on_hit_miss_outcomes() {
         StepOutcome::Hit,
     ];
     assert_eq!(sim, expected, "script must store, hit, and miss as written");
+}
+
+/// The same invariant extended to the third substrate: the socket
+/// cluster (`ic-net` loopback TCP) must agree with the simulator on the
+/// hand-written script, and its GETs are byte-identical to the stored
+/// objects (asserted inside `replay_net`).
+#[test]
+fn simulated_and_net_execution_agree_on_hit_miss_outcomes() {
+    let script = parity_script();
+    let sim = replay_sim(&script);
+    let net = replay_net(&script);
+    assert_eq!(sim, net, "sim and net outcomes diverged");
 }
 
 #[test]
@@ -226,6 +275,9 @@ fn erasure_coding_tolerance_boundary_is_exact() {
         cache.reclaim_node(LambdaId(node));
     }
     std::thread::sleep(std::time::Duration::from_millis(50));
-    assert!(cache.get("edge").is_err(), "total loss must be unrecoverable");
+    assert!(
+        cache.get("edge").is_err(),
+        "total loss must be unrecoverable"
+    );
     cache.shutdown();
 }
