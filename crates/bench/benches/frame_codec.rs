@@ -1,0 +1,204 @@
+//! Frame-codec microbenchmark: proves (and measures) the zero-copy data
+//! plane at the codec layer, and emits the `BENCH_frame.json` artifact.
+//!
+//! For each payload size it measures four paths:
+//!
+//! * `encode_parts` — scatter/gather encode ([`encode_msg_parts`]): the
+//!   payload is carried as a borrowed `Bytes` segment, zero memcpys;
+//! * `encode_contiguous` — the legacy copying encode ([`encode_msg`]),
+//!   kept for contrast;
+//! * `decode_shared` — zero-copy decode ([`decode_msg_shared`]): the
+//!   payload aliases the frame allocation;
+//! * `decode_copying` — the copying decode ([`decode_msg`]).
+//!
+//! Before timing anything it *asserts* the zero-copy invariants by
+//! pointer identity — encode borrows the payload allocation, decode
+//! slices the frame allocation — so `payload_copies: 0` in the artifact
+//! is checked, not asserted on faith. Run with `--test` (CI) for a quick
+//! pass that checks the invariants and skips the artifact write.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use criterion::{black_box, Criterion, Throughput};
+use ic_common::frame::{
+    decode_msg, decode_msg_shared, encode_msg, encode_msg_parts, read_frame, write_frame_parts,
+};
+use ic_common::msg::Msg;
+use ic_common::{ChunkId, ObjectKey, Payload};
+
+/// The chunk sizes of the netbench object sweep (a 256 KiB object at
+/// RS(4+2) moves 64 KiB chunks; 4 MiB moves 1 MiB chunks).
+const SIZES: &[usize] = &[64 * 1024, 256 * 1024, 1024 * 1024];
+
+fn chunk_msg(len: usize) -> (Bytes, Msg) {
+    let payload = Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+    let msg = Msg::ChunkData {
+        id: ChunkId::new(ObjectKey::new("bench-chunk"), 3),
+        payload: Payload::Bytes(payload.clone()),
+    };
+    (payload, msg)
+}
+
+/// Asserts the zero-copy invariants for `len`-byte payloads; returns
+/// the number of payload-byte copies observed (0 or panics).
+fn assert_zero_copy(len: usize) -> u64 {
+    let (payload, msg) = chunk_msg(len);
+
+    // Encode: exactly one borrowed segment, pointing at the payload.
+    let parts = encode_msg_parts(&msg);
+    let shared: Vec<&Bytes> = parts.shared_segments().collect();
+    assert_eq!(shared.len(), 1, "chunk payload must be a borrowed segment");
+    assert_eq!(
+        shared[0].as_ptr(),
+        payload.as_ptr(),
+        "encode must borrow the payload allocation, not copy it"
+    );
+
+    // Decode: the payload is a sub-slice of the frame allocation.
+    let mut wire = Vec::new();
+    write_frame_parts(&mut wire, &parts).expect("frame fits");
+    let frame = read_frame(&mut &wire[..]).expect("reads back");
+    let decoded = decode_msg_shared(&frame).expect("decodes");
+    let Msg::ChunkData {
+        payload: Payload::Bytes(got),
+        ..
+    } = &decoded
+    else {
+        panic!("wrong message decoded");
+    };
+    let frame_start = frame.as_ptr() as usize;
+    let got_start = got.as_ptr() as usize;
+    assert!(
+        frame_start <= got_start && got_start + got.len() <= frame_start + frame.len(),
+        "decoded payload must alias the frame allocation"
+    );
+    assert_eq!(decoded, msg, "zero-copy round-trip must be exact");
+    0
+}
+
+/// Times `f` for at least `target_ms`, returning mean seconds/iter.
+fn time_it(target_ms: u64, mut f: impl FnMut()) -> f64 {
+    // Calibration pass.
+    let t0 = Instant::now();
+    f();
+    let per = t0.elapsed().max(std::time::Duration::from_nanos(50));
+    let iters = ((target_ms as u128 * 1_000_000) / per.as_nanos()).clamp(3, 2_000_000) as u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+struct SizeResult {
+    len: usize,
+    encode_parts_s: f64,
+    encode_contig_s: f64,
+    decode_shared_s: f64,
+    decode_copy_s: f64,
+}
+
+fn mib_s(len: usize, secs: f64) -> f64 {
+    len as f64 / secs / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+
+    // The invariants the artifact reports.
+    let mut payload_copies = 0u64;
+    for &len in SIZES {
+        payload_copies += assert_zero_copy(len);
+    }
+    println!("frame_codec: zero-copy alias assertions passed for {SIZES:?}");
+    if quick {
+        // CI mode: invariants checked, a fast timing smoke via the
+        // criterion harness, no artifact.
+        let mut c = Criterion::default();
+        let (_, msg) = chunk_msg(64 * 1024);
+        c.bench_function("encode_parts/64KiB", |b| {
+            b.iter(|| black_box(encode_msg_parts(black_box(&msg))))
+        });
+        return;
+    }
+
+    let target_ms = 300;
+    let mut results = Vec::new();
+    let mut c = Criterion::default();
+    for &len in SIZES {
+        let (_, msg) = chunk_msg(len);
+        let body = encode_msg(&msg);
+        let mut wire = Vec::new();
+        write_frame_parts(&mut wire, &encode_msg_parts(&msg)).expect("frame fits");
+        let frame = read_frame(&mut &wire[..]).expect("reads back");
+
+        // Criterion console reporting (throughput per iteration).
+        let mut g = c.benchmark_group(format!("frame/{}KiB", len / 1024));
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function("encode_parts", |b| {
+            b.iter(|| black_box(encode_msg_parts(black_box(&msg))))
+        });
+        g.bench_function("encode_contiguous", |b| {
+            b.iter(|| black_box(encode_msg(black_box(&msg))))
+        });
+        g.bench_function("decode_shared", |b| {
+            b.iter(|| black_box(decode_msg_shared(black_box(&frame)).expect("decodes")))
+        });
+        g.bench_function("decode_copying", |b| {
+            b.iter(|| black_box(decode_msg(black_box(&body)).expect("decodes")))
+        });
+        g.finish();
+
+        results.push(SizeResult {
+            len,
+            encode_parts_s: time_it(target_ms, || {
+                black_box(encode_msg_parts(black_box(&msg)));
+            }),
+            encode_contig_s: time_it(target_ms, || {
+                black_box(encode_msg(black_box(&msg)));
+            }),
+            decode_shared_s: time_it(target_ms, || {
+                black_box(decode_msg_shared(black_box(&frame)).expect("decodes"));
+            }),
+            decode_copy_s: time_it(target_ms, || {
+                black_box(decode_msg(black_box(&body)).expect("decodes"));
+            }),
+        });
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"payload_bytes\": {}, \
+                 \"encode_parts_ns\": {:.0}, \"encode_parts_mib_per_sec\": {:.0}, \
+                 \"encode_contiguous_ns\": {:.0}, \"encode_contiguous_mib_per_sec\": {:.0}, \
+                 \"decode_shared_ns\": {:.0}, \"decode_shared_mib_per_sec\": {:.0}, \
+                 \"decode_copying_ns\": {:.0}, \"decode_copying_mib_per_sec\": {:.0}}}",
+                r.len,
+                r.encode_parts_s * 1e9,
+                mib_s(r.len, r.encode_parts_s),
+                r.encode_contig_s * 1e9,
+                mib_s(r.len, r.encode_contig_s),
+                r.decode_shared_s * 1e9,
+                mib_s(r.len, r.decode_shared_s),
+                r.decode_copy_s * 1e9,
+                mib_s(r.len, r.decode_copy_s),
+            )
+        })
+        .collect();
+    let r256 = results
+        .iter()
+        .find(|r| r.len == 256 * 1024)
+        .expect("256 KiB is in SIZES");
+    let json = format!(
+        "{{\n  \"bench\": \"frame_codec\",\n  \"payload_copies_at_256KiB\": {payload_copies},\n  \"alias_assertions\": \"encode borrows payload allocation; decode aliases frame allocation (pointer-range checked)\",\n  \"encode_parts_speedup_at_256KiB\": {:.1},\n  \"decode_shared_speedup_at_256KiB\": {:.1},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        r256.encode_contig_s / r256.encode_parts_s,
+        r256.decode_copy_s / r256.decode_shared_s,
+        entries.join(",\n"),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_frame.json");
+    std::fs::write(&out, json).expect("write BENCH_frame.json");
+    println!("wrote {}", out.display());
+}

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use ic_common::msg::Msg;
 use ic_common::ring::Ring;
 use ic_common::{ChunkId, ClientId, EcConfig, LambdaId, ObjectKey, Payload, ProxyId};
-use ic_ec::{join_object, split_object, ReedSolomon};
+use ic_ec::{join_object, split_object_shared, ReedSolomon};
 use rand::rngs::SmallRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -125,6 +125,10 @@ pub struct ClientStats {
 struct GetState {
     proxy: ProxyId,
     object_size: u64,
+    /// Proxy-assigned version of the object this GET is fetching (from
+    /// `GetAccepted`); stamped onto read-repair chunks so the proxy can
+    /// drop repairs of a version that was overwritten meanwhile.
+    version: u64,
     total: u32,
     arrivals: Vec<Option<Payload>>,
     missing: Vec<bool>,
@@ -136,6 +140,10 @@ struct GetState {
     done: bool,
     /// The reassembled object, kept after delivery for late repairs.
     object: Option<Payload>,
+    /// Chunk answers that arrived *before* `GetAccepted` (reordered
+    /// transports); replayed once the stripe shape is known so the GET
+    /// still terminates — the proxy answers each chunk exactly once.
+    early_answers: Vec<(ChunkId, Option<Payload>)>,
 }
 
 #[derive(Debug)]
@@ -234,9 +242,14 @@ impl ClientLib {
 
         let shard_payloads: Vec<Payload> = match &object {
             Payload::Bytes(bytes) => {
-                let mut shards = split_object(self.ec, bytes).expect("non-empty object");
-                self.rs.encode(&mut shards).expect("stripe is well-formed");
-                shards.into_iter().map(Payload::from).collect()
+                // Data shards are zero-copy slices of the object; only
+                // the parity shards are fresh allocations.
+                let data = split_object_shared(self.ec, bytes).expect("non-empty object");
+                let parity = self.rs.encode_parity(&data).expect("stripe is well-formed");
+                data.into_iter()
+                    .map(Payload::Bytes)
+                    .chain(parity.into_iter().map(Payload::from))
+                    .collect()
             }
             Payload::Synthetic { .. } => (0..n).map(|_| Payload::synthetic(chunk_len)).collect(),
         };
@@ -295,6 +308,7 @@ impl ClientLib {
             GetState {
                 proxy,
                 object_size: 0,
+                version: 0,
                 total: 0,
                 arrivals: Vec::new(),
                 missing: Vec::new(),
@@ -302,6 +316,7 @@ impl ClientLib {
                 lost: 0,
                 done: false,
                 object: None,
+                early_answers: Vec::new(),
             },
         );
         actions.push(ClientAction::ToProxy {
@@ -317,6 +332,7 @@ impl ClientLib {
             Msg::GetAccepted {
                 key,
                 object_size,
+                version,
                 chunks,
             } => {
                 let Some(st) = self.gets.get_mut(&key) else {
@@ -328,10 +344,19 @@ impl ClientLib {
                     return Vec::new();
                 }
                 st.object_size = object_size;
+                st.version = version;
                 st.total = chunks.len() as u32;
                 st.arrivals = vec![None; chunks.len()];
                 st.missing = vec![false; chunks.len()];
-                Vec::new()
+                // Answers that overtook this accept are applied now
+                // (see `GetState::early_answers`); this can already
+                // complete the stripe's accounting.
+                let early = std::mem::take(&mut st.early_answers);
+                let mut actions = Vec::new();
+                for (id, payload) in early {
+                    actions.extend(self.on_chunk(id, payload));
+                }
+                actions
             }
             Msg::GetMiss { key } => {
                 self.gets.remove(&key);
@@ -410,6 +435,14 @@ impl ClientLib {
             return Vec::new(); // fully accounted GET: ignored
         };
         if st.arrivals.is_empty() {
+            // The answer overtook the GetAccepted (the sim's network
+            // jitter and live mode's cross-thread channels can reorder
+            // across causality chains). Buffer it — dropping it would
+            // strand the GET forever, since the proxy answers each
+            // chunk exactly once.
+            if st.early_answers.len() < 4096 {
+                st.early_answers.push((id, payload));
+            }
             return Vec::new();
         }
         let seq = id.seq as usize;
@@ -477,18 +510,20 @@ impl ClientLib {
             .next()
             .is_some_and(|p| !p.is_synthetic());
 
-        // Reassemble the object.
+        // Reassemble the object. Arrived chunks stay as shared slices of
+        // their transport frames; only rebuilt shards allocate, and the
+        // join into the contiguous object is the decode path's one copy.
         let object = if real_bytes {
-            let mut shards: Vec<Option<Vec<u8>>> = st
+            let mut shards: Vec<Option<bytes::Bytes>> = st
                 .arrivals
                 .iter()
-                .map(|a| a.as_ref().and_then(|p| p.as_bytes()).map(|b| b.to_vec()))
+                .map(|a| a.as_ref().and_then(|p| p.as_bytes()).cloned())
                 .collect();
             shards.resize(n, None);
             self.rs
-                .reconstruct_data(&mut shards)
+                .reconstruct_data_bytes(&mut shards)
                 .expect("first-d arrivals guarantee decodability");
-            let data: Vec<Vec<u8>> = shards
+            let data: Vec<bytes::Bytes> = shards
                 .into_iter()
                 .take(d)
                 .map(|s| s.expect("data reconstructed"))
@@ -547,7 +582,7 @@ impl ClientLib {
                         object_size: st.object_size,
                         total_chunks: n as u32,
                         repair: true,
-                        put_epoch: 0,
+                        put_epoch: st.version,
                     },
                 });
             }
@@ -625,7 +660,7 @@ impl ClientLib {
                     object_size: st.object_size,
                     total_chunks: n as u32,
                     repair: true,
-                    put_epoch: 0,
+                    put_epoch: st.version,
                 },
             });
         }
@@ -701,9 +736,20 @@ impl ClientLib {
         let Payload::Bytes(bytes) = object else {
             return Payload::synthetic(self.ec.chunk_len(object_size));
         };
-        let mut shards = split_object(self.ec, bytes).expect("non-empty");
-        self.rs.encode(&mut shards).expect("well-formed stripe");
-        Payload::from(shards.swap_remove(seq as usize))
+        let data = split_object_shared(self.ec, bytes).expect("non-empty");
+        let seq = seq as usize;
+        if seq < self.ec.data {
+            // A data shard: a zero-copy slice of the delivered object.
+            Payload::Bytes(data.into_iter().nth(seq).expect("seq < d"))
+        } else {
+            let parity = self.rs.encode_parity(&data).expect("well-formed stripe");
+            Payload::from(
+                parity
+                    .into_iter()
+                    .nth(seq - self.ec.data)
+                    .expect("seq < d + p"),
+            )
+        }
     }
 }
 
@@ -775,6 +821,7 @@ mod tests {
         c.on_proxy(Msg::GetAccepted {
             key: ObjectKey::new("k"),
             object_size: 999,
+            version: 1,
             chunks: chunk_ids,
         });
         // Deliver shards 0,2,3 and parity shard 4 (shard 1 is "slow").
@@ -813,6 +860,7 @@ mod tests {
         c.on_proxy(Msg::GetAccepted {
             key: ObjectKey::new("k"),
             object_size: 400,
+            version: 1,
             chunks: shards.iter().map(|(id, _)| id.clone()).collect(),
         });
         let mut out = Vec::new();
@@ -826,6 +874,76 @@ mod tests {
         assert_eq!(object.as_bytes().unwrap().as_ref(), &data[..]);
     }
 
+    /// A chunk answer that overtakes `GetAccepted` (the sim's network
+    /// jitter and live mode's cross-thread channels can reorder across
+    /// causality chains) must not be dropped: the proxy answers each
+    /// chunk exactly once, so a dropped answer strands the GET forever
+    /// (found by the chaos matrix after the stale-repair guard changed
+    /// event timing). It is buffered and replayed on accept.
+    #[test]
+    fn answers_before_get_accepted_are_buffered_not_dropped() {
+        let ec = EcConfig::new(4, 2).unwrap();
+        let mut c = client(1, 10, ec);
+        let key = ObjectKey::new("k");
+        c.get(key.clone());
+        let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
+        // Chunk 0's data and chunk 5's miss answer before the accept.
+        assert!(c
+            .on_proxy(Msg::ChunkToClient {
+                id: chunks[0].clone(),
+                payload: Payload::synthetic(1000),
+            })
+            .is_empty());
+        assert!(c
+            .on_proxy(Msg::ChunkMiss {
+                id: chunks[5].clone(),
+            })
+            .is_empty());
+        assert!(c
+            .on_proxy(Msg::GetAccepted {
+                key: key.clone(),
+                object_size: 4000,
+                version: 7,
+                chunks: chunks.clone(),
+            })
+            .is_empty());
+        // Three more data chunks complete first-d (the buffered chunk 0
+        // counts); the buffered miss is repaired at version 7.
+        let mut out = Vec::new();
+        for id in &chunks[1..4] {
+            out.extend(c.on_proxy(Msg::ChunkToClient {
+                id: id.clone(),
+                payload: Payload::synthetic(1000),
+            }));
+        }
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ClientAction::Deliver { report, .. } if report.lost_chunks == 1)));
+        let repair = out
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::DataToProxy {
+                    msg:
+                        Msg::PutChunk {
+                            id,
+                            repair: true,
+                            put_epoch,
+                            ..
+                        },
+                    ..
+                } => Some((id.clone(), *put_epoch)),
+                _ => None,
+            })
+            .expect("the early-missed chunk is repaired");
+        assert_eq!(repair, (chunks[5].clone(), 7));
+        // The last outstanding chunk answers; the GET fully closes.
+        c.on_proxy(Msg::ChunkToClient {
+            id: chunks[4].clone(),
+            payload: Payload::synthetic(1000),
+        });
+        assert_eq!(c.open_gets(), 0, "the GET must fully terminate");
+    }
+
     #[test]
     fn lost_chunks_within_tolerance_trigger_repair() {
         let ec = EcConfig::new(4, 2).unwrap();
@@ -835,6 +953,7 @@ mod tests {
         let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
         c.on_proxy(Msg::GetAccepted {
             key: key.clone(),
+            version: 1,
             object_size: 4000,
             chunks: chunks.clone(),
         });
@@ -882,6 +1001,7 @@ mod tests {
         let chunks: Vec<ChunkId> = (0..5).map(|s| ChunkId::new(key.clone(), s)).collect();
         c.on_proxy(Msg::GetAccepted {
             key: key.clone(),
+            version: 1,
             object_size: 100,
             chunks: chunks.clone(),
         });
@@ -1001,6 +1121,7 @@ mod tests {
         let chunks: Vec<ChunkId> = (0..6).map(|s| ChunkId::new(key.clone(), s)).collect();
         c.on_proxy(Msg::GetAccepted {
             key: key.clone(),
+            version: 1,
             object_size: 4000,
             chunks: chunks.clone(),
         });
@@ -1048,6 +1169,7 @@ mod tests {
         // The fresh state is clean: a full first-d delivery works.
         c.on_proxy(Msg::GetAccepted {
             key: key.clone(),
+            version: 1,
             object_size: 4000,
             chunks: chunks.clone(),
         });
@@ -1079,6 +1201,7 @@ mod tests {
         let chunks: Vec<ChunkId> = (0..5).map(|s| ChunkId::new(key.clone(), s)).collect();
         c.on_proxy(Msg::GetAccepted {
             key: key.clone(),
+            version: 1,
             object_size: 400,
             chunks: chunks.clone(),
         });

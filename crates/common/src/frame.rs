@@ -17,11 +17,32 @@
 //! messages); synthetic payloads cross the wire as their length only, so
 //! trace-scale object sizes (terabytes) never materialize.
 //!
+//! ## The zero-copy data plane
+//!
+//! Chunk payloads are the bulk of every frame, and they are never
+//! memcpy'd by this codec:
+//!
+//! * **Encode** — [`Enc`] builds a scatter/gather [`FrameParts`]: small
+//!   owned buffers for headers and metadata, interleaved with borrowed
+//!   [`Bytes`] payload segments (an O(1) refcount bump each).
+//!   [`write_frame_parts`]/[`write_frame_batch`] push the whole frame —
+//!   envelope, metadata, and payload segments — through one vectored
+//!   write, so a 256 KiB chunk reaches the socket without ever being
+//!   copied into a contiguous body buffer. (Payloads under
+//!   [`INLINE_PAYLOAD_MAX`] are inlined: for a few dozen bytes the
+//!   memcpy is cheaper than an extra scatter segment.)
+//! * **Decode** — [`read_frame`] (and the per-connection
+//!   [`FrameReader`], which reuses one header buffer) returns the frame
+//!   body as a shared [`Bytes`] allocation; [`Dec`] in shared mode
+//!   ([`Dec::new_shared`], [`decode_msg_shared`]) decodes
+//!   `Payload::Bytes` as zero-copy *slices* of that allocation. The one
+//!   unavoidable copy per direction is the socket read itself.
+//!
 //! Nothing here performs socket I/O beyond `Read`/`Write`; the framing is
 //! equally usable over files or in-memory buffers (which is how the
 //! round-trip tests exercise it).
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 
 use bytes::Bytes;
 
@@ -31,13 +52,25 @@ use crate::msg::{BackupInvoke, BackupKey, InvokePayload, Msg};
 use crate::payload::Payload;
 
 /// Current wire-format version; bump on any incompatible encoding change.
-pub const FRAME_VERSION: u8 = 1;
+/// (v2: `GetAccepted` carries the stored object's proxy-assigned
+/// version, guarding read-repair against overwrites.)
+pub const FRAME_VERSION: u8 = 2;
 
 /// Upper bound on one frame's body. A frame carries at most one chunk
 /// payload; 64 MiB comfortably covers the largest chunk of the paper's
 /// workloads while keeping a hostile length prefix from allocating
 /// unbounded memory.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Payloads shorter than this are copied into the metadata buffer during
+/// encode instead of becoming a scatter/gather segment: below a cache
+/// line or two, the memcpy is cheaper than carrying an extra refcount +
+/// iovec through the writer. The zero-copy invariant targets chunk-scale
+/// payloads, which are always far above this.
+pub const INLINE_PAYLOAD_MAX: usize = 512;
+
+/// Wire envelope ahead of every body: version byte + `u32` length.
+const HEADER_LEN: usize = 5;
 
 /// Upper bound on decoded sequence lengths (chunk lists, backup key
 /// lists); independent of the byte budget so a tiny frame cannot claim a
@@ -95,41 +128,101 @@ pub type FrameResult<T> = std::result::Result<T, FrameError>;
 // Body encoding
 // ----------------------------------------------------------------------
 
-/// Append-only encoder for frame bodies.
+/// One scatter/gather segment of an encoded body.
+#[derive(Clone, Debug)]
+enum Seg {
+    /// Headers, metadata, and inlined small payloads.
+    Owned(Vec<u8>),
+    /// A borrowed chunk payload — shares the caller's allocation.
+    Shared(Bytes),
+}
+
+impl Seg {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared(b) => b,
+        }
+    }
+}
+
+/// Append-only scatter/gather encoder for frame bodies.
+///
+/// Fixed-width fields accumulate in owned buffers; payload bytes are
+/// recorded as borrowed [`Bytes`] segments (see the module docs). Use
+/// [`Enc::into_parts`] for vectored writing or [`Enc::into_vec`] when a
+/// contiguous body is needed.
 #[derive(Default)]
 pub struct Enc {
-    buf: Vec<u8>,
+    segs: Vec<Seg>,
+    len: usize,
 }
 
 impl Enc {
     /// A fresh, empty body.
     pub fn new() -> Self {
-        Enc { buf: Vec::new() }
+        Enc::default()
     }
 
-    /// The encoded bytes.
+    /// Total encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The encoded bytes as one contiguous buffer (copies borrowed
+    /// payload segments; the vectored write path never calls this).
     pub fn into_vec(self) -> Vec<u8> {
-        self.buf
+        self.into_parts().to_vec()
+    }
+
+    /// The encoded body as scatter/gather parts, ready for
+    /// [`write_frame_parts`].
+    pub fn into_parts(self) -> FrameParts {
+        FrameParts {
+            segs: self.segs,
+            len: self.len,
+        }
+    }
+
+    /// The owned buffer new fixed-width fields append to.
+    fn tail(&mut self) -> &mut Vec<u8> {
+        if !matches!(self.segs.last(), Some(Seg::Owned(_))) {
+            self.segs.push(Seg::Owned(Vec::new()));
+        }
+        match self.segs.last_mut() {
+            Some(Seg::Owned(v)) => v,
+            _ => unreachable!("just ensured an owned tail"),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.tail().extend_from_slice(bytes);
+        self.len += bytes.len();
     }
 
     /// Appends one byte.
     pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.put(&[v]);
     }
 
     /// Appends a `u16`, little-endian.
     pub fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.put(&v.to_le_bytes());
     }
 
     /// Appends a `u32`, little-endian.
     pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.put(&v.to_le_bytes());
     }
 
     /// Appends a `u64`, little-endian.
     pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.put(&v.to_le_bytes());
     }
 
     /// Appends a bool as one byte.
@@ -140,7 +233,7 @@ impl Enc {
     /// Appends a length-prefixed UTF-8 string.
     pub fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
+        self.put(s.as_bytes());
     }
 
     /// Appends an object key.
@@ -155,13 +248,19 @@ impl Enc {
     }
 
     /// Appends a payload: real bytes length-prefixed, synthetic as its
-    /// represented length only.
+    /// represented length only. Chunk-scale byte payloads are *borrowed*
+    /// (an O(1) [`Bytes`] clone), never copied.
     pub fn payload(&mut self, p: &Payload) {
         match p {
             Payload::Bytes(b) => {
                 self.u8(0);
                 self.u32(b.len() as u32);
-                self.buf.extend_from_slice(b);
+                if b.len() < INLINE_PAYLOAD_MAX {
+                    self.put(b);
+                } else {
+                    self.len += b.len();
+                    self.segs.push(Seg::Shared(b.clone()));
+                }
             }
             Payload::Synthetic { len } => {
                 self.u8(1);
@@ -195,11 +294,13 @@ impl Enc {
             Msg::GetAccepted {
                 key,
                 object_size,
+                version,
                 chunks,
             } => {
                 self.u8(1);
                 self.key(key);
                 self.u64(*object_size);
+                self.u64(*version);
                 self.u32(chunks.len() as u32);
                 for c in chunks {
                     self.chunk(c);
@@ -340,19 +441,89 @@ impl Enc {
     }
 }
 
+/// A fully encoded frame body as scatter/gather segments: owned
+/// header/metadata buffers interleaved with borrowed payload [`Bytes`].
+///
+/// Produced by [`Enc::into_parts`], consumed by [`write_frame_parts`] /
+/// [`write_frame_batch`] via vectored writes — the payload bytes travel
+/// from the producer's allocation straight into the socket.
+#[derive(Clone, Debug, Default)]
+pub struct FrameParts {
+    segs: Vec<Seg>,
+    len: usize,
+}
+
+impl FrameParts {
+    /// Total body length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for an empty body.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The body segments in wire order.
+    pub fn as_slices(&self) -> impl Iterator<Item = &[u8]> {
+        self.segs.iter().map(Seg::as_slice)
+    }
+
+    /// The borrowed (zero-copy) payload segments, in wire order — used
+    /// by benches and tests asserting the no-memcpy invariant.
+    pub fn shared_segments(&self) -> impl Iterator<Item = &Bytes> {
+        self.segs.iter().filter_map(|s| match s {
+            Seg::Shared(b) => Some(b),
+            Seg::Owned(_) => None,
+        })
+    }
+
+    /// Concatenates the body into one contiguous buffer (tests, and
+    /// callers that need an owned body; copies payload segments).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in self.as_slices() {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+}
+
 // ----------------------------------------------------------------------
 // Body decoding
 // ----------------------------------------------------------------------
 
 /// Cursor over a frame body.
+///
+/// In *shared* mode ([`Dec::new_shared`]) the cursor additionally holds
+/// the frame's [`Bytes`] allocation, and [`Dec::payload`] yields
+/// zero-copy slices of it; in plain mode ([`Dec::new`]) payloads are
+/// copied out (used by tests and non-wire callers).
 pub struct Dec<'a> {
     buf: &'a [u8],
+    /// Backing allocation for zero-copy payload slices.
+    frame: Option<&'a Bytes>,
+    /// Offset of `buf[0]` within `frame`.
+    pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    /// Starts decoding `buf`.
+    /// Starts decoding `buf`; payloads are copied.
     pub fn new(buf: &'a [u8]) -> Self {
-        Dec { buf }
+        Dec {
+            buf,
+            frame: None,
+            pos: 0,
+        }
+    }
+
+    /// Starts decoding a shared frame body; payloads alias `frame`.
+    pub fn new_shared(frame: &'a Bytes) -> Self {
+        Dec {
+            buf: frame,
+            frame: Some(frame),
+            pos: 0,
+        }
     }
 
     /// Errors unless every body byte was consumed (catches skewed field
@@ -371,6 +542,7 @@ impl<'a> Dec<'a> {
         }
         let (head, rest) = self.buf.split_at(n);
         self.buf = rest;
+        self.pos += n;
         Ok(head)
     }
 
@@ -437,13 +609,19 @@ impl<'a> Dec<'a> {
         Ok(n as usize)
     }
 
-    /// Reads a payload.
+    /// Reads a payload. In shared mode, byte payloads are zero-copy
+    /// slices of the frame allocation.
     pub fn payload(&mut self) -> FrameResult<Payload> {
         match self.u8()? {
             0 => {
                 let len = self.u32()? as usize;
+                let start = self.pos;
                 let raw = self.take(len)?;
-                Ok(Payload::Bytes(Bytes::from(raw.to_vec())))
+                let bytes = match self.frame {
+                    Some(frame) => frame.slice(start..start + len),
+                    None => Bytes::from(raw.to_vec()),
+                };
+                Ok(Payload::Bytes(bytes))
             }
             1 => Ok(Payload::synthetic(self.u64()?)),
             _ => Err(FrameError::Malformed("unknown payload kind")),
@@ -477,6 +655,7 @@ impl<'a> Dec<'a> {
             1 => {
                 let key = self.key()?;
                 let object_size = self.u64()?;
+                let version = self.u64()?;
                 let n = self.seq_len()?;
                 let mut chunks = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -485,6 +664,7 @@ impl<'a> Dec<'a> {
                 Msg::GetAccepted {
                     key,
                     object_size,
+                    version,
                     chunks,
                 }
             }
@@ -584,6 +764,40 @@ impl<'a> Dec<'a> {
 // Framed I/O
 // ----------------------------------------------------------------------
 
+/// Builds the 5-byte envelope for a body of `len` bytes.
+fn header_for(len: usize) -> FrameResult<[u8; HEADER_LEN]> {
+    let len = u32::try_from(len).map_err(|_| FrameError::TooLarge(len as u64))?;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len as u64));
+    }
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = FRAME_VERSION;
+    h[1..].copy_from_slice(&len.to_le_bytes());
+    Ok(h)
+}
+
+/// Writes every byte of `slices` through vectored writes, handling
+/// partial progress.
+fn write_all_slices<W: Write>(w: &mut W, mut slices: &mut [IoSlice<'_>]) -> FrameResult<()> {
+    let mut remaining: usize = slices.iter().map(|s| s.len()).sum();
+    while remaining > 0 {
+        let n = match w.write_vectored(slices) {
+            Ok(0) => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                )))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        };
+        remaining -= n;
+        IoSlice::advance_slices(&mut slices, n);
+    }
+    Ok(())
+}
+
 /// Writes one frame: version byte, length prefix, body.
 ///
 /// # Errors
@@ -591,18 +805,52 @@ impl<'a> Dec<'a> {
 /// [`FrameError::TooLarge`] when the body exceeds [`MAX_FRAME_LEN`],
 /// [`FrameError::Io`] on write failure.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> FrameResult<()> {
-    let len = u32::try_from(body.len()).map_err(|_| FrameError::TooLarge(body.len() as u64))?;
-    if len > MAX_FRAME_LEN {
-        return Err(FrameError::TooLarge(len as u64));
-    }
-    w.write_all(&[FRAME_VERSION])?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(body)?;
+    let header = header_for(body.len())?;
+    let mut slices = [IoSlice::new(&header), IoSlice::new(body)];
+    write_all_slices(w, &mut slices)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads one frame body.
+/// Writes one scatter/gather frame: the envelope, metadata buffers, and
+/// borrowed payload segments go out in a single vectored write — payload
+/// bytes are never copied into a contiguous body first.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn write_frame_parts<W: Write>(w: &mut W, parts: &FrameParts) -> FrameResult<()> {
+    write_frame_batch(w, std::slice::from_ref(parts))
+}
+
+/// Writes a batch of frames in one vectored write (one syscall for the
+/// common case) — the writer-thread coalescing path: frames queued while
+/// the previous write was in flight all leave together.
+///
+/// # Errors
+///
+/// See [`write_frame`]; on error, how much of the batch reached the
+/// socket is unspecified (callers treat the connection as dead).
+pub fn write_frame_batch<W: Write>(w: &mut W, frames: &[FrameParts]) -> FrameResult<()> {
+    let mut headers = Vec::with_capacity(frames.len());
+    for f in frames {
+        headers.push(header_for(f.len())?);
+    }
+    let mut slices = Vec::with_capacity(frames.len() * 3);
+    for (f, h) in frames.iter().zip(&headers) {
+        slices.push(IoSlice::new(h));
+        for s in f.as_slices() {
+            if !s.is_empty() {
+                slices.push(IoSlice::new(s));
+            }
+        }
+    }
+    write_all_slices(w, &mut slices)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame body into a shared [`Bytes`] allocation.
 ///
 /// # Errors
 ///
@@ -610,29 +858,78 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> FrameResult<()> {
 /// [`FrameError::Version`] on wire-version skew, [`FrameError::TooLarge`]
 /// when the length prefix exceeds [`MAX_FRAME_LEN`], and
 /// [`FrameError::Malformed`] on mid-frame truncation.
-pub fn read_frame<R: Read>(r: &mut R) -> FrameResult<Vec<u8>> {
-    let mut version = [0u8; 1];
-    if let Err(e) = r.read_exact(&mut version) {
-        return Err(if e.kind() == ErrorKind::UnexpectedEof {
-            FrameError::Closed
-        } else {
-            FrameError::Io(e)
-        });
+pub fn read_frame<R: Read>(r: &mut R) -> FrameResult<Bytes> {
+    let mut header = [0u8; HEADER_LEN];
+    read_frame_with(r, &mut header)
+}
+
+/// [`read_frame`] against a caller-owned header buffer — the
+/// per-connection reuse path (see [`FrameReader`]).
+fn read_frame_with<R: Read>(r: &mut R, header: &mut [u8; HEADER_LEN]) -> FrameResult<Bytes> {
+    // One read for the whole envelope (version + length) instead of two:
+    // zero bytes at the frame boundary is a clean close; a nonzero
+    // partial read is truncation — unless byte 0 already reveals version
+    // skew, which is the more useful diagnosis.
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Err(FrameError::Closed);
+                }
+                if header[0] != FRAME_VERSION {
+                    return Err(FrameError::Version(header[0]));
+                }
+                return Err(FrameError::Malformed("truncated length prefix"));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
     }
-    if version[0] != FRAME_VERSION {
-        return Err(FrameError::Version(version[0]));
+    if header[0] != FRAME_VERSION {
+        return Err(FrameError::Version(header[0]));
     }
-    let mut len_raw = [0u8; 4];
-    r.read_exact(&mut len_raw)
-        .map_err(|e| map_truncation(e, "truncated length prefix"))?;
-    let len = u32::from_le_bytes(len_raw);
+    let len = u32::from_le_bytes(header[1..].try_into().expect("4 bytes"));
     if len > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(len as u64));
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)
         .map_err(|e| map_truncation(e, "truncated frame body"))?;
-    Ok(body)
+    Ok(Bytes::from(body))
+}
+
+/// A per-connection frame reader: owns the reusable header buffer so the
+/// hot read loop allocates exactly once per frame — the body, which is
+/// handed onward as a shared [`Bytes`].
+pub struct FrameReader<R> {
+    inner: R,
+    header: [u8; HEADER_LEN],
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            header: [0u8; HEADER_LEN],
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads the next frame body.
+    ///
+    /// # Errors
+    ///
+    /// See [`read_frame`].
+    pub fn read_frame(&mut self) -> FrameResult<Bytes> {
+        read_frame_with(&mut self.inner, &mut self.header)
+    }
 }
 
 fn map_truncation(e: std::io::Error, what: &'static str) -> FrameError {
@@ -643,14 +940,23 @@ fn map_truncation(e: std::io::Error, what: &'static str) -> FrameError {
     }
 }
 
-/// Encodes `msg` into a standalone body buffer.
+/// Encodes `msg` into a standalone contiguous body buffer (copies
+/// payload bytes; the wire path uses [`encode_msg_parts`]).
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
     let mut e = Enc::new();
     e.msg(msg);
     e.into_vec()
 }
 
-/// Decodes a full body buffer as exactly one message.
+/// Encodes `msg` as scatter/gather parts — payload bytes are borrowed,
+/// not copied.
+pub fn encode_msg_parts(msg: &Msg) -> FrameParts {
+    let mut e = Enc::new();
+    e.msg(msg);
+    e.into_parts()
+}
+
+/// Decodes a full body buffer as exactly one message (copying payloads).
 ///
 /// # Errors
 ///
@@ -662,22 +968,35 @@ pub fn decode_msg(body: &[u8]) -> FrameResult<Msg> {
     Ok(msg)
 }
 
-/// Writes `msg` as one frame.
+/// Decodes a shared frame body as exactly one message; byte payloads
+/// alias the frame allocation.
+///
+/// # Errors
+///
+/// See [`decode_msg`].
+pub fn decode_msg_shared(frame: &Bytes) -> FrameResult<Msg> {
+    let mut d = Dec::new_shared(frame);
+    let msg = d.msg()?;
+    d.finish()?;
+    Ok(msg)
+}
+
+/// Writes `msg` as one frame (vectored; payload bytes uncopied).
 ///
 /// # Errors
 ///
 /// See [`write_frame`].
 pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> FrameResult<()> {
-    write_frame(w, &encode_msg(msg))
+    write_frame_parts(w, &encode_msg_parts(msg))
 }
 
-/// Reads one framed message.
+/// Reads one framed message; byte payloads alias the frame allocation.
 ///
 /// # Errors
 ///
 /// See [`read_frame`] and [`decode_msg`].
 pub fn read_msg<R: Read>(r: &mut R) -> FrameResult<Msg> {
-    decode_msg(&read_frame(r)?)
+    decode_msg_shared(&read_frame(r)?)
 }
 
 #[cfg(test)]
@@ -689,6 +1008,8 @@ mod tests {
         let body = encode_msg(&msg);
         let back = decode_msg(&body).expect("decodes");
         assert_eq!(back, msg);
+        // The scatter/gather encoding concatenates to the same body.
+        assert_eq!(encode_msg_parts(&msg).to_vec(), body);
     }
 
     #[test]
@@ -700,6 +1021,7 @@ mod tests {
         roundtrip(Msg::GetAccepted {
             key: ObjectKey::new("k"),
             object_size: 123_456,
+            version: 17,
             chunks: (0..6)
                 .map(|s| ChunkId::new(ObjectKey::new("k"), s))
                 .collect(),
@@ -755,6 +1077,181 @@ mod tests {
         assert!(matches!(read_msg(&mut r), Err(FrameError::Closed)));
     }
 
+    /// The zero-copy invariants of the data plane: encode borrows
+    /// chunk-scale payload allocations; decode yields slices of the frame
+    /// allocation.
+    #[test]
+    fn payloads_are_borrowed_on_encode_and_aliased_on_decode() {
+        let payload = Bytes::from(vec![0x5Au8; 256 * 1024]);
+        let msg = Msg::ChunkData {
+            id: ChunkId::new(ObjectKey::new("zc"), 0),
+            payload: Payload::Bytes(payload.clone()),
+        };
+
+        // Encode: the payload appears as a borrowed segment at the same
+        // address — zero payload-byte copies.
+        let parts = encode_msg_parts(&msg);
+        let shared: Vec<&Bytes> = parts.shared_segments().collect();
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].as_ptr(), payload.as_ptr(), "encode must borrow");
+
+        // Decode: the payload is a sub-slice of the frame buffer.
+        let mut wire = Vec::new();
+        write_frame_parts(&mut wire, &parts).unwrap();
+        let frame = read_frame(&mut &wire[..]).unwrap();
+        let back = decode_msg_shared(&frame).unwrap();
+        let Msg::ChunkData {
+            payload: Payload::Bytes(got),
+            ..
+        } = &back
+        else {
+            panic!("wrong message decoded");
+        };
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(
+            frame_range.contains(&(got.as_ptr() as usize))
+                && got.as_ptr() as usize + got.len() <= frame_range.end,
+            "decoded payload must alias the frame allocation"
+        );
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn small_payloads_are_inlined_not_segmented() {
+        let msg = Msg::ChunkData {
+            id: ChunkId::new(ObjectKey::new("s"), 0),
+            payload: Payload::bytes(vec![1u8; INLINE_PAYLOAD_MAX - 1]),
+        };
+        let parts = encode_msg_parts(&msg);
+        assert_eq!(parts.shared_segments().count(), 0);
+        assert_eq!(decode_msg(&parts.to_vec()).unwrap(), msg);
+    }
+
+    #[test]
+    fn frame_batches_concatenate_cleanly() {
+        let msgs = [
+            Msg::Ping,
+            Msg::ChunkData {
+                id: ChunkId::new(ObjectKey::new("b"), 1),
+                payload: Payload::bytes(vec![3u8; 4096]),
+            },
+            Msg::InitBackup,
+        ];
+        let parts: Vec<FrameParts> = msgs.iter().map(encode_msg_parts).collect();
+        let mut wire = Vec::new();
+        write_frame_batch(&mut wire, &parts).unwrap();
+        let mut r = &wire[..];
+        for m in &msgs {
+            assert_eq!(&read_msg(&mut r).unwrap(), m);
+        }
+        assert!(matches!(read_msg(&mut r), Err(FrameError::Closed)));
+    }
+
+    /// A sink whose `write`/`write_vectored` accept only a
+    /// pseudo-random prefix per call: every partial-progress branch of
+    /// the vectored writer gets exercised.
+    struct ChaoticSink {
+        out: Vec<u8>,
+        state: u64,
+    }
+
+    impl ChaoticSink {
+        fn budget(&mut self) -> usize {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            1 + ((self.state >> 33) % 5000) as usize
+        }
+    }
+
+    impl Write for ChaoticSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.budget());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut budget = self.budget();
+            let mut written = 0;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                written += n;
+                budget -= n;
+                if n < b.len() {
+                    break;
+                }
+            }
+            Ok(written)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn batched_frames_survive_chaotic_partial_writes() {
+        let msgs: Vec<Msg> = (0..60u32)
+            .map(|i| Msg::ChunkData {
+                id: ChunkId::new(ObjectKey::new(format!("k{i}")), i),
+                payload: Payload::bytes(
+                    (0..(i as usize * 977 + 1))
+                        .map(|j| ((j * 131 + i as usize) % 256) as u8)
+                        .collect::<Vec<u8>>(),
+                ),
+            })
+            .collect();
+        let mut sink = ChaoticSink {
+            out: Vec::new(),
+            state: 0xfeed_f00d,
+        };
+        let mut i = 0;
+        while i < msgs.len() {
+            let take = 1 + (i % 7);
+            let batch: Vec<FrameParts> = msgs[i..(i + take).min(msgs.len())]
+                .iter()
+                .map(encode_msg_parts)
+                .collect();
+            write_frame_batch(&mut sink, &batch).unwrap();
+            i += take;
+        }
+        let mut r = &sink.out[..];
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(&read_msg(&mut r).unwrap(), m, "frame {i}");
+        }
+        assert!(matches!(read_msg(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn frame_reader_reuses_across_frames() {
+        let mut wire = Vec::new();
+        for i in 0..3u8 {
+            write_msg(
+                &mut wire,
+                &Msg::ChunkData {
+                    id: ChunkId::new(ObjectKey::new("r"), i as u32),
+                    payload: Payload::bytes(vec![i; 2000]),
+                },
+            )
+            .unwrap();
+        }
+        let mut reader = FrameReader::new(&wire[..]);
+        for i in 0..3u8 {
+            let frame = reader.read_frame().unwrap();
+            let msg = decode_msg_shared(&frame).unwrap();
+            let Msg::ChunkData { id, payload } = msg else {
+                panic!("wrong kind");
+            };
+            assert_eq!(id.seq, i as u32);
+            assert_eq!(payload.len(), 2000);
+        }
+        assert!(matches!(reader.read_frame(), Err(FrameError::Closed)));
+    }
+
     #[test]
     fn invoke_payload_roundtrips() {
         for p in [
@@ -786,6 +1283,11 @@ mod tests {
             read_msg(&mut &wire[..]),
             Err(FrameError::Version(_))
         ));
+        // Skew is diagnosed even when the envelope itself is truncated.
+        assert!(matches!(
+            read_frame(&mut &[FRAME_VERSION + 1][..]),
+            Err(FrameError::Version(_))
+        ));
     }
 
     #[test]
@@ -811,6 +1313,11 @@ mod tests {
         wire.truncate(wire.len() - 3);
         assert!(matches!(
             read_msg(&mut &wire[..]),
+            Err(FrameError::Malformed(_))
+        ));
+        // Truncation inside the 5-byte envelope is also malformed.
+        assert!(matches!(
+            read_frame(&mut &[FRAME_VERSION, 1][..]),
             Err(FrameError::Malformed(_))
         ));
     }

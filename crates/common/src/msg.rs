@@ -115,6 +115,12 @@ pub enum Msg {
         key: ObjectKey,
         /// Total object size in bytes.
         object_size: u64,
+        /// Proxy-assigned version of the stored object (the proxy epoch
+        /// of the PUT that wrote it). Read-repair chunks echo it as
+        /// their `put_epoch`, so a repair re-encoded from a version the
+        /// client fetched *before* an overwrite is recognized as stale
+        /// and dropped instead of clobbering the newer version.
+        version: u64,
         /// All chunk ids of the object, in shard order.
         chunks: Vec<ChunkId>,
     },

@@ -2,7 +2,10 @@
 //! message must survive encode → frame → read → decode exactly, and the
 //! framing must reject corrupted headers without panicking.
 
-use ic_common::frame::{decode_msg, encode_msg, read_msg, write_msg, FrameError, FRAME_VERSION};
+use ic_common::frame::{
+    decode_msg, decode_msg_shared, encode_msg, encode_msg_parts, read_frame, read_msg, write_msg,
+    FrameError, FRAME_VERSION, INLINE_PAYLOAD_MAX,
+};
 use ic_common::msg::{BackupKey, Msg};
 use ic_common::{ChunkId, InstanceId, LambdaId, ObjectKey, Payload, RelayId};
 use proptest::collection::vec;
@@ -20,7 +23,9 @@ fn arb_chunk() -> impl Strategy<Value = ChunkId> {
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
     prop_oneof![
-        vec(0u8..=255, 0..512).prop_map(Payload::from),
+        // Straddle INLINE_PAYLOAD_MAX so both the inlined and the
+        // scatter/gather encode paths are exercised.
+        vec(0u8..=255, 0..2048).prop_map(Payload::from),
         (0u64..u64::MAX).prop_map(Payload::synthetic),
     ]
 }
@@ -29,13 +34,18 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
         arb_key().prop_map(|key| Msg::GetObject { key }),
-        (arb_key(), 0u64..1 << 40, vec(arb_chunk(), 0..16)).prop_map(
-            |(key, object_size, chunks)| Msg::GetAccepted {
+        (
+            arb_key(),
+            0u64..1 << 40,
+            0u64..1 << 32,
+            vec(arb_chunk(), 0..16)
+        )
+            .prop_map(|(key, object_size, version, chunks)| Msg::GetAccepted {
                 key,
                 object_size,
+                version,
                 chunks
-            }
-        ),
+            }),
         arb_key().prop_map(|key| Msg::GetMiss { key }),
         (
             (arb_chunk(), 0u32..4096, arb_payload()),
@@ -104,6 +114,25 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
     ]
 }
 
+/// The byte payload carried by a message, if its variant has one.
+fn payload_of(msg: &Msg) -> Option<&Payload> {
+    match msg {
+        Msg::PutChunk { payload, .. }
+        | Msg::ChunkToClient { payload, .. }
+        | Msg::ChunkPut { payload, .. }
+        | Msg::ChunkData { payload, .. }
+        | Msg::BackupChunk { payload, .. } => Some(payload),
+        _ => None,
+    }
+}
+
+/// `inner` points into the allocation `outer` views.
+fn aliases(outer: &[u8], inner: &[u8]) -> bool {
+    let o = outer.as_ptr() as usize;
+    let i = inner.as_ptr() as usize;
+    o <= i && i + inner.len() <= o + outer.len()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -128,6 +157,44 @@ proptest! {
             prop_assert_eq!(&read_msg(&mut r).expect("frame reads back"), m);
         }
         prop_assert!(matches!(read_msg(&mut r), Err(FrameError::Closed)));
+    }
+
+    /// The zero-copy regression guard: for every message variant that
+    /// carries a byte payload, the shared decode path must yield a
+    /// `Payload::Bytes` that *aliases* the frame allocation (a
+    /// pointer-range check, not just equality), and the scatter/gather
+    /// encoder must carry chunk-scale payloads as borrowed segments of
+    /// the caller's allocation. If either path silently reverts to
+    /// copying, this fails.
+    #[test]
+    fn decoded_payloads_alias_the_frame_allocation(msg in arb_msg()) {
+        // Encode side: payloads at or above the inline threshold appear
+        // as a borrowed segment of the original allocation.
+        let parts = encode_msg_parts(&msg);
+        if let Some(Payload::Bytes(b)) = payload_of(&msg) {
+            if b.len() >= INLINE_PAYLOAD_MAX {
+                let shared: Vec<_> = parts.shared_segments().collect();
+                prop_assert_eq!(shared.len(), 1, "one borrowed payload segment");
+                prop_assert_eq!(
+                    shared[0].as_ptr(), b.as_ptr(),
+                    "encode must borrow the payload, not copy it"
+                );
+            } else {
+                prop_assert_eq!(parts.shared_segments().count(), 0);
+            }
+        }
+        // Decode side: the payload is a slice of the frame buffer.
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &msg).expect("frame fits");
+        let frame = read_frame(&mut &wire[..]).expect("frame reads back");
+        let back = decode_msg_shared(&frame).expect("decodes");
+        if let Some(Payload::Bytes(b)) = payload_of(&back) {
+            prop_assert!(
+                aliases(&frame, b),
+                "decoded payload must alias the frame allocation"
+            );
+        }
+        prop_assert_eq!(back, msg);
     }
 
     /// Decoding arbitrary garbage never panics (it may error, or — for

@@ -42,5 +42,5 @@ pub mod matrix;
 pub mod object;
 pub mod rs;
 
-pub use object::{join_object, split_object};
+pub use object::{join_object, split_object, split_object_shared};
 pub use rs::ReedSolomon;

@@ -51,6 +51,45 @@ pub fn split_object(ec: EcConfig, object: &[u8]) -> Result<Vec<Vec<u8>>> {
     Ok(shards)
 }
 
+/// Splits `object` into its `d` data shards as zero-copy [`Bytes`]
+/// slices of the object's allocation.
+///
+/// Only a final shard that needs zero-padding (object length not a
+/// multiple of the chunk length) is copied; every full shard is a
+/// borrowed window. Parity is *not* produced here — feed the result to
+/// [`crate::ReedSolomon::encode_parity`], which reads the borrowed data
+/// shards and allocates only the `p` parity outputs. Together they form
+/// the one-allocation PUT path: the object's bytes are never duplicated
+/// on their way into `PutChunk` payloads.
+///
+/// # Errors
+///
+/// Returns [`Error::Coding`] for an empty object (nothing to shard).
+pub fn split_object_shared(ec: EcConfig, object: &Bytes) -> Result<Vec<Bytes>> {
+    if object.is_empty() {
+        return Err(Error::Coding("cannot shard an empty object".into()));
+    }
+    let chunk_len = ec.chunk_len(object.len() as u64) as usize;
+    let mut shards = Vec::with_capacity(ec.data);
+    for i in 0..ec.data {
+        let start = i * chunk_len;
+        let end = ((i + 1) * chunk_len).min(object.len());
+        if start < object.len() && end - start == chunk_len {
+            shards.push(object.slice(start..end));
+        } else {
+            // Short (or empty) tail shard: the one place padding forces
+            // a copy.
+            let mut shard = Vec::with_capacity(chunk_len);
+            if start < object.len() {
+                shard.extend_from_slice(&object[start..end]);
+            }
+            shard.resize(chunk_len, 0);
+            shards.push(Bytes::from(shard));
+        }
+    }
+    Ok(shards)
+}
+
 /// Joins the first `d` shards back into the original object of
 /// `object_size` bytes (dropping tail padding).
 ///
@@ -129,6 +168,70 @@ mod tests {
     fn empty_object_is_rejected() {
         let ec = EcConfig::new(4, 2).unwrap();
         assert!(split_object(ec, b"").is_err());
+        assert!(split_object_shared(ec, &Bytes::new()).is_err());
+    }
+
+    /// The shared splitter matches the copying splitter byte for byte
+    /// and borrows every full shard from the object's allocation.
+    #[test]
+    fn shared_split_aliases_the_object() {
+        let ec = EcConfig::new(4, 2).unwrap();
+        for len in [16usize, 17, 100, 1024] {
+            let object = Bytes::from(sample(len));
+            let shared = split_object_shared(ec, &object).unwrap();
+            let copied = split_object(ec, &object).unwrap();
+            let chunk_len = ec.chunk_len(len as u64) as usize;
+            assert_eq!(shared.len(), ec.data);
+            for (i, s) in shared.iter().enumerate() {
+                assert_eq!(&s[..], &copied[i][..], "len={len} shard {i}");
+                let full = (i + 1) * chunk_len <= len;
+                if full {
+                    assert_eq!(
+                        s.as_ptr(),
+                        object[i * chunk_len..].as_ptr(),
+                        "full shard {i} must borrow (len={len})"
+                    );
+                }
+            }
+            let back = join_object(ec, &shared, len as u64).unwrap();
+            assert_eq!(&back[..], &object[..], "len={len}");
+        }
+    }
+
+    /// Shared split + parity-only encode equals the in-place stripe
+    /// encode, and shared shards reconstruct through the Bytes decoder.
+    #[test]
+    fn shared_split_encode_reconstruct_pipeline() {
+        let ec = EcConfig::new(5, 2).unwrap();
+        let rs = ReedSolomon::from_config(ec);
+        let object = Bytes::from(sample(999));
+        let data = split_object_shared(ec, &object).unwrap();
+        let parity = rs.encode_parity(&data).unwrap();
+
+        let mut full = split_object(ec, &object).unwrap();
+        rs.encode(&mut full).unwrap();
+        for (i, p) in parity.iter().enumerate() {
+            assert_eq!(p, &full[ec.data + i], "parity {i}");
+        }
+
+        let mut damaged: Vec<Option<Bytes>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(|p| Some(Bytes::from(p))))
+            .collect();
+        damaged[0] = None;
+        damaged[4] = None;
+        rs.reconstruct_data_bytes(&mut damaged).unwrap();
+        let rebuilt: Vec<Bytes> = damaged
+            .into_iter()
+            .take(ec.data)
+            .map(|s| s.expect("data reconstructed"))
+            .collect();
+        // Untouched survivors still alias the original object.
+        assert_eq!(rebuilt[1].as_ptr(), data[1].as_ptr());
+        let back = join_object(ec, &rebuilt, 999).unwrap();
+        assert_eq!(&back[..], &object[..]);
     }
 
     #[test]

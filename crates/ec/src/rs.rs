@@ -7,6 +7,7 @@
 //! the result remain invertible, so any `d` surviving shards reconstruct the
 //! stripe.
 
+use bytes::Bytes;
 use ic_common::{EcConfig, Error, Result};
 
 use crate::gf256;
@@ -125,6 +126,48 @@ impl ReedSolomon {
         Ok(())
     }
 
+    /// Computes the `p` parity shards from the `d` data shards, without
+    /// requiring ownership of (or mutable access to) the data.
+    ///
+    /// This is the zero-copy PUT path: the data shards can be borrowed
+    /// [`Bytes`] slices of the original object; only the parity output
+    /// is freshly allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Coding`] if the shard count or lengths are wrong.
+    pub fn encode_parity<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>> {
+        if data.len() != self.data {
+            return Err(Error::Coding(format!(
+                "expected {} data shards, got {}",
+                self.data,
+                data.len()
+            )));
+        }
+        let len = data[0].as_ref().len();
+        if len == 0 {
+            return Err(Error::Coding("shards must not be empty".into()));
+        }
+        for (i, s) in data.iter().enumerate() {
+            if s.as_ref().len() != len {
+                return Err(Error::Coding(format!(
+                    "shard {i} length {} != shard 0 length {len}",
+                    s.as_ref().len()
+                )));
+            }
+        }
+        let mut parity = Vec::with_capacity(self.parity);
+        for p_idx in 0..self.parity {
+            let row = self.enc.row(self.data + p_idx);
+            let mut out = vec![0u8; len];
+            for (d_idx, input) in data.iter().enumerate() {
+                gf256::mul_slice_xor(row[d_idx], input.as_ref(), &mut out);
+            }
+            parity.push(out);
+        }
+        Ok(parity)
+    }
+
     /// Checks that the parity shards are consistent with the data shards.
     ///
     /// # Errors
@@ -171,7 +214,23 @@ impl ReedSolomon {
         self.reconstruct_internal(shards, true)
     }
 
-    fn reconstruct_internal(&self, shards: &mut [Option<Vec<u8>>], data_only: bool) -> Result<()> {
+    /// [`ReedSolomon::reconstruct_data`] directly over shared [`Bytes`]
+    /// shards — the zero-copy GET path: surviving chunks stay as slices
+    /// of their arrival frames, and only the (≤ `p`) rebuilt shards are
+    /// freshly allocated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReedSolomon::reconstruct`].
+    pub fn reconstruct_data_bytes(&self, shards: &mut [Option<Bytes>]) -> Result<()> {
+        self.reconstruct_internal(shards, true)
+    }
+
+    fn reconstruct_internal<B: AsRef<[u8]> + From<Vec<u8>>>(
+        &self,
+        shards: &mut [Option<B>],
+        data_only: bool,
+    ) -> Result<()> {
         let n = self.total_shards();
         if shards.len() != n {
             return Err(Error::Coding(format!(
@@ -189,9 +248,9 @@ impl ReedSolomon {
                 available: present.len(),
             });
         }
-        let len = shards[present[0]].as_ref().expect("present").len();
+        let len = shards[present[0]].as_ref().expect("present").as_ref().len();
         for &i in &present {
-            let l = shards[i].as_ref().expect("present").len();
+            let l = shards[i].as_ref().expect("present").as_ref().len();
             if l != len {
                 return Err(Error::Coding(format!(
                     "shard {i} length {l} != expected {len}"
@@ -210,10 +269,10 @@ impl ReedSolomon {
             let mut out = vec![0u8; len];
             for (j, &src) in chosen.iter().enumerate() {
                 let coeff = dec.get(k, j);
-                let input = shards[src].as_ref().expect("present");
+                let input = shards[src].as_ref().expect("present").as_ref();
                 gf256::mul_slice_xor(coeff, input, &mut out);
             }
-            shards[k] = Some(out);
+            shards[k] = Some(B::from(out));
         }
 
         if data_only {
@@ -226,10 +285,10 @@ impl ReedSolomon {
             let row = self.enc.row(k).to_vec();
             let mut out = vec![0u8; len];
             for (d_idx, coeff) in row.iter().enumerate().take(self.data) {
-                let input = shards[d_idx].as_ref().expect("data complete");
+                let input = shards[d_idx].as_ref().expect("data complete").as_ref();
                 gf256::mul_slice_xor(*coeff, input, &mut out);
             }
-            shards[k] = Some(out);
+            shards[k] = Some(B::from(out));
         }
         Ok(())
     }

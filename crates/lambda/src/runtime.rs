@@ -280,22 +280,36 @@ impl Runtime {
                 self.requests_in_cycle += 1;
                 self.outstanding += 1;
                 self.served_data = true;
-                let version = self.store.insert(now, id.clone(), payload.clone());
-                let mut acts = vec![Action::DataToProxy(Msg::PutAck {
-                    id: id.clone(),
-                    stored_bytes: self.store.used_bytes(),
-                    epoch,
-                })];
-                if let BackupRole::Dest(d) = &self.role {
-                    // Keep λs a superset during migration.
+                // Keep λs a superset during migration; outside a backup
+                // round the message parts move straight into the store
+                // and the ack, uncloned.
+                let relay = match &self.role {
+                    BackupRole::Dest(d) => Some(d.relay),
+                    _ => None,
+                };
+                let mut acts = Vec::with_capacity(1 + relay.is_some() as usize);
+                if let Some(relay) = relay {
+                    let version = self.store.insert(now, id.clone(), payload.clone());
+                    acts.push(Action::DataToProxy(Msg::PutAck {
+                        id: id.clone(),
+                        stored_bytes: self.store.used_bytes(),
+                        epoch,
+                    }));
                     acts.push(Action::DataToRelay {
-                        relay: d.relay,
+                        relay,
                         msg: Msg::BackupChunk {
                             id,
                             payload,
                             version,
                         },
                     });
+                } else {
+                    self.store.insert(now, id.clone(), payload);
+                    acts.push(Action::DataToProxy(Msg::PutAck {
+                        id,
+                        stored_bytes: self.store.used_bytes(),
+                        epoch,
+                    }));
                 }
                 acts
             }
@@ -386,12 +400,19 @@ impl Runtime {
                     return Vec::new();
                 };
                 d.pending.remove(&id);
-                d.serve_on_arrival.remove(&id);
-                if d.pending.is_empty() {
-                    self.finish_dest(now)
-                } else {
-                    Vec::new()
+                let deferred_get = d.serve_on_arrival.remove(&id);
+                let mut acts = Vec::new();
+                if deferred_get {
+                    // A client GET was parked waiting for this chunk to
+                    // migrate over; the source no longer has it, so the
+                    // GET must be answered with a miss — dropping it
+                    // silently would strand the client forever.
+                    acts.push(Action::ToProxy(Msg::ChunkMiss { id }));
                 }
+                if d.pending.is_empty() {
+                    acts.extend(self.finish_dest(now));
+                }
+                acts
             }
             Msg::BackupChunk {
                 id,
@@ -402,14 +423,18 @@ impl Runtime {
                     d.pending.remove(&id);
                     d.delta_bytes += payload.len();
                     let serve = d.serve_on_arrival.remove(&id);
-                    self.store
-                        .insert_with_version(id.clone(), payload.clone(), version);
                     let mut acts = Vec::new();
                     if serve {
+                        self.store
+                            .insert_with_version(id.clone(), payload.clone(), version);
                         self.outstanding += 1;
                         self.served_data = true;
                         self.requests_in_cycle += 1;
                         acts.push(Action::DataToProxy(Msg::ChunkData { id, payload }));
+                    } else {
+                        // No deferred GET waiting: parts move into the
+                        // store uncloned.
+                        self.store.insert_with_version(id, payload, version);
                     }
                     if let BackupRole::Dest(d) = &self.role {
                         if d.pending.is_empty() {

@@ -188,6 +188,50 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport> {
     })
 }
 
+/// Explains a pattern mismatch (enabled by `NETBENCH_DEBUG_VERIFY`):
+/// which byte ranges diverge, and whether they match an older write
+/// version of the key — separating stale-read bugs from codec bugs.
+fn diagnose_verify_failure(key: &str, got: &Bytes, version: u64, len: usize) {
+    let expect = pattern_bytes(key, version, len);
+    if got.len() != expect.len() {
+        eprintln!(
+            "VERIFY {key}@v{version}: length {} != expected {}",
+            got.len(),
+            expect.len()
+        );
+        return;
+    }
+    let mut ranges = Vec::new();
+    let mut start = None;
+    for i in 0..len {
+        match (got[i] == expect[i], start) {
+            (false, None) => start = Some(i),
+            (true, Some(s)) => {
+                ranges.push((s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        ranges.push((s, len));
+    }
+    let total_bad: usize = ranges.iter().map(|(s, e)| e - s).sum();
+    eprint!(
+        "VERIFY {key}@v{version}: {total_bad}/{len} bytes differ in {} ranges {:?}",
+        ranges.len(),
+        ranges.iter().take(4).collect::<Vec<_>>()
+    );
+    for v in version.saturating_sub(3)..version {
+        let old = pattern_bytes(key, v, len);
+        if ranges.iter().all(|&(s, e)| got[s..e] == old[s..e]) {
+            eprint!(" — bad ranges match stale v{v}");
+            break;
+        }
+    }
+    eprintln!();
+}
+
 struct WorkerResult {
     get_lat: Vec<u64>,
     put_lat: Vec<u64>,
@@ -230,6 +274,7 @@ fn client_worker(
         bytes_moved: 0,
         verify_failures: 0,
     };
+    let dbg = std::env::var_os("NETBENCH_DEBUG_VERIFY").is_some();
     for _ in 0..cfg.ops_per_client {
         let k = rng.gen_range(0..cfg.key_space);
         let key = &keys[k];
@@ -242,6 +287,9 @@ fn client_worker(
                     res.bytes_moved += b.len() as u64;
                     if cfg.verify && b != pattern_bytes(key, versions[k], cfg.object_bytes) {
                         res.verify_failures += 1;
+                        if dbg {
+                            diagnose_verify_failure(key, &b, versions[k], cfg.object_bytes);
+                        }
                     }
                 }
                 None => res.verify_failures += 1, // preloaded keys must hit
@@ -255,19 +303,60 @@ fn client_worker(
             res.bytes_moved += cfg.object_bytes as u64;
         }
     }
+    if dbg {
+        eprintln!("worker {thread} stats: {:?}", client.stats());
+    }
     Ok(res)
+}
+
+fn lat_json(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        s.count, s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
+    )
 }
 
 /// Renders the report as the `BENCH_net.json` artifact.
 pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport) -> String {
-    let lat = |s: &LatencySummary| {
-        format!(
-            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
-            s.count, s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
-        )
+    to_json_with_sweep(label, cfg, report, &[])
+}
+
+/// Like [`to_json`], appending a `"sweep"` array — one entry per
+/// object-size run of the `--object-bytes` sweep.
+pub fn to_json_with_sweep(
+    label: &str,
+    cfg: &BenchConfig,
+    report: &BenchReport,
+    sweep: &[(BenchConfig, BenchReport)],
+) -> String {
+    let sweep_entries: Vec<String> = sweep
+        .iter()
+        .map(|(c, r)| {
+            format!(
+                "    {{\"object_bytes\": {}, \"total_ops\": {}, \"wall_seconds\": {:.4}, \
+                 \"ops_per_sec\": {:.1}, \"throughput_mib_per_sec\": {:.1}, \
+                 \"verify_failures\": {}, \"get_p50_us\": {}, \"get_p99_us\": {}, \
+                 \"put_p50_us\": {}, \"put_p99_us\": {}}}",
+                c.object_bytes,
+                r.total_ops(),
+                r.wall.as_secs_f64(),
+                r.ops_per_sec(),
+                r.throughput_mib_s(),
+                r.verify_failures,
+                r.gets.p50_us,
+                r.gets.p99_us,
+                r.puts.p50_us,
+                r.puts.p99_us,
+            )
+        })
+        .collect();
+    let sweep_json = if sweep_entries.is_empty() {
+        String::from("[]")
+    } else {
+        format!("[\n{}\n  ]", sweep_entries.join(",\n"))
     };
     format!(
-        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {}\n}}\n",
+        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"sweep\": {}\n}}\n",
         cfg.clients,
         cfg.ops_per_client,
         cfg.object_bytes,
@@ -281,8 +370,9 @@ pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport) -> String {
         report.ops_per_sec(),
         report.throughput_mib_s(),
         report.verify_failures,
-        lat(&report.gets),
-        lat(&report.puts),
+        lat_json(&report.gets),
+        lat_json(&report.puts),
+        sweep_json,
     )
 }
 

@@ -9,10 +9,16 @@
 //! netbench [--clients N] [--ops N] [--size BYTES] [--get-frac F]
 //!          [--keys N] [--ec d+p] [--nodes N] [--seed N]
 //!          [--no-verify] [--connect ADDR] [--out PATH]
+//!          [--object-bytes LIST]
 //! ```
 //!
 //! `--connect ADDR` skips the in-process cluster and targets an already
 //! running `ic-proxy` instead (equivalent to `ic-cli bench`).
+//!
+//! `--object-bytes 65536,262144,1048576,4194304` additionally runs an
+//! object-size sweep (ops scaled down for larger objects so each point
+//! moves a comparable byte volume) and embeds the per-size results as
+//! the `"sweep"` array of the JSON artifact.
 
 use std::net::ToSocketAddrs;
 
@@ -35,8 +41,19 @@ fn run() -> Result<()> {
     };
     let nodes: u32 = args.num("nodes", 10)?;
     let out = args.get("out", "BENCH_net.json");
+    let sweep_sizes: Vec<usize> = match args.opt("object-bytes") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| Error::Config(format!("--object-bytes: bad size {s}")))
+            })
+            .collect::<Result<_>>()?,
+    };
 
-    let (label, report, cluster) = match args.opt("connect") {
+    let (label, addr, cluster) = match args.opt("connect") {
         Some(addr) => {
             let addr = addr
                 .to_socket_addrs()
@@ -44,7 +61,7 @@ fn run() -> Result<()> {
                 .next()
                 .ok_or_else(|| Error::Config(format!("--connect {addr} resolves to nothing")))?;
             println!("netbench: targeting external proxy at {addr}");
-            ("net_external", bench::run(addr, &cfg)?, None)
+            ("net_external", addr, None)
         }
         None => {
             let deployment = DeploymentConfig {
@@ -56,22 +73,46 @@ fn run() -> Result<()> {
                 cfg.clients, cfg.ops_per_client, cfg.object_bytes, cfg.ec
             );
             let cluster = LoopbackCluster::start(deployment)?;
-            let report = bench::run(cluster.client_addr(), &cfg)?;
-            ("net_loopback", report, Some(cluster))
+            let addr = cluster.client_addr();
+            ("net_loopback", addr, Some(cluster))
         }
     };
 
+    let report = bench::run(addr, &cfg)?;
     println!("{}", bench::summary_line(&report));
-    std::fs::write(&out, bench::to_json(label, &cfg, &report))
-        .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
+
+    // Object-size sweep: same cluster, ops scaled down for large
+    // objects so every point moves a comparable byte volume.
+    let mut sweep = Vec::new();
+    for size in sweep_sizes {
+        let ops = ((cfg.ops_per_client * cfg.object_bytes) / size.max(1)).clamp(30, 2000);
+        let point = BenchConfig {
+            object_bytes: size,
+            ops_per_client: ops,
+            ..cfg.clone()
+        };
+        let r = bench::run(addr, &point)?;
+        println!(
+            "sweep {size:>8} B × {ops} ops/client: {}",
+            bench::summary_line(&r)
+        );
+        sweep.push((point, r));
+    }
+
+    std::fs::write(
+        &out,
+        bench::to_json_with_sweep(label, &cfg, &report, &sweep),
+    )
+    .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
     println!("wrote {out}");
     if let Some(c) = cluster {
         c.shutdown();
     }
-    if report.verify_failures > 0 {
+    let failures =
+        report.verify_failures + sweep.iter().map(|(_, r)| r.verify_failures).sum::<u64>();
+    if failures > 0 {
         return Err(Error::Protocol(format!(
-            "{} GETs failed verification",
-            report.verify_failures
+            "{failures} GETs failed verification"
         )));
     }
     Ok(())

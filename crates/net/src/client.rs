@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ic_client::{ClientLib, GetReport};
-use ic_common::frame::FrameError;
+use ic_common::frame::{write_frame_batch, FrameError, FrameParts, FrameReader};
 use ic_common::msg::Msg;
 use ic_common::{ClientId, EcConfig, Error, ObjectKey, Payload, ProxyId, Result, SimTime};
 use infinicache::dispatch::{self, ClientOutcome, ClientTransport};
@@ -25,12 +25,19 @@ use crate::wire::Frame;
 pub struct NetClient {
     lib: ClientLib,
     stream: TcpStream,
+    /// Read half (same socket as `stream`): owns the reusable frame
+    /// header buffer of the hot receive loop.
+    reader: FrameReader<TcpStream>,
     client: ClientId,
     epoch: Instant,
     op_timeout: Duration,
     /// Terminal outcomes collected by the client-role transport, drained
     /// by the blocking `put`/`get` loops.
     outcomes: Vec<ClientOutcome>,
+    /// Frames produced by one dispatch batch, flushed in a single
+    /// vectored write — a PUT's whole stripe (d+p `PutChunk`s) leaves in
+    /// one syscall, payload bytes borrowed from the object allocation.
+    outbox: Vec<FrameParts>,
     /// First transport failure observed while dispatching.
     send_error: Option<String>,
     /// Set once the stream can no longer be trusted — an op timeout may
@@ -55,7 +62,11 @@ impl NetClient {
             .set_nodelay(true)
             .map_err(|e| Error::Transport(e.to_string()))?;
         Frame::HelloClient.write_to(&mut stream)?;
-        let (client, proxy, pool) = match Frame::read_from(&mut stream)? {
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        let mut reader = FrameReader::new(read_half);
+        let (client, proxy, pool) = match Frame::read(&mut reader)? {
             Frame::Welcome {
                 client,
                 proxy,
@@ -78,10 +89,12 @@ impl NetClient {
         Ok(NetClient {
             lib,
             stream,
+            reader,
             client,
             epoch: Instant::now(),
             op_timeout: Duration::from_secs(10),
             outcomes: Vec::new(),
+            outbox: Vec::new(),
             send_error: None,
             poisoned: false,
         })
@@ -194,12 +207,25 @@ impl NetClient {
         }
     }
 
-    /// Runs client actions through the shared dispatch engine, surfacing
-    /// any transport failure recorded by the client-role hooks.
+    /// Runs client actions through the shared dispatch engine, then
+    /// flushes every queued frame in one vectored write, surfacing any
+    /// transport failure recorded by the client-role hooks.
     fn drive(&mut self, actions: Vec<ic_client::ClientAction>) -> Result<()> {
         let now = self.now();
         let client = self.client;
         dispatch::run_client_actions(self, now, client, actions);
+        if !self.outbox.is_empty() {
+            let flush = write_frame_batch(&mut self.stream, &self.outbox);
+            self.outbox.clear();
+            if let Err(e) = flush {
+                // The vectored write may have made partial progress,
+                // leaving the stream mid-frame: later writes would
+                // desynchronize the proxy's framing, so the connection
+                // is dead for good (mirrors the recv-side poisoning).
+                self.poisoned = true;
+                self.send_error.get_or_insert_with(|| e.to_string());
+            }
+        }
         match self.send_error.take() {
             Some(e) => Err(Error::Transport(e)),
             None => Ok(()),
@@ -237,7 +263,7 @@ impl NetClient {
             self.stream
                 .set_read_timeout(Some(deadline - now))
                 .map_err(|e| Error::Transport(e.to_string()))?;
-            match Frame::read_from(&mut self.stream) {
+            match Frame::read(&mut self.reader) {
                 Ok(Frame::App { msg }) => return Ok(msg),
                 Ok(Frame::Shutdown) => {
                     self.poisoned = true;
@@ -266,9 +292,9 @@ impl NetClient {
 
 impl ClientTransport for NetClient {
     fn client_send(&mut self, _now: SimTime, _client: ClientId, _proxy: ProxyId, msg: Msg) {
-        if let Err(e) = (Frame::App { msg }).write_to(&mut self.stream) {
-            self.send_error.get_or_insert_with(|| e.to_string());
-        }
+        // Queued, not written: `drive` flushes the whole dispatch batch
+        // in one vectored write.
+        self.outbox.push(Frame::App { msg }.encode_parts());
     }
 
     fn deliver(

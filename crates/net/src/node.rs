@@ -145,11 +145,11 @@ impl NetNode {
 
         let (tx, rx) = channel::<NodeEvent>();
         let reader_tx = tx.clone();
-        let mut read_half = stream;
+        let mut reader = ic_common::frame::FrameReader::new(stream);
         std::thread::Builder::new()
             .name(format!("ic-node-{}-reader", lambda.0))
             .spawn(move || loop {
-                match Frame::read_from(&mut read_half) {
+                match Frame::read(&mut reader) {
                     Ok(f) => {
                         if reader_tx.send(NodeEvent::Frame(f)).is_err() {
                             return;

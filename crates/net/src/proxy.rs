@@ -31,6 +31,8 @@
 
 use std::collections::HashMap;
 use std::io::Write;
+
+use ic_common::frame::{write_frame_batch, FrameReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -245,17 +247,36 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
     })
 }
 
+/// Upper bound on frames coalesced into one vectored write: keeps the
+/// iovec list well under the platform's `IOV_MAX` (each frame
+/// contributes a handful of segments) while still batching bursts.
+const WRITE_BATCH_MAX: usize = 64;
+
 /// Spawns the writer thread for one connection and returns its queue.
+///
+/// Frames that queued up while the previous write was on the socket are
+/// coalesced into a single vectored write ([`write_frame_batch`]) —
+/// chunk payloads travel from the decoded inbound frame's allocation
+/// straight to the outbound socket, never copied into a body buffer.
 fn spawn_writer(stream: TcpStream, name: &str) -> Sender<Frame> {
     let (tx, rx) = channel::<Frame>();
     let mut stream = stream;
     let _ = std::thread::Builder::new()
         .name(name.to_string())
         .spawn(move || {
+            let mut batch = Vec::new();
             while let Ok(frame) = rx.recv() {
-                if frame.write_to(&mut stream).is_err() {
+                batch.push(frame.encode_parts());
+                while batch.len() < WRITE_BATCH_MAX {
+                    match rx.try_recv() {
+                        Ok(f) => batch.push(f.encode_parts()),
+                        Err(_) => break,
+                    }
+                }
+                if write_frame_batch(&mut stream, &batch).is_err() {
                     return;
                 }
+                batch.clear();
             }
             let _ = stream.flush();
         });
@@ -304,23 +325,23 @@ impl ClientIds {
 
 /// Handshakes and then reads one client connection.
 fn client_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     proxy: ProxyId,
     pool: &[LambdaId],
     ids: &ClientIds,
     events: &Sender<Ev>,
 ) {
     let _ = stream.set_nodelay(true);
-    match Frame::read_from(&mut stream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(stream);
+    match Frame::read(&mut reader) {
         Ok(Frame::HelloClient) => {}
         _ => return, // not a client (or the shutdown waker): drop
     }
     let Some(client) = ids.alloc() else {
         return; // id space exhausted by concurrent clients: refuse
-    };
-    let Ok(write_half) = stream.try_clone() else {
-        ids.release(client);
-        return;
     };
     let writer = spawn_writer(write_half, "ic-proxy-client-writer");
     if writer
@@ -341,7 +362,7 @@ fn client_connection(
         return;
     }
     loop {
-        match Frame::read_from(&mut stream) {
+        match Frame::read(&mut reader) {
             Ok(Frame::App { msg }) => {
                 if events.send(Ev::ClientMsg(client, msg)).is_err() {
                     return;
@@ -357,14 +378,15 @@ fn client_connection(
 }
 
 /// Handshakes and then reads one node-daemon connection.
-fn node_connection(mut stream: TcpStream, generation: u64, pool: &[LambdaId], events: &Sender<Ev>) {
+fn node_connection(stream: TcpStream, generation: u64, pool: &[LambdaId], events: &Sender<Ev>) {
     let _ = stream.set_nodelay(true);
-    let lambda = match Frame::read_from(&mut stream) {
-        Ok(Frame::HelloNode { lambda }) if pool.contains(&lambda) => lambda,
-        _ => return, // unknown node or not a node: drop
-    };
     let Ok(write_half) = stream.try_clone() else {
         return;
+    };
+    let mut reader = FrameReader::new(stream);
+    let lambda = match Frame::read(&mut reader) {
+        Ok(Frame::HelloNode { lambda }) if pool.contains(&lambda) => lambda,
+        _ => return, // unknown node or not a node: drop
     };
     let writer = spawn_writer(write_half, "ic-proxy-node-writer");
     if events
@@ -374,7 +396,7 @@ fn node_connection(mut stream: TcpStream, generation: u64, pool: &[LambdaId], ev
         return;
     }
     loop {
-        match Frame::read_from(&mut stream) {
+        match Frame::read(&mut reader) {
             Ok(Frame::FromInstance { instance, msg }) => {
                 if events.send(Ev::NodeMsg(lambda, instance, msg)).is_err() {
                     return;
@@ -445,8 +467,13 @@ impl ProxyLoop {
                 Some(Ev::ClientMsg(c, msg)) => self.proxy.on_client(c, msg),
                 Some(Ev::ClientGone(c)) => {
                     self.clients.remove(&c);
+                    // Forget the session's writer affinity *before*
+                    // releasing the id: a recycled id restarts its PUT
+                    // epochs and must not look like a reordered older
+                    // writer.
+                    let actions = self.proxy.on_client_disconnected(c);
                     self.client_ids.release(c);
-                    Vec::new()
+                    actions
                 }
                 Some(Ev::NodeJoin(l, generation, tx)) => {
                     // A newer connection replaces any older one; the old

@@ -23,7 +23,10 @@
 
 use std::io::{Read, Write};
 
-use ic_common::frame::{read_frame, write_frame, Dec, Enc, FrameError, FrameResult};
+use bytes::Bytes;
+use ic_common::frame::{
+    read_frame, write_frame_parts, Dec, Enc, FrameError, FrameParts, FrameReader, FrameResult,
+};
 use ic_common::msg::{InvokePayload, Msg};
 use ic_common::{ClientId, InstanceId, LambdaId, ProxyId};
 
@@ -83,8 +86,18 @@ pub enum Frame {
 }
 
 impl Frame {
-    /// Encodes the frame body (without the version/length envelope).
+    /// Encodes the frame body as one contiguous buffer (copies chunk
+    /// payloads; tests and diagnostics only — the wire path uses
+    /// [`Frame::encode_parts`]).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_parts().to_vec()
+    }
+
+    /// Encodes the frame body as scatter/gather parts: chunk payloads
+    /// inside `msg` fields are *borrowed* [`bytes::Bytes`] segments, so
+    /// relaying an already-decoded payload re-wraps the same allocation
+    /// instead of memcpying it into a fresh body.
+    pub fn encode_parts(&self) -> FrameParts {
         let mut e = Enc::new();
         match self {
             Frame::HelloClient => e.u8(0),
@@ -129,17 +142,30 @@ impl Frame {
             }
             Frame::Shutdown => e.u8(8),
         }
-        e.into_vec()
+        e.into_parts()
     }
 
-    /// Decodes one frame body.
+    /// Decodes one frame body (payloads are copied out of `body`).
     ///
     /// # Errors
     ///
     /// [`FrameError::Malformed`] on unknown tags, parse failures, or
     /// trailing bytes.
     pub fn decode(body: &[u8]) -> FrameResult<Frame> {
-        let mut d = Dec::new(body);
+        Frame::decode_with(Dec::new(body))
+    }
+
+    /// Decodes one shared frame body: chunk payloads inside `msg` fields
+    /// are zero-copy slices of `frame`'s allocation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Frame::decode`].
+    pub fn decode_shared(frame: &Bytes) -> FrameResult<Frame> {
+        Frame::decode_with(Dec::new_shared(frame))
+    }
+
+    fn decode_with(mut d: Dec<'_>) -> FrameResult<Frame> {
         let frame = match d.u8()? {
             0 => Frame::HelloClient,
             1 => {
@@ -182,22 +208,33 @@ impl Frame {
         Ok(frame)
     }
 
-    /// Writes the frame (version byte + length prefix + body) to `w`.
+    /// Writes the frame (version byte + length prefix + body) to `w` in
+    /// one vectored write; chunk payloads go out uncopied.
     ///
     /// # Errors
     ///
-    /// See [`ic_common::frame::write_frame`].
+    /// See [`ic_common::frame::write_frame_parts`].
     pub fn write_to<W: Write>(&self, w: &mut W) -> FrameResult<()> {
-        write_frame(w, &self.encode())
+        write_frame_parts(w, &self.encode_parts())
     }
 
-    /// Reads one frame from `r`.
+    /// Reads one frame from `r`; chunk payloads alias the frame buffer.
     ///
     /// # Errors
     ///
     /// See [`ic_common::frame::read_frame`] and [`Frame::decode`].
     pub fn read_from<R: Read>(r: &mut R) -> FrameResult<Frame> {
-        Frame::decode(&read_frame(r)?)
+        Frame::decode_shared(&read_frame(r)?)
+    }
+
+    /// Reads one frame through a per-connection [`FrameReader`] (reused
+    /// header buffer; the hot-loop form of [`Frame::read_from`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Frame::read_from`].
+    pub fn read(reader: &mut FrameReader<impl Read>) -> FrameResult<Frame> {
+        Frame::decode_shared(&reader.read_frame()?)
     }
 }
 

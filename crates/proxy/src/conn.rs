@@ -151,10 +151,25 @@ impl LambdaConn {
         self.flush()
     }
 
+    /// An invocation is in flight right now: its PONG will arrive and
+    /// flush the queue, so issuing another invoke is not only redundant —
+    /// the platform would route it to a *concurrent fresh instance*
+    /// (the woken one is already executing), whose empty cache would
+    /// then take over the connection and orphan every chunk the woken
+    /// instance holds.
+    fn invoke_in_flight(&self) -> bool {
+        self.liveness == Liveness::Sleeping && self.validity == Validity::Validating
+    }
+
     /// BYE received (steps 13–14): the instance returned voluntarily.
     pub fn on_bye(&mut self, instance: InstanceId) -> Vec<ConnEffect> {
         if self.liveness == Liveness::Maybe && Some(instance) != self.active_instance {
             // The replaced source says bye: ignored (Fig 6 Maybe row).
+            return Vec::new();
+        }
+        if self.invoke_in_flight() {
+            // A stale BYE racing the re-invocation: keep waiting for the
+            // invoke's PONG instead of double-invoking.
             return Vec::new();
         }
         self.liveness = Liveness::Sleeping;
@@ -167,13 +182,32 @@ impl LambdaConn {
         Vec::new()
     }
 
-    /// Delivery failure (connection reset / message to a dead instance):
-    /// requeue the failed message and re-invoke (Fig 6 "timeout ||
-    /// returned / reinvoke").
+    /// Delivery failure (a message addressed to an instance that no
+    /// longer runs; the node itself is reachable): requeue the failed
+    /// message and re-invoke (Fig 6 "timeout || returned / reinvoke").
     pub fn on_reset(&mut self, failed: Option<Msg>) -> Vec<ConnEffect> {
         if let Some(m) = failed {
             self.queue.push_front(m);
         }
+        if self.invoke_in_flight() {
+            // A second bounce while the re-invocation is still in
+            // flight (messages sent to the previous instance keep
+            // bouncing until the fresh PONG): requeue only.
+            return Vec::new();
+        }
+        self.reset_and_revalidate()
+    }
+
+    /// The node's transport connection itself died (daemon process
+    /// killed, socket reset). Unlike [`LambdaConn::on_reset`], any
+    /// in-flight invocation died *with* the connection, so this always
+    /// re-validates from scratch — suppressing the invoke here would
+    /// stall the queue forever.
+    pub fn on_connection_lost(&mut self) -> Vec<ConnEffect> {
+        self.reset_and_revalidate()
+    }
+
+    fn reset_and_revalidate(&mut self) -> Vec<ConnEffect> {
         self.active_instance = None;
         self.liveness = Liveness::Sleeping;
         if self.queue.is_empty() && self.pending_deletes.is_empty() {
@@ -307,6 +341,34 @@ mod tests {
         let fx = c.on_pong(InstanceId(2), 0);
         assert_eq!(fx, vec![ConnEffect::Emit(get("b"))]);
         assert_eq!(c.instance(), Some(InstanceId(2)));
+    }
+
+    /// The double-invoke regression (found by the netbench 4 MiB sweep):
+    /// while a re-invocation is in flight, further bounces and stale
+    /// BYEs must requeue/no-op, never issue a second Invoke — the
+    /// platform would route it to a concurrent *empty* instance whose
+    /// PONG then orphans the woken instance's entire cache.
+    #[test]
+    fn resets_and_byes_during_an_inflight_invoke_do_not_double_invoke() {
+        let mut c = LambdaConn::new(LambdaId(9));
+        c.send(get("a"));
+        c.on_pong(InstanceId(1), 0);
+        c.on_pong(InstanceId(1), 0); // validated
+        c.send(get("b")); // emitted directly
+        let fx = c.on_reset(Some(get("b")));
+        assert_eq!(fx, vec![ConnEffect::Invoke], "first reset re-invokes");
+        // A second message that was in flight to the dead instance
+        // bounces while the invoke is pending: requeue only.
+        assert!(c.on_reset(Some(get("c"))).is_empty());
+        // The dead instance's stale BYE arrives too: no-op.
+        assert!(c.on_bye(InstanceId(1)).is_empty());
+        assert_eq!(c.state(), (Liveness::Sleeping, Validity::Validating));
+        // The invoke's PONG flushes everything in order.
+        let fx = c.on_pong(InstanceId(2), 0);
+        assert_eq!(
+            fx,
+            vec![ConnEffect::Emit(get("c")), ConnEffect::Emit(get("b"))]
+        );
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub struct ProxyStats {
     pub backup_rounds: u64,
     /// Messages that failed delivery (connection resets / dead instances).
     pub delivery_failures: u64,
+    /// Read-repair chunks dropped because their object version was
+    /// overwritten or evicted since the repairing client fetched it.
+    pub stale_repairs: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -91,8 +94,18 @@ struct ObjectMeta {
     /// Who wrote this version and under which client PUT epoch; lets the
     /// proxy recognize a *reordered older* stripe from the same client
     /// (epochs are program order) and refuse to resurrect stale data.
-    writer: ClientId,
+    /// `None` once that client's connection ended: PUT epochs are
+    /// per-session counters, so a later session that recycles the same
+    /// `ClientId` starts over at 1 and must not be mistaken for a
+    /// reordered older writer (that deadlocked the netbench sweep's
+    /// second phase).
+    writer: Option<ClientId>,
     put_epoch: u64,
+    /// Proxy-assigned version (the proxy epoch of the PUT that wrote
+    /// this object), announced in `GetAccepted` and echoed by
+    /// read-repair chunks: a repair re-encoded from a superseded
+    /// version must not clobber the current one.
+    version: u64,
 }
 
 impl ObjectMeta {
@@ -113,6 +126,32 @@ struct PutProgress {
     acked: u32,
     arrived: u32,
     total: u32,
+}
+
+/// Builds one action per client waiting on a chunk, threading `seed`
+/// (the chunk id, and for data the payload) through `make`. All payload
+/// and id clones here are for fan-out to *additional* waiters; the
+/// common single-waiter case moves the decoded message parts straight
+/// into the outgoing action — zero clones on the hot path.
+fn fanout_to_waiters<T: Clone>(
+    waiters: Vec<ClientId>,
+    seed: T,
+    mut make: impl FnMut(ClientId, T) -> ProxyAction,
+) -> Vec<ProxyAction> {
+    let n = waiters.len();
+    let mut seed = Some(seed);
+    waiters
+        .into_iter()
+        .enumerate()
+        .map(|(i, client)| {
+            let s = if i + 1 == n {
+                seed.take().expect("last waiter moves the seed")
+            } else {
+                seed.clone().expect("seed present until last")
+            };
+            make(client, s)
+        })
+        .collect()
 }
 
 /// The proxy.
@@ -241,6 +280,7 @@ impl Proxy {
         self.stats.get_hits += 1;
         let total = meta.total_chunks;
         let object_size = meta.size;
+        let version = meta.version;
         self.lru.touch(&key);
 
         let chunks: Vec<ChunkId> = (0..total)
@@ -251,6 +291,7 @@ impl Proxy {
             msg: Msg::GetAccepted {
                 key,
                 object_size,
+                version,
                 chunks: chunks.clone(),
             },
         }];
@@ -296,9 +337,19 @@ impl Proxy {
         let mut actions = Vec::new();
         let key = id.key.clone();
         if repair {
-            // Read-repair of a lost chunk: remap and forward, nothing else.
-            if !self.objects.contains_key(&key) || !self.members.contains_key(&lambda) {
-                return actions; // object evicted meanwhile: drop the repair
+            // Read-repair of a lost chunk: remap and forward, nothing
+            // else. The repair's `put_epoch` carries the object version
+            // the client re-encoded the shard from (announced in its
+            // `GetAccepted`); if the object was overwritten or evicted
+            // since, the repair is stale — storing it would remap the
+            // chunk to old bytes and corrupt the current version.
+            let current = self
+                .objects
+                .get(&key)
+                .is_some_and(|m| m.version == put_epoch);
+            if !current || !self.members.contains_key(&lambda) {
+                self.stats.stale_repairs += 1;
+                return actions;
             }
             self.mapping.insert(id.clone(), lambda);
             let effects =
@@ -335,7 +386,7 @@ impl Proxy {
             // version and resurrect stale data — swallow the whole
             // stripe via a tombstone instead.
             if let Some(meta) = self.objects.get(&key) {
-                if meta.writer == client && put_epoch < meta.put_epoch {
+                if meta.writer == Some(client) && put_epoch < meta.put_epoch {
                     if total_chunks > 1 {
                         self.aborted_puts
                             .insert((client, key, put_epoch), total_chunks - 1);
@@ -353,20 +404,21 @@ impl Proxy {
             }
             let stored = payload.len() * total_chunks as u64;
             actions.extend(self.evict_until_fits(stored, &key));
+            let epoch = self.next_epoch;
+            self.next_epoch += 1;
             self.objects.insert(
                 key.clone(),
                 ObjectMeta {
                     size: object_size,
                     total_chunks,
                     chunk_len: payload.len(),
-                    writer: client,
+                    writer: Some(client),
                     put_epoch,
+                    version: epoch,
                 },
             );
             self.lru.insert(key.clone());
             self.used_bytes += stored;
-            let epoch = self.next_epoch;
-            self.next_epoch += 1;
             self.puts.insert(
                 key.clone(),
                 PutProgress {
@@ -425,29 +477,22 @@ impl Proxy {
             }
             Msg::ChunkData { id, payload } => {
                 let clients = self.inflight_gets.remove(&id).unwrap_or_default();
-                clients
-                    .into_iter()
-                    .map(|client| ProxyAction::DataToClient {
+                fanout_to_waiters(clients, (id, payload), |client, (id, payload)| {
+                    ProxyAction::DataToClient {
                         client,
-                        msg: Msg::ChunkToClient {
-                            id: id.clone(),
-                            payload: payload.clone(),
-                        },
-                    })
-                    .collect()
+                        msg: Msg::ChunkToClient { id, payload },
+                    }
+                })
             }
             Msg::ChunkMiss { id } => {
                 // The node lost the chunk (reclaim); unmap it and tell the
                 // waiting clients.
                 self.mapping.remove(&id);
                 let clients = self.inflight_gets.remove(&id).unwrap_or_default();
-                clients
-                    .into_iter()
-                    .map(|client| ProxyAction::ToClient {
-                        client,
-                        msg: Msg::ChunkMiss { id: id.clone() },
-                    })
-                    .collect()
+                fanout_to_waiters(clients, id, |client, id| ProxyAction::ToClient {
+                    client,
+                    msg: Msg::ChunkMiss { id },
+                })
             }
             Msg::PutAck {
                 id,
@@ -549,15 +594,50 @@ impl Proxy {
         let effects = self
             .members
             .get_mut(&lambda)
-            .map(|m| m.on_reset(None))
+            .map(|m| m.on_connection_lost())
             .unwrap_or_default();
         self.apply_effects(lambda, effects)
+    }
+
+    /// A client's connection ended (socket closed). Its `ClientId` may
+    /// be recycled to a future connection whose PUT-epoch counter starts
+    /// over, so (1) the same-writer stripe-ordering guard must forget
+    /// this session (or a fresh session's PUTs would be swallowed as
+    /// "reordered older" stripes and the writer would hang), and (2) an
+    /// open PUT of the gone client is aborted — its remaining chunks
+    /// can never arrive.
+    pub fn on_client_disconnected(&mut self, client: ClientId) -> Vec<ProxyAction> {
+        for meta in self.objects.values_mut() {
+            if meta.writer == Some(client) {
+                meta.writer = None;
+            }
+        }
+        let open: Vec<ObjectKey> = self
+            .puts
+            .iter()
+            .filter(|(_, p)| p.client == client)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut actions = Vec::new();
+        for key in open {
+            // The PutFailed notice targets the gone client; the
+            // transport drops it (the connection no longer exists).
+            actions.extend(self.abort_put(&key));
+        }
+        // A reader delivers its connection's messages before the
+        // disconnect, so no more chunks from this session can arrive:
+        // its tombstones would never drain.
+        self.aborted_puts.retain(|(c, _, _), _| *c != client);
+        actions
     }
 
     /// Warm-up tick (`Twarm`): invoke every sleeping member.
     pub fn on_warmup_tick(&mut self) -> Vec<ProxyAction> {
         let mut actions = Vec::new();
-        for lambda in self.member_order.clone() {
+        // Indexed loop instead of cloning the order vector: the pool is
+        // fixed at construction, only member *state* changes under us.
+        for i in 0..self.member_order.len() {
+            let lambda = self.member_order[i];
             let effects = self
                 .members
                 .get_mut(&lambda)
@@ -966,6 +1046,134 @@ mod tests {
             }
         ));
         assert_eq!(p.inflight_for(&id), 0);
+    }
+
+    /// The stale-read-repair regression: a repair chunk re-encoded from
+    /// a version the client fetched *before* an overwrite must be
+    /// dropped, not remap the chunk onto old bytes. (Found by netbench
+    /// `--verify`: a GET's post-delivery repair racing an overwrite PUT
+    /// of the same key poisoned the stored stripe persistently.)
+    #[test]
+    fn stale_read_repair_cannot_clobber_an_overwritten_object() {
+        let mut p = proxy(4, 1 << 30);
+        put_chunks(&mut p, 1, "o", 2, 50);
+        pong_all(&mut p, 1);
+        // A GET of version 1 announces that version to the client.
+        let acts = p.on_client(
+            ClientId(3),
+            Msg::GetObject {
+                key: ObjectKey::new("o"),
+            },
+        );
+        let v1 = match &acts[0] {
+            ProxyAction::ToClient {
+                msg: Msg::GetAccepted { version, .. },
+                ..
+            } => *version,
+            other => panic!("expected GetAccepted, got {other:?}"),
+        };
+
+        // The key is overwritten (same client, newer epoch).
+        put_chunks(&mut p, 2, "o", 2, 50);
+        let id = ChunkId::new(ObjectKey::new("o"), 0);
+        let owner_after_overwrite = p.chunk_owner(&id);
+
+        // The late repair from the v1 GET arrives: dropped, no remap, no
+        // forward to any node.
+        let acts = p.on_client(
+            ClientId(3),
+            Msg::PutChunk {
+                id: id.clone(),
+                lambda: LambdaId(3),
+                payload: Payload::synthetic(50),
+                object_size: 100,
+                total_chunks: 2,
+                repair: true,
+                put_epoch: v1,
+            },
+        );
+        assert!(acts.is_empty(), "stale repair must be swallowed: {acts:?}");
+        assert_eq!(p.chunk_owner(&id), owner_after_overwrite);
+        assert_eq!(p.stats.stale_repairs, 1);
+
+        // A repair carrying the *current* version is still accepted.
+        let v2 = match &p.on_client(
+            ClientId(3),
+            Msg::GetObject {
+                key: ObjectKey::new("o"),
+            },
+        )[0]
+        {
+            ProxyAction::ToClient {
+                msg: Msg::GetAccepted { version, .. },
+                ..
+            } => *version,
+            other => panic!("expected GetAccepted, got {other:?}"),
+        };
+        assert_ne!(v1, v2, "overwrite must advance the object version");
+        let acts = p.on_client(
+            ClientId(3),
+            Msg::PutChunk {
+                id: id.clone(),
+                lambda: LambdaId(3),
+                payload: Payload::synthetic(50),
+                object_size: 100,
+                total_chunks: 2,
+                repair: true,
+                put_epoch: v2,
+            },
+        );
+        assert!(!acts.is_empty(), "current-version repair proceeds");
+        assert_eq!(p.chunk_owner(&id), Some(LambdaId(3)));
+    }
+
+    /// The recycled-id deadlock (found by the netbench object-size
+    /// sweep): client PUT epochs are per-session counters, so after a
+    /// disconnect the same `ClientId` may return with *lower* epochs.
+    /// Without clearing the writer affinity, the reordered-older-stripe
+    /// guard swallows the new session's overwrite PUT entirely and the
+    /// writer hangs waiting for a PutDone.
+    #[test]
+    fn recycled_client_id_with_restarted_epochs_can_overwrite() {
+        let mut p = proxy(4, 1 << 30);
+        // Session 1 of ClientId(0) writes "o" at a high epoch.
+        put_chunks_as(&mut p, ClientId(0), 300, "o", 2, 50);
+        pong_all(&mut p, 1);
+        // The connection ends; the id will be recycled.
+        p.on_client_disconnected(ClientId(0));
+        // Session 2 recycles ClientId(0) with epochs starting over.
+        let acts = put_chunks_as(&mut p, ClientId(0), 1, "o", 2, 50);
+        assert!(
+            !acts.is_empty(),
+            "the fresh session's PUT must not be swallowed as a reordered stripe"
+        );
+        assert_eq!(p.stats.overwrites, 1);
+        assert_eq!(p.open_puts(), 1, "the new PUT must be in progress");
+    }
+
+    /// Disconnecting mid-PUT aborts the progress (its chunks can never
+    /// finish arriving) and leaves no tombstones behind.
+    #[test]
+    fn disconnect_mid_put_aborts_and_leaves_no_tombstones() {
+        let mut p = proxy(4, 1 << 30);
+        // 1 of 4 chunks arrived when the writer vanishes.
+        p.on_client(
+            ClientId(2),
+            Msg::PutChunk {
+                id: ChunkId::new(ObjectKey::new("w"), 0),
+                lambda: LambdaId(0),
+                payload: Payload::synthetic(10),
+                object_size: 40,
+                total_chunks: 4,
+                repair: false,
+                put_epoch: 1,
+            },
+        );
+        assert_eq!(p.open_puts(), 1);
+        p.on_client_disconnected(ClientId(2));
+        assert_eq!(p.open_puts(), 0, "the orphaned PUT is aborted");
+        let violations = p.check_invariants();
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]
