@@ -3,19 +3,39 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the tiny slice of the `bytes` API this repository actually
 //! uses: a cheaply-cloneable, immutable byte buffer with zero-copy
-//! `slice`. The representation is an `Arc<[u8]>` plus a window, which
-//! preserves the crate's two load-bearing properties — `clone()` is O(1)
-//! and `slice()` shares the underlying allocation.
+//! `slice`. The representation is a reference-counted allocation (or a
+//! borrowed `'static` slice) plus a window, which preserves the crate's
+//! load-bearing properties — `clone()` is O(1), `slice()` shares the
+//! underlying allocation, and `from_static` never copies.
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// The backing storage of a [`Bytes`] window.
+#[derive(Clone)]
+enum Repr {
+    /// Reference-counted heap allocation, shared by clones and slices.
+    ///
+    /// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `From<Vec<u8>>` is
+    /// zero-copy *and* [`Bytes::try_into_vec`] can hand the allocation
+    /// back out when this is the last handle.
+    Shared(Arc<Vec<u8>>),
+    /// Borrowed `'static` data ([`Bytes::from_static`]); never copied.
+    Static(&'static [u8]),
+}
+
 /// A cheaply cloneable, immutable contiguous byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from_static(&[])
+    }
 }
 
 impl Bytes {
@@ -29,9 +49,14 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
-    /// Creates a buffer from a static slice.
-    pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::from(data.to_vec())
+    /// Creates a buffer *borrowing* the static slice — no allocation, no
+    /// copy. Clones and sub-slices keep borrowing the same data.
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Length of the buffer in bytes.
@@ -66,7 +91,7 @@ impl Bytes {
             "slice {begin}..{end} out of bounds (len {len})"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            repr: self.repr.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
@@ -76,13 +101,42 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Escape hatch: recovers the backing `Vec<u8>` without copying when
+    /// this is the **only** handle to the allocation and the window
+    /// covers it fully. Otherwise returns `self` back unchanged, so the
+    /// caller can decide to pay for [`Bytes::to_vec`].
+    ///
+    /// Static-backed buffers are never convertible (the data is
+    /// borrowed, not owned).
+    pub fn try_into_vec(self) -> std::result::Result<Vec<u8>, Bytes> {
+        let full = self.start == 0;
+        match self.repr {
+            Repr::Shared(arc) if full && self.end == arc.len() => match Arc::try_unwrap(arc) {
+                Ok(v) => Ok(v),
+                Err(arc) => Err(Bytes {
+                    start: self.start,
+                    end: self.end,
+                    repr: Repr::Shared(arc),
+                }),
+            },
+            repr => Err(Bytes {
+                repr,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Shared(v) => &v[self.start..self.end],
+            Repr::Static(s) => &s[self.start..self.end],
+        }
     }
 }
 
@@ -94,10 +148,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            repr: Repr::Shared(Arc::new(v)),
             start: 0,
             end,
         }
@@ -112,7 +165,7 @@ impl From<&[u8]> for Bytes {
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes::from(v.as_bytes().to_vec())
+        Bytes::from_static(v.as_bytes())
     }
 }
 
@@ -164,6 +217,13 @@ impl std::fmt::Debug for Bytes {
 mod tests {
     use super::*;
 
+    /// `inner` views a sub-range of the exact memory `outer` views.
+    fn aliases(outer: &Bytes, inner: &Bytes) -> bool {
+        let o = outer.as_ptr() as usize;
+        let i = inner.as_ptr() as usize;
+        o <= i && i + inner.len() <= o + outer.len()
+    }
+
     #[test]
     fn roundtrip_and_slice_share_data() {
         let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
@@ -187,5 +247,63 @@ mod tests {
     fn out_of_bounds_slice_panics() {
         let b = Bytes::from(vec![1u8, 2]);
         let _ = b.slice(0..3);
+    }
+
+    #[test]
+    fn from_static_borrows_instead_of_copying() {
+        static DATA: [u8; 4] = [9, 8, 7, 6];
+        let b = Bytes::from_static(&DATA);
+        assert_eq!(b.as_ptr(), DATA.as_ptr(), "no copy on from_static");
+        let s = b.slice(1..3);
+        assert_eq!(s.as_ptr(), DATA[1..].as_ptr(), "slices keep borrowing");
+        assert_eq!(&s[..], &[8, 7]);
+        let c = b.clone();
+        assert_eq!(c.as_ptr(), DATA.as_ptr(), "clones keep borrowing");
+    }
+
+    #[test]
+    fn nested_slices_alias_the_root_allocation() {
+        let root = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let mid = root.slice(10..90);
+        let leaf = mid.slice(5..25);
+        assert_eq!(&leaf[..], &root[15..35], "windows compose");
+        assert!(aliases(&root, &mid));
+        assert!(aliases(&mid, &leaf));
+        assert!(aliases(&root, &leaf), "aliasing is transitive");
+        assert_eq!(leaf.as_ptr() as usize, root.as_ptr() as usize + 15);
+        // Dropping intermediates must not invalidate the leaf.
+        drop(root);
+        drop(mid);
+        assert_eq!(leaf[0], 15);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), ptr, "From<Vec> must not reallocate");
+    }
+
+    #[test]
+    fn try_into_vec_recovers_unique_full_windows() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let ptr = b.as_ptr();
+        let v = b.try_into_vec().expect("unique full window converts");
+        assert_eq!(v.as_ptr(), ptr, "conversion must not copy");
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_into_vec_refuses_shared_sliced_and_static() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let keep = b.clone();
+        let b = b.try_into_vec().expect_err("second handle blocks");
+        assert_eq!(b, keep);
+        drop(keep);
+        let s = b.slice(0..2);
+        assert!(s.try_into_vec().is_err(), "partial window blocks");
+        let st = Bytes::from_static(b"abc");
+        assert!(st.try_into_vec().is_err(), "static data is not owned");
     }
 }
