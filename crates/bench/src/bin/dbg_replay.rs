@@ -10,7 +10,7 @@
 //! pattern, and outcome mapping cannot drift from the tests:
 //!
 //! ```text
-//! dbg_replay --seed 42 [--steps 24] [--keys 6] [--mode all]
+//! dbg_replay --seed 42 [--steps 24] [--keys 6] [--mode all] [--proxies N]
 //! dbg_replay --script repro.txt --mode net
 //! dbg_replay --seed 42 --dump > repro.txt    # save the script to a file
 //! ```
@@ -19,8 +19,12 @@
 //! `#` comments — so a failing schedule can be saved, minimized by hand,
 //! and replayed against a single substrate. Modes: `sim`, `live`, `net`,
 //! or `all` (default; diffs every pair and exits nonzero on divergence).
+//!
+//! `--proxies N` replays the sim and net legs on an N-proxy fleet (the
+//! multi-proxy parity tests' shape; `live` stays single-proxy and is
+//! skipped when N > 1).
 
-use ic_net::replay::{replay_live, replay_net, replay_sim, StepOutcome};
+use ic_net::replay::{replay_live, replay_net_proxies, replay_sim_proxies, StepOutcome};
 use infinicache::chaos::{sample_schedule, ScriptStep};
 
 fn parse_script(path: &str) -> Vec<ScriptStep> {
@@ -82,18 +86,23 @@ fn main() {
     }
 
     let mode = args.get("mode", "all");
+    let proxies: u16 = args.num("proxies", 1).expect("--proxies must be a number");
     let mut runs: Vec<(&str, Vec<StepOutcome>)> = Vec::new();
     if mode == "sim" || mode == "all" {
-        runs.push(("sim", replay_sim(&script)));
+        runs.push(("sim", replay_sim_proxies(&script, proxies)));
     }
-    if mode == "live" || mode == "all" {
+    if (mode == "live" || mode == "all") && proxies == 1 {
         runs.push(("live", replay_live(&script)));
     }
     if mode == "net" || mode == "all" {
-        runs.push(("net", replay_net(&script)));
+        runs.push(("net", replay_net_proxies(&script, proxies)));
     }
     if runs.is_empty() {
-        eprintln!("unknown --mode {mode} (want sim, live, net, or all)");
+        if mode == "live" {
+            eprintln!("--mode live only runs single-proxy (drop --proxies)");
+        } else {
+            eprintln!("unknown --mode {mode} (want sim, live, net, or all)");
+        }
         std::process::exit(2);
     }
 

@@ -169,6 +169,36 @@ impl DeploymentConfig {
         self.lambda_cache_capacity() * self.lambdas_per_proxy as u64
     }
 
+    /// The Lambda node ids owned by proxy `p`: every substrate carves the
+    /// global id space into disjoint per-proxy ranges
+    /// (`[p·lambdas_per_proxy, (p+1)·lambdas_per_proxy)`), so a node id
+    /// names both the node and — via [`DeploymentConfig::owner_of`] — the
+    /// proxy that manages it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ic_common::{DeploymentConfig, EcConfig, LambdaId, ProxyId};
+    /// let cfg = DeploymentConfig {
+    ///     proxies: 2,
+    ///     ..DeploymentConfig::small(4, EcConfig::new(2, 1)?)
+    /// };
+    /// let pool: Vec<LambdaId> = cfg.proxy_pool(ProxyId(1)).collect();
+    /// assert_eq!(pool, (4..8).map(LambdaId).collect::<Vec<_>>());
+    /// assert_eq!(cfg.owner_of(LambdaId(5)), ProxyId(1));
+    /// # Ok::<(), ic_common::Error>(())
+    /// ```
+    pub fn proxy_pool(&self, p: crate::ids::ProxyId) -> impl Iterator<Item = crate::ids::LambdaId> {
+        let base = p.0 as u32 * self.lambdas_per_proxy;
+        (base..base + self.lambdas_per_proxy).map(crate::ids::LambdaId)
+    }
+
+    /// The proxy that owns node `lambda` (inverse of
+    /// [`DeploymentConfig::proxy_pool`]).
+    pub fn owner_of(&self, lambda: crate::ids::LambdaId) -> crate::ids::ProxyId {
+        crate::ids::ProxyId((lambda.0 / self.lambdas_per_proxy) as u16)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -258,6 +288,27 @@ mod tests {
         cfg.validate().unwrap();
         // 400 × 1.5 GB × 0.9 usable ≈ 540 GiB pool.
         assert!(cfg.pool_capacity() > 500 * 1024 * MIB);
+    }
+
+    #[test]
+    fn proxy_pools_are_disjoint_and_cover_the_deployment() {
+        use crate::ids::{LambdaId, ProxyId};
+        let cfg = DeploymentConfig {
+            proxies: 3,
+            ..DeploymentConfig::small(5, EcConfig::new(4, 1).unwrap())
+        };
+        let mut seen = Vec::new();
+        for p in 0..cfg.proxies {
+            for l in cfg.proxy_pool(ProxyId(p)) {
+                assert_eq!(cfg.owner_of(l), ProxyId(p));
+                seen.push(l);
+            }
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len() as u32, cfg.total_lambdas());
+        assert_eq!(seen.first(), Some(&LambdaId(0)));
+        assert_eq!(seen.last(), Some(&LambdaId(14)));
     }
 
     #[test]

@@ -42,6 +42,9 @@
 //! equally usable over files or in-memory buffers (which is how the
 //! round-trip tests exercise it).
 
+#[doc = include_str!("../../../docs/WIRE.md")]
+pub mod wire_spec {}
+
 use std::io::{ErrorKind, IoSlice, Read, Write};
 
 use bytes::Bytes;

@@ -14,6 +14,12 @@
 //! `ic-proxy`, `ic-client`) transport-agnostic: the same state machines run
 //! inside the discrete-event simulator and inside the live threaded runtime.
 //!
+//! The workspace-level architecture book lives in `docs/ARCHITECTURE.md`;
+//! the normative wire-protocol specification, rendered from
+//! `docs/WIRE.md`, is embedded as [`frame::wire_spec`] (its worked
+//! example is a doc-test, so the spec's bytes cannot drift from the
+//! codec).
+//!
 //! # Example
 //!
 //! ```
@@ -28,6 +34,8 @@
 //! assert_eq!(p.len(), chunk);
 //! assert!(SimDuration::from_millis(100) > SimDuration::from_micros(99_999));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod clock;
 pub mod config;

@@ -369,9 +369,59 @@ pub fn sample_schedule(seed: u64, steps: usize, key_space: usize) -> Vec<ScriptS
         .collect()
 }
 
+/// A seeded multi-proxy fault plan: a fault-free PUT/GET/overwrite
+/// script plus one proxy kill injected mid-run. The net substrate's
+/// parity leg (`ic_net::replay::replay_net_proxy_kill`) executes it
+/// against a real multi-proxy socket cluster, kills the victim's
+/// process ensemble at the planned step, and checks that keys owned by
+/// the surviving proxies still match the simulator's outcomes
+/// byte-for-byte while the victim's keys fail fast.
+#[derive(Clone, Debug)]
+pub struct ProxyKillPlan {
+    /// The traffic schedule (see [`sample_schedule`]).
+    pub script: Vec<ScriptStep>,
+    /// Steps executed before the kill: the victim dies just before step
+    /// `kill_after` (always past the first quarter of the schedule, so
+    /// both rings hold data by then).
+    pub kill_after: usize,
+    /// Which proxy of the deployment is killed.
+    pub victim: u16,
+}
+
+/// Samples a deterministic [`ProxyKillPlan`] over `proxies` proxies.
+/// Same seed, same plan — a CI failure replays locally.
+pub fn sample_proxy_kill_plan(
+    seed: u64,
+    steps: usize,
+    key_space: usize,
+    proxies: u16,
+) -> ProxyKillPlan {
+    assert!(proxies > 0, "a deployment needs at least one proxy");
+    let script = sample_schedule(seed, steps, key_space);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9bad_c0de);
+    let lo = (steps / 4).max(1);
+    let hi = (steps * 3 / 4).max(lo + 1);
+    ProxyKillPlan {
+        script,
+        kill_after: rng.gen_range(lo..hi),
+        victim: rng.gen_range(0..proxies),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn proxy_kill_plan_is_deterministic_and_mid_run() {
+        let a = sample_proxy_kill_plan(9, 40, 8, 2);
+        let b = sample_proxy_kill_plan(9, 40, 8, 2);
+        assert_eq!(a.script, b.script);
+        assert_eq!(a.kill_after, b.kill_after);
+        assert_eq!(a.victim, b.victim);
+        assert!((10..30).contains(&a.kill_after));
+        assert!(a.victim < 2);
+    }
 
     #[test]
     fn chaos_is_deterministic_per_seed() {

@@ -11,8 +11,9 @@
 //! Protocol actions are executed by the shared [`crate::dispatch`]
 //! engine — the same action-by-action semantics as the simulator — with
 //! the substrate-specific side effects supplied by this module's
-//! [`crate::dispatch::Transport`] role impls: [`NodeThread`] implements
-//! the lambda role, [`ProxyThread`] the proxy role, and [`LiveCluster`]
+//! [`crate::dispatch::Transport`] role impls: the private `NodeThread`
+//! (a [`crate::nodehost::NodeHost`] driven by channel events) implements
+//! the lambda role, `ProxyThread` the proxy role, and [`LiveCluster`]
 //! itself the client role (collecting terminal
 //! [`ClientOutcome`]s for its blocking `put`/`get`).
 //!

@@ -110,16 +110,14 @@ impl SimWorld {
 
         let platform = Platform::new(platform_cfg, policy, params.seed);
 
-        let per = cfg.lambdas_per_proxy;
         let proxies: Vec<Proxy> = (0..cfg.proxies)
             .map(|p| {
-                let base = p as u32 * per;
                 Proxy::new(
                     ProxyConfig {
                         id: ProxyId(p),
                         capacity_bytes: cfg.pool_capacity(),
                     },
-                    (base..base + per).map(LambdaId),
+                    cfg.proxy_pool(ProxyId(p)),
                 )
             })
             .collect();
@@ -575,7 +573,7 @@ impl SimWorld {
     }
 
     fn owner_of(&self, lambda: LambdaId) -> ProxyId {
-        ProxyId((lambda.0 / self.cfg.lambdas_per_proxy) as u16)
+        self.cfg.owner_of(lambda)
     }
 
     fn encode_delay(&self, size: u64) -> SimDuration {

@@ -63,7 +63,8 @@ impl RuntimeConfig {
 
     /// Runtime knobs derived from a deployment configuration — the single
     /// place the byte-stream substrates (live threads, real sockets) turn
-    /// a [`DeploymentConfig`] into per-instance runtime settings.
+    /// a [`ic_common::DeploymentConfig`] into per-instance runtime
+    /// settings.
     pub fn for_deployment(cfg: &ic_common::DeploymentConfig) -> Self {
         RuntimeConfig {
             billing_buffer: cfg.billing_buffer,

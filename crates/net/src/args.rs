@@ -7,10 +7,12 @@ use ic_common::{EcConfig, Error, Result};
 
 /// Parsed command line: leading positional words, then `--flag [value]`
 /// pairs (a flag followed by another flag or end of input is boolean).
+/// A flag given several times accumulates every value, in order
+/// (`--proxy A --proxy B`); the single-value accessors return the last.
 pub struct Args {
     /// Positional arguments, in order.
     pub positional: Vec<String>,
-    flags: HashMap<String, String>,
+    flags: HashMap<String, Vec<String>>,
 }
 
 impl Args {
@@ -22,7 +24,7 @@ impl Args {
     /// Parses an explicit argument list (used by tests).
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Args {
         let mut positional = Vec::new();
-        let mut flags = HashMap::new();
+        let mut flags: HashMap<String, Vec<String>> = HashMap::new();
         let mut iter = args.into_iter().peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
@@ -30,7 +32,7 @@ impl Args {
                     Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
                     _ => String::from("true"),
                 };
-                flags.insert(name.to_string(), value);
+                flags.entry(name.to_string()).or_default().push(value);
             } else {
                 positional.push(a);
             }
@@ -38,25 +40,33 @@ impl Args {
         Args { positional, flags }
     }
 
-    /// String flag with a default.
+    /// String flag with a default (last occurrence wins).
     pub fn get(&self, name: &str, default: &str) -> String {
-        self.flags
-            .get(name)
-            .cloned()
+        self.opt(name)
+            .map(str::to_string)
             .unwrap_or_else(|| default.to_string())
     }
 
-    /// Optional string flag.
+    /// Optional string flag (last occurrence wins).
     pub fn opt(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(String::as_str)
+        self.flags
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every value a repeatable flag was given, in command-line order
+    /// (empty when absent).
+    pub fn all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
     }
 
     /// Boolean flag (present without value, or `--flag true`).
     pub fn has(&self, name: &str) -> bool {
-        matches!(
-            self.flags.get(name).map(String::as_str),
-            Some("true") | Some("1")
-        )
+        matches!(self.opt(name), Some("true") | Some("1"))
     }
 
     /// Numeric flag with a default.
@@ -65,7 +75,7 @@ impl Args {
     ///
     /// [`Error::Config`] when the value does not parse.
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
-        match self.flags.get(name) {
+        match self.opt(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -79,7 +89,7 @@ impl Args {
     ///
     /// [`Error::Config`] on malformed codes.
     pub fn ec(&self, name: &str, default: EcConfig) -> Result<EcConfig> {
-        match self.flags.get(name) {
+        match self.opt(name) {
             None => Ok(default),
             Some(v) => {
                 let (d, p) = v
@@ -117,6 +127,16 @@ mod tests {
             a.ec("ec", EcConfig::default()).unwrap(),
             EcConfig::new(4, 2).unwrap()
         );
+    }
+
+    #[test]
+    fn repeated_flags_accumulate_and_last_wins_for_scalars() {
+        let a = args(&[
+            "--proxy", "h0:1", "--proxy", "h1:2", "--size", "1", "--size", "2",
+        ]);
+        assert_eq!(a.all("proxy"), vec!["h0:1", "h1:2"]);
+        assert_eq!(a.num::<u64>("size", 0).unwrap(), 2);
+        assert!(a.all("absent").is_empty());
     }
 
     #[test]

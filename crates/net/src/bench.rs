@@ -4,10 +4,11 @@
 //!
 //! Used by the standalone `netbench` binary (which also sets up the
 //! cluster) and by `ic-cli bench` (which targets an already-running
-//! proxy). Each client thread owns its own TCP connection and key
-//! namespace, preloads its working set, then issues a seeded GET/PUT mix,
-//! timing every blocking operation end to end — encode, socket hops,
-//! proxy, node daemons, decode.
+//! proxy fleet). Each client thread owns its own TCP connection *per
+//! proxy* and its own key namespace, preloads its working set, then
+//! issues a seeded GET/PUT mix ring-routed across the fleet, timing
+//! every blocking operation end to end — encode, socket hops, proxy,
+//! node daemons, decode.
 
 use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
@@ -140,24 +141,29 @@ impl BenchReport {
     }
 }
 
-/// Runs the benchmark against the proxy at `addr`.
+/// Runs the benchmark against the proxy fleet at `addrs` (one client
+/// port per proxy, in `ProxyId` order; a single-element slice is the
+/// classic one-proxy run). Each worker connects to the whole fleet and
+/// ring-routes its keys across it.
 ///
 /// # Errors
 ///
 /// [`Error::Transport`] when a client cannot connect or an operation
 /// fails mid-run.
-pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport> {
+pub fn run(addrs: &[SocketAddr], cfg: &BenchConfig) -> Result<BenchReport> {
     // Workers connect and preload before the barrier; the measured phase
     // (and the wall clock) starts only once every worker is ready, so
     // setup cost never dilutes the reported throughput.
     let ready = Arc::new(Barrier::new(cfg.clients + 1));
+    let addrs: Arc<Vec<SocketAddr>> = Arc::new(addrs.to_vec());
     let threads: Vec<_> = (0..cfg.clients)
         .map(|t| {
             let cfg = cfg.clone();
             let ready = ready.clone();
+            let addrs = addrs.clone();
             std::thread::Builder::new()
                 .name(format!("netbench-client-{t}"))
-                .spawn(move || client_worker(addr, t, &cfg, &ready))
+                .spawn(move || client_worker(&addrs, t, &cfg, &ready))
                 .map_err(|e| Error::Transport(e.to_string()))
         })
         .collect::<Result<_>>()?;
@@ -240,12 +246,12 @@ struct WorkerResult {
 }
 
 fn client_worker(
-    addr: SocketAddr,
+    addrs: &[SocketAddr],
     thread: usize,
     cfg: &BenchConfig,
     ready: &Barrier,
 ) -> Result<WorkerResult> {
-    let client = NetClient::connect(addr, cfg.ec, cfg.seed ^ ((thread as u64) << 8));
+    let client = NetClient::connect_multi(addrs, cfg.ec, cfg.seed ^ ((thread as u64) << 8));
     if client.is_err() {
         // Release the coordinator and the other workers before erroring.
         ready.wait();
@@ -316,47 +322,66 @@ fn lat_json(s: &LatencySummary) -> String {
     )
 }
 
-/// Renders the report as the `BENCH_net.json` artifact.
-pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport) -> String {
-    to_json_with_sweep(label, cfg, report, &[])
+/// Renders the report as the `BENCH_net.json` artifact. `proxies` is the
+/// proxy count the run targeted — embedded in the config block so bench
+/// trajectories over different cluster shapes stay comparable.
+pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport, proxies: usize) -> String {
+    to_json_full(label, cfg, report, proxies, &[], &[])
 }
 
-/// Like [`to_json`], appending a `"sweep"` array — one entry per
-/// object-size run of the `--object-bytes` sweep.
-pub fn to_json_with_sweep(
+/// Renders one summary line of a sweep entry's metrics.
+fn sweep_metrics(r: &BenchReport) -> String {
+    format!(
+        "\"total_ops\": {}, \"wall_seconds\": {:.4}, \
+         \"ops_per_sec\": {:.1}, \"throughput_mib_per_sec\": {:.1}, \
+         \"verify_failures\": {}, \"get_p50_us\": {}, \"get_p99_us\": {}, \
+         \"put_p50_us\": {}, \"put_p99_us\": {}",
+        r.total_ops(),
+        r.wall.as_secs_f64(),
+        r.ops_per_sec(),
+        r.throughput_mib_s(),
+        r.verify_failures,
+        r.gets.p50_us,
+        r.gets.p99_us,
+        r.puts.p50_us,
+        r.puts.p99_us,
+    )
+}
+
+/// Like [`to_json`], appending a `"sweep"` array (one entry per
+/// object-size run of the `--object-bytes` sweep) and a `"proxy_sweep"`
+/// array (one entry per cluster shape of the `--proxies-sweep` run).
+pub fn to_json_full(
     label: &str,
     cfg: &BenchConfig,
     report: &BenchReport,
+    proxies: usize,
     sweep: &[(BenchConfig, BenchReport)],
+    proxy_sweep: &[(u16, BenchReport)],
 ) -> String {
     let sweep_entries: Vec<String> = sweep
         .iter()
         .map(|(c, r)| {
             format!(
-                "    {{\"object_bytes\": {}, \"total_ops\": {}, \"wall_seconds\": {:.4}, \
-                 \"ops_per_sec\": {:.1}, \"throughput_mib_per_sec\": {:.1}, \
-                 \"verify_failures\": {}, \"get_p50_us\": {}, \"get_p99_us\": {}, \
-                 \"put_p50_us\": {}, \"put_p99_us\": {}}}",
+                "    {{\"object_bytes\": {}, {}}}",
                 c.object_bytes,
-                r.total_ops(),
-                r.wall.as_secs_f64(),
-                r.ops_per_sec(),
-                r.throughput_mib_s(),
-                r.verify_failures,
-                r.gets.p50_us,
-                r.gets.p99_us,
-                r.puts.p50_us,
-                r.puts.p99_us,
+                sweep_metrics(r)
             )
         })
         .collect();
-    let sweep_json = if sweep_entries.is_empty() {
-        String::from("[]")
-    } else {
-        format!("[\n{}\n  ]", sweep_entries.join(",\n"))
+    let proxy_entries: Vec<String> = proxy_sweep
+        .iter()
+        .map(|(p, r)| format!("    {{\"proxies\": {p}, {}}}", sweep_metrics(r)))
+        .collect();
+    let join = |entries: Vec<String>| {
+        if entries.is_empty() {
+            String::from("[]")
+        } else {
+            format!("[\n{}\n  ]", entries.join(",\n"))
+        }
     };
     format!(
-        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"sweep\": {}\n}}\n",
+        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}, \"proxies\": {proxies}}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"sweep\": {},\n  \"proxy_sweep\": {}\n}}\n",
         cfg.clients,
         cfg.ops_per_client,
         cfg.object_bytes,
@@ -372,7 +397,8 @@ pub fn to_json_with_sweep(
         report.verify_failures,
         lat_json(&report.gets),
         lat_json(&report.puts),
-        sweep_json,
+        join(sweep_entries),
+        join(proxy_entries),
     )
 }
 
@@ -427,9 +453,10 @@ mod tests {
             bytes_moved: 4096,
             verify_failures: 0,
         };
-        let json = to_json("net_loopback", &cfg, &report);
+        let json = to_json("net_loopback", &cfg, &report, 2);
         assert!(json.contains("\"ops_per_sec\""));
         assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"proxies\": 2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -1,13 +1,20 @@
 //! `ic-cli`: drive a running cluster from the command line.
 //!
 //! ```text
-//! ic-cli [--proxy ADDR] [--ec d+p] [--seed N] <command>
+//! ic-cli [--proxy ADDR]... [--ec d+p] [--seed N] <command>
 //!
 //! commands:
 //!   put KEY (--size BYTES | --file PATH)   store an object
 //!   get KEY [--out PATH] [--verify]        fetch an object
+//!   route KEY                              print the proxy a key maps to
 //!   bench [netbench flags] [--out PATH]    run the throughput benchmark
 //! ```
+//!
+//! Multi-proxy deployments: repeat `--proxy` once per instance, in
+//! `--proxy-id` order (`--proxy host0:7100 --proxy host1:7100`); keys
+//! spread over the fleet by consistent hashing, and a dead proxy only
+//! takes out its own keys (the CLI exits 4 when the key's proxy is
+//! down).
 //!
 //! `put --size N` stores a deterministic pattern derived from the key, so
 //! a *different* process can later check byte-identity with
@@ -32,7 +39,13 @@ fn resolve(addr: &str) -> Result<SocketAddr> {
 
 fn run() -> Result<()> {
     let args = Args::parse();
-    let addr = resolve(&args.get("proxy", "127.0.0.1:7100"))?;
+    let addrs: Vec<SocketAddr> = match &args.all("proxy")[..] {
+        [] => vec![resolve("127.0.0.1:7100")?],
+        list => list
+            .iter()
+            .map(|a| resolve(a))
+            .collect::<Result<Vec<_>>>()?,
+    };
     let ec = args.ec("ec", EcConfig::new(4, 2).expect("valid code"))?;
     let seed: u64 = args.num("seed", 7)?;
 
@@ -63,16 +76,32 @@ fn run() -> Result<()> {
                 return Err(Error::Config("cannot store an empty object".into()));
             }
             let len = data.len();
-            let mut client = NetClient::connect(addr, ec, seed)?;
+            let mut client = NetClient::connect_multi(&addrs, ec, seed)?;
             client.put(key, data)?;
             println!("stored {key}: {len} bytes as {} chunks", ec.shards());
+        }
+        "route" => {
+            let key = args
+                .positional
+                .get(1)
+                .ok_or_else(|| Error::Config("route needs a KEY".into()))?;
+            let client = NetClient::connect_multi(&addrs, ec, seed)?;
+            let proxy = client.proxy_for(key);
+            println!(
+                "route {key}: {proxy} ({})",
+                if client.proxy_down(proxy) {
+                    "down"
+                } else {
+                    "up"
+                }
+            );
         }
         "get" => {
             let key = args
                 .positional
                 .get(1)
                 .ok_or_else(|| Error::Config("get needs a KEY".into()))?;
-            let mut client = NetClient::connect(addr, ec, seed)?;
+            let mut client = NetClient::connect_multi(&addrs, ec, seed)?;
             let Some((data, report)) = client.get_reported(key)? else {
                 println!("miss: {key} is not cached");
                 std::process::exit(3);
@@ -117,11 +146,14 @@ fn run() -> Result<()> {
                 seed,
                 verify: !args.has("no-verify"),
             };
-            let report = bench::run(addr, &cfg)?;
+            let report = bench::run(&addrs, &cfg)?;
             println!("{}", bench::summary_line(&report));
             let out = args.get("out", "BENCH_net.json");
-            std::fs::write(&out, bench::to_json("net_external", &cfg, &report))
-                .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
+            std::fs::write(
+                &out,
+                bench::to_json("net_external", &cfg, &report, addrs.len()),
+            )
+            .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
             println!("wrote {out}");
             if report.verify_failures > 0 {
                 return Err(Error::Protocol(format!(
@@ -136,8 +168,18 @@ fn run() -> Result<()> {
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("ic-cli: {e}");
-        std::process::exit(1);
+    match run() {
+        Ok(()) => {}
+        // Unreachable/downed proxy: a distinct exit code so scripts (and
+        // the multi-process fault test) can tell availability loss from
+        // verification or usage failures.
+        Err(e @ Error::Transport(_)) => {
+            eprintln!("ic-cli: {e}");
+            std::process::exit(4);
+        }
+        Err(e) => {
+            eprintln!("ic-cli: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -9,6 +9,11 @@
 //! ```text
 //! ic-node --id N [--proxy ADDR] [--backup-secs N] [--retry-secs N]
 //! ```
+//!
+//! `--id` is the node's *global* id: in a multi-proxy deployment, proxy
+//! `I` (of pool size P) owns ids `[I·P, (I+1)·P)`, and this daemon must
+//! dial that proxy's node port — an id outside the pool is refused at
+//! the handshake.
 
 use std::time::Duration;
 

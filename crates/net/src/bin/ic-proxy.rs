@@ -1,4 +1,4 @@
-//! `ic-proxy`: the InfiniCache proxy as a standalone process.
+//! `ic-proxy`: one InfiniCache proxy instance as a standalone process.
 //!
 //! Listens for clients on one port and for `ic-node` daemons on another,
 //! and runs the proxy state machine (pool management, chunk mapping,
@@ -6,8 +6,16 @@
 //!
 //! ```text
 //! ic-proxy [--clients ADDR] [--nodes ADDR] [--pool N]
+//!          [--proxy-id I] [--proxies N]
 //!          [--memory-mb N] [--warmup-secs N] [--backup-secs N]
 //! ```
+//!
+//! A deployment may run several instances: start each with the same
+//! `--proxies N` and a distinct `--proxy-id I` (0-based). Instance `I`
+//! owns the disjoint node-id range `[I·pool, (I+1)·pool)` — its
+//! `ic-node` daemons must be started with ids from that range — and
+//! clients (`ic-cli --proxy ... --proxy ...`, addresses in id order)
+//! spread keys across the instances by consistent hashing.
 //!
 //! Port `0` in either address picks an ephemeral port; the bound
 //! addresses are printed on stdout (machine-parseable, used by the
@@ -15,13 +23,15 @@
 
 use std::time::Duration;
 
-use ic_common::{DeploymentConfig, EcConfig, Result, SimDuration};
+use ic_common::{DeploymentConfig, EcConfig, ProxyId, Result, SimDuration};
 use ic_net::args::Args;
 use ic_net::proxy::{start, NetProxyConfig};
 
 fn run() -> Result<()> {
     let args = Args::parse();
     let pool: u32 = args.num("pool", 8)?;
+    let proxies: u16 = args.num("proxies", 1)?;
+    let proxy_id: u16 = args.num("proxy-id", 0)?;
     let memory_mb: u32 = args.num("memory-mb", 1536)?;
     let warmup_secs: u64 = args.num("warmup-secs", 60)?;
     let backup_secs: u64 = args.num("backup-secs", 0)?;
@@ -29,6 +39,7 @@ fn run() -> Result<()> {
     // The erasure code is a client-side choice; the proxy only needs a
     // shape that validates against its own pool.
     let deployment = DeploymentConfig {
+        proxies,
         lambda_memory_mb: memory_mb,
         backup_enabled: backup_secs > 0,
         backup_interval: SimDuration::from_secs(backup_secs.max(1)),
@@ -36,6 +47,7 @@ fn run() -> Result<()> {
     };
     let cfg = NetProxyConfig {
         deployment,
+        proxy: ProxyId(proxy_id),
         client_addr: args
             .get("clients", "127.0.0.1:7100")
             .parse()
@@ -47,10 +59,15 @@ fn run() -> Result<()> {
         warmup: (warmup_secs > 0).then(|| Duration::from_secs(warmup_secs)),
     };
 
+    let pool_range = cfg.deployment.proxy_pool(cfg.proxy).collect::<Vec<_>>();
     let handle = start(cfg)?;
     println!("ic-proxy: clients on {}", handle.client_addr);
     println!("ic-proxy: nodes on {}", handle.node_addr);
-    println!("ic-proxy: pool of {pool} nodes, {memory_mb} MB each; Ctrl-C to stop");
+    println!(
+        "ic-proxy: proxy {proxy_id}/{proxies}, pool of {pool} nodes (λ{}..λ{}), {memory_mb} MB each; Ctrl-C to stop",
+        pool_range.first().expect("non-empty pool").0,
+        pool_range.last().expect("non-empty pool").0,
+    );
 
     // Serve until killed; the threads own all the work.
     loop {

@@ -1,31 +1,66 @@
 //! `netbench`: the loopback throughput benchmark.
 //!
-//! Spins up a complete socket cluster (proxy + node daemons on loopback
-//! TCP inside this process), drives it with a configurable GET/PUT mix,
-//! and writes `BENCH_net.json` with throughput and latency percentiles —
-//! the first entry of the repository's real-network bench trajectory.
+//! Spins up a complete socket cluster (proxies + node daemons on
+//! loopback TCP inside this process), drives it with a configurable
+//! GET/PUT mix, and writes `BENCH_net.json` with throughput and latency
+//! percentiles — the repository's real-network bench trajectory. The
+//! JSON embeds the proxy count of every run so points from different
+//! cluster shapes stay comparable.
 //!
 //! ```text
 //! netbench [--clients N] [--ops N] [--size BYTES] [--get-frac F]
-//!          [--keys N] [--ec d+p] [--nodes N] [--seed N]
-//!          [--no-verify] [--connect ADDR] [--out PATH]
-//!          [--object-bytes LIST]
+//!          [--keys N] [--ec d+p] [--nodes N] [--proxies N] [--seed N]
+//!          [--no-verify] [--connect ADDR]... [--out PATH]
+//!          [--object-bytes LIST] [--proxies-sweep LIST]
 //! ```
 //!
-//! `--connect ADDR` skips the in-process cluster and targets an already
-//! running `ic-proxy` instead (equivalent to `ic-cli bench`).
+//! `--proxies N` starts an N-proxy fleet (each proxy owns its own pool
+//! of `--nodes` daemons — node count scales with the fleet) and the
+//! bench clients ring-route keys across it. `--connect ADDR` (repeatable,
+//! in `--proxy-id` order) skips the in-process cluster and targets an
+//! already running `ic-proxy` fleet instead (equivalent to
+//! `ic-cli bench`).
 //!
 //! `--object-bytes 65536,262144,1048576,4194304` additionally runs an
 //! object-size sweep (ops scaled down for larger objects so each point
 //! moves a comparable byte volume) and embeds the per-size results as
 //! the `"sweep"` array of the JSON artifact.
+//!
+//! `--proxies-sweep 1,2,4` runs the same workload against fresh loopback
+//! clusters of each proxy count (same per-proxy pool size) and embeds
+//! the per-shape results as the `"proxy_sweep"` array — the scaling
+//! trajectory past the single-proxy event loop. It always measures
+//! loopback clusters, so it refuses to combine with `--connect`.
 
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 
 use ic_common::{DeploymentConfig, Error, Result};
 use ic_net::args::Args;
 use ic_net::bench::{self, BenchConfig};
 use ic_net::cluster::LoopbackCluster;
+
+/// Parses a `--flag a,b,c` list of numbers.
+fn num_list<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Vec<T>> {
+    match args.opt(name) {
+        None => Ok(Vec::new()),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| Error::Config(format!("--{name}: bad value {s}")))
+            })
+            .collect(),
+    }
+}
+
+fn deployment(nodes: u32, proxies: u16, cfg: &BenchConfig) -> DeploymentConfig {
+    DeploymentConfig {
+        proxies,
+        backup_enabled: false,
+        ..DeploymentConfig::small(nodes, cfg.ec)
+    }
+}
 
 fn run() -> Result<()> {
     let args = Args::parse();
@@ -40,45 +75,47 @@ fn run() -> Result<()> {
         verify: !args.has("no-verify"),
     };
     let nodes: u32 = args.num("nodes", 10)?;
+    let proxies: u16 = args.num("proxies", 1)?;
     let out = args.get("out", "BENCH_net.json");
-    let sweep_sizes: Vec<usize> = match args.opt("object-bytes") {
-        None => Vec::new(),
-        Some(list) => list
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .map_err(|_| Error::Config(format!("--object-bytes: bad size {s}")))
-            })
-            .collect::<Result<_>>()?,
-    };
+    let sweep_sizes: Vec<usize> = num_list(&args, "object-bytes")?;
+    let proxy_shapes: Vec<u16> = num_list(&args, "proxies-sweep")?;
+    if !proxy_shapes.is_empty() && !args.all("connect").is_empty() {
+        // The sweep starts a fresh loopback cluster per shape; mixing
+        // those points into an external run's artifact would silently
+        // compare different clusters.
+        return Err(Error::Config(
+            "--proxies-sweep runs loopback clusters and cannot be combined with --connect".into(),
+        ));
+    }
 
-    let (label, addr, cluster) = match args.opt("connect") {
-        Some(addr) => {
-            let addr = addr
-                .to_socket_addrs()
-                .map_err(|e| Error::Config(format!("--connect {addr}: {e}")))?
-                .next()
-                .ok_or_else(|| Error::Config(format!("--connect {addr} resolves to nothing")))?;
-            println!("netbench: targeting external proxy at {addr}");
-            ("net_external", addr, None)
-        }
-        None => {
-            let deployment = DeploymentConfig {
-                backup_enabled: false,
-                ..DeploymentConfig::small(nodes, cfg.ec)
-            };
+    let (label, addrs, cluster) = match &args.all("connect")[..] {
+        [] => {
             println!(
-                "netbench: loopback cluster of {nodes} nodes, {} clients × {} ops, {} B objects, RS{}",
+                "netbench: loopback cluster of {proxies} × {nodes} nodes, {} clients × {} ops, {} B objects, RS{}",
                 cfg.clients, cfg.ops_per_client, cfg.object_bytes, cfg.ec
             );
-            let cluster = LoopbackCluster::start(deployment)?;
-            let addr = cluster.client_addr();
-            ("net_loopback", addr, Some(cluster))
+            let cluster = LoopbackCluster::start(deployment(nodes, proxies, &cfg))?;
+            let addrs = cluster.client_addrs();
+            ("net_loopback", addrs, Some(cluster))
+        }
+        list => {
+            let addrs = list
+                .iter()
+                .map(|addr| {
+                    addr.to_socket_addrs()
+                        .map_err(|e| Error::Config(format!("--connect {addr}: {e}")))?
+                        .next()
+                        .ok_or_else(|| {
+                            Error::Config(format!("--connect {addr} resolves to nothing"))
+                        })
+                })
+                .collect::<Result<Vec<SocketAddr>>>()?;
+            println!("netbench: targeting external proxies at {addrs:?}");
+            ("net_external", addrs, None)
         }
     };
 
-    let report = bench::run(addr, &cfg)?;
+    let report = bench::run(&addrs, &cfg)?;
     println!("{}", bench::summary_line(&report));
 
     // Object-size sweep: same cluster, ops scaled down for large
@@ -91,25 +128,43 @@ fn run() -> Result<()> {
             ops_per_client: ops,
             ..cfg.clone()
         };
-        let r = bench::run(addr, &point)?;
+        let r = bench::run(&addrs, &point)?;
         println!(
             "sweep {size:>8} B × {ops} ops/client: {}",
             bench::summary_line(&r)
         );
         sweep.push((point, r));
     }
-
-    std::fs::write(
-        &out,
-        bench::to_json_with_sweep(label, &cfg, &report, &sweep),
-    )
-    .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
-    println!("wrote {out}");
     if let Some(c) = cluster {
         c.shutdown();
     }
-    let failures =
-        report.verify_failures + sweep.iter().map(|(_, r)| r.verify_failures).sum::<u64>();
+
+    // Proxy-count sweep: a fresh loopback fleet per shape (same per-proxy
+    // pool size), same workload — how throughput scales past the
+    // single-proxy event loop.
+    let mut proxy_sweep = Vec::new();
+    for shape in proxy_shapes {
+        let c = LoopbackCluster::start(deployment(nodes, shape, &cfg))?;
+        let r = bench::run(&c.client_addrs(), &cfg)?;
+        println!("proxies {shape}: {}", bench::summary_line(&r));
+        proxy_sweep.push((shape, r));
+        c.shutdown();
+    }
+
+    // The embedded proxy count describes the fleet the *main run* hit:
+    // one connection address per proxy, in either mode.
+    std::fs::write(
+        &out,
+        bench::to_json_full(label, &cfg, &report, addrs.len(), &sweep, &proxy_sweep),
+    )
+    .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
+    println!("wrote {out}");
+    let failures = report.verify_failures
+        + sweep.iter().map(|(_, r)| r.verify_failures).sum::<u64>()
+        + proxy_sweep
+            .iter()
+            .map(|(_, r)| r.verify_failures)
+            .sum::<u64>();
     if failures > 0 {
         return Err(Error::Protocol(format!(
             "{failures} GETs failed verification"

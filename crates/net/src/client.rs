@@ -1,53 +1,94 @@
 //! The synchronous socket client: the InfiniCache client library over
-//! one TCP connection to a proxy.
+//! one TCP connection *per proxy* of the deployment.
 //!
 //! Mirrors live mode's blocking facade: `put` and `get` drive the pure
 //! [`ClientLib`] state machine, execute its actions through the shared
 //! [`infinicache::dispatch`] engine (this type implements the client
 //! role), and block reading framed proxy replies until the operation
 //! reaches a terminal [`ClientOutcome`]. Erasure coding happens here, on
-//! the client, exactly as the paper prescribes (§3.1) — the proxy only
-//! ever sees encoded chunks.
+//! the client, exactly as the paper prescribes (§3.1) — the proxies only
+//! ever see encoded chunks.
+//!
+//! ## Multi-proxy routing
+//!
+//! A deployment is a *fleet* of proxies (§3.1, Fig 2); the client
+//! spreads keys over them with the same consistent-hash ring the
+//! simulator and live mode use ([`ic_common::ring::Ring`], inside
+//! [`ClientLib`]). Concretely:
+//!
+//! * [`NetClient::connect_multi`] dials every proxy (addresses in
+//!   `ProxyId` order — position `i` must be the proxy started with id
+//!   `i`), performs the [`Frame::HelloClient`]/[`Frame::Welcome`]
+//!   handshake on each, and learns each proxy's disjoint Lambda pool;
+//! * every connection owns its own framing state: a dedicated reader
+//!   thread per proxy decodes frames into one event channel, so a slow
+//!   or dead proxy never desynchronizes another connection's stream;
+//! * failure is **per-connection**: a timeout, write failure, or socket
+//!   drop marks only that proxy down. Keys routed to a down proxy fail
+//!   fast with [`Error::Transport`]; keys owned by the surviving proxies
+//!   are unaffected. A proxy that is unreachable already at connect time
+//!   is tolerated the same way (it stays on the ring, marked down), as
+//!   long as at least one proxy answers.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ic_client::{ClientLib, GetReport};
 use ic_common::frame::{write_frame_batch, FrameError, FrameParts, FrameReader};
 use ic_common::msg::Msg;
-use ic_common::{ClientId, EcConfig, Error, ObjectKey, Payload, ProxyId, Result, SimTime};
+use ic_common::{
+    ClientId, EcConfig, Error, LambdaId, ObjectKey, Payload, ProxyId, Result, SimTime,
+};
 use infinicache::dispatch::{self, ClientOutcome, ClientTransport};
 
 use crate::wire::Frame;
 
-/// A connected synchronous client.
+/// What the per-connection reader threads feed the blocking facade.
+enum ClientEvent {
+    /// An application-protocol message from one proxy.
+    Msg(ProxyId, Msg),
+    /// One proxy's connection is gone (socket drop, decode failure, or
+    /// an orderly [`Frame::Shutdown`]); the string says why.
+    Down(ProxyId, String),
+}
+
+/// One proxy connection's client-side state.
+struct Conn {
+    proxy: ProxyId,
+    /// Write half of the socket; the reader thread owns a clone.
+    stream: Option<TcpStream>,
+    /// Frames queued by one dispatch batch, flushed in a single vectored
+    /// write — a PUT's whole stripe (d+p `PutChunk`s) leaves in one
+    /// syscall, payload bytes borrowed from the object allocation.
+    outbox: Vec<FrameParts>,
+    /// Why this connection can no longer be trusted (`None` while
+    /// healthy). Set by socket errors, decode failures, op timeouts, or
+    /// failed writes — a timeout or partial write leaves the stream
+    /// state indeterminate, so the connection is dead for good; other
+    /// proxies' connections are unaffected.
+    down: Option<String>,
+}
+
+/// A connected synchronous client over the deployment's proxy fleet.
 pub struct NetClient {
     lib: ClientLib,
-    stream: TcpStream,
-    /// Read half (same socket as `stream`): owns the reusable frame
-    /// header buffer of the hot receive loop.
-    reader: FrameReader<TcpStream>,
+    /// Indexed by `ProxyId.0`.
+    conns: Vec<Conn>,
+    /// Frames decoded by the per-connection reader threads.
+    events: Receiver<ClientEvent>,
     client: ClientId,
     epoch: Instant,
     op_timeout: Duration,
     /// Terminal outcomes collected by the client-role transport, drained
     /// by the blocking `put`/`get` loops.
     outcomes: Vec<ClientOutcome>,
-    /// Frames produced by one dispatch batch, flushed in a single
-    /// vectored write — a PUT's whole stripe (d+p `PutChunk`s) leaves in
-    /// one syscall, payload bytes borrowed from the object allocation.
-    outbox: Vec<FrameParts>,
-    /// First transport failure observed while dispatching.
-    send_error: Option<String>,
-    /// Set once the stream can no longer be trusted — an op timeout may
-    /// have fired mid-frame, leaving the connection desynchronized, so
-    /// every later operation must fail instead of parsing garbage.
-    poisoned: bool,
 }
 
 impl NetClient {
-    /// Connects to a proxy's client port and performs the handshake.
+    /// Connects to a single proxy's client port (a one-proxy deployment)
+    /// and performs the handshake.
     ///
     /// The proxy assigns the client identity and announces its Lambda
     /// pool; `ec` is the client-side erasure-coding choice (the proxy
@@ -57,50 +98,99 @@ impl NetClient {
     ///
     /// [`Error::Transport`] when the connection or handshake fails.
     pub fn connect(addr: impl ToSocketAddrs, ec: EcConfig, seed: u64) -> Result<NetClient> {
-        let mut stream = TcpStream::connect(addr).map_err(|e| Error::Transport(e.to_string()))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| Error::Transport(e.to_string()))?;
-        Frame::HelloClient.write_to(&mut stream)?;
-        let read_half = stream
-            .try_clone()
-            .map_err(|e| Error::Transport(e.to_string()))?;
-        let mut reader = FrameReader::new(read_half);
-        let (client, proxy, pool) = match Frame::read(&mut reader)? {
-            Frame::Welcome {
-                client,
-                proxy,
-                pool,
-            } => (client, proxy, pool),
-            other => {
-                return Err(Error::Protocol(format!(
-                    "expected Welcome from the proxy, got {other:?}"
-                )))
+        // Like `TcpStream::connect`, try every address the name resolves
+        // to (e.g. `localhost` → both `::1` and `127.0.0.1`) until one
+        // completes the handshake.
+        let mut last_err = Error::Transport("address resolves to nothing".into());
+        for addr in addr
+            .to_socket_addrs()
+            .map_err(|e| Error::Transport(e.to_string()))?
+        {
+            match NetClient::connect_multi(&[addr], ec, seed) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = e,
             }
-        };
-        if pool.len() < ec.shards() {
-            return Err(Error::Config(format!(
-                "proxy pool of {} nodes cannot place {} distinct chunks",
-                pool.len(),
-                ec.shards()
-            )));
         }
-        let lib = ClientLib::new(client, ec, vec![(proxy, pool)], 64, seed);
+        Err(last_err)
+    }
+
+    /// Connects to every proxy of a multi-proxy deployment.
+    ///
+    /// `addrs[i]` must be the client port of the proxy started with id
+    /// `i` (the `Welcome` handshake verifies the announced identity). An
+    /// unreachable proxy is tolerated — it stays on the ring marked
+    /// *down*, and keys it owns fail fast — as long as at least one
+    /// proxy completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] when no proxy is reachable, and
+    /// [`Error::Protocol`]/[`Error::Config`] on handshake violations
+    /// (wrong frame, misnumbered proxy, a pool too small for `ec`).
+    pub fn connect_multi(addrs: &[SocketAddr], ec: EcConfig, seed: u64) -> Result<NetClient> {
+        if addrs.is_empty() {
+            return Err(Error::Config("a client needs at least one proxy".into()));
+        }
+        let (events_tx, events_rx) = channel::<ClientEvent>();
+        let mut conns = Vec::with_capacity(addrs.len());
+        let mut pools: Vec<(ProxyId, Vec<LambdaId>)> = Vec::with_capacity(addrs.len());
+        let mut client = None;
+        let mut readers = Vec::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            let expected = ProxyId(i as u16);
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let (conn, pool, id, reader) = handshake(stream, expected, ec)?;
+                    client.get_or_insert(id);
+                    pools.push((expected, pool));
+                    conns.push(conn);
+                    readers.push(reader);
+                }
+                Err(e) => {
+                    // Down from the start: the proxy keeps its ring slice
+                    // (its keys must not silently reroute) but every
+                    // operation on it fails fast.
+                    pools.push((expected, Vec::new()));
+                    conns.push(Conn {
+                        proxy: expected,
+                        stream: None,
+                        outbox: Vec::new(),
+                        down: Some(format!("unreachable at connect: {e}")),
+                    });
+                }
+            }
+        }
+        let Some(client) = client else {
+            return Err(Error::Transport(format!(
+                "none of the {} proxies is reachable",
+                addrs.len()
+            )));
+        };
+        // The reader threads only start once every handshake is done, so
+        // no event can race the construction above.
+        for (proxy, reader) in readers {
+            let tx = events_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("ic-client-reader-{}", proxy.0))
+                .spawn(move || reader_loop(proxy, reader, &tx))
+                .map_err(|e| Error::Transport(e.to_string()))?;
+        }
+        let lib = ClientLib::new(client, ec, pools, 64, seed);
         Ok(NetClient {
             lib,
-            stream,
-            reader,
+            conns,
+            events: events_rx,
             client,
             epoch: Instant::now(),
             op_timeout: Duration::from_secs(10),
             outcomes: Vec::new(),
-            outbox: Vec::new(),
-            send_error: None,
-            poisoned: false,
         })
     }
 
-    /// The identity the proxy assigned to this connection.
+    /// The identity the first reachable proxy assigned to this client.
+    /// (Each proxy numbers its own client connections independently; the
+    /// id is per-connection bookkeeping, never carried in protocol
+    /// messages.)
     pub fn id(&self) -> ClientId {
         self.client
     }
@@ -113,6 +203,24 @@ impl NetClient {
     /// The erasure-coding configuration in use.
     pub fn ec(&self) -> EcConfig {
         self.lib.ec()
+    }
+
+    /// Number of proxies on this client's ring (down ones included).
+    pub fn proxies(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The proxy `key` routes to on this client's consistent-hash ring.
+    pub fn proxy_for(&self, key: impl AsRef<str>) -> ProxyId {
+        self.lib.route(&ObjectKey::new(key))
+    }
+
+    /// `true` once `proxy`'s connection has been marked down (socket
+    /// drop, timeout, failed write, or unreachable at connect).
+    pub fn proxy_down(&self, proxy: ProxyId) -> bool {
+        self.conns
+            .get(proxy.0 as usize)
+            .is_none_or(|c| c.down.is_some())
     }
 
     /// Overrides the per-operation timeout (default 10 s).
@@ -129,13 +237,14 @@ impl NetClient {
     /// # Errors
     ///
     /// [`Error::PutAborted`] when the proxy aborted the write (evicted or
-    /// overwritten mid-flight), [`Error::Transport`] on connection
-    /// failure or timeout.
+    /// overwritten mid-flight), [`Error::Transport`] when the key's proxy
+    /// is down, on connection failure, or on timeout.
     pub fn put(&mut self, key: impl AsRef<str>, object: Bytes) -> Result<()> {
-        self.check_poisoned()?;
         let key = ObjectKey::new(key);
+        let target = self.lib.route(&key);
+        self.check_up(target)?;
         let actions = self.lib.put(key.clone(), Payload::Bytes(object));
-        self.drive(actions)?;
+        self.drive(target, actions)?;
         let deadline = Instant::now() + self.op_timeout;
         loop {
             for outcome in self.take_outcomes() {
@@ -147,9 +256,9 @@ impl NetClient {
                     _ => {}
                 }
             }
-            let msg = self.recv(deadline)?;
+            let msg = self.recv(target, deadline)?;
             let actions = self.lib.on_proxy(msg);
-            self.drive(actions)?;
+            self.drive(target, actions)?;
         }
     }
 
@@ -158,7 +267,8 @@ impl NetClient {
     /// # Errors
     ///
     /// [`Error::ChunkUnavailable`] when more than `p` chunks are lost,
-    /// [`Error::Transport`] on connection failure or timeout.
+    /// [`Error::Transport`] when the key's proxy is down, on connection
+    /// failure, or on timeout.
     pub fn get(&mut self, key: impl AsRef<str>) -> Result<Option<Bytes>> {
         Ok(self.get_reported(key)?.map(|(b, _)| b))
     }
@@ -170,10 +280,11 @@ impl NetClient {
     ///
     /// See [`NetClient::get`].
     pub fn get_reported(&mut self, key: impl AsRef<str>) -> Result<Option<(Bytes, GetReport)>> {
-        self.check_poisoned()?;
         let key = ObjectKey::new(key);
+        let target = self.lib.route(&key);
+        self.check_up(target)?;
         let actions = self.lib.get(key.clone());
-        self.drive(actions)?;
+        self.drive(target, actions)?;
         let deadline = Instant::now() + self.op_timeout;
         loop {
             for outcome in self.take_outcomes() {
@@ -201,32 +312,47 @@ impl NetClient {
                     _ => {}
                 }
             }
-            let msg = self.recv(deadline)?;
+            let msg = self.recv(target, deadline)?;
             let actions = self.lib.on_proxy(msg);
-            self.drive(actions)?;
+            self.drive(target, actions)?;
         }
     }
 
     /// Runs client actions through the shared dispatch engine, then
-    /// flushes every queued frame in one vectored write, surfacing any
-    /// transport failure recorded by the client-role hooks.
-    fn drive(&mut self, actions: Vec<ic_client::ClientAction>) -> Result<()> {
+    /// flushes every connection's queued frames, each in one vectored
+    /// write. A flush failure downs that connection; it only fails the
+    /// call when the failed connection is the current operation's
+    /// `target` (a synchronous op talks to exactly one proxy — its
+    /// key's ring owner).
+    fn drive(&mut self, target: ProxyId, actions: Vec<ic_client::ClientAction>) -> Result<()> {
         let now = self.now();
         let client = self.client;
         dispatch::run_client_actions(self, now, client, actions);
-        if !self.outbox.is_empty() {
-            let flush = write_frame_batch(&mut self.stream, &self.outbox);
-            self.outbox.clear();
-            if let Err(e) = flush {
+        let mut target_err = None;
+        for conn in &mut self.conns {
+            if conn.outbox.is_empty() {
+                continue;
+            }
+            let frames = std::mem::take(&mut conn.outbox);
+            let flushed = match (&conn.down, conn.stream.as_mut()) {
+                (Some(reason), _) => Err(reason.clone()),
+                (None, Some(stream)) => {
+                    write_frame_batch(stream, &frames).map_err(|e| e.to_string())
+                }
+                (None, None) => Err("never connected".into()),
+            };
+            if let Err(e) = flushed {
                 // The vectored write may have made partial progress,
                 // leaving the stream mid-frame: later writes would
-                // desynchronize the proxy's framing, so the connection
-                // is dead for good (mirrors the recv-side poisoning).
-                self.poisoned = true;
-                self.send_error.get_or_insert_with(|| e.to_string());
+                // desynchronize the proxy's framing, so this connection
+                // is dead for good. Other proxies are unaffected.
+                conn.down.get_or_insert(e.clone());
+                if conn.proxy == target {
+                    target_err = Some(e);
+                }
             }
         }
-        match self.send_error.take() {
+        match target_err {
             Some(e) => Err(Error::Transport(e)),
             None => Ok(()),
         }
@@ -236,65 +362,186 @@ impl NetClient {
         std::mem::take(&mut self.outcomes)
     }
 
-    /// Fails fast once the connection can no longer be trusted.
-    fn check_poisoned(&self) -> Result<()> {
-        if self.poisoned {
-            return Err(Error::Transport(
-                "connection poisoned by an earlier timeout or transport error; \
-                 reconnect with NetClient::connect"
-                    .into(),
-            ));
+    /// Fails fast when the proxy owning the current operation's key is
+    /// down — its keys are unavailable until a new client reconnects, but
+    /// keys on the surviving proxies keep working.
+    fn check_up(&self, proxy: ProxyId) -> Result<()> {
+        if let Some(reason) = self
+            .conns
+            .get(proxy.0 as usize)
+            .and_then(|c| c.down.as_ref())
+        {
+            return Err(Error::Transport(format!("{proxy} is down: {reason}")));
         }
         Ok(())
     }
 
-    /// Reads the next framed proxy message, bounded by `deadline`.
+    fn mark_down(&mut self, proxy: ProxyId, reason: String) {
+        if let Some(conn) = self.conns.get_mut(proxy.0 as usize) {
+            conn.down.get_or_insert(reason);
+            if let Some(s) = conn.stream.take() {
+                // Unblocks the reader thread too.
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Waits for the next proxy message (from any connection), bounded by
+    /// `deadline`.
     ///
-    /// Any failure here poisons the client: a timeout can fire after
-    /// part of a frame was consumed, desynchronizing the stream, so
-    /// continuing to parse it would yield garbage.
-    fn recv(&mut self, deadline: Instant) -> Result<Msg> {
+    /// A timeout downs the `target` connection: the operation's protocol
+    /// state is indeterminate, so later traffic on that connection cannot
+    /// be trusted. A `Down` event for a non-target proxy is recorded and
+    /// waiting continues.
+    fn recv(&mut self, target: ProxyId, deadline: Instant) -> Result<Msg> {
         loop {
             let now = Instant::now();
             if now >= deadline {
-                self.poisoned = true;
+                self.mark_down(target, "operation timed out".into());
                 return Err(Error::Transport("operation timed out".into()));
             }
-            self.stream
-                .set_read_timeout(Some(deadline - now))
-                .map_err(|e| Error::Transport(e.to_string()))?;
-            match Frame::read(&mut self.reader) {
-                Ok(Frame::App { msg }) => return Ok(msg),
-                Ok(Frame::Shutdown) => {
-                    self.poisoned = true;
-                    return Err(Error::Shutdown);
+            match self.events.recv_timeout(deadline - now) {
+                Ok(ClientEvent::Msg(p, msg)) => {
+                    // Frames a connection decoded before it was marked
+                    // down are untrusted (the op that downed it left the
+                    // protocol exchange half-finished): drop them.
+                    if self
+                        .conns
+                        .get(p.0 as usize)
+                        .is_some_and(|c| c.down.is_none())
+                    {
+                        return Ok(msg);
+                    }
                 }
-                Ok(_) => continue, // nothing else addresses a client
-                Err(FrameError::Closed) => {
-                    self.poisoned = true;
-                    return Err(Error::Transport("proxy closed the connection".into()));
+                Ok(ClientEvent::Down(p, reason)) => {
+                    self.mark_down(p, reason.clone());
+                    if p == target {
+                        return Err(Error::Transport(reason));
+                    }
                 }
-                Err(FrameError::Io(e))
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    self.poisoned = true;
+                Err(RecvTimeoutError::Timeout) => {
+                    self.mark_down(target, "operation timed out".into());
                     return Err(Error::Transport("operation timed out".into()));
                 }
-                Err(e) => {
-                    self.poisoned = true;
-                    return Err(e.into());
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every reader thread has exited — all proxies gone.
+                    self.mark_down(target, "every proxy connection is gone".into());
+                    return Err(Error::Transport("every proxy connection is gone".into()));
                 }
             }
         }
     }
 }
 
+/// What [`handshake`] hands back for one connection: the connection
+/// state, the proxy's announced pool, the assigned client id, and the
+/// frame reader (the caller spawns its thread once every proxy has
+/// handshaken).
+type Handshaken = (
+    Conn,
+    Vec<LambdaId>,
+    ClientId,
+    (ProxyId, FrameReader<TcpStream>),
+);
+
+/// Performs the client handshake on a fresh connection.
+fn handshake(stream: TcpStream, expected: ProxyId, ec: EcConfig) -> Result<Handshaken> {
+    let mut stream = stream;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::Transport(e.to_string()))?;
+    Frame::HelloClient.write_to(&mut stream)?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| Error::Transport(e.to_string()))?;
+    let mut reader = FrameReader::new(read_half);
+    let (client, proxy, pool) = match Frame::read(&mut reader)? {
+        Frame::Welcome {
+            client,
+            proxy,
+            pool,
+        } => (client, proxy, pool),
+        other => {
+            return Err(Error::Protocol(format!(
+                "expected Welcome from the proxy, got {other:?}"
+            )))
+        }
+    };
+    if proxy != expected {
+        return Err(Error::Config(format!(
+            "proxy at position {} announced itself as {proxy}; \
+             list addresses in ProxyId order",
+            expected.0
+        )));
+    }
+    if pool.len() < ec.shards() {
+        return Err(Error::Config(format!(
+            "{proxy}'s pool of {} nodes cannot place {} distinct chunks",
+            pool.len(),
+            ec.shards()
+        )));
+    }
+    Ok((
+        Conn {
+            proxy,
+            stream: Some(stream),
+            outbox: Vec::new(),
+            down: None,
+        },
+        pool,
+        client,
+        (proxy, reader),
+    ))
+}
+
+/// One connection's reader thread: decodes frames into the shared event
+/// channel until the socket dies or the proxy says goodbye.
+fn reader_loop(proxy: ProxyId, mut reader: FrameReader<TcpStream>, tx: &Sender<ClientEvent>) {
+    loop {
+        match Frame::read(&mut reader) {
+            Ok(Frame::App { msg }) => {
+                if tx.send(ClientEvent::Msg(proxy, msg)).is_err() {
+                    return; // client dropped
+                }
+            }
+            Ok(Frame::Shutdown) => {
+                let _ = tx.send(ClientEvent::Down(proxy, "proxy shut down".into()));
+                return;
+            }
+            Ok(_) => {} // nothing else addresses a client
+            Err(FrameError::Closed) => {
+                let _ = tx.send(ClientEvent::Down(
+                    proxy,
+                    "proxy closed the connection".into(),
+                ));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(ClientEvent::Down(proxy, e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        // Shut every socket down so the reader threads unblock and exit.
+        for conn in &self.conns {
+            if let Some(s) = &conn.stream {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
 impl ClientTransport for NetClient {
-    fn client_send(&mut self, _now: SimTime, _client: ClientId, _proxy: ProxyId, msg: Msg) {
-        // Queued, not written: `drive` flushes the whole dispatch batch
-        // in one vectored write.
-        self.outbox.push(Frame::App { msg }.encode_parts());
+    fn client_send(&mut self, _now: SimTime, _client: ClientId, proxy: ProxyId, msg: Msg) {
+        // Queued, not written: `drive` flushes each connection's whole
+        // dispatch batch in one vectored write.
+        if let Some(conn) = self.conns.get_mut(proxy.0 as usize) {
+            conn.outbox.push(Frame::App { msg }.encode_parts());
+        }
     }
 
     fn deliver(
@@ -344,6 +591,16 @@ impl std::fmt::Debug for NetClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetClient")
             .field("client", &self.client)
+            .field("proxies", &self.conns.len())
+            .field(
+                "down",
+                &self
+                    .conns
+                    .iter()
+                    .filter(|c| c.down.is_some())
+                    .map(|c| c.proxy)
+                    .collect::<Vec<_>>(),
+            )
             .field("stats", &self.lib.stats)
             .finish()
     }

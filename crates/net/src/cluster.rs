@@ -6,23 +6,31 @@
 //! boundary is collapsed (daemons run on threads). This is what the
 //! parity tests and `netbench` use: same code paths as the `ic-proxy` /
 //! `ic-node` / `ic-cli` binaries, none of the subprocess management.
+//!
+//! Multi-proxy deployments (`DeploymentConfig::proxies > 1`) start one
+//! socket proxy per [`ic_common::ProxyId`], each owning its disjoint
+//! slice of the node-id space ([`DeploymentConfig::proxy_pool`]); every
+//! node daemon dials the proxy that owns it, and clients connect to the
+//! whole fleet ([`NetClient::connect_multi`]) and ring-route keys across
+//! it.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use ic_common::{DeploymentConfig, LambdaId, Result};
+use ic_common::{DeploymentConfig, Error, LambdaId, ProxyId, Result};
 use ic_lambda::runtime::RuntimeConfig;
 
 use crate::client::NetClient;
 use crate::node::{NetNode, NodeHandle};
 use crate::proxy::{self, NetProxyConfig, NetProxyHandle};
 
-/// A running loopback deployment: one socket proxy plus one in-process
-/// node daemon per pool member.
+/// A running loopback deployment: one socket proxy per configured
+/// `ProxyId` plus one in-process node daemon per pool member.
 pub struct LoopbackCluster {
     cfg: DeploymentConfig,
-    proxy: Option<NetProxyHandle>,
+    /// Indexed by `ProxyId.0`; `None` once killed.
+    proxies: Vec<Option<NetProxyHandle>>,
     nodes: HashMap<LambdaId, NodeHandle>,
 }
 
@@ -34,47 +42,94 @@ impl LoopbackCluster {
     /// Returns [`ic_common::Error::Config`] for invalid deployments and
     /// [`ic_common::Error::Transport`] when sockets cannot be set up.
     pub fn start(cfg: DeploymentConfig) -> Result<LoopbackCluster> {
-        let proxy = proxy::start(NetProxyConfig::loopback(cfg.clone()))?;
         let rt_cfg = RuntimeConfig::for_deployment(&cfg);
+        let mut proxies = Vec::with_capacity(cfg.proxies as usize);
         let mut nodes = HashMap::new();
-        for l in 0..cfg.lambdas_per_proxy {
-            let lambda = LambdaId(l);
-            let handle = NetNode::spawn(lambda, proxy.node_addr, rt_cfg, Duration::from_secs(5))?;
-            nodes.insert(lambda, handle);
+        for p in 0..cfg.proxies {
+            let proxy = ProxyId(p);
+            let handle = proxy::start(NetProxyConfig::loopback_proxy(cfg.clone(), proxy))?;
+            for lambda in cfg.proxy_pool(proxy) {
+                let node =
+                    NetNode::spawn(lambda, handle.node_addr, rt_cfg, Duration::from_secs(5))?;
+                nodes.insert(lambda, node);
+            }
+            proxies.push(Some(handle));
         }
         Ok(LoopbackCluster {
             cfg,
-            proxy: Some(proxy),
+            proxies,
             nodes,
         })
     }
 
-    /// Address clients connect to (for external drivers like `ic-cli`).
+    /// Address clients connect to on the first proxy (single-proxy
+    /// deployments and external drivers like `ic-cli`; multi-proxy
+    /// clients want [`LoopbackCluster::client_addrs`]).
     pub fn client_addr(&self) -> SocketAddr {
-        self.proxy.as_ref().expect("running").client_addr
+        self.proxy_handle(ProxyId(0)).client_addr
     }
 
-    /// Address node daemons connect to.
+    /// Client ports of every proxy, in `ProxyId` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any proxy has been killed (its port is gone).
+    pub fn client_addrs(&self) -> Vec<SocketAddr> {
+        (0..self.cfg.proxies)
+            .map(|p| self.proxy_handle(ProxyId(p)).client_addr)
+            .collect()
+    }
+
+    /// Address node daemons connect to on `proxy`.
+    pub fn node_addr_of(&self, proxy: ProxyId) -> SocketAddr {
+        self.proxy_handle(proxy).node_addr
+    }
+
+    /// Address node daemons connect to on the first proxy.
     pub fn node_addr(&self) -> SocketAddr {
-        self.proxy.as_ref().expect("running").node_addr
+        self.node_addr_of(ProxyId(0))
     }
 
-    /// Connects a new synchronous client with the deployment's EC config.
+    fn proxy_handle(&self, proxy: ProxyId) -> &NetProxyHandle {
+        self.proxies
+            .get(proxy.0 as usize)
+            .and_then(Option::as_ref)
+            .expect("proxy is running")
+    }
+
+    /// Connects a new synchronous client (to every live-at-start proxy)
+    /// with the deployment's EC config.
     ///
     /// # Errors
     ///
-    /// See [`NetClient::connect`].
+    /// See [`NetClient::connect_multi`].
     pub fn client(&self) -> Result<NetClient> {
         self.client_seeded(7)
     }
 
     /// Connects a client with an explicit placement seed.
     ///
+    /// A killed proxy's address is preserved as unroutable, so the fresh
+    /// client still carries the full ring and marks the dead proxy down
+    /// (mirroring a real deployment, where the address outlives the
+    /// process).
+    ///
     /// # Errors
     ///
-    /// See [`NetClient::connect`].
+    /// See [`NetClient::connect_multi`].
     pub fn client_seeded(&self, seed: u64) -> Result<NetClient> {
-        NetClient::connect(self.client_addr(), self.cfg.ec, seed)
+        let addrs: Vec<SocketAddr> = (0..self.cfg.proxies)
+            .map(|p| {
+                self.proxies
+                    .get(p as usize)
+                    .and_then(Option::as_ref)
+                    .map(|h| h.client_addr)
+                    // Port 1 on loopback: reserved, connection refused —
+                    // the killed proxy's stand-in address.
+                    .unwrap_or_else(|| "127.0.0.1:1".parse().expect("static addr"))
+            })
+            .collect();
+        NetClient::connect_multi(&addrs, self.cfg.ec, seed)
     }
 
     /// Provider-style reclaim of one node: its instances and cached
@@ -97,16 +152,18 @@ impl LoopbackCluster {
     }
 
     /// Restarts a killed node's daemon (fresh instance state, like the
-    /// provider placing the function on a new host).
+    /// provider placing the function on a new host). It reconnects to the
+    /// proxy that owns its id.
     ///
     /// # Errors
     ///
     /// See [`NetNode::spawn`].
     pub fn restart_node(&mut self, lambda: LambdaId) -> Result<()> {
         self.kill_node(lambda);
+        let owner = self.cfg.owner_of(lambda);
         let handle = NetNode::spawn(
             lambda,
-            self.node_addr(),
+            self.node_addr_of(owner),
             RuntimeConfig::for_deployment(&self.cfg),
             Duration::from_secs(5),
         )?;
@@ -114,10 +171,42 @@ impl LoopbackCluster {
         Ok(())
     }
 
-    /// Stops the proxy and every node daemon.
+    /// Kills one proxy abruptly — the in-process equivalent of
+    /// `kill -9 <ic-proxy pid>`: no goodbye frames, every peer observes
+    /// its socket dropping. The proxy's node daemons die with it (their
+    /// connection is gone and nothing will re-invoke them); clients mark
+    /// the proxy down and keep serving keys owned by the survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the proxy is unknown or already dead.
+    pub fn kill_proxy(&mut self, proxy: ProxyId) -> Result<()> {
+        let handle = self
+            .proxies
+            .get_mut(proxy.0 as usize)
+            .and_then(Option::take)
+            .ok_or_else(|| Error::Config(format!("{proxy} is not running")))?;
+        handle.kill();
+        // Reap the dead proxy's daemons: their sockets dropped, so their
+        // run loops have exited (or will, the moment they notice).
+        for lambda in self.cfg.proxy_pool(proxy) {
+            if let Some(mut h) = self.nodes.remove(&lambda) {
+                h.kill();
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops every proxy (orderly) and every node daemon.
     pub fn shutdown(mut self) {
-        if let Some(p) = self.proxy.take() {
-            p.shutdown();
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        for p in &mut self.proxies {
+            if let Some(p) = p.take() {
+                p.shutdown();
+            }
         }
         for (_, mut h) in self.nodes.drain() {
             h.kill();
@@ -127,20 +216,15 @@ impl LoopbackCluster {
 
 impl Drop for LoopbackCluster {
     fn drop(&mut self) {
-        if let Some(p) = self.proxy.take() {
-            p.shutdown();
-        }
-        for (_, mut h) in self.nodes.drain() {
-            h.kill();
-        }
+        self.teardown();
     }
 }
 
 impl std::fmt::Debug for LoopbackCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LoopbackCluster")
+            .field("proxies", &self.proxies.iter().flatten().count())
             .field("nodes", &self.nodes.len())
-            .field("client_addr", &self.client_addr())
             .finish()
     }
 }

@@ -15,13 +15,25 @@
 //!   provider reclaim;
 //! * [`proxy`] — the socket-backed proxy: accept loops, per-connection
 //!   reader/writer threads, and the same [`ic_proxy::Proxy`] state
-//!   machine the other substrates drive;
+//!   machine the other substrates drive; a deployment runs one instance
+//!   per [`ic_common::ProxyId`], each owning its disjoint slice of the
+//!   node-id space;
 //! * [`client`] — [`client::NetClient`], a synchronous client facade
-//!   (erasure coding on the client, §3.1) over one proxy connection;
-//! * [`cluster`] — [`cluster::LoopbackCluster`], the whole deployment on
-//!   loopback sockets inside one process, for tests and benchmarks;
-//! * [`bench`] — the configurable GET/PUT throughput benchmark behind
-//!   the `netbench` binary and `ic-cli bench`.
+//!   (erasure coding on the client, §3.1) over one TCP connection per
+//!   proxy, ring-routing keys across the fleet with per-connection
+//!   framing state and failure isolation;
+//! * [`cluster`] — [`cluster::LoopbackCluster`], the whole deployment
+//!   (any proxy count) on loopback sockets inside one process, for tests
+//!   and benchmarks;
+//! * [`bench`](mod@bench) — the configurable GET/PUT throughput
+//!   benchmark behind the `netbench` binary and `ic-cli bench`;
+//! * [`replay`] — the substrate-parity replay harness shared by the
+//!   workspace tests and `dbg_replay`, including the multi-proxy
+//!   proxy-kill leg.
+//!
+//! The architecture book in `docs/ARCHITECTURE.md` walks through the
+//! thread structure; `docs/WIRE.md` is the normative wire-protocol
+//! specification.
 //!
 //! Everything protocol-level is executed by the shared
 //! [`infinicache::dispatch`] engines, so the sim-vs-net parity tests in
@@ -31,6 +43,8 @@
 //! Binaries (see the README's "Running a real cluster"): `ic-proxy`,
 //! `ic-node`, `ic-cli`, and `netbench`. No async runtime — plain
 //! `std::net` and threads, deployable anywhere the binaries run.
+
+#![warn(missing_docs)]
 
 pub mod args;
 pub mod bench;

@@ -52,9 +52,13 @@ use crate::wire::Frame;
 /// Configuration of one socket-backed proxy.
 #[derive(Clone, Debug)]
 pub struct NetProxyConfig {
-    /// Deployment shape (pool size, capacity, warm-up interval). Must
-    /// describe a single proxy, like live mode.
+    /// Deployment shape (proxy count, pool size, capacity, warm-up
+    /// interval). The deployment may name several proxies; this instance
+    /// serves exactly the ring slice [`DeploymentConfig::proxy_pool`]
+    /// assigns to [`NetProxyConfig::proxy`].
     pub deployment: DeploymentConfig,
+    /// Which of the deployment's proxies this instance is.
+    pub proxy: ProxyId,
     /// Address to accept client connections on (port 0 picks one).
     pub client_addr: SocketAddr,
     /// Address to accept node-daemon connections on (port 0 picks one).
@@ -65,10 +69,16 @@ pub struct NetProxyConfig {
 }
 
 impl NetProxyConfig {
-    /// Loopback config on ephemeral ports with warm-ups off.
+    /// Loopback config for proxy 0 on ephemeral ports with warm-ups off.
     pub fn loopback(deployment: DeploymentConfig) -> Self {
+        NetProxyConfig::loopback_proxy(deployment, ProxyId(0))
+    }
+
+    /// Loopback config for one proxy of a multi-proxy deployment.
+    pub fn loopback_proxy(deployment: DeploymentConfig, proxy: ProxyId) -> Self {
         NetProxyConfig {
             deployment,
+            proxy,
             client_addr: "127.0.0.1:0".parse().expect("static addr"),
             node_addr: "127.0.0.1:0".parse().expect("static addr"),
             warmup: None,
@@ -88,7 +98,11 @@ enum Ev {
     NodeMsg(LambdaId, InstanceId, Msg),
     NodeUnreachable(LambdaId, Msg),
     NodeGone(LambdaId, u64),
+    /// Orderly shutdown: peers are notified with [`Frame::Shutdown`].
     Quit,
+    /// Abrupt death: the loop exits without notifying anyone, so peers
+    /// observe dropped sockets — the test harness's `kill -9` equivalent.
+    Die,
 }
 
 /// A running socket-backed proxy.
@@ -105,8 +119,19 @@ pub struct NetProxyHandle {
 impl NetProxyHandle {
     /// Stops the proxy: notifies peers, unblocks the accept loops, and
     /// joins every long-lived thread.
-    pub fn shutdown(mut self) {
-        let _ = self.events.send(Ev::Quit);
+    pub fn shutdown(self) {
+        self.stop_with(Ev::Quit);
+    }
+
+    /// Kills the proxy abruptly: no [`Frame::Shutdown`] notices — every
+    /// peer observes its socket dropping, exactly as if the `ic-proxy`
+    /// process had been `kill -9`ed. Used by the multi-proxy fault tests.
+    pub fn kill(self) {
+        self.stop_with(Ev::Die);
+    }
+
+    fn stop_with(mut self, ev: Ev) {
+        let _ = self.events.send(ev);
         self.stop.store(true, Ordering::SeqCst);
         // Dummy connections unblock the accept loops so they observe the
         // stop flag.
@@ -120,17 +145,23 @@ impl NetProxyHandle {
 
 /// Starts a proxy: binds both listeners and spawns the thread ensemble.
 ///
+/// In a multi-proxy deployment each instance serves the disjoint slice of
+/// the global node-id space that [`DeploymentConfig::proxy_pool`] derives
+/// for it; clients spread keys over the instances with the consistent-hash
+/// ring, exactly as in the other substrates.
+///
 /// # Errors
 ///
-/// [`Error::Config`] for invalid deployments (the socket substrate runs a
-/// single proxy, like live mode) and [`Error::Transport`] when a listener
+/// [`Error::Config`] for invalid deployments (including a `proxy` id
+/// outside the deployment) and [`Error::Transport`] when a listener
 /// cannot bind.
 pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
     cfg.deployment.validate()?;
-    if cfg.deployment.proxies != 1 {
-        return Err(Error::Config(
-            "the socket substrate runs a single proxy".into(),
-        ));
+    if cfg.proxy.0 >= cfg.deployment.proxies {
+        return Err(Error::Config(format!(
+            "proxy id {} outside the deployment's {} proxies",
+            cfg.proxy.0, cfg.deployment.proxies
+        )));
     }
     let client_listener =
         TcpListener::bind(cfg.client_addr).map_err(|e| Error::Transport(e.to_string()))?;
@@ -143,12 +174,8 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
         .local_addr()
         .map_err(|e| Error::Transport(e.to_string()))?;
 
-    let proxy_id = ProxyId(0);
-    let pool: Arc<Vec<LambdaId>> = Arc::new(
-        (0..cfg.deployment.lambdas_per_proxy)
-            .map(LambdaId)
-            .collect(),
-    );
+    let proxy_id = cfg.proxy;
+    let pool: Arc<Vec<LambdaId>> = Arc::new(cfg.deployment.proxy_pool(proxy_id).collect());
     let (events_tx, events_rx) = channel::<Ev>();
     let stop = Arc::new(AtomicBool::new(false));
     let mut joins = Vec::new();
@@ -231,6 +258,7 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
                         nodes: HashMap::new(),
                         pending_invokes: HashMap::new(),
                         epoch: Instant::now(),
+                        events_seen: 0,
                     }
                     .run(events_rx, warmup)
                 })
@@ -431,6 +459,8 @@ struct ProxyLoop {
     /// the provider queueing an invoke.
     pending_invokes: HashMap<LambdaId, InvokePayload>,
     epoch: Instant,
+    /// Events processed so far; drives the periodic debug-build audit.
+    events_seen: u64,
 }
 
 impl ProxyLoop {
@@ -510,11 +540,35 @@ impl ProxyLoop {
                     }
                     return;
                 }
+                // Dropping the peer queues closes every socket without a
+                // goodbye — the in-process stand-in for killing the
+                // process.
+                Some(Ev::Die) => return,
             };
             let now = self.now();
             let proxy = self.proxy.id();
             dispatch::run_proxy_actions(&mut self, now, proxy, actions, None);
+            self.audit();
         }
+    }
+
+    /// Debug-build invariant audit: every few events, the same structural
+    /// checks the chaos harness runs against the simulator are asserted
+    /// against this live state machine (byte accounting, mapping
+    /// consistency, PUT progress bounds). Release builds skip it.
+    fn audit(&mut self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        self.events_seen += 1;
+        if !self.events_seen.is_multiple_of(64) {
+            return;
+        }
+        let violations = self.proxy.check_invariants();
+        assert!(
+            violations.is_empty(),
+            "proxy invariant violation on the socket substrate: {violations:?}"
+        );
     }
 }
 

@@ -242,12 +242,174 @@ fn netbench_driver_completes_a_verified_mixed_run() {
         key_space: 4,
         ..BenchConfig::default()
     };
-    let report = bench::run(c.client_addr(), &cfg).expect("bench completes");
+    let report = bench::run(&[c.client_addr()], &cfg).expect("bench completes");
     assert_eq!(report.total_ops(), 50);
     assert_eq!(report.verify_failures, 0);
     assert!(report.gets.count > 0 && report.puts.count > 0, "mixed run");
     assert!(report.gets.p50_us > 0 && report.gets.p99_us >= report.gets.p50_us);
-    let json = bench::to_json("net_loopback", &cfg, &report);
+    let json = bench::to_json("net_loopback", &cfg, &report, 1);
     assert!(json.contains("\"total_ops\": 50"));
+    assert!(json.contains("\"proxies\": 1"));
+    c.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Multi-proxy deployments
+// ----------------------------------------------------------------------
+
+fn multi_cluster(proxies: u16, nodes_per_proxy: u32, d: usize, p: usize) -> LoopbackCluster {
+    let cfg = DeploymentConfig {
+        proxies,
+        backup_enabled: false,
+        ..DeploymentConfig::small(nodes_per_proxy, EcConfig::new(d, p).unwrap())
+    };
+    LoopbackCluster::start(cfg).expect("multi-proxy cluster starts")
+}
+
+/// Keys of the form `mp-N` that `client`'s ring routes to each proxy of
+/// a 2-proxy fleet — the fixtures below need traffic on both rings.
+fn keys_by_proxy(client: &ic_net::NetClient, n: usize) -> Vec<Vec<String>> {
+    let mut by_proxy = vec![Vec::new(); client.proxies()];
+    for i in 0..n {
+        let key = format!("mp-{i}");
+        by_proxy[client.proxy_for(&key).0 as usize].push(key);
+    }
+    by_proxy
+}
+
+/// The tentpole's happy path: a 2-proxy fleet serves byte-identical
+/// round-trips with keys spread across both rings, and chunk placement
+/// stays inside each key's owning pool.
+#[test]
+fn net_two_proxies_roundtrip_across_both_rings() {
+    let c = multi_cluster(2, 6, 4, 1);
+    let mut client = c.client().unwrap();
+    assert_eq!(client.proxies(), 2);
+    let by_proxy = keys_by_proxy(&client, 12);
+    assert!(
+        by_proxy.iter().all(|keys| !keys.is_empty()),
+        "12 keys must spread over both proxies: {by_proxy:?}"
+    );
+    let mut stored = Vec::new();
+    for (p, keys) in by_proxy.iter().enumerate() {
+        for key in keys {
+            let data = pattern(20_000 + p * 7 + key.len());
+            client.put(key, data.clone()).unwrap();
+            stored.push((key.clone(), data));
+        }
+    }
+    // A second client (fresh connections, different seed) reads them all.
+    let mut reader = c.client_seeded(99).unwrap();
+    for (key, data) in &stored {
+        assert_eq!(reader.get(key).unwrap().as_ref(), Some(data), "{key}");
+    }
+    c.shutdown();
+}
+
+/// Killing one proxy takes out exactly its own keys: the client marks it
+/// down, keys on the surviving proxy stay byte-identical, and operations
+/// on the dead proxy's keys fail fast with a transport error.
+#[test]
+fn net_killed_proxy_leaves_survivor_keys_intact() {
+    let mut c = multi_cluster(2, 6, 4, 1);
+    let mut client = c.client().unwrap();
+    let by_proxy = keys_by_proxy(&client, 16);
+    let mut stored = std::collections::HashMap::new();
+    for keys in &by_proxy {
+        for key in keys {
+            let data = pattern(30_000 + key.len() * 13);
+            client.put(key, data.clone()).unwrap();
+            stored.insert(key.clone(), data);
+        }
+    }
+
+    let victim = ic_common::ProxyId(1);
+    c.kill_proxy(victim).unwrap();
+
+    // Survivor keys: every GET still byte-identical, before and after
+    // the client has noticed the death.
+    for key in &by_proxy[0] {
+        assert_eq!(
+            client.get(key).unwrap().as_ref(),
+            stored.get(key),
+            "survivor key {key} corrupted by the other proxy's death"
+        );
+    }
+    // Victim keys: fast transport failure (first op may need to observe
+    // the socket drop; all must error, none may hang or corrupt).
+    for key in &by_proxy[1] {
+        match client.get(key) {
+            Err(Error::Transport(_)) => {}
+            other => panic!("victim key {key} must fail with Transport, got {other:?}"),
+        }
+    }
+    assert!(
+        client.proxy_down(victim),
+        "client must mark the victim down"
+    );
+    assert!(!client.proxy_down(ic_common::ProxyId(0)));
+
+    // The survivor still accepts fresh writes.
+    let key = by_proxy[0].first().expect("survivor keys exist");
+    let fresh = pattern(12_345);
+    client.put(key, fresh.clone()).unwrap();
+    assert_eq!(client.get(key).unwrap().unwrap(), fresh);
+    c.shutdown();
+}
+
+/// A client connecting *after* a proxy died still works: the dead proxy
+/// stays on the ring (its keys must not silently reroute and read stale
+/// or empty data), marked down from the start.
+#[test]
+fn net_client_connecting_after_proxy_death_keeps_the_ring() {
+    let mut c = multi_cluster(2, 6, 4, 1);
+    let mut writer = c.client().unwrap();
+    let by_proxy = keys_by_proxy(&writer, 10);
+    let survivor_key = by_proxy[0].first().expect("keys on proxy 0").clone();
+    let victim_key = by_proxy[1].first().expect("keys on proxy 1").clone();
+    let data = pattern(50_000);
+    writer.put(&survivor_key, data.clone()).unwrap();
+    writer.put(&victim_key, data.clone()).unwrap();
+    drop(writer);
+
+    c.kill_proxy(ic_common::ProxyId(1)).unwrap();
+    let mut late = c.client_seeded(123).expect("partial fleet still connects");
+    assert_eq!(late.proxies(), 2, "the dead proxy must stay on the ring");
+    assert!(late.proxy_down(ic_common::ProxyId(1)));
+    assert_eq!(late.get(&survivor_key).unwrap().unwrap(), data);
+    match late.get(&victim_key) {
+        Err(Error::Transport(_)) => {}
+        other => panic!("dead proxy's key must fail fast, got {other:?}"),
+    }
+    c.shutdown();
+}
+
+/// EC repair still works per-ring in a fleet: reclaiming nodes of one
+/// proxy's pool is decoded around and repaired onto *that* pool, leaving
+/// the other proxy untouched.
+#[test]
+fn net_two_proxies_reclaim_repairs_within_the_owning_pool() {
+    let c = multi_cluster(2, 6, 4, 2);
+    let mut client = c.client().unwrap();
+    let by_proxy = keys_by_proxy(&client, 8);
+    let key = by_proxy[1].first().expect("keys on proxy 1").clone();
+    let data = pattern(200_000);
+    client.put(&key, data.clone()).unwrap();
+    // Reclaim two of proxy 1's nodes (global ids 6..12); at most two of
+    // the stripe's chunks are lost — within the (4+2) parity budget.
+    c.reclaim_node(LambdaId(6));
+    c.reclaim_node(LambdaId(7));
+    std::thread::sleep(Duration::from_millis(50));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while client.stats().repaired_chunks < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repairs never converged: {:?}",
+            client.stats()
+        );
+        let (back, _) = client.get_reported(&key).unwrap().expect("recoverable");
+        assert_eq!(back, data, "decode must reconstruct the exact bytes");
+        std::thread::sleep(Duration::from_millis(100));
+    }
     c.shutdown();
 }

@@ -48,14 +48,19 @@ fn read_proxy_addrs(proxy: &mut Child) -> (String, String) {
     )
 }
 
-fn cli(client_addr: &str, args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_ic-cli"))
-        .arg("--proxy")
-        .arg(client_addr)
-        .args(["--ec", "2+1"])
+fn cli_fleet(client_addrs: &[&str], ec: &str, args: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ic-cli"));
+    for addr in client_addrs {
+        cmd.arg("--proxy").arg(addr);
+    }
+    cmd.args(["--ec", ec])
         .args(args)
         .output()
         .expect("ic-cli runs")
+}
+
+fn cli(client_addr: &str, args: &[&str]) -> std::process::Output {
+    cli_fleet(&[client_addr], "2+1", args)
 }
 
 fn assert_ok(out: &std::process::Output, what: &str) {
@@ -125,4 +130,104 @@ fn multiprocess_cluster_roundtrips_and_recovers_from_a_killed_node() {
     // placement avoids needing the dead node to ack — with 3 chunks on a
     // 3-node pool it cannot, so don't demand PUT liveness here; GETs are
     // the paper's availability story (first-d streaming, Fig 14).
+}
+
+/// The multi-proxy acceptance test: a real 2-proxy fleet — two
+/// `ic-proxy`, four `ic-node` (2 per ring slice), and `ic-cli`, every
+/// one its own OS process — stores pattern objects across both rings,
+/// byte-verifies them
+/// from separate client processes, then loses one whole proxy (SIGKILL,
+/// taking its node daemons' connections with it) and keeps serving the
+/// survivor's keys byte-identically while the victim's keys fail fast.
+#[test]
+fn multiprocess_two_proxy_fleet_survives_a_proxy_kill() {
+    // Two proxy processes on ephemeral ports; proxy I of 2 owns the
+    // global node ids [I*2, I*2+2).
+    let mut proxy_addrs = Vec::new(); // (client_addr, node_addr)
+    let mut procs = Reaper(Vec::new());
+    for id in 0..2 {
+        let proxy = Command::new(env!("CARGO_BIN_EXE_ic-proxy"))
+            .args(["--clients", "127.0.0.1:0", "--nodes", "127.0.0.1:0"])
+            .args(["--pool", "2", "--warmup-secs", "0"])
+            .args(["--proxies", "2", "--proxy-id", &id.to_string()])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("ic-proxy spawns");
+        procs.0.push(proxy);
+        let addrs = read_proxy_addrs(procs.0.last_mut().expect("just pushed"));
+        proxy_addrs.push(addrs);
+    }
+    let fleet: Vec<&str> = proxy_addrs.iter().map(|(c, _)| c.as_str()).collect();
+
+    // Four node daemons: global ids 0,1 dial proxy 0; ids 2,3 dial
+    // proxy 1.
+    for id in 0..4u32 {
+        let (_, node_addr) = &proxy_addrs[(id / 2) as usize];
+        let node = Command::new(env!("CARGO_BIN_EXE_ic-node"))
+            .args(["--id", &id.to_string(), "--proxy", node_addr])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("ic-node spawns");
+        procs.0.push(node);
+    }
+
+    // Store pattern objects until both rings own at least two keys
+    // (routing is deterministic, so the split is stable per key name).
+    let keys: Vec<String> = (0..8).map(|i| format!("fleet-obj-{i}")).collect();
+    let mut owner = std::collections::HashMap::new();
+    for key in &keys {
+        let route = cli_fleet(&fleet, "1+1", &["route", key]);
+        assert_ok(&route, "ic-cli route");
+        let stdout = String::from_utf8_lossy(&route.stdout);
+        let proxy = if stdout.contains("proxy0") {
+            0u16
+        } else {
+            assert!(stdout.contains("proxy1"), "unparseable route: {stdout}");
+            1
+        };
+        owner.insert(key.clone(), proxy);
+        let put = cli_fleet(&fleet, "1+1", &["put", key, "--size", "150000"]);
+        assert_ok(&put, "ic-cli put");
+        let get = cli_fleet(&fleet, "1+1", &["get", key, "--verify"]);
+        assert_ok(&get, "ic-cli get (healthy fleet)");
+        assert!(
+            String::from_utf8_lossy(&get.stdout).contains("verify OK"),
+            "healthy GET must verify"
+        );
+    }
+    let on = |p: u16| keys.iter().filter(|k| owner[*k] == p).count();
+    assert!(
+        on(0) >= 2 && on(1) >= 2,
+        "8 keys must spread over both rings (got {} / {})",
+        on(0),
+        on(1)
+    );
+
+    // Kill proxy 1's process (and, for good measure, its daemons keep
+    // running but their proxy is gone). The fleet keeps serving ring 0.
+    let mut victim = procs.0.remove(1);
+    victim.kill().expect("kill ic-proxy");
+    victim.wait().expect("reap ic-proxy");
+    std::thread::sleep(Duration::from_millis(100));
+
+    for key in &keys {
+        let get = cli_fleet(&fleet, "1+1", &["get", key, "--verify"]);
+        if owner[key] == 0 {
+            assert_ok(&get, "ic-cli get (survivor ring)");
+            assert!(
+                String::from_utf8_lossy(&get.stdout).contains("verify OK"),
+                "survivor key {key} must stay byte-identical"
+            );
+        } else {
+            assert_eq!(
+                get.status.code(),
+                Some(4),
+                "victim key {key} must fail with the transport exit code\nstdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&get.stdout),
+                String::from_utf8_lossy(&get.stderr),
+            );
+        }
+    }
 }

@@ -24,7 +24,7 @@ pub struct FunctionConfig {
     /// Cold-start penalty (runtime + sandbox provisioning).
     pub cold_start: SimDuration,
     /// Idle lifetime before the provider reclaims a cached instance
-    /// (~27 min per Wang et al. [54], §4.1).
+    /// (~27 min per Wang et al., the paper's reference 54, §4.1).
     pub idle_timeout: SimDuration,
     /// Hard execution cap (15 min on AWS).
     pub max_execution: SimDuration,

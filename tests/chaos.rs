@@ -8,7 +8,9 @@
 //! reproduces the exact schedule. `CHAOS_SEEDS` widens the matrix (e.g.
 //! `CHAOS_SEEDS=500 cargo test --test chaos`) for soak runs.
 
-use infinicache::chaos::{run_chaos, sample_schedule, ChaosConfig, ChaosReport};
+use infinicache::chaos::{
+    run_chaos, sample_proxy_kill_plan, sample_schedule, ChaosConfig, ChaosReport,
+};
 use proptest::prelude::*;
 
 mod common;
@@ -128,4 +130,54 @@ fn sampled_schedule_agrees_between_sim_and_net() {
             "seed {seed}: schedule must produce hits"
         );
     }
+}
+
+/// Multi-proxy sim-vs-net parity: the same sampled schedules replayed
+/// against a 2-proxy loopback fleet (keys ring-routed across both rings,
+/// one TCP connection per proxy) still match the discrete-event world
+/// step for step, with byte-identity asserted inside `replay_net_proxies`.
+#[test]
+fn sampled_schedule_agrees_between_sim_and_multiproxy_net() {
+    for seed in [11u64, 42] {
+        let script = sample_schedule(seed, 24, 8);
+        let sim = ic_net::replay::replay_sim_proxies(&script, 2);
+        let net = ic_net::replay::replay_net_proxies(&script, 2);
+        assert_eq!(
+            sim, net,
+            "seed {seed}: sim and 2-proxy net outcomes diverged"
+        );
+        assert!(
+            sim.contains(&StepOutcome::Hit),
+            "seed {seed}: schedule must produce hits"
+        );
+    }
+}
+
+/// The fleet-level fault leg: seeded schedules against a 2-proxy socket
+/// cluster with one proxy killed mid-run (no goodbye — its listener and
+/// node daemons just die). Keys owned by the survivor must keep matching
+/// the simulator byte-for-byte; the victim's keys must fail fast with a
+/// transport error; and the client must mark exactly the victim down.
+/// All asserted inside `replay_net_proxy_kill`; a failing seed replays
+/// locally with `sample_proxy_kill_plan(seed, 30, 8, 2)`.
+#[test]
+fn multiproxy_schedule_survives_a_proxy_kill() {
+    let mut survivor_total = 0;
+    let mut victim_total = 0;
+    for seed in [5u64, 23, 77] {
+        let plan = sample_proxy_kill_plan(seed, 30, 8, 2);
+        let report = ic_net::replay::replay_net_proxy_kill(&plan, 2);
+        survivor_total += report.survivor_steps;
+        victim_total += report.victim_steps;
+    }
+    // The matrix as a whole must exercise both sides of the partition
+    // (any single seed might, by ring luck, skew heavily one way).
+    assert!(
+        survivor_total > 0,
+        "no post-kill traffic landed on surviving proxies"
+    );
+    assert!(
+        victim_total > 0,
+        "no post-kill traffic landed on the killed proxy"
+    );
 }
