@@ -943,6 +943,275 @@ fn map_truncation(e: std::io::Error, what: &'static str) -> FrameError {
     }
 }
 
+// ----------------------------------------------------------------------
+// Nonblocking framed I/O (readiness event loops)
+// ----------------------------------------------------------------------
+
+/// Outcome of one [`NbFrameReader::read`] attempt against a nonblocking
+/// stream.
+#[derive(Debug)]
+pub enum NbRead {
+    /// A complete frame body (shared allocation, like [`read_frame`]).
+    Frame(Bytes),
+    /// The stream has no more bytes right now; the decoder holds its
+    /// partial state — call again on the next readable event.
+    WouldBlock,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+}
+
+/// Incremental (resumable) frame decoder for nonblocking streams.
+///
+/// The blocking [`FrameReader`] loops inside `read_frame` until a frame
+/// completes; an event loop cannot block, so this decoder instead
+/// *persists* its progress — header bytes received so far, then the
+/// partially-filled body — across `WouldBlock`, and resumes on the next
+/// readiness event. Framing semantics are identical to [`read_frame`]:
+/// clean EOF only at a frame boundary, version skew diagnosed before
+/// truncation, the [`MAX_FRAME_LEN`] guard applied to the length prefix.
+pub struct NbFrameReader {
+    header: [u8; HEADER_LEN],
+    got: usize,
+    body: Option<NbBody>,
+}
+
+struct NbBody {
+    buf: Vec<u8>,
+    got: usize,
+}
+
+impl Default for NbFrameReader {
+    fn default() -> Self {
+        NbFrameReader::new()
+    }
+}
+
+impl NbFrameReader {
+    /// A decoder positioned at a frame boundary.
+    pub fn new() -> NbFrameReader {
+        NbFrameReader {
+            header: [0u8; HEADER_LEN],
+            got: 0,
+            body: None,
+        }
+    }
+
+    /// `true` while a frame is partially received — EOF now would be
+    /// truncation, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.got != 0 || self.body.is_some()
+    }
+
+    /// Pulls bytes from `r` until one frame completes, the stream would
+    /// block, or it ends. At most one frame is returned per call; when a
+    /// level-triggered event loop gets [`NbRead::Frame`] it should call
+    /// again (more frames may already be buffered) until `WouldBlock`.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_frame`], minus the boundary cases that are [`NbRead`]
+    /// variants here. After an error the decoder state is unspecified;
+    /// callers must discard the connection.
+    pub fn read<R: Read>(&mut self, r: &mut R) -> FrameResult<NbRead> {
+        while self.body.is_none() {
+            match r.read(&mut self.header[self.got..]) {
+                Ok(0) => {
+                    if self.got == 0 {
+                        return Ok(NbRead::Closed);
+                    }
+                    if self.header[0] != FRAME_VERSION {
+                        return Err(FrameError::Version(self.header[0]));
+                    }
+                    return Err(FrameError::Malformed("truncated length prefix"));
+                }
+                Ok(n) => self.got += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(NbRead::WouldBlock),
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+            if self.got < HEADER_LEN {
+                continue;
+            }
+            if self.header[0] != FRAME_VERSION {
+                return Err(FrameError::Version(self.header[0]));
+            }
+            let len = u32::from_le_bytes(self.header[1..].try_into().expect("4 bytes"));
+            if len > MAX_FRAME_LEN {
+                return Err(FrameError::TooLarge(len as u64));
+            }
+            self.body = Some(NbBody {
+                buf: vec![0u8; len as usize],
+                got: 0,
+            });
+        }
+        let body = self.body.as_mut().expect("body in progress");
+        while body.got < body.buf.len() {
+            match r.read(&mut body.buf[body.got..]) {
+                Ok(0) => return Err(FrameError::Malformed("truncated frame body")),
+                Ok(n) => body.got += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(NbRead::WouldBlock),
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        let body = self.body.take().expect("complete body");
+        self.got = 0;
+        Ok(NbRead::Frame(Bytes::from(body.buf)))
+    }
+}
+
+/// Per-call result of [`FrameWriteQueue::write_to`]: did the queue fully
+/// drain, and how well did frames coalesce into vectored writes.
+#[derive(Debug, Clone, Copy)]
+pub struct Flush {
+    /// `true` when every queued byte reached the sink; `false` means the
+    /// sink would block — re-arm writable interest and resume later.
+    pub drained: bool,
+    /// Vectored writes issued (syscalls, for a socket sink).
+    pub vectored_writes: u64,
+    /// Frames fully written. `frames / vectored_writes` is the batch
+    /// coalescing factor the readiness loop achieves.
+    pub frames: u64,
+}
+
+/// How many queued frames one vectored write may carry. Linux caps an
+/// `iovec` array at 1024 entries (`UIO_MAXIOV`); 64 frames × a few
+/// segments each stays far under that while still amortizing syscalls.
+const WRITE_BATCH_FRAMES: usize = 64;
+
+/// Per-connection outbound frame queue for nonblocking sinks: the
+/// `WouldBlock`-safe counterpart of [`write_frame_batch`].
+///
+/// Frames are queued as scatter/gather [`FrameParts`] (payloads stay
+/// uncopied) with their envelopes prebuilt; [`FrameWriteQueue::write_to`]
+/// drains as much as the sink accepts in batched vectored writes,
+/// recording a byte-precise resume offset on partial progress. The
+/// queue's byte size ([`FrameWriteQueue::queued_bytes`]) is the
+/// per-connection buffering a backpressure policy bounds.
+#[derive(Default)]
+pub struct FrameWriteQueue {
+    frames: std::collections::VecDeque<([u8; HEADER_LEN], FrameParts)>,
+    /// Bytes of the front frame (envelope + body) already written.
+    front_written: usize,
+    queued_bytes: usize,
+}
+
+impl FrameWriteQueue {
+    /// An empty queue.
+    pub fn new() -> FrameWriteQueue {
+        FrameWriteQueue::default()
+    }
+
+    /// Queues one encoded frame body for writing.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when the body exceeds [`MAX_FRAME_LEN`];
+    /// the queue is unchanged.
+    pub fn push(&mut self, parts: FrameParts) -> FrameResult<()> {
+        let header = header_for(parts.len())?;
+        self.queued_bytes += HEADER_LEN + parts.len();
+        self.frames.push_back((header, parts));
+        Ok(())
+    }
+
+    /// Frames waiting (the front one possibly partially written).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Unwritten bytes across all queued frames, envelopes included.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes - self.front_written
+    }
+
+    /// Writes queued frames to `w` until the queue drains or the sink
+    /// would block. Safe to call with an empty queue (reports a drained
+    /// no-op). Partial progress — even mid-envelope — is recorded and
+    /// resumed by the next call.
+    ///
+    /// # Errors
+    ///
+    /// Sink failures other than `WouldBlock`/`Interrupted`; a write that
+    /// accepts zero bytes reports [`ErrorKind::WriteZero`]. After an
+    /// error the connection must be discarded.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> std::io::Result<Flush> {
+        let mut flush = Flush {
+            drained: true,
+            vectored_writes: 0,
+            frames: 0,
+        };
+        while !self.frames.is_empty() {
+            let wrote = {
+                let mut slices: Vec<IoSlice<'_>> = Vec::new();
+                let mut skip = self.front_written;
+                for (i, (header, parts)) in self.frames.iter().take(WRITE_BATCH_FRAMES).enumerate()
+                {
+                    if i == 0 && skip > 0 {
+                        if skip < HEADER_LEN {
+                            slices.push(IoSlice::new(&header[skip..]));
+                            skip = 0;
+                        } else {
+                            skip -= HEADER_LEN;
+                        }
+                        for s in parts.as_slices() {
+                            if skip >= s.len() {
+                                skip -= s.len();
+                                continue;
+                            }
+                            let rest = &s[skip..];
+                            skip = 0;
+                            if !rest.is_empty() {
+                                slices.push(IoSlice::new(rest));
+                            }
+                        }
+                    } else {
+                        slices.push(IoSlice::new(header));
+                        for s in parts.as_slices() {
+                            if !s.is_empty() {
+                                slices.push(IoSlice::new(s));
+                            }
+                        }
+                    }
+                }
+                match w.write_vectored(&slices) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            ErrorKind::WriteZero,
+                            "sink accepted zero bytes",
+                        ))
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        flush.drained = false;
+                        return Ok(flush);
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            flush.vectored_writes += 1;
+            self.front_written += wrote;
+            while let Some((_, parts)) = self.frames.front() {
+                let frame_total = HEADER_LEN + parts.len();
+                if self.front_written < frame_total {
+                    break;
+                }
+                self.front_written -= frame_total;
+                self.queued_bytes -= frame_total;
+                self.frames.pop_front();
+                flush.frames += 1;
+            }
+        }
+        Ok(flush)
+    }
+}
+
 /// Encodes `msg` into a standalone contiguous body buffer (copies
 /// payload bytes; the wire path uses [`encode_msg_parts`]).
 pub fn encode_msg(msg: &Msg) -> Vec<u8> {
@@ -1336,5 +1605,269 @@ mod tests {
     fn unknown_tags_are_rejected() {
         assert!(matches!(decode_msg(&[200]), Err(FrameError::Malformed(_))));
         assert!(decode_msg(&[]).is_err());
+    }
+
+    /// Tiny deterministic LCG so the chaos tests need no RNG dependency.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    /// A `Write` sink that accepts a random prefix of each write and
+    /// interleaves `WouldBlock`/`Interrupted` — the worst-case
+    /// nonblocking socket (unlike [`ChaoticSink`], which never blocks).
+    struct FlakySink {
+        accepted: Vec<u8>,
+        rng: Lcg,
+    }
+
+    impl Write for FlakySink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            match self.rng.next() % 5 {
+                0 => Err(std::io::Error::from(ErrorKind::WouldBlock)),
+                1 => Err(std::io::Error::from(ErrorKind::Interrupted)),
+                _ => {
+                    let n = (self.rng.next() as usize % buf.len().max(1))
+                        .max(1)
+                        .min(buf.len());
+                    self.accepted.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                }
+            }
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_msgs(rng: &mut Lcg, n: usize) -> Vec<Msg> {
+        (0..n)
+            .map(|i| match rng.next() % 3 {
+                0 => Msg::Ping,
+                1 => Msg::GetObject {
+                    key: ObjectKey::new(format!("key-{i}")),
+                },
+                _ => Msg::ChunkToClient {
+                    id: ChunkId::new(ObjectKey::new(format!("obj-{i}")), (i % 7) as u32),
+                    payload: Payload::bytes(vec![i as u8; 1 + (rng.next() as usize % 3000)]),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_queue_resumes_partial_writes_byte_identically() {
+        for seed in 0..20u64 {
+            let mut rng = Lcg(seed);
+            let count = 1 + (rng.next() as usize % 40);
+            let msgs = sample_msgs(&mut rng, count);
+            let parts: Vec<FrameParts> = msgs.iter().map(encode_msg_parts).collect();
+
+            // Reference byte stream: the blocking batch writer.
+            let mut reference = Vec::new();
+            write_frame_batch(&mut reference, &parts).unwrap();
+
+            let mut queue = FrameWriteQueue::new();
+            let mut expect_bytes = 0usize;
+            for p in parts {
+                expect_bytes += HEADER_LEN + p.len();
+                queue.push(p).unwrap();
+            }
+            assert_eq!(queue.queued_bytes(), expect_bytes);
+
+            let mut sink = FlakySink {
+                accepted: Vec::new(),
+                rng: Lcg(seed ^ 0xABCD),
+            };
+            let mut frames_written = 0u64;
+            let mut spins = 0;
+            loop {
+                let flush = queue.write_to(&mut sink).unwrap();
+                frames_written += flush.frames;
+                if flush.drained {
+                    break;
+                }
+                spins += 1;
+                assert!(spins < 100_000, "queue failed to drain");
+            }
+            assert_eq!(sink.accepted, reference, "seed {seed}");
+            assert_eq!(frames_written as usize, msgs.len());
+            assert!(queue.is_empty());
+            assert_eq!(queue.queued_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn write_queue_coalesces_into_vectored_writes() {
+        let msgs = sample_msgs(&mut Lcg(7), 10);
+        let mut queue = FrameWriteQueue::new();
+        for m in &msgs {
+            queue.push(encode_msg_parts(m)).unwrap();
+        }
+        // A sink that accepts everything: one vectored write suffices.
+        let mut sink = Vec::new();
+        let flush = queue.write_to(&mut sink).unwrap();
+        assert!(flush.drained);
+        assert_eq!(flush.frames, msgs.len() as u64);
+        assert_eq!(
+            flush.vectored_writes, 1,
+            "10 frames coalesce into one syscall"
+        );
+        let mut r = &sink[..];
+        for m in &msgs {
+            assert_eq!(&read_msg(&mut r).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn write_queue_rejects_oversized_frames_without_queueing() {
+        let mut e = Enc::new();
+        e.payload(&Payload::bytes(vec![0u8; MAX_FRAME_LEN as usize + 1]));
+        let mut queue = FrameWriteQueue::new();
+        assert!(matches!(
+            queue.push(e.into_parts()),
+            Err(FrameError::TooLarge(_))
+        ));
+        assert!(queue.is_empty());
+    }
+
+    /// A `Read` source that hands out random-sized chunks of a byte
+    /// stream with `WouldBlock` between them.
+    struct ChaoticSource {
+        data: Vec<u8>,
+        pos: usize,
+        rng: Lcg,
+    }
+
+    impl Read for ChaoticSource {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            match self.rng.next() % 4 {
+                0 => Err(std::io::Error::from(ErrorKind::WouldBlock)),
+                1 => Err(std::io::Error::from(ErrorKind::Interrupted)),
+                _ => {
+                    let avail = self.data.len() - self.pos;
+                    let n = (self.rng.next() as usize % avail.max(1))
+                        .max(1)
+                        .min(avail)
+                        .min(buf.len());
+                    buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                    self.pos += n;
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nb_reader_reassembles_chunked_streams() {
+        for seed in 0..20u64 {
+            let mut rng = Lcg(seed.wrapping_add(99));
+            let count = 1 + (rng.next() as usize % 30);
+            let msgs = sample_msgs(&mut rng, count);
+            let mut wire = Vec::new();
+            for m in &msgs {
+                write_msg(&mut wire, m).unwrap();
+            }
+            let mut src = ChaoticSource {
+                data: wire,
+                pos: 0,
+                rng: Lcg(seed ^ 0x5EED),
+            };
+            let mut reader = NbFrameReader::new();
+            let mut decoded = Vec::new();
+            let mut spins = 0;
+            loop {
+                match reader.read(&mut src).unwrap() {
+                    NbRead::Frame(body) => decoded.push(decode_msg_shared(&body).unwrap()),
+                    NbRead::WouldBlock => {
+                        spins += 1;
+                        assert!(spins < 1_000_000, "reader failed to make progress");
+                    }
+                    NbRead::Closed => break,
+                }
+            }
+            assert_eq!(decoded, msgs, "seed {seed}");
+            assert!(!reader.mid_frame());
+        }
+    }
+
+    #[test]
+    fn nb_reader_maps_boundary_cases_like_the_blocking_reader() {
+        // Clean close at a frame boundary.
+        let mut reader = NbFrameReader::new();
+        assert!(matches!(reader.read(&mut &[][..]).unwrap(), NbRead::Closed));
+        // EOF inside the envelope: version skew wins, else truncation.
+        let mut reader = NbFrameReader::new();
+        assert!(matches!(
+            reader.read(&mut &[FRAME_VERSION + 1][..]),
+            Err(FrameError::Version(_))
+        ));
+        let mut reader = NbFrameReader::new();
+        assert!(matches!(
+            reader.read(&mut &[FRAME_VERSION, 9][..]),
+            Err(FrameError::Malformed(_))
+        ));
+        // EOF inside the body is truncation.
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &Msg::Ping).unwrap();
+        wire.truncate(wire.len() - 1);
+        let mut reader = NbFrameReader::new();
+        assert!(matches!(
+            reader.read(&mut &wire[..]),
+            Err(FrameError::Malformed(_))
+        ));
+        // Oversized length prefix rejected before allocating.
+        let mut wire = vec![FRAME_VERSION];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = NbFrameReader::new();
+        assert!(matches!(
+            reader.read(&mut &wire[..]),
+            Err(FrameError::TooLarge(_))
+        ));
+        // mid_frame flips while a frame is in flight and the decoder
+        // resumes across the WouldBlock.
+        struct BlocksWhenDry {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for BlocksWhenDry {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                let n = (self.data.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &Msg::Ping).unwrap();
+        let mut reader = NbFrameReader::new();
+        assert!(!reader.mid_frame());
+        let split = 3; // inside the 5-byte envelope
+        let mut src = BlocksWhenDry {
+            data: wire[..split].to_vec(),
+            pos: 0,
+        };
+        assert!(matches!(reader.read(&mut src).unwrap(), NbRead::WouldBlock));
+        assert!(reader.mid_frame());
+        let mut rest = &wire[split..];
+        match reader.read(&mut rest).unwrap() {
+            NbRead::Frame(body) => assert_eq!(decode_msg_shared(&body).unwrap(), Msg::Ping),
+            other => panic!("expected resumed frame, got {other:?}"),
+        }
+        assert!(!reader.mid_frame());
     }
 }

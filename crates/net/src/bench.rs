@@ -21,6 +21,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::client::NetClient;
+use crate::proxy::WireSnapshot;
 
 /// Deterministic content for `key` at write-`version`: any process that
 /// knows the key (and version) can regenerate and verify the bytes, so
@@ -194,6 +195,55 @@ pub fn run(addrs: &[SocketAddr], cfg: &BenchConfig) -> Result<BenchReport> {
     })
 }
 
+/// Derives one point of the connection-scaling sweep from the base
+/// config: per-client op count and key space shrink as the client count
+/// grows, so every point finishes in comparable wall time and stores a
+/// comparable byte volume — the sweep measures *connection* scaling, not
+/// ever-larger workloads.
+pub fn scaled_for_clients(base: &BenchConfig, clients: usize) -> BenchConfig {
+    let scale = |v: usize, floor: usize| {
+        ((v * base.clients) / clients.max(1)).clamp(floor.min(v), v.max(1))
+    };
+    BenchConfig {
+        clients,
+        ops_per_client: scale(base.ops_per_client, 4),
+        key_space: scale(base.key_space, 2),
+        ..base.clone()
+    }
+}
+
+/// Counts this process's proxy substrate threads (names starting with
+/// `ic-proxy`, i.e. the per-proxy protocol thread plus its I/O shards)
+/// by reading `/proc/self/task/*/comm`. `None` off Linux or when procfs
+/// is unavailable. Used by the connection-scaling sweep to demonstrate
+/// the event-loop property: thread count stays O(workers) while
+/// connections grow into the thousands.
+pub fn proxy_thread_count() -> Option<usize> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut count = 0;
+    for task in tasks.flatten() {
+        let comm = std::fs::read_to_string(task.path().join("comm")).unwrap_or_default();
+        if comm.trim_end().starts_with("ic-proxy") {
+            count += 1;
+        }
+    }
+    Some(count)
+}
+
+/// One measured point of the `--clients-sweep` connection-scaling curve.
+pub struct ClientsPoint {
+    /// Concurrent bench clients (= concurrent client connections per
+    /// proxy of the fleet).
+    pub clients: usize,
+    /// The scaled config the point ran with (see [`scaled_for_clients`]).
+    pub cfg: BenchConfig,
+    /// The point's measurements.
+    pub report: BenchReport,
+    /// Proxy substrate threads alive during the point (loopback runs
+    /// only; `None` when the proxies live in other processes).
+    pub proxy_threads: Option<usize>,
+}
+
 /// Explains a pattern mismatch (enabled by `NETBENCH_DEBUG_VERIFY`):
 /// which byte ranges diverge, and whether they match an older write
 /// version of the key — separating stale-read bugs from codec bugs.
@@ -245,19 +295,41 @@ struct WorkerResult {
     verify_failures: u64,
 }
 
+/// Connects a bench worker's client, riding out the transient connect
+/// failures of a large fleet arriving at once (a full listen backlog
+/// refuses connections until the accept loop catches up).
+fn connect_retrying(addrs: &[SocketAddr], ec: EcConfig, seed: u64) -> Result<NetClient> {
+    let mut last = None;
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        match NetClient::connect_multi(addrs, ec, seed) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
 fn client_worker(
     addrs: &[SocketAddr],
     thread: usize,
     cfg: &BenchConfig,
     ready: &Barrier,
 ) -> Result<WorkerResult> {
-    let client = NetClient::connect_multi(addrs, cfg.ec, cfg.seed ^ ((thread as u64) << 8));
+    let client = connect_retrying(addrs, cfg.ec, cfg.seed ^ ((thread as u64) << 8));
     if client.is_err() {
         // Release the coordinator and the other workers before erroring.
         ready.wait();
     }
     let mut client = client?;
-    client.set_op_timeout(Duration::from_secs(30));
+    // Queueing delay grows linearly with the number of concurrent
+    // clients sharing the host, so a fixed deadline that is generous at
+    // 4 clients spuriously times out tail operations in the
+    // thousand-connection sweep; scale it with the offered concurrency.
+    let op_timeout = Duration::from_secs(30).max(Duration::from_millis(60) * cfg.clients as u32);
+    client.set_op_timeout(op_timeout);
     let keys: Vec<String> = (0..cfg.key_space)
         .map(|k| format!("bench-c{thread}-k{k}"))
         .collect();
@@ -326,7 +398,7 @@ fn lat_json(s: &LatencySummary) -> String {
 /// proxy count the run targeted — embedded in the config block so bench
 /// trajectories over different cluster shapes stay comparable.
 pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport, proxies: usize) -> String {
-    to_json_full(label, cfg, report, proxies, &[], &[])
+    to_json_full(label, cfg, report, proxies, &[], &[], &[], None)
 }
 
 /// Renders one summary line of a sweep entry's metrics.
@@ -349,8 +421,12 @@ fn sweep_metrics(r: &BenchReport) -> String {
 }
 
 /// Like [`to_json`], appending a `"sweep"` array (one entry per
-/// object-size run of the `--object-bytes` sweep) and a `"proxy_sweep"`
-/// array (one entry per cluster shape of the `--proxies-sweep` run).
+/// object-size run of the `--object-bytes` sweep), a `"proxy_sweep"`
+/// array (one entry per cluster shape of the `--proxies-sweep` run), a
+/// `"clients_sweep"` array (one entry per client count of the
+/// `--clients-sweep` connection-scaling run), and — for loopback runs —
+/// a `"wire"` block with the fleet's write-coalescing counters.
+#[allow(clippy::too_many_arguments)] // a JSON renderer: one arg per artifact section
 pub fn to_json_full(
     label: &str,
     cfg: &BenchConfig,
@@ -358,6 +434,8 @@ pub fn to_json_full(
     proxies: usize,
     sweep: &[(BenchConfig, BenchReport)],
     proxy_sweep: &[(u16, BenchReport)],
+    clients_sweep: &[ClientsPoint],
+    wire: Option<WireSnapshot>,
 ) -> String {
     let sweep_entries: Vec<String> = sweep
         .iter()
@@ -373,6 +451,21 @@ pub fn to_json_full(
         .iter()
         .map(|(p, r)| format!("    {{\"proxies\": {p}, {}}}", sweep_metrics(r)))
         .collect();
+    let clients_entries: Vec<String> = clients_sweep
+        .iter()
+        .map(|p| {
+            let threads = match p.proxy_threads {
+                Some(n) => n.to_string(),
+                None => "null".into(),
+            };
+            format!(
+                "    {{\"clients\": {}, \"ops_per_client\": {}, \"proxy_threads\": {threads}, {}}}",
+                p.clients,
+                p.cfg.ops_per_client,
+                sweep_metrics(&p.report)
+            )
+        })
+        .collect();
     let join = |entries: Vec<String>| {
         if entries.is_empty() {
             String::from("[]")
@@ -380,8 +473,18 @@ pub fn to_json_full(
             format!("[\n{}\n  ]", entries.join(",\n"))
         }
     };
+    let wire_json = match wire {
+        Some(w) => format!(
+            "{{\"vectored_writes\": {}, \"frames_written\": {}, \"frames_per_write\": {:.2}}}",
+            w.vectored_writes,
+            w.frames_written,
+            w.frames_per_write()
+        ),
+        None => "null".into(),
+    };
+    let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
     format!(
-        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}, \"proxies\": {proxies}}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"sweep\": {},\n  \"proxy_sweep\": {}\n}}\n",
+        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}, \"proxies\": {proxies}, \"host_cores\": {host_cores}, \"release_profile\": \"lto=thin,codegen-units=1\"}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"wire\": {wire_json},\n  \"sweep\": {},\n  \"proxy_sweep\": {},\n  \"clients_sweep\": {}\n}}\n",
         cfg.clients,
         cfg.ops_per_client,
         cfg.object_bytes,
@@ -399,6 +502,7 @@ pub fn to_json_full(
         lat_json(&report.puts),
         join(sweep_entries),
         join(proxy_entries),
+        join(clients_entries),
     )
 }
 
@@ -441,6 +545,58 @@ mod tests {
         assert_eq!(s.max_us, 100);
         assert!((s.mean_us - 50.5).abs() < 1e-9);
         assert_eq!(LatencySummary::from_sorted(&[]).count, 0);
+    }
+
+    #[test]
+    fn clients_sweep_scaling_keeps_points_comparable() {
+        let base = BenchConfig::default(); // 4 clients × 200 ops × 16 keys
+        let big = scaled_for_clients(&base, 1000);
+        assert_eq!(big.clients, 1000);
+        assert_eq!(big.ops_per_client, 4); // floored, not zeroed
+        assert_eq!(big.key_space, 2);
+        let same = scaled_for_clients(&base, base.clients);
+        assert_eq!(same.ops_per_client, base.ops_per_client);
+        assert_eq!(same.key_space, base.key_space);
+        // Fewer clients than the base never inflate the per-client work.
+        let small = scaled_for_clients(&base, 1);
+        assert_eq!(small.ops_per_client, base.ops_per_client);
+    }
+
+    #[test]
+    fn json_renders_clients_sweep_and_wire_block() {
+        let cfg = BenchConfig::default();
+        let report = BenchReport {
+            wall: Duration::from_millis(500),
+            gets: LatencySummary::from_sorted(&[10]),
+            puts: LatencySummary::from_sorted(&[20]),
+            bytes_moved: 1024,
+            verify_failures: 0,
+        };
+        let point = ClientsPoint {
+            clients: 1000,
+            cfg: scaled_for_clients(&cfg, 1000),
+            report: report.clone(),
+            proxy_threads: Some(3),
+        };
+        let json = to_json_full(
+            "net_loopback",
+            &cfg,
+            &report,
+            1,
+            &[],
+            &[],
+            std::slice::from_ref(&point),
+            Some(WireSnapshot {
+                vectored_writes: 10,
+                frames_written: 55,
+            }),
+        );
+        assert!(json.contains("\"clients\": 1000"));
+        assert!(json.contains("\"proxy_threads\": 3"));
+        assert!(json.contains("\"frames_per_write\": 5.50"));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"release_profile\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! ```text
 //! netbench [--clients N] [--ops N] [--size BYTES] [--get-frac F]
 //!          [--keys N] [--ec d+p] [--nodes N] [--proxies N] [--seed N]
-//!          [--no-verify] [--connect ADDR]... [--out PATH]
+//!          [--no-verify] [--no-warmup] [--connect ADDR]... [--out PATH]
 //!          [--object-bytes LIST] [--proxies-sweep LIST]
+//!          [--clients-sweep LIST]
 //! ```
+//!
+//! The headline run is preceded by a short unmeasured warmup pass
+//! (suppressed with `--no-warmup`) so its numbers reflect steady state
+//! rather than allocator/page-cache first-touch costs.
 //!
 //! `--proxies N` starts an N-proxy fleet (each proxy owns its own pool
 //! of `--nodes` daemons — node count scales with the fleet) and the
@@ -31,6 +36,17 @@
 //! the per-shape results as the `"proxy_sweep"` array — the scaling
 //! trajectory past the single-proxy event loop. It always measures
 //! loopback clusters, so it refuses to combine with `--connect`.
+//!
+//! `--clients-sweep 4,64,256,1000` runs the connection-scaling curve:
+//! the same cluster as the main run, re-driven at each client count
+//! (per-client ops and keys scaled down so every point does comparable
+//! work — see [`bench::scaled_for_clients`]). Each point records the
+//! proxy substrate's thread count alongside throughput, demonstrating
+//! the readiness event loop's O(workers) threading while connections
+//! grow into the thousands; results land in the `"clients_sweep"` array.
+//! Loopback runs also embed a `"wire"` block: how many vectored write
+//! syscalls the proxies issued and how many frames they coalesced into
+//! them.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
@@ -79,6 +95,7 @@ fn run() -> Result<()> {
     let out = args.get("out", "BENCH_net.json");
     let sweep_sizes: Vec<usize> = num_list(&args, "object-bytes")?;
     let proxy_shapes: Vec<u16> = num_list(&args, "proxies-sweep")?;
+    let client_counts: Vec<usize> = num_list(&args, "clients-sweep")?;
     if !proxy_shapes.is_empty() && !args.all("connect").is_empty() {
         // The sweep starts a fresh loopback cluster per shape; mixing
         // those points into an external run's artifact would silently
@@ -115,6 +132,18 @@ fn run() -> Result<()> {
         }
     };
 
+    // Unmeasured warmup pass: faults in the cluster's buffers and
+    // allocator arenas and walks the pool through its cold starts, so
+    // the measured run reflects steady state rather than first-touch
+    // page faults (worth ~10-15% on the headline otherwise).
+    if !args.has("no-warmup") {
+        let warm = BenchConfig {
+            ops_per_client: cfg.ops_per_client.min(40),
+            ..cfg.clone()
+        };
+        bench::run(&addrs, &warm)?;
+    }
+
     let report = bench::run(&addrs, &cfg)?;
     println!("{}", bench::summary_line(&report));
 
@@ -134,6 +163,38 @@ fn run() -> Result<()> {
             bench::summary_line(&r)
         );
         sweep.push((point, r));
+    }
+
+    // Connection-scaling sweep: the same cluster, re-driven at growing
+    // client counts; each point also snapshots the proxy substrate's
+    // thread count (loopback runs — the event loop keeps it O(workers)).
+    let mut clients_sweep = Vec::new();
+    for n in client_counts {
+        let point = bench::scaled_for_clients(&cfg, n);
+        let r = bench::run(&addrs, &point)?;
+        let proxy_threads = cluster.as_ref().and_then(|_| bench::proxy_thread_count());
+        let threads = proxy_threads.map_or(String::from("?"), |t| t.to_string());
+        println!(
+            "clients {n:>5} × {} ops/client [{threads} proxy threads]: {}",
+            point.ops_per_client,
+            bench::summary_line(&r)
+        );
+        clients_sweep.push(bench::ClientsPoint {
+            clients: n,
+            cfg: point,
+            report: r,
+            proxy_threads,
+        });
+    }
+
+    let wire = cluster.as_ref().map(|c| c.wire_stats());
+    if let Some(w) = &wire {
+        println!(
+            "wire: {} frames over {} vectored writes ({:.2} frames/write)",
+            w.frames_written,
+            w.vectored_writes,
+            w.frames_per_write()
+        );
     }
     if let Some(c) = cluster {
         c.shutdown();
@@ -155,7 +216,16 @@ fn run() -> Result<()> {
     // one connection address per proxy, in either mode.
     std::fs::write(
         &out,
-        bench::to_json_full(label, &cfg, &report, addrs.len(), &sweep, &proxy_sweep),
+        bench::to_json_full(
+            label,
+            &cfg,
+            &report,
+            addrs.len(),
+            &sweep,
+            &proxy_sweep,
+            &clients_sweep,
+            wire,
+        ),
     )
     .map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
     println!("wrote {out}");
@@ -164,6 +234,10 @@ fn run() -> Result<()> {
         + proxy_sweep
             .iter()
             .map(|(_, r)| r.verify_failures)
+            .sum::<u64>()
+        + clients_sweep
+            .iter()
+            .map(|p| p.report.verify_failures)
             .sum::<u64>();
     if failures > 0 {
         return Err(Error::Protocol(format!(

@@ -9,6 +9,19 @@
 //! the client, exactly as the paper prescribes (§3.1) — the proxies only
 //! ever see encoded chunks.
 //!
+//! ## One polled loop, zero background threads
+//!
+//! All proxy connections are nonblocking sockets registered with a
+//! single [`Poller`]; the blocking facade *is* the event loop. Waiting
+//! for a reply polls every connection at once: inbound frames are
+//! decoded by per-connection [`NbFrameReader`] state machines into a
+//! local event buffer, outbound frames sit in per-connection
+//! [`FrameWriteQueue`]s drained on writable readiness (vectored,
+//! coalesced, `WouldBlock`-safe). Earlier revisions spawned one reader
+//! thread per proxy; a client of a large fleet now costs one thread
+//! total, and a whole benchmark fleet of clients stays O(clients), not
+//! O(clients × proxies).
+//!
 //! ## Multi-proxy routing
 //!
 //! A deployment is a *fleet* of proxies (§3.1, Fig 2); the client
@@ -20,9 +33,8 @@
 //!   `ProxyId` order — position `i` must be the proxy started with id
 //!   `i`), performs the [`Frame::HelloClient`]/[`Frame::Welcome`]
 //!   handshake on each, and learns each proxy's disjoint Lambda pool;
-//! * every connection owns its own framing state: a dedicated reader
-//!   thread per proxy decodes frames into one event channel, so a slow
-//!   or dead proxy never desynchronizes another connection's stream;
+//! * every connection owns its own framing state, so a slow or dead
+//!   proxy never desynchronizes another connection's stream;
 //! * failure is **per-connection**: a timeout, write failure, or socket
 //!   drop marks only that proxy down. Keys routed to a down proxy fail
 //!   fast with [`Error::Transport`]; keys owned by the surviving proxies
@@ -30,22 +42,23 @@
 //!   is tolerated the same way (it stays on the ring, marked down), as
 //!   long as at least one proxy answers.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ic_client::{ClientLib, GetReport};
-use ic_common::frame::{write_frame_batch, FrameError, FrameParts, FrameReader};
+use ic_common::frame::{FrameError, FrameWriteQueue, NbFrameReader, NbRead};
 use ic_common::msg::Msg;
 use ic_common::{
     ClientId, EcConfig, Error, LambdaId, ObjectKey, Payload, ProxyId, Result, SimTime,
 };
 use infinicache::dispatch::{self, ClientOutcome, ClientTransport};
+use polling::{Events, Interest, Mode, Poller, Token};
 
 use crate::wire::Frame;
 
-/// What the per-connection reader threads feed the blocking facade.
+/// What the polled I/O pass feeds the blocking facade.
 enum ClientEvent {
     /// An application-protocol message from one proxy.
     Msg(ProxyId, Msg),
@@ -57,12 +70,17 @@ enum ClientEvent {
 /// One proxy connection's client-side state.
 struct Conn {
     proxy: ProxyId,
-    /// Write half of the socket; the reader thread owns a clone.
+    /// The nonblocking socket; `None` once the connection is dead (or
+    /// was unreachable at connect).
     stream: Option<TcpStream>,
-    /// Frames queued by one dispatch batch, flushed in a single vectored
-    /// write — a PUT's whole stripe (d+p `PutChunk`s) leaves in one
+    /// Incremental inbound frame decoder (survives `WouldBlock`).
+    reader: NbFrameReader,
+    /// Outbound frames queued by dispatch batches, drained in vectored
+    /// writes — a PUT's whole stripe (d+p `PutChunk`s) leaves in one
     /// syscall, payload bytes borrowed from the object allocation.
-    outbox: Vec<FrameParts>,
+    queue: FrameWriteQueue,
+    /// Whether the poller registration currently includes WRITABLE.
+    want_write: bool,
     /// Why this connection can no longer be trusted (`None` while
     /// healthy). Set by socket errors, decode failures, op timeouts, or
     /// failed writes — a timeout or partial write leaves the stream
@@ -74,10 +92,11 @@ struct Conn {
 /// A connected synchronous client over the deployment's proxy fleet.
 pub struct NetClient {
     lib: ClientLib,
-    /// Indexed by `ProxyId.0`.
+    /// Indexed by `ProxyId.0`; the poller token is the index.
     conns: Vec<Conn>,
-    /// Frames decoded by the per-connection reader threads.
-    events: Receiver<ClientEvent>,
+    poller: Poller,
+    /// Events decoded by [`NetClient::poll_io`] ahead of consumption.
+    pending: VecDeque<ClientEvent>,
     client: ClientId,
     epoch: Instant,
     op_timeout: Duration,
@@ -131,20 +150,18 @@ impl NetClient {
         if addrs.is_empty() {
             return Err(Error::Config("a client needs at least one proxy".into()));
         }
-        let (events_tx, events_rx) = channel::<ClientEvent>();
+        let poller = Poller::new().map_err(|e| Error::Transport(e.to_string()))?;
         let mut conns = Vec::with_capacity(addrs.len());
         let mut pools: Vec<(ProxyId, Vec<LambdaId>)> = Vec::with_capacity(addrs.len());
         let mut client = None;
-        let mut readers = Vec::new();
         for (i, addr) in addrs.iter().enumerate() {
             let expected = ProxyId(i as u16);
             match TcpStream::connect(addr) {
                 Ok(stream) => {
-                    let (conn, pool, id, reader) = handshake(stream, expected, ec)?;
+                    let (conn, pool, id) = handshake(stream, expected, ec)?;
                     client.get_or_insert(id);
                     pools.push((expected, pool));
                     conns.push(conn);
-                    readers.push(reader);
                 }
                 Err(e) => {
                     // Down from the start: the proxy keeps its ring slice
@@ -154,7 +171,9 @@ impl NetClient {
                     conns.push(Conn {
                         proxy: expected,
                         stream: None,
-                        outbox: Vec::new(),
+                        reader: NbFrameReader::new(),
+                        queue: FrameWriteQueue::new(),
+                        want_write: false,
                         down: Some(format!("unreachable at connect: {e}")),
                     });
                 }
@@ -166,20 +185,27 @@ impl NetClient {
                 addrs.len()
             )));
         };
-        // The reader threads only start once every handshake is done, so
-        // no event can race the construction above.
-        for (proxy, reader) in readers {
-            let tx = events_tx.clone();
-            std::thread::Builder::new()
-                .name(format!("ic-client-reader-{}", proxy.0))
-                .spawn(move || reader_loop(proxy, reader, &tx))
-                .map_err(|e| Error::Transport(e.to_string()))?;
+        // Handshakes were blocking; the steady state is polled. Flip
+        // every live socket to nonblocking and register it under its
+        // index.
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let Some(stream) = conn.stream.as_ref() else {
+                continue;
+            };
+            let registered = stream
+                .set_nonblocking(true)
+                .and_then(|()| poller.register(stream, Token(i), Interest::READABLE, Mode::Level));
+            if let Err(e) = registered {
+                conn.down = Some(format!("poller registration failed: {e}"));
+                conn.stream = None;
+            }
         }
         let lib = ClientLib::new(client, ec, pools, 64, seed);
         Ok(NetClient {
             lib,
             conns,
-            events: events_rx,
+            poller,
+            pending: VecDeque::new(),
             client,
             epoch: Instant::now(),
             op_timeout: Duration::from_secs(10),
@@ -243,9 +269,9 @@ impl NetClient {
         let key = ObjectKey::new(key);
         let target = self.lib.route(&key);
         self.check_up(target)?;
-        let actions = self.lib.put(key.clone(), Payload::Bytes(object));
-        self.drive(target, actions)?;
         let deadline = Instant::now() + self.op_timeout;
+        let actions = self.lib.put(key.clone(), Payload::Bytes(object));
+        self.drive(target, actions, deadline)?;
         loop {
             for outcome in self.take_outcomes() {
                 match outcome {
@@ -258,7 +284,7 @@ impl NetClient {
             }
             let msg = self.recv(target, deadline)?;
             let actions = self.lib.on_proxy(msg);
-            self.drive(target, actions)?;
+            self.drive(target, actions, deadline)?;
         }
     }
 
@@ -283,9 +309,9 @@ impl NetClient {
         let key = ObjectKey::new(key);
         let target = self.lib.route(&key);
         self.check_up(target)?;
-        let actions = self.lib.get(key.clone());
-        self.drive(target, actions)?;
         let deadline = Instant::now() + self.op_timeout;
+        let actions = self.lib.get(key.clone());
+        self.drive(target, actions, deadline)?;
         loop {
             for outcome in self.take_outcomes() {
                 match outcome {
@@ -314,46 +340,47 @@ impl NetClient {
             }
             let msg = self.recv(target, deadline)?;
             let actions = self.lib.on_proxy(msg);
-            self.drive(target, actions)?;
+            self.drive(target, actions, deadline)?;
         }
     }
 
     /// Runs client actions through the shared dispatch engine, then
-    /// flushes every connection's queued frames, each in one vectored
-    /// write. A flush failure downs that connection; it only fails the
-    /// call when the failed connection is the current operation's
-    /// `target` (a synchronous op talks to exactly one proxy — its
-    /// key's ring owner).
-    fn drive(&mut self, target: ProxyId, actions: Vec<ic_client::ClientAction>) -> Result<()> {
+    /// drains the `target` connection's queued frames (polling for
+    /// writable readiness — and buffering any inbound frames meanwhile,
+    /// so a simultaneously-full pipe in both directions cannot
+    /// deadlock). Other connections flush opportunistically on their own
+    /// writable events. A connection failure downs only that connection;
+    /// it fails the call only for the operation's `target` (a
+    /// synchronous op talks to exactly one proxy — its key's ring
+    /// owner).
+    fn drive(
+        &mut self,
+        target: ProxyId,
+        actions: Vec<ic_client::ClientAction>,
+        deadline: Instant,
+    ) -> Result<()> {
         let now = self.now();
         let client = self.client;
         dispatch::run_client_actions(self, now, client, actions);
-        let mut target_err = None;
-        for conn in &mut self.conns {
-            if conn.outbox.is_empty() {
-                continue;
-            }
-            let frames = std::mem::take(&mut conn.outbox);
-            let flushed = match (&conn.down, conn.stream.as_mut()) {
-                (Some(reason), _) => Err(reason.clone()),
-                (None, Some(stream)) => {
-                    write_frame_batch(stream, &frames).map_err(|e| e.to_string())
-                }
-                (None, None) => Err("never connected".into()),
-            };
-            if let Err(e) = flushed {
-                // The vectored write may have made partial progress,
-                // leaving the stream mid-frame: later writes would
-                // desynchronize the proxy's framing, so this connection
-                // is dead for good. Other proxies are unaffected.
-                conn.down.get_or_insert(e.clone());
-                if conn.proxy == target {
-                    target_err = Some(e);
-                }
-            }
+        for i in 0..self.conns.len() {
+            self.flush_conn(i);
         }
-        match target_err {
-            Some(e) => Err(Error::Transport(e)),
+        // Wait out the target's backlog: replies cannot be expected
+        // before the requests have left.
+        loop {
+            let conn = &self.conns[target.0 as usize];
+            if conn.down.is_some() || conn.queue.is_empty() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.mark_down(target, "operation timed out".into());
+                break;
+            }
+            self.poll_io(Some(deadline - now));
+        }
+        match &self.conns[target.0 as usize].down {
+            Some(reason) => Err(Error::Transport(reason.clone())),
             None => Ok(()),
         }
     }
@@ -380,7 +407,7 @@ impl NetClient {
         if let Some(conn) = self.conns.get_mut(proxy.0 as usize) {
             conn.down.get_or_insert(reason);
             if let Some(s) = conn.stream.take() {
-                // Unblocks the reader thread too.
+                let _ = self.poller.deregister(&s);
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
         }
@@ -395,67 +422,168 @@ impl NetClient {
     /// waiting continues.
     fn recv(&mut self, target: ProxyId, deadline: Instant) -> Result<Msg> {
         loop {
+            while let Some(event) = self.pending.pop_front() {
+                match event {
+                    ClientEvent::Msg(p, msg) => {
+                        // Frames decoded before a connection was marked
+                        // down are untrusted (the op that downed it left
+                        // the protocol exchange half-finished): drop them.
+                        if self
+                            .conns
+                            .get(p.0 as usize)
+                            .is_some_and(|c| c.down.is_none())
+                        {
+                            return Ok(msg);
+                        }
+                    }
+                    ClientEvent::Down(p, reason) => {
+                        if p == target {
+                            return Err(Error::Transport(reason));
+                        }
+                    }
+                }
+            }
+            if self.conns.iter().all(|c| c.down.is_some()) {
+                // No live socket can produce further events.
+                return Err(Error::Transport("every proxy connection is gone".into()));
+            }
             let now = Instant::now();
             if now >= deadline {
                 self.mark_down(target, "operation timed out".into());
                 return Err(Error::Transport("operation timed out".into()));
             }
-            match self.events.recv_timeout(deadline - now) {
-                Ok(ClientEvent::Msg(p, msg)) => {
-                    // Frames a connection decoded before it was marked
-                    // down are untrusted (the op that downed it left the
-                    // protocol exchange half-finished): drop them.
-                    if self
-                        .conns
-                        .get(p.0 as usize)
-                        .is_some_and(|c| c.down.is_none())
-                    {
-                        return Ok(msg);
+            self.poll_io(Some(deadline - now));
+        }
+    }
+
+    /// One pass of the event loop: polls every registered connection and
+    /// services readiness — decoding inbound frames into `pending`,
+    /// flushing outbound queues, arming/disarming writable interest.
+    fn poll_io(&mut self, timeout: Option<Duration>) {
+        let mut events = Events::with_capacity(64);
+        if self.poller.poll(&mut events, timeout).is_err() {
+            return;
+        }
+        let ready: Vec<(usize, bool, bool)> = events
+            .iter()
+            .map(|e| (e.token().0, e.is_readable(), e.is_writable()))
+            .collect();
+        for (i, readable, writable) in ready {
+            if readable {
+                self.read_conn(i);
+            }
+            if writable {
+                self.flush_conn(i);
+            }
+        }
+    }
+
+    /// Decodes every buffered inbound frame on one connection.
+    fn read_conn(&mut self, i: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(i) else {
+                return;
+            };
+            if conn.down.is_some() {
+                return;
+            }
+            let Some(stream) = conn.stream.as_mut() else {
+                return;
+            };
+            let proxy = conn.proxy;
+            match conn.reader.read(stream) {
+                Ok(NbRead::Frame(body)) => match Frame::decode_shared(&body) {
+                    Ok(Frame::App { msg }) => {
+                        self.pending.push_back(ClientEvent::Msg(proxy, msg));
                     }
-                }
-                Ok(ClientEvent::Down(p, reason)) => {
-                    self.mark_down(p, reason.clone());
-                    if p == target {
-                        return Err(Error::Transport(reason));
+                    Ok(Frame::Shutdown) => {
+                        self.fail_conn(i, "proxy shut down".into());
+                        return;
                     }
+                    Ok(_) => {} // nothing else addresses a client
+                    Err(e) => {
+                        self.fail_conn(i, e.to_string());
+                        return;
+                    }
+                },
+                Ok(NbRead::WouldBlock) => return,
+                Ok(NbRead::Closed) => {
+                    self.fail_conn(i, "proxy closed the connection".into());
+                    return;
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    self.mark_down(target, "operation timed out".into());
-                    return Err(Error::Transport("operation timed out".into()));
+                Err(FrameError::Closed) => {
+                    self.fail_conn(i, "proxy closed the connection".into());
+                    return;
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Every reader thread has exited — all proxies gone.
-                    self.mark_down(target, "every proxy connection is gone".into());
-                    return Err(Error::Transport("every proxy connection is gone".into()));
+                Err(e) => {
+                    self.fail_conn(i, e.to_string());
+                    return;
                 }
             }
         }
     }
+
+    /// Writes as much of one connection's queue as the socket accepts;
+    /// arms WRITABLE interest exactly while a backlog remains.
+    fn flush_conn(&mut self, i: usize) {
+        let mut failure = None;
+        if let Some(conn) = self.conns.get_mut(i) {
+            if conn.down.is_some() || conn.queue.is_empty() && !conn.want_write {
+                return;
+            }
+            let Some(stream) = conn.stream.as_mut() else {
+                return;
+            };
+            match conn.queue.write_to(stream) {
+                Ok(flush) => {
+                    let want_write = !flush.drained;
+                    if want_write != conn.want_write {
+                        let interest = if want_write {
+                            Interest::READABLE | Interest::WRITABLE
+                        } else {
+                            Interest::READABLE
+                        };
+                        if self
+                            .poller
+                            .reregister(stream, Token(i), interest, Mode::Level)
+                            .is_ok()
+                        {
+                            conn.want_write = want_write;
+                        } else {
+                            failure = Some("poller reregistration failed".to_string());
+                        }
+                    }
+                }
+                Err(e) => failure = Some(e.to_string()),
+            }
+        }
+        if let Some(reason) = failure {
+            self.fail_conn(i, reason);
+        }
+    }
+
+    /// Downs one connection and records the event for `recv`.
+    fn fail_conn(&mut self, i: usize, reason: String) {
+        let Some(conn) = self.conns.get(i) else {
+            return;
+        };
+        let proxy = conn.proxy;
+        self.mark_down(proxy, reason.clone());
+        self.pending.push_back(ClientEvent::Down(proxy, reason));
+    }
 }
 
-/// What [`handshake`] hands back for one connection: the connection
-/// state, the proxy's announced pool, the assigned client id, and the
-/// frame reader (the caller spawns its thread once every proxy has
-/// handshaken).
-type Handshaken = (
-    Conn,
-    Vec<LambdaId>,
-    ClientId,
-    (ProxyId, FrameReader<TcpStream>),
-);
-
-/// Performs the client handshake on a fresh connection.
-fn handshake(stream: TcpStream, expected: ProxyId, ec: EcConfig) -> Result<Handshaken> {
-    let mut stream = stream;
+/// Performs the (blocking) client handshake on a fresh connection.
+fn handshake(
+    mut stream: TcpStream,
+    expected: ProxyId,
+    ec: EcConfig,
+) -> Result<(Conn, Vec<LambdaId>, ClientId)> {
     stream
         .set_nodelay(true)
         .map_err(|e| Error::Transport(e.to_string()))?;
     Frame::HelloClient.write_to(&mut stream)?;
-    let read_half = stream
-        .try_clone()
-        .map_err(|e| Error::Transport(e.to_string()))?;
-    let mut reader = FrameReader::new(read_half);
-    let (client, proxy, pool) = match Frame::read(&mut reader)? {
+    let (client, proxy, pool) = match Frame::read_from(&mut stream)? {
         Frame::Welcome {
             client,
             proxy,
@@ -485,48 +613,18 @@ fn handshake(stream: TcpStream, expected: ProxyId, ec: EcConfig) -> Result<Hands
         Conn {
             proxy,
             stream: Some(stream),
-            outbox: Vec::new(),
+            reader: NbFrameReader::new(),
+            queue: FrameWriteQueue::new(),
+            want_write: false,
             down: None,
         },
         pool,
         client,
-        (proxy, reader),
     ))
-}
-
-/// One connection's reader thread: decodes frames into the shared event
-/// channel until the socket dies or the proxy says goodbye.
-fn reader_loop(proxy: ProxyId, mut reader: FrameReader<TcpStream>, tx: &Sender<ClientEvent>) {
-    loop {
-        match Frame::read(&mut reader) {
-            Ok(Frame::App { msg }) => {
-                if tx.send(ClientEvent::Msg(proxy, msg)).is_err() {
-                    return; // client dropped
-                }
-            }
-            Ok(Frame::Shutdown) => {
-                let _ = tx.send(ClientEvent::Down(proxy, "proxy shut down".into()));
-                return;
-            }
-            Ok(_) => {} // nothing else addresses a client
-            Err(FrameError::Closed) => {
-                let _ = tx.send(ClientEvent::Down(
-                    proxy,
-                    "proxy closed the connection".into(),
-                ));
-                return;
-            }
-            Err(e) => {
-                let _ = tx.send(ClientEvent::Down(proxy, e.to_string()));
-                return;
-            }
-        }
-    }
 }
 
 impl Drop for NetClient {
     fn drop(&mut self) {
-        // Shut every socket down so the reader threads unblock and exit.
         for conn in &self.conns {
             if let Some(s) = &conn.stream {
                 let _ = s.shutdown(std::net::Shutdown::Both);
@@ -538,9 +636,18 @@ impl Drop for NetClient {
 impl ClientTransport for NetClient {
     fn client_send(&mut self, _now: SimTime, _client: ClientId, proxy: ProxyId, msg: Msg) {
         // Queued, not written: `drive` flushes each connection's whole
-        // dispatch batch in one vectored write.
+        // dispatch batch in vectored writes.
+        let mut failure = None;
         if let Some(conn) = self.conns.get_mut(proxy.0 as usize) {
-            conn.outbox.push(Frame::App { msg }.encode_parts());
+            if conn.down.is_some() {
+                return;
+            }
+            if let Err(e) = conn.queue.push(Frame::App { msg }.encode_parts()) {
+                failure = Some(e.to_string());
+            }
+        }
+        if let Some(reason) = failure {
+            self.fail_conn(proxy.0 as usize, reason);
         }
     }
 

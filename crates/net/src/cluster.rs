@@ -132,6 +132,20 @@ impl LoopbackCluster {
         NetClient::connect_multi(&addrs, self.cfg.ec, seed)
     }
 
+    /// Aggregated socket-write coalescing counters across every live
+    /// proxy's I/O shards (see [`crate::proxy::WireSnapshot`]): how many
+    /// vectored write syscalls the fleet issued and how many frames they
+    /// carried.
+    pub fn wire_stats(&self) -> crate::proxy::WireSnapshot {
+        let mut total = crate::proxy::WireSnapshot::default();
+        for p in self.proxies.iter().flatten() {
+            let s = p.wire_stats();
+            total.vectored_writes += s.vectored_writes;
+            total.frames_written += s.frames_written;
+        }
+        total
+    }
+
     /// Provider-style reclaim of one node: its instances and cached
     /// chunks vanish, its daemon and socket stay up (the node answers
     /// `ChunkMiss` for lost chunks on the next request).

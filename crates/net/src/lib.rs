@@ -13,15 +13,18 @@
 //!   process per logical node, hosting its [`ic_lambda::Runtime`]
 //!   instances on real 100 ms billing cycles; killing the process is a
 //!   provider reclaim;
-//! * [`proxy`] — the socket-backed proxy: accept loops, per-connection
-//!   reader/writer threads, and the same [`ic_proxy::Proxy`] state
-//!   machine the other substrates drive; a deployment runs one instance
-//!   per [`ic_common::ProxyId`], each owning its disjoint slice of the
-//!   node-id space;
+//! * [`proxy`] — the socket-backed proxy: a readiness event loop (a
+//!   small pool of I/O shard threads over the workspace [`polling`]
+//!   shim, **O(workers), never O(connections)**) owning all client and
+//!   node sockets nonblocking, plus one protocol thread running the same
+//!   [`ic_proxy::Proxy`] state machine the other substrates drive; a
+//!   deployment runs one instance per [`ic_common::ProxyId`], each
+//!   owning its disjoint slice of the node-id space;
 //! * [`client`] — [`client::NetClient`], a synchronous client facade
 //!   (erasure coding on the client, §3.1) over one TCP connection per
-//!   proxy, ring-routing keys across the fleet with per-connection
-//!   framing state and failure isolation;
+//!   proxy — all multiplexed on a single poller inside the calling
+//!   thread, no background threads — ring-routing keys across the fleet
+//!   with per-connection framing state and failure isolation;
 //! * [`cluster`] — [`cluster::LoopbackCluster`], the whole deployment
 //!   (any proxy count) on loopback sockets inside one process, for tests
 //!   and benchmarks;
@@ -42,7 +45,8 @@
 //!
 //! Binaries (see the README's "Running a real cluster"): `ic-proxy`,
 //! `ic-node`, `ic-cli`, and `netbench`. No async runtime — plain
-//! `std::net` and threads, deployable anywhere the binaries run.
+//! `std::net` over the epoll/poll readiness shim in
+//! `crates/shims/polling`, deployable anywhere the binaries run.
 
 #![warn(missing_docs)]
 
@@ -58,5 +62,5 @@ pub mod wire;
 pub use client::NetClient;
 pub use cluster::LoopbackCluster;
 pub use node::{NetNode, NodeHandle};
-pub use proxy::{NetProxyConfig, NetProxyHandle};
+pub use proxy::{NetProxyConfig, NetProxyHandle, WireSnapshot};
 pub use wire::Frame;

@@ -1,22 +1,32 @@
 //! The socket-backed proxy: real TCP listeners in front of the same
 //! [`Proxy`] state machine the simulator and live mode drive.
 //!
-//! Thread structure (all plain `std::net`/`std::thread`, no async
-//! runtime):
+//! Thread structure (all plain `std::net`/`std::thread` over the
+//! [`polling`] readiness shim, no async runtime) — **O(workers), never
+//! O(connections)**:
 //!
-//! * two **accept loops** — one for clients, one for node daemons — that
-//!   perform the [`Frame`] handshake per connection and hand the peer to
-//!   the event loop;
-//! * one **reader thread per connection**, decoding frames into the
-//!   single event channel (so the protocol loop never blocks on a slow
-//!   peer's socket);
-//! * one **writer thread per connection**, draining an unbounded queue
-//!   (so a peer that stops reading — a client idling between operations
-//!   while late chunks stream at it — stalls only its own queue, never
-//!   the protocol loop);
-//! * one **event loop** owning the [`Proxy`] state machine, executing its
-//!   actions through the shared [`infinicache::dispatch`] engine with
-//!   this module's [`ProxyTransport`] implementation.
+//! * a small pool of **I/O shard threads** (sized to cores, capped —
+//!   [`NetProxyConfig::io_workers`]), each running a readiness event
+//!   loop that owns a share of the client/node sockets in nonblocking
+//!   mode. Shard 0 also owns both listeners and deals fresh connections
+//!   round-robin across the pool. Per connection, a shard keeps an
+//!   incremental [`NbFrameReader`] decode state machine driven by
+//!   readable events and a [`FrameWriteQueue`] drained by writable
+//!   events — vectored, batch-coalesced writes with byte-precise
+//!   `WouldBlock` resumption;
+//! * one **protocol thread** owning the [`Proxy`] state machine,
+//!   executing its actions through the shared [`infinicache::dispatch`]
+//!   engine with this module's [`ProxyTransport`] implementation.
+//!   Outbound frames are encoded here (scatter/gather, payloads
+//!   uncopied) and handed to the owning shard through a per-connection
+//!   outbox + waker.
+//!
+//! Backpressure: a peer that stops reading accumulates bytes in its own
+//! write queue only — never stalling a shard (writes are nonblocking)
+//! nor the protocol thread (sends are queue pushes). When a
+//! connection's queued bytes exceed [`NetProxyConfig::max_peer_backlog`]
+//! the proxy closes it as a slow consumer; every other connection is
+//! unaffected.
 //!
 //! The per-node connection lifecycle maps onto real socket events:
 //! *invoke-on-demand* becomes a [`Frame::Invoke`] to the node's daemon
@@ -30,22 +40,21 @@
 //! edge.
 
 use std::collections::HashMap;
-use std::io::Write;
-
-use ic_common::frame::{write_frame_batch, FrameReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ic_common::frame::{FrameParts, FrameWriteQueue, NbFrameReader, NbRead};
 use ic_common::msg::{InvokePayload, Msg};
 use ic_common::{
     ClientId, DeploymentConfig, Error, InstanceId, LambdaId, ProxyId, RelayId, Result, SimTime,
 };
 use ic_proxy::{Proxy, ProxyAction, ProxyConfig};
 use infinicache::dispatch::{self, LambdaCtx, ProxyTransport};
+use polling::{Events, Interest, Mode, Poller, Token, Waker};
 
 use crate::wire::Frame;
 
@@ -66,7 +75,23 @@ pub struct NetProxyConfig {
     /// Warm-up tick period, `None` to disable (tests disable it; the
     /// `ic-proxy` binary defaults to the deployment's `Twarm`).
     pub warmup: Option<Duration>,
+    /// Per-connection outbound buffering bound in bytes: a peer whose
+    /// unwritten queue exceeds this is closed as a slow consumer.
+    pub max_peer_backlog: usize,
+    /// I/O shard thread count; `None` sizes to the host's cores (capped
+    /// at [`MAX_IO_WORKERS`]).
+    pub io_workers: Option<usize>,
 }
+
+/// Default [`NetProxyConfig::max_peer_backlog`]: a few hundred chunk
+/// frames — bursts of streamed chunks at one client ride it out, a
+/// genuinely stalled reader trips it quickly.
+pub const DEFAULT_PEER_BACKLOG: usize = 64 * 1024 * 1024;
+
+/// Cap on auto-sized I/O shard threads: loopback benches show the event
+/// loop saturates well before this many shards, and the token space
+/// stays easy to reason about.
+pub const MAX_IO_WORKERS: usize = 8;
 
 impl NetProxyConfig {
     /// Loopback config for proxy 0 on ephemeral ports with warm-ups off.
@@ -82,27 +107,145 @@ impl NetProxyConfig {
             client_addr: "127.0.0.1:0".parse().expect("static addr"),
             node_addr: "127.0.0.1:0".parse().expect("static addr"),
             warmup: None,
+            max_peer_backlog: DEFAULT_PEER_BACKLOG,
+            io_workers: None,
+        }
+    }
+
+    fn resolved_io_workers(&self) -> usize {
+        self.io_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_IO_WORKERS)
+        })
+    }
+}
+
+/// Aggregate socket-write telemetry across all I/O shards.
+#[derive(Default)]
+struct WireStats {
+    vectored_writes: AtomicU64,
+    frames_written: AtomicU64,
+}
+
+/// Snapshot of the proxy's socket-write coalescing counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireSnapshot {
+    /// Vectored writes (syscalls) the shards issued.
+    pub vectored_writes: u64,
+    /// Frames those writes carried; the ratio is the coalescing factor.
+    pub frames_written: u64,
+}
+
+impl WireSnapshot {
+    /// Frames per vectored write (1.0 when nothing was written).
+    pub fn frames_per_write(&self) -> f64 {
+        if self.vectored_writes == 0 {
+            1.0
+        } else {
+            self.frames_written as f64 / self.vectored_writes as f64
         }
     }
 }
 
 /// Events feeding the proxy's protocol loop.
 enum Ev {
-    ClientJoin(ClientId, Sender<Frame>),
+    ClientJoin(ClientId, PeerHandle),
     ClientMsg(ClientId, Msg),
     ClientGone(ClientId),
     /// A node daemon connected; the `u64` is the connection generation,
     /// so a stale `NodeGone` from a previous connection of the same node
     /// cannot clobber a fresh one.
-    NodeJoin(LambdaId, u64, Sender<Frame>),
+    NodeJoin(LambdaId, u64, PeerHandle),
     NodeMsg(LambdaId, InstanceId, Msg),
     NodeUnreachable(LambdaId, Msg),
     NodeGone(LambdaId, u64),
     /// Orderly shutdown: peers are notified with [`Frame::Shutdown`].
     Quit,
-    /// Abrupt death: the loop exits without notifying anyone, so peers
-    /// observe dropped sockets — the test harness's `kill -9` equivalent.
+    /// Abrupt death: sockets drop without notice — the test harness's
+    /// `kill -9` equivalent.
     Die,
+}
+
+/// Control messages posted to an I/O shard (paired with a waker nudge).
+enum ShardCtl {
+    /// Take ownership of a freshly accepted, not-yet-handshaken socket.
+    Adopt(TcpStream, Port),
+    /// A connection's outbox gained frames; transfer and flush them.
+    Flush(usize),
+    /// Exit; `drain` gives queued frames one best-effort flush first.
+    Stop { drain: bool },
+}
+
+/// Which listener a connection arrived on (fixes the expected hello).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Port {
+    Client,
+    Node,
+}
+
+/// Handshake / identity state of one shard-owned connection.
+#[derive(Clone, Copy)]
+enum PeerState {
+    /// Waiting for the hello frame appropriate to the arrival port.
+    AwaitHello(Port),
+    Client(ClientId),
+    Node(LambdaId, u64),
+}
+
+/// One shard's cross-thread mailbox: lock-protected control queue plus
+/// the waker that interrupts its poll.
+struct ShardShared {
+    inbox: Mutex<Vec<ShardCtl>>,
+    waker: Waker,
+}
+
+impl ShardShared {
+    fn post(&self, ctl: ShardCtl) {
+        self.inbox.lock().expect("shard inbox").push(ctl);
+        self.waker.wake();
+    }
+}
+
+/// Protocol-thread side of one connection's outbound path: encoded
+/// frames pile into the outbox; the owning shard transfers them into its
+/// privately-owned write queue on the next wake (so no lock is ever held
+/// across a socket write).
+struct Outbox {
+    frames: Mutex<Vec<FrameParts>>,
+    /// Set by the shard when the connection dies: sends fail fast.
+    closed: AtomicBool,
+}
+
+/// The protocol loop's handle to one peer connection.
+struct PeerHandle {
+    shard: Arc<ShardShared>,
+    token: usize,
+    outbox: Arc<Outbox>,
+}
+
+impl PeerHandle {
+    /// Queues a frame for the peer; `Err` returns it when the connection
+    /// is already gone (the delivery-failure path).
+    fn send(&self, frame: Frame) -> std::result::Result<(), Frame> {
+        if self.outbox.closed.load(Ordering::Acquire) {
+            return Err(frame);
+        }
+        let parts = frame.encode_parts();
+        let was_empty = {
+            let mut frames = self.outbox.frames.lock().expect("peer outbox");
+            let was_empty = frames.is_empty();
+            frames.push(parts);
+            was_empty
+        };
+        if was_empty {
+            // The shard drains the whole outbox per wake; only the
+            // empty→nonempty transition needs a nudge.
+            self.shard.post(ShardCtl::Flush(self.token));
+        }
+        Ok(())
+    }
 }
 
 /// A running socket-backed proxy.
@@ -112,13 +255,14 @@ pub struct NetProxyHandle {
     /// Address node daemons connect to.
     pub node_addr: SocketAddr,
     events: Sender<Ev>,
-    stop: Arc<AtomicBool>,
+    shards: Vec<Arc<ShardShared>>,
+    wire: Arc<WireStats>,
     joins: Vec<JoinHandle<()>>,
 }
 
 impl NetProxyHandle {
-    /// Stops the proxy: notifies peers, unblocks the accept loops, and
-    /// joins every long-lived thread.
+    /// Stops the proxy: notifies peers, flushes what it can, and joins
+    /// every thread.
     pub fn shutdown(self) {
         self.stop_with(Ev::Quit);
     }
@@ -130,13 +274,22 @@ impl NetProxyHandle {
         self.stop_with(Ev::Die);
     }
 
+    /// Socket-write coalescing counters accumulated so far.
+    pub fn wire_stats(&self) -> WireSnapshot {
+        WireSnapshot {
+            vectored_writes: self.wire.vectored_writes.load(Ordering::Relaxed),
+            frames_written: self.wire.frames_written.load(Ordering::Relaxed),
+        }
+    }
+
     fn stop_with(mut self, ev: Ev) {
-        let _ = self.events.send(ev);
-        self.stop.store(true, Ordering::SeqCst);
-        // Dummy connections unblock the accept loops so they observe the
-        // stop flag.
-        let _ = TcpStream::connect(self.client_addr);
-        let _ = TcpStream::connect(self.node_addr);
+        // The protocol thread broadcasts Shutdown frames (for Quit) and
+        // then stops the shards; if it is already gone, stop them here.
+        if self.events.send(ev).is_err() {
+            for shard in &self.shards {
+                shard.post(ShardCtl::Stop { drain: false });
+            }
+        }
         for j in self.joins.drain(..) {
             let _ = j.join();
         }
@@ -154,7 +307,7 @@ impl NetProxyHandle {
 ///
 /// [`Error::Config`] for invalid deployments (including a `proxy` id
 /// outside the deployment) and [`Error::Transport`] when a listener
-/// cannot bind.
+/// cannot bind or a thread/poller cannot start.
 pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
     cfg.deployment.validate()?;
     if cfg.proxy.0 >= cfg.deployment.proxies {
@@ -163,81 +316,90 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
             cfg.proxy.0, cfg.deployment.proxies
         )));
     }
-    let client_listener =
-        TcpListener::bind(cfg.client_addr).map_err(|e| Error::Transport(e.to_string()))?;
-    let node_listener =
-        TcpListener::bind(cfg.node_addr).map_err(|e| Error::Transport(e.to_string()))?;
-    let client_addr = client_listener
-        .local_addr()
-        .map_err(|e| Error::Transport(e.to_string()))?;
-    let node_addr = node_listener
-        .local_addr()
-        .map_err(|e| Error::Transport(e.to_string()))?;
+    let transport = |e: std::io::Error| Error::Transport(e.to_string());
+    let client_listener = TcpListener::bind(cfg.client_addr).map_err(transport)?;
+    let node_listener = TcpListener::bind(cfg.node_addr).map_err(transport)?;
+    client_listener.set_nonblocking(true).map_err(transport)?;
+    node_listener.set_nonblocking(true).map_err(transport)?;
+    let client_addr = client_listener.local_addr().map_err(transport)?;
+    let node_addr = node_listener.local_addr().map_err(transport)?;
 
     let proxy_id = cfg.proxy;
     let pool: Arc<Vec<LambdaId>> = Arc::new(cfg.deployment.proxy_pool(proxy_id).collect());
     let (events_tx, events_rx) = channel::<Ev>();
-    let stop = Arc::new(AtomicBool::new(false));
-    let mut joins = Vec::new();
-
-    // Client accept loop.
+    let wire = Arc::new(WireStats::default());
     let client_ids = Arc::new(ClientIds::default());
-    {
-        let events = events_tx.clone();
-        let stop = stop.clone();
-        let pool = pool.clone();
-        let client_ids = client_ids.clone();
+    let next_generation = Arc::new(AtomicU64::new(0));
+    let workers = cfg.resolved_io_workers().max(1);
+
+    let mut shards: Vec<Arc<ShardShared>> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        shards.push(Arc::new(ShardShared {
+            inbox: Mutex::new(Vec::new()),
+            waker: Waker::new().map_err(transport)?,
+        }));
+    }
+
+    let mut joins = Vec::new();
+    for (index, shared) in shards.iter().enumerate() {
+        let poller = Poller::new().map_err(transport)?;
+        poller
+            .register(
+                &shared.waker,
+                Token(TOKEN_WAKER),
+                Interest::READABLE,
+                Mode::Level,
+            )
+            .map_err(transport)?;
+        let listeners = if index == 0 {
+            poller
+                .register(
+                    &client_listener,
+                    Token(TOKEN_CLIENT_LISTENER),
+                    Interest::READABLE,
+                    Mode::Level,
+                )
+                .map_err(transport)?;
+            poller
+                .register(
+                    &node_listener,
+                    Token(TOKEN_NODE_LISTENER),
+                    Interest::READABLE,
+                    Mode::Level,
+                )
+                .map_err(transport)?;
+            Some((
+                client_listener.try_clone().map_err(transport)?,
+                node_listener.try_clone().map_err(transport)?,
+            ))
+        } else {
+            None
+        };
+        let mut shard = Shard {
+            poller,
+            shared: shared.clone(),
+            siblings: shards.clone(),
+            next_sibling: AtomicUsize::new(1),
+            listeners,
+            conns: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            events: events_tx.clone(),
+            proxy_id,
+            pool: pool.clone(),
+            client_ids: client_ids.clone(),
+            next_generation: next_generation.clone(),
+            wire: wire.clone(),
+            max_backlog: cfg.max_peer_backlog,
+        };
         joins.push(
             std::thread::Builder::new()
-                .name("ic-proxy-accept-clients".into())
-                .spawn(move || {
-                    for conn in client_listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        let Ok(stream) = conn else { continue };
-                        let events = events.clone();
-                        let pool = pool.clone();
-                        let client_ids = client_ids.clone();
-                        let _ = std::thread::Builder::new()
-                            .name("ic-proxy-client-conn".into())
-                            .spawn(move || {
-                                client_connection(stream, proxy_id, &pool, &client_ids, &events);
-                            });
-                    }
-                })
+                .name(format!("ic-proxy-io-{index}"))
+                .spawn(move || shard.run())
                 .map_err(|e| Error::Transport(e.to_string()))?,
         );
     }
 
-    // Node accept loop.
-    {
-        let events = events_tx.clone();
-        let stop = stop.clone();
-        let pool = pool.clone();
-        let next_generation = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        joins.push(
-            std::thread::Builder::new()
-                .name("ic-proxy-accept-nodes".into())
-                .spawn(move || {
-                    for conn in node_listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        let Ok(stream) = conn else { continue };
-                        let events = events.clone();
-                        let pool = pool.clone();
-                        let generation = next_generation.fetch_add(1, Ordering::SeqCst);
-                        let _ = std::thread::Builder::new()
-                            .name("ic-proxy-node-conn".into())
-                            .spawn(move || node_connection(stream, generation, &pool, &events));
-                    }
-                })
-                .map_err(|e| Error::Transport(e.to_string()))?,
-        );
-    }
-
-    // Protocol event loop.
+    // Protocol thread.
     {
         let proxy = Proxy::new(
             ProxyConfig {
@@ -247,6 +409,8 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
             pool.iter().copied(),
         );
         let warmup = cfg.warmup;
+        let shards = shards.clone();
+        let wire = wire.clone();
         joins.push(
             std::thread::Builder::new()
                 .name("ic-proxy-events".into())
@@ -259,6 +423,8 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
                         pending_invokes: HashMap::new(),
                         epoch: Instant::now(),
                         events_seen: 0,
+                        shards,
+                        wire,
                     }
                     .run(events_rx, warmup)
                 })
@@ -270,45 +436,10 @@ pub fn start(cfg: NetProxyConfig) -> Result<NetProxyHandle> {
         client_addr,
         node_addr,
         events: events_tx,
-        stop,
+        shards,
+        wire,
         joins,
     })
-}
-
-/// Upper bound on frames coalesced into one vectored write: keeps the
-/// iovec list well under the platform's `IOV_MAX` (each frame
-/// contributes a handful of segments) while still batching bursts.
-const WRITE_BATCH_MAX: usize = 64;
-
-/// Spawns the writer thread for one connection and returns its queue.
-///
-/// Frames that queued up while the previous write was on the socket are
-/// coalesced into a single vectored write ([`write_frame_batch`]) —
-/// chunk payloads travel from the decoded inbound frame's allocation
-/// straight to the outbound socket, never copied into a body buffer.
-fn spawn_writer(stream: TcpStream, name: &str) -> Sender<Frame> {
-    let (tx, rx) = channel::<Frame>();
-    let mut stream = stream;
-    let _ = std::thread::Builder::new()
-        .name(name.to_string())
-        .spawn(move || {
-            let mut batch = Vec::new();
-            while let Ok(frame) = rx.recv() {
-                batch.push(frame.encode_parts());
-                while batch.len() < WRITE_BATCH_MAX {
-                    match rx.try_recv() {
-                        Ok(f) => batch.push(f.encode_parts()),
-                        Err(_) => break,
-                    }
-                }
-                if write_frame_batch(&mut stream, &batch).is_err() {
-                    return;
-                }
-                batch.clear();
-            }
-            let _ = stream.flush();
-        });
-    tx
 }
 
 /// Client-identity allocator: ids of disconnected clients are recycled,
@@ -317,7 +448,7 @@ fn spawn_writer(stream: TcpStream, name: &str) -> Sender<Frame> {
 /// a newcomer and cross-wire their replies.
 #[derive(Default)]
 struct ClientIds {
-    inner: std::sync::Mutex<ClientIdsInner>,
+    inner: Mutex<ClientIdsInner>,
 }
 
 #[derive(Default)]
@@ -351,109 +482,379 @@ impl ClientIds {
     }
 }
 
-/// Handshakes and then reads one client connection.
-fn client_connection(
+/// Reserved shard tokens: the waker and (on shard 0) the listeners.
+const TOKEN_WAKER: usize = 0;
+const TOKEN_CLIENT_LISTENER: usize = 1;
+const TOKEN_NODE_LISTENER: usize = 2;
+const TOKEN_FIRST_CONN: usize = 3;
+
+/// Frames decoded per connection per readable event before yielding to
+/// the other connections; level-triggered readiness re-fires, so a
+/// firehose peer cannot monopolize its shard.
+const READ_FAIRNESS_FRAMES: usize = 1024;
+
+/// How long an orderly shutdown keeps retrying a not-yet-drained write
+/// queue before dropping the socket anyway.
+const DRAIN_GRACE: Duration = Duration::from_millis(100);
+
+/// One nonblocking connection owned by an I/O shard.
+struct PeerConn {
     stream: TcpStream,
-    proxy: ProxyId,
-    pool: &[LambdaId],
-    ids: &ClientIds,
-    events: &Sender<Ev>,
-) {
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = FrameReader::new(stream);
-    match Frame::read(&mut reader) {
-        Ok(Frame::HelloClient) => {}
-        _ => return, // not a client (or the shutdown waker): drop
+    reader: NbFrameReader,
+    queue: FrameWriteQueue,
+    outbox: Arc<Outbox>,
+    state: PeerState,
+    /// Whether the poller registration currently includes WRITABLE.
+    want_write: bool,
+}
+
+/// One I/O shard: a readiness loop owning a share of the connections.
+struct Shard {
+    poller: Poller,
+    shared: Arc<ShardShared>,
+    /// All shards (self included) for round-robin connection dealing;
+    /// only shard 0 (the listener owner) uses it.
+    siblings: Vec<Arc<ShardShared>>,
+    next_sibling: AtomicUsize,
+    /// Shard 0 keeps the listeners; other shards have `None`.
+    listeners: Option<(TcpListener, TcpListener)>,
+    conns: HashMap<usize, PeerConn>,
+    next_token: usize,
+    events: Sender<Ev>,
+    proxy_id: ProxyId,
+    pool: Arc<Vec<LambdaId>>,
+    client_ids: Arc<ClientIds>,
+    next_generation: Arc<AtomicU64>,
+    wire: Arc<WireStats>,
+    max_backlog: usize,
+}
+
+impl Shard {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(256);
+        loop {
+            let _ = self.poller.poll(&mut events, None);
+            // Drain cross-thread controls first: adoption registers new
+            // sockets, Stop must win over pending I/O. Ack strictly
+            // before taking the inbox: a post() landing between the two
+            // then leaves the waker readable and the next poll returns
+            // immediately, whereas the reverse order would drain the
+            // wake signal of a control we haven't taken — a lost wakeup
+            // stalling that peer until unrelated traffic arrives.
+            self.shared.waker.ack();
+            let ctls: Vec<ShardCtl> =
+                std::mem::take(&mut *self.shared.inbox.lock().expect("shard inbox"));
+            for ctl in ctls {
+                match ctl {
+                    ShardCtl::Adopt(stream, port) => self.adopt(stream, port),
+                    ShardCtl::Flush(token) => {
+                        self.transfer_outbox(token);
+                        self.flush_conn(token);
+                    }
+                    ShardCtl::Stop { drain } => {
+                        self.stop(drain);
+                        return;
+                    }
+                }
+            }
+            let mut accepted = false;
+            let mut ready: Vec<(usize, bool, bool)> = Vec::new();
+            for ev in &events {
+                match ev.token().0 {
+                    TOKEN_WAKER => {} // acked above
+                    TOKEN_CLIENT_LISTENER | TOKEN_NODE_LISTENER => accepted = true,
+                    token => ready.push((token, ev.is_readable(), ev.is_writable())),
+                }
+            }
+            if accepted {
+                self.accept_ready();
+            }
+            for (token, readable, writable) in ready {
+                if readable {
+                    self.read_conn(token);
+                }
+                if writable {
+                    self.flush_conn(token);
+                }
+            }
+        }
     }
-    let Some(client) = ids.alloc() else {
-        return; // id space exhausted by concurrent clients: refuse
-    };
-    let writer = spawn_writer(write_half, "ic-proxy-client-writer");
-    if writer
-        .send(Frame::Welcome {
-            client,
-            proxy,
-            pool: pool.to_vec(),
-        })
-        .is_err()
-    {
-        // The event loop never saw this id; return it directly. (After
-        // ClientJoin, the id is released by the event loop on ClientGone
-        // so a recycled id can never race its predecessor's teardown.)
-        ids.release(client);
-        return;
+
+    /// Accepts every pending connection on both listeners and deals each
+    /// to a shard round-robin.
+    fn accept_ready(&mut self) {
+        let Some((client_listener, node_listener)) = self.listeners.take() else {
+            return;
+        };
+        for (listener, port) in [
+            (&client_listener, Port::Client),
+            (&node_listener, Port::Node),
+        ] {
+            // On error (WouldBlock or transient) stop and retry next poll.
+            while let Ok((stream, _)) = listener.accept() {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let target =
+                    self.next_sibling.fetch_add(1, Ordering::Relaxed) % self.siblings.len();
+                if target == 0 {
+                    self.adopt(stream, port);
+                } else {
+                    self.siblings[target].post(ShardCtl::Adopt(stream, port));
+                }
+            }
+        }
+        self.listeners = Some((client_listener, node_listener));
     }
-    if events.send(Ev::ClientJoin(client, writer)).is_err() {
-        return;
+
+    /// Registers a fresh connection and starts its handshake state.
+    fn adopt(&mut self, stream: TcpStream, port: Port) {
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(&stream, Token(token), Interest::READABLE, Mode::Level)
+            .is_err()
+        {
+            return; // dead socket: drop it
+        }
+        self.conns.insert(
+            token,
+            PeerConn {
+                stream,
+                reader: NbFrameReader::new(),
+                queue: FrameWriteQueue::new(),
+                outbox: Arc::new(Outbox {
+                    frames: Mutex::new(Vec::new()),
+                    closed: AtomicBool::new(false),
+                }),
+                state: PeerState::AwaitHello(port),
+                want_write: false,
+            },
+        );
     }
-    loop {
-        match Frame::read(&mut reader) {
-            Ok(Frame::App { msg }) => {
-                if events.send(Ev::ClientMsg(client, msg)).is_err() {
+
+    /// Drains readable frames from one connection (bounded per event for
+    /// fairness; level-triggered readiness re-fires for the rest).
+    fn read_conn(&mut self, token: usize) {
+        for _ in 0..READ_FAIRNESS_FRAMES {
+            let step = match self.conns.get_mut(&token) {
+                Some(conn) => conn.reader.read(&mut conn.stream),
+                None => return,
+            };
+            match step {
+                Ok(NbRead::Frame(body)) => {
+                    let Ok(frame) = Frame::decode_shared(&body) else {
+                        self.close_conn(token);
+                        return;
+                    };
+                    if !self.on_frame(token, frame) {
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+                Ok(NbRead::WouldBlock) => break,
+                Ok(NbRead::Closed) | Err(_) => {
+                    self.close_conn(token);
                     return;
                 }
             }
-            Ok(_) => {} // clients send nothing else; ignore
-            Err(_) => {
-                let _ = events.send(Ev::ClientGone(client));
-                return;
+        }
+        // A handshake reply (Welcome) may have been queued: push it out.
+        self.flush_conn(token);
+    }
+
+    /// Reacts to one inbound frame; `false` means drop the connection.
+    fn on_frame(&mut self, token: usize, frame: Frame) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        match (conn.state, frame) {
+            (PeerState::AwaitHello(Port::Client), Frame::HelloClient) => {
+                let Some(client) = self.client_ids.alloc() else {
+                    return false; // id space exhausted: refuse
+                };
+                let welcome = Frame::Welcome {
+                    client,
+                    proxy: self.proxy_id,
+                    pool: self.pool.to_vec(),
+                };
+                if conn.queue.push(welcome.encode_parts()).is_err() {
+                    self.client_ids.release(client);
+                    return false;
+                }
+                conn.state = PeerState::Client(client);
+                let handle = PeerHandle {
+                    shard: self.shared.clone(),
+                    token,
+                    outbox: conn.outbox.clone(),
+                };
+                // After ClientJoin the protocol thread owns the id: it
+                // releases it on ClientGone, so a recycled id can never
+                // race its predecessor's teardown.
+                self.events.send(Ev::ClientJoin(client, handle)).is_ok()
             }
+            (PeerState::AwaitHello(Port::Node), Frame::HelloNode { lambda })
+                if self.pool.contains(&lambda) =>
+            {
+                let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+                conn.state = PeerState::Node(lambda, generation);
+                let handle = PeerHandle {
+                    shard: self.shared.clone(),
+                    token,
+                    outbox: conn.outbox.clone(),
+                };
+                self.events
+                    .send(Ev::NodeJoin(lambda, generation, handle))
+                    .is_ok()
+            }
+            (PeerState::AwaitHello(_), _) => false, // wrong hello: drop
+            (PeerState::Client(client), Frame::App { msg }) => {
+                self.events.send(Ev::ClientMsg(client, msg)).is_ok()
+            }
+            (PeerState::Node(lambda, _), Frame::FromInstance { instance, msg }) => {
+                self.events.send(Ev::NodeMsg(lambda, instance, msg)).is_ok()
+            }
+            (PeerState::Node(lambda, _), Frame::Unreachable { msg }) => {
+                self.events.send(Ev::NodeUnreachable(lambda, msg)).is_ok()
+            }
+            // Peers send nothing else; ignore strays (forward compat).
+            _ => true,
+        }
+    }
+
+    /// Moves protocol-thread frames from a connection's outbox into its
+    /// write queue, enforcing the slow-consumer bound.
+    fn transfer_outbox(&mut self, token: usize) {
+        let mut kill = false;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let frames = std::mem::take(&mut *conn.outbox.frames.lock().expect("peer outbox"));
+        for parts in frames {
+            if conn.queue.push(parts).is_err() {
+                kill = true;
+                break;
+            }
+        }
+        if conn.queue.queued_bytes() > self.max_backlog {
+            // The peer stopped reading: cut it loose rather than buffer
+            // without bound. Only this connection pays.
+            kill = true;
+        }
+        if kill {
+            self.close_conn(token);
+        }
+    }
+
+    /// Writes as much of a connection's queue as the socket accepts and
+    /// keeps WRITABLE interest armed exactly while a backlog remains.
+    fn flush_conn(&mut self, token: usize) {
+        let mut kill = false;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.queue.write_to(&mut conn.stream) {
+            Ok(flush) => {
+                if flush.vectored_writes > 0 {
+                    self.wire
+                        .vectored_writes
+                        .fetch_add(flush.vectored_writes, Ordering::Relaxed);
+                    self.wire
+                        .frames_written
+                        .fetch_add(flush.frames, Ordering::Relaxed);
+                }
+                let want_write = !flush.drained;
+                if want_write != conn.want_write {
+                    let interest = if want_write {
+                        Interest::READABLE | Interest::WRITABLE
+                    } else {
+                        Interest::READABLE
+                    };
+                    if self
+                        .poller
+                        .reregister(&conn.stream, Token(token), interest, Mode::Level)
+                        .is_ok()
+                    {
+                        conn.want_write = want_write;
+                    } else {
+                        kill = true;
+                    }
+                }
+            }
+            Err(_) => {
+                kill = true;
+            }
+        }
+        if kill {
+            self.close_conn(token);
+        }
+    }
+
+    /// Tears one connection down and tells the protocol thread (join
+    /// events for a connection always precede its gone event, since the
+    /// same shard thread emits both in order).
+    fn close_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        conn.outbox.closed.store(true, Ordering::Release);
+        conn.outbox.frames.lock().expect("peer outbox").clear();
+        let _ = self.poller.deregister(&conn.stream);
+        match conn.state {
+            PeerState::AwaitHello(_) => {}
+            PeerState::Client(client) => {
+                let _ = self.events.send(Ev::ClientGone(client));
+            }
+            PeerState::Node(lambda, generation) => {
+                let _ = self.events.send(Ev::NodeGone(lambda, generation));
+            }
+        }
+    }
+
+    /// Final teardown; with `drain`, queued frames (Shutdown notices)
+    /// get a brief best-effort flush before the sockets drop.
+    fn stop(&mut self, drain: bool) {
+        if drain {
+            let tokens: Vec<usize> = self.conns.keys().copied().collect();
+            for token in &tokens {
+                self.transfer_outbox(*token);
+            }
+            let deadline = Instant::now() + DRAIN_GRACE;
+            loop {
+                let mut pending = false;
+                for (_, conn) in self.conns.iter_mut() {
+                    if conn.queue.is_empty() {
+                        continue;
+                    }
+                    match conn.queue.write_to(&mut conn.stream) {
+                        Ok(flush) if !flush.drained => pending = true,
+                        _ => {}
+                    }
+                }
+                if !pending || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for (_, conn) in self.conns.drain() {
+            conn.outbox.closed.store(true, Ordering::Release);
         }
     }
 }
 
-/// Handshakes and then reads one node-daemon connection.
-fn node_connection(stream: TcpStream, generation: u64, pool: &[LambdaId], events: &Sender<Ev>) {
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = FrameReader::new(stream);
-    let lambda = match Frame::read(&mut reader) {
-        Ok(Frame::HelloNode { lambda }) if pool.contains(&lambda) => lambda,
-        _ => return, // unknown node or not a node: drop
-    };
-    let writer = spawn_writer(write_half, "ic-proxy-node-writer");
-    if events
-        .send(Ev::NodeJoin(lambda, generation, writer))
-        .is_err()
-    {
-        return;
-    }
-    loop {
-        match Frame::read(&mut reader) {
-            Ok(Frame::FromInstance { instance, msg }) => {
-                if events.send(Ev::NodeMsg(lambda, instance, msg)).is_err() {
-                    return;
-                }
-            }
-            Ok(Frame::Unreachable { msg }) => {
-                if events.send(Ev::NodeUnreachable(lambda, msg)).is_err() {
-                    return;
-                }
-            }
-            Ok(_) => {}
-            Err(_) => {
-                let _ = events.send(Ev::NodeGone(lambda, generation));
-                return;
-            }
-        }
-    }
-}
-
-/// The protocol loop: owns the state machine and all peer queues.
+/// The protocol loop: owns the state machine and all peer handles.
 struct ProxyLoop {
     proxy: Proxy,
     /// Returns disconnected clients' ids to the allocator (in event
     /// order, so a recycled id cannot overtake its predecessor's
     /// teardown).
     client_ids: Arc<ClientIds>,
-    clients: HashMap<ClientId, Sender<Frame>>,
-    /// Live node connections: `(connection generation, frame queue)`.
-    nodes: HashMap<LambdaId, (u64, Sender<Frame>)>,
+    clients: HashMap<ClientId, PeerHandle>,
+    /// Live node connections: `(connection generation, peer handle)`.
+    nodes: HashMap<LambdaId, (u64, PeerHandle)>,
     /// Invocations requested while a node's daemon was unreachable,
     /// delivered the moment it (re)connects — the socket equivalent of
     /// the provider queueing an invoke.
@@ -461,6 +862,8 @@ struct ProxyLoop {
     epoch: Instant,
     /// Events processed so far; drives the periodic debug-build audit.
     events_seen: u64,
+    shards: Vec<Arc<ShardShared>>,
+    wire: Arc<WireStats>,
 }
 
 impl ProxyLoop {
@@ -477,12 +880,12 @@ impl ProxyLoop {
                     match events.recv_timeout(timeout) {
                         Ok(e) => Some(e),
                         Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => return,
+                        Err(RecvTimeoutError::Disconnected) => return self.stop_shards(false),
                     }
                 }
                 None => match events.recv() {
                     Ok(e) => Some(e),
-                    Err(_) => return,
+                    Err(_) => return self.stop_shards(false),
                 },
             };
             let actions: Vec<ProxyAction> = match ev {
@@ -490,8 +893,8 @@ impl ProxyLoop {
                     next_tick = warmup.map(|w| Instant::now() + w);
                     self.proxy.on_warmup_tick()
                 }
-                Some(Ev::ClientJoin(c, tx)) => {
-                    self.clients.insert(c, tx);
+                Some(Ev::ClientJoin(c, handle)) => {
+                    self.clients.insert(c, handle);
                     Vec::new()
                 }
                 Some(Ev::ClientMsg(c, msg)) => self.proxy.on_client(c, msg),
@@ -505,10 +908,10 @@ impl ProxyLoop {
                     self.client_ids.release(c);
                     actions
                 }
-                Some(Ev::NodeJoin(l, generation, tx)) => {
+                Some(Ev::NodeJoin(l, generation, handle)) => {
                     // A newer connection replaces any older one; the old
                     // connection's eventual NodeGone is ignored below.
-                    self.nodes.insert(l, (generation, tx));
+                    self.nodes.insert(l, (generation, handle));
                     if let Some(payload) = self.pending_invokes.remove(&l) {
                         // The queued invoke fires now that the daemon is
                         // reachable.
@@ -530,25 +933,30 @@ impl ProxyLoop {
                     }
                 }
                 Some(Ev::Quit) => {
-                    for tx in self
+                    for handle in self
                         .nodes
                         .values()
-                        .map(|(_, tx)| tx)
+                        .map(|(_, h)| h)
                         .chain(self.clients.values())
                     {
-                        let _ = tx.send(Frame::Shutdown);
+                        let _ = handle.send(Frame::Shutdown);
                     }
-                    return;
+                    return self.stop_shards(true);
                 }
-                // Dropping the peer queues closes every socket without a
-                // goodbye — the in-process stand-in for killing the
-                // process.
-                Some(Ev::Die) => return,
+                Some(Ev::Die) => return self.stop_shards(false),
             };
             let now = self.now();
             let proxy = self.proxy.id();
             dispatch::run_proxy_actions(&mut self, now, proxy, actions, None);
+            self.proxy.stats.vectored_writes = self.wire.vectored_writes.load(Ordering::Relaxed);
+            self.proxy.stats.frames_written = self.wire.frames_written.load(Ordering::Relaxed);
             self.audit();
+        }
+    }
+
+    fn stop_shards(&self, drain: bool) {
+        for shard in &self.shards {
+            shard.post(ShardCtl::Stop { drain });
         }
     }
 
@@ -575,11 +983,8 @@ impl ProxyLoop {
 impl ProxyTransport for ProxyLoop {
     fn invoke(&mut self, _now: SimTime, _proxy: ProxyId, lambda: LambdaId, payload: InvokePayload) {
         match self.nodes.get(&lambda) {
-            Some((_, tx)) => {
-                if let Err(e) = tx.send(Frame::Invoke { payload }) {
-                    let Frame::Invoke { payload } = e.0 else {
-                        unreachable!()
-                    };
+            Some((_, handle)) => {
+                if let Err(Frame::Invoke { payload }) = handle.send(Frame::Invoke { payload }) {
                     self.pending_invokes.insert(lambda, payload);
                 }
             }
@@ -598,15 +1003,13 @@ impl ProxyTransport for ProxyLoop {
     ) -> std::result::Result<(), Msg> {
         let instance = self.proxy.member(lambda).and_then(|m| m.instance());
         match (instance, self.nodes.get(&lambda)) {
-            (Some(instance), Some((_, tx))) => match tx.send(Frame::ToInstance { instance, msg }) {
-                Ok(()) => Ok(()),
-                Err(e) => {
-                    let Frame::ToInstance { msg, .. } = e.0 else {
-                        unreachable!()
-                    };
-                    Err(msg)
+            (Some(instance), Some((_, handle))) => {
+                match handle.send(Frame::ToInstance { instance, msg }) {
+                    Ok(()) => Ok(()),
+                    Err(Frame::ToInstance { msg, .. }) => Err(msg),
+                    Err(_) => unreachable!("send returns the frame it was given"),
                 }
-            },
+            }
             (_, _) => Err(msg),
         }
     }
@@ -622,8 +1025,8 @@ impl ProxyTransport for ProxyLoop {
     }
 
     fn proxy_reply(&mut self, _now: SimTime, _proxy: ProxyId, client: ClientId, msg: Msg) {
-        if let Some(tx) = self.clients.get(&client) {
-            let _ = tx.send(Frame::App { msg });
+        if let Some(handle) = self.clients.get(&client) {
+            let _ = handle.send(Frame::App { msg });
         }
     }
 
@@ -636,8 +1039,8 @@ impl ProxyTransport for ProxyLoop {
         _ctx: LambdaCtx,
     ) {
         // TCP is the bandwidth model: streamed chunks are plain frames.
-        if let Some(tx) = self.clients.get(&client) {
-            let _ = tx.send(Frame::App { msg });
+        if let Some(handle) = self.clients.get(&client) {
+            let _ = handle.send(Frame::App { msg });
         }
     }
 

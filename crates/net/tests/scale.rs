@@ -1,0 +1,157 @@
+//! Connection-scaling properties of the readiness event loop: thread
+//! count stays O(workers) under thousands of idle connections, and a
+//! slow reader is closed (backpressure) without harming its neighbours.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use ic_common::msg::Msg;
+use ic_common::{DeploymentConfig, EcConfig, ObjectKey, ProxyId};
+use ic_lambda::runtime::RuntimeConfig;
+use ic_net::bench;
+use ic_net::node::NetNode;
+use ic_net::proxy::{self, NetProxyConfig};
+use ic_net::{Frame, NetClient};
+
+fn deployment(nodes: u32) -> DeploymentConfig {
+    DeploymentConfig {
+        backup_enabled: false,
+        ..DeploymentConfig::small(nodes, EcConfig::new(2, 1).unwrap())
+    }
+}
+
+/// Performs a raw client handshake, returning the connected socket
+/// (blocking mode) — a "client" that can then behave arbitrarily badly.
+fn raw_client(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    Frame::HelloClient.write_to(&mut stream).expect("hello");
+    match Frame::read_from(&mut stream).expect("welcome") {
+        Frame::Welcome { .. } => stream,
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+}
+
+/// The soft `RLIMIT_NOFILE` bound, used to size the idle-connection
+/// horde to what this environment can actually hold open.
+fn max_open_files() -> usize {
+    let limits = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3)?.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// A client that floods GETs without ever reading the replies must be
+/// closed once its unread backlog exceeds the configured bound — and
+/// every other connection keeps working.
+#[test]
+fn slow_reader_is_closed_without_harming_neighbours() {
+    let dep = deployment(4);
+    let rt_cfg = RuntimeConfig::for_deployment(&dep);
+    let cfg = NetProxyConfig {
+        // Well above any single response burst (a GET of the 128 KiB
+        // object streams ≈ 192 KiB), so healthy traffic never comes
+        // close — but a client that keeps requesting without reading
+        // accumulates responses past it within a handful of GETs.
+        max_peer_backlog: 1024 * 1024,
+        ..NetProxyConfig::loopback(dep.clone())
+    };
+    let handle = proxy::start(cfg).expect("proxy starts");
+    let mut nodes = Vec::new();
+    for lambda in dep.proxy_pool(ProxyId(0)) {
+        nodes.push(
+            NetNode::spawn(lambda, handle.node_addr, rt_cfg, Duration::from_secs(5)).unwrap(),
+        );
+    }
+
+    let mut client = NetClient::connect(handle.client_addr, dep.ec, 7).expect("client connects");
+    client
+        .put("big", Bytes::from(vec![0xabu8; 128 * 1024]))
+        .unwrap();
+
+    // The slow reader: request the object over and over, never read a
+    // byte back. The proxy's replies pile up in its per-connection write
+    // queue until the backlog bound closes it — observable here as the
+    // connection resetting under our writes.
+    let mut slow = raw_client(handle.client_addr);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut closed = false;
+    while Instant::now() < deadline {
+        let frame = Frame::App {
+            msg: Msg::GetObject {
+                key: ObjectKey::new("big"),
+            },
+        };
+        if frame.write_to(&mut slow).is_err() {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(closed, "slow reader was never disconnected");
+
+    // Collateral check: the well-behaved client is unaffected, and so is
+    // a fresh connection.
+    assert_eq!(
+        client.get("big").unwrap().expect("still cached").len(),
+        128 * 1024
+    );
+    let mut fresh = NetClient::connect(handle.client_addr, dep.ec, 8).expect("fresh client");
+    assert!(fresh.get("big").unwrap().is_some());
+
+    drop(nodes);
+    handle.shutdown();
+}
+
+/// A thousand idle client connections must not grow the proxy's thread
+/// count at all — readiness multiplexing, not thread-per-connection —
+/// and a live operation must still work with the horde attached.
+#[test]
+fn idle_connection_horde_leaves_thread_count_flat() {
+    let dep = deployment(4);
+    let rt_cfg = RuntimeConfig::for_deployment(&dep);
+    let handle = proxy::start(NetProxyConfig::loopback(dep.clone())).expect("proxy starts");
+    let mut nodes = Vec::new();
+    for lambda in dep.proxy_pool(ProxyId(0)) {
+        nodes.push(
+            NetNode::spawn(lambda, handle.node_addr, rt_cfg, Duration::from_secs(5)).unwrap(),
+        );
+    }
+    let mut client = NetClient::connect(handle.client_addr, dep.ec, 7).expect("client connects");
+    client
+        .put("alive", Bytes::from(vec![7u8; 64 * 1024]))
+        .unwrap();
+
+    let before = bench::proxy_thread_count().expect("procfs thread count");
+    assert!(
+        before <= 1 + proxy::MAX_IO_WORKERS,
+        "proxy runs {before} threads before any load"
+    );
+
+    // Each idle connection costs two fds (one per side) plus headroom
+    // for the cluster itself; cap the horde to what the fd limit holds.
+    let conns = 1000.min(max_open_files().saturating_sub(200) / 2);
+    let horde: Vec<TcpStream> = (0..conns).map(|_| raw_client(handle.client_addr)).collect();
+    assert!(horde.len() >= 100, "environment too small to mean anything");
+
+    let after = bench::proxy_thread_count().expect("procfs thread count");
+    assert_eq!(
+        before,
+        after,
+        "{} idle connections changed the proxy thread count {before} -> {after}",
+        horde.len()
+    );
+
+    // The proxy still serves real traffic with the horde attached.
+    assert_eq!(
+        client.get("alive").unwrap().expect("cached").len(),
+        64 * 1024
+    );
+
+    drop(horde);
+    drop(nodes);
+    handle.shutdown();
+}

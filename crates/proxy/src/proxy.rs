@@ -84,6 +84,21 @@ pub struct ProxyStats {
     /// Read-repair chunks dropped because their object version was
     /// overwritten or evicted since the repairing client fetched it.
     pub stale_repairs: u64,
+    /// Vectored socket writes the hosting substrate issued on this
+    /// proxy's behalf (always zero under the sim substrate, which moves
+    /// messages in memory; the net substrate's event loop fills it in).
+    pub vectored_writes: u64,
+    /// Frames those vectored writes carried; `frames_written /
+    /// vectored_writes` is the writer-batch coalescing factor the
+    /// substrate achieved.
+    pub frames_written: u64,
+    /// Chunk answers (data or miss) a node produced for a *superseded*
+    /// query: the chunk was re-placed, overwritten, or queried ahead of
+    /// its own re-placing `ChunkPut` since the `ChunkGet` was
+    /// dispatched. Each is dropped — never credited to the waiters of
+    /// the current version — and the query re-issued to the chunk's
+    /// current home.
+    pub stale_chunk_answers: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -475,25 +490,50 @@ impl Proxy {
                     .unwrap_or_default();
                 self.apply_effects(lambda, effects)
             }
-            Msg::ChunkData { id, payload } => {
-                let clients = self.inflight_gets.remove(&id).unwrap_or_default();
-                fanout_to_waiters(clients, (id, payload), |client, (id, payload)| {
-                    ProxyAction::DataToClient {
-                        client,
-                        msg: Msg::ChunkToClient { id, payload },
+            Msg::ChunkData { id, payload } => match self.mapping.get(&id).copied() {
+                Some(home) if home == lambda => {
+                    let clients = self.inflight_gets.remove(&id).unwrap_or_default();
+                    fanout_to_waiters(clients, (id, payload), |client, (id, payload)| {
+                        ProxyAction::DataToClient {
+                            client,
+                            msg: Msg::ChunkToClient { id, payload },
+                        }
+                    })
+                }
+                // The chunk moved (overwrite or read-repair) since this
+                // query was dispatched: the bytes belong to a superseded
+                // copy and must not be credited to waiters of the current
+                // version. Drop the payload and ask the current home.
+                Some(home) => self.requery_chunk(&id, home),
+                None => self.answer_waiters_with_miss(&id),
+            },
+            Msg::ChunkMiss { id } => match self.mapping.get(&id).copied() {
+                Some(home) if home == lambda => {
+                    // A miss from the chunk's own home while the PUT that
+                    // placed it there is still landing is a *reordered*
+                    // answer, not a loss: lazy deletions flush ahead of
+                    // queued traffic, so a straggler `ChunkGet` from the
+                    // previous version can overtake the re-placing
+                    // `ChunkPut` on the same connection and observe the
+                    // gap between delete and store. Unmapping here would
+                    // orphan the chunk the moment it lands; re-query
+                    // instead — FIFO puts the answer after the store.
+                    if self.puts.contains_key(&id.key) {
+                        self.requery_chunk(&id, lambda)
+                    } else {
+                        // The node genuinely lost the chunk (reclaim):
+                        // unmap it and tell the waiting clients.
+                        self.mapping.remove(&id);
+                        self.answer_waiters_with_miss(&id)
                     }
-                })
-            }
-            Msg::ChunkMiss { id } => {
-                // The node lost the chunk (reclaim); unmap it and tell the
-                // waiting clients.
-                self.mapping.remove(&id);
-                let clients = self.inflight_gets.remove(&id).unwrap_or_default();
-                fanout_to_waiters(clients, id, |client, id| ProxyAction::ToClient {
-                    client,
-                    msg: Msg::ChunkMiss { id },
-                })
-            }
+                }
+                // Stale miss from a node the chunk no longer lives on
+                // (the straggler query raced an overwrite that re-placed
+                // the chunk elsewhere): the current version is fine —
+                // re-query its home rather than poisoning the mapping.
+                Some(home) => self.requery_chunk(&id, home),
+                None => self.answer_waiters_with_miss(&id),
+            },
             Msg::PutAck {
                 id,
                 stored_bytes,
@@ -673,6 +713,34 @@ impl Proxy {
                 }
             })
             .collect()
+    }
+
+    /// A node answered a chunk query that its current home supersedes
+    /// (see the `ChunkData`/`ChunkMiss` arms of [`Proxy::on_lambda`]):
+    /// drop the stale answer and, if clients are still waiting on the
+    /// chunk, re-issue the query to `home` so they get an answer for the
+    /// live copy instead.
+    fn requery_chunk(&mut self, id: &ChunkId, home: LambdaId) -> Vec<ProxyAction> {
+        self.stats.stale_chunk_answers += 1;
+        if self.inflight_gets.get(id).is_none_or(Vec::is_empty) {
+            return Vec::new();
+        }
+        let effects = self
+            .members
+            .get_mut(&home)
+            .expect("mapping points to a pool member")
+            .send(Msg::ChunkGet { id: id.clone() });
+        self.apply_effects(home, effects)
+    }
+
+    /// Answers every client waiting on `id` with a `ChunkMiss` and
+    /// clears the waiter list.
+    fn answer_waiters_with_miss(&mut self, id: &ChunkId) -> Vec<ProxyAction> {
+        let clients = self.inflight_gets.remove(id).unwrap_or_default();
+        fanout_to_waiters(clients, id.clone(), |client, id| ProxyAction::ToClient {
+            client,
+            msg: Msg::ChunkMiss { id },
+        })
     }
 
     /// Drops an object: metadata, mapping, LRU, capacity, plus lazy
@@ -1181,6 +1249,18 @@ mod tests {
         let mut p = proxy(4, 1 << 30);
         put_chunks(&mut p, 1, "o", 2, 50);
         pong_all(&mut p, 1);
+        // Complete the PUT: a miss while it is still open is treated as a
+        // reordered straggler answer, not a loss.
+        for seq in 0..2 {
+            p.on_lambda(
+                LambdaId(seq),
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new("o"), seq),
+                    stored_bytes: 0,
+                    epoch: 1,
+                },
+            );
+        }
         p.on_client(
             ClientId(3),
             Msg::GetObject {
@@ -1672,5 +1752,161 @@ mod tests {
             })
             .count();
         assert_eq!(misses, 3);
+    }
+
+    /// Puts `key` as `chunks` chunks with an explicit placement function,
+    /// then acks every chunk so the PUT completes.
+    fn put_placed(
+        p: &mut Proxy,
+        put_epoch: u64,
+        proxy_epoch: u64,
+        key: &str,
+        chunks: u32,
+        place: impl Fn(u32) -> LambdaId,
+    ) {
+        for seq in 0..chunks {
+            p.on_client(
+                ClientId(0),
+                Msg::PutChunk {
+                    id: ChunkId::new(ObjectKey::new(key), seq),
+                    lambda: place(seq),
+                    payload: Payload::synthetic(64),
+                    object_size: 64 * chunks as u64,
+                    total_chunks: chunks,
+                    repair: false,
+                    put_epoch,
+                },
+            );
+        }
+        for seq in 0..chunks {
+            p.on_lambda(
+                place(seq),
+                Msg::PutAck {
+                    id: ChunkId::new(ObjectKey::new(key), seq),
+                    stored_bytes: 0,
+                    epoch: proxy_epoch,
+                },
+            );
+        }
+    }
+
+    /// The stale-straggler regression behind the netbench scale sweep's
+    /// spurious "0 of d chunks available" failures: a GET resolves at the
+    /// parity threshold, its straggler `ChunkGet`s still queued at
+    /// sleeping nodes; an overwrite then deletes the old chunks and
+    /// re-places them elsewhere; the stragglers finally run, observe the
+    /// deleted copies, and their `ChunkMiss`/`ChunkData` answers arrive
+    /// after a *new* GET registered waiters under the same chunk ids.
+    /// Those stale answers must neither unmap the freshly placed chunks
+    /// nor be credited to the new GET's waiters.
+    #[test]
+    fn stale_answers_from_a_superseded_placement_are_dropped_and_requeried() {
+        let mut p = proxy(4, 1 << 30);
+        let chunk = |seq| ChunkId::new(ObjectKey::new("obj"), seq);
+
+        // Version 1 on nodes 0,1; version 2 re-places swapped (1,0).
+        put_placed(&mut p, 1, 1, "obj", 2, LambdaId);
+        pong_all(&mut p, 10);
+        put_placed(&mut p, 2, 2, "obj", 2, |seq| LambdaId(1 - seq));
+        assert_eq!(p.chunk_owner(&chunk(0)), Some(LambdaId(1)));
+
+        // A new GET registers waiters for the current version.
+        p.on_client(
+            ClientId(7),
+            Msg::GetObject {
+                key: ObjectKey::new("obj"),
+            },
+        );
+        assert_eq!(p.inflight_for(&chunk(0)), 1);
+
+        // The version-1 stragglers answer from the *old* homes: a miss
+        // for chunk 0 (its copy was deleted) and data for chunk 1 (read
+        // just ahead of the delete). Neither may touch the waiters or
+        // the mapping.
+        let acts = p.on_lambda(LambdaId(0), Msg::ChunkMiss { id: chunk(0) });
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, ProxyAction::ToClient { .. })),
+            "stale miss leaked to a client: {acts:?}"
+        );
+        let acts = p.on_lambda(
+            LambdaId(1),
+            Msg::ChunkData {
+                id: chunk(1),
+                payload: Payload::synthetic(64),
+            },
+        );
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, ProxyAction::DataToClient { .. })),
+            "stale data leaked to a client: {acts:?}"
+        );
+        assert_eq!(p.chunk_owner(&chunk(0)), Some(LambdaId(1)));
+        assert_eq!(p.chunk_owner(&chunk(1)), Some(LambdaId(0)));
+        assert_eq!(p.stats.stale_chunk_answers, 2);
+        assert_eq!(p.inflight_for(&chunk(0)), 1);
+
+        // The re-queried current home answers and the waiter is served.
+        let acts = p.on_lambda(
+            LambdaId(1),
+            Msg::ChunkData {
+                id: chunk(0),
+                payload: Payload::synthetic(64),
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ProxyAction::DataToClient {
+                client: ClientId(7),
+                msg: Msg::ChunkToClient { .. },
+            }
+        )));
+    }
+
+    /// Same-node variant: lazy deletions flush ahead of queued traffic,
+    /// so when an overwrite re-places a chunk on the *same* node, a
+    /// straggler `ChunkGet` can overtake the re-placing `ChunkPut` and
+    /// observe the delete/store gap. Its miss arrives from the chunk's
+    /// own mapped home while the overwrite PUT is still open — and must
+    /// not unmap the chunk that is about to land.
+    #[test]
+    fn reordered_miss_during_open_put_does_not_unmap() {
+        let mut p = proxy(4, 1 << 30);
+        let chunk = ChunkId::new(ObjectKey::new("obj"), 0);
+
+        put_placed(&mut p, 1, 1, "obj", 1, LambdaId);
+        pong_all(&mut p, 10);
+        // Overwrite onto the same node; the PUT stays open (no ack yet).
+        p.on_client(
+            ClientId(0),
+            Msg::PutChunk {
+                id: chunk.clone(),
+                lambda: LambdaId(0),
+                payload: Payload::synthetic(64),
+                object_size: 64,
+                total_chunks: 1,
+                repair: false,
+                put_epoch: 2,
+            },
+        );
+
+        let acts = p.on_lambda(LambdaId(0), Msg::ChunkMiss { id: chunk.clone() });
+        assert!(acts.is_empty(), "reordered miss produced actions: {acts:?}");
+        assert_eq!(p.chunk_owner(&chunk), Some(LambdaId(0)));
+        assert_eq!(p.stats.stale_chunk_answers, 1);
+
+        // Once the PUT lands, a genuine miss (node reclaim) still unmaps.
+        p.on_lambda(
+            LambdaId(0),
+            Msg::PutAck {
+                id: chunk.clone(),
+                stored_bytes: 0,
+                epoch: 2,
+            },
+        );
+        p.on_lambda(LambdaId(0), Msg::ChunkMiss { id: chunk.clone() });
+        assert_eq!(p.chunk_owner(&chunk), None);
     }
 }

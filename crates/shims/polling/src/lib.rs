@@ -1,0 +1,842 @@
+//! Minimal workspace-local stand-in for a `mio`-like readiness poller.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of readiness-polling API the socket substrate
+//! actually uses: register file descriptors with a [`Poller`] under a
+//! caller-chosen [`Token`] and an [`Interest`] (readable / writable),
+//! then [`Poller::poll`] for readiness [`Events`] with an optional
+//! timeout, plus a cross-thread [`Waker`] to interrupt a blocked poll.
+//!
+//! Two backends, same API:
+//!
+//! * **Linux**: `epoll(7)` (the default [`Poller`]), supporting both
+//!   level- and edge-triggered registration ([`Mode`]); the [`Waker`] is
+//!   an `eventfd(2)`.
+//! * **Portable fallback**: [`fallback::Poller`] over POSIX `poll(2)`,
+//!   available on every Unix (and the default `Poller` off Linux); the
+//!   fallback delivers level-triggered readiness regardless of [`Mode`]
+//!   — event loops that drain sockets fully are correct under either.
+//!
+//! No external crates: the handful of needed syscalls are declared
+//! directly (every Unix libc exports them). Like the `bytes` shim,
+//! swapping this for a real crates.io poller is a workspace-manifest
+//! change away.
+
+#![warn(missing_docs)]
+
+#[cfg(not(unix))]
+compile_error!("the polling shim supports Unix platforms only");
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration and reported back
+/// on every readiness event for that file descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness states a registration asks to be told about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the descriptor becomes readable.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Wake when the descriptor becomes writable.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)`); named for
+    /// `mio::Interest` parity — `|` works too.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// `true` when readable readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// `true` when writable readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Level- vs edge-triggered readiness delivery.
+///
+/// Level-triggered registrations re-report a ready descriptor on every
+/// poll until it is drained; edge-triggered ones report each readiness
+/// *transition* once. The portable fallback backend only implements
+/// level semantics and treats `Edge` as `Level` — loops that drain until
+/// `WouldBlock` behave identically under both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Report readiness as long as it persists (the default).
+    #[default]
+    Level,
+    /// Report each readiness transition once (epoll `EPOLLET`).
+    Edge,
+}
+
+/// One readiness event: the registration's token plus which states fired.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token the ready descriptor was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// The descriptor is readable (or at EOF / in an error state — a
+    /// read will not block and reports the condition).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// The descriptor is writable (or in an error state — a write will
+    /// not block and reports the condition).
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error or hang-up condition was reported alongside readiness.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// Reusable buffer of readiness events filled by [`Poller::poll`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event buffer that reports at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Number of events the last poll reported.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when the last poll reported nothing (it timed out).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Converts an optional timeout to milliseconds for the syscalls
+/// (`-1` = block forever), rounding sub-millisecond waits *up* so a
+/// 100 µs deadline never busy-spins at 0 ms.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                let ms = d.as_millis();
+                let ms = if d.subsec_nanos() % 1_000_000 != 0 || ms == 0 {
+                    // as_millis truncates; re-add the lost fraction.
+                    d.as_millis() + 1
+                } else {
+                    ms
+                };
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    //! The Linux `epoll(7)` backend.
+
+    use super::*;
+
+    // x86_64 (and x86) define epoll_event packed; other architectures
+    // use natural alignment. Mirrors the kernel/libc definition.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// The readiness poller: registered descriptors plus a kernel wait.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    fn interest_bits(interest: Interest, mode: Mode) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        if mode == Mode::Edge {
+            bits |= EPOLLET;
+        }
+        bits
+    }
+
+    impl Poller {
+        /// Creates an empty poller.
+        ///
+        /// # Errors
+        ///
+        /// The underlying `epoll_create1` failure, if any.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, bits: u32, token: usize) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: bits,
+                data: token as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers a descriptor under `token` with the given interest.
+        ///
+        /// # Errors
+        ///
+        /// The underlying `epoll_ctl` failure (e.g. the descriptor is
+        /// already registered).
+        pub fn register(
+            &self,
+            source: &impl AsRawFd,
+            token: Token,
+            interest: Interest,
+            mode: Mode,
+        ) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                source.as_raw_fd(),
+                interest_bits(interest, mode),
+                token.0,
+            )
+        }
+
+        /// Replaces an existing registration's interest/token/mode.
+        ///
+        /// # Errors
+        ///
+        /// The underlying `epoll_ctl` failure (e.g. not registered).
+        pub fn reregister(
+            &self,
+            source: &impl AsRawFd,
+            token: Token,
+            interest: Interest,
+            mode: Mode,
+        ) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                source.as_raw_fd(),
+                interest_bits(interest, mode),
+                token.0,
+            )
+        }
+
+        /// Removes a descriptor's registration.
+        ///
+        /// # Errors
+        ///
+        /// The underlying `epoll_ctl` failure (e.g. not registered).
+        pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0)
+        }
+
+        /// Blocks until at least one registered descriptor is ready or
+        /// the timeout elapses (`None` = forever), filling `events`.
+        /// Returns the number of events delivered; a signal interruption
+        /// reports zero events (callers re-check their deadlines and
+        /// poll again).
+        ///
+        /// # Errors
+        ///
+        /// The underlying `epoll_wait` failure (interruption excluded).
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.inner.clear();
+            let cap = events.capacity;
+            let mut raw = vec![EpollEvent { events: 0, data: 0 }; cap];
+            let n =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), cap as i32, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for r in raw.iter().take(n as usize) {
+                let bits = r.events;
+                let data = r.data;
+                events.inner.push(Event {
+                    token: Token(data as usize),
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+pub mod fallback {
+    //! The portable POSIX `poll(2)` backend: same API as the default
+    //! [`Poller`](crate::Poller), level-triggered only.
+
+    use std::collections::BTreeMap;
+    use std::os::raw::{c_int, c_ulong};
+    use std::sync::Mutex;
+
+    use super::*;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// A `poll(2)`-backed readiness poller: keeps the registered set in
+    /// userspace and rebuilds the descriptor array per call.
+    #[derive(Debug, Default)]
+    pub struct Poller {
+        registered: Mutex<BTreeMap<RawFd, (usize, u8)>>,
+    }
+
+    impl Poller {
+        /// Creates an empty poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible; `io::Result` mirrors the epoll backend's API.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller::default())
+        }
+
+        /// Registers a descriptor under `token`. The `mode` is accepted
+        /// for API parity but always behaves as [`Mode::Level`].
+        ///
+        /// # Errors
+        ///
+        /// [`io::ErrorKind::AlreadyExists`] when the descriptor is
+        /// already registered.
+        pub fn register(
+            &self,
+            source: &impl AsRawFd,
+            token: Token,
+            interest: Interest,
+            _mode: Mode,
+        ) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poller registry");
+            if reg.contains_key(&source.as_raw_fd()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "descriptor already registered",
+                ));
+            }
+            reg.insert(source.as_raw_fd(), (token.0, interest.0));
+            Ok(())
+        }
+
+        /// Replaces an existing registration.
+        ///
+        /// # Errors
+        ///
+        /// [`io::ErrorKind::NotFound`] when the descriptor was never
+        /// registered.
+        pub fn reregister(
+            &self,
+            source: &impl AsRawFd,
+            token: Token,
+            interest: Interest,
+            _mode: Mode,
+        ) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poller registry");
+            match reg.get_mut(&source.as_raw_fd()) {
+                Some(slot) => {
+                    *slot = (token.0, interest.0);
+                    Ok(())
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "descriptor not registered",
+                )),
+            }
+        }
+
+        /// Removes a descriptor's registration.
+        ///
+        /// # Errors
+        ///
+        /// [`io::ErrorKind::NotFound`] when the descriptor was never
+        /// registered.
+        pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+            let mut reg = self.registered.lock().expect("poller registry");
+            match reg.remove(&source.as_raw_fd()) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "descriptor not registered",
+                )),
+            }
+        }
+
+        /// Blocks for readiness like the epoll backend's `poll`; a
+        /// signal interruption reports zero events.
+        ///
+        /// # Errors
+        ///
+        /// The underlying `poll(2)` failure (interruption excluded).
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.inner.clear();
+            let mut fds: Vec<PollFd> = {
+                let reg = self.registered.lock().expect("poller registry");
+                reg.iter()
+                    .map(|(&fd, &(_, interest))| {
+                        let mut bits = 0i16;
+                        if Interest(interest).is_readable() {
+                            bits |= POLLIN;
+                        }
+                        if Interest(interest).is_writable() {
+                            bits |= POLLOUT;
+                        }
+                        PollFd {
+                            fd,
+                            events: bits,
+                            revents: 0,
+                        }
+                    })
+                    .collect()
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            let reg = self.registered.lock().expect("poller registry");
+            for f in fds.iter().filter(|f| f.revents != 0) {
+                if events.inner.len() >= events.capacity {
+                    break;
+                }
+                let Some(&(token, _)) = reg.get(&f.fd) else {
+                    continue; // deregistered concurrently
+                };
+                let r = f.revents;
+                events.inner.push(Event {
+                    token: Token(token),
+                    readable: r & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0,
+                    writable: r & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0,
+                    error: r & (POLLERR | POLLHUP | POLLNVAL) != 0,
+                });
+            }
+            Ok(events.inner.len())
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use epoll::Poller;
+
+/// The default poller off Linux: the portable `poll(2)` backend.
+#[cfg(not(target_os = "linux"))]
+pub use fallback::Poller;
+
+mod wakerfd {
+    //! The waker's kernel object: an `eventfd(2)` on Linux, a
+    //! nonblocking pipe elsewhere.
+
+    use super::*;
+
+    #[cfg(target_os = "linux")]
+    mod imp {
+        use super::*;
+
+        const EFD_CLOEXEC: i32 = 0o2000000;
+        const EFD_NONBLOCK: i32 = 0o4000;
+
+        extern "C" {
+            fn eventfd(initval: u32, flags: i32) -> i32;
+        }
+
+        pub(super) fn create() -> io::Result<(RawFd, RawFd)> {
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // One fd serves both ends of an eventfd.
+            Ok((fd, fd))
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    mod imp {
+        use super::*;
+        use std::os::raw::c_int;
+
+        const F_SETFL: c_int = 4;
+        // BSD-family value; Linux never takes this path.
+        const O_NONBLOCK: c_int = 0x4;
+
+        extern "C" {
+            fn pipe(fds: *mut c_int) -> c_int;
+            fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        }
+
+        pub(super) fn create() -> io::Result<(RawFd, RawFd)> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            Ok((fds[0], fds[1]))
+        }
+    }
+
+    extern "C" {
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Cross-thread wake-up for a blocked [`Poller::poll`](crate::Poller).
+    ///
+    /// Register the waker with the poller under a reserved token
+    /// (`poller.register(&waker, WAKE_TOKEN, Interest::READABLE,
+    /// Mode::Level)`); any thread may then call [`Waker::wake`] to make
+    /// the poll return with that token readable. The polling thread
+    /// calls [`Waker::ack`] on seeing the token, clearing the signal.
+    #[derive(Debug)]
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl Waker {
+        /// Creates an unregistered waker.
+        ///
+        /// # Errors
+        ///
+        /// The underlying `eventfd`/`pipe` failure, if any.
+        pub fn new() -> io::Result<Waker> {
+            let (read_fd, write_fd) = imp::create()?;
+            Ok(Waker { read_fd, write_fd })
+        }
+
+        /// Signals the poller; safe from any thread, cheap, and
+        /// idempotent while unacknowledged.
+        pub fn wake(&self) {
+            // An 8-byte counter increment for eventfd; pipes just see
+            // the first byte. Failure modes (EAGAIN: signal already
+            // pending) are exactly the desired state.
+            let one: u64 = 1;
+            unsafe { write(self.write_fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Clears a delivered wake signal (drains the descriptor).
+        pub fn ack(&self) {
+            let mut buf = [0u8; 16];
+            loop {
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 || (n as usize) < buf.len() {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl AsRawFd for Waker {
+        fn as_raw_fd(&self) -> RawFd {
+            self.read_fd
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                if self.write_fd != self.read_fd {
+                    close(self.write_fd);
+                }
+            }
+        }
+    }
+
+    // The descriptors are plain kernel handles; writes from any thread
+    // are atomic at these sizes.
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+}
+
+pub use wakerfd::Waker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    macro_rules! poller_suite {
+        ($name:ident, $poller:ty) => {
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn readable_after_peer_write_and_timeout_when_idle() {
+                    let poller = <$poller>::new().unwrap();
+                    let (a, mut b) = tcp_pair();
+                    a.set_nonblocking(true).unwrap();
+                    poller
+                        .register(&a, Token(7), Interest::READABLE, Mode::Level)
+                        .unwrap();
+
+                    let mut events = Events::with_capacity(8);
+                    let t0 = Instant::now();
+                    let n = poller
+                        .poll(&mut events, Some(Duration::from_millis(50)))
+                        .unwrap();
+                    assert_eq!(n, 0, "no data yet");
+                    assert!(t0.elapsed() >= Duration::from_millis(40));
+
+                    b.write_all(b"ping").unwrap();
+                    poller
+                        .poll(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    let ev = events.iter().next().expect("one event");
+                    assert_eq!(ev.token(), Token(7));
+                    assert!(ev.is_readable());
+                }
+
+                #[test]
+                fn writable_interest_and_reregister() {
+                    let poller = <$poller>::new().unwrap();
+                    let (a, _b) = tcp_pair();
+                    a.set_nonblocking(true).unwrap();
+                    poller
+                        .register(&a, Token(1), Interest::READABLE, Mode::Level)
+                        .unwrap();
+                    let mut events = Events::with_capacity(8);
+                    // Not writable-interested yet: idle socket, no events.
+                    let n = poller
+                        .poll(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+                    poller
+                        .reregister(
+                            &a,
+                            Token(2),
+                            Interest::READABLE | Interest::WRITABLE,
+                            Mode::Level,
+                        )
+                        .unwrap();
+                    poller
+                        .poll(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    let ev = events.iter().next().expect("one event");
+                    assert_eq!(ev.token(), Token(2), "token follows reregistration");
+                    assert!(ev.is_writable(), "fresh socket has send-buffer space");
+                    poller.deregister(&a).unwrap();
+                    let n = poller
+                        .poll(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0, "deregistered descriptors stay silent");
+                }
+
+                #[test]
+                fn peer_close_reports_readable() {
+                    let poller = <$poller>::new().unwrap();
+                    let (a, b) = tcp_pair();
+                    a.set_nonblocking(true).unwrap();
+                    poller
+                        .register(&a, Token(3), Interest::READABLE, Mode::Level)
+                        .unwrap();
+                    drop(b);
+                    let mut events = Events::with_capacity(8);
+                    poller
+                        .poll(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    let ev = events.iter().next().expect("close is an event");
+                    assert!(ev.is_readable(), "read observes the EOF");
+                    let mut buf = [0u8; 8];
+                    assert_eq!((&a).read(&mut buf).unwrap(), 0);
+                }
+
+                #[test]
+                fn waker_crosses_threads() {
+                    let poller = <$poller>::new().unwrap();
+                    let waker = std::sync::Arc::new(Waker::new().unwrap());
+                    poller
+                        .register(&*waker, Token(0), Interest::READABLE, Mode::Level)
+                        .unwrap();
+                    let remote = waker.clone();
+                    let handle = std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(30));
+                        remote.wake();
+                    });
+                    let mut events = Events::with_capacity(8);
+                    poller
+                        .poll(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(events.iter().next().expect("woken").token(), Token(0));
+                    waker.ack();
+                    // Acked: the signal is gone.
+                    let n = poller
+                        .poll(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+                    // Coalesced wakes clear with one ack.
+                    waker.wake();
+                    waker.wake();
+                    poller
+                        .poll(&mut events, Some(Duration::from_secs(5)))
+                        .unwrap();
+                    assert_eq!(events.len(), 1);
+                    waker.ack();
+                    let n = poller
+                        .poll(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+                    handle.join().unwrap();
+                }
+            }
+        };
+    }
+
+    poller_suite!(default_backend, crate::Poller);
+    poller_suite!(fallback_backend, crate::fallback::Poller);
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn edge_mode_reports_transitions_once() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = tcp_pair();
+        a.set_nonblocking(true).unwrap();
+        poller
+            .register(&a, Token(9), Interest::READABLE, Mode::Edge)
+            .unwrap();
+        b.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        poller
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        // Unread data, but no new edge: a level registration would fire
+        // again; the edge one stays silent.
+        let n = poller
+            .poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0, "edge mode reports the transition only once");
+    }
+
+    #[test]
+    fn timeout_rounding_never_busy_spins() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}
