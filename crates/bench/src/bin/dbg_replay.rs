@@ -12,6 +12,7 @@
 //! ```text
 //! dbg_replay --seed 42 [--steps 24] [--keys 6] [--mode all] [--proxies N]
 //! dbg_replay --script repro.txt --mode net
+//! dbg_replay --trace counterexample.mc --mode all
 //! dbg_replay --seed 42 --dump > repro.txt    # save the script to a file
 //! ```
 //!
@@ -19,6 +20,13 @@
 //! `#` comments — so a failing schedule can be saved, minimized by hand,
 //! and replayed against a single substrate. Modes: `sim`, `live`, `net`,
 //! or `all` (default; diffs every pair and exits nonzero on divergence).
+//!
+//! `--trace` loads a model-checker counterexample (`ic-mc` trace
+//! format) and replays its *operation schedule* through the selected
+//! substrates. The adversarial interleaving itself only exists in the
+//! sim scheduler — `mc replay` re-executes that — but replaying the
+//! schedule here confirms the trace's workload is substrate-portable
+//! and behaves identically end-to-end on all three.
 //!
 //! `--proxies N` replays the sim and net legs on an N-proxy fleet (the
 //! multi-proxy parity tests' shape; `live` stays single-proxy and is
@@ -56,20 +64,32 @@ fn parse_script(path: &str) -> Vec<ScriptStep> {
     steps
 }
 
+/// Extracts the operation schedule from an `ic-mc` counterexample
+/// trace (client assignments are dropped: the parity harness drives a
+/// single client session).
+fn parse_trace_schedule(path: &str) -> Vec<ScriptStep> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read --trace {path}: {e}"));
+    let (cfg, _choices, _recorded) =
+        ic_mc::parse_trace(&text).unwrap_or_else(|e| panic!("bad --trace {path}: {e}"));
+    cfg.ops.into_iter().map(|op| op.step).collect()
+}
+
 fn main() {
     let args = ic_net::args::Args::parse();
-    let script = match (args.opt("script"), args.opt("seed")) {
-        (Some(path), _) => parse_script(path),
-        (None, Some(_)) => {
+    let script = match (args.opt("script"), args.opt("trace"), args.opt("seed")) {
+        (Some(path), _, _) => parse_script(path),
+        (None, Some(path), _) => parse_trace_schedule(path),
+        (None, None, Some(_)) => {
             let seed: u64 = args.num("seed", 0).expect("--seed must be a number");
             let steps: usize = args.num("steps", 24).expect("--steps must be a number");
             let keys: usize = args.num("keys", 6).expect("--keys must be a number");
             sample_schedule(seed, steps, keys)
         }
-        (None, None) => {
+        (None, None, None) => {
             eprintln!(
-                "usage: dbg_replay (--script PATH | --seed N) [--steps N] [--keys N] \
-                 [--mode sim|live|net|all] [--dump]"
+                "usage: dbg_replay (--script PATH | --trace PATH | --seed N) [--steps N] \
+                 [--keys N] [--mode sim|live|net|all] [--dump]"
             );
             std::process::exit(2);
         }

@@ -177,6 +177,12 @@ pub struct ClientLib {
     /// the paper's non-repetitive `IDλ` vector must stay non-repetitive
     /// across repairs too).
     placements: HashMap<ObjectKey, Vec<LambdaId>>,
+    /// Model-checker teeth hook: when set, chunk answers that overtake
+    /// `GetAccepted` are *dropped* instead of buffered — re-introducing
+    /// the pre-accept answer-loss bug this library once had, so the
+    /// checker can demonstrate it still finds the counterexample. Never
+    /// set in production; see [`ClientLib::set_debug_drop_early_answers`].
+    debug_drop_early_answers: bool,
     /// Counters.
     pub stats: ClientStats,
 }
@@ -210,8 +216,17 @@ impl ClientLib {
             puts: HashMap::new(),
             put_seq: 0,
             placements: HashMap::new(),
+            debug_drop_early_answers: cfg!(mc_bug_1),
             stats: ClientStats::default(),
         }
+    }
+
+    /// Arms (or disarms) the model checker's revert-detection hook: drop
+    /// chunk answers that arrive before `GetAccepted` instead of
+    /// buffering them, resurrecting a historical bug that stranded GETs
+    /// forever. Compiling with `--cfg mc_bug_1` forces it on. Test-only.
+    pub fn set_debug_drop_early_answers(&mut self, on: bool) {
+        self.debug_drop_early_answers = on;
     }
 
     /// The erasure-coding configuration in use.
@@ -440,7 +455,7 @@ impl ClientLib {
             // across causality chains). Buffer it — dropping it would
             // strand the GET forever, since the proxy answers each
             // chunk exactly once.
-            if st.early_answers.len() < 4096 {
+            if !self.debug_drop_early_answers && st.early_answers.len() < 4096 {
                 st.early_answers.push((id, payload));
             }
             return Vec::new();
@@ -682,6 +697,34 @@ impl ClientLib {
     /// Keys of open requests, for audit diagnostics.
     pub fn open_request_keys(&self) -> Vec<ObjectKey> {
         self.gets.keys().chain(self.puts.keys()).cloned().collect()
+    }
+
+    /// Feeds the library's protocol state into a state hash (model
+    /// checking). Maps iterate in sorted order; the stats counters are
+    /// excluded. The RNG *is* included — as a digest of its next draw —
+    /// because placement vectors come out of it, so two states with
+    /// different RNG positions can diverge on the very next PUT.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use rand::RngCore;
+        use std::hash::Hash;
+        self.id.hash(h);
+        self.rng.clone().next_u64().hash(h);
+        let mut gets: Vec<_> = self.gets.iter().collect();
+        gets.sort_by_key(|(k, _)| (*k).clone());
+        for (key, st) in gets {
+            key.hash(h);
+            format!("{st:?}").hash(h);
+        }
+        let mut puts: Vec<_> = self.puts.iter().collect();
+        puts.sort_by_key(|(k, _)| (*k).clone());
+        for (key, st) in puts {
+            key.hash(h);
+            format!("{st:?}").hash(h);
+        }
+        self.put_seq.hash(h);
+        let mut placements: Vec<_> = self.placements.iter().collect();
+        placements.sort_by_key(|(k, _)| (*k).clone());
+        placements.hash(h);
     }
 
     /// Checks the library's structural invariants, returning one line per

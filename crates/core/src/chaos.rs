@@ -284,6 +284,12 @@ pub fn audit_termination(world: &SimWorld) -> Vec<String> {
         ));
     }
     for c in world.clients() {
+        if world.is_client_dead(c.id) {
+            // A disconnected session's frozen half-open requests are
+            // expected (the application lost its connection mid-call,
+            // nothing will conclude them); not a leak.
+            continue;
+        }
         if c.open_gets() + c.open_puts() > 0 {
             violations.push(format!(
                 "termination: {} still tracks {} GETs / {} PUTs ({:?})",

@@ -32,6 +32,8 @@
 //!
 //! (A live-mode quickstart example lives in `examples/quickstart.rs`.)
 
+#![warn(missing_docs)]
+
 pub mod chaos;
 pub mod dispatch;
 pub mod event;
@@ -40,6 +42,7 @@ pub mod live;
 pub mod metrics;
 pub mod nodehost;
 pub mod params;
+pub mod scheduler;
 pub mod world;
 
 pub use event::Op;

@@ -1,0 +1,142 @@
+//! Pluggable event-delivery scheduling for the discrete-event world.
+//!
+//! [`SimWorld`] used to hard-code one delivery discipline: pop the
+//! earliest-scheduled event, ties in insertion order. That discipline is
+//! now one [`Scheduler`] implementation ([`TimeOrdered`]); the world's
+//! event loop ([`SimWorld::run_with`]) asks whatever scheduler it is
+//! given for the next [`Choice`] and applies it. The protocol model
+//! checker (`ic-mc`) supplies schedulers that *enumerate* the set of
+//! currently-deliverable events — plus injected instance reclaims and
+//! client disconnects — and explore every interleaving of them instead
+//! of just the time-ordered one.
+//!
+//! A [`Choice`] is deliberately small and self-describing: a
+//! counterexample trace is just a `Vec<Choice>`, replayable by feeding
+//! it back through [`Scripted`].
+
+use ic_common::{ClientId, InstanceId, SimTime};
+
+use crate::world::SimWorld;
+
+/// One scheduling decision: what the world does next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Choice {
+    /// Deliver the pending event with this queue sequence number.
+    ///
+    /// Sequence numbers are assigned in push order, which is
+    /// deterministic given the choices applied so far — so a recorded
+    /// sequence of `Deliver` choices replays to the same run.
+    Deliver {
+        /// The event's [`ic_simfaas::EventQueue`] sequence number.
+        seq: u64,
+    },
+    /// Reclaim this (idle) function instance right now, exactly as the
+    /// platform's policy tick would — but with the victim chosen by the
+    /// scheduler instead of the platform's RNG.
+    Reclaim {
+        /// The victim instance.
+        instance: InstanceId,
+    },
+    /// Disconnect this client: the application session dies abruptly,
+    /// every proxy runs its disconnect cleanup, and the client's open
+    /// requests are abandoned (nothing will ever be delivered to it
+    /// again).
+    Disconnect {
+        /// The client whose session ends.
+        client: ClientId,
+    },
+}
+
+impl std::fmt::Display for Choice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Choice::Deliver { seq } => write!(f, "deliver {seq}"),
+            Choice::Reclaim { instance } => write!(f, "reclaim {}", instance.0),
+            Choice::Disconnect { client } => write!(f, "disconnect {}", client.0),
+        }
+    }
+}
+
+/// Picks the world's next scheduling [`Choice`].
+///
+/// Returning `None` ends the run ([`SimWorld::run_with`] stops). The
+/// scheduler only *chooses*; the world applies the choice and reports
+/// whether it was applicable via [`SimWorld::apply`]'s return value.
+pub trait Scheduler {
+    /// The next choice for `world`, or `None` to stop.
+    fn next(&mut self, world: &SimWorld) -> Option<Choice>;
+}
+
+/// The production discipline: deliver events in `(time, insertion)`
+/// order until the next event lies past a horizon. This is exactly the
+/// behavior `SimWorld::run_until` always had; it is now spelled as a
+/// scheduler so the model-checking disciplines are peers, not forks, of
+/// the real one.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeOrdered {
+    /// Events scheduled after this instant are left pending.
+    pub until: SimTime,
+}
+
+impl TimeOrdered {
+    /// Runs until the next event is past `t` (or the queue drains).
+    pub fn until(t: SimTime) -> Self {
+        TimeOrdered { until: t }
+    }
+}
+
+impl Scheduler for TimeOrdered {
+    fn next(&mut self, world: &SimWorld) -> Option<Choice> {
+        let at = world.peek_event_time()?;
+        if at > self.until {
+            return None;
+        }
+        world.peek_event_seq().map(|seq| Choice::Deliver { seq })
+    }
+}
+
+/// Replays a recorded choice sequence, skipping choices that are no
+/// longer applicable (their event already delivered, instance already
+/// gone, client already dead).
+///
+/// The skip-if-inapplicable semantics make every choice list a *total*
+/// program: the counterexample minimizer relies on this to elide
+/// choices one at a time and simply re-check whether the violation
+/// still reproduces.
+#[derive(Clone, Debug, Default)]
+pub struct Scripted {
+    choices: std::collections::VecDeque<Choice>,
+    /// Choices skipped because they were not applicable when their turn
+    /// came (diagnostics; a faithful replay of an unedited trace skips
+    /// nothing).
+    pub skipped: usize,
+}
+
+impl Scripted {
+    /// A scheduler that will play back `choices` in order.
+    pub fn new(choices: impl IntoIterator<Item = Choice>) -> Self {
+        Scripted {
+            choices: choices.into_iter().collect(),
+            skipped: 0,
+        }
+    }
+}
+
+impl Scheduler for Scripted {
+    fn next(&mut self, world: &SimWorld) -> Option<Choice> {
+        while let Some(c) = self.choices.pop_front() {
+            let applicable = match c {
+                Choice::Deliver { seq } => world.has_pending_event(seq),
+                Choice::Reclaim { instance } => {
+                    world.platform.reclaimable_instances().contains(&instance)
+                }
+                Choice::Disconnect { client } => !world.is_client_dead(client),
+            };
+            if applicable {
+                return Some(c);
+            }
+            self.skipped += 1;
+        }
+        None
+    }
+}

@@ -9,6 +9,7 @@
 //! billing meter afterwards.
 
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
 use ic_analytics::dist::{exponential_sample, lognormal_sample};
 use ic_baselines::S3Model;
@@ -33,6 +34,7 @@ use crate::dispatch::{self, ClientTransport, LambdaCtx, LambdaTransport, ProxyTr
 use crate::event::{Ev, FlowPayload, Op};
 use crate::metrics::{FtKind, Metrics, OpKind, Outcome, RequestRecord};
 use crate::params::SimParams;
+use crate::scheduler::{Choice, Scheduler, TimeOrdered};
 
 #[derive(Debug)]
 struct PendingReq {
@@ -75,6 +77,16 @@ pub struct SimWorld {
     /// reinserted (microbenchmarks pre-populate and never want the S3
     /// path).
     pub write_through: bool,
+    /// Clients whose sessions ended via a [`Choice::Disconnect`]: events
+    /// addressed to them are dropped (the connection no longer exists)
+    /// and the auditors skip their frozen state.
+    dead_clients: BTreeSet<ClientId>,
+    /// When set, every applied choice is followed by a full
+    /// [`SimWorld::check_invariants`] pass that panics at the violating
+    /// event instead of letting the violation surface at schedule end.
+    /// Armed by the `IC_SIM_AUDIT` environment variable (meant for
+    /// debug-build chaos runs; it is O(world state) per event).
+    audit_each_event: bool,
 }
 
 impl SimWorld {
@@ -165,6 +177,8 @@ impl SimWorld {
             rt_cfg,
             metrics: Metrics::default(),
             write_through: true,
+            dead_clients: BTreeSet::new(),
+            audit_each_event: std::env::var_os("IC_SIM_AUDIT").is_some_and(|v| v != "0"),
         };
         for notice in world.platform.bootstrap() {
             world.process_notice(notice);
@@ -251,14 +265,206 @@ impl SimWorld {
     }
 
     /// Runs until the next event is past `t` (or the queue drains).
+    ///
+    /// This is the time-ordered delivery discipline — one
+    /// [`Scheduler`] among several; the model checker drives the same
+    /// world through [`SimWorld::run_with`] with schedulers that explore
+    /// other interleavings.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked");
-            self.handle(now, ev);
+        self.run_with(&mut TimeOrdered::until(t));
+    }
+
+    /// Runs the event loop under an arbitrary delivery discipline: ask
+    /// `sched` for the next [`Choice`], apply it, repeat until the
+    /// scheduler returns `None`.
+    pub fn run_with(&mut self, sched: &mut dyn Scheduler) {
+        while let Some(choice) = sched.next(self) {
+            self.apply(choice);
         }
+    }
+
+    /// Applies one scheduling choice. Returns `false` when the choice
+    /// was not applicable (event already delivered, instance not idle,
+    /// client already dead) — a skipped step, not an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invariant violation when per-event auditing is
+    /// armed (`IC_SIM_AUDIT`).
+    pub fn apply(&mut self, choice: Choice) -> bool {
+        let applied = match choice {
+            Choice::Deliver { seq } => {
+                let popped = if self.queue.peek_seq() == Some(seq) {
+                    self.queue.pop() // hot path: the time-ordered front
+                } else {
+                    self.queue.take(seq)
+                };
+                match popped {
+                    Some((now, ev)) => {
+                        self.handle(now, ev);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Choice::Reclaim { instance } => {
+                let now = self.now();
+                match self.platform.force_reclaim(now, instance) {
+                    Some(notice) => {
+                        self.process_notice(notice);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Choice::Disconnect { client } => self.disconnect_client(client),
+        };
+        if applied && self.audit_each_event {
+            let violations = self.check_invariants();
+            assert!(
+                violations.is_empty(),
+                "IC_SIM_AUDIT: invariant violation immediately after `{choice}` \
+                 (event #{} at {:?}):\n{}",
+                self.queue.processed(),
+                self.now(),
+                violations.join("\n")
+            );
+        }
+        applied
+    }
+
+    /// Every pending event as `(seq, scheduled_at, event)` in time
+    /// order: the raw material a model-checking scheduler enumerates
+    /// delivery choices over.
+    pub fn pending_events(&self) -> Vec<(u64, SimTime, &Ev)> {
+        self.queue.pending()
+    }
+
+    /// `true` while the event with queue sequence number `seq` is still
+    /// pending.
+    pub fn has_pending_event(&self, seq: u64) -> bool {
+        self.queue.contains(seq)
+    }
+
+    /// Scheduled time of the next event in time order.
+    pub fn peek_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Sequence number of the next event in time order.
+    pub fn peek_event_seq(&self) -> Option<u64> {
+        self.queue.peek_seq()
+    }
+
+    /// The fluid network's current epoch: a pending
+    /// [`Ev::FlowTick`] with any other epoch is stale (delivering it is
+    /// a no-op), so the model checker only treats the current-epoch tick
+    /// as a real choice.
+    pub fn flow_epoch(&self) -> u64 {
+        self.net.epoch()
+    }
+
+    /// Ends `client`'s session abruptly, as a closed TCP connection
+    /// would on the socket substrate: every proxy runs its
+    /// disconnect cleanup (clearing writer affinity, aborting orphaned
+    /// PUTs, dropping the session's tombstones), the world abandons the
+    /// client's open application requests, and from now on events
+    /// addressed to the client are dropped. Returns `false` if the
+    /// client was already dead.
+    pub fn disconnect_client(&mut self, client: ClientId) -> bool {
+        if !self.dead_clients.insert(client) {
+            return false;
+        }
+        let now = self.now();
+        for p in 0..self.proxies.len() {
+            let actions = self.proxies[p].on_client_disconnected(client);
+            dispatch::run_proxy_actions(self, now, ProxyId(p as u16), actions, None);
+        }
+        self.pending_gets.retain(|(c, _), _| *c != client);
+        self.pending_puts.retain(|(c, _), _| *c != client);
+        true
+    }
+
+    /// `true` once `client`'s session was ended by
+    /// [`SimWorld::disconnect_client`]. The auditors skip dead clients:
+    /// their frozen half-open state is expected, not a leak.
+    pub fn is_client_dead(&self, client: ClientId) -> bool {
+        self.dead_clients.contains(&client)
+    }
+
+    /// Arms the model checker's revert-detection hooks on every client
+    /// and proxy (see `ClientLib::set_debug_drop_early_answers` and
+    /// `Proxy::set_debug_drop_stale_requery`). Test-only: each hook
+    /// resurrects a historical protocol bug so the checker can prove it
+    /// still finds the counterexample.
+    pub fn set_debug_bug_hooks(&mut self, drop_early_answers: bool, drop_stale_requery: bool) {
+        for c in &mut self.clients {
+            c.set_debug_drop_early_answers(drop_early_answers);
+        }
+        for p in &mut self.proxies {
+            p.set_debug_drop_stale_requery(drop_stale_requery);
+        }
+    }
+
+    /// Hashes the deployment's protocol state into one `u64`: every
+    /// proxy, client library, and function runtime, the in-flight
+    /// network payloads, the world-level request tables, and the
+    /// *content* of pending protocol events.
+    ///
+    /// Two worlds with equal fingerprints are (up to hash collision) in
+    /// the same protocol state, so the model checker prunes a state it
+    /// reaches twice via different interleavings. Time-derived values —
+    /// event timestamps, chunk versions, flow progress — are excluded on
+    /// purpose: interleavings that reconverge on the same protocol state
+    /// almost always disagree on the clock, and keeping the clock in the
+    /// hash would make dedup nearly useless. Housekeeping ticks
+    /// ([`Ev::WarmupTick`], [`Ev::Platform`], stale [`Ev::FlowTick`]s)
+    /// are likewise excluded; the checker never schedules them.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        let mut h = DefaultHasher::new();
+        for p in &self.proxies {
+            p.fingerprint(&mut h);
+        }
+        for c in &self.clients {
+            c.fingerprint(&mut h);
+        }
+        let mut runtimes: Vec<_> = self.runtimes.iter().collect();
+        runtimes.sort_by_key(|(id, _)| **id);
+        for (id, rt) in runtimes {
+            id.hash(&mut h);
+            rt.fingerprint(&mut h);
+        }
+        let mut relays: Vec<_> = self.relays.iter().collect();
+        relays.sort_by_key(|(id, _)| **id);
+        for (id, st) in relays {
+            id.hash(&mut h);
+            format!("{st:?}").hash(&mut h);
+        }
+        let mut gets: Vec<_> = self.pending_gets.keys().collect();
+        gets.sort();
+        gets.hash(&mut h);
+        let mut puts: Vec<_> = self.pending_puts.keys().collect();
+        puts.sort();
+        puts.hash(&mut h);
+        self.dead_clients.hash(&mut h);
+        self.platform.reclaimable_instances().hash(&mut h);
+        // Pending events as a sorted content multiset: *which* protocol
+        // messages are still in flight matters; when they were scheduled
+        // does not (delivery order is the checker's choice anyway).
+        let mut pending: Vec<String> = self
+            .queue
+            .pending()
+            .into_iter()
+            .filter(|(_, _, ev)| {
+                !matches!(ev, Ev::WarmupTick | Ev::Platform(_) | Ev::FlowTick { .. })
+            })
+            .map(|(_, _, ev)| format!("{ev:?}"))
+            .collect();
+        pending.sort();
+        pending.hash(&mut h);
+        self.net.fingerprint(&mut h);
+        h.finish()
     }
 
     // ------------------------------------------------------------------
@@ -266,6 +472,17 @@ impl SimWorld {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        // A disconnected client's session is gone: events addressed to it
+        // (its own submissions included) hit a closed connection and are
+        // dropped, exactly as the socket substrate would drop them.
+        if let Ev::Submit { client, .. }
+        | Ev::ClientRx { client, .. }
+        | Ev::ResetDone { client, .. } = &ev
+        {
+            if self.dead_clients.contains(client) {
+                return;
+            }
+        }
         match ev {
             Ev::Submit { client, op } => self.handle_submit(now, client, op),
             Ev::ClientRx { client, msg } => {

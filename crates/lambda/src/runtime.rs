@@ -189,6 +189,23 @@ impl Runtime {
         self.role.is_active()
     }
 
+    /// Feeds the runtime's protocol state into a state hash (model
+    /// checking). Wall-clock bookkeeping (`exec_start`, `last_backup`)
+    /// and the timer token are excluded — they differ between
+    /// interleavings that are otherwise in the same protocol state — as
+    /// is the `served_data` billing statistic.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.lambda.hash(h);
+        self.instance.hash(h);
+        self.store.fingerprint(h);
+        self.executing.hash(h);
+        self.outstanding.hash(h);
+        self.requests_in_cycle.hash(h);
+        self.did_backup.hash(h);
+        format!("{:?}", self.role).hash(h);
+    }
+
     // ------------------------------------------------------------------
     // Entry points
     // ------------------------------------------------------------------

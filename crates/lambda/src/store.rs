@@ -51,6 +51,22 @@ impl ChunkStore {
         self.used_bytes
     }
 
+    /// Feeds the store's contents into a state hash (model checking).
+    /// Chunk *versions* are excluded: they embed the wall-clock insert
+    /// time, so two interleavings holding identical data would hash
+    /// differently and the checker's state dedup would never fire.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut chunks: Vec<_> = self.chunks.iter().collect();
+        chunks.sort_by_key(|(id, _)| (*id).clone());
+        for (id, chunk) in chunks {
+            id.hash(h);
+            format!("{:?}", chunk.payload).hash(h);
+        }
+        self.clock.keys_mru_to_lru().hash(h);
+        self.used_bytes.hash(h);
+    }
+
     /// Inserts (or overwrites) a chunk at time `now`, returning its version.
     pub fn insert(&mut self, now: SimTime, id: ChunkId, payload: Payload) -> u64 {
         self.version_seq = (self.version_seq + 1) & 0xF;

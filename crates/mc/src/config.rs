@@ -1,0 +1,282 @@
+//! What the checker explores: deployment shape, workload, fault budget,
+//! and search bounds.
+
+use ic_common::{ClientId, DeploymentConfig, EcConfig, ObjectKey, Payload, SimDuration, SimTime};
+use ic_simfaas::reclaim::NoReclaim;
+use infinicache::chaos::ScriptStep;
+use infinicache::{Op, SimParams, SimWorld};
+
+/// When [`McConfig::settle_prefix`] > 0, the sim horizon the settled
+/// operations run to before the explored operations are submitted.
+const SETTLE_HORIZON: SimTime = SimTime::from_secs(10);
+
+/// One workload operation, pinned to the client that issues it.
+///
+/// All operations are submitted to the world up front; the *scheduler*
+/// decides when each submission actually executes, subject only to
+/// per-client program order (a client's second call cannot start before
+/// its first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct McOp {
+    /// The issuing client.
+    pub client: u16,
+    /// The operation (reuses the parity-script vocabulary).
+    pub step: ScriptStep,
+}
+
+impl McOp {
+    /// `client` PUTs `size` bytes under `key`.
+    pub fn put(client: u16, key: &str, size: u64) -> Self {
+        McOp {
+            client,
+            step: ScriptStep::Put {
+                key: key.to_string(),
+                size,
+            },
+        }
+    }
+
+    /// `client` GETs `key`.
+    pub fn get(client: u16, key: &str) -> Self {
+        McOp {
+            client,
+            step: ScriptStep::Get {
+                key: key.to_string(),
+            },
+        }
+    }
+}
+
+/// Which revert-detection hooks to arm in the explored worlds (each
+/// resurrects one historical protocol bug; see the `set_debug_*` hooks
+/// on `ClientLib`/`Proxy`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BugHooks {
+    /// Drop chunk answers that overtake `GetAccepted` (client side).
+    pub drop_early_answers: bool,
+    /// Drop stale chunk answers without re-querying the live home
+    /// (proxy side).
+    pub drop_stale_requery: bool,
+}
+
+impl BugHooks {
+    /// `true` when any hook is armed.
+    pub fn any(self) -> bool {
+        self.drop_early_answers || self.drop_stale_requery
+    }
+}
+
+/// Search order for the interleaving exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Depth-first: reaches terminal states (and therefore termination
+    /// violations) quickly; counterexamples are not necessarily
+    /// shortest, the minimizer compensates.
+    Dfs,
+    /// Breadth-first: first counterexample found is depth-minimal; uses
+    /// more frontier memory.
+    Bfs,
+}
+
+/// Everything one exploration needs: the deployment, the workload, the
+/// injected-fault budget, and the search bounds.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// Proxies in the deployment.
+    pub proxies: u16,
+    /// Clients issuing the workload.
+    pub clients: u16,
+    /// Lambda pool size per proxy.
+    pub lambdas_per_proxy: u32,
+    /// Erasure code (small codes keep stripes — and the state space —
+    /// small).
+    pub ec: EcConfig,
+    /// The workload, submitted up front; delivery order is explored.
+    pub ops: Vec<McOp>,
+    /// How many leading `ops` are *settled* — run to completion under
+    /// the production time-ordered scheduler — before exploration
+    /// starts. The explored state space then covers only the remaining
+    /// operations' interleavings. Settling the setup phase (typically
+    /// the PUTs that populate the cache) is what makes exhaustive
+    /// exploration tractable: a full PUT pipeline is ~30 choices deep
+    /// with heavy branching, while the races worth checking (answer
+    /// reordering, reclaim-vs-GET, disconnect-vs-GET) all live in the
+    /// read path. Set to 0 to explore everything.
+    pub settle_prefix: usize,
+    /// Maximum scheduling choices along one path (depth bound).
+    pub depth: usize,
+    /// Instance reclaims the scheduler may inject per path.
+    pub max_reclaims: usize,
+    /// Client disconnects the scheduler may inject per path.
+    pub max_disconnects: usize,
+    /// DFS or BFS.
+    pub mode: SearchMode,
+    /// Sleep-set pruning of commuting deliveries. Off by default: with
+    /// state-fingerprint dedup also on, sleep sets can in rare shapes
+    /// hide a state reachable only through a pruned order, so the
+    /// exhaustive CI legs run without it and the pruned run is a
+    /// faster cross-check, not the source of truth.
+    pub prune_commuting: bool,
+    /// Explore delivery of `LambdaTimer` events (billing-cycle returns).
+    /// Off by default: request progress never depends on them and each
+    /// pending timer otherwise multiplies the state space.
+    pub explore_lambda_timers: bool,
+    /// Hard cap on distinct states (safety valve; 0 = unbounded). The
+    /// report records whether the cap was hit.
+    pub max_states: u64,
+    /// Stop at the first violation (on) or keep searching and collect
+    /// every distinct one (off).
+    pub stop_at_first: bool,
+    /// World seed (placements draw from seeded RNGs, so the same seed
+    /// explores the same tree).
+    pub seed: u64,
+    /// Revert-detection hooks to arm.
+    pub hooks: BugHooks,
+}
+
+impl McConfig {
+    /// The smallest interesting deployment: 1 proxy × 3 nodes, one
+    /// client, a single PUT→GET under a 2+1 code. The PUT is settled;
+    /// the GET's interleavings are explored exhaustively.
+    pub fn tiny(seed: u64) -> Self {
+        McConfig {
+            proxies: 1,
+            clients: 1,
+            lambdas_per_proxy: 3,
+            ec: EcConfig::new(2, 1).expect("valid code"),
+            ops: vec![McOp::put(0, "k0", 6_000), McOp::get(0, "k0")],
+            settle_prefix: 1,
+            depth: 40,
+            max_reclaims: 0,
+            max_disconnects: 0,
+            mode: SearchMode::Dfs,
+            prune_commuting: false,
+            explore_lambda_timers: false,
+            max_states: 2_000_000,
+            stop_at_first: true,
+            seed,
+            hooks: BugHooks::default(),
+        }
+    }
+
+    /// The acceptance-criteria config: 1 proxy × 4 nodes, two clients
+    /// (a writer and a racing reader), one injected reclaim available to
+    /// the scheduler.
+    pub fn small(seed: u64) -> Self {
+        McConfig {
+            clients: 2,
+            lambdas_per_proxy: 4,
+            ops: vec![McOp::put(0, "k0", 6_000), McOp::get(1, "k0")],
+            max_reclaims: 1,
+            ..McConfig::tiny(seed)
+        }
+    }
+
+    /// The overwrite-race config: client 0's initial PUT is settled,
+    /// then its *overwrite* of the same key is explored against client
+    /// 1's concurrent GET. This is the shape that exercises the stale
+    /// chunk-answer path — when the overwrite re-places a chunk while a
+    /// GET's query for the old copy is in flight, the answer comes back
+    /// from a node that is no longer the chunk's home and the proxy
+    /// must re-query the live one.
+    pub fn race(seed: u64) -> Self {
+        McConfig {
+            clients: 2,
+            lambdas_per_proxy: 4,
+            ops: vec![
+                McOp::put(0, "k0", 6_000),
+                McOp::put(0, "k0", 6_000),
+                McOp::get(1, "k0"),
+            ],
+            depth: 48,
+            ..McConfig::tiny(seed)
+        }
+    }
+
+    /// The object size a GET of `key` should expect: the size of the
+    /// last PUT of that key in program order (0 when never written —
+    /// the GET will miss).
+    pub fn expected_size(&self, key: &str) -> u64 {
+        self.ops
+            .iter()
+            .rev()
+            .find_map(|op| match &op.step {
+                ScriptStep::Put { key: k, size } if k == key => Some(*size),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Builds the world this config describes, settles the first
+    /// [`settle_prefix`](Self::settle_prefix) operations under the
+    /// production time-ordered scheduler, and submits the rest for the
+    /// exploration scheduler to order.
+    ///
+    /// Submissions are staggered one millisecond apart so each gets a
+    /// distinct queue slot, but the stagger carries no semantics — the
+    /// scheduler owns delivery order (subject to per-client program
+    /// order, which the choice enumerator enforces by sequence number).
+    /// The whole construction is deterministic, which is what lets the
+    /// stateless explorer treat "config + choice path" as a complete
+    /// recipe for a state.
+    pub fn build_world(&self) -> SimWorld {
+        let deployment = DeploymentConfig {
+            proxies: self.proxies,
+            lambdas_per_proxy: self.lambdas_per_proxy,
+            lambda_memory_mb: 128,
+            ec: self.ec,
+            // Backups and policy reclaims are off: the scheduler injects
+            // reclaims explicitly, and backup rounds are driven by warm-up
+            // ticks the checker never schedules.
+            backup_enabled: false,
+            ..DeploymentConfig::default()
+        };
+        let mut world = SimWorld::new(
+            deployment,
+            SimParams::paper().with_seed(self.seed),
+            Box::new(NoReclaim),
+            self.clients,
+        );
+        // A cold miss is just a miss: the S3 refetch path would add
+        // flows (and states) without exercising new protocol logic.
+        world.write_through = false;
+        if self.hooks.any() {
+            world.set_debug_bug_hooks(self.hooks.drop_early_answers, self.hooks.drop_stale_requery);
+        }
+        let settle = self.settle_prefix.min(self.ops.len());
+        let submit = |world: &mut SimWorld, base: SimTime, ops: &[McOp]| {
+            for (i, op) in ops.iter().enumerate() {
+                let at = base + SimDuration::from_millis(1 + i as u64);
+                let client = ClientId(op.client);
+                match &op.step {
+                    ScriptStep::Put { key, size } => world.submit(
+                        at,
+                        client,
+                        Op::Put {
+                            key: ObjectKey::new(key),
+                            payload: Payload::synthetic(*size),
+                        },
+                    ),
+                    ScriptStep::Get { key } => world.submit(
+                        at,
+                        client,
+                        Op::Get {
+                            key: ObjectKey::new(key),
+                            size: self.expected_size(key),
+                        },
+                    ),
+                }
+            }
+        };
+        submit(&mut world, SimTime::ZERO, &self.ops[..settle]);
+        if settle > 0 {
+            // Ten sim-seconds is far past any settled operation's last
+            // flow; housekeeping events left pending after the horizon
+            // are invisible to both the choice enumerator and the
+            // fingerprint.
+            world.run_until(SETTLE_HORIZON);
+        }
+        submit(&mut world, SETTLE_HORIZON, &self.ops[settle..]);
+        world
+    }
+}

@@ -91,6 +91,23 @@ impl LambdaConn {
         self.queue.len()
     }
 
+    /// Feeds this connection's protocol state into a state hash (model
+    /// checking). Everything here is protocol-relevant: the Fig 6 state
+    /// pair, the answering instance, queued and lazily-deleted work, and
+    /// the pool-accounting byte count.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.lambda.hash(h);
+        format!("{:?}/{:?}", self.liveness, self.validity).hash(h);
+        self.active_instance.hash(h);
+        self.queue.len().hash(h);
+        for msg in &self.queue {
+            format!("{msg:?}").hash(h);
+        }
+        self.pending_deletes.hash(h);
+        self.reported_bytes.hash(h);
+    }
+
     /// Wants to deliver `msg` to the node; validates lazily (Fig 6 steps
     /// 1–10).
     pub fn send(&mut self, msg: Msg) -> Vec<ConnEffect> {

@@ -191,6 +191,12 @@ pub struct Proxy {
     next_epoch: u64,
     relays: HashMap<RelayId, LambdaId>,
     next_relay: u64,
+    /// Model-checker teeth hook: when set, a chunk answer from a node
+    /// the chunk no longer lives on is dropped *without* re-querying the
+    /// current home — re-introducing the pre-guard bug where waiters of
+    /// the live copy were stranded forever. Never set in production; see
+    /// [`Proxy::set_debug_drop_stale_requery`].
+    debug_drop_stale_requery: bool,
     /// Statistics for the experiment harnesses.
     pub stats: ProxyStats,
 }
@@ -217,8 +223,17 @@ impl Proxy {
             next_epoch: 1,
             relays: HashMap::new(),
             next_relay: 1,
+            debug_drop_stale_requery: cfg!(mc_bug_2),
             stats: ProxyStats::default(),
         }
+    }
+
+    /// Arms (or disarms) the model checker's revert-detection hook: drop
+    /// stale chunk answers without re-querying the chunk's current home,
+    /// resurrecting a historical bug that stranded in-flight GET waiters
+    /// forever. Compiling with `--cfg mc_bug_2` forces it on. Test-only.
+    pub fn set_debug_drop_stale_requery(&mut self, on: bool) {
+        self.debug_drop_stale_requery = on;
     }
 
     /// This proxy's id.
@@ -722,6 +737,11 @@ impl Proxy {
     /// live copy instead.
     fn requery_chunk(&mut self, id: &ChunkId, home: LambdaId) -> Vec<ProxyAction> {
         self.stats.stale_chunk_answers += 1;
+        if self.debug_drop_stale_requery {
+            // Revert-detection hook: swallow the stale answer and never
+            // ask the live home — waiters strand (mc_bug_2).
+            return Vec::new();
+        }
         if self.inflight_gets.get(id).is_none_or(Vec::is_empty) {
             return Vec::new();
         }
@@ -916,6 +936,53 @@ impl Proxy {
             }
         }
         violations
+    }
+
+    /// Feeds the proxy's protocol state into a state hash. The model
+    /// checker uses this to recognize already-explored interleavings, so
+    /// only protocol-relevant state goes in: maps iterate in sorted
+    /// order (std `HashMap` order is per-process random) and the stats
+    /// counters are excluded (two runs in the same protocol state may
+    /// have counted different retries along the way).
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.cfg.id.hash(h);
+        // member_order is a stable pool enumeration, so it doubles as the
+        // deterministic iteration order for the connection table.
+        for lambda in &self.member_order {
+            self.members[lambda].fingerprint(h);
+        }
+        let mut mapping: Vec<_> = self.mapping.iter().collect();
+        mapping.sort();
+        mapping.hash(h);
+        let mut objects: Vec<_> = self.objects.iter().collect();
+        objects.sort_by_key(|(k, _)| (*k).clone());
+        for (key, meta) in objects {
+            key.hash(h);
+            format!("{meta:?}").hash(h);
+        }
+        self.lru.keys_mru_to_lru().hash(h);
+        self.used_bytes.hash(h);
+        let mut gets: Vec<_> = self.inflight_gets.iter().collect();
+        gets.sort_by_key(|(c, _)| (*c).clone());
+        for (chunk, waiters) in gets {
+            chunk.hash(h);
+            waiters.hash(h);
+        }
+        let mut puts: Vec<_> = self.puts.iter().collect();
+        puts.sort_by_key(|(k, _)| (*k).clone());
+        for (key, progress) in puts {
+            key.hash(h);
+            format!("{progress:?}").hash(h);
+        }
+        let mut aborted: Vec<_> = self.aborted_puts.iter().collect();
+        aborted.sort();
+        aborted.hash(h);
+        self.next_epoch.hash(h);
+        let mut relays: Vec<_> = self.relays.iter().collect();
+        relays.sort();
+        relays.hash(h);
+        self.next_relay.hash(h);
     }
 }
 

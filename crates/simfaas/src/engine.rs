@@ -107,17 +107,85 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event and advances the clock to it.
+    ///
+    /// An event scheduled before "now" — possible after an out-of-order
+    /// [`take`] jumped the clock past it — delivers at "now" (the same
+    /// causality clamp [`push`] applies) rather than running time
+    /// backwards.
+    ///
+    /// [`take`]: EventQueue::take
+    /// [`push`]: EventQueue::push
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "time went backwards");
-        self.now = entry.at;
+        self.now = self.now.max(entry.at);
         self.popped += 1;
-        Some((entry.at, entry.event))
+        Some((self.now, entry.event))
     }
 
     /// Peeks at the next event time without popping.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Sequence number of the next event in time order (the one [`pop`]
+    /// would return). Sequence numbers identify a scheduled event for the
+    /// out-of-order delivery path used by the model checker.
+    ///
+    /// [`pop`]: EventQueue::pop
+    pub fn peek_seq(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.seq)
+    }
+
+    /// Every pending event as `(seq, scheduled_at, event)`, sorted by
+    /// `(scheduled_at, seq)` — the order [`pop`] would drain them.
+    ///
+    /// This is the model checker's view of the world: the set of
+    /// currently-deliverable events it enumerates scheduling choices
+    /// over. It allocates, so the time-ordered hot path never calls it.
+    ///
+    /// [`pop`]: EventQueue::pop
+    pub fn pending(&self) -> Vec<(u64, SimTime, &E)> {
+        let mut entries: Vec<(u64, SimTime, &E)> = self
+            .heap
+            .iter()
+            .map(|Reverse(e)| (e.seq, e.at, &e.event))
+            .collect();
+        entries.sort_by_key(|&(seq, at, _)| (at, seq));
+        entries
+    }
+
+    /// `true` when an event with sequence number `seq` is still pending.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.heap.iter().any(|Reverse(e)| e.seq == seq)
+    }
+
+    /// Removes and returns the event with sequence number `seq`,
+    /// regardless of its position in time order.
+    ///
+    /// The clock advances to `max(now, scheduled_at)`: delivering a
+    /// later-scheduled event first is exactly the reordering freedom a
+    /// model-checking scheduler exercises, and events left behind are
+    /// clamped forward to "now" when they eventually deliver (the same
+    /// causality clamp [`push`] applies). O(n) — the checker explores
+    /// small worlds; the time-ordered path uses [`pop`].
+    ///
+    /// [`push`]: EventQueue::push
+    /// [`pop`]: EventQueue::pop
+    pub fn take(&mut self, seq: u64) -> Option<(SimTime, E)> {
+        if self.peek_seq() == Some(seq) {
+            return self.pop();
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        let idx = entries.iter().position(|Reverse(e)| e.seq == seq);
+        let Some(idx) = idx else {
+            self.heap = entries.into();
+            return None;
+        };
+        let Reverse(found) = entries.swap_remove(idx);
+        self.heap = entries.into();
+        self.now = self.now.max(found.at);
+        self.popped += 1;
+        Some((self.now, found.event))
     }
 }
 
@@ -167,6 +235,37 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(1));
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn take_delivers_out_of_order_and_clamps_the_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "early");
+        q.push(SimTime::from_millis(30), "late");
+        let pending = q.pending();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(*pending[0].2, "early");
+        let late_seq = pending[1].0;
+        // Deliver the later event first: the clock jumps to it…
+        let (t, e) = q.take(late_seq).unwrap();
+        assert_eq!((t, e), (SimTime::from_millis(30), "late"));
+        // …and the earlier event clamps forward when it finally pops.
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_millis(30), "early"));
+        assert_eq!(q.processed(), 2);
+        // A bogus seq is a no-op that loses nothing.
+        q.push(SimTime::from_millis(40), "keep");
+        assert!(q.take(9999).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn take_of_the_front_event_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), "front");
+        let seq = q.peek_seq().unwrap();
+        assert_eq!(q.take(seq).unwrap().1, "front");
+        assert!(q.is_empty());
     }
 
     #[test]

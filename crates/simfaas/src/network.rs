@@ -105,6 +105,28 @@ impl<T> Network<T> {
         self.delivered_bytes
     }
 
+    /// Feeds the protocol-relevant in-flight flow state into a state
+    /// fingerprint: each flow's path and payload, in flow-id order (the
+    /// map is a `BTreeMap`, so iteration is deterministic).
+    ///
+    /// Timing state — remaining bytes, rates, epochs — is deliberately
+    /// excluded: under the model checker's scheduler a flow's completion
+    /// is an explicit delivery choice, so two states differing only in
+    /// how far their flows have drained are protocol-equivalent.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher)
+    where
+        T: std::fmt::Debug,
+    {
+        use std::hash::Hash;
+        self.flows.len().hash(h);
+        for flow in self.flows.values() {
+            for link in &flow.path {
+                link.0.hash(h);
+            }
+            format!("{:?}", flow.payload).hash(h);
+        }
+    }
+
     /// Starts a flow of `bytes` over `path`, optionally rate-capped.
     ///
     /// # Panics

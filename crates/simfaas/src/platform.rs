@@ -250,6 +250,31 @@ impl Platform {
             .collect()
     }
 
+    /// Fault-injection hook with a *chosen* victim: reclaim exactly
+    /// `instance` (if it is currently idle), bypassing the seeded victim
+    /// selection of [`Platform::force_reclaims`]. The model checker uses
+    /// this to make each reclaim an explicit scheduling choice rather
+    /// than an RNG draw, so a counterexample trace pins down which
+    /// instance died.
+    pub fn force_reclaim(&mut self, now: SimTime, instance: InstanceId) -> Option<PlatformNotice> {
+        if !self.fleet.idle_instances().contains(&instance) {
+            return None;
+        }
+        self.reclaim_instance(now, instance)
+            .map(|gone| PlatformNotice::Reclaimed {
+                lambda: gone.lambda,
+                instance: gone.id,
+            })
+    }
+
+    /// Instances currently reclaimable (idle, i.e. not mid-execution) —
+    /// the candidate set for [`Platform::force_reclaim`] choices.
+    pub fn reclaimable_instances(&self) -> Vec<InstanceId> {
+        let mut idle = self.fleet.idle_instances();
+        idle.sort();
+        idle
+    }
+
     fn reclaim_instance(&mut self, now: SimTime, instance: InstanceId) -> Option<Instance> {
         let gone = self.fleet.reclaim(instance, &mut self.hosts)?;
         self.reclaim_log.push((now, gone.lambda, gone.id));

@@ -7,6 +7,14 @@
 //! `run_chaos(&ChaosConfig::small(seed))` with the reported seed
 //! reproduces the exact schedule. `CHAOS_SEEDS` widens the matrix (e.g.
 //! `CHAOS_SEEDS=500 cargo test --test chaos`) for soak runs.
+//!
+//! Counterexample promotion: when the model checker (`ic-mc`) finds an
+//! interleaving this sampled matrix missed, don't widen the matrix and
+//! hope — commit the minimized trace under `tests/data/` and pin it in
+//! `tests/mc.rs` (`mc explore ... --trace-out` writes the file;
+//! `committed_counterexample_traces_reproduce_their_violations` keeps
+//! it replaying). A chaos seed covers a *distribution*; a committed
+//! trace covers the exact order that broke.
 
 use infinicache::chaos::{
     run_chaos, sample_proxy_kill_plan, sample_schedule, ChaosConfig, ChaosReport,
