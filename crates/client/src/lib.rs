@@ -234,6 +234,14 @@ impl ClientLib {
         self.ec
     }
 
+    /// Decode-plan cache counters of the embedded codec, as
+    /// `(hits, misses)`. Steady-state degraded reads (the same nodes down
+    /// across many GETs) should be nearly all hits — each hit is one
+    /// skipped Gauss–Jordan inversion on the delivery path.
+    pub fn decode_plan_cache_stats(&self) -> (u64, u64) {
+        self.rs.plan_cache_stats()
+    }
+
     /// The proxy a key routes to (consistent hashing).
     pub fn route(&self, key: &ObjectKey) -> ProxyId {
         *self
@@ -881,6 +889,9 @@ mod tests {
         assert_eq!(object.as_bytes().unwrap().as_ref(), &data[..]);
         assert_eq!(c.stats.hits, 1);
         assert_eq!(c.stats.parity_decodes, 1);
+        // The decode consulted the plan cache: first sight of this
+        // erasure pattern, so exactly one miss and no hits yet.
+        assert_eq!(c.decode_plan_cache_stats(), (0, 1));
     }
 
     #[test]

@@ -3,11 +3,27 @@
 //! Reed–Solomon implementation (Backblaze, klauspost, ISA-L).
 //!
 //! Addition is XOR; multiplication goes through compile-time log/exp tables.
-//! The slice kernels ([`mul_slice`], [`mul_slice_xor`]) use per-coefficient
-//! split-nibble lookup tables — the scalar version of the PSHUFB trick that
-//! AVX implementations (and the paper's Go library) use — which makes
-//! encoding throughput proportional to memory bandwidth rather than to
-//! per-byte log/exp arithmetic.
+//!
+//! The slice kernels ([`mul_slice`], [`mul_slice_xor`]) are **word-parallel**
+//! (SWAR): each step loads 8 bytes into a `u64` and multiplies all 8 lanes at
+//! once by decomposing the input into bit-planes. For input word `x` and
+//! coefficient `c`,
+//!
+//! ```text
+//!     c·x = XOR over j of  plane_j(x) · (c · 2^j)
+//! ```
+//!
+//! where `plane_j(x) = (x >> j) & 0x0101…01` isolates bit `j` of every lane
+//! (each lane is 0 or 1) and the per-plane constant `c · 2^j` is broadcast by
+//! an ordinary wrapping `u64` multiply — the product never crosses a lane
+//! boundary because `plane · const ≤ 255` per lane. Eight shifted-AND +
+//! multiply + XOR steps compute eight GF(2⁸) products with no table lookups
+//! in the hot loop, which the compiler auto-vectorizes cleanly (no `unsafe`,
+//! no explicit SIMD). Residual bytes past the last full 16-byte chunk fall
+//! back to the split-nibble [`MulTable`] scalar path.
+//!
+//! The previous scalar split-nibble kernels are retained verbatim under
+//! [`mod@reference`] for differential testing and benchmarking.
 
 /// Number of field elements.
 pub const FIELD_SIZE: usize = 256;
@@ -131,43 +147,196 @@ impl MulTable {
     }
 }
 
-/// `out[i] = c * input[i]` for whole slices.
+/// Byte-broadcast mask: one set bit per `u64` lane.
+const LANES_LO: u64 = 0x0101_0101_0101_0101;
+
+/// Word-parallel multiply of 8 packed lanes by a fixed coefficient, given the
+/// per-bit-plane broadcast constants `planes[j] = mul(c, 1 << j)`.
+#[inline(always)]
+fn mul_word(x: u64, planes: &[u64; 8]) -> u64 {
+    let mut acc = 0u64;
+    let mut j = 0;
+    while j < 8 {
+        // (x >> j) & LANES_LO leaves each lane holding bit j (0 or 1);
+        // multiplying by a constant ≤ 255 broadcasts it without crossing
+        // lane boundaries.
+        acc ^= ((x >> j) & LANES_LO).wrapping_mul(planes[j]);
+        j += 1;
+    }
+    acc
+}
+
+/// A per-coefficient slice-multiplication kernel with everything precomputed:
+/// the bit-plane broadcast constants for the word-parallel loop and the
+/// split-nibble [`MulTable`] for the scalar tail.
+///
+/// Building one costs 40 table multiplications; the encoder builds `d × p`
+/// of them once per stripe and reuses them across every cache block.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    c: u8,
+    planes: [u64; 8],
+    tail: MulTable,
+}
+
+impl Kernel {
+    /// Precomputes the kernel for coefficient `c`.
+    pub fn new(c: u8) -> Self {
+        let mut planes = [0u64; 8];
+        for (j, p) in planes.iter_mut().enumerate() {
+            *p = mul(c, 1 << j) as u64;
+        }
+        Kernel {
+            c,
+            planes,
+            tail: MulTable::new(c),
+        }
+    }
+
+    /// The coefficient this kernel multiplies by.
+    #[inline]
+    pub fn coeff(&self) -> u8 {
+        self.c
+    }
+
+    /// `out[i] ^= c * input[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn mul_xor(&self, input: &[u8], out: &mut [u8]) {
+        assert_eq!(input.len(), out.len(), "shard length mismatch");
+        match self.c {
+            0 => {}
+            1 => xor_slice(input, out),
+            _ => self.mul_xor_swar(input, out),
+        }
+    }
+
+    /// `out[i] = c * input[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn mul(&self, input: &[u8], out: &mut [u8]) {
+        assert_eq!(input.len(), out.len(), "shard length mismatch");
+        match self.c {
+            0 => out.fill(0),
+            1 => out.copy_from_slice(input),
+            _ => {
+                out.fill(0);
+                self.mul_xor_swar(input, out);
+            }
+        }
+    }
+
+    /// The word-parallel hot loop: 16 bytes (two `u64` words) per step, with
+    /// a split-nibble scalar tail for the residue.
+    fn mul_xor_swar(&self, input: &[u8], out: &mut [u8]) {
+        let mut ic = input.chunks_exact(16);
+        let mut oc = out.chunks_exact_mut(16);
+        for (i16, o16) in (&mut ic).zip(&mut oc) {
+            let x0 = u64::from_ne_bytes(i16[..8].try_into().expect("16-byte chunk"));
+            let x1 = u64::from_ne_bytes(i16[8..].try_into().expect("16-byte chunk"));
+            let a0 = u64::from_ne_bytes(o16[..8].try_into().expect("16-byte chunk"))
+                ^ mul_word(x0, &self.planes);
+            let a1 = u64::from_ne_bytes(o16[8..].try_into().expect("16-byte chunk"))
+                ^ mul_word(x1, &self.planes);
+            o16[..8].copy_from_slice(&a0.to_ne_bytes());
+            o16[8..].copy_from_slice(&a1.to_ne_bytes());
+        }
+        for (o, &x) in oc.into_remainder().iter_mut().zip(ic.remainder()) {
+            *o ^= self.tail.apply(x);
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("c", &self.c).finish()
+    }
+}
+
+/// `out[i] ^= input[i]` — the coefficient-1 fast path, word-parallel.
+fn xor_slice(input: &[u8], out: &mut [u8]) {
+    let mut ic = input.chunks_exact(8);
+    let mut oc = out.chunks_exact_mut(8);
+    for (i8, o8) in (&mut ic).zip(&mut oc) {
+        let x = u64::from_ne_bytes(i8.try_into().expect("8-byte chunk"));
+        let a = u64::from_ne_bytes((&*o8).try_into().expect("8-byte chunk")) ^ x;
+        o8.copy_from_slice(&a.to_ne_bytes());
+    }
+    for (o, &x) in oc.into_remainder().iter_mut().zip(ic.remainder()) {
+        *o ^= x;
+    }
+}
+
+/// `out[i] = c * input[i]` for whole slices (word-parallel).
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
 pub fn mul_slice(c: u8, input: &[u8], out: &mut [u8]) {
-    assert_eq!(input.len(), out.len(), "shard length mismatch");
-    match c {
-        0 => out.fill(0),
-        1 => out.copy_from_slice(input),
-        _ => {
-            let t = MulTable::new(c);
-            for (o, &x) in out.iter_mut().zip(input) {
-                *o = t.apply(x);
-            }
-        }
-    }
+    Kernel::new(c).mul(input, out);
 }
 
-/// `out[i] ^= c * input[i]` for whole slices — the inner loop of encoding.
+/// `out[i] ^= c * input[i]` for whole slices (word-parallel) — the inner
+/// loop of encoding.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
 pub fn mul_slice_xor(c: u8, input: &[u8], out: &mut [u8]) {
-    assert_eq!(input.len(), out.len(), "shard length mismatch");
-    match c {
-        0 => {}
-        1 => {
-            for (o, &x) in out.iter_mut().zip(input) {
-                *o ^= x;
+    Kernel::new(c).mul_xor(input, out);
+}
+
+/// The pre-SWAR scalar slice kernels, retained byte-for-byte as the
+/// differential-testing and benchmarking baseline.
+///
+/// These walk one byte at a time through the split-nibble [`MulTable`];
+/// they produce identical output to the word-parallel kernels and exist so
+/// tests can prove that and benchmarks can quantify the gap.
+pub mod reference {
+    use super::MulTable;
+
+    /// Scalar `out[i] = c * input[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn mul_slice(c: u8, input: &[u8], out: &mut [u8]) {
+        assert_eq!(input.len(), out.len(), "shard length mismatch");
+        match c {
+            0 => out.fill(0),
+            1 => out.copy_from_slice(input),
+            _ => {
+                let t = MulTable::new(c);
+                for (o, &x) in out.iter_mut().zip(input) {
+                    *o = t.apply(x);
+                }
             }
         }
-        _ => {
-            let t = MulTable::new(c);
-            for (o, &x) in out.iter_mut().zip(input) {
-                *o ^= t.apply(x);
+    }
+
+    /// Scalar `out[i] ^= c * input[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn mul_slice_xor(c: u8, input: &[u8], out: &mut [u8]) {
+        assert_eq!(input.len(), out.len(), "shard length mismatch");
+        match c {
+            0 => {}
+            1 => {
+                for (o, &x) in out.iter_mut().zip(input) {
+                    *o ^= x;
+                }
+            }
+            _ => {
+                let t = MulTable::new(c);
+                for (o, &x) in out.iter_mut().zip(input) {
+                    *o ^= t.apply(x);
+                }
             }
         }
     }
@@ -271,6 +440,40 @@ mod tests {
                 assert_eq!(o, input[i] ^ mul(c, input[i]));
             }
         }
+    }
+
+    #[test]
+    fn swar_kernels_match_reference_kernels() {
+        // Lengths straddling the 16-byte chunk boundary plus a large one.
+        let data: Vec<u8> = (0..4096u32).map(|j| (j * 31 + 7) as u8).collect();
+        for len in [0usize, 1, 7, 8, 15, 16, 17, 31, 32, 33, 100, 4096] {
+            for c in [0u8, 1, 2, 3, 29, 142, 255] {
+                let input = &data[..len];
+                let mut a = vec![0x5Au8; len];
+                let mut b = vec![0x5Au8; len];
+                mul_slice_xor(c, input, &mut a);
+                reference::mul_slice_xor(c, input, &mut b);
+                assert_eq!(a, b, "mul_slice_xor c={c} len={len}");
+                mul_slice(c, input, &mut a);
+                reference::mul_slice(c, input, &mut b);
+                assert_eq!(a, b, "mul_slice c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_reuse_matches_fresh_construction() {
+        let input: Vec<u8> = (0..777u32).map(|j| (j * 13 + 1) as u8).collect();
+        let k = Kernel::new(0x8e);
+        assert_eq!(k.coeff(), 0x8e);
+        let mut a = vec![1u8; input.len()];
+        let mut b = vec![1u8; input.len()];
+        k.mul_xor(&input, &mut a);
+        mul_slice_xor(0x8e, &input, &mut b);
+        assert_eq!(a, b);
+        k.mul(&input, &mut a);
+        mul_slice(0x8e, &input, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -6,24 +6,114 @@
 //! unchanged), and use the bottom `p` rows to produce parity. Any `d` rows of
 //! the result remain invertible, so any `d` surviving shards reconstruct the
 //! stripe.
+//!
+//! Two layers of compute machinery sit under the public API:
+//!
+//! * **Cache-blocked, input-major multiply** (`mac_blocked`): encode,
+//!   verify, and reconstruct all walk the stripe in 32 KiB column
+//!   blocks, and within a block iterate input-major (each input block is
+//!   loaded once and scattered into every output row while it is hot in L1).
+//!   The per-(input, output) [`Kernel`]s — bit-plane constants plus the
+//!   scalar-tail table — are built once per stripe, not once per slice call.
+//! * **Decode-plan caching**: reconstruction needs a `d × d` matrix
+//!   inversion for the surviving-shard set. The codec memoizes
+//!   `{survivor choice, inverted matrix}` keyed by the present-shard
+//!   bitmask in a small bounded cache, so steady-state degraded reads (the
+//!   same node down for many GETs) skip the O(d³) inversion entirely.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use ic_common::{EcConfig, Error, Result};
 
-use crate::gf256;
+use crate::gf256::Kernel;
 use crate::matrix::Matrix;
+
+/// Column-block size for the input-major loops. One block of every shard in
+/// a typical stripe (d + p ≤ ~16 shards × 32 KiB) fits comfortably in L2,
+/// and a single parity block stays resident in L1 while all inputs stream
+/// through it.
+const BLOCK: usize = 32 * 1024;
+
+/// Maximum number of cached decode plans per codec. Each plan is one
+/// inverted `d × d` matrix (≤ 64 KiB at the protocol cap `d ≤ 255`, tens of
+/// bytes for realistic codes), so the cache stays small even when full.
+const PLAN_CACHE_CAP: usize = 64;
+
+/// Bitmask over shard indices; `EcConfig` caps total shards at 255, which
+/// fits in four words.
+type PresentMask = [u64; 4];
+
+/// A memoized reconstruction recipe for one present-shard set: which `d`
+/// survivors to read and the inverted decode matrix that maps them back to
+/// the original data shards.
+struct DecodePlan {
+    chosen: Vec<usize>,
+    dec: Matrix,
+}
+
+/// Bounded present-mask → [`DecodePlan`] map with hit/miss counters.
+///
+/// Entries are evicted in insertion order once [`PLAN_CACHE_CAP`] is
+/// reached; lookup is a linear scan, which beats hashing at this size.
+#[derive(Default)]
+struct PlanCache {
+    plans: Mutex<VecDeque<(PresentMask, Arc<DecodePlan>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field(
+                "len",
+                &self.plans.lock().expect("plan cache poisoned").len(),
+            )
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// `outs[r] ^= Σ_i kernels[i][r] · inputs[i]`, walked in cache-sized column
+/// blocks, input-major within each block.
+///
+/// `kernels` is indexed `[input][output]`. All slices must share one length
+/// (the callers guarantee it).
+fn mac_blocked(inputs: &[&[u8]], kernels: &[Vec<Kernel>], outs: &mut [&mut [u8]]) {
+    let len = outs.first().map_or(0, |o| o.len());
+    let mut base = 0;
+    while base < len {
+        let hi = (base + BLOCK).min(len);
+        for (input, row) in inputs.iter().zip(kernels) {
+            for (k, out) in row.iter().zip(outs.iter_mut()) {
+                k.mul_xor(&input[base..hi], &mut out[base..hi]);
+            }
+        }
+        base = hi;
+    }
+}
 
 /// A Reed–Solomon encoder/decoder for a fixed `(d + p)` code.
 ///
 /// With `parity == 0` the codec degrades to plain striping — the paper's
 /// `(10+0)` baseline: encoding is a no-op and any lost shard is
 /// unrecoverable.
+///
+/// Cloning is cheap and clones **share** the decode-plan cache (it is
+/// behind an [`Arc`]), so a cloned codec keeps benefiting from plans the
+/// original already computed.
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
     data: usize,
     parity: usize,
     /// `(d+p) × d` systematic encoding matrix (top `d` rows = identity).
     enc: Matrix,
+    /// Memoized reconstruction plans keyed by present-shard bitmask.
+    plans: Arc<PlanCache>,
 }
 
 impl ReedSolomon {
@@ -55,6 +145,7 @@ impl ReedSolomon {
             data: d,
             parity: p,
             enc,
+            plans: Arc::default(),
         }
     }
 
@@ -77,6 +168,44 @@ impl ReedSolomon {
     /// decode planner).
     pub fn matrix_row(&self, i: usize) -> &[u8] {
         self.enc.row(i)
+    }
+
+    /// Decode-plan cache counters as `(hits, misses)`.
+    ///
+    /// A hit means a reconstruction reused a memoized survivor choice and
+    /// inverted decode matrix instead of re-running Gauss–Jordan.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.plans.hits.load(Ordering::Relaxed),
+            self.plans.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of decode plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Drops every cached decode plan (counters are kept). Benchmarks use
+    /// this to measure the uncached path; production code never needs it.
+    pub fn clear_plan_cache(&self) {
+        self.plans
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .clear();
+    }
+
+    /// Per-stripe kernel grid for parity generation, indexed
+    /// `[data shard][parity row]`.
+    fn parity_kernels(&self) -> Vec<Vec<Kernel>> {
+        (0..self.data)
+            .map(|d_idx| {
+                (0..self.parity)
+                    .map(|p_idx| Kernel::new(self.enc.row(self.data + p_idx)[d_idx]))
+                    .collect()
+            })
+            .collect()
     }
 
     fn check_shard_shape<T: AsRef<[u8]>>(&self, shards: &[T]) -> Result<usize> {
@@ -116,13 +245,15 @@ impl ReedSolomon {
             return Ok(());
         }
         let (data, parity) = shards.split_at_mut(self.data);
-        for (p_idx, out) in parity.iter_mut().enumerate() {
-            let row = self.enc.row(self.data + p_idx);
-            out.fill(0);
-            for (d_idx, input) in data.iter().enumerate() {
-                gf256::mul_slice_xor(row[d_idx], input, out);
-            }
-        }
+        let inputs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let mut outs: Vec<&mut [u8]> = parity
+            .iter_mut()
+            .map(|s| {
+                s.fill(0);
+                s.as_mut_slice()
+            })
+            .collect();
+        mac_blocked(&inputs, &self.parity_kernels(), &mut outs);
         Ok(())
     }
 
@@ -137,6 +268,11 @@ impl ReedSolomon {
     ///
     /// Returns [`Error::Coding`] if the shard count or lengths are wrong.
     pub fn encode_parity<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>> {
+        // Reject the no-input shape outright — nothing below may touch
+        // `data[0]` until this has passed.
+        if data.is_empty() {
+            return Err(Error::Coding("no data shards to encode from".into()));
+        }
         if data.len() != self.data {
             return Err(Error::Coding(format!(
                 "expected {} data shards, got {}",
@@ -156,15 +292,10 @@ impl ReedSolomon {
                 )));
             }
         }
-        let mut parity = Vec::with_capacity(self.parity);
-        for p_idx in 0..self.parity {
-            let row = self.enc.row(self.data + p_idx);
-            let mut out = vec![0u8; len];
-            for (d_idx, input) in data.iter().enumerate() {
-                gf256::mul_slice_xor(row[d_idx], input.as_ref(), &mut out);
-            }
-            parity.push(out);
-        }
+        let mut parity = vec![vec![0u8; len]; self.parity];
+        let inputs: Vec<&[u8]> = data.iter().map(|s| s.as_ref()).collect();
+        let mut outs: Vec<&mut [u8]> = parity.iter_mut().map(|s| s.as_mut_slice()).collect();
+        mac_blocked(&inputs, &self.parity_kernels(), &mut outs);
         Ok(parity)
     }
 
@@ -178,16 +309,29 @@ impl ReedSolomon {
         if self.parity == 0 {
             return Ok(true);
         }
-        let mut expected = vec![0u8; len];
-        for p_idx in 0..self.parity {
-            let row = self.enc.row(self.data + p_idx);
-            expected.fill(0);
-            for (d_idx, input) in shards[..self.data].iter().enumerate() {
-                gf256::mul_slice_xor(row[d_idx], input, &mut expected);
+        // Scratch is one block per parity row — bounded by `BLOCK`, not by
+        // the shard length — and a corrupt stripe fails at the first bad
+        // block instead of after a full-length recompute.
+        let kernels = self.parity_kernels();
+        let mut expected = vec![vec![0u8; BLOCK.min(len)]; self.parity];
+        let mut base = 0;
+        while base < len {
+            let hi = (base + BLOCK).min(len);
+            let blen = hi - base;
+            for buf in &mut expected {
+                buf[..blen].fill(0);
             }
-            if expected != shards[self.data + p_idx] {
-                return Ok(false);
+            for (input, row) in shards[..self.data].iter().zip(&kernels) {
+                for (k, buf) in row.iter().zip(expected.iter_mut()) {
+                    k.mul_xor(&input[base..hi], &mut buf[..blen]);
+                }
             }
+            for (p_idx, buf) in expected.iter().enumerate() {
+                if buf[..blen] != shards[self.data + p_idx][base..hi] {
+                    return Ok(false);
+                }
+            }
+            base = hi;
         }
         Ok(true)
     }
@@ -258,21 +402,33 @@ impl ReedSolomon {
             }
         }
 
-        // Decode matrix: rows of the encoding matrix for d surviving shards.
-        let chosen = &present[..self.data];
-        let sub = self.enc.select_rows(chosen);
-        let dec = sub.inverse()?; // invertible by the Vandermonde property
+        // Survivor choice + inverted decode matrix, memoized per
+        // present-shard set.
+        let plan = self.plan_for(&present)?;
 
-        // Missing data shard k = Σ_j dec[k][j] * surviving_j.
+        // Missing data shard k = Σ_j dec[k][j] * surviving_j, all rebuilt
+        // in one blocked input-major sweep.
         let missing_data: Vec<usize> = (0..self.data).filter(|&i| shards[i].is_none()).collect();
-        for &k in &missing_data {
-            let mut out = vec![0u8; len];
-            for (j, &src) in chosen.iter().enumerate() {
-                let coeff = dec.get(k, j);
-                let input = shards[src].as_ref().expect("present").as_ref();
-                gf256::mul_slice_xor(coeff, input, &mut out);
+        if !missing_data.is_empty() {
+            let kernels: Vec<Vec<Kernel>> = (0..self.data)
+                .map(|j| {
+                    missing_data
+                        .iter()
+                        .map(|&k| Kernel::new(plan.dec.get(k, j)))
+                        .collect()
+                })
+                .collect();
+            let inputs: Vec<&[u8]> = plan
+                .chosen
+                .iter()
+                .map(|&src| shards[src].as_ref().expect("present").as_ref())
+                .collect();
+            let mut rebuilt = vec![vec![0u8; len]; missing_data.len()];
+            let mut outs: Vec<&mut [u8]> = rebuilt.iter_mut().map(|s| s.as_mut_slice()).collect();
+            mac_blocked(&inputs, &kernels, &mut outs);
+            for (&k, out) in missing_data.iter().zip(rebuilt) {
+                shards[k] = Some(B::from(out));
             }
-            shards[k] = Some(B::from(out));
         }
 
         if data_only {
@@ -281,16 +437,62 @@ impl ReedSolomon {
 
         // Missing parity shards re-encode from (now complete) data shards.
         let missing_parity: Vec<usize> = (self.data..n).filter(|&i| shards[i].is_none()).collect();
-        for &k in &missing_parity {
-            let row = self.enc.row(k).to_vec();
-            let mut out = vec![0u8; len];
-            for (d_idx, coeff) in row.iter().enumerate().take(self.data) {
-                let input = shards[d_idx].as_ref().expect("data complete").as_ref();
-                gf256::mul_slice_xor(*coeff, input, &mut out);
+        if !missing_parity.is_empty() {
+            let kernels: Vec<Vec<Kernel>> = (0..self.data)
+                .map(|d_idx| {
+                    missing_parity
+                        .iter()
+                        .map(|&k| Kernel::new(self.enc.row(k)[d_idx]))
+                        .collect()
+                })
+                .collect();
+            let mut rebuilt = vec![vec![0u8; len]; missing_parity.len()];
+            {
+                let inputs: Vec<&[u8]> = (0..self.data)
+                    .map(|i| shards[i].as_ref().expect("data complete").as_ref())
+                    .collect();
+                let mut outs: Vec<&mut [u8]> =
+                    rebuilt.iter_mut().map(|s| s.as_mut_slice()).collect();
+                mac_blocked(&inputs, &kernels, &mut outs);
             }
-            shards[k] = Some(B::from(out));
+            for (&k, out) in missing_parity.iter().zip(rebuilt) {
+                shards[k] = Some(B::from(out));
+            }
         }
         Ok(())
+    }
+
+    /// Looks up (or computes and caches) the decode plan for a survivor set.
+    ///
+    /// The cache key is the present-shard bitmask; the survivor choice (the
+    /// first `d` present shards) and the inverted matrix are both pure
+    /// functions of it. On a miss the inversion runs outside the lock, so a
+    /// concurrent reconstruct is never blocked behind Gauss–Jordan.
+    fn plan_for(&self, present: &[usize]) -> Result<Arc<DecodePlan>> {
+        let mut key: PresentMask = [0; 4];
+        for &i in present {
+            key[i / 64] |= 1 << (i % 64);
+        }
+        {
+            let plans = self.plans.plans.lock().expect("plan cache poisoned");
+            if let Some((_, plan)) = plans.iter().find(|(k, _)| *k == key) {
+                self.plans.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(plan));
+            }
+        }
+        self.plans.misses.fetch_add(1, Ordering::Relaxed);
+        let chosen = present[..self.data].to_vec();
+        let sub = self.enc.select_rows(&chosen);
+        let dec = sub.inverse()?; // invertible by the Vandermonde property
+        let plan = Arc::new(DecodePlan { chosen, dec });
+        let mut plans = self.plans.plans.lock().expect("plan cache poisoned");
+        if !plans.iter().any(|(k, _)| *k == key) {
+            if plans.len() >= PLAN_CACHE_CAP {
+                plans.pop_front();
+            }
+            plans.push_back((key, Arc::clone(&plan)));
+        }
+        Ok(plan)
     }
 }
 
@@ -422,6 +624,110 @@ mod tests {
         for (i, s) in all.iter().enumerate() {
             assert_eq!(s.as_ref().unwrap(), &shards[i]);
         }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_pattern() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = stripe(&rs, 64);
+        assert_eq!(rs.plan_cache_stats(), (0, 0));
+        for round in 0..5 {
+            let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            damaged[1] = None;
+            damaged[4] = None;
+            rs.reconstruct(&mut damaged).unwrap();
+            for (i, s) in damaged.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &shards[i], "round {round} shard {i}");
+            }
+        }
+        // One inversion for the first reconstruct, four cache hits after.
+        assert_eq!(rs.plan_cache_stats(), (4, 1));
+        assert_eq!(rs.plan_cache_len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_does_not_alias_across_patterns() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = stripe(&rs, 64);
+        // Interleave two different erasure patterns; each must keep its own
+        // plan and keep reconstructing correctly.
+        for round in 0..3 {
+            for erasures in [[0usize, 5], [2, 3]] {
+                let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+                for &e in &erasures {
+                    damaged[e] = None;
+                }
+                rs.reconstruct(&mut damaged).unwrap();
+                for (i, s) in damaged.iter().enumerate() {
+                    assert_eq!(
+                        s.as_ref().unwrap(),
+                        &shards[i],
+                        "round {round} erasures {erasures:?} shard {i}"
+                    );
+                }
+            }
+        }
+        let (hits, misses) = rs.plan_cache_stats();
+        assert_eq!((hits, misses), (4, 2), "one miss per distinct pattern");
+        assert_eq!(rs.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn cached_reconstruct_is_byte_identical_to_uncached() {
+        let rs = ReedSolomon::new(10, 2).unwrap();
+        let shards = stripe(&rs, 777);
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        damaged[3] = None;
+        damaged[11] = None;
+        rs.reconstruct(&mut damaged).unwrap(); // warms the cache
+        let mut cached: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        cached[3] = None;
+        cached[11] = None;
+        rs.reconstruct(&mut cached).unwrap(); // served from the cache
+        let (hits, _) = rs.plan_cache_stats();
+        assert!(hits >= 1, "second reconstruct must hit the cache");
+        // A pristine codec (empty cache) must produce the same bytes.
+        let fresh = ReedSolomon::new(10, 2).unwrap();
+        let mut uncached: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        uncached[3] = None;
+        uncached[11] = None;
+        fresh.reconstruct(&mut uncached).unwrap();
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn clones_share_the_plan_cache() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = stripe(&rs, 32);
+        let clone = rs.clone();
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        damaged[0] = None;
+        rs.reconstruct(&mut damaged).unwrap();
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        damaged[0] = None;
+        clone.reconstruct(&mut damaged).unwrap();
+        assert_eq!(clone.plan_cache_stats(), (1, 1), "clone reuses the plan");
+    }
+
+    #[test]
+    fn clear_plan_cache_forces_recomputation() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = stripe(&rs, 32);
+        for _ in 0..2 {
+            let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            damaged[2] = None;
+            rs.reconstruct(&mut damaged).unwrap();
+            rs.clear_plan_cache();
+        }
+        assert_eq!(rs.plan_cache_stats(), (0, 2));
+        assert_eq!(rs.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn encode_parity_rejects_empty_input_slice() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let no_shards: Vec<Vec<u8>> = Vec::new();
+        assert!(rs.encode_parity(&no_shards).is_err());
     }
 
     #[test]

@@ -131,11 +131,8 @@ pub fn enabled_choices(
             Ev::WarmupTick | Ev::Platform(_) => continue,
             Ev::FlowTick { epoch } if *epoch != flow_epoch => continue,
             Ev::LambdaTimer { .. } if !cfg.explore_lambda_timers => continue,
-            Ev::Submit { client, .. } => {
-                if !submitted.insert(*client) {
-                    continue; // program order: earliest submission only
-                }
-            }
+            // Program order: a client's earliest queued submission only.
+            Ev::Submit { client, .. } if !submitted.insert(*client) => continue,
             _ => {}
         }
         out.push(Choice::Deliver { seq });

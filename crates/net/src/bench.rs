@@ -398,7 +398,7 @@ fn lat_json(s: &LatencySummary) -> String {
 /// proxy count the run targeted — embedded in the config block so bench
 /// trajectories over different cluster shapes stay comparable.
 pub fn to_json(label: &str, cfg: &BenchConfig, report: &BenchReport, proxies: usize) -> String {
-    to_json_full(label, cfg, report, proxies, &[], &[], &[], None)
+    to_json_full(label, cfg, report, proxies, &[], &[], &[], &[], None)
 }
 
 /// Renders one summary line of a sweep entry's metrics.
@@ -422,10 +422,12 @@ fn sweep_metrics(r: &BenchReport) -> String {
 
 /// Like [`to_json`], appending a `"sweep"` array (one entry per
 /// object-size run of the `--object-bytes` sweep), a `"proxy_sweep"`
-/// array (one entry per cluster shape of the `--proxies-sweep` run), a
-/// `"clients_sweep"` array (one entry per client count of the
-/// `--clients-sweep` connection-scaling run), and — for loopback runs —
-/// a `"wire"` block with the fleet's write-coalescing counters.
+/// array (one entry per cluster shape of the `--proxies-sweep` run), an
+/// `"ec_sweep"` array (one entry per erasure-code shape of the
+/// `--ec-sweep` run), a `"clients_sweep"` array (one entry per client
+/// count of the `--clients-sweep` connection-scaling run), and — for
+/// loopback runs — a `"wire"` block with the fleet's write-coalescing
+/// counters.
 #[allow(clippy::too_many_arguments)] // a JSON renderer: one arg per artifact section
 pub fn to_json_full(
     label: &str,
@@ -434,6 +436,7 @@ pub fn to_json_full(
     proxies: usize,
     sweep: &[(BenchConfig, BenchReport)],
     proxy_sweep: &[(u16, BenchReport)],
+    ec_sweep: &[(EcConfig, BenchReport)],
     clients_sweep: &[ClientsPoint],
     wire: Option<WireSnapshot>,
 ) -> String {
@@ -450,6 +453,10 @@ pub fn to_json_full(
     let proxy_entries: Vec<String> = proxy_sweep
         .iter()
         .map(|(p, r)| format!("    {{\"proxies\": {p}, {}}}", sweep_metrics(r)))
+        .collect();
+    let ec_entries: Vec<String> = ec_sweep
+        .iter()
+        .map(|(ec, r)| format!("    {{\"ec\": \"{ec}\", {}}}", sweep_metrics(r)))
         .collect();
     let clients_entries: Vec<String> = clients_sweep
         .iter()
@@ -484,7 +491,7 @@ pub fn to_json_full(
     };
     let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
     format!(
-        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}, \"proxies\": {proxies}, \"host_cores\": {host_cores}, \"release_profile\": \"lto=thin,codegen-units=1\"}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"wire\": {wire_json},\n  \"sweep\": {},\n  \"proxy_sweep\": {},\n  \"clients_sweep\": {}\n}}\n",
+        "{{\n  \"bench\": \"{label}\",\n  \"config\": {{\"clients\": {}, \"ops_per_client\": {}, \"object_bytes\": {}, \"get_fraction\": {}, \"key_space\": {}, \"ec\": \"{}\", \"seed\": {}, \"verify\": {}, \"proxies\": {proxies}, \"host_cores\": {host_cores}, \"release_profile\": \"lto=thin,codegen-units=1\"}},\n  \"wall_seconds\": {:.4},\n  \"total_ops\": {},\n  \"ops_per_sec\": {:.1},\n  \"throughput_mib_per_sec\": {:.1},\n  \"verify_failures\": {},\n  \"get\": {},\n  \"put\": {},\n  \"wire\": {wire_json},\n  \"sweep\": {},\n  \"proxy_sweep\": {},\n  \"ec_sweep\": {},\n  \"clients_sweep\": {}\n}}\n",
         cfg.clients,
         cfg.ops_per_client,
         cfg.object_bytes,
@@ -502,6 +509,7 @@ pub fn to_json_full(
         lat_json(&report.puts),
         join(sweep_entries),
         join(proxy_entries),
+        join(ec_entries),
         join(clients_entries),
     )
 }
@@ -585,6 +593,7 @@ mod tests {
             1,
             &[],
             &[],
+            &[(EcConfig::new(10, 2).unwrap(), report.clone())],
             std::slice::from_ref(&point),
             Some(WireSnapshot {
                 vectored_writes: 10,
@@ -593,6 +602,8 @@ mod tests {
         );
         assert!(json.contains("\"clients\": 1000"));
         assert!(json.contains("\"proxy_threads\": 3"));
+        assert!(json.contains("\"ec_sweep\""));
+        assert!(json.contains("10+2"));
         assert!(json.contains("\"frames_per_write\": 5.50"));
         assert!(json.contains("\"host_cores\""));
         assert!(json.contains("\"release_profile\""));

@@ -12,7 +12,7 @@
 //!          [--keys N] [--ec d+p] [--nodes N] [--proxies N] [--seed N]
 //!          [--no-verify] [--no-warmup] [--connect ADDR]... [--out PATH]
 //!          [--object-bytes LIST] [--proxies-sweep LIST]
-//!          [--clients-sweep LIST]
+//!          [--clients-sweep LIST] [--ec-sweep LIST]
 //! ```
 //!
 //! The headline run is preceded by a short unmeasured warmup pass
@@ -47,6 +47,14 @@
 //! Loopback runs also embed a `"wire"` block: how many vectored write
 //! syscalls the proxies issued and how many frames they coalesced into
 //! them.
+//!
+//! `--ec-sweep 4+2,10+2,12+3` runs the same workload against a fresh
+//! loopback cluster per erasure-code shape (node pools grown to fit the
+//! stripe width) and embeds the per-code results as the `"ec_sweep"`
+//! array — end-to-end throughput as a function of the EC compute the
+//! client does on every PUT and degraded GET. Like `--proxies-sweep` it
+//! always measures loopback clusters, so it refuses to combine with
+//! `--connect`.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
@@ -65,6 +73,29 @@ fn num_list<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Vec<T>> {
                 s.trim()
                     .parse()
                     .map_err(|_| Error::Config(format!("--{name}: bad value {s}")))
+            })
+            .collect(),
+    }
+}
+
+/// Parses a `--flag 4+2,10+2` list of erasure codes.
+fn ec_list(args: &Args, name: &str) -> Result<Vec<ic_common::EcConfig>> {
+    match args.opt(name) {
+        None => Ok(Vec::new()),
+        Some(list) => list
+            .split(',')
+            .map(|v| {
+                let v = v.trim();
+                let (d, p) = v
+                    .split_once('+')
+                    .ok_or_else(|| Error::Config(format!("--{name} wants d+p entries, got {v}")))?;
+                let d = d
+                    .parse()
+                    .map_err(|_| Error::Config(format!("bad data shard count {d}")))?;
+                let p = p
+                    .parse()
+                    .map_err(|_| Error::Config(format!("bad parity shard count {p}")))?;
+                ic_common::EcConfig::new(d, p)
             })
             .collect(),
     }
@@ -96,12 +127,19 @@ fn run() -> Result<()> {
     let sweep_sizes: Vec<usize> = num_list(&args, "object-bytes")?;
     let proxy_shapes: Vec<u16> = num_list(&args, "proxies-sweep")?;
     let client_counts: Vec<usize> = num_list(&args, "clients-sweep")?;
+    let ec_shapes = ec_list(&args, "ec-sweep")?;
     if !proxy_shapes.is_empty() && !args.all("connect").is_empty() {
         // The sweep starts a fresh loopback cluster per shape; mixing
         // those points into an external run's artifact would silently
         // compare different clusters.
         return Err(Error::Config(
             "--proxies-sweep runs loopback clusters and cannot be combined with --connect".into(),
+        ));
+    }
+    if !ec_shapes.is_empty() && !args.all("connect").is_empty() {
+        // Same reasoning: each EC shape needs its own freshly-shaped pool.
+        return Err(Error::Config(
+            "--ec-sweep runs loopback clusters and cannot be combined with --connect".into(),
         ));
     }
 
@@ -212,6 +250,20 @@ fn run() -> Result<()> {
         c.shutdown();
     }
 
+    // Erasure-code sweep: a fresh loopback cluster per code (pool grown
+    // to at least the stripe width), same workload — end-to-end cost of
+    // the client's EC compute across shapes.
+    let mut ec_sweep = Vec::new();
+    for ec in ec_shapes {
+        let point = BenchConfig { ec, ..cfg.clone() };
+        let shard_nodes = nodes.max((ec.data + ec.parity) as u32);
+        let c = LoopbackCluster::start(deployment(shard_nodes, proxies, &point))?;
+        let r = bench::run(&c.client_addrs(), &point)?;
+        println!("ec {ec}: {}", bench::summary_line(&r));
+        ec_sweep.push((ec, r));
+        c.shutdown();
+    }
+
     // The embedded proxy count describes the fleet the *main run* hit:
     // one connection address per proxy, in either mode.
     std::fs::write(
@@ -223,6 +275,7 @@ fn run() -> Result<()> {
             addrs.len(),
             &sweep,
             &proxy_sweep,
+            &ec_sweep,
             &clients_sweep,
             wire,
         ),
@@ -235,6 +288,7 @@ fn run() -> Result<()> {
             .iter()
             .map(|(_, r)| r.verify_failures)
             .sum::<u64>()
+        + ec_sweep.iter().map(|(_, r)| r.verify_failures).sum::<u64>()
         + clients_sweep
             .iter()
             .map(|p| p.report.verify_failures)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Profile-guided-optimization build recipe for the hot binaries.
+#
+# PGO is a three-step dance: build instrumented binaries, run them on a
+# representative workload so LLVM sees real branch/call frequencies, then
+# rebuild with the merged profile. On the EC + frame hot loops this is
+# worth a few percent on top of `-C target-cpu=native`; it is a manual
+# recipe (NOT CI-gated) because the instrumented run takes minutes and
+# the profile is host-specific.
+#
+# Usage:
+#   tools/pgo_build.sh            # full cycle, binaries land in target/release
+#   PGO_DIR=/tmp/my-pgo tools/pgo_build.sh
+#
+# Requires `llvm-profdata` (from the llvm tools; any recent major version
+# works for merging). The script aborts before touching anything if it is
+# missing.
+#
+# Note: the workload below is the netbench loopback smoke plus the EC
+# bench — the two drivers that exercise the data plane end to end. Tune
+# the op counts up for a quieter profile if your machine has cores to
+# spare.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PGO_DIR="${PGO_DIR:-/tmp/ic-pgo-data}"
+
+if ! command -v llvm-profdata >/dev/null 2>&1; then
+    echo "pgo_build: llvm-profdata not found on PATH; install llvm tools" >&2
+    exit 1
+fi
+
+echo "== PGO step 1/3: instrumented build =="
+rm -rf "$PGO_DIR"
+mkdir -p "$PGO_DIR"
+# RUSTFLAGS overrides .cargo/config.toml's rustflags, so re-state
+# target-cpu=native alongside the profile flag.
+PGO_FLAGS="-C target-cpu=native -C profile-generate=$PGO_DIR"
+RUSTFLAGS="$PGO_FLAGS" cargo build --release -p ic-net --bin netbench
+RUSTFLAGS="$PGO_FLAGS" cargo bench -p ic-bench --bench ec_kernels --no-run
+
+echo "== PGO step 2/3: profiling workload =="
+RUSTFLAGS="$PGO_FLAGS" cargo run --release -p ic-net --bin netbench -- \
+    --clients 16 --ops 40 --size 262144 --keys 8 --nodes 8 --proxies 2 \
+    --out /tmp/pgo_bench_net.json
+RUSTFLAGS="$PGO_FLAGS" cargo bench -p ic-bench --bench ec_kernels -- --test
+
+llvm-profdata merge -o "$PGO_DIR/merged.profdata" "$PGO_DIR"
+echo "merged profile: $(du -h "$PGO_DIR/merged.profdata" | cut -f1)"
+
+echo "== PGO step 3/3: optimized rebuild =="
+RUSTFLAGS="-C target-cpu=native -C profile-use=$PGO_DIR/merged.profdata" \
+    cargo build --release
+
+echo "pgo_build: done — optimized binaries in target/release/"
+echo "pgo_build: re-run benches now; remember plain 'cargo build' will"
+echo "pgo_build: rebuild without the profile."
