@@ -18,4 +18,4 @@ pub mod s3;
 
 pub use elasticache::{ElastiCacheDeployment, ElastiCacheModel};
 pub use lru::LruCache;
-pub use s3::S3Model;
+pub use s3::{S3Model, S3Pricing};

@@ -60,6 +60,46 @@ impl Default for S3Model {
     }
 }
 
+/// S3 request + storage pricing: the dollars side of the S3 baseline
+/// (the latency side is [`S3Model`]). Used by the trace engine's
+/// cost-vs-S3 curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct S3Pricing {
+    /// Dollars per GET request.
+    pub per_get: f64,
+    /// Dollars per PUT request.
+    pub per_put: f64,
+    /// Dollars per decimal gigabyte stored per 30-day month.
+    pub per_gb_month: f64,
+}
+
+impl S3Pricing {
+    /// us-east-1 S3 Standard list prices (unchanged since the trace's
+    /// era): $0.0000004/GET, $0.000005/PUT, $0.023/GB-month.
+    pub const AWS: S3Pricing = S3Pricing {
+        per_get: 0.000_000_4,
+        per_put: 0.000_005,
+        per_gb_month: 0.023,
+    };
+
+    /// Request dollars for a GET/PUT mix.
+    pub fn request_cost(&self, gets: u64, puts: u64) -> f64 {
+        gets as f64 * self.per_get + puts as f64 * self.per_put
+    }
+
+    /// Storage dollars for `bytes` held over `hours` (a 30-day month
+    /// prorated by the hour, decimal gigabytes).
+    pub fn storage_cost(&self, bytes: u64, hours: f64) -> f64 {
+        bytes as f64 / 1e9 * self.per_gb_month * hours / 720.0
+    }
+
+    /// Total dollars of a workload: its requests plus its working set
+    /// stored across the horizon.
+    pub fn workload_cost(&self, gets: u64, puts: u64, stored_bytes: u64, hours: f64) -> f64 {
+        self.request_cost(gets, puts) + self.storage_cost(stored_bytes, hours)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

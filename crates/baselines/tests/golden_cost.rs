@@ -1,0 +1,200 @@
+//! Golden-value tests for the baseline cost models: every assertion is
+//! against a figure derived by hand from the paper's pricing constants
+//! (cache.r5 list prices, AWS Lambda $0.20/1M + $0.0000166667/GB-s, S3
+//! Standard request/storage prices), not against the code under test.
+
+use ic_analytics::cost::{ceil100_secs, CostModel};
+use ic_baselines::{ElastiCacheDeployment, ElastiCacheModel, LruCache, S3Pricing};
+use ic_common::pricing::Pricing;
+use ic_common::{ObjectKey, SimTime};
+
+const EPS: f64 = 1e-9;
+
+fn k(s: &str) -> ObjectKey {
+    ObjectKey::new(s)
+}
+
+// --- ElastiCache deployment pricing (Table 1 / Fig 13) -----------------
+
+#[test]
+fn deployment_prices_match_aws_list_prices() {
+    let prod = ElastiCacheDeployment::one_node_24xl();
+    // cache.r5.24xlarge: $10.368/h, 635.61 GB; 50 h = $518.40 (Fig 13).
+    assert!((prod.hourly_price() - 10.368).abs() < EPS);
+    assert!((prod.hourly_price() * 50.0 - 518.40).abs() < EPS);
+    assert!((prod.total_memory_gb() - 635.61).abs() < EPS);
+
+    let ten = ElastiCacheDeployment::ten_node_xl();
+    // 10 × cache.r5.xlarge: 10 × $0.432 = $4.32/h, 10 × 26.04 = 260.4 GB.
+    assert!((ten.hourly_price() - 4.32).abs() < EPS);
+    assert!((ten.total_memory_gb() - 260.4).abs() < 1e-6);
+
+    let micro = ElastiCacheDeployment::one_node_8xl();
+    // cache.r5.8xlarge: $3.456/h, 209.55 GB.
+    assert!((micro.hourly_price() - 3.456).abs() < EPS);
+    assert!((micro.total_memory_gb() - 209.55).abs() < EPS);
+}
+
+// --- ElastiCache latency model (single-threaded queueing) --------------
+
+#[test]
+fn request_latency_is_base_plus_exact_transfer_time() {
+    // 24xlarge: 25 Gbps line rate → 25e9/8 × 0.45 = 1.40625e9 B/s of
+    // effective service bandwidth. A request of exactly 140,625,000 bytes
+    // therefore takes 0.1 s of service + 500 µs base = 0.1005 s.
+    let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_24xl());
+    assert!((m.node_bytes_per_sec - 1.406_25e9).abs() < 1.0);
+    let size = 140_625_000u64;
+    let lat = m
+        .request_latency(SimTime::ZERO, &k("a"), size)
+        .as_secs_f64();
+    assert!((lat - 0.1005).abs() < 1e-6, "latency {lat}s");
+}
+
+#[test]
+fn back_to_back_requests_queue_on_the_single_node() {
+    // Two identical requests arriving at t=0: the second starts when the
+    // first finishes, so its latency is exactly twice the first's.
+    let mut m = ElastiCacheModel::new(ElastiCacheDeployment::one_node_24xl());
+    let size = 140_625_000u64;
+    let l1 = m
+        .request_latency(SimTime::ZERO, &k("a"), size)
+        .as_secs_f64();
+    let l2 = m
+        .request_latency(SimTime::ZERO, &k("b"), size)
+        .as_secs_f64();
+    assert!((l1 - 0.1005).abs() < 1e-6, "first {l1}s");
+    assert!((l2 - 0.2010).abs() < 1e-6, "queued second {l2}s");
+    assert_eq!(m.served, 2);
+}
+
+// --- Lambda pricing and the Eq 4–6 cost model --------------------------
+
+#[test]
+fn invocation_cost_composes_request_and_duration_prices() {
+    // One 100 ms billing cycle of a 1.5 GB function:
+    // $0.20/1M + 0.1 s × 1.5 GB × $0.0000166667/GB-s = $2.700005e-6.
+    let c = Pricing::AWS_LAMBDA.invocation_cost(0.1, 1.5);
+    assert!((c - 2.700_005e-6).abs() < 1e-15);
+}
+
+#[test]
+fn ceil100_rounds_to_billing_cycles() {
+    assert!((ceil100_secs(-5.0) - 0.1).abs() < 1e-12); // clamped to one cycle
+    assert!((ceil100_secs(99.9) - 0.1).abs() < 1e-12);
+    assert!((ceil100_secs(100.0) - 0.1).abs() < 1e-12);
+    assert!((ceil100_secs(100.1) - 0.2).abs() < 1e-12);
+    assert!((ceil100_secs(1001.0) - 1.1).abs() < 1e-12);
+}
+
+#[test]
+fn paper_production_fixed_cost_by_hand() {
+    let m = CostModel::paper_production();
+    // One 100 ms cycle of 1.5 GB, from the invocation-cost test above.
+    let per_cycle = 2.700_005e-6;
+    // Warm-ups (Eq 5): 400 functions × 60/h × one cycle each.
+    let warmup = 400.0 * 60.0 * per_cycle; // = $0.06480012/h
+    assert!((m.warmup_cost_hourly() - warmup).abs() < 1e-12);
+    assert!((warmup - 0.064_800_12).abs() < 1e-9);
+    // Backups (Eq 6): 400 × 12/h × ($0.2e-6 + 2 s × 1.5 GB × c_d).
+    let backup = 400.0 * 12.0 * (0.2e-6 + 2.0 * 1.5 * 0.000_016_666_7);
+    assert!((m.backup_cost_hourly() - backup).abs() < 1e-12);
+    assert!((backup - 0.240_960_48).abs() < 1e-9);
+    assert!((m.fixed_cost_hourly() - (warmup + backup)).abs() < 1e-12);
+}
+
+#[test]
+fn serving_cost_and_crossover_by_hand() {
+    let m = CostModel::paper_production();
+    // Eq 4: 12,000 invocations/h at ≤100 ms each = 12,000 cycles.
+    let serving = m.serving_cost_hourly(12_000.0, 100.0);
+    assert!((serving - 12_000.0 * 2.700_005e-6).abs() < 1e-12);
+    // One RS(10+2) object GET = 12 chunk invocations, one cycle each.
+    let per_object = m.cost_per_object(12, 100.0);
+    assert!((per_object - 12.0 * 2.700_005e-6).abs() < 1e-15);
+    // Fig 17 crossover vs $10.368/h: (10.368 − fixed) / per_object,
+    // which lands near the paper's ~312 K requests/hour.
+    let rate = m
+        .crossover_rate(10.368, 12, 100.0)
+        .expect("fixed cost is below ElastiCache");
+    let expected = (10.368 - m.fixed_cost_hourly()) / per_object;
+    assert!((rate - expected).abs() < 1e-6);
+    assert!((300_000.0..320_000.0).contains(&rate), "crossover {rate}");
+    // A deployment whose fixed cost already exceeds the target never
+    // crosses over.
+    assert!(m.crossover_rate(0.1, 12, 100.0).is_none());
+}
+
+// --- S3 request + storage pricing --------------------------------------
+
+#[test]
+fn s3_request_cost_matches_list_prices() {
+    let p = S3Pricing::AWS;
+    // 1M GETs at $0.0000004 = $0.40; 200K PUTs at $0.000005 = $1.00.
+    assert!((p.request_cost(1_000_000, 0) - 0.40).abs() < EPS);
+    assert!((p.request_cost(0, 200_000) - 1.00).abs() < EPS);
+    assert!((p.request_cost(1_000_000, 200_000) - 1.40).abs() < EPS);
+}
+
+#[test]
+fn s3_storage_cost_prorates_the_month() {
+    let p = S3Pricing::AWS;
+    // 1 TB for a full 720 h month: 1000 GB × $0.023 = $23.00.
+    assert!((p.storage_cost(1_000_000_000_000, 720.0) - 23.0).abs() < EPS);
+    // 500 GB for half a month: 500 × 0.023 × 0.5 = $5.75.
+    assert!((p.storage_cost(500_000_000_000, 360.0) - 5.75).abs() < EPS);
+    // The 50-hour trace horizon: 1 TB × 0.023 × 50/720 ≈ $1.597222.
+    let fifty = p.storage_cost(1_000_000_000_000, 50.0);
+    assert!((fifty - 23.0 * 50.0 / 720.0).abs() < EPS);
+}
+
+#[test]
+fn s3_workload_cost_is_requests_plus_storage() {
+    let p = S3Pricing::AWS;
+    let total = p.workload_cost(1_000_000, 200_000, 1_000_000_000_000, 720.0);
+    assert!((total - (0.40 + 1.00 + 23.0)).abs() < EPS);
+}
+
+// --- LRU byte-capacity semantics ---------------------------------------
+
+#[test]
+fn lru_eviction_trace_by_hand() {
+    // Capacity 250. Insert a(100), b(100) → used 200. get(a) refreshes a,
+    // so b is now LRU. insert c(100) needs 300 > 250 → evicts exactly b.
+    let mut c = LruCache::new(250);
+    assert!(c.insert(k("a"), 100));
+    assert!(c.insert(k("b"), 100));
+    assert!(c.get(&k("a")));
+    assert!(c.insert(k("c"), 100));
+    assert!(c.contains(&k("a")));
+    assert!(!c.contains(&k("b")));
+    assert!(c.contains(&k("c")));
+    assert_eq!(c.evictions, 1);
+    assert_eq!(c.used_bytes(), 200);
+    assert_eq!(c.len(), 2);
+}
+
+#[test]
+fn lru_rejects_objects_larger_than_capacity() {
+    let mut c = LruCache::new(250);
+    assert!(c.insert(k("a"), 100));
+    assert!(!c.insert(k("big"), 251));
+    // The rejected insert must not have evicted anything.
+    assert!(c.contains(&k("a")));
+    assert_eq!(c.evictions, 0);
+    assert_eq!(c.used_bytes(), 100);
+}
+
+#[test]
+fn lru_reinsert_replaces_size_then_evicts_if_needed() {
+    // a(100) + b(100) on capacity 250, then a grows to 200: the old a is
+    // removed first (used 100), and 100 + 200 > 250 forces b out.
+    let mut c = LruCache::new(250);
+    assert!(c.insert(k("a"), 100));
+    assert!(c.insert(k("b"), 100));
+    assert!(c.insert(k("a"), 200));
+    assert!(c.contains(&k("a")));
+    assert!(!c.contains(&k("b")));
+    assert_eq!(c.used_bytes(), 200);
+    assert_eq!(c.evictions, 1);
+}

@@ -46,6 +46,25 @@ use crate::event::Op;
 use crate::params::SimParams;
 use crate::world::SimWorld;
 
+/// One step of an externally-sourced chaos schedule — a trace prefix
+/// projected into chaos time. The trace engine (`ic-trace`) converts its
+/// records into this neutral shape, so trace replay and chaos stop being
+/// disjoint input languages: the same production request stream that the
+/// replay engine paces through the substrates can drive the fault
+/// injector and its invariant auditor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Milliseconds after the schedule's base time (non-decreasing).
+    pub at_ms: u64,
+    /// Object key.
+    pub key: String,
+    /// Object size in bytes (PUT size; also the refetch size of a GET
+    /// that misses cold).
+    pub size: u64,
+    /// `true` for a GET, `false` for a PUT.
+    pub get: bool,
+}
+
 /// Shape and intensity of one chaos schedule.
 #[derive(Clone, Debug)]
 pub struct ChaosConfig {
@@ -90,6 +109,13 @@ pub struct ChaosConfig {
     /// Quiet time after the last operation before the termination audit;
     /// must span a few warm-up ticks so queued messages flush.
     pub drain: SimDuration,
+    /// Externally-sourced schedule: when set, traffic (keys, sizes, op
+    /// kinds, arrival gaps) comes from these steps instead of the seeded
+    /// sampler — `steps`, `gap_ms`, `key_space`, `object_bytes` and
+    /// `get_fraction` are ignored. Fault injection (reclaim bursts,
+    /// policy churn) and the invariant audits stay seeded exactly as in
+    /// sampled mode.
+    pub trace: Option<Vec<TraceStep>>,
 }
 
 impl ChaosConfig {
@@ -117,6 +143,16 @@ impl ChaosConfig {
             write_through: true,
             audit_every: 4,
             drain: SimDuration::from_mins(5),
+            trace: None,
+        }
+    }
+
+    /// [`ChaosConfig::small`] driven by a trace-sourced schedule instead
+    /// of the seeded sampler (see [`ChaosConfig::trace`]).
+    pub fn from_trace(seed: u64, trace: Vec<TraceStep>) -> Self {
+        ChaosConfig {
+            trace: Some(trace),
+            ..ChaosConfig::small(seed)
         }
     }
 
@@ -198,31 +234,56 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut injected = 0usize;
     let mut t = SimTime::from_secs(1);
 
-    for step in 0..cfg.steps {
-        t += SimDuration::from_millis(rng.gen_range(cfg.gap_ms.0..=cfg.gap_ms.1));
-        let client = ClientId(rng.gen_range(0..cfg.clients));
-        let key = ObjectKey::new(format!("k{}", rng.gen_range(0..cfg.key_space)));
-        let known = sizes.contains_key(&key);
-        if known && rng.gen::<f64>() < cfg.get_fraction {
-            world.submit(
-                t,
-                client,
-                Op::Get {
-                    key: key.clone(),
-                    size: sizes[&key],
-                },
-            );
+    let base = t;
+    let steps = cfg.trace.as_ref().map_or(cfg.steps, Vec::len);
+    for step in 0..steps {
+        if let Some(trace) = &cfg.trace {
+            // Trace-sourced schedule: arrivals, keys, sizes and op kinds
+            // come from the trace; clients rotate deterministically.
+            let ts = &trace[step];
+            t = (base + SimDuration::from_millis(ts.at_ms)).max(t);
+            let client = ClientId((step % cfg.clients as usize) as u16);
+            let key = ObjectKey::new(&ts.key);
+            if ts.get {
+                let size = sizes.get(&key).copied().unwrap_or(ts.size);
+                world.submit(t, client, Op::Get { key, size });
+            } else {
+                sizes.insert(key.clone(), ts.size);
+                world.submit(
+                    t,
+                    client,
+                    Op::Put {
+                        key,
+                        payload: Payload::synthetic(ts.size),
+                    },
+                );
+            }
         } else {
-            let size = rng.gen_range(cfg.object_bytes.0..=cfg.object_bytes.1);
-            sizes.insert(key.clone(), size);
-            world.submit(
-                t,
-                client,
-                Op::Put {
-                    key,
-                    payload: Payload::synthetic(size),
-                },
-            );
+            t += SimDuration::from_millis(rng.gen_range(cfg.gap_ms.0..=cfg.gap_ms.1));
+            let client = ClientId(rng.gen_range(0..cfg.clients));
+            let key = ObjectKey::new(format!("k{}", rng.gen_range(0..cfg.key_space)));
+            let known = sizes.contains_key(&key);
+            if known && rng.gen::<f64>() < cfg.get_fraction {
+                world.submit(
+                    t,
+                    client,
+                    Op::Get {
+                        key: key.clone(),
+                        size: sizes[&key],
+                    },
+                );
+            } else {
+                let size = rng.gen_range(cfg.object_bytes.0..=cfg.object_bytes.1);
+                sizes.insert(key.clone(), size);
+                world.submit(
+                    t,
+                    client,
+                    Op::Put {
+                        key,
+                        payload: Payload::synthetic(size),
+                    },
+                );
+            }
         }
         world.run_until(t);
         if rng.gen::<f64>() < cfg.reclaim_prob {
@@ -245,7 +306,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 
     let mut report = ChaosReport {
         seed: cfg.seed,
-        ops: cfg.steps,
+        ops: steps,
         injected_reclaims: injected,
         violations,
         evictions: 0,

@@ -1,0 +1,219 @@
+//! `tracebench`: the trace engine's command-line face.
+//!
+//! ```text
+//! tracebench [--mode full|smoke|gen|sim|net] [--profile dallas|sample|smoke]
+//!            [--seed N] [--tenants N] [--trace PATH] [--sample PATH]
+//!            [--out PATH] [--wall-secs F] [--churn none|production]
+//! ```
+//!
+//! * `--mode full` (default) — the paper's §5.2 story: synthesize the
+//!   Dallas-like 50-hour production trace (≥100 k GETs), replay it on
+//!   the sim substrate under production churn with billing on, price the
+//!   same trace on ElastiCache/S3, then replay the committed sample
+//!   trace against a real loopback socket cluster with byte verification
+//!   — and write the combined `BENCH_trace.json` artifact.
+//! * `--mode smoke` — the CI leg: a tiny generated trace through the sim
+//!   replay plus the committed sample through the net replay; writes the
+//!   same artifact shape, validates it against the schema, and exits
+//!   nonzero on any verification failure.
+//! * `--mode gen` — synthesize `--profile` under `--seed` and write the
+//!   trace file to `--out`.
+//! * `--mode sim` — replay `--trace` (or a generated `--profile`) on the
+//!   sim substrate and print the headline numbers.
+//! * `--mode net` — replay `--trace` against a loopback cluster with
+//!   paced arrivals and verification.
+//!
+//! Every artifact is validated against the `ic-trace-bench/v1` schema
+//! before it is written; a replay whose byte verification fails exits
+//! nonzero.
+
+use std::time::Duration;
+
+use ic_baselines::ElastiCacheDeployment;
+use ic_common::{Error, Result};
+use ic_net::args::Args;
+use ic_trace::replay::{self, ChurnProfile, NetReplayConfig, SimReplayConfig};
+use ic_trace::synth::{synthesize, TraceGenConfig};
+use ic_trace::{report, TraceData};
+
+/// Default location of the committed sample trace (repo-root relative).
+const SAMPLE_PATH: &str = "tests/data/sample.ictrace";
+
+fn trace_err(e: ic_trace::TraceError) -> Error {
+    Error::Config(e.to_string())
+}
+
+fn profile(name: &str, tenants: u16) -> Result<TraceGenConfig> {
+    let mut cfg = match name {
+        "dallas" => TraceGenConfig::dallas(),
+        "sample" => TraceGenConfig::sample(),
+        "smoke" => TraceGenConfig::smoke(),
+        other => {
+            return Err(Error::Config(format!(
+                "--profile {other}: expected dallas, sample, or smoke"
+            )))
+        }
+    };
+    if tenants > 0 {
+        cfg.tenants = tenants;
+    }
+    Ok(cfg)
+}
+
+fn load_or_generate(args: &Args, seed: u64) -> Result<TraceData> {
+    match args.opt("trace") {
+        Some(path) => TraceData::load(path).map_err(trace_err),
+        None => Ok(synthesize(
+            &profile(&args.get("profile", "smoke"), args.num("tenants", 0)?)?,
+            seed,
+        )),
+    }
+}
+
+fn sim_config(args: &Args, seed: u64, production: bool) -> Result<SimReplayConfig> {
+    let mut cfg = if production {
+        SimReplayConfig::production(seed)
+    } else {
+        SimReplayConfig::smoke(seed)
+    };
+    match args.get("churn", "").as_str() {
+        "" => {}
+        "none" => cfg.churn = ChurnProfile::None,
+        "production" => cfg.churn = ChurnProfile::ProductionChurnSpikes,
+        other => {
+            return Err(Error::Config(format!(
+                "--churn {other}: expected none or production"
+            )))
+        }
+    }
+    Ok(cfg)
+}
+
+fn sim_summary(r: &ic_trace::SimReplayReport, vs_ec: f64) {
+    println!(
+        "sim: {} ops over {} h — hit {:.4}, availability {:.4}, cost ${:.4} \
+         ({:.0}× cheaper than ElastiCache)",
+        r.ops, r.hours, r.hit_ratio, r.availability, r.total_cost, vs_ec
+    );
+}
+
+fn net_summary(r: &ic_trace::NetReplayReport) {
+    println!(
+        "net: {} ops in {:.2}s — {} stored, {} hits, {} misses, {} verify failures, \
+         GET p50 {} µs",
+        r.ops, r.wall_seconds, r.stored, r.hits, r.misses, r.verify_failures, r.get_latency_us[0]
+    );
+}
+
+/// The full/smoke artifact flow: sim replay of `data`, baselines, net
+/// replay of the committed sample, schema-validated JSON out.
+fn artifact(args: &Args, data: &TraceData, sim_cfg: &SimReplayConfig, seed: u64) -> Result<()> {
+    let out = args.get("out", "BENCH_trace.json");
+    println!(
+        "tracebench: sim-replaying {} ({} records, {} h horizon)",
+        data.name,
+        data.records.len(),
+        data.hours()
+    );
+    let sim = replay::replay_sim(data, sim_cfg);
+    let baselines = replay::compare_baselines(data, ElastiCacheDeployment::one_node_24xl());
+    let vs_ec = baselines.cost_vs_elasticache(sim.total_cost);
+    sim_summary(&sim, vs_ec);
+
+    let sample_path = args.get("sample", SAMPLE_PATH);
+    let sample = TraceData::load(&sample_path)
+        .map_err(|e| Error::Config(format!("--sample {sample_path}: {e}")))?;
+    let mut net_cfg = NetReplayConfig::sample();
+    net_cfg.target_wall = Duration::from_secs_f64(args.num("wall-secs", 4.0)?);
+    println!(
+        "tracebench: net-replaying {} ({} records) over {:.1}s of wall clock",
+        sample.name,
+        sample.records.len(),
+        net_cfg.target_wall.as_secs_f64()
+    );
+    let net = replay::replay_net(&sample, &net_cfg)?;
+    net_summary(&net);
+
+    let json = report::render(
+        &report::render_sim(sim_cfg, seed, &sim, &baselines),
+        &report::render_net(&sample.name, &net_cfg.deployment, &net),
+    );
+    if let Err(problems) = report::validate(&json) {
+        return Err(Error::Config(format!(
+            "artifact failed schema validation: {problems:?}"
+        )));
+    }
+    std::fs::write(&out, &json).map_err(|e| Error::Config(format!("--out {out}: {e}")))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn run() -> Result<()> {
+    let args = Args::parse();
+    let mode = args.get("mode", "full");
+    let seed = args.num("seed", 2020u64)?;
+    match mode.as_str() {
+        "gen" => {
+            let name = args.get("profile", "sample");
+            let cfg = profile(&name, args.num("tenants", 0)?)?;
+            let data = synthesize(&cfg, seed);
+            let out = args.get("out", &format!("{name}.ictrace"));
+            data.save(&out).map_err(trace_err)?;
+            println!(
+                "wrote {out}: {} records ({} GET / {} PUT), {} h horizon, {} tenant(s), \
+                 {:.1} MB working set",
+                data.records.len(),
+                data.gets(),
+                data.puts(),
+                data.hours(),
+                data.tenants,
+                data.working_set_bytes() as f64 / 1e6
+            );
+            Ok(())
+        }
+        "sim" => {
+            let data = load_or_generate(&args, seed)?;
+            let cfg = sim_config(&args, seed, false)?;
+            let sim = replay::replay_sim(&data, &cfg);
+            let baselines =
+                replay::compare_baselines(&data, ElastiCacheDeployment::one_node_24xl());
+            sim_summary(&sim, baselines.cost_vs_elasticache(sim.total_cost));
+            Ok(())
+        }
+        "net" => {
+            let path = args
+                .opt("trace")
+                .map(str::to_string)
+                .unwrap_or_else(|| args.get("sample", SAMPLE_PATH));
+            let data = TraceData::load(&path).map_err(|e| Error::Config(format!("{path}: {e}")))?;
+            let mut cfg = NetReplayConfig::sample();
+            cfg.target_wall = Duration::from_secs_f64(args.num("wall-secs", 4.0)?);
+            let net = replay::replay_net(&data, &cfg)?;
+            net_summary(&net);
+            Ok(())
+        }
+        "smoke" => {
+            let data = synthesize(&profile("smoke", args.num("tenants", 0)?)?, seed);
+            let cfg = sim_config(&args, seed, false)?;
+            artifact(&args, &data, &cfg, seed)
+        }
+        "full" => {
+            let data = synthesize(
+                &profile(&args.get("profile", "dallas"), args.num("tenants", 0)?)?,
+                seed,
+            );
+            let cfg = sim_config(&args, seed, true)?;
+            artifact(&args, &data, &cfg, seed)
+        }
+        other => Err(Error::Config(format!(
+            "--mode {other}: expected full, smoke, gen, sim, or net"
+        ))),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tracebench: {e}");
+        std::process::exit(1);
+    }
+}

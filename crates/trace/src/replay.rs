@@ -1,0 +1,572 @@
+//! The replay engine: drive one trace deterministically against the
+//! discrete-event sim substrate (virtual time, per-100 ms billing via
+//! `ic-simfaas`) and against the net substrate (real sockets on loopback,
+//! arrivals paced by compressing trace time onto the wall clock).
+//!
+//! The sim replay is the paper's §5.2 evaluation: the full deployment
+//! under production churn, hourly cost / hit-ratio / availability curves,
+//! and the cost-vs-ElastiCache/S3 comparison. The net replay is the
+//! byte-level end of the same story: the identical record stream moves
+//! verified bytes through the readiness event loop. Both reduce each
+//! record to the shared [`StepOutcome`] language of the parity harness,
+//! so sim-vs-net divergence on a committed trace is a one-line assert.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ic_baselines::{ElastiCacheDeployment, LruCache, S3Pricing};
+use ic_common::pricing::CostCategory;
+use ic_common::{ClientId, DeploymentConfig, Error, Payload, Result, SimDuration, SimTime};
+use ic_net::bench::pattern_bytes;
+use ic_net::cluster::LoopbackCluster;
+use ic_net::replay::StepOutcome;
+use ic_simfaas::reclaim::{NoReclaim, PeriodicSpike, ReclaimPolicy};
+use infinicache::chaos::ScriptStep;
+use infinicache::event::Op;
+use infinicache::metrics::{OpKind, Outcome};
+use infinicache::params::SimParams;
+use infinicache::world::SimWorld;
+
+use crate::format::{TraceData, TraceOp};
+
+// ---------------------------------------------------------------------
+// Shared: trace → script language
+// ---------------------------------------------------------------------
+
+/// Projects a trace onto the chaos/parity script language
+/// ([`ScriptStep`]), dropping timestamps — the same record stream the
+/// paced substrates replay, in the vocabulary `tests/common/` and the
+/// chaos harness already speak.
+pub fn script(data: &TraceData) -> Vec<ScriptStep> {
+    data.records
+        .iter()
+        .map(|r| match r.op {
+            TraceOp::Put => ScriptStep::Put {
+                key: r.key().as_str().to_string(),
+                size: r.size,
+            },
+            TraceOp::Get => ScriptStep::Get {
+                key: r.key().as_str().to_string(),
+            },
+        })
+        .collect()
+}
+
+/// Projects a trace prefix into the chaos harness's schedule language
+/// ([`infinicache::chaos::TraceStep`]), linearly compressing the prefix's
+/// time axis onto `span_ms` milliseconds so production inter-arrival
+/// structure lands inside the harness's tight eviction/reclaim windows.
+pub fn chaos_steps(
+    data: &TraceData,
+    prefix: usize,
+    span_ms: u64,
+) -> Vec<infinicache::chaos::TraceStep> {
+    let records: Vec<_> = data.records.iter().take(prefix).collect();
+    let span_us = records.last().map_or(0, |r| r.at.as_micros()).max(1);
+    records
+        .iter()
+        .map(|r| infinicache::chaos::TraceStep {
+            at_ms: (r.at.as_micros() as u128 * u128::from(span_ms) / u128::from(span_us)) as u64,
+            key: r.key().as_str().to_string(),
+            size: r.size,
+            get: r.op == TraceOp::Get,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Sim replay
+// ---------------------------------------------------------------------
+
+/// Reclaim regime of a sim replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnProfile {
+    /// No reclamation (fault-free).
+    None,
+    /// The production-study regime: Poisson background churn plus
+    /// ~6-hourly mass-reclaim spikes sweeping most of the fleet (the
+    /// reclaim line of the paper's Fig 14).
+    ProductionChurnSpikes,
+}
+
+impl ChurnProfile {
+    fn policy(self, fleet: usize) -> Box<dyn ReclaimPolicy> {
+        match self {
+            ChurnProfile::None => Box::new(NoReclaim),
+            ChurnProfile::ProductionChurnSpikes => {
+                let mut spike = PeriodicSpike::new(fleet, 360, 0.85, "trace churn+spikes");
+                spike.base_per_hour = 36.0 * fleet as f64 / 400.0;
+                Box::new(spike)
+            }
+        }
+    }
+}
+
+/// Everything a sim replay needs beyond the trace.
+#[derive(Clone, Debug)]
+pub struct SimReplayConfig {
+    /// Deployment shape.
+    pub deployment: DeploymentConfig,
+    /// Seed for the world's stochastic service model.
+    pub seed: u64,
+    /// Reclaim regime.
+    pub churn: ChurnProfile,
+    /// Whether misses refetch from the backing store and re-insert
+    /// (the paper's §5.2 replay semantics for GET-only traces).
+    pub write_through: bool,
+    /// Quiet time appended after the last record before billing is
+    /// finalized.
+    pub drain: SimDuration,
+}
+
+impl SimReplayConfig {
+    /// The paper's production setting: the full §5.2 deployment under
+    /// churn + spikes, write-through misses.
+    pub fn production(seed: u64) -> Self {
+        SimReplayConfig {
+            deployment: DeploymentConfig::paper_production(),
+            seed,
+            churn: ChurnProfile::ProductionChurnSpikes,
+            write_through: true,
+            drain: SimDuration::from_mins(5),
+        }
+    }
+
+    /// A small fault-free deployment for smoke runs and tests.
+    pub fn smoke(seed: u64) -> Self {
+        SimReplayConfig {
+            deployment: DeploymentConfig {
+                lambdas_per_proxy: 40,
+                lambda_memory_mb: 512,
+                ..DeploymentConfig::small(40, ic_common::EcConfig::new(4, 2).expect("valid code"))
+            },
+            seed,
+            churn: ChurnProfile::None,
+            write_through: true,
+            drain: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// Per-hour slice of a sim replay (curve point `hour` covers
+/// `[hour, hour+1)` of trace time).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HourPoint {
+    /// GETs issued this hour.
+    pub gets: u64,
+    /// GETs served from the cache.
+    pub hits: u64,
+    /// GETs lost to reclaimed/unrecoverable data (the availability
+    /// denominator's failure half).
+    pub resets: u64,
+    /// Tenant dollars billed this hour: `[serving, warmup, backup]`.
+    pub cost: [f64; 3],
+    /// Instances reclaimed this hour.
+    pub reclaims: u64,
+}
+
+impl HourPoint {
+    /// Hit ratio of the hour (1.0 on an idle hour).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// §5.2 availability of the hour: hits / (hits + resets).
+    pub fn availability(&self) -> f64 {
+        let denom = self.hits + self.resets;
+        if denom == 0 {
+            1.0
+        } else {
+            self.hits as f64 / denom as f64
+        }
+    }
+}
+
+/// What one sim replay produced. Everything here is a pure function of
+/// `(trace bytes, SimReplayConfig)` — byte-identical across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReplayReport {
+    /// Trace name.
+    pub trace: String,
+    /// Records replayed.
+    pub ops: usize,
+    /// GET records.
+    pub gets: usize,
+    /// PUT records.
+    pub puts: usize,
+    /// Horizon hours.
+    pub hours: usize,
+    /// Overall GET hit ratio.
+    pub hit_ratio: f64,
+    /// Overall §5.2 availability.
+    pub availability: f64,
+    /// GETs lost to faults.
+    pub resets: u64,
+    /// Degraded GETs recovered through parity decode.
+    pub recoveries: u64,
+    /// Total tenant cost in dollars.
+    pub total_cost: f64,
+    /// Dollar totals per category in `[serving, warmup, backup]` order.
+    pub category_cost: [f64; 3],
+    /// GET latency percentiles in milliseconds `[p50, p90, p99]`.
+    pub get_latency_ms: [f64; 3],
+    /// One point per horizon hour.
+    pub hourly: Vec<HourPoint>,
+}
+
+/// Replays a trace on the discrete-event world, billing included.
+pub fn replay_sim(data: &TraceData, cfg: &SimReplayConfig) -> SimReplayReport {
+    let fleet = cfg.deployment.total_lambdas() as usize;
+    let mut w = SimWorld::new(
+        cfg.deployment.clone(),
+        SimParams::paper().with_seed(cfg.seed),
+        cfg.churn.policy(fleet),
+        1,
+    );
+    w.write_through = cfg.write_through;
+    for r in &data.records {
+        let op = match r.op {
+            TraceOp::Get => Op::Get {
+                key: r.key(),
+                size: r.size,
+            },
+            TraceOp::Put => Op::Put {
+                key: r.key(),
+                payload: Payload::synthetic(r.size),
+            },
+        };
+        w.submit(r.at, ClientId(0), op);
+    }
+    let last = data.records.last().map_or(SimTime::ZERO, |r| r.at);
+    let end = data.horizon.max(last) + cfg.drain;
+    w.run_until(end);
+    w.platform.finalize(end, CostCategory::Serving);
+
+    let hours = data.hours();
+    let mut hourly = vec![HourPoint::default(); hours];
+    for r in &w.metrics.requests {
+        if r.kind != OpKind::Get {
+            continue;
+        }
+        let h = (r.issued.hour() as usize).min(hours - 1);
+        hourly[h].gets += 1;
+        match r.outcome {
+            Outcome::Hit { .. } => hourly[h].hits += 1,
+            Outcome::Reset => hourly[h].resets += 1,
+            _ => {}
+        }
+    }
+    for (h, row) in w.platform.billing.hourly_breakdown().iter().enumerate() {
+        let h = h.min(hours - 1);
+        for (c, dollars) in row.iter().enumerate() {
+            hourly[h].cost[c] += dollars;
+        }
+    }
+    for (t, _, _) in w.platform.reclaim_log() {
+        hourly[(t.hour() as usize).min(hours - 1)].reclaims += 1;
+    }
+
+    let mut lat: Vec<f64> = w.metrics.get_latencies_ms(0);
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[(((lat.len() - 1) as f64) * p).round() as usize]
+        }
+    };
+    let billing = &w.platform.billing;
+    SimReplayReport {
+        trace: data.name.clone(),
+        ops: data.records.len(),
+        gets: data.gets(),
+        puts: data.puts(),
+        hours,
+        hit_ratio: w.metrics.hit_ratio(),
+        availability: w.metrics.availability(),
+        resets: w.metrics.resets(),
+        recoveries: w.metrics.recoveries(),
+        total_cost: billing.total_dollars(),
+        category_cost: [
+            billing.category(CostCategory::Serving).dollars,
+            billing.category(CostCategory::Warmup).dollars,
+            billing.category(CostCategory::Backup).dollars,
+        ],
+        get_latency_ms: [pct(0.50), pct(0.90), pct(0.99)],
+        hourly,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------
+
+/// The cost-vs story: the same trace priced on ElastiCache and S3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineComparison {
+    /// ElastiCache node type the comparison provisions (the paper's
+    /// Table 1 uses one cache.r5.24xlarge).
+    pub elasticache_node: String,
+    /// ElastiCache hit ratio on the trace (byte-capacity LRU).
+    pub elasticache_hit_ratio: f64,
+    /// ElastiCache cost over the horizon (hourly price × hours — the
+    /// instance bills whether or not requests arrive).
+    pub elasticache_cost: f64,
+    /// Raw-S3 cost of the same workload (requests + prorated storage).
+    pub s3_cost: f64,
+}
+
+impl BaselineComparison {
+    /// The headline ratio: ElastiCache dollars per InfiniCache dollar.
+    pub fn cost_vs_elasticache(&self, ic_cost: f64) -> f64 {
+        if ic_cost <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.elasticache_cost / ic_cost
+        }
+    }
+}
+
+/// Prices the trace on the baselines. Fully deterministic: the LRU pass
+/// needs no randomness and pricing is arithmetic.
+pub fn compare_baselines(data: &TraceData, node: ElastiCacheDeployment) -> BaselineComparison {
+    let capacity = (node.total_memory_gb() * 1e9) as u64;
+    let mut lru = LruCache::new(capacity);
+    let mut get_hits = 0u64;
+    for r in &data.records {
+        match r.op {
+            TraceOp::Get => {
+                if lru.get(&r.key()) {
+                    get_hits += 1;
+                } else {
+                    lru.insert(r.key(), r.size);
+                }
+            }
+            TraceOp::Put => {
+                lru.insert(r.key(), r.size);
+            }
+        }
+    }
+    let gets = data.gets() as u64;
+    let hours = data.hours() as f64;
+    let s3 = S3Pricing::AWS;
+    BaselineComparison {
+        elasticache_node: format!("{}×{}", node.nodes, node.instance.name),
+        elasticache_hit_ratio: if gets == 0 {
+            1.0
+        } else {
+            get_hits as f64 / gets as f64
+        },
+        elasticache_cost: node.hourly_price() * hours,
+        s3_cost: s3.workload_cost(gets, data.puts() as u64, data.working_set_bytes(), hours),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Net replay
+// ---------------------------------------------------------------------
+
+/// Everything a net replay needs beyond the trace.
+#[derive(Clone, Debug)]
+pub struct NetReplayConfig {
+    /// Deployment for the loopback cluster (parity shape by default).
+    pub deployment: DeploymentConfig,
+    /// Wall-clock duration the trace's time axis is compressed onto;
+    /// arrivals are paced to land at their scaled instants.
+    pub target_wall: Duration,
+    /// Verify every hit byte-for-byte against what was stored.
+    pub verify: bool,
+    /// Safety clamp on object sizes (a production trace replayed here by
+    /// accident would otherwise push multi-GB objects through loopback).
+    pub max_object_bytes: u64,
+}
+
+impl NetReplayConfig {
+    /// The committed-sample setting: the parity harness deployment, the
+    /// trace compressed onto a few wall seconds, verification on.
+    pub fn sample() -> Self {
+        NetReplayConfig {
+            deployment: ic_net::replay::parity_config(),
+            target_wall: Duration::from_secs(4),
+            verify: true,
+            max_object_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// What one net replay observed.
+#[derive(Clone, Debug)]
+pub struct NetReplayReport {
+    /// Records replayed.
+    pub ops: usize,
+    /// PUTs stored.
+    pub stored: u64,
+    /// GET hits.
+    pub hits: u64,
+    /// GET misses.
+    pub misses: u64,
+    /// Hits whose bytes did not match what was stored (must be zero).
+    pub verify_failures: u64,
+    /// Sizes clamped by [`NetReplayConfig::max_object_bytes`].
+    pub clamped: u64,
+    /// Wall seconds of the replay.
+    pub wall_seconds: f64,
+    /// GET latency percentiles in microseconds `[p50, p90, p99]`.
+    pub get_latency_us: [u64; 3],
+    /// Per-record outcomes, for parity against a sim replay of the same
+    /// script.
+    pub outcomes: Vec<StepOutcome>,
+}
+
+/// Replays a trace against a fresh loopback socket cluster with paced
+/// arrivals.
+///
+/// # Errors
+///
+/// Propagates cluster startup and transport errors; an operation-level
+/// failure aborts the replay (a fault-free loopback run must not error).
+pub fn replay_net(data: &TraceData, cfg: &NetReplayConfig) -> Result<NetReplayReport> {
+    let cluster = LoopbackCluster::start(cfg.deployment.clone())?;
+    let mut client = cluster.client()?;
+
+    let span_us = data.records.last().map_or(0, |r| r.at.as_micros()).max(1);
+    let target_us = cfg.target_wall.as_micros().max(1) as u64;
+
+    let mut versions: HashMap<ic_common::ObjectKey, (u64, usize)> = HashMap::new();
+    let mut report = NetReplayReport {
+        ops: data.records.len(),
+        stored: 0,
+        hits: 0,
+        misses: 0,
+        verify_failures: 0,
+        clamped: 0,
+        wall_seconds: 0.0,
+        get_latency_us: [0; 3],
+        outcomes: Vec::with_capacity(data.records.len()),
+    };
+    let mut get_lat: Vec<u64> = Vec::new();
+    let start = Instant::now();
+    for r in &data.records {
+        // Pace: trace time compressed onto the wall-clock target. A
+        // replay that falls behind proceeds immediately (arrivals are a
+        // lower bound, as with any open-loop load generator).
+        let due_us =
+            (r.at.as_micros() as u128 * u128::from(target_us) / u128::from(span_us)) as u64;
+        let due = start + Duration::from_micros(due_us);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let mut size = r.size as usize;
+        if r.size > cfg.max_object_bytes {
+            size = cfg.max_object_bytes as usize;
+            report.clamped += 1;
+        }
+        let key = r.key();
+        match r.op {
+            TraceOp::Put => {
+                let version = versions.get(&key).map_or(0, |(v, _)| v + 1);
+                client.put(key.as_str(), pattern_bytes(key.as_str(), version, size))?;
+                versions.insert(key, (version, size));
+                report.stored += 1;
+                report.outcomes.push(StepOutcome::Stored);
+            }
+            TraceOp::Get => {
+                let issued = Instant::now();
+                let got = client.get(key.as_str())?;
+                get_lat.push(issued.elapsed().as_micros() as u64);
+                match got {
+                    Some(bytes) => {
+                        report.hits += 1;
+                        report.outcomes.push(StepOutcome::Hit);
+                        if cfg.verify {
+                            let ok = versions.get(&key).is_some_and(|&(v, len)| {
+                                bytes == pattern_bytes(key.as_str(), v, len)
+                            });
+                            if !ok {
+                                report.verify_failures += 1;
+                            }
+                        }
+                    }
+                    None => {
+                        report.misses += 1;
+                        report.outcomes.push(StepOutcome::Miss);
+                    }
+                }
+            }
+        }
+    }
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    cluster.shutdown();
+
+    get_lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if get_lat.is_empty() {
+            0
+        } else {
+            get_lat[(((get_lat.len() - 1) as f64) * p).round() as usize]
+        }
+    };
+    report.get_latency_us = [pct(0.50), pct(0.90), pct(0.99)];
+    if report.verify_failures > 0 {
+        return Err(Error::Protocol(format!(
+            "{} trace GETs failed byte verification",
+            report.verify_failures
+        )));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, TraceGenConfig};
+
+    #[test]
+    fn sim_replay_reports_are_identical_across_runs() {
+        let data = synthesize(&TraceGenConfig::smoke(), 8);
+        let cfg = SimReplayConfig::smoke(8);
+        let a = replay_sim(&data, &cfg);
+        let b = replay_sim(&data, &cfg);
+        assert_eq!(a, b, "same trace + seed must reproduce bit-identical stats");
+        assert!(
+            a.hit_ratio > 0.1 && a.hit_ratio < 1.0,
+            "hit {}",
+            a.hit_ratio
+        );
+        assert!(a.total_cost > 0.0);
+        assert_eq!(a.hourly.len(), a.hours);
+        let hourly_gets: u64 = a.hourly.iter().map(|h| h.gets).sum();
+        assert_eq!(hourly_gets as usize, a.gets);
+    }
+
+    #[test]
+    fn baseline_comparison_is_deterministic_and_priced() {
+        let data = synthesize(&TraceGenConfig::smoke(), 8);
+        let a = compare_baselines(&data, ElastiCacheDeployment::one_node_24xl());
+        let b = compare_baselines(&data, ElastiCacheDeployment::one_node_24xl());
+        assert_eq!(a, b);
+        assert!(a.elasticache_cost > 0.0);
+        assert!(a.s3_cost > 0.0);
+        assert!((0.0..=1.0).contains(&a.elasticache_hit_ratio));
+        // One cache.r5.24xlarge bills $10.368 per horizon hour.
+        let expected = 10.368 * data.hours() as f64;
+        assert!((a.elasticache_cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn script_projection_matches_ops() {
+        let data = synthesize(&TraceGenConfig::sample(), 4);
+        let s = script(&data);
+        assert_eq!(s.len(), data.records.len());
+        let puts = s
+            .iter()
+            .filter(|x| matches!(x, ScriptStep::Put { .. }))
+            .count();
+        assert_eq!(puts, data.puts());
+    }
+}

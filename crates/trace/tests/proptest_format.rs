@@ -1,0 +1,162 @@
+//! Property tests for the `ICTR` trace codec: every randomly generated
+//! valid trace must round-trip exactly (and canonically — re-encoding is
+//! byte-identical); every truncation, garbage stream, or version flip
+//! must come back as a typed [`TraceError`], never a panic.
+
+use ic_common::SimTime;
+use ic_trace::format::{TraceData, TraceError, TraceOp, TraceRecord, MAGIC, VERSION};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random valid trace: monotone timestamps by prefix-summing deltas,
+/// tenants drawn inside a declared universe of 1–5.
+fn arb_trace() -> impl Strategy<Value = TraceData> {
+    (
+        1u16..5,
+        "[a-z]{0,12}",
+        vec(
+            (
+                0u64..5_000_000, // delta µs (0 keeps equal-timestamp runs)
+                any::<bool>(),   // op
+                0u16..64,        // tenant (folded into the universe)
+                0u32..1_000_000, // object
+                0u64..1 << 33,   // size straddles the u32 boundary
+            ),
+            0..64,
+        ),
+    )
+        .prop_map(|(tenants, name, raw)| {
+            let mut at = 0u64;
+            let records: Vec<TraceRecord> = raw
+                .into_iter()
+                .map(|(dt, is_put, tenant, object, size)| {
+                    at += dt;
+                    TraceRecord {
+                        at: SimTime::from_micros(at),
+                        op: if is_put { TraceOp::Put } else { TraceOp::Get },
+                        tenant: tenant % tenants,
+                        object,
+                        size,
+                    }
+                })
+                .collect();
+            TraceData {
+                name,
+                horizon: SimTime::from_micros(at + 1),
+                tenants,
+                records,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity, and the encoding is canonical:
+    /// re-encoding the decoded trace reproduces the bytes exactly.
+    #[test]
+    fn any_valid_trace_roundtrips_byte_exactly(t in arb_trace()) {
+        let bytes = t.to_bytes().expect("valid trace encodes");
+        let back = TraceData::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.to_bytes().expect("re-encodes"), bytes);
+    }
+
+    /// Cutting the byte stream at *any* point yields either a clean
+    /// prefix of the records (cut on a record boundary) or a typed
+    /// `Truncated` error — never a panic, never silently wrong data.
+    #[test]
+    fn any_truncation_is_a_prefix_or_a_typed_error(
+        t in arb_trace(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = t.to_bytes().expect("valid trace encodes");
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        match TraceData::from_bytes(&bytes[..cut]) {
+            Ok(partial) => {
+                prop_assert!(partial.records.len() <= t.records.len());
+                prop_assert_eq!(
+                    &partial.records[..],
+                    &t.records[..partial.records.len()],
+                    "decoded records must be an exact prefix"
+                );
+                prop_assert_eq!(partial.tenants, t.tenants);
+                prop_assert_eq!(&partial.name, &t.name);
+            }
+            Err(TraceError::Truncated { record }) => {
+                prop_assert!(
+                    record <= t.records.len() as u64,
+                    "truncation index {record} beyond trace"
+                );
+            }
+            Err(other) => panic!("truncation must report Truncated, got {other:?}"),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in vec(0u8..=255, 0..256)) {
+        let _ = TraceData::from_bytes(&bytes);
+    }
+
+    /// Garbage behind a valid header prefix penetrates the record decoder
+    /// and still comes back as a typed error (or a valid decode for lucky
+    /// byte runs) — never a panic.
+    #[test]
+    fn garbage_records_never_panic(tail in vec(0u8..=255, 0..128)) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&[VERSION, 0]);
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // empty name
+        bytes.extend_from_slice(&3_600_000_000u64.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        let _ = TraceData::from_bytes(&[bytes, tail].concat());
+    }
+
+    /// Every version byte other than the supported one is rejected with
+    /// the typed error, regardless of trace content.
+    #[test]
+    fn wrong_version_is_always_rejected(t in arb_trace(), v in 0u8..=255) {
+        let v = if v == VERSION { v.wrapping_add(1) } else { v };
+        let mut bytes = t.to_bytes().expect("valid trace encodes");
+        bytes[4] = v;
+        prop_assert!(matches!(
+            TraceData::from_bytes(&bytes),
+            Err(TraceError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+
+    /// Nonzero reserved header flags are rejected as corruption.
+    #[test]
+    fn reserved_flags_are_rejected(t in arb_trace(), flags in 1u8..=255) {
+        let mut bytes = t.to_bytes().expect("valid trace encodes");
+        bytes[5] = flags;
+        prop_assert!(matches!(
+            TraceData::from_bytes(&bytes),
+            Err(TraceError::Corrupt { record: 0, .. })
+        ));
+    }
+
+    /// The writer refuses records whose timestamps regress instead of
+    /// silently reordering them.
+    #[test]
+    fn writer_rejects_time_regression(t in arb_trace(), back_us in 1u64..1 << 40) {
+        let mut t = t;
+        // Anchor past every existing record (horizon = last at + 1), then
+        // step strictly backwards: the writer must refuse the step.
+        let anchor_us = t.horizon.as_micros().max(back_us);
+        let anchor = TraceRecord {
+            at: SimTime::from_micros(anchor_us),
+            op: TraceOp::Get,
+            tenant: 0,
+            object: 0,
+            size: 1,
+        };
+        t.records.push(anchor);
+        t.records.push(TraceRecord {
+            at: SimTime::from_micros(anchor_us - back_us),
+            ..anchor
+        });
+        prop_assert!(matches!(t.to_bytes(), Err(TraceError::NonMonotonic { .. })));
+    }
+}

@@ -1,0 +1,113 @@
+//! Trace-engine integration tests: replay determinism on the sim
+//! substrate, sim-vs-net outcome parity on the committed sample trace,
+//! canonicality of the committed artifacts, and the chaos harness's
+//! trace-sourced schedule mode.
+
+use std::time::Duration;
+
+use ic_trace::replay::{chaos_steps, script, NetReplayConfig, SimReplayConfig};
+use ic_trace::synth::{synthesize, TraceGenConfig};
+use ic_trace::{compare_baselines, replay_net, replay_sim, report, TraceData};
+use infinicache::chaos::{run_chaos, ChaosConfig};
+
+const SAMPLE_PATH: &str = "tests/data/sample.ictrace";
+/// The seed `tracebench` uses for every committed artifact.
+const BENCH_SEED: u64 = 2020;
+
+fn sample() -> TraceData {
+    TraceData::load(SAMPLE_PATH).expect("committed sample trace loads")
+}
+
+/// Two sim replays of the same trace under the same config produce
+/// byte-identical reports *and* byte-identical rendered JSON — the
+/// replay path has no wall clocks and no map-iteration order.
+#[test]
+fn sim_replay_is_byte_deterministic() {
+    let data = synthesize(&TraceGenConfig::smoke(), BENCH_SEED);
+    let cfg = SimReplayConfig::smoke(BENCH_SEED);
+    let a = replay_sim(&data, &cfg);
+    let b = replay_sim(&data, &cfg);
+    assert_eq!(a, b, "sim replay reports must be identical");
+    let baselines = compare_baselines(&data, ic_baselines::ElastiCacheDeployment::one_node_24xl());
+    assert_eq!(
+        report::render_sim(&cfg, BENCH_SEED, &a, &baselines),
+        report::render_sim(&cfg, BENCH_SEED, &b, &baselines),
+        "rendered sim JSON must be byte-identical"
+    );
+}
+
+/// The committed sample decodes, re-encodes byte-identically (canonical
+/// form), and is exactly what the generator produces at the bench seed —
+/// so regenerating it can never silently drift.
+#[test]
+fn committed_sample_is_canonical() {
+    let data = sample();
+    assert!(!data.records.is_empty());
+    let bytes = std::fs::read(SAMPLE_PATH).expect("sample bytes");
+    assert_eq!(
+        data.to_bytes().expect("re-encodes"),
+        bytes,
+        "sample must re-encode byte-identically"
+    );
+    let regenerated = synthesize(&TraceGenConfig::sample(), BENCH_SEED);
+    assert_eq!(
+        data, regenerated,
+        "committed sample must match the generator at seed {BENCH_SEED}"
+    );
+}
+
+/// The same committed trace drives the net substrate (real loopback
+/// sockets, paced arrivals, byte verification) to the *same outcome
+/// sequence* as the sim-side parity oracle.
+#[test]
+fn sim_net_parity_on_committed_sample() {
+    let data = sample();
+    let oracle = ic_net::replay::replay_sim(&script(&data));
+    let mut cfg = NetReplayConfig::sample();
+    cfg.target_wall = Duration::from_millis(800); // keep the test quick
+    let net = replay_net(&data, &cfg).expect("net replay verifies");
+    assert_eq!(net.verify_failures, 0);
+    assert_eq!(net.ops, data.records.len());
+    assert_eq!(
+        net.outcomes, oracle,
+        "net replay outcomes must match the sim parity oracle"
+    );
+}
+
+/// The committed `BENCH_trace.json` artifact passes the schema validator
+/// and recorded zero byte-verification failures.
+#[test]
+fn committed_bench_artifact_is_valid() {
+    let json = std::fs::read_to_string("BENCH_trace.json").expect("committed BENCH_trace.json");
+    report::validate(&json).unwrap_or_else(|p| panic!("artifact invalid: {p:?}"));
+    assert_eq!(
+        report::verify_failures(&json),
+        Some(0),
+        "committed artifact must record zero verify failures"
+    );
+}
+
+/// Chaos regression: a trace-sourced schedule replays deterministically
+/// (same seed → identical report), holds every audited invariant, and
+/// still exercises the fault injector.
+#[test]
+fn chaos_trace_schedule_is_deterministic_and_clean() {
+    let data = sample();
+    let steps = chaos_steps(&data, 64, 4_000);
+    assert_eq!(steps.len(), 64.min(data.records.len()));
+    let mut cfg = ChaosConfig::from_trace(BENCH_SEED, steps);
+    cfg.reclaim_prob = 0.5; // make injected reclaims a certainty at 64 steps
+    let a = run_chaos(&cfg);
+    let b = run_chaos(&cfg);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "trace-mode chaos must be deterministic"
+    );
+    assert!(a.ok(), "invariant violations: {:?}", a.violations);
+    assert_eq!(a.ops, 64);
+    assert!(
+        a.injected_reclaims > 0,
+        "trace-mode schedules must still inject faults"
+    );
+}
